@@ -1,0 +1,50 @@
+//! Microbenchmarks for the fault-tolerant averaging function: the cost of
+//! `mid(reduce(·))` / `mean(reduce(·))` and the Appendix x-distance, as a
+//! function of `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use wl_multiset::{distance, AveragingFn, Multiset};
+
+fn values(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn bench_averaging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("averaging_fn");
+    for n in [4usize, 16, 64, 256, 1024] {
+        let f = (n - 1) / 3;
+        let vals = values(n, 7);
+        group.bench_with_input(BenchmarkId::new("midpoint", n), &vals, |b, vals| {
+            b.iter(|| {
+                let m = Multiset::from_values(black_box(vals));
+                black_box(AveragingFn::Midpoint.apply(&m, f))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mean", n), &vals, |b, vals| {
+            b.iter(|| {
+                let m = Multiset::from_values(black_box(vals));
+                black_box(AveragingFn::Mean.apply(&m, f))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_x_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x_distance");
+    for n in [16usize, 128, 1024] {
+        let u = Multiset::from_values(&values(n, 1));
+        let v = Multiset::from_values(&values(n, 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(u, v), |b, (u, v)| {
+            b.iter(|| black_box(distance::x_distance(black_box(u), black_box(v), 0.05)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_averaging, bench_x_distance);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end cost of synchronization rounds: full Welch–Lynch executions
+//! per n, and one baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wl_baselines::scenario::build_lm_cnv;
+use wl_core::scenario::ScenarioBuilder;
+use wl_core::Params;
+use wl_time::RealTime;
+
+fn wl_execution(n: usize, f: usize, secs: f64) -> u64 {
+    let params = Params::auto(n, f, 1e-6, 0.010, 0.001).unwrap();
+    let mut built = ScenarioBuilder::new(params)
+        .seed(3)
+        .t_end(RealTime::from_secs(secs))
+        .build();
+    built.sim.run().stats.events_delivered
+}
+
+fn cnv_execution(n: usize, f: usize, secs: f64) -> u64 {
+    let params = Params::auto(n, f, 1e-6, 0.010, 0.001).unwrap();
+    let mut built = build_lm_cnv(&params, &[], 3, RealTime::from_secs(secs));
+    built.sim.run().stats.events_delivered
+}
+
+fn bench_full_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_execution_10s");
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        group.bench_with_input(BenchmarkId::new("welch_lynch", n), &(n, f), |b, &(n, f)| {
+            b.iter(|| black_box(wl_execution(n, f, 10.0)));
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("lm_cnv", 4), &(4usize, 1usize), |b, &(n, f)| {
+        b.iter(|| black_box(cnv_execution(n, f, 10.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_rounds);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Simulator throughput: events per second through the global message
+//! buffer with a ping-pong workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wl_clock::drift::DriftModel;
+use wl_sim::delay::{ConstantDelay, DelayBounds};
+use wl_sim::{Actions, Automaton, Input, ProcessId, SimConfig, Simulation};
+use wl_time::{ClockTime, RealDur, RealTime};
+
+#[derive(Debug)]
+struct Pinger {
+    me: usize,
+    n: usize,
+}
+
+impl Automaton for Pinger {
+    type Msg = u64;
+    fn on_input(&mut self, input: Input<u64>, _now: ClockTime, out: &mut Actions<u64>) {
+        match input {
+            Input::Start => out.send(ProcessId((self.me + 1) % self.n), 0),
+            Input::Message { msg, .. } => {
+                out.send(ProcessId((self.me + 1) % self.n), msg + 1);
+            }
+            Input::Timer => {}
+        }
+    }
+}
+
+fn run_sim(n: usize, events: u64) -> u64 {
+    let clocks = DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0);
+    let procs: Vec<Box<dyn Automaton<Msg = u64>>> = (0..n)
+        .map(|me| Box::new(Pinger { me, n }) as Box<dyn Automaton<Msg = u64>>)
+        .collect();
+    let mut sim = Simulation::new(
+        clocks,
+        procs,
+        Box::new(ConstantDelay::new(RealDur::from_micros(10.0))),
+        vec![RealTime::ZERO; n],
+        SimConfig {
+            t_end: RealTime::from_secs(f64::INFINITY),
+            delay_bounds: DelayBounds::new(RealDur::from_micros(10.0), RealDur::ZERO),
+            max_events: events,
+            ..SimConfig::default()
+        },
+    );
+    sim.run().stats.events_delivered
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_events");
+    let events = 20_000u64;
+    group.throughput(Throughput::Elements(events));
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(run_sim(n, events)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E3 — adjustment bound (Theorem 4a).
+//!
+//! Records every `ADJ` of every nonfaulty process across fault mixes and
+//! compares against `(1+ρ)(β+ε)+ρδ`. §10 summarizes the steady-state
+//! adjustment as "about 5ε".
+//!
+//! Run: `cargo run --release -p bench --bin exp_adjustment`
+
+use bench::{default_params, fs, run_summary};
+use wl_analysis::report::Table;
+use wl_core::scenario::{FaultKind, ScenarioBuilder};
+use wl_core::theory;
+use wl_sim::ProcessId;
+use wl_time::RealTime;
+
+fn main() {
+    let t_end = 60.0;
+    let mut table = Table::new(&[
+        "scenario", "n", "f", "max |ADJ|", "mean |ADJ|", "bound (Thm 4a)", "~5eps", "holds",
+    ])
+    .with_title("E3: adjustment bound; rho=1e-6, delta=10ms, eps=1ms, 60s");
+
+    let cases: Vec<(&str, usize, usize, Vec<(usize, FaultKind)>)> = vec![
+        ("fault-free", 4, 1, vec![]),
+        ("1 silent", 4, 1, vec![(3, FaultKind::Silent)]),
+        ("1 pull-apart", 4, 1, vec![(0, FaultKind::PullApart(0.0))]),
+        ("1 spam", 4, 1, vec![(2, FaultKind::RoundSpam)]),
+        ("2 byz (n=7)", 7, 2, vec![(0, FaultKind::PullApart(0.0)), (3, FaultKind::RoundSpam)]),
+    ];
+
+    for (name, n, f, faults) in cases {
+        let params = default_params(n, f);
+        let bound = theory::adjustment_bound(&params);
+        let mut b = ScenarioBuilder::new(params.clone())
+            .seed(21)
+            .t_end(RealTime::from_secs(t_end));
+        for (id, kind) in faults {
+            let kind = match kind {
+                FaultKind::PullApart(_) => FaultKind::PullApart(params.beta / 2.0),
+                k => k,
+            };
+            b = b.fault(ProcessId(id), kind);
+        }
+        let s = run_summary(b.build(), t_end);
+        table.row_owned(vec![
+            name.to_string(),
+            n.to_string(),
+            f.to_string(),
+            fs(s.adjustments.max_abs),
+            fs(s.adjustments.mean_abs),
+            fs(bound),
+            fs(5.0 * params.eps),
+            s.adjustments.holds.to_string(),
+        ]);
+    }
+    println!("{table}");
+    let _ = table.save_csv("target/exp_adjustment.csv");
+    println!("(CSV saved to target/exp_adjustment.csv)");
+}

@@ -1,0 +1,77 @@
+//! E1 — γ-agreement sweep (Theorem 16).
+//!
+//! For each (n, f, ρ, ε, delay model, fault mix), runs the maintenance
+//! algorithm and compares the worst observed nonfaulty skew against the
+//! closed-form γ. The paper predicts `max skew ≤ γ` always, with the
+//! steady-state skew ≈ `4ε` (§10).
+//!
+//! Run: `cargo run --release -p bench --bin exp_agreement`
+
+use bench::{fs, run_summary};
+use wl_analysis::report::Table;
+use wl_core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
+use wl_core::{theory, Params};
+use wl_sim::ProcessId;
+use wl_time::RealTime;
+
+fn main() {
+    let t_end = 60.0;
+    let mut table = Table::new(&[
+        "n", "f", "rho", "eps", "delay", "faults", "max skew", "steady skew", "gamma",
+        "skew/gamma", "holds",
+    ])
+    .with_title("E1: gamma-agreement sweep (Theorem 16), delta = 10ms, 60s horizon");
+
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 3)] {
+        for &rho in &[1e-6, 1e-4] {
+            for &eps in &[1e-4, 1e-3] {
+                for &delay in &[DelayKind::Uniform, DelayKind::AdversarialSplit] {
+                    for faulted in [false, true] {
+                        let params = Params::auto(n, f, rho, 0.010, eps)
+                            .expect("feasible parameters");
+                        let gamma = theory::gamma(&params);
+                        let mut builder = ScenarioBuilder::new(params.clone())
+                            .seed(42 + n as u64)
+                            .delay(delay)
+                            .t_end(RealTime::from_secs(t_end));
+                        let mut fault_desc = "none".to_string();
+                        if faulted {
+                            // Worst mix: one puller, the rest spam/silent.
+                            builder = builder
+                                .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
+                            for extra in 1..f {
+                                builder = builder.fault(
+                                    ProcessId(extra),
+                                    if extra % 2 == 0 {
+                                        FaultKind::Silent
+                                    } else {
+                                        FaultKind::RoundSpam
+                                    },
+                                );
+                            }
+                            fault_desc = format!("{f} byz");
+                        }
+                        let s = run_summary(builder.build(), t_end);
+                        assert_eq!(s.timers_suppressed, 0);
+                        table.row_owned(vec![
+                            n.to_string(),
+                            f.to_string(),
+                            format!("{rho:.0e}"),
+                            fs(eps),
+                            format!("{delay:?}"),
+                            fault_desc.clone(),
+                            fs(s.agreement.max_skew),
+                            fs(s.agreement.steady_skew),
+                            fs(gamma),
+                            format!("{:.2}", s.agreement.tightness),
+                            s.agreement.holds.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    println!("{table}");
+    let _ = table.save_csv("target/exp_agreement.csv");
+    println!("(CSV saved to target/exp_agreement.csv)");
+}

@@ -1,0 +1,194 @@
+//! E11 — the §10 comparison: Welch–Lynch vs LM-CNV vs Mahaney–Schneider
+//! vs Srikanth–Toueg.
+//!
+//! All four run under identical conditions (same n, f, ρ, δ, ε, same seed
+//! discipline, uniform delays), fault-free and with one silent fault. The
+//! paper's qualitative claims:
+//!
+//! * WL agreement ≈ `4ε`, adjustment ≈ `5ε`;
+//! * LM-CNV agreement ≈ `2nε`, adjustment ≈ `(2n+1)ε` — linear in `n`;
+//! * ST agreement ≈ `δ+ε`, adjustment ≈ `3(δ+ε)` — dominated by δ;
+//! * crossovers: WL wins when `ε ≪ δ`; ST competitive when `δ < 3ε`.
+//!
+//! Run: `cargo run --release -p bench --bin exp_comparison`
+
+use bench::{fs, run_summary};
+use wl_analysis::adjustment::check_adjustments;
+use wl_analysis::skew::SkewSeries;
+use wl_analysis::ExecutionView;
+use wl_analysis::report::Table;
+use wl_baselines::scenario::{
+    build_lm_cnv, build_lm_cnv_attacked, build_mahaney_schneider,
+    build_mahaney_schneider_attacked, build_srikanth_toueg, build_srikanth_toueg_attacked,
+    BuiltBaseline,
+};
+use wl_core::scenario::ScenarioBuilder;
+use wl_core::{theory, Params};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn baseline_metrics<M: Clone + std::fmt::Debug + Send + 'static>(
+    built: BuiltBaseline<M>,
+    params: &Params,
+    t_end: f64,
+) -> (f64, f64) {
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(params.t0 + 3.0 * params.p_round),
+        RealTime::from_secs(t_end * 0.95),
+        RealDur::from_secs(params.p_round / 5.0),
+    );
+    let steady = series.max_after(RealTime::from_secs(t_end / 2.0));
+    let adj = check_adjustments(&view, params, 1);
+    (steady, adj.max_abs)
+}
+
+fn main() {
+    let t_end = 60.0;
+    for (delta, eps, regime) in [(0.010, 0.001, "eps << delta (WL's regime)"),
+                                  (0.010, 0.004, "eps ~ delta/3 (crossover)")] {
+        let params = Params::auto(4, 1, 1e-6, delta, eps).unwrap();
+        let n = params.n;
+        let mut table = Table::new(&[
+            "algorithm", "faults", "steady skew", "max |ADJ|", "paper agreement", "paper adjustment",
+        ])
+        .with_title(format!(
+            "E11: section-10 comparison, n=4 f=1 delta={} eps={} — {}",
+            fs(delta),
+            fs(eps),
+            regime
+        ));
+        let paper = theory::comparison_table(n, delta, eps);
+
+        for (faults, label) in [(vec![], "none"), (vec![ProcessId(3)], "1 silent")] {
+            // Welch–Lynch.
+            let mut b = ScenarioBuilder::new(params.clone())
+                .seed(61)
+                .t_end(RealTime::from_secs(t_end));
+            for &id in &faults {
+                b = b.fault(id, wl_core::scenario::FaultKind::Silent);
+            }
+            let s = run_summary(b.build(), t_end);
+            table.row_owned(vec![
+                paper[0].name.to_string(),
+                label.to_string(),
+                fs(s.agreement.steady_skew),
+                fs(s.adjustments.max_abs),
+                fs(paper[0].agreement),
+                fs(paper[0].adjustment),
+            ]);
+
+            // LM-CNV.
+            let (skew, adj) =
+                baseline_metrics(build_lm_cnv(&params, &faults, 61, RealTime::from_secs(t_end)), &params, t_end);
+            table.row_owned(vec![
+                paper[1].name.to_string(),
+                label.to_string(),
+                fs(skew),
+                fs(adj),
+                fs(paper[1].agreement),
+                fs(paper[1].adjustment),
+            ]);
+
+            // Mahaney–Schneider (no closed-form paper numbers; shape only).
+            let (skew, adj) = baseline_metrics(
+                build_mahaney_schneider(&params, &faults, 61, RealTime::from_secs(t_end)),
+                &params,
+                t_end,
+            );
+            table.row_owned(vec![
+                "Mahaney-Schneider".to_string(),
+                label.to_string(),
+                fs(skew),
+                fs(adj),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+
+            // Srikanth–Toueg.
+            let (skew, adj) = baseline_metrics(
+                build_srikanth_toueg(&params, &faults, 61, RealTime::from_secs(t_end)),
+                &params,
+                t_end,
+            );
+            table.row_owned(vec![
+                paper[2].name.to_string(),
+                label.to_string(),
+                fs(skew),
+                fs(adj),
+                fs(paper[2].agreement),
+                fs(paper[2].adjustment),
+            ]);
+        }
+
+        // Byzantine two-faced attack: where the algorithms separate. The
+        // amplitude sits inside CNV's egocentric threshold so its average
+        // absorbs the full lie, while reduce() caps WL's exposure.
+        let amp = 1.9 * (params.beta + params.delta + params.eps);
+        let label = "1 two-faced";
+        {
+            let mut b = ScenarioBuilder::new(params.clone())
+                .seed(61)
+                .t_end(RealTime::from_secs(t_end))
+                .fault(ProcessId(0), wl_core::scenario::FaultKind::PullApart(params.beta / 2.0));
+            let s = run_summary(b.build(), t_end);
+            table.row_owned(vec![
+                paper[0].name.to_string(),
+                label.to_string(),
+                fs(s.agreement.steady_skew),
+                fs(s.adjustments.max_abs),
+                fs(paper[0].agreement),
+                fs(paper[0].adjustment),
+            ]);
+            // keep builder moved warning away
+            b = ScenarioBuilder::new(params.clone());
+            let _ = b;
+        }
+        let (skew, adj) = baseline_metrics(
+            build_lm_cnv_attacked(&params, amp, 61, RealTime::from_secs(t_end)),
+            &params,
+            t_end,
+        );
+        table.row_owned(vec![
+            paper[1].name.to_string(),
+            label.to_string(),
+            fs(skew),
+            fs(adj),
+            fs(paper[1].agreement),
+            fs(paper[1].adjustment),
+        ]);
+        let (skew, adj) = baseline_metrics(
+            build_mahaney_schneider_attacked(&params, amp, 61, RealTime::from_secs(t_end)),
+            &params,
+            t_end,
+        );
+        table.row_owned(vec![
+            "Mahaney-Schneider".to_string(),
+            label.to_string(),
+            fs(skew),
+            fs(adj),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        let (skew, adj) = baseline_metrics(
+            build_srikanth_toueg_attacked(&params, params.delta / 2.0, 61, RealTime::from_secs(t_end)),
+            &params,
+            t_end,
+        );
+        table.row_owned(vec![
+            paper[2].name.to_string(),
+            label.to_string(),
+            fs(skew),
+            fs(adj),
+            fs(paper[2].agreement),
+            fs(paper[2].adjustment),
+        ]);
+        println!("{table}");
+        let _ = table.save_csv(format!("target/exp_comparison_eps{}.csv", (eps * 1e3) as u32));
+    }
+    println!("(CSVs saved to target/exp_comparison_eps*.csv)");
+}

@@ -1,0 +1,96 @@
+//! F1/F2 — the convergence *figures*: worst-case skew as a function of
+//! time, rendered as ASCII charts and CSV series.
+//!
+//! * **F1**: maintenance algorithm from a wide initial spread, fault-free
+//!   vs Byzantine+adversarial (the curve that halves down to `4ε+4ρP`).
+//! * **F2**: startup algorithm from seconds of disagreement (the Lemma 20
+//!   geometric descent), log-scale flavour shown via the raw CSV.
+//!
+//! Run: `cargo run --release -p bench --bin exp_figures`
+
+use wl_analysis::plot::ascii_chart;
+use wl_analysis::report::Table;
+use wl_analysis::skew::SkewSeries;
+use wl_analysis::ExecutionView;
+use wl_core::scenario::{build_startup, DelayKind, FaultKind, ScenarioBuilder};
+use wl_core::{Params, StartupParams};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn maintenance_series(byz: bool) -> Vec<(f64, f64)> {
+    let (rho, delta, eps) = (1e-6, 0.010, 0.001);
+    let beta = 50.0 * eps;
+    let p_round = 2.0 * wl_core::params::min_p(rho, delta, eps, beta);
+    let params = Params::new(4, 1, rho, delta, eps, beta, p_round).unwrap();
+    let t_end = params.t0 + 14.0 * params.p_round;
+    let mut b = ScenarioBuilder::new(params.clone())
+        .seed(7)
+        .spread_frac(0.95)
+        .t_end(RealTime::from_secs(t_end));
+    if byz {
+        b = b
+            .delay(DelayKind::AdversarialSplit)
+            .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
+    }
+    let built = b.build();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(0.9),
+        RealTime::from_secs(t_end * 0.99),
+        RealDur::from_secs(params.p_round / 10.0),
+    )
+    .samples
+    .into_iter()
+    .map(|(t, s)| (t.as_secs(), s))
+    .collect()
+}
+
+fn startup_series() -> Vec<(f64, f64)> {
+    let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = build_startup(&sp, 5.0, &[ProcessId(3)], 23, RealTime::from_secs(10.0));
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(1.0),
+        RealTime::from_secs(9.9),
+        RealDur::from_secs(0.05),
+    )
+    .samples
+    .into_iter()
+    .map(|(t, s)| (t.as_secs(), s))
+    .collect()
+}
+
+fn save_series(name: &str, series: &[(f64, f64)]) {
+    let mut t = Table::new(&["t_seconds", "max_skew_seconds"]);
+    for &(x, y) in series {
+        t.row_owned(vec![format!("{x:.6}"), format!("{y:.9}")]);
+    }
+    let path = format!("target/{name}.csv");
+    let _ = t.save_csv(&path);
+    println!("(series saved to {path})");
+}
+
+fn main() {
+    println!("F1a: maintenance from wide spread, fault-free (y = max skew, s)");
+    let s = maintenance_series(false);
+    println!("{}", ascii_chart(&s, 72, 12, "t, seconds"));
+    save_series("fig_f1a_maintenance_faultfree", &s);
+
+    println!("\nF1b: maintenance, Byzantine + adversarial delays (rides s/2 + 2eps)");
+    let s = maintenance_series(true);
+    println!("{}", ascii_chart(&s, 72, 12, "t, seconds"));
+    save_series("fig_f1b_maintenance_byzantine", &s);
+
+    println!("\nF2: startup from 5s spread, one silent fault (Lemma 20 descent)");
+    let s = startup_series();
+    println!("{}", ascii_chart(&s, 72, 12, "t, seconds"));
+    save_series("fig_f2_startup", &s);
+}

@@ -1,0 +1,95 @@
+//! E2 — per-round halving of the skew (Lemma 10 / §7).
+//!
+//! Starts the fleet near the top of a deliberately *large* admissible β
+//! and tracks the maximum nonfaulty skew after every resynchronization
+//! wave. Lemma 10 predicts `β_{i+1} ≤ β_i/2 + 2ε + 2ρP (+ ρ-terms)`.
+//!
+//! Two regimes are shown:
+//! * **fault-free, uniform delays** — convergence is much *faster* than
+//!   the bound (everyone averages nearly identical arrival multisets);
+//! * **f Byzantine pull-apart + adversarial delays** — the adversary
+//!   pushes the recurrence toward its worst case; the series must still
+//!   stay under the Lemma 10 bound round by round.
+//!
+//! Run: `cargo run --release -p bench --bin exp_halving`
+
+use bench::fs;
+use wl_analysis::convergence::round_series;
+use wl_analysis::skew::max_skew_at;
+use wl_analysis::ExecutionView;
+use wl_analysis::report::Table;
+use wl_core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
+use wl_core::{theory, Params};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn main() {
+    // A wide beta (50 eps) so the first rounds have visible error to burn.
+    let (rho, delta, eps) = (1e-6, 0.010, 0.001);
+    let beta = 50.0 * eps;
+    let p_round = 2.0 * wl_core::params::min_p(rho, delta, eps, beta);
+    let params = Params::new(4, 1, rho, delta, eps, beta, p_round).expect("feasible");
+    let t_end = params.t0 + 14.0 * params.p_round;
+
+    let mut table = Table::new(&[
+        "regime", "round", "measured skew", "Lemma 10 bound from prev", "within",
+    ])
+    .with_title(format!(
+        "E2: per-round convergence; beta0 = {}, fixed point {} (4eps+4rhoP = {})",
+        fs(beta),
+        fs(theory::steady_state_beta(&params)),
+        fs(4.0 * eps + 4.0 * rho * params.p_round),
+    ));
+
+    for (regime, byz) in [("fault-free", false), ("byzantine+adv", true)] {
+        let mut builder = ScenarioBuilder::new(params.clone())
+            .seed(7)
+            .spread_frac(0.95)
+            .t_end(RealTime::from_secs(t_end));
+        if byz {
+            builder = builder
+                .delay(DelayKind::AdversarialSplit)
+                .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
+        }
+        let built = builder.build();
+        let plan = built.plan.clone();
+        let starts = built.starts.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+
+        // The initial spread, measured just after the last nonfaulty START.
+        let tmax0 = starts
+            .iter()
+            .cloned()
+            .fold(RealTime::from_secs(f64::NEG_INFINITY), RealTime::max);
+        let initial = max_skew_at(&view, tmax0);
+        table.row_owned(vec![
+            regime.to_string(),
+            "initial".to_string(),
+            fs(initial),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+
+        let series = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
+        let mut prev = Some(initial);
+        for (i, &s) in series.skews.iter().enumerate() {
+            let bound = prev.map(|p| theory::round_recurrence(&params, p));
+            table.row_owned(vec![
+                regime.to_string(),
+                i.to_string(),
+                fs(s),
+                bound.map_or_else(|| "-".into(), fs),
+                bound.map_or_else(|| "-".into(), |b| (s <= b * 1.05).to_string()),
+            ]);
+            prev = Some(s);
+        }
+        if let Some(c) = series.contraction_factor() {
+            println!("[{regime}] measured contraction factor: {c:.3} (paper worst case: 0.5)");
+        }
+    }
+    println!("{table}");
+    let _ = table.save_csv("target/exp_halving.csv");
+    println!("(CSV saved to target/exp_halving.csv)");
+}

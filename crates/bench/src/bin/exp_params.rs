@@ -1,0 +1,51 @@
+//! E5 — the §5.2 parameter feasibility region.
+//!
+//! Two views:
+//! 1. For fixed hardware `(ρ, δ, ε)`, the admissible `[P_min, P_max]`
+//!    band as β grows — the designer's trade-off.
+//! 2. For a sweep of `P`, the minimal feasible β against the paper's
+//!    first-order approximation `β ≈ 4ε + 4ρP`.
+//!
+//! Run: `cargo run --release -p bench --bin exp_params`
+
+use bench::fs;
+use wl_analysis::report::Table;
+use wl_core::params::{max_p, min_p};
+use wl_core::Params;
+
+fn main() {
+    let (rho, delta, eps) = (1e-4, 0.010, 0.001);
+
+    let mut t1 = Table::new(&["beta", "P_min", "P_max", "feasible"]).with_title(format!(
+        "E5a: admissible round-length band vs beta (rho={rho:.0e}, delta={delta}, eps={eps})"
+    ));
+    for k in [4.2, 4.5, 5.0, 6.0, 8.0, 12.0, 20.0, 50.0] {
+        let beta = k * eps;
+        let lo = min_p(rho, delta, eps, beta);
+        let hi = max_p(rho, delta, eps, beta);
+        t1.row_owned(vec![
+            fs(beta),
+            fs(lo),
+            if hi.is_finite() { fs(hi) } else { "inf".into() },
+            (lo <= hi).to_string(),
+        ]);
+    }
+    println!("{t1}");
+
+    let mut t2 = Table::new(&["P", "min beta (exact)", "4eps+4rhoP (paper)", "rel. err"])
+        .with_title("E5b: minimal beta vs P against the paper's first-order formula");
+    for p in [0.1, 0.3, 1.0, 3.0, 10.0, 30.0] {
+        let exact = Params::min_beta_for(rho, delta, eps, p).expect("rho small");
+        let approx = 4.0 * eps + 4.0 * rho * p;
+        t2.row_owned(vec![
+            format!("{p}"),
+            fs(exact),
+            fs(approx),
+            format!("{:.4}%", (exact - approx).abs() / approx * 100.0),
+        ]);
+    }
+    println!("{t2}");
+    let _ = t1.save_csv("target/exp_params_band.csv");
+    let _ = t2.save_csv("target/exp_params_beta.csv");
+    println!("(CSV saved to target/exp_params_band.csv, target/exp_params_beta.csv)");
+}

@@ -1,0 +1,74 @@
+//! E8 — reintegration of a repaired process (§9.1).
+//!
+//! A process crashes out of the fleet (it simply never participated), is
+//! repaired at an arbitrary real time — including mid-round — and runs the
+//! §9.1 procedure: orient, commit to a round, average, rejoin. The paper
+//! claims it reaches `Tⁱ⁺¹` within β of every other nonfaulty process,
+//! i.e. after rejoining it is indistinguishable from the rest.
+//!
+//! Run: `cargo run --release -p bench --bin exp_reintegration`
+
+use bench::fs;
+use wl_analysis::skew::SkewSeries;
+use wl_analysis::ExecutionView;
+use wl_analysis::report::Table;
+use wl_core::scenario::ScenarioBuilder;
+use wl_core::{theory, Params};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn main() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let t_end = 40.0;
+    let mut table = Table::new(&[
+        "repair at", "skew before (3 procs)", "skew after incl. rejoined", "gamma", "rejoined ok",
+    ])
+    .with_title("E8: reintegration; rejoiner repaired at varying phases of the round");
+
+    // Repair at different phases of the round cycle, including mid-round.
+    for frac in [0.0, 0.25, 0.5, 0.75] {
+        let repair = 10.0 + frac * params.p_round;
+        let built = ScenarioBuilder::new(params.clone())
+            .seed(19)
+            .rejoiner(ProcessId(3), RealTime::from_secs(repair))
+            .t_end(RealTime::from_secs(t_end))
+            .build();
+        let plan = built.plan.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+
+        // Before: skew among the 3 never-faulty processes.
+        let view3 = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+        let before = SkewSeries::sample_with_events(
+            &view3,
+            RealTime::from_secs(params.t0 + 2.0 * params.p_round),
+            RealTime::from_secs(repair),
+            RealDur::from_secs(params.p_round / 5.0),
+        )
+        .max();
+
+        // After: include the rejoined process; give it a generous window
+        // (orientation + collection + one full round) to complete.
+        let join_grace = repair + 4.0 * params.p_round;
+        let view4 = ExecutionView::new(sim.clocks(), &outcome.corr, vec![false; 4]);
+        let after = SkewSeries::sample_with_events(
+            &view4,
+            RealTime::from_secs(join_grace),
+            RealTime::from_secs(t_end * 0.98),
+            RealDur::from_secs(params.p_round / 5.0),
+        )
+        .max();
+
+        let gamma = theory::gamma(&params);
+        table.row_owned(vec![
+            format!("{repair:.3}s (phase {frac})"),
+            fs(before),
+            fs(after),
+            fs(gamma),
+            (after <= gamma).to_string(),
+        ]);
+    }
+    println!("{table}");
+    let _ = table.save_csv("target/exp_reintegration.csv");
+    println!("(CSV saved to target/exp_reintegration.csv)");
+}

@@ -1,0 +1,86 @@
+//! E4 — validity envelope (Theorem 19).
+//!
+//! Runs long executions and checks that every nonfaulty local time stays
+//! inside `α₁(t − tmax⁰) − α₃ ≤ L_p(t) − T⁰ ≤ α₂(t − tmin⁰) + α₃`, and
+//! that the empirical rate of local time against real time is ≈ 1
+//! (synchronized time does not run measurably faster or slower than the
+//! hardware clocks).
+//!
+//! Run: `cargo run --release -p bench --bin exp_validity`
+
+use bench::default_params;
+use wl_analysis::report::Table;
+use wl_analysis::validity::check_validity;
+use wl_analysis::ExecutionView;
+use wl_core::scenario::{FaultKind, ScenarioBuilder};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn main() {
+    let t_end = 120.0;
+    let mut table = Table::new(&[
+        "scenario", "alpha1", "alpha2", "alpha3", "lower slack", "upper slack", "emp. rate",
+        "holds",
+    ])
+    .with_title("E4: validity envelope (Theorem 19), 120s horizon");
+
+    for (name, fault) in [
+        ("fault-free", None),
+        ("1 pull-apart", Some(FaultKind::PullApart(0.0))),
+    ] {
+        let params = default_params(4, 1);
+        let mut b = ScenarioBuilder::new(params.clone())
+            .seed(33)
+            .t_end(RealTime::from_secs(t_end));
+        if let Some(k) = fault {
+            let k = match k {
+                FaultKind::PullApart(_) => FaultKind::PullApart(params.beta / 2.0),
+                other => other,
+            };
+            b = b.fault(ProcessId(0), k);
+        }
+        let built = b.build();
+        let plan = built.plan.clone();
+        let starts = built.starts.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+        let nonfaulty_starts: Vec<RealTime> = starts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !view.faulty[i])
+            .map(|(_, &t)| t)
+            .collect();
+        let tmin0 = nonfaulty_starts
+            .iter()
+            .cloned()
+            .fold(RealTime::from_secs(f64::INFINITY), RealTime::min);
+        let tmax0 = nonfaulty_starts
+            .iter()
+            .cloned()
+            .fold(RealTime::from_secs(f64::NEG_INFINITY), RealTime::max);
+        let r = check_validity(
+            &view,
+            &params,
+            tmin0,
+            tmax0,
+            tmax0,
+            RealTime::from_secs(t_end * 0.98),
+            RealDur::from_secs(1.0),
+        );
+        let (a1, a2, a3) = r.alphas;
+        table.row_owned(vec![
+            name.to_string(),
+            format!("{a1:.9}"),
+            format!("{a2:.9}"),
+            format!("{a3:.6}"),
+            format!("{:+.6e}", r.lower_slack),
+            format!("{:+.6e}", r.upper_slack),
+            format!("{:.9}", r.empirical_rate),
+            r.holds.to_string(),
+        ]);
+    }
+    println!("{table}");
+    let _ = table.save_csv("target/exp_validity.csv");
+    println!("(CSV saved to target/exp_validity.csv)");
+}

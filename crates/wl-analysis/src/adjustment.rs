@@ -1,0 +1,119 @@
+//! Checking Theorem 4(a)'s bound on every adjustment.
+
+use crate::ExecutionView;
+use wl_clock::Clock;
+use wl_core::{theory, Params};
+
+/// Statistics over the adjustments of nonfaulty processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjustmentReport {
+    /// Largest `|ADJ|` observed across all nonfaulty processes and rounds.
+    pub max_abs: f64,
+    /// Mean `|ADJ|`.
+    pub mean_abs: f64,
+    /// Total number of adjustments observed.
+    pub count: usize,
+    /// The theoretical bound `(1+ρ)(β+ε) + ρδ` (Theorem 4a).
+    pub bound: f64,
+    /// Whether every adjustment respected the bound.
+    pub holds: bool,
+}
+
+/// Collects every recorded adjustment of every nonfaulty process and
+/// compares against Theorem 4(a).
+///
+/// `skip_first` discards each process' first `skip_first` adjustments —
+/// useful when the execution starts from a spread wider than β (e.g. the
+/// convergence experiments) where early adjustments legitimately exceed
+/// the steady-state bound.
+#[must_use]
+pub fn check_adjustments<C: Clock>(
+    view: &ExecutionView<'_, C>,
+    params: &Params,
+    skip_first: usize,
+) -> AdjustmentReport {
+    let bound = theory::adjustment_bound(params);
+    let mut max_abs: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for p in view.nonfaulty() {
+        for (i, adj) in view.corr[p].adjustments().into_iter().enumerate() {
+            if i < skip_first {
+                continue;
+            }
+            let a = adj.abs();
+            max_abs = max_abs.max(a);
+            sum += a;
+            count += 1;
+        }
+    }
+    AdjustmentReport {
+        max_abs,
+        mean_abs: if count > 0 { sum / count as f64 } else { 0.0 },
+        count,
+        bound,
+        holds: max_abs <= bound + 1e-12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fixed_skew_pair;
+    use crate::ExecutionView;
+    use wl_time::RealTime;
+
+    fn params() -> Params {
+        Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+    }
+
+    #[test]
+    fn small_adjustments_pass() {
+        let p = params();
+        let (clocks, mut corr) = fixed_skew_pair(0.0);
+        corr[0].record(RealTime::from_secs(1.0), p.eps / 2.0);
+        corr[0].record(RealTime::from_secs(2.0), p.eps / 4.0);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        let r = check_adjustments(&view, &p, 0);
+        assert!(r.holds, "{r:?}");
+        assert_eq!(r.count, 2);
+        assert!((r.max_abs - p.eps / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn oversized_adjustment_fails() {
+        let p = params();
+        let (clocks, mut corr) = fixed_skew_pair(0.0);
+        corr[0].record(RealTime::from_secs(1.0), 10.0 * r_bound(&p));
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        let r = check_adjustments(&view, &p, 0);
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn skip_first_ignores_warmup() {
+        let p = params();
+        let (clocks, mut corr) = fixed_skew_pair(0.0);
+        corr[0].record(RealTime::from_secs(1.0), 10.0 * r_bound(&p)); // warm-up jump
+        corr[0].record(RealTime::from_secs(2.0), 10.0 * r_bound(&p) + p.eps / 10.0);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        let r = check_adjustments(&view, &p, 1);
+        assert!(r.holds, "{r:?}");
+        assert_eq!(r.count, 1);
+    }
+
+    #[test]
+    fn faulty_process_adjustments_ignored() {
+        let p = params();
+        let (clocks, mut corr) = fixed_skew_pair(0.0);
+        corr[1].record(RealTime::from_secs(1.0), 1e9);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, true]);
+        let r = check_adjustments(&view, &p, 0);
+        assert!(r.holds);
+        assert_eq!(r.count, 0);
+    }
+
+    fn r_bound(p: &Params) -> f64 {
+        theory::adjustment_bound(p)
+    }
+}

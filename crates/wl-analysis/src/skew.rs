@@ -1,0 +1,202 @@
+//! Pairwise skew of nonfaulty local times.
+
+use crate::ExecutionView;
+use wl_clock::Clock;
+use wl_time::{RealDur, RealTime};
+
+/// The maximum pairwise difference `|L_p(t) − L_q(t)|` over nonfaulty
+/// `p, q` at one instant.
+///
+/// Returns 0 when fewer than two nonfaulty processes exist.
+#[must_use]
+pub fn max_skew_at<C: Clock>(view: &ExecutionView<'_, C>, t: RealTime) -> f64 {
+    let ids = view.nonfaulty();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &p in &ids {
+        let l = view.local_time(p, t);
+        lo = lo.min(l);
+        hi = hi.max(l);
+    }
+    if ids.len() < 2 {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// A time series of skew samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewSeries {
+    /// `(t, max pairwise skew at t)` samples in time order.
+    pub samples: Vec<(RealTime, f64)>,
+}
+
+impl SkewSeries {
+    /// Samples the skew on a uniform grid over `[from, to]` (inclusive of
+    /// both endpoints).
+    ///
+    /// Because local time is piecewise linear between events, a dense grid
+    /// plus sampling at every correction-change instant (see
+    /// [`SkewSeries::sample_with_events`]) bounds the true maximum tightly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive or `from > to`.
+    #[must_use]
+    pub fn sample<C: Clock>(
+        view: &ExecutionView<'_, C>,
+        from: RealTime,
+        to: RealTime,
+        step: RealDur,
+    ) -> Self {
+        assert!(step.as_secs() > 0.0, "step must be positive");
+        assert!(from <= to, "empty sampling interval");
+        let mut samples = Vec::new();
+        let mut t = from;
+        while t < to {
+            samples.push((t, max_skew_at(view, t)));
+            t += step;
+        }
+        samples.push((to, max_skew_at(view, to)));
+        Self { samples }
+    }
+
+    /// Samples on a grid *and* immediately before/after every correction
+    /// change in `[from, to]` — the skew is extremal at those instants.
+    #[must_use]
+    pub fn sample_with_events<C: Clock>(
+        view: &ExecutionView<'_, C>,
+        from: RealTime,
+        to: RealTime,
+        step: RealDur,
+    ) -> Self {
+        let mut s = Self::sample(view, from, to, step);
+        let eps = RealDur::from_secs(1e-9);
+        for p in 0..view.n() {
+            if view.faulty[p] {
+                continue;
+            }
+            for t in view.corr[p].change_times() {
+                if t >= from && t <= to {
+                    s.samples.push((t - eps, max_skew_at(view, t - eps)));
+                    s.samples.push((t, max_skew_at(view, t)));
+                }
+            }
+        }
+        s.samples
+            .sort_by(|a, b| a.0.total_cmp(&b.0));
+        s
+    }
+
+    /// The maximum sampled skew.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|&(_, s)| s).fold(0.0, f64::max)
+    }
+
+    /// The last sampled skew (steady-state estimate).
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, s)| s)
+    }
+
+    /// The maximum skew over samples with `t ≥ after` (steady-state window).
+    #[must_use]
+    pub fn max_after(&self, after: RealTime) -> f64 {
+        self.samples
+            .iter()
+            .filter(|&&(t, _)| t >= after)
+            .map(|&(_, s)| s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Skew values at the given instants (e.g. round boundaries).
+    #[must_use]
+    pub fn at_times<C: Clock>(view: &ExecutionView<'_, C>, times: &[RealTime]) -> Vec<f64> {
+        times.iter().map(|&t| max_skew_at(view, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fixed_skew_pair;
+    use crate::ExecutionView;
+
+    #[test]
+    fn constant_offset_pair_has_constant_skew() {
+        let (clocks, corr) = fixed_skew_pair(0.25);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        assert!((max_skew_at(&view, RealTime::from_secs(0.0)) - 0.25).abs() < 1e-12);
+        assert!((max_skew_at(&view, RealTime::from_secs(9.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulty_processes_excluded() {
+        let (clocks, corr) = fixed_skew_pair(100.0);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, true]);
+        assert_eq!(max_skew_at(&view, RealTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn series_max_and_last() {
+        let (clocks, mut corr) = fixed_skew_pair(0.1);
+        // Process 1 corrects its 0.1 offset away at t = 5.
+        corr[1].record(RealTime::from_secs(5.0), -0.1);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        let series = SkewSeries::sample(
+            &view,
+            RealTime::ZERO,
+            RealTime::from_secs(10.0),
+            RealDur::from_secs(1.0),
+        );
+        assert!((series.max() - 0.1).abs() < 1e-12);
+        assert!(series.last().unwrap().abs() < 1e-12);
+        assert!(series.max_after(RealTime::from_secs(5.0)) < 1e-12);
+    }
+
+    #[test]
+    fn sample_with_events_catches_pre_correction_peak() {
+        let (clocks, mut corr) = fixed_skew_pair(0.0);
+        // Process 1 drifts via corrections: jumps +1 at t=2.5, fixed at 2.6.
+        corr[1].record(RealTime::from_secs(2.5), 1.0);
+        corr[1].record(RealTime::from_secs(2.6), 0.0);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        // Coarse grid alone (step 1s at 0,1,2,3,...) misses the spike.
+        let coarse = SkewSeries::sample(
+            &view,
+            RealTime::ZERO,
+            RealTime::from_secs(5.0),
+            RealDur::from_secs(1.0),
+        );
+        assert!(coarse.max() < 0.5);
+        let with_events = SkewSeries::sample_with_events(
+            &view,
+            RealTime::ZERO,
+            RealTime::from_secs(5.0),
+            RealDur::from_secs(1.0),
+        );
+        assert!((with_events.max() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_times_evaluates_pointwise() {
+        let (clocks, corr) = fixed_skew_pair(0.3);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        let v = SkewSeries::at_times(
+            &view,
+            &[RealTime::from_secs(1.0), RealTime::from_secs(2.0)],
+        );
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_rejected() {
+        let (clocks, corr) = fixed_skew_pair(0.0);
+        let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
+        let _ = SkewSeries::sample(&view, RealTime::ZERO, RealTime::from_secs(1.0), RealDur::ZERO);
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline clock-synchronization algorithms from the paper's §10
+//! comparison, implemented on the same execution model as Welch–Lynch.
+//!
+//! | Algorithm | §10 agreement | §10 adjustment | Module |
+//! |-----------|---------------|----------------|--------|
+//! | Lamport/Melliar-Smith interactive convergence | ≈ `2nε` | ≈ `(2n+1)ε` | [`lm_cnv`] |
+//! | Mahaney–Schneider inexact agreement | (per-round analysis) | — | [`mahaney_schneider`] |
+//! | Srikanth–Toueg optimal sync | ≈ `δ+ε` | ≈ `3(δ+ε)` | [`srikanth_toueg`] |
+//!
+//! All three run in rounds on the same fully connected, bounded-delay
+//! network and tolerate Byzantine faults with `n > 3f` (ST also has an
+//! authenticated `n > 2f` mode that we do not implement — no signatures in
+//! this model). Like the paper's own comparison, the point is *shape*:
+//! who wins on agreement and adjustment size, and how the numbers scale
+//! with `n`, `δ`, and `ε`.
+//!
+//! The estimates of clock differences are arrival-time based, exactly as
+//! in the main algorithm: a message broadcast by `q` at `q`'s local time
+//! `T` and received at my local time `A` witnesses that `q`'s clock leads
+//! mine by about `T + δ − A`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod lm_cnv;
+pub mod mahaney_schneider;
+pub mod scenario;
+pub mod srikanth_toueg;

@@ -1,0 +1,342 @@
+//! Scenario assembly for the baseline algorithms, mirroring
+//! `wl_core::scenario` so that experiment E11 runs all algorithms under
+//! identical conditions (same seeds, same clocks, same delays).
+
+use crate::lm_cnv::{CnvMsg, LmCnv};
+use crate::mahaney_schneider::{MahaneySchneider, MsMsg};
+use crate::srikanth_toueg::{SrikanthToueg, StMsg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wl_clock::drift::DriftModel;
+use wl_clock::Clock;
+use wl_core::Params;
+use wl_sim::delay::{DelayModel, UniformDelay};
+use wl_sim::faults::{FaultPlan, SilentFor};
+use wl_sim::{Automaton, ProcessId, SimConfig, Simulation};
+use wl_time::{ClockTime, RealTime};
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Lamport/Melliar-Smith interactive convergence.
+    LmCnv,
+    /// Mahaney–Schneider inexact agreement.
+    MahaneySchneider,
+    /// Srikanth–Toueg optimal synchronization.
+    SrikanthToueg,
+}
+
+impl Baseline {
+    /// Human-readable name matching the §10 table.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::LmCnv => "LM-CNV",
+            Baseline::MahaneySchneider => "Mahaney-Schneider",
+            Baseline::SrikanthToueg => "Srikanth-Toueg",
+        }
+    }
+}
+
+/// A built baseline scenario, generic over the protocol message type.
+pub struct BuiltBaseline<M> {
+    /// The simulation, ready to run.
+    pub sim: Simulation<M>,
+    /// Designated-faulty processes.
+    pub plan: FaultPlan,
+    /// Real start times (`t⁰_p`).
+    pub starts: Vec<RealTime>,
+}
+
+fn common_setup(
+    params: &Params,
+    seed: u64,
+) -> (Vec<wl_clock::drift::FleetClock>, Vec<RealTime>, StdRng) {
+    let n = params.n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = params.beta * 0.8;
+    let offsets: Vec<ClockTime> = (0..n)
+        .map(|_| ClockTime::from_secs(rng.gen_range(-window / 2.0..=window / 2.0)))
+        .collect();
+    let drift = if params.rho > 0.0 {
+        DriftModel::Split { rho: params.rho }
+    } else {
+        DriftModel::Ideal
+    };
+    let clocks = drift.build(n, &offsets, rng.gen());
+    let starts: Vec<RealTime> = clocks.iter().map(|c| c.time_of(params.t0_clock())).collect();
+    (clocks, starts, rng)
+}
+
+fn build_generic<M, F>(
+    params: &Params,
+    silent: &[ProcessId],
+    seed: u64,
+    t_end: RealTime,
+    make: F,
+) -> BuiltBaseline<M>
+where
+    M: Clone + std::fmt::Debug + Send + 'static,
+    F: Fn(ProcessId) -> Box<dyn Automaton<Msg = M>>,
+    SilentFor<M>: Automaton<Msg = M>,
+{
+    let (clocks, starts, _rng) = common_setup(params, seed);
+    let plan = FaultPlan::with_faulty(params.n, silent);
+    let procs: Vec<Box<dyn Automaton<Msg = M>>> = (0..params.n)
+        .map(|i| {
+            let id = ProcessId(i);
+            if plan.is_faulty(id) {
+                Box::new(SilentFor::<M>::default()) as Box<dyn Automaton<Msg = M>>
+            } else {
+                make(id)
+            }
+        })
+        .collect();
+    let delay: Box<dyn DelayModel> = Box::new(UniformDelay::new(params.delay_bounds()));
+    let sim = Simulation::new(
+        clocks,
+        procs,
+        delay,
+        starts.clone(),
+        SimConfig {
+            t_end,
+            seed: seed.wrapping_add(0xBA5E),
+            delay_bounds: params.delay_bounds(),
+            trace_capacity: 0,
+            max_events: 0,
+        },
+    );
+    BuiltBaseline { sim, plan, starts }
+}
+
+/// Builds an LM-CNV scenario under the same conditions as the WL ones.
+#[must_use]
+pub fn build_lm_cnv(
+    params: &Params,
+    silent: &[ProcessId],
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltBaseline<CnvMsg> {
+    build_generic(params, silent, seed, t_end, |id| {
+        Box::new(LmCnv::new(id, params.clone(), 0.0))
+    })
+}
+
+/// Builds a Mahaney–Schneider scenario.
+#[must_use]
+pub fn build_mahaney_schneider(
+    params: &Params,
+    silent: &[ProcessId],
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltBaseline<MsMsg> {
+    build_generic(params, silent, seed, t_end, |id| {
+        Box::new(MahaneySchneider::new(id, params.clone(), 0.0))
+    })
+}
+
+/// Builds an LM-CNV scenario with process 0 running the two-faced timing
+/// attack at the given amplitude.
+#[must_use]
+pub fn build_lm_cnv_attacked(
+    params: &Params,
+    amplitude: f64,
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltBaseline<CnvMsg> {
+    let n = params.n;
+    let early_below = 1 + (n - 1).div_ceil(2);
+    let built = build_generic(params, &[], seed, t_end, |id| {
+        if id.index() == 0 {
+            Box::new(crate::byzantine::ValueTwoFaced::new(
+                params.clone(),
+                amplitude,
+                early_below,
+                |claim| CnvMsg(ClockTime::from_secs(claim)),
+            ))
+        } else {
+            Box::new(LmCnv::new(id, params.clone(), 0.0))
+        }
+    });
+    BuiltBaseline {
+        plan: FaultPlan::with_faulty(n, &[ProcessId(0)]),
+        ..built
+    }
+}
+
+/// Builds a Mahaney–Schneider scenario with process 0 running the
+/// two-faced timing attack.
+#[must_use]
+pub fn build_mahaney_schneider_attacked(
+    params: &Params,
+    amplitude: f64,
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltBaseline<MsMsg> {
+    let n = params.n;
+    let early_below = 1 + (n - 1).div_ceil(2);
+    let built = build_generic(params, &[], seed, t_end, |id| {
+        if id.index() == 0 {
+            Box::new(crate::byzantine::ValueTwoFaced::new(
+                params.clone(),
+                amplitude,
+                early_below,
+                |claim| MsMsg(ClockTime::from_secs(claim)),
+            ))
+        } else {
+            Box::new(MahaneySchneider::new(id, params.clone(), 0.0))
+        }
+    });
+    BuiltBaseline {
+        plan: FaultPlan::with_faulty(n, &[ProcessId(0)]),
+        ..built
+    }
+}
+
+/// Builds a Srikanth–Toueg scenario with process 0 sending its SYNCs
+/// `amplitude` early to half the fleet and late to the other half.
+#[must_use]
+pub fn build_srikanth_toueg_attacked(
+    params: &Params,
+    amplitude: f64,
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltBaseline<StMsg> {
+    let n = params.n;
+    let early_below = 1 + (n - 1).div_ceil(2);
+    let built = build_generic(params, &[], seed, t_end, |id| {
+        if id.index() == 0 {
+            Box::new(crate::byzantine::TimedTwoFaced::new(
+                params.clone(),
+                amplitude,
+                early_below,
+                |round, _| StMsg { round: round as u32, echo: false },
+            ))
+        } else {
+            Box::new(SrikanthToueg::new(id, params.clone(), 0.0))
+        }
+    });
+    BuiltBaseline {
+        plan: FaultPlan::with_faulty(n, &[ProcessId(0)]),
+        ..built
+    }
+}
+
+/// Builds a Srikanth–Toueg scenario.
+#[must_use]
+pub fn build_srikanth_toueg(
+    params: &Params,
+    silent: &[ProcessId],
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltBaseline<StMsg> {
+    build_generic(params, silent, seed, t_end, |id| {
+        Box::new(SrikanthToueg::new(id, params.clone(), 0.0))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_analysis::skew::SkewSeries;
+    use wl_analysis::ExecutionView;
+    use wl_time::RealDur;
+
+    fn params() -> Params {
+        Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+    }
+
+    fn steady_skew<M: Clone + std::fmt::Debug + Send + 'static>(
+        built: BuiltBaseline<M>,
+        params: &Params,
+        t_end: f64,
+    ) -> f64 {
+        let plan = built.plan.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+        let series = SkewSeries::sample_with_events(
+            &view,
+            RealTime::from_secs(params.t0 + 3.0 * params.p_round),
+            RealTime::from_secs(t_end * 0.95),
+            RealDur::from_secs(params.p_round / 5.0),
+        );
+        series.max_after(RealTime::from_secs(t_end / 2.0))
+    }
+
+    #[test]
+    fn cnv_converges_fault_free() {
+        let p = params();
+        let skew = steady_skew(build_lm_cnv(&p, &[], 3, RealTime::from_secs(30.0)), &p, 30.0);
+        // CNV should keep clocks within ~2n*eps = 8ms here.
+        assert!(skew < 2.0 * 4.0 * p.eps, "CNV steady skew {skew}");
+        assert!(skew > 0.0);
+    }
+
+    #[test]
+    fn ms_converges_fault_free() {
+        let p = params();
+        let skew = steady_skew(
+            build_mahaney_schneider(&p, &[], 3, RealTime::from_secs(30.0)),
+            &p,
+            30.0,
+        );
+        assert!(skew < 2.0 * 4.0 * p.eps, "MS steady skew {skew}");
+    }
+
+    #[test]
+    fn st_converges_fault_free() {
+        let p = params();
+        let built = build_srikanth_toueg(&p, &[], 3, RealTime::from_secs(30.0));
+        let plan = built.plan.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        // The protocol must actually resynchronize round after round, not
+        // just coast on the initial offsets.
+        for q in 0..p.n {
+            assert!(
+                outcome.corr[q].adjustments().len() > 100,
+                "p{q} only adjusted {} times",
+                outcome.corr[q].adjustments().len()
+            );
+        }
+        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+        let series = SkewSeries::sample_with_events(
+            &view,
+            RealTime::from_secs(p.t0 + 3.0 * p.p_round),
+            RealTime::from_secs(28.0),
+            RealDur::from_secs(p.p_round / 5.0),
+        );
+        let skew = series.max_after(RealTime::from_secs(15.0));
+        // ST agreement ~ delta + eps = 11ms.
+        assert!(skew < 2.0 * (p.delta + p.eps), "ST steady skew {skew}");
+        assert!(skew > 0.0);
+    }
+
+    #[test]
+    fn baselines_tolerate_one_silent_fault() {
+        let p = params();
+        let silent = [ProcessId(3)];
+        let s1 = steady_skew(build_lm_cnv(&p, &silent, 4, RealTime::from_secs(30.0)), &p, 30.0);
+        let s2 = steady_skew(
+            build_mahaney_schneider(&p, &silent, 4, RealTime::from_secs(30.0)),
+            &p,
+            30.0,
+        );
+        let s3 = steady_skew(
+            build_srikanth_toueg(&p, &silent, 4, RealTime::from_secs(30.0)),
+            &p,
+            30.0,
+        );
+        assert!(s1 < 2.0 * 4.0 * p.eps, "CNV with fault {s1}");
+        assert!(s2 < 2.0 * 4.0 * p.eps, "MS with fault {s2}");
+        assert!(s3 < 2.0 * (p.delta + p.eps), "ST with fault {s3}");
+    }
+
+    #[test]
+    fn baseline_names() {
+        assert_eq!(Baseline::LmCnv.name(), "LM-CNV");
+        assert_eq!(Baseline::MahaneySchneider.name(), "Mahaney-Schneider");
+        assert_eq!(Baseline::SrikanthToueg.name(), "Srikanth-Toueg");
+    }
+}

@@ -1,0 +1,159 @@
+//! Validators for the clock assumptions the analysis rests on.
+//!
+//! Lemmas 1–3 of the paper are quantitative consequences of ρ-boundedness;
+//! the functions here let the test suite check those consequences on any
+//! [`Clock`] implementation by dense sampling.
+
+use crate::Clock;
+use wl_time::{RealDur, RealTime};
+
+/// Checks that `clock` is ρ-bounded on `[from, to]` by sampling the average
+/// rate over windows of length `step`.
+///
+/// Returns the first violating window, or `None` if all windows satisfy
+/// `1/(1+ρ) − tol ≤ ΔC/Δt ≤ 1+ρ + tol` with a tiny numerical tolerance.
+#[must_use]
+pub fn find_rho_violation<C: Clock + ?Sized>(
+    clock: &C,
+    rho: f64,
+    from: RealTime,
+    to: RealTime,
+    step: f64,
+) -> Option<(RealTime, f64)> {
+    assert!(step > 0.0, "sampling step must be positive");
+    let lo = 1.0 / (1.0 + rho);
+    let hi = 1.0 + rho;
+    let tol = 1e-9;
+    let mut t = from;
+    while t < to {
+        let t2 = (t + RealDur::from_secs(step)).min(to);
+        let dt = (t2 - t).as_secs();
+        if dt <= 0.0 {
+            break;
+        }
+        let dc = (clock.read(t2) - clock.read(t)).as_secs();
+        let rate = dc / dt;
+        if rate < lo - tol || rate > hi + tol {
+            return Some((t, rate));
+        }
+        t = t2;
+    }
+    None
+}
+
+/// Asserts ρ-boundedness on `[from, to]`; panics with a descriptive message
+/// on violation. Intended for tests.
+///
+/// # Panics
+///
+/// Panics if a sampling window violates the ρ bound.
+pub fn assert_rho_bounded<C: Clock + ?Sized>(
+    clock: &C,
+    rho: f64,
+    from: RealTime,
+    to: RealTime,
+    step: f64,
+) {
+    if let Some((t, rate)) = find_rho_violation(clock, rho, from, to, step) {
+        panic!(
+            "clock violates rho-bound at t={t}: observed rate {rate}, \
+             admissible [{}, {}]",
+            1.0 / (1.0 + rho),
+            1.0 + rho
+        );
+    }
+}
+
+/// Checks Lemma 1 numerically: for `t1 ≤ t2`,
+/// `(t2−t1)/(1+ρ) ≤ C(t2)−C(t1) ≤ (1+ρ)(t2−t1)`.
+#[must_use]
+pub fn lemma1_holds<C: Clock + ?Sized>(clock: &C, rho: f64, t1: RealTime, t2: RealTime) -> bool {
+    let dt = (t2 - t1).as_secs();
+    if dt < 0.0 {
+        return lemma1_holds(clock, rho, t2, t1);
+    }
+    let dc = (clock.read(t2) - clock.read(t1)).as_secs();
+    let slack = 1e-9 * (1.0 + dt.abs());
+    dc >= dt / (1.0 + rho) - slack && dc <= dt * (1.0 + rho) + slack
+}
+
+/// Checks Lemma 2(a) numerically:
+/// `|(C(t2)−t2) − (C(t1)−t1)| ≤ ρ·|t2−t1|`.
+///
+/// Note: this form of the lemma holds for ρ-bounded clocks whose rate lies
+/// in `[1−ρ, 1+ρ]` (the paper uses the closeness of `1/(1+ρ)` and `1−ρ`);
+/// we check against the slightly relaxed bound `ρ/(1−ρ)·|t2−t1|` that is
+/// exact for rates in `[1/(1+ρ), 1+ρ]`.
+#[must_use]
+pub fn lemma2a_holds<C: Clock + ?Sized>(clock: &C, rho: f64, t1: RealTime, t2: RealTime) -> bool {
+    let dt = (t2 - t1).as_secs().abs();
+    let lhs = ((clock.read(t2) - t2.as_clock()) - (clock.read(t1) - t1.as_clock()))
+        .as_secs()
+        .abs();
+    let bound = dt * rho / (1.0 - rho).max(f64::MIN_POSITIVE);
+    lhs <= bound + 1e-9 * (1.0 + dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearClock, PiecewiseLinearClock};
+    use wl_time::ClockTime;
+
+    #[test]
+    fn ideal_clock_passes_all_checks() {
+        let c = LinearClock::ideal();
+        assert!(find_rho_violation(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(10.0), 0.1)
+            .is_none());
+        assert!(lemma1_holds(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(5.0)));
+        assert!(lemma2a_holds(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(5.0)));
+    }
+
+    #[test]
+    fn out_of_bound_clock_detected() {
+        let c = LinearClock::new(1.1, ClockTime::ZERO);
+        let v = find_rho_violation(&c, 1e-3, RealTime::ZERO, RealTime::from_secs(1.0), 0.1);
+        assert!(v.is_some());
+        assert!((v.unwrap().1 - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates rho-bound")]
+    fn assert_panics_on_violation() {
+        let c = LinearClock::new(0.5, ClockTime::ZERO);
+        assert_rho_bounded(&c, 1e-4, RealTime::ZERO, RealTime::from_secs(1.0), 0.1);
+    }
+
+    #[test]
+    fn piecewise_clock_within_bound_passes() {
+        let rho = 1e-3;
+        let (lo, hi) = crate::rate_bounds(rho);
+        let c = PiecewiseLinearClock::from_rates(
+            RealTime::ZERO,
+            ClockTime::ZERO,
+            &[(wl_time::RealDur::from_secs(5.0), hi), (wl_time::RealDur::from_secs(5.0), lo)],
+            1.0,
+        );
+        assert_rho_bounded(&c, rho, RealTime::ZERO, RealTime::from_secs(20.0), 0.25);
+    }
+
+    #[test]
+    fn lemma1_fails_for_wild_clock() {
+        let c = LinearClock::new(2.0, ClockTime::ZERO);
+        assert!(!lemma1_holds(&c, 1e-3, RealTime::ZERO, RealTime::from_secs(1.0)));
+    }
+
+    #[test]
+    fn lemma1_symmetric_in_argument_order() {
+        let c = LinearClock::new(1.0005, ClockTime::ZERO);
+        let a = RealTime::from_secs(3.0);
+        let b = RealTime::from_secs(1.0);
+        assert_eq!(lemma1_holds(&c, 1e-3, a, b), lemma1_holds(&c, 1e-3, b, a));
+    }
+
+    #[test]
+    fn lemma2a_detects_violation() {
+        let c = LinearClock::new(1.5, ClockTime::ZERO);
+        assert!(!lemma2a_holds(&c, 1e-3, RealTime::ZERO, RealTime::from_secs(10.0)));
+    }
+}

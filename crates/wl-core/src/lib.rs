@@ -1,0 +1,63 @@
+//! The Welch–Lynch fault-tolerant clock synchronization algorithm.
+//!
+//! This crate is the paper's primary contribution, implemented on top of
+//! the execution model in `wl-sim`:
+//!
+//! * [`Params`] — the global constants `n, f, ρ, β, δ, ε, P, T⁰` with the
+//!   §5.2 feasibility constraints between `P` and `β` enforced at
+//!   construction.
+//! * [`theory`] — closed-form statements of every quantitative claim in
+//!   the paper (the agreement bound `γ` of Theorem 16, the validity rates
+//!   of Theorem 19, the adjustment bound of Theorem 4(a), the per-round
+//!   halving recurrences, the startup recurrence of Lemma 20, …). The
+//!   experiment harness compares measurements against these.
+//! * [`Maintenance`] — the §4.2 algorithm: broadcast `Tⁱ` when your `i`-th
+//!   logical clock reads `Tⁱ`, collect arrival times for
+//!   `(1+ρ)(β+δ+ε)`, apply `mid(reduce(·))`, adjust, repeat. Includes the
+//!   §9.3 staggered-broadcast variant, the §7 multi-exchange variant, and
+//!   the §7 mean-averaging variant, all behind [`Params`] knobs.
+//! * [`Startup`] — the §9.2 algorithm establishing synchronization from
+//!   arbitrary initial clocks using READY messages.
+//! * [`Rejoiner`] — the §9.1 reintegration procedure for a repaired
+//!   process.
+//! * [`byzantine`] — protocol-aware Byzantine strategies used by the
+//!   experiments.
+//! * [`scenario`] — builders that assemble clocks, automata, delay models,
+//!   and fault plans into a ready-to-run [`wl_sim::Simulation`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wl_core::{Params, scenario::ScenarioBuilder};
+//! use wl_time::RealTime;
+//!
+//! // n = 4 processes tolerating f = 1 Byzantine fault.
+//! let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+//! let mut built = ScenarioBuilder::new(params.clone())
+//!     .seed(42)
+//!     .t_end(RealTime::from_secs(30.0))
+//!     .build();
+//! let outcome = built.sim.run();
+//! // Every nonfaulty pair of local times stays within gamma (Theorem 16).
+//! assert!(outcome.stats.events_delivered > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+mod maintenance;
+mod msg;
+pub mod params;
+mod reintegration;
+pub mod scenario;
+mod startup;
+pub mod theory;
+
+pub use maintenance::{Maintenance, Phase};
+pub use msg::WlMsg;
+pub use params::{ParamError, Params, StartupParams};
+pub use reintegration::Rejoiner;
+pub use startup::Startup;
+
+pub use wl_multiset::AveragingFn;

@@ -1,0 +1,425 @@
+//! Scenario builders: assemble clocks, automata, delay models, and fault
+//! plans into ready-to-run simulations.
+//!
+//! A *scenario* realizes the paper's assumptions concretely:
+//!
+//! * physical clocks from a [`DriftModel`] (A1), with initial offsets
+//!   chosen so the initial logical clocks of nonfaulty processes are within
+//!   β (A4) — or deliberately *not*, for the startup experiments;
+//! * a delay model within `[δ−ε, δ+ε]` (A3);
+//! * START messages delivered exactly when each initial logical clock
+//!   reads `T⁰` (A4);
+//! * a fault plan assigning Byzantine behaviours to up to `f` processes
+//!   (A2) — or more, for the impossibility experiment.
+
+use crate::byzantine::{PullApart, RoundSpammer};
+use crate::maintenance::Maintenance;
+use crate::msg::WlMsg;
+use crate::params::{Params, StartupParams};
+use crate::reintegration::Rejoiner;
+use crate::startup::Startup;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wl_clock::drift::{DriftModel, FleetClock};
+use wl_clock::Clock;
+use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, DelayModel, UniformDelay};
+use wl_sim::faults::{crash_phys_time, FaultPlan, SilentFor};
+use wl_sim::{Automaton, ProcessId, SimConfig, Simulation};
+use wl_time::{ClockTime, RealTime};
+
+/// Which delay model a scenario uses (all within the A3 band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayKind {
+    /// Every message takes exactly δ.
+    Constant,
+    /// Uniform noise over `[δ−ε, δ+ε]`.
+    Uniform,
+    /// Adversarial: fast to the low-index half, slow to the rest.
+    AdversarialSplit,
+}
+
+/// Fault behaviours assignable to a process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Correct until the given real time, then silent.
+    CrashAt(f64),
+    /// Never sends anything.
+    Silent,
+    /// Sends random protocol-shaped `Round` noise.
+    RoundSpam,
+    /// The two-faced early/late attack with the given amplitude (seconds).
+    PullApart(f64),
+    /// The two-faced attack targeting the *upper-index* half of the honest
+    /// processes with the early send (with even-spread drift, those are the
+    /// fast clocks — the strongest configuration, used by the
+    /// fault-boundary experiment E12).
+    PullApartHigh(f64),
+}
+
+/// A fully assembled maintenance-algorithm scenario.
+pub struct Built {
+    /// The simulation, ready to run.
+    pub sim: Simulation<WlMsg>,
+    /// Which processes are designated faulty (for the analysis).
+    pub plan: FaultPlan,
+    /// The parameters the scenario was built from.
+    pub params: Params,
+    /// Real times at which START was delivered (the `t⁰_p`).
+    pub starts: Vec<RealTime>,
+}
+
+impl std::fmt::Debug for Built {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Built")
+            .field("plan", &self.plan)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// Builder for maintenance-algorithm scenarios.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    params: Params,
+    drift: DriftModel,
+    delay: DelayKind,
+    seed: u64,
+    t_end: RealTime,
+    /// Fraction of β used as the initial offset window (A4 headroom).
+    spread_frac: f64,
+    faults: Vec<(ProcessId, FaultKind)>,
+    trace_capacity: usize,
+    rejoiner: Option<(ProcessId, RealTime)>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with sensible defaults: split (adversarial) drift,
+    /// uniform delays, 30 simulated seconds, no faults.
+    #[must_use]
+    pub fn new(params: Params) -> Self {
+        let drift = if params.rho > 0.0 {
+            DriftModel::Split { rho: params.rho }
+        } else {
+            DriftModel::Ideal
+        };
+        Self {
+            params,
+            drift,
+            delay: DelayKind::Uniform,
+            seed: 1,
+            t_end: RealTime::from_secs(30.0),
+            spread_frac: 0.8,
+            faults: Vec::new(),
+            trace_capacity: 0,
+            rejoiner: None,
+        }
+    }
+
+    /// Sets the RNG seed (offsets, drift rates, delays).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    #[must_use]
+    pub fn t_end(mut self, t_end: RealTime) -> Self {
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets the drift model.
+    #[must_use]
+    pub fn drift(mut self, drift: DriftModel) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Sets the delay model.
+    #[must_use]
+    pub fn delay(mut self, delay: DelayKind) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the fraction of β used for initial offsets (default 0.8).
+    #[must_use]
+    pub fn spread_frac(mut self, frac: f64) -> Self {
+        self.spread_frac = frac;
+        self
+    }
+
+    /// Assigns a fault behaviour to a process.
+    #[must_use]
+    pub fn fault(mut self, p: ProcessId, kind: FaultKind) -> Self {
+        self.faults.push((p, kind));
+        self
+    }
+
+    /// Replaces process `p` with a §9.1 rejoiner repaired at `repair_at`.
+    /// The process counts as faulty until it rejoins.
+    #[must_use]
+    pub fn rejoiner(mut self, p: ProcessId, repair_at: RealTime) -> Self {
+        self.rejoiner = Some((p, repair_at));
+        self
+    }
+
+    /// Enables trace recording with the given capacity.
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail timing validation, or a fault id is
+    /// out of range.
+    #[must_use]
+    pub fn build(self) -> Built {
+        let p = &self.params;
+        p.validate_timing().expect("invalid parameters");
+        let n = p.n;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Initial offsets: logical clocks (corr = 0) read T0 within a
+        // window of spread_frac * beta, so their inverses at T0 are within
+        // beta even after drift widens the spread slightly (A4).
+        let window = p.beta * self.spread_frac;
+        let offsets: Vec<ClockTime> = (0..n)
+            .map(|_| ClockTime::from_secs(rng.gen_range(-window / 2.0..=window / 2.0)))
+            .collect();
+        let clocks = self.drift.build(n, &offsets, rng.gen());
+
+        // A4: START arrives when the initial logical clock reads T0.
+        let starts: Vec<RealTime> = clocks.iter().map(|c| c.time_of(p.t0_clock())).collect();
+
+        let mut faulty_ids: Vec<ProcessId> = self.faults.iter().map(|&(id, _)| id).collect();
+        if let Some((id, _)) = self.rejoiner {
+            faulty_ids.push(id);
+        }
+        let plan = FaultPlan::with_faulty(n, &faulty_ids);
+
+        let mut procs: Vec<Box<dyn Automaton<Msg = WlMsg>>> = Vec::with_capacity(n);
+        let mut starts_adj = starts.clone();
+        for i in 0..n {
+            let id = ProcessId(i);
+            let fault = self.faults.iter().find(|&&(fid, _)| fid == id).map(|&(_, k)| k);
+            let is_rejoiner = self.rejoiner.map(|(rid, _)| rid) == Some(id);
+            let auto: Box<dyn Automaton<Msg = WlMsg>> = if is_rejoiner {
+                let (_, repair_at) = self.rejoiner.unwrap();
+                starts_adj[i] = repair_at;
+                Box::new(Rejoiner::new(id, p.clone()))
+            } else {
+                match fault {
+                    None => Box::new(Maintenance::new(id, p.clone(), 0.0)),
+                    Some(FaultKind::CrashAt(t)) => Box::new(wl_sim::faults::CrashAt::new(
+                        Maintenance::new(id, p.clone(), 0.0),
+                        crash_phys_time(&clocks[i], RealTime::from_secs(t)),
+                    )),
+                    Some(FaultKind::Silent) => Box::new(SilentFor::<WlMsg>::default()),
+                    Some(FaultKind::RoundSpam) => Box::new(RoundSpammer::new(
+                        n,
+                        p.wait_window() / 2.0,
+                        self.seed.wrapping_add(i as u64),
+                        (p.t0 - 10.0 * p.p_round, p.t0 + 100.0 * p.p_round),
+                    )),
+                    Some(FaultKind::PullApart(a)) => {
+                        // Split the *honest* processes down the middle:
+                        // faulty ids occupy the low indices, so the early
+                        // half must extend past them into the honest range.
+                        let early_below = p.f + (n - p.f).div_ceil(2);
+                        Box::new(PullApart::new(p.clone(), a, early_below))
+                    }
+                    Some(FaultKind::PullApartHigh(a)) => {
+                        // Early sends go to the upper-index honest half.
+                        let threshold = p.f + (n - p.f) / 2;
+                        let mask = (0..n).map(|q| q >= threshold).collect();
+                        Box::new(PullApart::with_early_mask(p.clone(), a, mask))
+                    }
+                }
+            };
+            procs.push(auto);
+        }
+
+        let delay: Box<dyn DelayModel> = match self.delay {
+            DelayKind::Constant => {
+                Box::new(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta)))
+            }
+            DelayKind::Uniform => Box::new(UniformDelay::new(p.delay_bounds())),
+            DelayKind::AdversarialSplit => {
+                Box::new(AdversarialSplitDelay::new(p.delay_bounds(), n / 2))
+            }
+        };
+
+        let sim = Simulation::new(
+            clocks,
+            procs,
+            delay,
+            starts_adj,
+            SimConfig {
+                t_end: self.t_end,
+                seed: self.seed.wrapping_add(0x5EED),
+                delay_bounds: p.delay_bounds(),
+                trace_capacity: self.trace_capacity,
+                max_events: 0,
+            },
+        );
+
+        Built {
+            sim,
+            plan,
+            params: self.params,
+            starts,
+        }
+    }
+}
+
+/// A fully assembled startup-algorithm scenario.
+pub struct BuiltStartup {
+    /// The simulation, ready to run.
+    pub sim: Simulation<WlMsg>,
+    /// Which processes are designated faulty.
+    pub plan: FaultPlan,
+    /// The startup parameters used.
+    pub params: StartupParams,
+    /// The initial corrections (arbitrary clock values) per process.
+    pub initial_corrs: Vec<f64>,
+}
+
+/// Builds a §9.2 startup scenario: clocks identical in rate behaviour to
+/// the maintenance scenarios, but the initial *corrections* are arbitrary
+/// within ±`initial_spread/2` — the clocks start wildly unsynchronized.
+///
+/// `silent` processes are faulty (never participate).
+///
+/// # Panics
+///
+/// Panics if a faulty id is out of range.
+#[must_use]
+pub fn build_startup(
+    params: &StartupParams,
+    initial_spread: f64,
+    silent: &[ProcessId],
+    seed: u64,
+    t_end: RealTime,
+) -> BuiltStartup {
+    let n = params.n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let drift = if params.rho > 0.0 {
+        DriftModel::Split { rho: params.rho }
+    } else {
+        DriftModel::Ideal
+    };
+    let clocks: Vec<FleetClock> = drift.build(n, &vec![ClockTime::ZERO; n], rng.gen());
+    let initial_corrs: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(-initial_spread / 2.0..=initial_spread / 2.0))
+        .collect();
+    let plan = FaultPlan::with_faulty(n, silent);
+
+    let procs: Vec<Box<dyn Automaton<Msg = WlMsg>>> = (0..n)
+        .map(|i| {
+            let id = ProcessId(i);
+            if plan.is_faulty(id) {
+                Box::new(SilentFor::<WlMsg>::default()) as Box<dyn Automaton<Msg = WlMsg>>
+            } else {
+                Box::new(Startup::new(id, params.clone(), initial_corrs[i]))
+            }
+        })
+        .collect();
+
+    // STARTs delivered within a small real-time window — the problem
+    // statement lets the environment wake processes arbitrarily; the first
+    // Time broadcast wakes the rest anyway.
+    let starts: Vec<RealTime> = (0..n)
+        .map(|_| RealTime::from_secs(1.0 + rng.gen_range(0.0..params.delta)))
+        .collect();
+
+    let sim = Simulation::new(
+        clocks,
+        procs,
+        Box::new(UniformDelay::new(params.delay_bounds())),
+        starts,
+        SimConfig {
+            t_end,
+            seed: seed.wrapping_add(0xF00D),
+            delay_bounds: params.delay_bounds(),
+            trace_capacity: 0,
+            max_events: 0,
+        },
+    );
+    BuiltStartup {
+        sim,
+        plan,
+        params: params.clone(),
+        initial_corrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+    }
+
+    #[test]
+    fn build_produces_n_processes_and_valid_starts() {
+        let p = params();
+        let built = ScenarioBuilder::new(p.clone()).seed(3).build();
+        assert_eq!(built.sim.n(), 4);
+        assert_eq!(built.plan.fault_count(), 0);
+        // Starts are within beta of each other (A4).
+        let min = built.starts.iter().cloned().fold(RealTime::from_secs(f64::INFINITY), RealTime::min);
+        let max = built.starts.iter().cloned().fold(RealTime::from_secs(f64::NEG_INFINITY), RealTime::max);
+        assert!((max - min).as_secs() <= p.beta, "start spread exceeds beta");
+    }
+
+    #[test]
+    fn faults_recorded_in_plan() {
+        let p = Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
+        let built = ScenarioBuilder::new(p)
+            .fault(ProcessId(1), FaultKind::Silent)
+            .fault(ProcessId(5), FaultKind::PullApart(0.002))
+            .build();
+        assert_eq!(built.plan.fault_count(), 2);
+        assert!(built.plan.is_faulty(ProcessId(1)));
+        assert!(built.plan.is_faulty(ProcessId(5)));
+        assert!(built.plan.satisfies_a2());
+    }
+
+    #[test]
+    fn rejoiner_marked_faulty_and_start_deferred() {
+        let p = params();
+        let built = ScenarioBuilder::new(p)
+            .rejoiner(ProcessId(2), RealTime::from_secs(5.0))
+            .build();
+        assert!(built.plan.is_faulty(ProcessId(2)));
+    }
+
+    #[test]
+    fn short_run_executes_rounds() {
+        let p = params();
+        let built = ScenarioBuilder::new(p.clone()).t_end(RealTime::from_secs(5.0));
+        let mut sim = built.build().sim;
+        let outcome = sim.run();
+        // Some rounds happened: each process broadcast at least once
+        // (n * n messages per round).
+        assert!(outcome.stats.messages_sent >= (p.n * p.n) as u64);
+        assert_eq!(outcome.stats.timers_suppressed, 0, "no timer may land in the past");
+    }
+
+    #[test]
+    fn startup_scenario_builds_and_runs() {
+        let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        let built = build_startup(&sp, 5.0, &[], 7, RealTime::from_secs(3.0));
+        assert_eq!(built.sim.n(), 4);
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        assert!(outcome.stats.messages_sent > 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Closed-form statements of every quantitative claim in the paper.
+//!
+//! The experiment harness (crate `bench`) measures executions and compares
+//! them against these functions; EXPERIMENTS.md records paper-vs-measured
+//! for each.
+
+use crate::Params;
+
+/// Theorem 16: the agreement bound
+/// `γ = β + ε + ρ(7β + 3δ + 7ε) + 8ρ²(β+δ+ε) + 4ρ³(β+δ+ε)`.
+///
+/// Every pair of nonfaulty local times stays within γ at all real times
+/// after `tmin⁰`.
+#[must_use]
+pub fn gamma(p: &Params) -> f64 {
+    let s = p.beta + p.delta + p.eps;
+    p.beta
+        + p.eps
+        + p.rho * (7.0 * p.beta + 3.0 * p.delta + 7.0 * p.eps)
+        + 8.0 * p.rho.powi(2) * s
+        + 4.0 * p.rho.powi(3) * s
+}
+
+/// Theorem 4(a): the per-round adjustment bound
+/// `|ADJⁱ_p| ≤ (1+ρ)(β+ε) + ρδ` for every nonfaulty `p`.
+///
+/// §10 summarizes this as "the size of the adjustment at each round is
+/// about 5ε" once β has converged to ≈ 4ε.
+#[must_use]
+pub fn adjustment_bound(p: &Params) -> f64 {
+    (1.0 + p.rho) * (p.beta + p.eps) + p.rho * p.delta
+}
+
+/// §8: `λ`, the length of the shortest round in real time:
+/// `λ = (P − (1+ρ)(β+ε) − ρδ) / (1+ρ)`.
+#[must_use]
+pub fn lambda(p: &Params) -> f64 {
+    (p.p_round - (1.0 + p.rho) * (p.beta + p.eps) - p.rho * p.delta) / (1.0 + p.rho)
+}
+
+/// Theorem 19: the validity rates `(α₁, α₂, α₃)` with
+/// `α₁ = 1 − ρ − ε/λ`, `α₂ = 1 + ρ + ε/λ`, `α₃ = ε`.
+///
+/// Every nonfaulty local time satisfies
+/// `α₁(t − tmax⁰) − α₃ ≤ L_p(t) − T⁰ ≤ α₂(t − tmin⁰) + α₃`.
+#[must_use]
+pub fn validity_rates(p: &Params) -> (f64, f64, f64) {
+    let l = lambda(p);
+    (1.0 - p.rho - p.eps / l, 1.0 + p.rho + p.eps / l, p.eps)
+}
+
+/// Lemma 10 specialised to one full round (`T − Tⁱ = P`): the exact bound
+/// on how far apart two nonfaulty `(i+1)`-st clocks reach the same value:
+/// `2ρP + β/2 + 2ε + 2ρ(2β+δ+2ε) + 2ρ²(β+δ+ε)`.
+///
+/// This is the exact per-round recurrence; dropping the ρ² term and folding
+/// gives the §7 sketch `β_{i+1} ≈ β_i/2 + 2ε + 2ρP`.
+#[must_use]
+pub fn round_recurrence(p: &Params, beta_i: f64) -> f64 {
+    2.0 * p.rho * p.p_round
+        + beta_i / 2.0
+        + 2.0 * p.eps
+        + 2.0 * p.rho * (2.0 * beta_i + p.delta + 2.0 * p.eps)
+        + 2.0 * p.rho.powi(2) * (beta_i + p.delta + p.eps)
+}
+
+/// The fixed point of [`round_recurrence`] — the steady-state closeness of
+/// synchronization along the real-time axis, `β∞ ≈ 4ε + 4ρP` (§5.2/§7).
+#[must_use]
+pub fn steady_state_beta(p: &Params) -> f64 {
+    // Solve b = r(b): b(1/2 - 4rho - 2rho^2) = 2rhoP + 2eps + 2rho(δ+2ε) + 2rho²(δ+ε)
+    let coeff = 0.5 - 4.0 * p.rho - 2.0 * p.rho.powi(2);
+    let rhs = 2.0 * p.rho * p.p_round
+        + 2.0 * p.eps
+        + 2.0 * p.rho * (p.delta + 2.0 * p.eps)
+        + 2.0 * p.rho.powi(2) * (p.delta + p.eps);
+    rhs / coeff
+}
+
+/// §7: with `k` clock-value exchanges per round the attainable closeness is
+/// `β ≥ 4ε + 2ρP · 2ᵏ/(2ᵏ − 1)`; as `k → ∞` this approaches `4ε + 2ρP`.
+#[must_use]
+pub fn k_exchange_beta(p: &Params, k: u32) -> f64 {
+    let pow = 2f64.powi(k as i32);
+    4.0 * p.eps + 2.0 * p.rho * p.p_round * pow / (pow - 1.0)
+}
+
+/// §7: the convergence rate of the averaging function — 1/2 for the
+/// midpoint, `f/(n−2f)` for the mean.
+///
+/// # Panics
+///
+/// Panics if `n ≤ 2f`.
+#[must_use]
+pub fn convergence_rate(p: &Params) -> f64 {
+    p.avg.convergence_rate(p.n, p.f)
+}
+
+/// Lemma 20 (startup): `B^{i+1} ≤ B^i/2 + 2ε + 2ρ(11δ + 39ε)`, where `B^i`
+/// is the maximum difference between nonfaulty clock values at the latest
+/// real time a nonfaulty process begins round `i`.
+#[must_use]
+pub fn startup_recurrence(rho: f64, delta: f64, eps: f64, b_i: f64) -> f64 {
+    b_i / 2.0 + 2.0 * eps + 2.0 * rho * (11.0 * delta + 39.0 * eps)
+}
+
+/// The limit of the startup recurrence: `4ε + 4ρ(11δ + 39ε)` — "the
+/// algorithm achieves a closeness of synchronization of about 4ε" (§9.2).
+#[must_use]
+pub fn startup_limit(rho: f64, delta: f64, eps: f64) -> f64 {
+    4.0 * eps + 4.0 * rho * (11.0 * delta + 39.0 * eps)
+}
+
+/// §10 comparison table: the approximate agreement each algorithm achieves
+/// under `n = 3f+1` and a fully connected network, in the paper's own
+/// units. Used to label the comparison experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonRow {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Approximate agreement (seconds) as claimed in §10.
+    pub agreement: f64,
+    /// Approximate per-round adjustment size (seconds) as claimed in §10.
+    pub adjustment: f64,
+}
+
+/// The §10 table instantiated for concrete `(n, δ, ε)`.
+#[must_use]
+pub fn comparison_table(n: usize, delta: f64, eps: f64) -> Vec<ComparisonRow> {
+    vec![
+        ComparisonRow { name: "Welch-Lynch (this paper)", agreement: 4.0 * eps, adjustment: 5.0 * eps },
+        ComparisonRow {
+            name: "Lamport/Melliar-Smith CNV",
+            agreement: 2.0 * n as f64 * eps,
+            adjustment: (2.0 * n as f64 + 1.0) * eps,
+        },
+        ComparisonRow {
+            name: "Srikanth-Toueg",
+            agreement: delta + eps,
+            adjustment: 3.0 * (delta + eps),
+        },
+        ComparisonRow {
+            name: "Halpern-Simons-Strong-Dolev",
+            agreement: delta + eps,
+            adjustment: 2.0 * (delta + eps), // (f+1)(δ+ε) with f = 1
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+    }
+
+    #[test]
+    fn gamma_dominated_by_beta_plus_eps() {
+        let p = params();
+        let g = gamma(&p);
+        assert!(g > p.beta + p.eps);
+        // rho terms are tiny at rho = 1e-6.
+        assert!(g < (p.beta + p.eps) * 1.001);
+    }
+
+    #[test]
+    fn gamma_monotone_in_beta_and_eps() {
+        let p = params();
+        let mut p2 = p.clone();
+        p2.beta *= 2.0;
+        assert!(gamma(&p2) > gamma(&p));
+        let mut p3 = p.clone();
+        p3.eps *= 2.0;
+        assert!(gamma(&p3) > gamma(&p));
+    }
+
+    #[test]
+    fn adjustment_bound_about_beta_plus_eps() {
+        let p = params();
+        let a = adjustment_bound(&p);
+        assert!(a >= p.beta + p.eps);
+        assert!(a < (p.beta + p.eps) * 1.01);
+    }
+
+    #[test]
+    fn lambda_positive_and_less_than_p() {
+        let p = params();
+        let l = lambda(&p);
+        assert!(l > 0.0);
+        assert!(l < p.p_round);
+    }
+
+    #[test]
+    fn validity_rates_bracket_one() {
+        let p = params();
+        let (a1, a2, a3) = validity_rates(&p);
+        assert!(a1 < 1.0 && 1.0 < a2);
+        assert_eq!(a3, p.eps);
+        // Symmetric to first order.
+        assert!((2.0 - a1 - a2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_halves_large_errors() {
+        let p = params();
+        let big = 100.0 * steady_state_beta(&p);
+        let next = round_recurrence(&p, big);
+        assert!(next < 0.51 * big);
+    }
+
+    #[test]
+    fn steady_state_is_fixed_point() {
+        let p = params();
+        let b = steady_state_beta(&p);
+        assert!((round_recurrence(&p, b) - b).abs() < 1e-12);
+        // Shape: ≈ 4ε + 4ρP.
+        let approx = 4.0 * p.eps + 4.0 * p.rho * p.p_round;
+        assert!((b - approx).abs() / approx < 0.01);
+    }
+
+    #[test]
+    fn k_exchange_improves_toward_2rhop() {
+        let mut p = params();
+        p.rho = 1e-4; // make drift visible
+        let k1 = k_exchange_beta(&p, 1);
+        let k4 = k_exchange_beta(&p, 4);
+        assert!(k4 < k1);
+        assert!((k_exchange_beta(&p, 1) - (4.0 * p.eps + 4.0 * p.rho * p.p_round)).abs() < 1e-12);
+        // limit: 4eps + 2rhoP
+        let inf = 4.0 * p.eps + 2.0 * p.rho * p.p_round;
+        assert!(k_exchange_beta(&p, 20) - inf < 1e-9);
+    }
+
+    #[test]
+    fn startup_recurrence_converges_to_limit() {
+        let (rho, delta, eps) = (1e-6, 0.01, 0.001);
+        let mut b = 50.0; // wildly unsynchronized
+        for _ in 0..60 {
+            b = startup_recurrence(rho, delta, eps, b);
+        }
+        let lim = startup_limit(rho, delta, eps);
+        assert!((b - lim).abs() < 1e-9);
+        // "about 4eps"
+        assert!((lim - 4.0 * eps).abs() < 0.01 * eps + 100.0 * rho);
+    }
+
+    #[test]
+    fn comparison_table_shape() {
+        let rows = comparison_table(4, 0.010, 0.001);
+        assert_eq!(rows.len(), 4);
+        let wl = rows[0];
+        let lm = rows[1];
+        // WL beats LM CNV on agreement for n = 4 (4eps < 8eps).
+        assert!(wl.agreement < lm.agreement);
+        // ST/HSSD agreement is δ+ε which here is worse than 4ε.
+        assert!(rows[2].agreement > wl.agreement);
+    }
+
+    #[test]
+    fn convergence_rate_follows_avg_choice() {
+        let p = params();
+        assert_eq!(convergence_rate(&p), 0.5);
+        let pm = p.with_mean_averaging();
+        assert_eq!(convergence_rate(&pm), 0.5); // n=4, f=1: f/(n-2f) = 1/2
+    }
+}

@@ -1,0 +1,205 @@
+//! The x-distance between multisets (paper Appendix).
+//!
+//! Given multisets `U`, `V` with `|U| ≤ |V|` and an injection `c : U → V`,
+//! let `S_x(c) = { u ∈ U : |u − c(u)| > x }`. The *x-distance* is
+//! `d_x(U, V) = min_c |S_x(c)|` — the number of elements of `U` that cannot
+//! be paired with an element of `V` to within `x`.
+//!
+//! Computing the minimum over all injections is a maximum-bipartite-matching
+//! problem, but the compatibility relation `|u − v| ≤ x` over sorted reals
+//! has interval structure, so a greedy two-pointer sweep finds a maximum
+//! matching exactly (see [`max_pairing`]); then
+//! `d_x(U, V) = |U| − max_pairing`.
+
+use crate::Multiset;
+
+/// Maximum number of x-pairs between two sorted multisets.
+///
+/// A classic exchange argument shows the order-preserving greedy matching —
+/// walk both sorted lists, matching the current candidates when they are
+/// within `x` and otherwise discarding the smaller — is maximum for the
+/// threshold-compatibility bipartite graph.
+#[must_use]
+pub fn max_pairing(u: &Multiset, v: &Multiset, x: f64) -> usize {
+    let us = u.as_sorted_slice();
+    let vs = v.as_sorted_slice();
+    let mut i = 0;
+    let mut j = 0;
+    let mut matched = 0;
+    while i < us.len() && j < vs.len() {
+        let d = us[i] - vs[j];
+        if d.abs() <= x {
+            matched += 1;
+            i += 1;
+            j += 1;
+        } else if d > x {
+            // vs[j] too small to pair with us[i] or anything after it.
+            j += 1;
+        } else {
+            // us[i] too small to pair with vs[j] or anything after it.
+            i += 1;
+        }
+    }
+    matched
+}
+
+/// The x-distance `d_x(U, V)` where the injection maps the *smaller*
+/// multiset into the larger, following the paper's convention `|U| ≤ |V|`.
+///
+/// Returns `min(|U|, |V|) − max_pairing`.
+///
+/// # Panics
+///
+/// Panics if `x` is negative or NaN.
+#[must_use]
+pub fn x_distance(u: &Multiset, v: &Multiset, x: f64) -> usize {
+    assert!(x >= 0.0, "x must be a non-negative real, got {x}");
+    u.len().min(v.len()) - max_pairing(u, v, x)
+}
+
+/// Brute-force x-distance via exhaustive search over injections.
+///
+/// Exponential; only for cross-checking [`x_distance`] on tiny inputs in
+/// tests.
+#[must_use]
+pub fn x_distance_bruteforce(u: &Multiset, v: &Multiset, x: f64) -> usize {
+    let (small, large) = if u.len() <= v.len() { (u, v) } else { (v, u) };
+    let ss = small.as_sorted_slice();
+    let ls = large.as_sorted_slice();
+    let mut best = ss.len();
+    let mut used = vec![false; ls.len()];
+    fn rec(
+        idx: usize,
+        ss: &[f64],
+        ls: &[f64],
+        used: &mut [bool],
+        x: f64,
+        misses: usize,
+        best: &mut usize,
+    ) {
+        if misses >= *best {
+            return;
+        }
+        if idx == ss.len() {
+            *best = misses;
+            return;
+        }
+        // Try pairing ss[idx] with every unused element of ls.
+        for j in 0..ls.len() {
+            if !used[j] {
+                used[j] = true;
+                let miss = usize::from((ss[idx] - ls[j]).abs() > x);
+                rec(idx + 1, ss, ls, used, x, misses + miss, best);
+                used[j] = false;
+            }
+        }
+        // Injections must be total when |small| <= |large| and there is room,
+        // so no "skip" branch: every element maps somewhere.
+    }
+    rec(0, ss, ls, &mut used, x, 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(vals: &[f64]) -> Multiset {
+        Multiset::from_values(vals)
+    }
+
+    #[test]
+    fn identical_multisets_distance_zero() {
+        let m = ms(&[1.0, 2.0, 3.0]);
+        assert_eq!(x_distance(&m, &m, 0.0), 0);
+    }
+
+    #[test]
+    fn disjoint_far_values_all_unmatched() {
+        let u = ms(&[0.0, 1.0]);
+        let v = ms(&[100.0, 200.0]);
+        assert_eq!(x_distance(&u, &v, 1.0), 2);
+    }
+
+    #[test]
+    fn partial_match() {
+        let u = ms(&[0.0, 50.0, 100.0]);
+        let v = ms(&[0.4, 49.9, 500.0]);
+        assert_eq!(x_distance(&u, &v, 0.5), 1);
+    }
+
+    #[test]
+    fn asymmetric_sizes_use_smaller() {
+        let w = ms(&[1.0, 2.0]);
+        let u = ms(&[0.9, 1.9, 77.0, -12.0]);
+        assert_eq!(x_distance(&w, &u, 0.2), 0);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let u = ms(&[0.0]);
+        let v = ms(&[1.0]);
+        assert_eq!(x_distance(&u, &v, 1.0), 0);
+        assert_eq!(x_distance(&u, &v, 0.999), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_x_rejected() {
+        let _ = x_distance(&ms(&[1.0]), &ms(&[1.0]), -0.1);
+    }
+
+    #[test]
+    fn duplicates_matched_with_multiplicity() {
+        let u = ms(&[5.0, 5.0, 5.0]);
+        let v = ms(&[5.0, 5.0]);
+        // Only two of the three fives can be matched.
+        assert_eq!(max_pairing(&u, &v, 0.0), 2);
+        assert_eq!(x_distance(&u, &v, 0.0), 0); // min size is 2, both matched
+    }
+
+    proptest! {
+        #[test]
+        fn prop_greedy_matches_bruteforce(
+            u in proptest::collection::vec(-10.0f64..10.0, 1..6),
+            v in proptest::collection::vec(-10.0f64..10.0, 1..6),
+            x in 0.0f64..5.0,
+        ) {
+            let mu = ms(&u);
+            let mv = ms(&v);
+            prop_assert_eq!(
+                x_distance(&mu, &mv, x),
+                x_distance_bruteforce(&mu, &mv, x)
+            );
+        }
+
+        #[test]
+        fn prop_distance_monotone_in_x(
+            u in proptest::collection::vec(-10.0f64..10.0, 1..8),
+            v in proptest::collection::vec(-10.0f64..10.0, 1..8),
+            x1 in 0.0f64..5.0,
+            dx in 0.0f64..5.0,
+        ) {
+            let mu = ms(&u);
+            let mv = ms(&v);
+            prop_assert!(x_distance(&mu, &mv, x1 + dx) <= x_distance(&mu, &mv, x1));
+        }
+
+        #[test]
+        fn prop_distance_zero_iff_perfect_matching_possible(
+            base in proptest::collection::vec(-10.0f64..10.0, 1..8),
+            noise in proptest::collection::vec(-0.5f64..0.5, 8),
+        ) {
+            // Perturb each element by < x: distance at x must be 0.
+            let mu = ms(&base);
+            let shifted: Vec<f64> = base
+                .iter()
+                .zip(noise.iter())
+                .map(|(b, n)| b + n)
+                .collect();
+            let mv = ms(&shifted);
+            prop_assert_eq!(x_distance(&mu, &mv, 0.5), 0);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Executable statements of Appendix Lemmas 21–24.
+//!
+//! Each function returns `true` when the lemma's conclusion holds for the
+//! given inputs *assuming the hypotheses hold*; callers (the property-test
+//! suite and the wl-core analysis tests) construct inputs satisfying the
+//! hypotheses and assert the conclusion. `hypotheses_hold` helpers are
+//! provided so tests can sanity-check their constructions.
+
+use crate::distance::x_distance;
+use crate::Multiset;
+
+/// Numerical slack for f64 comparisons of lemma inequalities.
+const SLACK: f64 = 1e-9;
+
+/// Hypotheses shared by Lemmas 21, 23, 24:
+/// `|U| = n`, `|W| ≥ n − f`, `d_x(W, U) = 0`, with `n ≥ 3f + 1`.
+#[must_use]
+pub fn hypotheses_hold(u: &Multiset, w: &Multiset, n: usize, f: usize, x: f64) -> bool {
+    u.len() == n && w.len() >= n - f && n >= 3 * f + 1 && x_distance(w, u, x) == 0
+}
+
+/// Lemma 21: under the hypotheses,
+/// `max(reduce(U)) ≤ max(W) + x` and `min(reduce(U)) ≥ min(W) − x`.
+///
+/// # Panics
+///
+/// Panics if `U` is too small to reduce or `W` is empty.
+#[must_use]
+pub fn lemma21(u: &Multiset, w: &Multiset, f: usize, x: f64) -> bool {
+    let r = u.reduce(f);
+    let (rmax, rmin) = (r.max().unwrap(), r.min().unwrap());
+    let (wmax, wmin) = (w.max().unwrap(), w.min().unwrap());
+    rmax <= wmax + x + SLACK && rmin >= wmin - x - SLACK
+}
+
+/// Lemma 22: removing the largest (or smallest) element from each multiset
+/// does not increase the x-distance:
+/// `d_x(l(U), l(V)) ≤ d_x(U, V)` and `d_x(s(U), s(V)) ≤ d_x(U, V)`.
+#[must_use]
+pub fn lemma22(u: &Multiset, v: &Multiset, x: f64) -> bool {
+    if u.is_empty() || v.is_empty() {
+        return true;
+    }
+    let d = x_distance(u, v, x);
+    x_distance(&u.drop_max(), &v.drop_max(), x) <= d
+        && x_distance(&u.drop_min(), &v.drop_min(), x) <= d
+}
+
+/// Lemma 23: under the hypotheses (for both `U` and `V` against the same
+/// `W`), `min(reduce(U)) − max(reduce(V)) ≤ 2x`.
+///
+/// # Panics
+///
+/// Panics if `U` or `V` is too small to reduce.
+#[must_use]
+pub fn lemma23(u: &Multiset, v: &Multiset, f: usize, x: f64) -> bool {
+    u.reduce(f).min().unwrap() - v.reduce(f).max().unwrap() <= 2.0 * x + SLACK
+}
+
+/// Lemma 24 (the main multiset result): under the hypotheses,
+/// `|mid(reduce(U)) − mid(reduce(V))| ≤ diam(W)/2 + 2x`.
+///
+/// This is what makes the synchronization error *halve* each round: `W` is
+/// the multiset of real times at which nonfaulty clocks reach `Tⁱ`
+/// (diameter ≤ β), `U`/`V` are two processes' shifted arrival-time
+/// multisets (within `x = ε + ρ(β+δ+ε)` of `W`), so the computed midpoints
+/// agree to `β/2 + 2x`.
+///
+/// # Panics
+///
+/// Panics if `U` or `V` is too small to reduce or `W` is empty.
+#[must_use]
+pub fn lemma24(u: &Multiset, v: &Multiset, w: &Multiset, f: usize, x: f64) -> bool {
+    let mu = u.reduce(f).mid().unwrap();
+    let mv = v.reduce(f).mid().unwrap();
+    (mu - mv).abs() <= w.diam().unwrap() / 2.0 + 2.0 * x + SLACK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds (U, V, W) satisfying the hypotheses: W is a set of n-f "good"
+    /// values with diameter ≤ spread; U and V each contain the good values
+    /// perturbed by at most x, plus f arbitrary values.
+    fn build_instance(
+        seed: u64,
+        n: usize,
+        f: usize,
+        spread: f64,
+        x: f64,
+    ) -> (Multiset, Multiset, Multiset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: f64 = rng.gen_range(-100.0..100.0);
+        let good: Vec<f64> = (0..n - f)
+            .map(|_| base + rng.gen_range(0.0..=spread))
+            .collect();
+        let w = Multiset::from_values(&good);
+        let mut build_uv = |rng: &mut StdRng| -> Multiset {
+            let mut vals: Vec<f64> = good
+                .iter()
+                .map(|g| g + rng.gen_range(-x..=x))
+                .collect();
+            for _ in 0..f {
+                vals.push(rng.gen_range(-1e6..1e6));
+            }
+            Multiset::from_values(&vals)
+        };
+        let u = build_uv(&mut rng);
+        let v = build_uv(&mut rng);
+        (u, v, w)
+    }
+
+    #[test]
+    fn instance_builder_satisfies_hypotheses() {
+        for seed in 0..50 {
+            let (u, _v, w) = build_instance(seed, 7, 2, 3.0, 0.5);
+            assert!(hypotheses_hold(&u, &w, 7, 2, 0.5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma21_on_constructed_instances() {
+        for seed in 0..100 {
+            let (u, _v, w) = build_instance(seed, 7, 2, 3.0, 0.5);
+            assert!(lemma21(&u, &w, 2, 0.5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma23_on_constructed_instances() {
+        for seed in 0..100 {
+            let (u, v, w) = build_instance(seed, 10, 3, 2.0, 0.25);
+            assert!(hypotheses_hold(&u, &w, 10, 3, 0.25));
+            assert!(hypotheses_hold(&v, &w, 10, 3, 0.25));
+            assert!(lemma23(&u, &v, 3, 0.25), "seed {seed}");
+            assert!(lemma23(&v, &u, 3, 0.25), "seed {seed} (swapped)");
+        }
+    }
+
+    #[test]
+    fn lemma24_on_constructed_instances() {
+        for seed in 0..100 {
+            let (u, v, w) = build_instance(seed, 7, 2, 1.0, 0.1);
+            assert!(lemma24(&u, &v, &w, 2, 0.1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma24_tightness_near_half_diam() {
+        // Construct a near-worst case: f=1, good values {0, beta}; U's bad
+        // value pulls low, V's pulls high, perturbations at the extremes.
+        let beta = 1.0;
+        let x = 0.01;
+        // Perturb by x/2 so f64 rounding cannot push a pair past the
+        // inclusive threshold x.
+        let h = x / 2.0;
+        let w = Multiset::from_values(&[0.0, beta, beta / 2.0]);
+        // n = 4, f = 1.
+        let u = Multiset::from_values(&[0.0 - h, beta - h, beta / 2.0, -1e9]);
+        let v = Multiset::from_values(&[0.0 + h, beta + h, beta / 2.0, 1e9]);
+        assert!(hypotheses_hold(&u, &w, 4, 1, x));
+        assert!(hypotheses_hold(&v, &w, 4, 1, x));
+        assert!(lemma24(&u, &v, &w, 1, x));
+        let gap = (u.reduce(1).mid().unwrap() - v.reduce(1).mid().unwrap()).abs();
+        // The bound is diam/2 + 2x = 0.52; this instance achieves >= 0.5·diam
+        // of it, demonstrating the lemma is within a factor ~2 of tight.
+        assert!(gap >= beta / 4.0, "gap {gap} unexpectedly small");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lemma22_random_multisets(
+            u in proptest::collection::vec(-50.0f64..50.0, 1..10),
+            v in proptest::collection::vec(-50.0f64..50.0, 1..10),
+            x in 0.0f64..10.0,
+        ) {
+            let mu = Multiset::from_values(&u);
+            let mv = Multiset::from_values(&v);
+            prop_assert!(lemma22(&mu, &mv, x));
+        }
+
+        #[test]
+        fn prop_lemma21_random_instances(
+            seed in 0u64..10_000,
+            f in 1usize..4,
+            spread in 0.0f64..10.0,
+            x in 0.0f64..2.0,
+        ) {
+            let n = 3 * f + 1;
+            let (u, _v, w) = build_instance(seed, n, f, spread, x);
+            prop_assert!(hypotheses_hold(&u, &w, n, f, x));
+            prop_assert!(lemma21(&u, &w, f, x));
+        }
+
+        #[test]
+        fn prop_lemma24_random_instances(
+            seed in 0u64..10_000,
+            f in 1usize..4,
+            extra in 0usize..4,
+            spread in 0.0f64..10.0,
+            x in 0.0f64..2.0,
+        ) {
+            let n = 3 * f + 1 + extra;
+            let (u, v, w) = build_instance(seed, n, f, spread, x);
+            prop_assert!(lemma24(&u, &v, &w, f, x));
+        }
+
+        #[test]
+        fn prop_reduce_contained_in_good_range_when_distance_zero(
+            seed in 0u64..10_000,
+        ) {
+            // Lemma 6 shape: reduced range within [min(W)-x, max(W)+x].
+            let (u, _v, w) = build_instance(seed, 7, 2, 5.0, 0.3);
+            let r = u.reduce(2);
+            prop_assert!(r.min().unwrap() >= w.min().unwrap() - 0.3 - 1e-9);
+            prop_assert!(r.max().unwrap() <= w.max().unwrap() + 0.3 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Drifting virtual clocks over the host monotonic clock.
+
+use std::time::Instant;
+use wl_time::{ClockDur, ClockTime, RealDur, RealTime};
+
+/// A ρ-bounded physical clock realized on wall time:
+/// `Ph(w) = offset + rate · (w − epoch)` where `w` is host monotonic time.
+///
+/// The shared `epoch` of a cluster plays the role of real time 0, so the
+/// wall axis *is* the experiment's real-time axis.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    epoch: Instant,
+    rate: f64,
+    offset: ClockTime,
+}
+
+impl VirtualClock {
+    /// Creates a clock anchored at `epoch` with the given drift rate and
+    /// initial reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(epoch: Instant, rate: f64, offset: ClockTime) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { epoch, rate, offset }
+    }
+
+    /// The clock reading now.
+    #[must_use]
+    pub fn now(&self) -> ClockTime {
+        self.read_at(Instant::now())
+    }
+
+    /// The clock reading at a specific wall instant.
+    #[must_use]
+    pub fn read_at(&self, w: Instant) -> ClockTime {
+        let elapsed = w.saturating_duration_since(self.epoch).as_secs_f64();
+        self.offset + ClockDur::from_secs(self.rate * elapsed)
+    }
+
+    /// The wall instant at which the clock reads `t` (None if in the past
+    /// relative to the epoch).
+    #[must_use]
+    pub fn wall_of(&self, t: ClockTime) -> Option<Instant> {
+        let dt = (t - self.offset).as_secs() / self.rate;
+        if dt < 0.0 {
+            None
+        } else {
+            Some(self.epoch + std::time::Duration::from_secs_f64(dt))
+        }
+    }
+
+    /// Wall seconds since the epoch — the experiment's "real time".
+    #[must_use]
+    pub fn real_now(&self) -> RealTime {
+        RealTime::ZERO + RealDur::from_secs(Instant::now().duration_since(self.epoch).as_secs_f64())
+    }
+
+    /// The drift rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Converts this virtual clock into an analysis-friendly
+    /// [`wl_clock::LinearClock`] on the wall axis.
+    #[must_use]
+    pub fn to_linear(&self) -> wl_clock::LinearClock {
+        wl_clock::LinearClock::new(self.rate, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reads_scale_with_rate() {
+        let epoch = Instant::now();
+        let c = VirtualClock::new(epoch, 2.0, ClockTime::from_secs(1.0));
+        let later = epoch + Duration::from_millis(500);
+        let r = c.read_at(later);
+        assert!((r.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_of_round_trips() {
+        let epoch = Instant::now();
+        let c = VirtualClock::new(epoch, 1.5, ClockTime::ZERO);
+        let t = ClockTime::from_secs(3.0);
+        let w = c.wall_of(t).unwrap();
+        assert!((c.read_at(w) - t).abs().as_secs() < 1e-6);
+    }
+
+    #[test]
+    fn wall_of_past_is_none() {
+        let epoch = Instant::now();
+        let c = VirtualClock::new(epoch, 1.0, ClockTime::from_secs(10.0));
+        assert!(c.wall_of(ClockTime::from_secs(5.0)).is_none());
+    }
+
+    #[test]
+    fn to_linear_matches() {
+        let epoch = Instant::now();
+        let c = VirtualClock::new(epoch, 1.25, ClockTime::from_secs(2.0));
+        let lin = c.to_linear();
+        use wl_clock::Clock;
+        assert_eq!(lin.rate_at(RealTime::ZERO), 1.25);
+        assert_eq!(lin.read(RealTime::ZERO), ClockTime::from_secs(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_rate_rejected() {
+        let _ = VirtualClock::new(Instant::now(), 0.0, ClockTime::ZERO);
+    }
+}

@@ -1,0 +1,314 @@
+//! One OS thread per process, driving the same automata as the simulator.
+
+use crate::clock::VirtualClock;
+use crate::medium::{MediumConfig, SharedMedium, Transmission};
+use crossbeam::channel::{self, RecvTimeoutError};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wl_sim::{Action, Actions, Automaton, Input, ProcessId};
+use wl_time::{ClockTime, RealTime};
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Drift bound ρ for the virtual clocks (split fast/slow).
+    pub rho: f64,
+    /// Median delay δ (seconds).
+    pub delta: f64,
+    /// Delay uncertainty ε.
+    pub eps: f64,
+    /// Medium busy window (collision granularity).
+    pub busy_window: f64,
+    /// How long to run, in wall seconds.
+    pub duration: f64,
+    /// Seed for delays.
+    pub seed: u64,
+}
+
+/// What a cluster run produced.
+#[derive(Debug)]
+pub struct RuntimeOutcome {
+    /// Correction histories per process, on the wall ("real") axis.
+    pub corr: Vec<wl_sim::CorrectionHistory>,
+    /// Analysis clocks per process (linear, on the wall axis).
+    pub clocks: Vec<wl_clock::LinearClock>,
+    /// Transmissions accepted by the medium.
+    pub transmitted: u64,
+    /// Transmissions lost to collisions.
+    pub collisions: u64,
+    /// Datagrams delivered.
+    pub delivered: u64,
+}
+
+impl RuntimeOutcome {
+    /// Collision rate among attempted broadcasts.
+    #[must_use]
+    pub fn collision_rate(&self) -> f64 {
+        let attempts = self.transmitted + self.collisions;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / attempts as f64
+        }
+    }
+}
+
+/// Runs `n` automata on OS threads against a shared medium.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs the cluster to completion.
+    ///
+    /// `make(p, start_local)` builds process `p`'s automaton; START is
+    /// injected when `p`'s clock reads `start_at[p]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thread spawning fails or `start_at.len() != config.n`.
+    #[must_use]
+    pub fn run<M, F>(config: &ClusterConfig, start_at: &[ClockTime], make: F) -> RuntimeOutcome
+    where
+        M: Send + Clone + std::fmt::Debug + 'static,
+        F: Fn(ProcessId) -> Box<dyn Automaton<Msg = M>>,
+    {
+        assert_eq!(start_at.len(), config.n, "one start time per process");
+        let epoch = Instant::now() + Duration::from_millis(50);
+        let n = config.n;
+
+        // Split drift: half fast, half slow, mirroring DriftModel::Split.
+        let clocks: Vec<VirtualClock> = (0..n)
+            .map(|p| {
+                let rate = if p < n / 2 {
+                    1.0 + config.rho
+                } else {
+                    1.0 / (1.0 + config.rho)
+                };
+                VirtualClock::new(epoch, rate, ClockTime::ZERO)
+            })
+            .collect();
+
+        let mut inbox_txs = Vec::with_capacity(n);
+        let mut inbox_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded::<(ProcessId, M)>();
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
+        }
+        let medium = SharedMedium::spawn(
+            MediumConfig {
+                delta: config.delta,
+                eps: config.eps,
+                busy_window: config.busy_window,
+                seed: config.seed,
+            },
+            inbox_txs,
+        );
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let corr: Vec<Arc<Mutex<wl_sim::CorrectionHistory>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(wl_sim::CorrectionHistory::with_initial(0.0))))
+            .collect();
+
+        let mut handles = Vec::with_capacity(n);
+        for p in 0..n {
+            let auto = make(ProcessId(p));
+            let clock = clocks[p].clone();
+            let rx = inbox_rxs.remove(0);
+            let tx = medium.sender();
+            let stop = Arc::clone(&stop);
+            let corr = Arc::clone(&corr[p]);
+            let start_local = start_at[p];
+            let h = std::thread::Builder::new()
+                .name(format!("wl-node-{p}"))
+                .spawn(move || {
+                    node_loop(p, auto, &clock, &rx, &tx, &stop, &corr, start_local);
+                })
+                .expect("spawn node thread");
+            handles.push(h);
+        }
+
+        std::thread::sleep(Duration::from_secs_f64(config.duration));
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            let _ = h.join();
+        }
+        let stats = medium.stats();
+        let outcome = RuntimeOutcome {
+            corr: corr.iter().map(|c| c.lock().clone()).collect(),
+            clocks: clocks.iter().map(VirtualClock::to_linear).collect(),
+            transmitted: stats.transmitted(),
+            collisions: stats.collisions(),
+            delivered: stats.delivered(),
+        };
+        medium.shutdown();
+        outcome
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_loop<M: Send + Clone + std::fmt::Debug + 'static>(
+    p: usize,
+    mut auto: Box<dyn Automaton<Msg = M>>,
+    clock: &VirtualClock,
+    rx: &channel::Receiver<(ProcessId, M)>,
+    tx: &channel::Sender<Transmission<M>>,
+    stop: &AtomicBool,
+    corr: &Mutex<wl_sim::CorrectionHistory>,
+    start_local: ClockTime,
+) {
+    {
+        let mut c = corr.lock();
+        *c = wl_sim::CorrectionHistory::with_initial(auto.initial_correction());
+    }
+
+    // Pending timers as physical-clock deadlines; min-heap via Reverse.
+    let mut timers: BinaryHeap<std::cmp::Reverse<wl_time::OrderedRealTime>> = BinaryHeap::new();
+    // START is modelled as the first "timer".
+    let mut started = false;
+    let start_wall = clock.wall_of(start_local);
+
+    let mut out: Actions<M> = Actions::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Next deadline: START if not yet delivered, else earliest timer.
+        let next_wall: Option<Instant> = if started {
+            timers.peek().and_then(|std::cmp::Reverse(t)| {
+                clock.wall_of(ClockTime::from_secs(t.0.as_secs()))
+            })
+        } else {
+            start_wall
+        };
+
+        let event = match next_wall {
+            Some(w) => match rx.recv_deadline(w.min(Instant::now() + Duration::from_millis(20))) {
+                Ok((from, msg)) => Some(Input::Message { from, msg }),
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= w {
+                        if started {
+                            timers.pop();
+                            Some(Input::Timer)
+                        } else {
+                            started = true;
+                            Some(Input::Start)
+                        }
+                    } else {
+                        None // woke early to re-check the stop flag
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            None => match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok((from, msg)) => Some(Input::Message { from, msg }),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+        };
+
+        let Some(input) = event else { continue };
+        let phys_now = clock.now();
+        auto.on_input(input, phys_now, &mut out);
+        for action in out.drain() {
+            match action {
+                Action::Broadcast(msg) => {
+                    let _ = tx.send(Transmission { from: ProcessId(p), to: None, msg });
+                }
+                Action::Send { to, msg } => {
+                    let _ = tx.send(Transmission { from: ProcessId(p), to: Some(to), msg });
+                }
+                Action::SetTimer { physical } => {
+                    // §2.2 semantics: deadlines in the past are dropped.
+                    if physical > clock.now() {
+                        timers.push(std::cmp::Reverse(wl_time::OrderedRealTime(
+                            RealTime::from_secs(physical.as_secs()),
+                        )));
+                    }
+                }
+                Action::NoteCorrection(c) => {
+                    corr.lock().record(clock.real_now(), c);
+                }
+                Action::Annotate(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial automaton: broadcasts once on START, counts arrivals.
+    #[derive(Debug)]
+    struct Once;
+    impl Automaton for Once {
+        type Msg = u8;
+        fn on_input(&mut self, input: Input<u8>, _now: ClockTime, out: &mut Actions<u8>) {
+            if matches!(input, Input::Start) {
+                out.broadcast(1);
+                out.note_correction(1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_runs_and_records_corrections() {
+        let config = ClusterConfig {
+            n: 2,
+            rho: 0.0,
+            delta: 0.002,
+            eps: 0.0005,
+            busy_window: 0.0,
+            duration: 0.3,
+            seed: 1,
+        };
+        let outcome = Cluster::run(&config, &[ClockTime::from_secs(0.05); 2], |_p| {
+            Box::new(Once) as Box<dyn Automaton<Msg = u8>>
+        });
+        assert_eq!(outcome.corr.len(), 2);
+        for h in &outcome.corr {
+            assert_eq!(h.adjustments().len(), 1);
+            assert!((h.corr_at(RealTime::from_secs(10.0)) - 1.5).abs() < 1e-12);
+        }
+        // 2 broadcasts x 2 receivers.
+        assert_eq!(outcome.delivered, 4);
+        assert_eq!(outcome.collision_rate(), 0.0);
+    }
+
+    /// Timer-driven ping: START sets a timer 50ms ahead; the timer
+    /// broadcasts.
+    #[derive(Debug)]
+    struct TimerPing;
+    impl Automaton for TimerPing {
+        type Msg = u8;
+        fn on_input(&mut self, input: Input<u8>, now: ClockTime, out: &mut Actions<u8>) {
+            match input {
+                Input::Start => out.set_timer(now + wl_time::ClockDur::from_secs(0.05)),
+                Input::Timer => out.broadcast(9),
+                Input::Message { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_real_time() {
+        let config = ClusterConfig {
+            n: 1,
+            rho: 0.0,
+            delta: 0.001,
+            eps: 0.0,
+            busy_window: 0.0,
+            duration: 0.4,
+            seed: 2,
+        };
+        let outcome = Cluster::run(&config, &[ClockTime::from_secs(0.05)], |_p| {
+            Box::new(TimerPing) as Box<dyn Automaton<Msg = u8>>
+        });
+        assert_eq!(outcome.delivered, 1, "the timer must have fired and broadcast");
+    }
+}

@@ -1,0 +1,38 @@
+//! A threaded real-time runtime for the §9.3 implementation study.
+//!
+//! The paper's maintenance algorithm was implemented in C on Suns attached
+//! to an Ethernet, and reality pushed back: reliable bounded-delay
+//! broadcast and datagrams are mutually exclusive. Datagram broadcast is
+//! cheap but collides — and because a good synchronization algorithm makes
+//! everyone broadcast *at the same moment*, "when the system behaves well,
+//! it is punished". The fix is to stagger: process `p` broadcasts at
+//! `Tⁱ + p·σ`.
+//!
+//! This crate reproduces that study without the Suns:
+//!
+//! * [`VirtualClock`] — a drifting physical clock over the host's
+//!   monotonic wall clock.
+//! * [`SharedMedium`] — a router thread modelling a single broadcast
+//!   domain: a transmission occupies the medium for a configurable window
+//!   and transmissions that start while the medium is busy are *dropped*
+//!   (the paper's overwritten kernel buffers).
+//! * [`Cluster`] — spawns one OS thread per process running the very same
+//!   [`wl_sim::Automaton`] implementations as the discrete-event
+//!   simulator (the algorithm code cannot tell which runtime drives it),
+//!   and collects correction histories and collision counts.
+//!
+//! The substitution is documented in DESIGN.md: OS threads + channels
+//! stand in for Unix processes + an Ethernet; the collision semantics —
+//! overlapping broadcasts lose datagrams — are preserved, which is all the
+//! staggering experiment (E10) needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod cluster;
+mod medium;
+
+pub use clock::VirtualClock;
+pub use cluster::{Cluster, ClusterConfig, RuntimeOutcome};
+pub use medium::{MediumConfig, MediumStats, SharedMedium, Transmission};

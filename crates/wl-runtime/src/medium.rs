@@ -1,0 +1,340 @@
+//! The shared broadcast medium: one router thread, collision semantics.
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wl_sim::ProcessId;
+
+/// Configuration of the shared medium.
+#[derive(Debug, Clone, Copy)]
+pub struct MediumConfig {
+    /// Median propagation delay δ (seconds, wall/virtual 1:1).
+    pub delta: f64,
+    /// Delay uncertainty ε.
+    pub eps: f64,
+    /// How long one transmission occupies the medium; a transmission
+    /// starting while the medium is busy is dropped entirely (the paper's
+    /// datagram loss under overload).
+    pub busy_window: f64,
+    /// RNG seed for per-datagram jitter.
+    pub seed: u64,
+}
+
+/// Counters maintained by the router.
+#[derive(Debug, Default)]
+pub struct MediumStats {
+    /// Transmissions accepted onto the medium.
+    pub transmitted: std::sync::atomic::AtomicU64,
+    /// Transmissions dropped due to a busy medium (collisions).
+    pub collisions: std::sync::atomic::AtomicU64,
+    /// Individual datagrams delivered.
+    pub delivered: std::sync::atomic::AtomicU64,
+}
+
+impl MediumStats {
+    /// Accepted transmission count.
+    #[must_use]
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted.load(Ordering::Relaxed)
+    }
+
+    /// Collision (dropped transmission) count.
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Delivered datagram count.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// A transmission request from a node.
+#[derive(Debug)]
+pub struct Transmission<M> {
+    /// Sender.
+    pub from: ProcessId,
+    /// `None` = broadcast to everyone (including the sender); `Some(q)` =
+    /// unicast.
+    pub to: Option<ProcessId>,
+    /// Payload.
+    pub msg: M,
+}
+
+struct Scheduled<M> {
+    at: Instant,
+    to: usize,
+    from: ProcessId,
+    msg: M,
+    seq: u64,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The shared medium router.
+///
+/// Nodes push [`Transmission`]s; the router applies collision semantics,
+/// samples a per-datagram delay in `[δ−ε, δ+ε]`, and delivers into each
+/// recipient's inbox channel.
+pub struct SharedMedium<M> {
+    tx: Sender<Transmission<M>>,
+    stats: Arc<MediumStats>,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<M: Send + Clone + 'static> SharedMedium<M> {
+    /// Spawns the router thread delivering into `inboxes[q]`.
+    #[must_use]
+    pub fn spawn(
+        config: MediumConfig,
+        inboxes: Vec<Sender<(ProcessId, M)>>,
+    ) -> Self {
+        let (tx, rx) = channel::unbounded::<Transmission<M>>();
+        let stats = Arc::new(MediumStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = std::thread::Builder::new()
+            .name("wl-medium".into())
+            .spawn({
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                move || router_loop(&config, &rx, &inboxes, &stats, &stop)
+            })
+            .expect("spawn router thread");
+        Self {
+            tx,
+            stats,
+            stop,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// The sender half nodes use to transmit.
+    #[must_use]
+    pub fn sender(&self) -> Sender<Transmission<M>> {
+        self.tx.clone()
+    }
+
+    /// The router's counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<MediumStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops the router and joins its thread.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M> Drop for SharedMedium<M> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.get_mut().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn router_loop<M: Send + Clone + 'static>(
+    config: &MediumConfig,
+    rx: &Receiver<Transmission<M>>,
+    inboxes: &[Sender<(ProcessId, M)>],
+    stats: &MediumStats,
+    stop: &AtomicBool,
+) {
+    let n = inboxes.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut heap: BinaryHeap<Scheduled<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut busy_until: Option<Instant> = None;
+
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while let Some(top) = heap.peek() {
+            if top.at <= now {
+                let s = heap.pop().expect("peeked");
+                stats.delivered.fetch_add(1, Ordering::SeqCst);
+                if inboxes[s.to].send((s.from, s.msg)).is_err() {
+                    stats.delivered.fetch_sub(1, Ordering::SeqCst);
+                }
+            } else {
+                break;
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Wait for the next transmission or the next due delivery.
+        let timeout = heap
+            .peek()
+            .map_or(Duration::from_millis(20), |s| {
+                s.at.saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(20))
+            });
+        match rx.recv_timeout(timeout) {
+            Ok(t) => {
+                let now = Instant::now();
+                // Collision check applies to broadcasts (medium
+                // transmissions); unicast control traffic is not modelled
+                // as occupying the medium.
+                let colliding = t.to.is_none()
+                    && busy_until.is_some_and(|b| now < b);
+                if colliding {
+                    stats.collisions.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if t.to.is_none() {
+                    busy_until = Some(now + Duration::from_secs_f64(config.busy_window));
+                }
+                stats.transmitted.fetch_add(1, Ordering::Relaxed);
+                let targets: Vec<usize> = match t.to {
+                    Some(q) => vec![q.index()],
+                    None => (0..n).collect(),
+                };
+                for q in targets {
+                    let d = rng.gen_range((config.delta - config.eps)..=(config.delta + config.eps));
+                    heap.push(Scheduled {
+                        at: now + Duration::from_secs_f64(d),
+                        to: q,
+                        from: t.from,
+                        msg: t.msg.clone(),
+                        seq,
+                    });
+                    seq += 1;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Drain remaining deliveries, then exit.
+                while let Some(s) = heap.pop() {
+                    let wait = s.at.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    stats.delivered.fetch_add(1, Ordering::SeqCst);
+                    if inboxes[s.to].send((s.from, s.msg)).is_err() {
+                        stats.delivered.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(busy_ms: f64) -> MediumConfig {
+        MediumConfig {
+            delta: 0.005,
+            eps: 0.001,
+            busy_window: busy_ms * 1e-3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let (tx0, rx0) = channel::unbounded();
+        let (tx1, rx1) = channel::unbounded();
+        let medium = SharedMedium::spawn(config(0.0), vec![tx0, tx1]);
+        medium
+            .sender()
+            .send(Transmission { from: ProcessId(0), to: None, msg: 42u32 })
+            .unwrap();
+        let a = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(a, (ProcessId(0), 42));
+        assert_eq!(b, (ProcessId(0), 42));
+        assert_eq!(medium.stats().delivered(), 2);
+        medium.shutdown();
+    }
+
+    #[test]
+    fn unicast_reaches_only_target() {
+        let (tx0, rx0) = channel::unbounded();
+        let (tx1, rx1) = channel::unbounded();
+        let medium = SharedMedium::spawn(config(0.0), vec![tx0, tx1]);
+        medium
+            .sender()
+            .send(Transmission { from: ProcessId(0), to: Some(ProcessId(1)), msg: 7u32 })
+            .unwrap();
+        let b = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(b, (ProcessId(0), 7));
+        assert!(rx0.recv_timeout(Duration::from_millis(100)).is_err());
+        medium.shutdown();
+    }
+
+    #[test]
+    fn overlapping_broadcasts_collide() {
+        let (tx0, rx0) = channel::unbounded();
+        let medium = SharedMedium::spawn(config(50.0), vec![tx0]);
+        // Two back-to-back broadcasts within the 50ms busy window: the
+        // second must be dropped.
+        medium
+            .sender()
+            .send(Transmission { from: ProcessId(0), to: None, msg: 1u32 })
+            .unwrap();
+        medium
+            .sender()
+            .send(Transmission { from: ProcessId(0), to: None, msg: 2u32 })
+            .unwrap();
+        let first = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.1, 1);
+        assert!(rx0.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(medium.stats().collisions(), 1);
+        medium.shutdown();
+    }
+
+    #[test]
+    fn spaced_broadcasts_do_not_collide() {
+        let (tx0, rx0) = channel::unbounded();
+        let medium = SharedMedium::spawn(config(5.0), vec![tx0]);
+        medium
+            .sender()
+            .send(Transmission { from: ProcessId(0), to: None, msg: 1u32 })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        medium
+            .sender()
+            .send(Transmission { from: ProcessId(1), to: None, msg: 2u32 })
+            .unwrap();
+        let _ = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
+        let _ = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(medium.stats().collisions(), 0);
+        medium.shutdown();
+    }
+}

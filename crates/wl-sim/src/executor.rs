@@ -1,0 +1,646 @@
+//! The execution engine: drives automata through the global message buffer.
+//!
+//! Implements §2.3's execution semantics: events are delivered in order of
+//! real time, with TIMER interrupts ordered after ordinary messages at the
+//! same instant; each delivery triggers one process step whose outputs are
+//! inserted back into the buffer with delays from the [`DelayModel`].
+//! Everything is deterministic given the seed.
+
+use crate::delay::{DelayBounds, DelayModel};
+use crate::event::{EventClass, Input, QueuedEvent};
+use crate::history::CorrectionHistory;
+use crate::trace::{Trace, TraceEvent};
+use crate::{Action, Actions, Automaton, ProcessId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+use wl_clock::drift::FleetClock;
+use wl_clock::Clock;
+use wl_time::RealTime;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Stop once the next event would occur at or after this real time.
+    pub t_end: RealTime,
+    /// Seed for the delay model's randomness.
+    pub seed: u64,
+    /// The band every sampled delay must respect (assumption A3); the
+    /// executor panics if the delay model steps outside it.
+    pub delay_bounds: DelayBounds,
+    /// If nonzero, record a [`Trace`] of up to this many events.
+    pub trace_capacity: usize,
+    /// Safety valve: abort after this many deliveries (0 = unlimited).
+    /// Protects tests from runaway Byzantine behaviours.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            t_end: RealTime::from_secs(10.0),
+            seed: 0,
+            delay_bounds: DelayBounds::new(
+                wl_time::RealDur::from_millis(10.0),
+                wl_time::RealDur::from_millis(1.0),
+            ),
+            trace_capacity: 0,
+            max_events: 0,
+        }
+    }
+}
+
+/// Counters describing an execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events delivered (START + TIMER + messages).
+    pub events_delivered: u64,
+    /// Point-to-point message deliveries scheduled (a broadcast to `n`
+    /// processes counts `n`).
+    pub messages_sent: u64,
+    /// Timers scheduled.
+    pub timers_set: u64,
+    /// Timers requested for a physical-clock value already in the past —
+    /// per §2.2 no interrupt is generated. A nonzero count for a nonfaulty
+    /// process indicates a parameter-validation bug (Theorem 4(b) says this
+    /// never happens when `P` is large enough).
+    pub timers_suppressed: u64,
+}
+
+/// The results of an execution.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Per-process correction history (index = process id).
+    pub corr: Vec<CorrectionHistory>,
+    /// Execution counters.
+    pub stats: SimStats,
+    /// Recorded trace (empty if tracing was disabled).
+    pub trace: Trace,
+    /// The real time at which the run stopped.
+    pub stopped_at: RealTime,
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the protocol's message type `M`. Owns the physical clocks
+/// (processes only ever see readings of their own clock), the automata, the
+/// delay model, and the global message buffer.
+pub struct Simulation<M> {
+    clocks: Vec<FleetClock>,
+    procs: Vec<Box<dyn Automaton<Msg = M>>>,
+    delay: Box<dyn DelayModel>,
+    queue: BinaryHeap<std::cmp::Reverse<QueuedEvent<M>>>,
+    corr: Vec<CorrectionHistory>,
+    stats: SimStats,
+    trace: Trace,
+    rng: StdRng,
+    seq: u64,
+    now: RealTime,
+    config: SimConfig,
+    scratch: Actions<M>,
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.procs.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
+    /// Builds a simulation.
+    ///
+    /// * `clocks[p]` — process `p`'s physical clock.
+    /// * `procs[p]` — process `p`'s automaton (correct or Byzantine).
+    /// * `delay` — the message-delay model.
+    /// * `starts[p]` — the real time at which `p`'s START message is
+    ///   delivered (assumption A4 fixes these to `c⁰_p(T⁰)`; scenarios
+    ///   compute them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree on `n` or `n == 0`.
+    #[must_use]
+    pub fn new(
+        clocks: Vec<FleetClock>,
+        procs: Vec<Box<dyn Automaton<Msg = M>>>,
+        delay: Box<dyn DelayModel>,
+        starts: Vec<RealTime>,
+        config: SimConfig,
+    ) -> Self {
+        let n = procs.len();
+        assert!(n > 0, "need at least one process");
+        assert_eq!(clocks.len(), n, "one clock per process");
+        assert_eq!(starts.len(), n, "one start time per process");
+
+        let corr = procs
+            .iter()
+            .map(|p| CorrectionHistory::with_initial(p.initial_correction()))
+            .collect();
+
+        let mut queue = BinaryHeap::new();
+        let mut seq = 0;
+        for (i, &at) in starts.iter().enumerate() {
+            queue.push(std::cmp::Reverse(QueuedEvent {
+                at,
+                class: EventClass::Normal,
+                seq,
+                to: ProcessId(i),
+                input: Input::Start,
+            }));
+            seq += 1;
+        }
+
+        let trace = Trace::with_capacity(config.trace_capacity);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            clocks,
+            procs,
+            delay,
+            queue,
+            corr,
+            stats: SimStats::default(),
+            trace,
+            rng,
+            seq,
+            now: RealTime::from_secs(f64::NEG_INFINITY),
+            config,
+            scratch: Actions::new(),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The physical clocks (for analysis; processes cannot call this).
+    #[must_use]
+    pub fn clocks(&self) -> &[FleetClock] {
+        &self.clocks
+    }
+
+    /// The current simulation real time.
+    #[must_use]
+    pub fn now(&self) -> RealTime {
+        self.now
+    }
+
+    /// Delivers the next event, if any remains before `t_end`.
+    ///
+    /// Returns the real time of the delivered event, or `None` when the
+    /// run is over.
+    pub fn step(&mut self) -> Option<RealTime> {
+        if self.config.max_events != 0 && self.stats.events_delivered >= self.config.max_events {
+            return None;
+        }
+        let ev = loop {
+            let head = self.queue.peek()?;
+            if head.0.at >= self.config.t_end {
+                return None;
+            }
+            break self.queue.pop()?.0;
+        };
+        debug_assert!(
+            ev.at.total_cmp(&self.now).is_ge() || !self.now.is_finite(),
+            "event queue went backwards"
+        );
+        self.now = ev.at;
+        self.stats.events_delivered += 1;
+
+        let p = ev.to;
+        let phys_now = self.clocks[p.index()].read(ev.at);
+
+        if self.config.trace_capacity > 0 {
+            let te = match &ev.input {
+                Input::Start => TraceEvent::Start { to: p, at: ev.at },
+                Input::Timer => TraceEvent::Timer { to: p, at: ev.at },
+                Input::Message { from, msg } => TraceEvent::Deliver {
+                    from: *from,
+                    to: p,
+                    at: ev.at,
+                    msg: format!("{msg:?}"),
+                },
+            };
+            self.trace.push(te);
+        }
+
+        let mut out = std::mem::take(&mut self.scratch);
+        self.procs[p.index()].on_input(ev.input, phys_now, &mut out);
+        let actions: Vec<Action<M>> = out.drain().collect();
+        self.scratch = out;
+        for action in actions {
+            self.apply_action(p, action);
+        }
+        Some(self.now)
+    }
+
+    fn apply_action(&mut self, p: ProcessId, action: Action<M>) {
+        match action {
+            Action::Broadcast(msg) => {
+                for q in 0..self.n() {
+                    self.schedule_send(p, ProcessId(q), msg.clone());
+                }
+            }
+            Action::Send { to, msg } => {
+                assert!(to.index() < self.n(), "send target {to} out of range");
+                self.schedule_send(p, to, msg);
+            }
+            Action::SetTimer { physical } => {
+                let fire_at = self.clocks[p.index()].time_of(physical);
+                let suppressed = fire_at <= self.now;
+                if self.config.trace_capacity > 0 {
+                    self.trace.push(TraceEvent::TimerSet {
+                        by: p,
+                        at: self.now,
+                        physical,
+                        suppressed,
+                    });
+                }
+                if suppressed {
+                    // §2.2: if Ph⁻¹(T) is not in the future, no message is
+                    // placed in the buffer.
+                    self.stats.timers_suppressed += 1;
+                } else {
+                    self.stats.timers_set += 1;
+                    let seq = self.next_seq();
+                    self.queue.push(std::cmp::Reverse(QueuedEvent {
+                        at: fire_at,
+                        class: EventClass::Timer,
+                        seq,
+                        to: p,
+                        input: Input::Timer,
+                    }));
+                }
+            }
+            Action::NoteCorrection(c) => {
+                self.corr[p.index()].record(self.now, c);
+                if self.config.trace_capacity > 0 {
+                    self.trace.push(TraceEvent::Correction { by: p, at: self.now, corr: c });
+                }
+            }
+            Action::Annotate(text) => {
+                if self.config.trace_capacity > 0 {
+                    self.trace.push(TraceEvent::Note { by: p, at: self.now, text });
+                }
+            }
+        }
+    }
+
+    fn schedule_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        let d = self.delay.delay(from, to, self.now, &mut self.rng);
+        assert!(
+            self.config.delay_bounds.contains(d),
+            "delay model produced {d} outside the band [{}, {}] (A3 violation)",
+            self.config.delay_bounds.min_delay(),
+            self.config.delay_bounds.max_delay(),
+        );
+        let deliver_at = self.now + d;
+        self.stats.messages_sent += 1;
+        if self.config.trace_capacity > 0 {
+            self.trace.push(TraceEvent::Send { from, to, at: self.now, deliver_at });
+        }
+        let seq = self.next_seq();
+        self.queue.push(std::cmp::Reverse(QueuedEvent {
+            at: deliver_at,
+            class: EventClass::Normal,
+            seq,
+            to,
+            input: Input::Message { from, msg },
+        }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Runs to completion and returns the outcome.
+    #[must_use]
+    pub fn run(&mut self) -> SimOutcome {
+        while self.step().is_some() {}
+        SimOutcome {
+            corr: self.corr.clone(),
+            stats: self.stats,
+            trace: std::mem::take(&mut self.trace),
+            stopped_at: self.now,
+        }
+    }
+
+    /// Read-only view of the correction histories mid-run.
+    #[must_use]
+    pub fn correction_histories(&self) -> &[CorrectionHistory] {
+        &self.corr
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{ConstantDelay, PerPairDelay};
+    use wl_clock::drift::DriftModel;
+    use wl_time::{ClockDur, ClockTime, RealDur};
+
+    /// Ping-pong: 0 sends to 1 on start; each message is answered until a
+    /// hop budget runs out.
+    #[derive(Debug)]
+    struct PingPong {
+        budget: u32,
+        me: usize,
+    }
+
+    impl Automaton for PingPong {
+        type Msg = u32;
+        fn on_input(&mut self, input: Input<u32>, _now: ClockTime, out: &mut Actions<u32>) {
+            match input {
+                Input::Start => {
+                    if self.me == 0 {
+                        out.send(ProcessId(1), 0);
+                    }
+                }
+                Input::Message { from, msg } => {
+                    if msg < self.budget {
+                        out.send(from, msg + 1);
+                    }
+                }
+                Input::Timer => {}
+            }
+        }
+    }
+
+    fn simple_sim(budget: u32, delay_ms: f64, t_end: f64) -> Simulation<u32> {
+        let n = 2;
+        let clocks = DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0);
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = (0..n)
+            .map(|me| Box::new(PingPong { budget, me }) as Box<dyn Automaton<Msg = u32>>)
+            .collect();
+        Simulation::new(
+            clocks,
+            procs,
+            Box::new(ConstantDelay::new(RealDur::from_millis(delay_ms))),
+            vec![RealTime::ZERO; n],
+            SimConfig {
+                t_end: RealTime::from_secs(t_end),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(delay_ms), RealDur::ZERO),
+                trace_capacity: 1000,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ping_pong_counts_messages() {
+        let outcome = simple_sim(4, 1.0, 10.0).run();
+        // msgs: 0,1,2,3,4 -> 5 sends; deliveries: 2 starts + 5 messages.
+        assert_eq!(outcome.stats.messages_sent, 5);
+        assert_eq!(outcome.stats.events_delivered, 7);
+    }
+
+    #[test]
+    fn t_end_cuts_off_future_events() {
+        // Each hop takes 1ms; with t_end = 2.5ms only msgs at 1ms and 2ms
+        // are delivered.
+        let outcome = simple_sim(100, 1.0, 0.0025).run();
+        assert_eq!(outcome.stats.events_delivered, 2 + 2);
+        assert!(outcome.stopped_at < RealTime::from_secs(0.0025));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simple_sim(10, 1.0, 1.0).run();
+        let b = simple_sim(10, 1.0, 1.0).run();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn trace_records_sends_and_delivers() {
+        let outcome = simple_sim(1, 1.0, 1.0).run();
+        let sends = outcome
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count();
+        assert_eq!(sends, 2);
+        let delivers = outcome
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+            .count();
+        assert_eq!(delivers, 2);
+    }
+
+    /// An automaton that sets a timer in the past (on purpose).
+    #[derive(Debug)]
+    struct BadTimer;
+    impl Automaton for BadTimer {
+        type Msg = u32;
+        fn on_input(&mut self, input: Input<u32>, phys_now: ClockTime, out: &mut Actions<u32>) {
+            if matches!(input, Input::Start) {
+                out.set_timer(phys_now - ClockDur::from_secs(1.0));
+                out.set_timer(phys_now + ClockDur::from_secs(0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn past_timers_suppressed_future_timers_fire() {
+        let clocks = DriftModel::Ideal.build(1, &[ClockTime::ZERO], 0);
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = vec![Box::new(BadTimer)];
+        let mut sim = Simulation::new(
+            clocks,
+            procs,
+            Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
+            vec![RealTime::from_secs(2.0)],
+            SimConfig {
+                t_end: RealTime::from_secs(10.0),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
+                ..SimConfig::default()
+            },
+        );
+        let outcome = sim.run();
+        assert_eq!(outcome.stats.timers_suppressed, 1);
+        assert_eq!(outcome.stats.timers_set, 1);
+        // START + 1 timer
+        assert_eq!(outcome.stats.events_delivered, 2);
+    }
+
+    /// Records the order in which inputs arrive.
+    #[derive(Debug, Default)]
+    struct OrderProbe {
+        log: Vec<&'static str>,
+    }
+    impl Automaton for OrderProbe {
+        type Msg = u32;
+        fn on_input(&mut self, input: Input<u32>, phys_now: ClockTime, out: &mut Actions<u32>) {
+            match input {
+                Input::Start => {
+                    // Timer for phys time 1.0; a message will arrive at the
+                    // same real time.
+                    out.set_timer(phys_now + ClockDur::from_secs(1.0));
+                    out.send(ProcessId(0), 7);
+                    self.log.push("start");
+                }
+                Input::Timer => self.log.push("timer"),
+                Input::Message { .. } => self.log.push("msg"),
+            }
+        }
+    }
+
+    #[test]
+    fn timer_after_message_at_same_instant() {
+        // Message delay exactly 1.0s, timer due at the same real time 1.0s:
+        // §2.3 property 4 requires the message first.
+        let clocks = DriftModel::Ideal.build(1, &[ClockTime::ZERO], 0);
+        let probe = Box::new(OrderProbe::default());
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = vec![probe];
+        let mut sim = Simulation::new(
+            clocks,
+            procs,
+            Box::new(ConstantDelay::new(RealDur::from_secs(1.0))),
+            vec![RealTime::ZERO],
+            SimConfig {
+                t_end: RealTime::from_secs(5.0),
+                delay_bounds: DelayBounds::new(RealDur::from_secs(1.0), RealDur::ZERO),
+                trace_capacity: 100,
+                ..SimConfig::default()
+            },
+        );
+        let outcome = sim.run();
+        // Inspect the trace: Deliver at t=1.0 must precede Timer at t=1.0.
+        let order: Vec<&str> = outcome
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Deliver { .. } => Some("msg"),
+                TraceEvent::Timer { .. } => Some("timer"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec!["msg", "timer"]);
+    }
+
+    #[test]
+    fn correction_notes_recorded() {
+        #[derive(Debug)]
+        struct Corrector;
+        impl Automaton for Corrector {
+            type Msg = u32;
+            fn on_input(&mut self, input: Input<u32>, _now: ClockTime, out: &mut Actions<u32>) {
+                if matches!(input, Input::Start) {
+                    out.note_correction(1.5);
+                }
+            }
+            fn initial_correction(&self) -> f64 {
+                -2.0
+            }
+        }
+        let clocks = DriftModel::Ideal.build(1, &[ClockTime::ZERO], 0);
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = vec![Box::new(Corrector)];
+        let mut sim = Simulation::new(
+            clocks,
+            procs,
+            Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
+            vec![RealTime::from_secs(1.0)],
+            SimConfig {
+                t_end: RealTime::from_secs(2.0),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
+                ..SimConfig::default()
+            },
+        );
+        let outcome = sim.run();
+        assert_eq!(outcome.corr[0].corr_at(RealTime::from_secs(0.5)), -2.0);
+        assert_eq!(outcome.corr[0].corr_at(RealTime::from_secs(1.5)), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "A3 violation")]
+    fn out_of_band_delay_detected() {
+        let clocks = DriftModel::Ideal.build(2, &[ClockTime::ZERO; 2], 0);
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = (0..2)
+            .map(|me| Box::new(PingPong { budget: 1, me }) as Box<dyn Automaton<Msg = u32>>)
+            .collect();
+        // Delay model says 5ms but declared bounds say 1ms +/- 0.
+        let mut sim = Simulation::new(
+            clocks,
+            procs,
+            Box::new(ConstantDelay::new(RealDur::from_millis(5.0))),
+            vec![RealTime::ZERO; 2],
+            SimConfig {
+                t_end: RealTime::from_secs(1.0),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
+                ..SimConfig::default()
+            },
+        );
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn max_events_safety_valve() {
+        let clocks = DriftModel::Ideal.build(2, &[ClockTime::ZERO; 2], 0);
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = (0..2)
+            .map(|me| Box::new(PingPong { budget: u32::MAX, me }) as Box<dyn Automaton<Msg = u32>>)
+            .collect();
+        let mut sim = Simulation::new(
+            clocks,
+            procs,
+            Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
+            vec![RealTime::ZERO; 2],
+            SimConfig {
+                t_end: RealTime::from_secs(1e9),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
+                max_events: 50,
+                ..SimConfig::default()
+            },
+        );
+        let outcome = sim.run();
+        assert_eq!(outcome.stats.events_delivered, 50);
+    }
+
+    #[test]
+    fn per_pair_delays_respected() {
+        let clocks = DriftModel::Ideal.build(2, &[ClockTime::ZERO; 2], 0);
+        let procs: Vec<Box<dyn Automaton<Msg = u32>>> = (0..2)
+            .map(|me| Box::new(PingPong { budget: 0, me }) as Box<dyn Automaton<Msg = u32>>)
+            .collect();
+        let mut m = PerPairDelay::uniform(2, RealDur::from_millis(9.0));
+        m.set(ProcessId(0), ProcessId(1), RealDur::from_millis(11.0));
+        let mut sim = Simulation::new(
+            clocks,
+            procs,
+            Box::new(m),
+            vec![RealTime::ZERO; 2],
+            SimConfig {
+                t_end: RealTime::from_secs(1.0),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(10.0), RealDur::from_millis(1.0)),
+                trace_capacity: 100,
+                ..SimConfig::default()
+            },
+        );
+        let outcome = sim.run();
+        let deliver_at = outcome
+            .trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Deliver { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        assert!((deliver_at.as_secs() - 0.011).abs() < 1e-12);
+    }
+}

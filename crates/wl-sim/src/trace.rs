@@ -1,0 +1,189 @@
+//! Execution traces: an optional structured log of everything that happened.
+
+use crate::ProcessId;
+use wl_time::{ClockTime, RealTime};
+
+/// One recorded occurrence in an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A START delivery.
+    Start {
+        /// Recipient.
+        to: ProcessId,
+        /// Real time of delivery.
+        at: RealTime,
+    },
+    /// A TIMER delivery.
+    Timer {
+        /// Recipient.
+        to: ProcessId,
+        /// Real time of delivery.
+        at: RealTime,
+    },
+    /// An ordinary message delivery.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Real time of delivery.
+        at: RealTime,
+        /// Debug rendering of the message body.
+        msg: String,
+    },
+    /// A message entered the buffer.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Real time of sending.
+        at: RealTime,
+        /// Scheduled delivery real time.
+        deliver_at: RealTime,
+    },
+    /// A timer was set.
+    TimerSet {
+        /// Owner.
+        by: ProcessId,
+        /// Real time at which it was set.
+        at: RealTime,
+        /// Requested physical-clock deadline.
+        physical: ClockTime,
+        /// Whether the deadline was already in the past (suppressed, per
+        /// §2.2: no message is placed in the buffer).
+        suppressed: bool,
+    },
+    /// A correction change.
+    Correction {
+        /// Process.
+        by: ProcessId,
+        /// Real time of the change.
+        at: RealTime,
+        /// New correction value (clock seconds).
+        corr: f64,
+    },
+    /// A free-form annotation from the automaton.
+    Note {
+        /// Process.
+        by: ProcessId,
+        /// Real time.
+        at: RealTime,
+        /// Annotation text.
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// The real time of the event.
+    #[must_use]
+    pub fn at(&self) -> RealTime {
+        match *self {
+            TraceEvent::Start { at, .. }
+            | TraceEvent::Timer { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Send { at, .. }
+            | TraceEvent::TimerSet { at, .. }
+            | TraceEvent::Correction { at, .. }
+            | TraceEvent::Note { at, .. } => at,
+        }
+    }
+}
+
+/// A bounded in-memory trace.
+///
+/// Recording stops silently after `capacity` events (executions can be
+/// millions of events long; traces are a debugging aid, not an archive).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (dropping it if at capacity).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were dropped after capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Events touching process `p`, in order.
+    pub fn for_process(&self, p: ProcessId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::Start { to, .. } | TraceEvent::Timer { to, .. } => *to == p,
+            TraceEvent::Deliver { from, to, .. } | TraceEvent::Send { from, to, .. } => {
+                *from == p || *to == p
+            }
+            TraceEvent::TimerSet { by, .. }
+            | TraceEvent::Correction { by, .. }
+            | TraceEvent::Note { by, .. } => *by == p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> RealTime {
+        RealTime::from_secs(s)
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut tr = Trace::with_capacity(2);
+        for i in 0..5 {
+            tr.push(TraceEvent::Timer { to: ProcessId(0), at: t(i as f64) });
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.dropped(), 3);
+    }
+
+    #[test]
+    fn for_process_filters_both_roles() {
+        let mut tr = Trace::with_capacity(10);
+        tr.push(TraceEvent::Send {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            at: t(0.0),
+            deliver_at: t(0.01),
+        });
+        tr.push(TraceEvent::Correction { by: ProcessId(2), at: t(1.0), corr: 0.5 });
+        tr.push(TraceEvent::Note { by: ProcessId(1), at: t(2.0), text: "x".into() });
+        assert_eq!(tr.for_process(ProcessId(1)).count(), 2);
+        assert_eq!(tr.for_process(ProcessId(2)).count(), 1);
+        assert_eq!(tr.for_process(ProcessId(3)).count(), 0);
+    }
+
+    #[test]
+    fn event_time_accessor() {
+        let e = TraceEvent::Start { to: ProcessId(0), at: t(4.5) };
+        assert_eq!(e.at(), t(4.5));
+    }
+}

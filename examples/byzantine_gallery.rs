@@ -1,0 +1,71 @@
+//! A gallery of Byzantine behaviours thrown at the algorithm, including
+//! the fault boundary: the same attack absorbed at n = 3f+1 diverges the
+//! fleet at n = 3f (the [DHS] impossibility).
+//!
+//! Run: `cargo run --release --example byzantine_gallery`
+
+use welch_lynch::analysis::skew::SkewSeries;
+use welch_lynch::analysis::ExecutionView;
+use welch_lynch::clock::drift::DriftModel;
+use welch_lynch::core::scenario::{FaultKind, ScenarioBuilder};
+use welch_lynch::core::{theory, Params};
+use welch_lynch::sim::ProcessId;
+use welch_lynch::time::{RealDur, RealTime};
+
+fn steady_skew(params: &Params, fault: Option<FaultKind>, n_override: Option<usize>) -> f64 {
+    let mut params = params.clone();
+    if let Some(n) = n_override {
+        params.n = n;
+    }
+    let mut b = ScenarioBuilder::new(params.clone())
+        .seed(11)
+        .drift(DriftModel::EvenSpread { rho: params.rho })
+        .t_end(RealTime::from_secs(60.0));
+    if let Some(k) = fault {
+        b = b.fault(ProcessId(0), k);
+    }
+    let built = b.build();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(30.0),
+        RealTime::from_secs(58.0),
+        RealDur::from_secs(params.p_round / 5.0),
+    )
+    .max()
+}
+
+fn main() {
+    let params = Params::auto(4, 1, 1e-4, 0.010, 0.001).expect("feasible");
+    let gamma = theory::gamma(&params);
+    println!("n=4, f=1, gamma = {:.3}ms\n", gamma * 1e3);
+
+    let cases: Vec<(&str, Option<FaultKind>)> = vec![
+        ("no faults", None),
+        ("silent", Some(FaultKind::Silent)),
+        ("crash at t=20s", Some(FaultKind::CrashAt(20.0))),
+        ("random protocol spam", Some(FaultKind::RoundSpam)),
+        ("two-faced pull-apart", Some(FaultKind::PullApart(params.beta / 2.0))),
+        ("targeted straddle", Some(FaultKind::PullApartHigh(3.0 * params.beta))),
+    ];
+    for (name, fault) in cases {
+        let skew = steady_skew(&params, fault, None);
+        println!(
+            "{name:<24} skew {:>9.3}ms  ({})",
+            skew * 1e3,
+            if skew <= gamma { "within gamma" } else { "DIVERGED" }
+        );
+    }
+
+    println!("\n--- the boundary: same straddle attack, one process fewer ---");
+    let attack = Some(FaultKind::PullApartHigh(3.0 * params.beta));
+    let ok = steady_skew(&params, attack, Some(4));
+    let broken = steady_skew(&params, attack, Some(3));
+    println!("n = 3f+1 = 4: skew {:>9.3}ms (absorbed)", ok * 1e3);
+    println!("n = 3f   = 3: skew {:>9.3}ms (diverges: [DHS] impossibility)", broken * 1e3);
+    assert!(ok <= gamma);
+    assert!(broken > gamma, "expected divergence at n = 3f");
+}

@@ -1,0 +1,55 @@
+//! Reintegration: a process crashes out, is repaired mid-round, orients
+//! itself from the traffic, and rejoins within the synchronization
+//! envelope (§9.1).
+//!
+//! Run: `cargo run --release --example rejoin`
+
+use welch_lynch::analysis::skew::SkewSeries;
+use welch_lynch::analysis::ExecutionView;
+use welch_lynch::core::scenario::ScenarioBuilder;
+use welch_lynch::core::{theory, Params};
+use welch_lynch::sim::ProcessId;
+use welch_lynch::time::{RealDur, RealTime};
+
+fn main() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).expect("feasible");
+    let repair_at = 10.0 + 0.4 * params.p_round; // mid-round, on purpose
+    let t_end = 40.0;
+
+    println!(
+        "process 3 is down from the start; repaired at t = {repair_at:.3}s (mid-round)"
+    );
+    let built = ScenarioBuilder::new(params.clone())
+        .seed(5)
+        .rejoiner(ProcessId(3), RealTime::from_secs(repair_at))
+        .t_end(RealTime::from_secs(t_end))
+        .trace(100_000)
+        .build();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+
+    // The rejoiner annotates its lifecycle; print it.
+    for ev in outcome.trace.for_process(ProcessId(3)) {
+        if let welch_lynch::sim::trace::TraceEvent::Note { at, text, .. } = ev {
+            println!("  [t={:+.3}s] {}", at.as_secs(), text);
+        }
+    }
+
+    // After a grace period, the rejoined process must be indistinguishable:
+    // skew over ALL FOUR processes within gamma.
+    let view = ExecutionView::new(sim.clocks(), &outcome.corr, vec![false; 4]);
+    let after = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(repair_at + 4.0 * params.p_round),
+        RealTime::from_secs(t_end * 0.98),
+        RealDur::from_secs(params.p_round / 5.0),
+    )
+    .max();
+    let gamma = theory::gamma(&params);
+    println!(
+        "post-rejoin skew including the repaired process: {:.1}us (gamma = {:.1}us)",
+        after * 1e6,
+        gamma * 1e6
+    );
+    assert!(after <= gamma, "rejoined process must be within the envelope");
+}

@@ -1,0 +1,152 @@
+//! End-to-end integration tests: the maintenance algorithm achieves
+//! γ-agreement (Theorem 16) in full simulated executions.
+
+use wl_analysis::agreement::check_agreement;
+use wl_analysis::adjustment::check_adjustments;
+use wl_analysis::ExecutionView;
+use wl_core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
+use wl_core::{theory, Params};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn run_and_check(built: wl_core::scenario::Built, t_end: f64) -> wl_analysis::agreement::AgreementReport {
+    let params = built.params.clone();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    assert_eq!(
+        outcome.stats.timers_suppressed, 0,
+        "Theorem 4(b): no nonfaulty timer may land in the past"
+    );
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    // Start checking after the latest start (the theorem's tmin0 suffices,
+    // but tmax0 is cleaner for the first sample) and after one full round.
+    let from = RealTime::from_secs(params.t0 + 2.0 * params.p_round);
+    check_agreement(
+        &view,
+        &params,
+        from,
+        RealTime::from_secs(t_end * 0.98),
+        RealDur::from_secs(params.p_round / 7.0),
+    )
+}
+
+#[test]
+fn fault_free_n4_agreement_holds() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let t_end = 60.0;
+    let built = ScenarioBuilder::new(params)
+        .seed(11)
+        .t_end(RealTime::from_secs(t_end))
+        .build();
+    let r = run_and_check(built, t_end);
+    assert!(r.holds, "agreement violated: {r:?}");
+    // The bound should not be vacuous: the algorithm does real work, the
+    // skew is nonzero but well inside gamma.
+    assert!(r.max_skew > 0.0);
+}
+
+#[test]
+fn agreement_holds_across_seeds_and_delay_models() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    for seed in [1, 2, 3] {
+        for delay in [DelayKind::Constant, DelayKind::Uniform, DelayKind::AdversarialSplit] {
+            let built = ScenarioBuilder::new(params.clone())
+                .seed(seed)
+                .delay(delay)
+                .t_end(RealTime::from_secs(40.0))
+                .build();
+            let r = run_and_check(built, 40.0);
+            assert!(r.holds, "seed={seed} delay={delay:?}: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn agreement_holds_with_silent_fault() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = ScenarioBuilder::new(params)
+        .seed(5)
+        .fault(ProcessId(3), FaultKind::Silent)
+        .t_end(RealTime::from_secs(40.0))
+        .build();
+    let r = run_and_check(built, 40.0);
+    assert!(r.holds, "{r:?}");
+}
+
+#[test]
+fn agreement_holds_with_crash_mid_run() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = ScenarioBuilder::new(params)
+        .seed(6)
+        .fault(ProcessId(2), FaultKind::CrashAt(15.0))
+        .t_end(RealTime::from_secs(40.0))
+        .build();
+    let r = run_and_check(built, 40.0);
+    assert!(r.holds, "{r:?}");
+}
+
+#[test]
+fn agreement_holds_with_round_spammer() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = ScenarioBuilder::new(params)
+        .seed(7)
+        .fault(ProcessId(1), FaultKind::RoundSpam)
+        .t_end(RealTime::from_secs(40.0))
+        .build();
+    let r = run_and_check(built, 40.0);
+    assert!(r.holds, "{r:?}");
+}
+
+#[test]
+fn agreement_holds_with_pull_apart_attacker() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let amp = params.beta / 2.0;
+    let built = ScenarioBuilder::new(params)
+        .seed(8)
+        .fault(ProcessId(0), FaultKind::PullApart(amp))
+        .t_end(RealTime::from_secs(40.0))
+        .build();
+    let r = run_and_check(built, 40.0);
+    assert!(r.holds, "{r:?}");
+}
+
+#[test]
+fn agreement_holds_n7_f2_two_byzantine() {
+    let params = Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
+    let amp = params.beta / 2.0;
+    let built = ScenarioBuilder::new(params)
+        .seed(9)
+        .fault(ProcessId(0), FaultKind::PullApart(amp))
+        .fault(ProcessId(4), FaultKind::RoundSpam)
+        .t_end(RealTime::from_secs(40.0))
+        .build();
+    let r = run_and_check(built, 40.0);
+    assert!(r.holds, "{r:?}");
+}
+
+#[test]
+fn adjustments_respect_theorem_4a() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let plan;
+    let outcome;
+    let mut sim = {
+        let built = ScenarioBuilder::new(params.clone())
+            .seed(13)
+            .t_end(RealTime::from_secs(60.0))
+            .build();
+        plan = built.plan;
+        built.sim
+    };
+    outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let r = check_adjustments(&view, &params, 1);
+    assert!(r.count > 0);
+    assert!(
+        r.holds,
+        "adjustment bound violated: max {} vs bound {}",
+        r.max_abs, r.bound
+    );
+    // Steady-state adjustments should be comfortably below the bound too.
+    assert!(r.mean_abs < theory::adjustment_bound(&params));
+}

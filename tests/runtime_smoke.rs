@@ -1,0 +1,104 @@
+//! Integration test for the threaded real-time runtime: the same
+//! Maintenance automaton that runs under the discrete-event simulator
+//! synchronizes real OS threads over the shared medium (§9.3).
+//!
+//! Uses ~3 seconds of wall time (it is a real-time runtime).
+
+use welch_lynch::analysis::skew::max_skew_at;
+use welch_lynch::analysis::ExecutionView;
+use welch_lynch::clock::drift::FleetClock;
+use welch_lynch::core::{Maintenance, Params};
+use welch_lynch::runtime::{Cluster, ClusterConfig};
+use welch_lynch::sim::{Automaton, ProcessId};
+use welch_lynch::time::{ClockTime, RealTime};
+
+#[test]
+fn threaded_cluster_synchronizes_with_stagger() {
+    let n = 4;
+    // Wall-clock scale: LAN-ish delays, rounds ~0.3s, 3s of runtime.
+    let (rho, delta, eps) = (1e-4, 0.040, 0.008);
+    let beta = 6.0 * eps;
+    let p_round = 2.0 * welch_lynch::core::params::min_p(rho, delta, eps, beta);
+    let busy_window = 0.004;
+    let sigma = 2.0 * busy_window + beta;
+    let params = Params::new(n, 1, rho, delta, eps, beta, p_round)
+        .unwrap()
+        .with_stagger(sigma)
+        .unwrap();
+
+    let config = ClusterConfig {
+        n,
+        rho,
+        delta,
+        eps,
+        busy_window,
+        duration: 3.0,
+        seed: 5,
+    };
+    let starts = vec![ClockTime::from_secs(params.t0); n];
+    let outcome = Cluster::run(&config, &starts, |p: ProcessId| {
+        Box::new(Maintenance::new(p, params.clone(), 0.0)) as Box<dyn Automaton<Msg = _>>
+    });
+
+    // Staggered: no collisions, several rounds of broadcasts on air.
+    assert_eq!(outcome.collisions, 0, "staggered broadcasts must not collide");
+    assert!(
+        outcome.transmitted >= (n as u64) * 4,
+        "expected several rounds of broadcasts, got {}",
+        outcome.transmitted
+    );
+    // Every process kept resynchronizing.
+    for (i, h) in outcome.corr.iter().enumerate() {
+        assert!(
+            h.adjustments().len() >= 3,
+            "p{i} adjusted only {} times",
+            h.adjustments().len()
+        );
+    }
+    // Skew at the end of the run is bounded. Real-time scheduling jitter
+    // (thread wakeups, channel latency) adds to the model's epsilon, so
+    // the check is against a generous multiple of gamma rather than gamma
+    // itself.
+    let clocks: Vec<FleetClock> = outcome
+        .clocks
+        .iter()
+        .map(|c| FleetClock::Linear(c.clone()))
+        .collect();
+    let view = ExecutionView::new(&clocks, &outcome.corr, vec![false; n]);
+    let skew = max_skew_at(&view, RealTime::from_secs(2.9));
+    let gamma = welch_lynch::core::theory::gamma(&params);
+    assert!(
+        skew < 5.0 * gamma,
+        "end-of-run skew {skew} vs 5*gamma {}",
+        5.0 * gamma
+    );
+}
+
+#[test]
+fn threaded_cluster_collides_without_stagger() {
+    let n = 4;
+    let (rho, delta, eps) = (1e-4, 0.040, 0.008);
+    let beta = 6.0 * eps;
+    let p_round = 2.0 * welch_lynch::core::params::min_p(rho, delta, eps, beta);
+    let params = Params::new(n, 1, rho, delta, eps, beta, p_round).unwrap();
+
+    let config = ClusterConfig {
+        n,
+        rho,
+        delta,
+        eps,
+        busy_window: 0.004,
+        duration: 1.5,
+        seed: 6,
+    };
+    let starts = vec![ClockTime::from_secs(params.t0); n];
+    let outcome = Cluster::run(&config, &starts, |p: ProcessId| {
+        Box::new(Maintenance::new(p, params.clone(), 0.0)) as Box<dyn Automaton<Msg = _>>
+    });
+    // Synchronized broadcasts on a busy medium must collide ("when the
+    // system behaves well, it is punished").
+    assert!(
+        outcome.collisions > 0,
+        "expected collisions with sigma = 0, got stats {outcome:?}"
+    );
+}

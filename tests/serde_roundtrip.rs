@@ -1,0 +1,301 @@
+//! Serialization-shape tests (C-SERDE): the config and measurement types
+//! derive `Serialize`/`Deserialize` so experiment setups can be stored and
+//! replayed. `serde_json` is not in the offline dependency set, so these
+//! tests drive the derives through a minimal JSON *encoder* implemented on
+//! serde's `Serializer` trait and pin the encoded shape.
+
+use welch_lynch::core::{Params, StartupParams, WlMsg};
+use welch_lynch::multiset::Multiset;
+use welch_lynch::sim::ProcessId;
+use welch_lynch::time::{ClockDur, ClockTime, RealDur, RealTime};
+
+/// A deliberately small JSON encoder, sufficient for the flat types in
+/// this workspace (numbers, strings, bools, sequences, structs, enums).
+mod tiny_json {
+    pub fn to_string<T: serde::Serialize>(v: &T) -> String {
+        let mut s = Ser { out: String::new() };
+        v.serialize(&mut s).expect("encodable");
+        s.out
+    }
+
+    pub struct Ser {
+        pub out: String,
+    }
+
+    use serde::ser::*;
+    use std::fmt::Write;
+
+    #[derive(Debug)]
+    pub struct Err0(String);
+    impl std::fmt::Display for Err0 {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for Err0 {}
+    impl serde::ser::Error for Err0 {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Err0(msg.to_string())
+        }
+    }
+
+    macro_rules! simple {
+        ($m:ident, $t:ty) => {
+            fn $m(self, v: $t) -> Result<(), Err0> {
+                let _ = write!(self.out, "{v}");
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a> Serializer for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        simple!(serialize_bool, bool);
+        simple!(serialize_i8, i8);
+        simple!(serialize_i16, i16);
+        simple!(serialize_i32, i32);
+        simple!(serialize_i64, i64);
+        simple!(serialize_u8, u8);
+        simple!(serialize_u16, u16);
+        simple!(serialize_u32, u32);
+        simple!(serialize_u64, u64);
+
+        fn serialize_f32(self, v: f32) -> Result<(), Err0> {
+            let _ = write!(self.out, "{v:?}");
+            Ok(())
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Err0> {
+            let _ = write!(self.out, "{v:?}");
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Err0> {
+            let _ = write!(self.out, "{v:?}");
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Err0> {
+            let _ = write!(self.out, "{v:?}");
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Err0> {
+            Err(Err0("bytes unsupported".into()))
+        }
+        fn serialize_none(self) -> Result<(), Err0> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Err0> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Err0> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _n: &'static str) -> Result<(), Err0> {
+            self.serialize_unit()
+        }
+        fn serialize_unit_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            variant: &'static str,
+        ) -> Result<(), Err0> {
+            let _ = write!(self.out, "{variant:?}");
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _n: &'static str,
+            v: &T,
+        ) -> Result<(), Err0> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _n: &'static str,
+            _i: u32,
+            variant: &'static str,
+            v: &T,
+        ) -> Result<(), Err0> {
+            let _ = write!(self.out, "{{{variant:?}:");
+            v.serialize(&mut *self)?;
+            self.out.push('}');
+            Ok(())
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Self, Err0> {
+            self.out.push('[');
+            Ok(self)
+        }
+        fn serialize_tuple(self, len: usize) -> Result<Self, Err0> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_struct(self, _n: &'static str, len: usize) -> Result<Self, Err0> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Err0> {
+            let _ = write!(self.out, "{{{variant:?}:[");
+            Ok(self)
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Self, Err0> {
+            self.out.push('{');
+            Ok(self)
+        }
+        fn serialize_struct(self, _n: &'static str, len: usize) -> Result<Self, Err0> {
+            self.serialize_map(Some(len))
+        }
+        fn serialize_struct_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Err0> {
+            let _ = write!(self.out, "{{{variant:?}:{{");
+            Ok(self)
+        }
+    }
+
+    impl<'a> SerializeSeq for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
+            if !self.out.ends_with('[') {
+                self.out.push(',');
+            }
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Err0> {
+            self.out.push(']');
+            Ok(())
+        }
+    }
+    impl<'a> SerializeTuple for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
+            SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Err0> {
+            SerializeSeq::end(self)
+        }
+    }
+    impl<'a> SerializeTupleStruct for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
+            SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Err0> {
+            SerializeSeq::end(self)
+        }
+    }
+    impl<'a> SerializeTupleVariant for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
+            SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Err0> {
+            self.out.push_str("]}");
+            Ok(())
+        }
+    }
+    impl<'a> SerializeMap for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Err0> {
+            if !self.out.ends_with('{') {
+                self.out.push(',');
+            }
+            k.serialize(&mut **self)
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
+            self.out.push(':');
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Err0> {
+            self.out.push('}');
+            Ok(())
+        }
+    }
+    impl<'a> SerializeStruct for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            k: &'static str,
+            v: &T,
+        ) -> Result<(), Err0> {
+            SerializeMap::serialize_key(self, k)?;
+            SerializeMap::serialize_value(self, v)
+        }
+        fn end(self) -> Result<(), Err0> {
+            SerializeMap::end(self)
+        }
+    }
+    impl<'a> SerializeStructVariant for &'a mut Ser {
+        type Ok = ();
+        type Error = Err0;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            k: &'static str,
+            v: &T,
+        ) -> Result<(), Err0> {
+            SerializeStruct::serialize_field(self, k, v)
+        }
+        fn end(self) -> Result<(), Err0> {
+            self.out.push_str("}}");
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn params_serialize_to_stable_json_shape() {
+    let p = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let json = tiny_json::to_string(&p);
+    for key in ["\"n\"", "\"f\"", "\"rho\"", "\"delta\"", "\"eps\"", "\"beta\"", "\"p_round\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.contains("\"Midpoint\""));
+}
+
+#[test]
+fn startup_params_and_msgs_serialize() {
+    let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let json = tiny_json::to_string(&sp);
+    assert!(json.contains("\"delta\""));
+    let m = WlMsg::Round(ClockTime::from_secs(2.5));
+    let json = tiny_json::to_string(&m);
+    assert!(json.contains("Round"), "{json}");
+    assert!(tiny_json::to_string(&WlMsg::Ready).contains("Ready"));
+}
+
+#[test]
+fn time_types_and_ids_serialize_as_plain_numbers() {
+    assert_eq!(tiny_json::to_string(&RealTime::from_secs(1.5)), "1.5");
+    assert_eq!(tiny_json::to_string(&ClockDur::from_secs(-2.0)), "-2.0");
+    assert_eq!(tiny_json::to_string(&RealDur::from_millis(1.0)), "0.001");
+    assert_eq!(tiny_json::to_string(&ProcessId(7)), "7");
+}
+
+#[test]
+fn multiset_serializes_sorted() {
+    let m = Multiset::from_values(&[3.0, 1.0, 2.0]);
+    let json = tiny_json::to_string(&m);
+    assert!(json.contains("[1.0,2.0,3.0]"), "{json}");
+}

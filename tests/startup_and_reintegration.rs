@@ -1,0 +1,125 @@
+//! Integration tests for the §9 extensions: establishing synchronization
+//! from arbitrary clocks (§9.2) and reintegrating a repaired process
+//! (§9.1).
+
+use welch_lynch::analysis::convergence::round_series;
+use welch_lynch::analysis::skew::SkewSeries;
+use welch_lynch::analysis::ExecutionView;
+use welch_lynch::core::scenario::{build_startup, ScenarioBuilder};
+use welch_lynch::core::{theory, Params, StartupParams};
+use welch_lynch::sim::ProcessId;
+use welch_lynch::time::{RealDur, RealTime};
+
+#[test]
+fn startup_converges_from_seconds_to_milliseconds() {
+    let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = build_startup(&sp, 5.0, &[], 23, RealTime::from_secs(10.0));
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = round_series(&view, RealDur::from_secs(sp.delta));
+    let final_spread = series.final_skew().expect("rounds happened");
+    assert!(
+        final_spread < 10.0 * 4.0 * sp.eps,
+        "failed to converge: {final_spread}"
+    );
+}
+
+#[test]
+fn startup_obeys_lemma20_recurrence_with_silent_fault() {
+    let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = build_startup(&sp, 5.0, &[ProcessId(3)], 23, RealTime::from_secs(10.0));
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = round_series(&view, RealDur::from_secs(sp.delta));
+    assert!(series.skews.len() >= 8, "too few rounds: {}", series.skews.len());
+    // Lemma 20 bound round by round (10% tolerance for wave-measurement
+    // granularity).
+    let violation = series.check_recurrence(
+        |b| theory::startup_recurrence(sp.rho, sp.delta, sp.eps, b),
+        0.10,
+    );
+    assert_eq!(violation, None, "Lemma 20 violated: {:?}", series.skews);
+    // And convergence to within an order of magnitude of 4eps.
+    assert!(series.final_skew().unwrap() < 10.0 * 4.0 * sp.eps);
+}
+
+#[test]
+fn startup_works_for_larger_system() {
+    let sp = StartupParams::new(7, 2, 1e-6, 0.010, 0.001).unwrap();
+    let built = build_startup(&sp, 3.0, &[ProcessId(1), ProcessId(5)], 9, RealTime::from_secs(10.0));
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = round_series(&view, RealDur::from_secs(sp.delta));
+    assert!(series.final_skew().unwrap() < 0.05, "spread {:?}", series.final_skew());
+}
+
+#[test]
+fn rejoiner_enters_envelope_at_every_repair_phase() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let gamma = theory::gamma(&params);
+    for frac in [0.0, 0.3, 0.6, 0.9] {
+        let repair = 8.0 + frac * params.p_round;
+        let built = ScenarioBuilder::new(params.clone())
+            .seed(17)
+            .rejoiner(ProcessId(3), RealTime::from_secs(repair))
+            .t_end(RealTime::from_secs(35.0))
+            .build();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        // All four processes — including the repaired one — within gamma
+        // after a grace period.
+        let view = ExecutionView::new(sim.clocks(), &outcome.corr, vec![false; 4]);
+        let after = SkewSeries::sample_with_events(
+            &view,
+            RealTime::from_secs(repair + 4.0 * params.p_round),
+            RealTime::from_secs(34.0),
+            RealDur::from_secs(params.p_round / 5.0),
+        )
+        .max();
+        assert!(
+            after <= gamma,
+            "phase {frac}: post-rejoin skew {after} > gamma {gamma}"
+        );
+        // The rejoiner must actually have adjusted its clock (its initial
+        // offset was arbitrary).
+        assert!(
+            !outcome.corr[3].adjustments().is_empty(),
+            "phase {frac}: rejoiner never adjusted"
+        );
+    }
+}
+
+#[test]
+fn rejoiner_survives_concurrent_byzantine_noise() {
+    // n = 7, f = 2: one rejoiner (counted faulty until it joins) plus one
+    // spammer — the reintegration safeguards must not be fooled by forged
+    // round values.
+    let params = Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
+    let built = ScenarioBuilder::new(params.clone())
+        .seed(29)
+        .fault(ProcessId(0), welch_lynch::core::scenario::FaultKind::RoundSpam)
+        .rejoiner(ProcessId(6), RealTime::from_secs(9.0))
+        .t_end(RealTime::from_secs(35.0))
+        .build();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let gamma = theory::gamma(&params);
+    // Nonfaulty = everyone but the spammer; includes the rejoined process.
+    let mut faulty = vec![false; 7];
+    faulty[0] = true;
+    let view = ExecutionView::new(sim.clocks(), &outcome.corr, faulty);
+    let after = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(9.0 + 5.0 * params.p_round),
+        RealTime::from_secs(34.0),
+        RealDur::from_secs(params.p_round / 5.0),
+    )
+    .max();
+    assert!(after <= gamma, "skew {after} > gamma {gamma}");
+}

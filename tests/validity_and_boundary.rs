@@ -1,0 +1,125 @@
+//! Integration tests for Theorem 19 (validity) and the A2 fault boundary.
+
+use welch_lynch::analysis::skew::SkewSeries;
+use welch_lynch::analysis::validity::check_validity;
+use welch_lynch::analysis::ExecutionView;
+use welch_lynch::clock::drift::DriftModel;
+use welch_lynch::core::scenario::{FaultKind, ScenarioBuilder};
+use welch_lynch::core::{theory, Params};
+use welch_lynch::sim::ProcessId;
+use welch_lynch::time::{RealDur, RealTime};
+
+fn nonfaulty_start_bounds(
+    starts: &[RealTime],
+    faulty: &[bool],
+) -> (RealTime, RealTime) {
+    let mut tmin = RealTime::from_secs(f64::INFINITY);
+    let mut tmax = RealTime::from_secs(f64::NEG_INFINITY);
+    for (i, &t) in starts.iter().enumerate() {
+        if !faulty[i] {
+            tmin = tmin.min(t);
+            tmax = tmax.max(t);
+        }
+    }
+    (tmin, tmax)
+}
+
+#[test]
+fn validity_envelope_holds_over_long_run() {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let built = ScenarioBuilder::new(params.clone())
+        .seed(31)
+        .t_end(RealTime::from_secs(90.0))
+        .build();
+    let plan = built.plan.clone();
+    let starts = built.starts.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let (tmin0, tmax0) = nonfaulty_start_bounds(&starts, &view.faulty);
+    let r = check_validity(
+        &view,
+        &params,
+        tmin0,
+        tmax0,
+        tmax0,
+        RealTime::from_secs(88.0),
+        RealDur::from_secs(1.0),
+    );
+    assert!(r.holds, "{r:?}");
+    // Synchronized time advances at essentially rate 1.
+    assert!((r.empirical_rate - 1.0).abs() < 1e-3, "rate {}", r.empirical_rate);
+}
+
+#[test]
+fn validity_holds_under_byzantine_attack() {
+    let params = Params::auto(4, 1, 1e-4, 0.010, 0.001).unwrap();
+    let built = ScenarioBuilder::new(params.clone())
+        .seed(37)
+        .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
+        .t_end(RealTime::from_secs(60.0))
+        .build();
+    let plan = built.plan.clone();
+    let starts = built.starts.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let (tmin0, tmax0) = nonfaulty_start_bounds(&starts, &view.faulty);
+    let r = check_validity(
+        &view,
+        &params,
+        tmin0,
+        tmax0,
+        tmax0,
+        RealTime::from_secs(58.0),
+        RealDur::from_secs(0.5),
+    );
+    assert!(r.holds, "{r:?}");
+}
+
+fn boundary_skew(n: usize, f: usize) -> (f64, f64) {
+    let mut params = Params::auto(3 * f + 1, f, 1e-4, 0.010, 0.001).unwrap();
+    params.n = n;
+    let mut b = ScenarioBuilder::new(params.clone())
+        .seed(101)
+        .drift(DriftModel::EvenSpread { rho: params.rho })
+        .t_end(RealTime::from_secs(90.0));
+    for i in 0..f {
+        b = b.fault(ProcessId(i), FaultKind::PullApartHigh(3.0 * params.beta));
+    }
+    let built = b.build();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(5.0),
+        RealTime::from_secs(88.0),
+        RealDur::from_secs(params.p_round / 5.0),
+    );
+    (series.max(), theory::gamma(&params))
+}
+
+#[test]
+fn straddle_attack_absorbed_at_3f_plus_1() {
+    let (skew, gamma) = boundary_skew(4, 1);
+    assert!(skew <= gamma, "skew {skew} > gamma {gamma}");
+}
+
+#[test]
+fn straddle_attack_diverges_at_3f() {
+    let (skew, gamma) = boundary_skew(3, 1);
+    assert!(
+        skew > 5.0 * gamma,
+        "expected divergence at n = 3f: skew {skew}, gamma {gamma}"
+    );
+}
+
+#[test]
+fn straddle_attack_boundary_f2() {
+    let (ok, gamma) = boundary_skew(7, 2);
+    assert!(ok <= gamma, "n=7 skew {ok} > gamma {gamma}");
+    let (broken, _) = boundary_skew(6, 2);
+    assert!(broken > 5.0 * gamma, "n=6 should diverge, got {broken}");
+}
