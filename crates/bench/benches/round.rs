@@ -3,23 +3,27 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use wl_baselines::scenario::build_lm_cnv;
-use wl_core::scenario::ScenarioBuilder;
 use wl_core::Params;
+use wl_harness::{assemble, LmCnv, Maintenance, ScenarioSpec};
 use wl_time::RealTime;
 
 fn wl_execution(n: usize, f: usize, secs: f64) -> u64 {
     let params = Params::auto(n, f, 1e-6, 0.010, 0.001).unwrap();
-    let mut built = ScenarioBuilder::new(params)
-        .seed(3)
-        .t_end(RealTime::from_secs(secs))
-        .build();
+    let mut built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(3)
+            .t_end(RealTime::from_secs(secs)),
+    );
     built.sim.run().stats.events_delivered
 }
 
 fn cnv_execution(n: usize, f: usize, secs: f64) -> u64 {
     let params = Params::auto(n, f, 1e-6, 0.010, 0.001).unwrap();
-    let mut built = build_lm_cnv(&params, &[], 3, RealTime::from_secs(secs));
+    let mut built = assemble::<LmCnv>(
+        &ScenarioSpec::new(params)
+            .seed(3)
+            .t_end(RealTime::from_secs(secs)),
+    );
     built.sim.run().stats.events_delivered
 }
 
@@ -30,9 +34,13 @@ fn bench_full_rounds(c: &mut Criterion) {
             b.iter(|| black_box(wl_execution(n, f, 10.0)));
         });
     }
-    group.bench_with_input(BenchmarkId::new("lm_cnv", 4), &(4usize, 1usize), |b, &(n, f)| {
-        b.iter(|| black_box(cnv_execution(n, f, 10.0)));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("lm_cnv", 4),
+        &(4usize, 1usize),
+        |b, &(n, f)| {
+            b.iter(|| black_box(cnv_execution(n, f, 10.0)));
+        },
+    );
     group.finish();
 }
 

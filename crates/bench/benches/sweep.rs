@@ -1,0 +1,59 @@
+//! SweepRunner throughput: a 64-scenario maintenance grid, serial vs
+//! parallel — the benchmark backing the harness's scaling claim.
+//!
+//! Expected shape: the parallel runner approaches `min(cores, 64)`×
+//! the serial wall-clock (each grid point is an independent
+//! discrete-event simulation; there is no shared state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wl_core::Params;
+use wl_harness::{derive_seed, DelayKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_time::RealTime;
+
+const GRID: u64 = 64;
+
+fn grid() -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..GRID)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0xBEEF, i))
+                .delay(delays[(i % 3) as usize])
+                .t_end(RealTime::from_secs(2.0))
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_64_scenarios");
+    group.throughput(Throughput::Elements(GRID));
+    group.bench_with_input(BenchmarkId::new("serial", GRID), &(), |b, ()| {
+        b.iter(|| black_box(SweepRunner::serial().sweep::<Maintenance>(grid())));
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", GRID), &(), |b, ()| {
+        b.iter(|| black_box(SweepRunner::new().sweep::<Maintenance>(grid())));
+    });
+    group.finish();
+
+    // Print the headline number the acceptance criterion cares about.
+    let t0 = std::time::Instant::now();
+    black_box(SweepRunner::serial().sweep::<Maintenance>(grid()));
+    let serial = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    black_box(SweepRunner::new().sweep::<Maintenance>(grid()));
+    let parallel = t1.elapsed();
+    println!(
+        "sweep speedup: serial {serial:?} / parallel {parallel:?} = {:.2}x on {} workers",
+        serial.as_secs_f64() / parallel.as_secs_f64(),
+        SweepRunner::new().threads(),
+    );
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -6,32 +6,48 @@
 //!
 //! Run: `cargo run --release -p bench --bin exp_adjustment`
 
-use bench::{default_params, fs, run_summary};
+use bench::{default_params, fs};
 use wl_analysis::report::Table;
-use wl_core::scenario::{FaultKind, ScenarioBuilder};
 use wl_core::theory;
+use wl_harness::{assemble, run, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
+
+/// One experiment row: label, n, f, and the fault assignments.
+type AdjustmentCase = (&'static str, usize, usize, Vec<(usize, FaultKind)>);
 
 fn main() {
     let t_end = 60.0;
     let mut table = Table::new(&[
-        "scenario", "n", "f", "max |ADJ|", "mean |ADJ|", "bound (Thm 4a)", "~5eps", "holds",
+        "scenario",
+        "n",
+        "f",
+        "max |ADJ|",
+        "mean |ADJ|",
+        "bound (Thm 4a)",
+        "~5eps",
+        "holds",
     ])
     .with_title("E3: adjustment bound; rho=1e-6, delta=10ms, eps=1ms, 60s");
 
-    let cases: Vec<(&str, usize, usize, Vec<(usize, FaultKind)>)> = vec![
+    let cases: Vec<AdjustmentCase> = vec![
         ("fault-free", 4, 1, vec![]),
         ("1 silent", 4, 1, vec![(3, FaultKind::Silent)]),
         ("1 pull-apart", 4, 1, vec![(0, FaultKind::PullApart(0.0))]),
         ("1 spam", 4, 1, vec![(2, FaultKind::RoundSpam)]),
-        ("2 byz (n=7)", 7, 2, vec![(0, FaultKind::PullApart(0.0)), (3, FaultKind::RoundSpam)]),
+        (
+            "2 byz (n=7)",
+            7,
+            2,
+            vec![(0, FaultKind::PullApart(0.0)), (3, FaultKind::RoundSpam)],
+        ),
     ];
 
+    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for (name, n, f, faults) in cases {
         let params = default_params(n, f);
-        let bound = theory::adjustment_bound(&params);
-        let mut b = ScenarioBuilder::new(params.clone())
+        let mut spec = ScenarioSpec::new(params.clone())
             .seed(21)
             .t_end(RealTime::from_secs(t_end));
         for (id, kind) in faults {
@@ -39,9 +55,23 @@ fn main() {
                 FaultKind::PullApart(_) => FaultKind::PullApart(params.beta / 2.0),
                 k => k,
             };
-            b = b.fault(ProcessId(id), kind);
+            spec = spec.fault(ProcessId(id), kind);
         }
-        let s = run_summary(b.build(), t_end);
+        rows.push((
+            name,
+            n,
+            f,
+            theory::adjustment_bound(&params),
+            5.0 * params.eps,
+        ));
+        specs.push(spec);
+    }
+
+    let summaries = SweepRunner::new().run(specs, |_, spec| {
+        run::run_summary(assemble::<Maintenance>(spec), t_end)
+    });
+
+    for (&(name, n, f, bound, five_eps), s) in rows.iter().zip(&summaries) {
         table.row_owned(vec![
             name.to_string(),
             n.to_string(),
@@ -49,7 +79,7 @@ fn main() {
             fs(s.adjustments.max_abs),
             fs(s.adjustments.mean_abs),
             fs(bound),
-            fs(5.0 * params.eps),
+            fs(five_eps),
             s.adjustments.holds.to_string(),
         ]);
     }

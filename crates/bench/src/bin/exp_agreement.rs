@@ -5,42 +5,67 @@
 //! closed-form γ. The paper predicts `max skew ≤ γ` always, with the
 //! steady-state skew ≈ `4ε` (§10).
 //!
+//! The 48-point grid is specified declaratively as `ScenarioSpec`s and
+//! fanned across every core by `SweepRunner`; results are identical at
+//! any thread count.
+//!
 //! Run: `cargo run --release -p bench --bin exp_agreement`
 
-use bench::{fs, run_summary};
+use bench::fs;
 use wl_analysis::report::Table;
-use wl_core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
 use wl_core::{theory, Params};
+use wl_harness::{assemble, run, DelayKind, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
+
+struct Case {
+    n: usize,
+    f: usize,
+    rho: f64,
+    eps: f64,
+    delay: DelayKind,
+    fault_desc: String,
+    gamma: f64,
+    spec: ScenarioSpec,
+}
 
 fn main() {
     let t_end = 60.0;
     let mut table = Table::new(&[
-        "n", "f", "rho", "eps", "delay", "faults", "max skew", "steady skew", "gamma",
-        "skew/gamma", "holds",
+        "n",
+        "f",
+        "rho",
+        "eps",
+        "delay",
+        "faults",
+        "max skew",
+        "steady skew",
+        "gamma",
+        "skew/gamma",
+        "holds",
     ])
     .with_title("E1: gamma-agreement sweep (Theorem 16), delta = 10ms, 60s horizon");
 
+    let mut cases = Vec::new();
     for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 3)] {
         for &rho in &[1e-6, 1e-4] {
             for &eps in &[1e-4, 1e-3] {
                 for &delay in &[DelayKind::Uniform, DelayKind::AdversarialSplit] {
                     for faulted in [false, true] {
-                        let params = Params::auto(n, f, rho, 0.010, eps)
-                            .expect("feasible parameters");
+                        let params =
+                            Params::auto(n, f, rho, 0.010, eps).expect("feasible parameters");
                         let gamma = theory::gamma(&params);
-                        let mut builder = ScenarioBuilder::new(params.clone())
+                        let mut spec = ScenarioSpec::new(params.clone())
                             .seed(42 + n as u64)
                             .delay(delay)
                             .t_end(RealTime::from_secs(t_end));
                         let mut fault_desc = "none".to_string();
                         if faulted {
                             // Worst mix: one puller, the rest spam/silent.
-                            builder = builder
-                                .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
+                            spec =
+                                spec.fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
                             for extra in 1..f {
-                                builder = builder.fault(
+                                spec = spec.fault(
                                     ProcessId(extra),
                                     if extra % 2 == 0 {
                                         FaultKind::Silent
@@ -51,25 +76,42 @@ fn main() {
                             }
                             fault_desc = format!("{f} byz");
                         }
-                        let s = run_summary(builder.build(), t_end);
-                        assert_eq!(s.timers_suppressed, 0);
-                        table.row_owned(vec![
-                            n.to_string(),
-                            f.to_string(),
-                            format!("{rho:.0e}"),
-                            fs(eps),
-                            format!("{delay:?}"),
-                            fault_desc.clone(),
-                            fs(s.agreement.max_skew),
-                            fs(s.agreement.steady_skew),
-                            fs(gamma),
-                            format!("{:.2}", s.agreement.tightness),
-                            s.agreement.holds.to_string(),
-                        ]);
+                        cases.push(Case {
+                            n,
+                            f,
+                            rho,
+                            eps,
+                            delay,
+                            fault_desc,
+                            gamma,
+                            spec,
+                        });
                     }
                 }
             }
         }
+    }
+
+    let summaries = SweepRunner::new()
+        .run(cases.iter().map(|c| c.spec.clone()).collect(), |_, spec| {
+            run::run_summary(assemble::<Maintenance>(spec), t_end)
+        });
+
+    for (case, s) in cases.iter().zip(&summaries) {
+        assert_eq!(s.stats.timers_suppressed, 0);
+        table.row_owned(vec![
+            case.n.to_string(),
+            case.f.to_string(),
+            format!("{:.0e}", case.rho),
+            fs(case.eps),
+            format!("{:?}", case.delay),
+            case.fault_desc.clone(),
+            fs(s.agreement.max_skew),
+            fs(s.agreement.steady_skew),
+            fs(case.gamma),
+            format!("{:.2}", s.agreement.tightness),
+            s.agreement.holds.to_string(),
+        ]);
     }
     println!("{table}");
     let _ = table.save_csv("target/exp_agreement.csv");

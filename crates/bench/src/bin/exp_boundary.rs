@@ -5,20 +5,21 @@
 //! processes are nonfaulty. This experiment runs the identical two-faced
 //! attack against `n = 3f+1` (where `reduce` provably absorbs it) and
 //! `n = 3f` (where it does not): the skew stays bounded in the first case
-//! and is dragged wide in the second.
+//! and is dragged wide in the second. The four cases run concurrently
+//! through `SweepRunner`.
 //!
 //! Run: `cargo run --release -p bench --bin exp_boundary`
 
 use bench::fs;
+use wl_analysis::report::Table;
 use wl_analysis::skew::SkewSeries;
 use wl_analysis::ExecutionView;
-use wl_analysis::report::Table;
-use wl_core::scenario::{FaultKind, ScenarioBuilder};
 use wl_core::{theory, Params};
+use wl_harness::{assemble, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
-fn run_case(n: usize, f: usize, t_end: f64, seed: u64) -> (f64, f64, f64) {
+fn case_spec(n: usize, f: usize, t_end: f64, seed: u64) -> (ScenarioSpec, f64) {
     // Build params for the compliant size first, then override n; the
     // automata only need timing feasibility (validate_timing), which does
     // not depend on n. Drift is set high (1e-4) so that a frozen averaging
@@ -32,53 +33,74 @@ fn run_case(n: usize, f: usize, t_end: f64, seed: u64) -> (f64, f64, f64) {
     // drift pulls the fleet apart without bound. The amplitude must stay
     // well under P/2 so the attacker's own timers remain schedulable.
     let amp = 3.0 * params.beta;
+    let gamma = theory::gamma(&params);
     // Even-spread drift gives every honest clock a distinct rate, so a
     // frozen averaging function turns into visible divergence.
-    let mut b = ScenarioBuilder::new(params.clone())
+    let mut spec = ScenarioSpec::new(params.clone())
         .seed(seed)
         .drift(wl_clock::drift::DriftModel::EvenSpread { rho: params.rho })
         .t_end(RealTime::from_secs(t_end));
     for i in 0..f {
-        b = b.fault(ProcessId(i), FaultKind::PullApartHigh(amp));
+        spec = spec.fault(ProcessId(i), FaultKind::PullApartHigh(amp));
     }
-    let built = b.build();
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    let series = SkewSeries::sample_with_events(
-        &view,
-        RealTime::from_secs(params.t0 + 2.0 * params.p_round),
-        RealTime::from_secs(t_end * 0.98),
-        wl_time::RealDur::from_secs(params.p_round / 5.0),
-    );
-    (
-        series.max(),
-        series.max_after(RealTime::from_secs(t_end / 2.0)),
-        theory::gamma(&params),
-    )
+    (spec, gamma)
 }
 
 fn main() {
     let t_end = 120.0;
     let mut table = Table::new(&[
-        "n", "f", "regime", "max skew", "steady skew", "gamma", "bounded by gamma",
+        "n",
+        "f",
+        "regime",
+        "max skew",
+        "steady skew",
+        "gamma",
+        "bounded by gamma",
     ])
     .with_title("E12: fault boundary under the two-faced attack (f pull-apart byzantines)");
 
+    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for f in [1usize, 2] {
-        for (n, regime) in [(3 * f + 1, "n = 3f+1 (A2 holds)"), (3 * f, "n = 3f (A2 violated)")] {
-            let (max, steady, gamma) = run_case(n, f, t_end, 101 + f as u64);
-            table.row_owned(vec![
-                n.to_string(),
-                f.to_string(),
-                regime.to_string(),
-                fs(max),
-                fs(steady),
-                fs(gamma),
-                (max <= gamma).to_string(),
-            ]);
+        for (n, regime) in [
+            (3 * f + 1, "n = 3f+1 (A2 holds)"),
+            (3 * f, "n = 3f (A2 violated)"),
+        ] {
+            let (spec, gamma) = case_spec(n, f, t_end, 101 + f as u64);
+            rows.push((n, f, regime, gamma));
+            specs.push(spec);
         }
+    }
+
+    let results = SweepRunner::new().run(specs, |_, spec| {
+        let built = assemble::<Maintenance>(spec);
+        let params = built.params.clone();
+        let plan = built.plan.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+        let series = SkewSeries::sample_with_events(
+            &view,
+            RealTime::from_secs(params.t0 + 2.0 * params.p_round),
+            RealTime::from_secs(t_end * 0.98),
+            wl_time::RealDur::from_secs(params.p_round / 5.0),
+        );
+        (
+            series.max(),
+            series.max_after(RealTime::from_secs(t_end / 2.0)),
+        )
+    });
+
+    for (&(n, f, regime, gamma), &(max, steady)) in rows.iter().zip(&results) {
+        table.row_owned(vec![
+            n.to_string(),
+            f.to_string(),
+            regime.to_string(),
+            fs(max),
+            fs(steady),
+            fs(gamma),
+            (max <= gamma).to_string(),
+        ]);
     }
     println!("{table}");
     println!("shape check: the same attack is absorbed at n=3f+1 and not at n=3f.");

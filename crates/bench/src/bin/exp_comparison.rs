@@ -1,60 +1,82 @@
 //! E11 — the §10 comparison: Welch–Lynch vs LM-CNV vs Mahaney–Schneider
 //! vs Srikanth–Toueg.
 //!
-//! All four run under identical conditions (same n, f, ρ, δ, ε, same seed
-//! discipline, uniform delays), fault-free and with one silent fault. The
-//! paper's qualitative claims:
+//! All four run under identical conditions — literally the same
+//! `ScenarioSpec` assembled under four `SyncAlgorithm`s — fault-free,
+//! with one silent fault, and under a two-faced attack. The paper's
+//! qualitative claims:
 //!
 //! * WL agreement ≈ `4ε`, adjustment ≈ `5ε`;
 //! * LM-CNV agreement ≈ `2nε`, adjustment ≈ `(2n+1)ε` — linear in `n`;
 //! * ST agreement ≈ `δ+ε`, adjustment ≈ `3(δ+ε)` — dominated by δ;
 //! * crossovers: WL wins when `ε ≪ δ`; ST competitive when `δ < 3ε`.
 //!
+//! Every (algorithm × fault mix) cell is one job in a `SweepRunner`
+//! fan-out, so the whole table fills at machine width.
+//!
 //! Run: `cargo run --release -p bench --bin exp_comparison`
 
-use bench::{fs, run_summary};
-use wl_analysis::adjustment::check_adjustments;
-use wl_analysis::skew::SkewSeries;
-use wl_analysis::ExecutionView;
+use bench::fs;
 use wl_analysis::report::Table;
-use wl_baselines::scenario::{
-    build_lm_cnv, build_lm_cnv_attacked, build_mahaney_schneider,
-    build_mahaney_schneider_attacked, build_srikanth_toueg, build_srikanth_toueg_attacked,
-    BuiltBaseline,
-};
-use wl_core::scenario::ScenarioBuilder;
 use wl_core::{theory, Params};
+use wl_harness::{
+    assemble, run, FaultKind, LmCnv, MahaneySchneider, Maintenance, ScenarioSpec, SrikanthToueg,
+    SweepRunner,
+};
 use wl_sim::ProcessId;
-use wl_time::{RealDur, RealTime};
+use wl_time::RealTime;
 
-fn baseline_metrics<M: Clone + std::fmt::Debug + Send + 'static>(
-    built: BuiltBaseline<M>,
-    params: &Params,
-    t_end: f64,
-) -> (f64, f64) {
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    let series = SkewSeries::sample_with_events(
-        &view,
-        RealTime::from_secs(params.t0 + 3.0 * params.p_round),
-        RealTime::from_secs(t_end * 0.95),
-        RealDur::from_secs(params.p_round / 5.0),
-    );
-    let steady = series.max_after(RealTime::from_secs(t_end / 2.0));
-    let adj = check_adjustments(&view, params, 1);
-    (steady, adj.max_abs)
+/// One table row: algorithm name, fault label, paper bounds, and a job
+/// computing `(steady skew, max |ADJ|)`.
+struct Row {
+    algorithm: String,
+    faults: String,
+    paper_agreement: Option<f64>,
+    paper_adjustment: Option<f64>,
+    job: Box<dyn Fn() -> (f64, f64) + Send + Sync>,
+}
+
+fn wl_row(spec: ScenarioSpec, faults: &str, agr: f64, adj: f64, t_end: f64) -> Row {
+    Row {
+        algorithm: "Welch-Lynch".into(),
+        faults: faults.into(),
+        paper_agreement: Some(agr),
+        paper_adjustment: Some(adj),
+        job: Box::new(move || {
+            let s = run::run_summary(assemble::<Maintenance>(&spec), t_end);
+            (s.agreement.steady_skew, s.adjustments.max_abs)
+        }),
+    }
+}
+
+fn baseline_row<A>(spec: ScenarioSpec, faults: &str, paper: Option<(f64, f64)>, t_end: f64) -> Row
+where
+    A: wl_harness::SyncAlgorithm + 'static,
+{
+    Row {
+        algorithm: A::NAME.into(),
+        faults: faults.into(),
+        paper_agreement: paper.map(|p| p.0),
+        paper_adjustment: paper.map(|p| p.1),
+        job: Box::new(move || run::baseline_metrics(assemble::<A>(&spec), t_end)),
+    }
 }
 
 fn main() {
     let t_end = 60.0;
-    for (delta, eps, regime) in [(0.010, 0.001, "eps << delta (WL's regime)"),
-                                  (0.010, 0.004, "eps ~ delta/3 (crossover)")] {
+    for (delta, eps, regime) in [
+        (0.010, 0.001, "eps << delta (WL's regime)"),
+        (0.010, 0.004, "eps ~ delta/3 (crossover)"),
+    ] {
         let params = Params::auto(4, 1, 1e-6, delta, eps).unwrap();
         let n = params.n;
         let mut table = Table::new(&[
-            "algorithm", "faults", "steady skew", "max |ADJ|", "paper agreement", "paper adjustment",
+            "algorithm",
+            "faults",
+            "steady skew",
+            "max |ADJ|",
+            "paper agreement",
+            "paper adjustment",
         ])
         .with_title(format!(
             "E11: section-10 comparison, n=4 f=1 delta={} eps={} — {}",
@@ -63,66 +85,40 @@ fn main() {
             regime
         ));
         let paper = theory::comparison_table(n, delta, eps);
+        let base_spec = ScenarioSpec::new(params.clone())
+            .seed(61)
+            .t_end(RealTime::from_secs(t_end));
 
+        let mut rows: Vec<Row> = Vec::new();
         for (faults, label) in [(vec![], "none"), (vec![ProcessId(3)], "1 silent")] {
-            // Welch–Lynch.
-            let mut b = ScenarioBuilder::new(params.clone())
-                .seed(61)
-                .t_end(RealTime::from_secs(t_end));
-            for &id in &faults {
-                b = b.fault(id, wl_core::scenario::FaultKind::Silent);
-            }
-            let s = run_summary(b.build(), t_end);
-            table.row_owned(vec![
-                paper[0].name.to_string(),
-                label.to_string(),
-                fs(s.agreement.steady_skew),
-                fs(s.adjustments.max_abs),
-                fs(paper[0].agreement),
-                fs(paper[0].adjustment),
-            ]);
-
-            // LM-CNV.
-            let (skew, adj) =
-                baseline_metrics(build_lm_cnv(&params, &faults, 61, RealTime::from_secs(t_end)), &params, t_end);
-            table.row_owned(vec![
-                paper[1].name.to_string(),
-                label.to_string(),
-                fs(skew),
-                fs(adj),
-                fs(paper[1].agreement),
-                fs(paper[1].adjustment),
-            ]);
-
-            // Mahaney–Schneider (no closed-form paper numbers; shape only).
-            let (skew, adj) = baseline_metrics(
-                build_mahaney_schneider(&params, &faults, 61, RealTime::from_secs(t_end)),
-                &params,
+            // The identical spec, assembled under all four algorithms.
+            let spec = base_spec.clone().silent(&faults);
+            rows.push(wl_row(
+                spec.clone(),
+                label,
+                paper[0].agreement,
+                paper[0].adjustment,
                 t_end,
-            );
-            table.row_owned(vec![
-                "Mahaney-Schneider".to_string(),
-                label.to_string(),
-                fs(skew),
-                fs(adj),
-                "-".to_string(),
-                "-".to_string(),
-            ]);
-
-            // Srikanth–Toueg.
-            let (skew, adj) = baseline_metrics(
-                build_srikanth_toueg(&params, &faults, 61, RealTime::from_secs(t_end)),
-                &params,
+            ));
+            rows.push(baseline_row::<LmCnv>(
+                spec.clone(),
+                label,
+                Some((paper[1].agreement, paper[1].adjustment)),
                 t_end,
-            );
-            table.row_owned(vec![
-                paper[2].name.to_string(),
-                label.to_string(),
-                fs(skew),
-                fs(adj),
-                fs(paper[2].agreement),
-                fs(paper[2].adjustment),
-            ]);
+            ));
+            // Mahaney–Schneider has no closed-form paper numbers (shape only).
+            rows.push(baseline_row::<MahaneySchneider>(
+                spec.clone(),
+                label,
+                None,
+                t_end,
+            ));
+            rows.push(baseline_row::<SrikanthToueg>(
+                spec,
+                label,
+                Some((paper[2].agreement, paper[2].adjustment)),
+                t_end,
+            ));
         }
 
         // Byzantine two-faced attack: where the algorithms separate. The
@@ -130,65 +126,67 @@ fn main() {
         // absorbs the full lie, while reduce() caps WL's exposure.
         let amp = 1.9 * (params.beta + params.delta + params.eps);
         let label = "1 two-faced";
-        {
-            let mut b = ScenarioBuilder::new(params.clone())
-                .seed(61)
-                .t_end(RealTime::from_secs(t_end))
-                .fault(ProcessId(0), wl_core::scenario::FaultKind::PullApart(params.beta / 2.0));
-            let s = run_summary(b.build(), t_end);
+        rows.push(wl_row(
+            base_spec
+                .clone()
+                .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0)),
+            label,
+            paper[0].agreement,
+            paper[0].adjustment,
+            t_end,
+        ));
+        rows.push(baseline_row::<LmCnv>(
+            base_spec
+                .clone()
+                .fault(ProcessId(0), FaultKind::TwoFaced(amp)),
+            label,
+            Some((paper[1].agreement, paper[1].adjustment)),
+            t_end,
+        ));
+        rows.push(baseline_row::<MahaneySchneider>(
+            base_spec
+                .clone()
+                .fault(ProcessId(0), FaultKind::TwoFaced(amp)),
+            label,
+            None,
+            t_end,
+        ));
+        rows.push(baseline_row::<SrikanthToueg>(
+            base_spec
+                .clone()
+                .fault(ProcessId(0), FaultKind::TwoFaced(params.delta / 2.0)),
+            label,
+            Some((paper[2].agreement, paper[2].adjustment)),
+            t_end,
+        ));
+
+        let metrics = SweepRunner::new().run(rows, |_, row| {
+            let (skew, adj) = (row.job)();
+            (
+                row.algorithm.clone(),
+                row.faults.clone(),
+                skew,
+                adj,
+                row.paper_agreement,
+                row.paper_adjustment,
+            )
+        });
+
+        for (algorithm, faults, skew, adj, pa, pj) in metrics {
             table.row_owned(vec![
-                paper[0].name.to_string(),
-                label.to_string(),
-                fs(s.agreement.steady_skew),
-                fs(s.adjustments.max_abs),
-                fs(paper[0].agreement),
-                fs(paper[0].adjustment),
+                algorithm,
+                faults,
+                fs(skew),
+                fs(adj),
+                pa.map_or_else(|| "-".into(), fs),
+                pj.map_or_else(|| "-".into(), fs),
             ]);
-            // keep builder moved warning away
-            b = ScenarioBuilder::new(params.clone());
-            let _ = b;
         }
-        let (skew, adj) = baseline_metrics(
-            build_lm_cnv_attacked(&params, amp, 61, RealTime::from_secs(t_end)),
-            &params,
-            t_end,
-        );
-        table.row_owned(vec![
-            paper[1].name.to_string(),
-            label.to_string(),
-            fs(skew),
-            fs(adj),
-            fs(paper[1].agreement),
-            fs(paper[1].adjustment),
-        ]);
-        let (skew, adj) = baseline_metrics(
-            build_mahaney_schneider_attacked(&params, amp, 61, RealTime::from_secs(t_end)),
-            &params,
-            t_end,
-        );
-        table.row_owned(vec![
-            "Mahaney-Schneider".to_string(),
-            label.to_string(),
-            fs(skew),
-            fs(adj),
-            "-".to_string(),
-            "-".to_string(),
-        ]);
-        let (skew, adj) = baseline_metrics(
-            build_srikanth_toueg_attacked(&params, params.delta / 2.0, 61, RealTime::from_secs(t_end)),
-            &params,
-            t_end,
-        );
-        table.row_owned(vec![
-            paper[2].name.to_string(),
-            label.to_string(),
-            fs(skew),
-            fs(adj),
-            fs(paper[2].agreement),
-            fs(paper[2].adjustment),
-        ]);
         println!("{table}");
-        let _ = table.save_csv(format!("target/exp_comparison_eps{}.csv", (eps * 1e3) as u32));
+        let _ = table.save_csv(format!(
+            "target/exp_comparison_eps{}.csv",
+            (eps * 1e3) as u32
+        ));
     }
     println!("(CSVs saved to target/exp_comparison_eps*.csv)");
 }

@@ -12,8 +12,8 @@ use wl_analysis::plot::ascii_chart;
 use wl_analysis::report::Table;
 use wl_analysis::skew::SkewSeries;
 use wl_analysis::ExecutionView;
-use wl_core::scenario::{build_startup, DelayKind, FaultKind, ScenarioBuilder};
 use wl_core::{Params, StartupParams};
+use wl_harness::{assemble, DelayKind, FaultKind, Maintenance, ScenarioSpec, Startup};
 use wl_sim::ProcessId;
 use wl_time::{RealDur, RealTime};
 
@@ -23,16 +23,16 @@ fn maintenance_series(byz: bool) -> Vec<(f64, f64)> {
     let p_round = 2.0 * wl_core::params::min_p(rho, delta, eps, beta);
     let params = Params::new(4, 1, rho, delta, eps, beta, p_round).unwrap();
     let t_end = params.t0 + 14.0 * params.p_round;
-    let mut b = ScenarioBuilder::new(params.clone())
+    let mut spec = ScenarioSpec::new(params.clone())
         .seed(7)
         .spread_frac(0.95)
         .t_end(RealTime::from_secs(t_end));
     if byz {
-        b = b
+        spec = spec
             .delay(DelayKind::AdversarialSplit)
             .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
     }
-    let built = b.build();
+    let built = assemble::<Maintenance>(&spec);
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
@@ -51,7 +51,12 @@ fn maintenance_series(byz: bool) -> Vec<(f64, f64)> {
 
 fn startup_series() -> Vec<(f64, f64)> {
     let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = build_startup(&sp, 5.0, &[ProcessId(3)], 23, RealTime::from_secs(10.0));
+    let built = assemble::<Startup>(
+        &ScenarioSpec::startup(&sp, 5.0)
+            .seed(23)
+            .t_end(RealTime::from_secs(10.0))
+            .silent(&[ProcessId(3)]),
+    );
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();

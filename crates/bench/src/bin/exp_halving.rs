@@ -15,11 +15,11 @@
 
 use bench::fs;
 use wl_analysis::convergence::round_series;
+use wl_analysis::report::Table;
 use wl_analysis::skew::max_skew_at;
 use wl_analysis::ExecutionView;
-use wl_analysis::report::Table;
-use wl_core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
 use wl_core::{theory, Params};
+use wl_harness::{assemble, DelayKind, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::{RealDur, RealTime};
 
@@ -32,7 +32,11 @@ fn main() {
     let t_end = params.t0 + 14.0 * params.p_round;
 
     let mut table = Table::new(&[
-        "regime", "round", "measured skew", "Lemma 10 bound from prev", "within",
+        "regime",
+        "round",
+        "measured skew",
+        "Lemma 10 bound from prev",
+        "within",
     ])
     .with_title(format!(
         "E2: per-round convergence; beta0 = {}, fixed point {} (4eps+4rhoP = {})",
@@ -41,40 +45,51 @@ fn main() {
         fs(4.0 * eps + 4.0 * rho * params.p_round),
     ));
 
-    for (regime, byz) in [("fault-free", false), ("byzantine+adv", true)] {
-        let mut builder = ScenarioBuilder::new(params.clone())
-            .seed(7)
-            .spread_frac(0.95)
-            .t_end(RealTime::from_secs(t_end));
-        if byz {
-            builder = builder
-                .delay(DelayKind::AdversarialSplit)
-                .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
-        }
-        let built = builder.build();
+    let regimes = [("fault-free", false), ("byzantine+adv", true)];
+    let specs: Vec<ScenarioSpec> = regimes
+        .iter()
+        .map(|&(_, byz)| {
+            let mut spec = ScenarioSpec::new(params.clone())
+                .seed(7)
+                .spread_frac(0.95)
+                .t_end(RealTime::from_secs(t_end));
+            if byz {
+                spec = spec
+                    .delay(DelayKind::AdversarialSplit)
+                    .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
+            }
+            spec
+        })
+        .collect();
+
+    // Each regime yields (initial skew, per-round skews, contraction).
+    let measured = SweepRunner::new().run(specs, |_, spec| {
+        let built = assemble::<Maintenance>(spec);
         let plan = built.plan.clone();
         let starts = built.starts.clone();
         let mut sim = built.sim;
         let outcome = sim.run();
         let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-
         // The initial spread, measured just after the last nonfaulty START.
         let tmax0 = starts
             .iter()
             .cloned()
             .fold(RealTime::from_secs(f64::NEG_INFINITY), RealTime::max);
         let initial = max_skew_at(&view, tmax0);
+        let series = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
+        (initial, series.skews.clone(), series.contraction_factor())
+    });
+
+    for (&(regime, _), (initial, skews, contraction)) in regimes.iter().zip(&measured) {
         table.row_owned(vec![
             regime.to_string(),
             "initial".to_string(),
-            fs(initial),
+            fs(*initial),
             "-".to_string(),
             "-".to_string(),
         ]);
-
-        let series = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
-        let mut prev = Some(initial);
-        for (i, &s) in series.skews.iter().enumerate() {
+        let mut prev = Some(*initial);
+        for (i, &s) in skews.iter().enumerate() {
             let bound = prev.map(|p| theory::round_recurrence(&params, p));
             table.row_owned(vec![
                 regime.to_string(),
@@ -85,7 +100,7 @@ fn main() {
             ]);
             prev = Some(s);
         }
-        if let Some(c) = series.contraction_factor() {
+        if let Some(c) = contraction {
             println!("[{regime}] measured contraction factor: {c:.3} (paper worst case: 0.5)");
         }
     }

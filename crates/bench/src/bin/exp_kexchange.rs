@@ -4,17 +4,17 @@
 //! `β ≥ 4ε + 2ρP·2ᵏ/(2ᵏ−1)`: the drift term halves from `4ρP` toward
 //! `2ρP` as `k` grows, because less time passes between the last exchange
 //! and the next round's first. The experiment fixes `P` and measures the
-//! steady-state skew for k = 1..4.
+//! steady-state skew for k = 1..4, all four scenarios in parallel.
 //!
 //! Drift is set high (ρ = 1e-4) so the `ρP` term dominates `ε` and the
 //! k-dependence is visible.
 //!
 //! Run: `cargo run --release -p bench --bin exp_kexchange`
 
-use bench::{fs, run_summary};
+use bench::fs;
 use wl_analysis::report::Table;
-use wl_core::scenario::ScenarioBuilder;
 use wl_core::{theory, Params};
+use wl_harness::{assemble, run, DelayKind, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_time::RealTime;
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
     let t_end = 120.0;
 
     let mut table = Table::new(&[
-        "k", "steady skew", "paper bound 4e+2rP*2^k/(2^k-1)", "k=1 baseline ratio",
+        "k",
+        "steady skew",
+        "paper bound 4e+2rP*2^k/(2^k-1)",
+        "k=1 baseline ratio",
     ])
     .with_title(format!(
         "E6: k exchanges per round; rho={rho:.0e}, P={p_round}s, eps={}, beta={}",
@@ -33,35 +36,39 @@ fn main() {
         fs(beta)
     ));
 
-    let mut k1_skew = None;
-    for k in 1..=4usize {
+    let ks: Vec<usize> = (1..=4).collect();
+    let mut bounds = Vec::new();
+    let mut specs = Vec::new();
+    for &k in &ks {
         let params = Params::new(4, 1, rho, delta, eps, beta, p_round)
             .expect("feasible")
             .with_exchanges(k)
             .expect("k exchanges fit in P");
+        bounds.push(theory::k_exchange_beta(&params, k as u32));
         // Worst-case push (cf. E2): adversarial delays + a two-faced
         // Byzantine keep the system at the recurrence's fixed point, where
         // the k-dependence is visible; benign runs sit far below all the
         // bounds and hide it.
-        let s = run_summary(
-            ScenarioBuilder::new(params.clone())
+        specs.push(
+            ScenarioSpec::new(params)
                 .seed(77)
-                .delay(wl_core::scenario::DelayKind::AdversarialSplit)
-                .fault(wl_sim::ProcessId(0), wl_core::scenario::FaultKind::PullApart(beta / 2.0))
-                .t_end(RealTime::from_secs(t_end))
-                .build(),
-            t_end,
+                .delay(DelayKind::AdversarialSplit)
+                .fault(wl_sim::ProcessId(0), FaultKind::PullApart(beta / 2.0))
+                .t_end(RealTime::from_secs(t_end)),
         );
-        let bound = theory::k_exchange_beta(&params, k as u32);
-        let skew = s.agreement.steady_skew;
-        if k == 1 {
-            k1_skew = Some(skew);
-        }
+    }
+
+    let skews = SweepRunner::new().run(specs, |_, spec| {
+        run::steady_skew(assemble::<Maintenance>(spec), t_end)
+    });
+
+    let k1_skew = skews[0];
+    for ((&k, &skew), &bound) in ks.iter().zip(&skews).zip(&bounds) {
         table.row_owned(vec![
             k.to_string(),
             fs(skew),
             fs(bound),
-            format!("{:.3}", skew / k1_skew.unwrap()),
+            format!("{:.3}", skew / k1_skew),
         ]);
     }
     println!("{table}");

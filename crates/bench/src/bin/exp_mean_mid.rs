@@ -4,37 +4,18 @@
 //! converges at rate `f/(n−2f)` — slower for small `n`, dramatically
 //! faster as `n` grows with `f` fixed, with steady error approaching `2ε`.
 //! This experiment starts from a wide spread and measures the per-round
-//! contraction factor and the steady skew for both variants across `n`.
+//! contraction factor and the steady skew for both variants across `n` —
+//! a 10-point grid fanned out by `SweepRunner`.
 //!
 //! Run: `cargo run --release -p bench --bin exp_mean_mid`
 
 use bench::fs;
 use wl_analysis::convergence::round_series;
-use wl_analysis::ExecutionView;
 use wl_analysis::report::Table;
-use wl_core::scenario::ScenarioBuilder;
+use wl_analysis::ExecutionView;
 use wl_core::{AveragingFn, Params};
+use wl_harness::{assemble, DelayKind, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_time::{RealDur, RealTime};
-
-fn measure(params: &Params, t_end: f64) -> (Option<f64>, f64) {
-    // Adversarial delays plus a two-faced Byzantine hold the execution at
-    // the averaging function's worst case, where the convergence-rate
-    // difference between midpoint and mean is visible (fault-free runs
-    // collapse in one round regardless of the averaging function).
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(55)
-        .spread_frac(0.95)
-        .delay(wl_core::scenario::DelayKind::AdversarialSplit)
-        .fault(wl_sim::ProcessId(0), wl_core::scenario::FaultKind::PullApart(params.beta / 2.0))
-        .t_end(RealTime::from_secs(t_end))
-        .build();
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    let series = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
-    (series.contraction_factor(), series.final_skew().unwrap_or(f64::NAN))
-}
 
 fn main() {
     let (rho, delta, eps) = (1e-6, 0.010, 0.001);
@@ -44,24 +25,62 @@ fn main() {
     let t_end = 1.0 + 14.0 * p_round;
 
     let mut table = Table::new(&[
-        "n", "avg", "contraction (measured)", "contraction (paper)", "final skew",
+        "n",
+        "avg",
+        "contraction (measured)",
+        "contraction (paper)",
+        "final skew",
     ])
     .with_title("E7: midpoint vs mean; f = 1, wide start (beta0 = 50eps)");
 
+    let mut labels = Vec::new();
+    let mut specs = Vec::new();
     for n in [4usize, 6, 8, 12, 16] {
         for avg in [AveragingFn::Midpoint, AveragingFn::Mean] {
-            let mut params =
-                Params::new(n, f, rho, delta, eps, beta, p_round).expect("feasible");
+            let mut params = Params::new(n, f, rho, delta, eps, beta, p_round).expect("feasible");
             params.avg = avg;
-            let (c, final_skew) = measure(&params, t_end);
-            table.row_owned(vec![
-                n.to_string(),
-                format!("{avg:?}"),
-                c.map_or_else(|| "-".into(), |c| format!("{c:.3}")),
-                format!("{:.3}", avg.convergence_rate(n, f)),
-                fs(final_skew),
-            ]);
+            labels.push((n, avg));
+            // Adversarial delays plus a two-faced Byzantine hold the
+            // execution at the averaging function's worst case, where the
+            // convergence-rate difference between midpoint and mean is
+            // visible (fault-free runs collapse in one round regardless of
+            // the averaging function).
+            specs.push(
+                ScenarioSpec::new(params.clone())
+                    .seed(55)
+                    .spread_frac(0.95)
+                    .delay(DelayKind::AdversarialSplit)
+                    .fault(
+                        wl_sim::ProcessId(0),
+                        FaultKind::PullApart(params.beta / 2.0),
+                    )
+                    .t_end(RealTime::from_secs(t_end)),
+            );
         }
+    }
+
+    let measured = SweepRunner::new().run(specs, |_, spec| {
+        let built = assemble::<Maintenance>(spec);
+        let params = built.params.clone();
+        let plan = built.plan.clone();
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+        let series = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
+        (
+            series.contraction_factor(),
+            series.final_skew().unwrap_or(f64::NAN),
+        )
+    });
+
+    for (&(n, avg), (c, final_skew)) in labels.iter().zip(&measured) {
+        table.row_owned(vec![
+            n.to_string(),
+            format!("{avg:?}"),
+            c.map_or_else(|| "-".into(), |c| format!("{c:.3}")),
+            format!("{:.3}", avg.convergence_rate(n, f)),
+            fs(*final_skew),
+        ]);
     }
     println!("{table}");
     println!("shape check: Mean contraction ~ f/(n-2f) beats Midpoint's 0.5 once n > 4f.");

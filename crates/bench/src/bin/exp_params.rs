@@ -6,12 +6,17 @@
 //! 2. For a sweep of `P`, the minimal feasible β against the paper's
 //!    first-order approximation `β ≈ 4ε + 4ρP`.
 //!
+//! Pure closed-form math — no simulation — but the β grid is still
+//! evaluated through `SweepRunner` so the experiment shape matches its
+//! siblings.
+//!
 //! Run: `cargo run --release -p bench --bin exp_params`
 
 use bench::fs;
 use wl_analysis::report::Table;
 use wl_core::params::{max_p, min_p};
 use wl_core::Params;
+use wl_harness::SweepRunner;
 
 fn main() {
     let (rho, delta, eps) = (1e-4, 0.010, 0.001);
@@ -19,10 +24,14 @@ fn main() {
     let mut t1 = Table::new(&["beta", "P_min", "P_max", "feasible"]).with_title(format!(
         "E5a: admissible round-length band vs beta (rho={rho:.0e}, delta={delta}, eps={eps})"
     ));
-    for k in [4.2, 4.5, 5.0, 6.0, 8.0, 12.0, 20.0, 50.0] {
-        let beta = k * eps;
-        let lo = min_p(rho, delta, eps, beta);
-        let hi = max_p(rho, delta, eps, beta);
+    let betas: Vec<f64> = [4.2, 4.5, 5.0, 6.0, 8.0, 12.0, 20.0, 50.0]
+        .iter()
+        .map(|k| k * eps)
+        .collect();
+    let bands = SweepRunner::new().run(betas.clone(), |_, &beta| {
+        (min_p(rho, delta, eps, beta), max_p(rho, delta, eps, beta))
+    });
+    for (&beta, &(lo, hi)) in betas.iter().zip(&bands) {
         t1.row_owned(vec![
             fs(beta),
             fs(lo),

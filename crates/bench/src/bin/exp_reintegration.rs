@@ -4,35 +4,47 @@
 //! repaired at an arbitrary real time — including mid-round — and runs the
 //! §9.1 procedure: orient, commit to a round, average, rejoin. The paper
 //! claims it reaches `Tⁱ⁺¹` within β of every other nonfaulty process,
-//! i.e. after rejoining it is indistinguishable from the rest.
+//! i.e. after rejoining it is indistinguishable from the rest. The four
+//! repair phases run concurrently through `SweepRunner`.
 //!
 //! Run: `cargo run --release -p bench --bin exp_reintegration`
 
 use bench::fs;
+use wl_analysis::report::Table;
 use wl_analysis::skew::SkewSeries;
 use wl_analysis::ExecutionView;
-use wl_analysis::report::Table;
-use wl_core::scenario::ScenarioBuilder;
 use wl_core::{theory, Params};
+use wl_harness::{assemble, Rejoiner, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::{RealDur, RealTime};
 
 fn main() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
     let t_end = 40.0;
+    let gamma = theory::gamma(&params);
     let mut table = Table::new(&[
-        "repair at", "skew before (3 procs)", "skew after incl. rejoined", "gamma", "rejoined ok",
+        "repair at",
+        "skew before (3 procs)",
+        "skew after incl. rejoined",
+        "gamma",
+        "rejoined ok",
     ])
     .with_title("E8: reintegration; rejoiner repaired at varying phases of the round");
 
     // Repair at different phases of the round cycle, including mid-round.
-    for frac in [0.0, 0.25, 0.5, 0.75] {
-        let repair = 10.0 + frac * params.p_round;
-        let built = ScenarioBuilder::new(params.clone())
-            .seed(19)
-            .rejoiner(ProcessId(3), RealTime::from_secs(repair))
-            .t_end(RealTime::from_secs(t_end))
-            .build();
+    let fracs = [0.0, 0.25, 0.5, 0.75];
+    let cases: Vec<(f64, f64)> = fracs
+        .iter()
+        .map(|&frac| (frac, 10.0 + frac * params.p_round))
+        .collect();
+
+    let results = SweepRunner::new().run(cases.clone(), |_, &(_, repair)| {
+        let built = assemble::<Rejoiner>(
+            &ScenarioSpec::new(params.clone())
+                .seed(19)
+                .rejoiner(ProcessId(3), RealTime::from_secs(repair))
+                .t_end(RealTime::from_secs(t_end)),
+        );
         let plan = built.plan.clone();
         let mut sim = built.sim;
         let outcome = sim.run();
@@ -58,8 +70,10 @@ fn main() {
             RealDur::from_secs(params.p_round / 5.0),
         )
         .max();
+        (before, after)
+    });
 
-        let gamma = theory::gamma(&params);
+    for (&(frac, repair), &(before, after)) in cases.iter().zip(&results) {
         table.row_owned(vec![
             format!("{repair:.3}s (phase {frac})"),
             fs(before),

@@ -10,10 +10,16 @@
 //! router thread modelling the busy medium) with σ = 0 versus σ large
 //! enough to clear the busy window, and reports collision rates.
 //!
+//! Unlike the discrete-event experiments, this one deliberately does NOT
+//! fan out through `wl_harness::SweepRunner`: the runtime measures
+//! wall-clock collision behaviour, so concurrent cases would perturb each
+//! other's timing. The two σ configurations run back to back.
+//!
 //! Run: `cargo run --release -p bench --bin exp_stagger`
 
 use wl_analysis::report::Table;
 use wl_core::{Maintenance, Params};
+use wl_harness::SweepRunner;
 use wl_runtime::{Cluster, ClusterConfig};
 use wl_sim::{Automaton, ProcessId};
 use wl_time::ClockTime;
@@ -28,7 +34,11 @@ fn main() {
     let busy_window = 0.004; // 4ms of medium occupancy per broadcast
 
     let mut table = Table::new(&[
-        "sigma", "broadcasts ok", "collisions", "collision rate", "datagrams delivered",
+        "sigma",
+        "broadcasts ok",
+        "collisions",
+        "collision rate",
+        "datagrams delivered",
     ])
     .with_title(format!(
         "E10: staggered broadcast on a shared medium; busy window {}ms, P = {:.2}s, 8s wall",
@@ -36,7 +46,10 @@ fn main() {
         p_round
     ));
 
-    for &sigma in &[0.0, 2.0 * busy_window + beta] {
+    // An explicitly *serial* runner: the jobs measure wall-clock collision
+    // behaviour, so they must not share the machine (see module docs).
+    let sigmas = vec![0.0, 2.0 * busy_window + beta];
+    let outcomes = SweepRunner::serial().run(sigmas.clone(), |_, &sigma| {
         let params = Params::new(n, 1, rho, delta, eps, beta, p_round)
             .expect("feasible")
             .with_stagger(sigma)
@@ -53,9 +66,11 @@ fn main() {
         // All clocks read ~0 at epoch; start everyone at T0 (= params.t0)
         // on their local clocks.
         let starts = vec![ClockTime::from_secs(params.t0); n];
-        let outcome = Cluster::run(&config, &starts, |p: ProcessId| {
+        Cluster::run(&config, &starts, |p: ProcessId| {
             Box::new(Maintenance::new(p, params.clone(), 0.0)) as Box<dyn Automaton<Msg = _>>
-        });
+        })
+    });
+    for (&sigma, outcome) in sigmas.iter().zip(&outcomes) {
         table.row_owned(vec![
             format!("{:.0}ms", sigma * 1e3),
             outcome.transmitted.to_string(),

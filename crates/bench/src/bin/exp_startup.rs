@@ -8,10 +8,10 @@
 
 use bench::fs;
 use wl_analysis::convergence::round_series;
-use wl_analysis::ExecutionView;
 use wl_analysis::report::Table;
-use wl_core::scenario::build_startup;
+use wl_analysis::ExecutionView;
 use wl_core::{theory, StartupParams};
+use wl_harness::{assemble, ScenarioSpec, Startup, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::{RealDur, RealTime};
 
@@ -22,22 +22,36 @@ fn main() {
 
     let mut table = Table::new(&["round", "measured spread B_i", "Lemma 20 bound", "within"])
         .with_title(format!(
-        "E9: startup from {}s initial spread; limit 4eps+4rho(11delta+39eps) = {}",
-        spread,
-        fs(theory::startup_limit(sp.rho, sp.delta, sp.eps))
-    ));
+            "E9: startup from {}s initial spread; limit 4eps+4rho(11delta+39eps) = {}",
+            spread,
+            fs(theory::startup_limit(sp.rho, sp.delta, sp.eps))
+        ));
 
-    for (label, silent) in [("fault-free", vec![]), ("1 silent fault", vec![ProcessId(3)])] {
-        let built = build_startup(&sp, spread, &silent, 23, RealTime::from_secs(t_end));
+    let regimes: Vec<(&str, Vec<ProcessId>)> = vec![
+        ("fault-free", vec![]),
+        ("1 silent fault", vec![ProcessId(3)]),
+    ];
+
+    let series_per_regime = SweepRunner::new().run(regimes.clone(), |_, (_, silent)| {
+        let built = assemble::<Startup>(
+            &ScenarioSpec::startup(&sp, spread)
+                .seed(23)
+                .t_end(RealTime::from_secs(t_end))
+                .silent(silent),
+        );
         let plan = built.plan.clone();
         let mut sim = built.sim;
         let outcome = sim.run();
         let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
         // Waves: corrections applied at (n-f) READYs cluster tightly.
         let series = round_series(&view, RealDur::from_secs(sp.delta));
+        (series.skews.clone(), series.final_skew())
+    });
+
+    for ((label, _), (skews, final_skew)) in regimes.iter().zip(&series_per_regime) {
         println!("--- {label} ---");
         let mut prev: Option<f64> = None;
-        for (i, &b) in series.skews.iter().enumerate().take(12) {
+        for (i, &b) in skews.iter().enumerate().take(12) {
             let bound = prev.map(|p| theory::startup_recurrence(sp.rho, sp.delta, sp.eps, p));
             table.row_owned(vec![
                 format!("{label} r{i}"),
@@ -47,8 +61,8 @@ fn main() {
             ]);
             prev = Some(b);
         }
-        if let Some(last) = series.final_skew() {
-            println!("final spread: {} (≈4eps = {})", fs(last), fs(4.0 * sp.eps));
+        if let Some(last) = final_skew {
+            println!("final spread: {} (≈4eps = {})", fs(*last), fs(4.0 * sp.eps));
         }
     }
     println!("{table}");

@@ -10,36 +10,44 @@
 
 use bench::default_params;
 use wl_analysis::report::Table;
-use wl_analysis::validity::check_validity;
+use wl_analysis::validity::{check_validity, ValidityReport};
 use wl_analysis::ExecutionView;
-use wl_core::scenario::{FaultKind, ScenarioBuilder};
+use wl_harness::{assemble, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::{RealDur, RealTime};
 
 fn main() {
     let t_end = 120.0;
     let mut table = Table::new(&[
-        "scenario", "alpha1", "alpha2", "alpha3", "lower slack", "upper slack", "emp. rate",
+        "scenario",
+        "alpha1",
+        "alpha2",
+        "alpha3",
+        "lower slack",
+        "upper slack",
+        "emp. rate",
         "holds",
     ])
     .with_title("E4: validity envelope (Theorem 19), 120s horizon");
 
-    for (name, fault) in [
+    let cases: Vec<(&str, Option<FaultKind>)> = vec![
         ("fault-free", None),
         ("1 pull-apart", Some(FaultKind::PullApart(0.0))),
-    ] {
+    ];
+
+    let reports: Vec<ValidityReport> = SweepRunner::new().run(cases.clone(), |_, (_, fault)| {
         let params = default_params(4, 1);
-        let mut b = ScenarioBuilder::new(params.clone())
+        let mut spec = ScenarioSpec::new(params.clone())
             .seed(33)
             .t_end(RealTime::from_secs(t_end));
         if let Some(k) = fault {
             let k = match k {
                 FaultKind::PullApart(_) => FaultKind::PullApart(params.beta / 2.0),
-                other => other,
+                other => *other,
             };
-            b = b.fault(ProcessId(0), k);
+            spec = spec.fault(ProcessId(0), k);
         }
-        let built = b.build();
+        let built = assemble::<Maintenance>(&spec);
         let plan = built.plan.clone();
         let starts = built.starts.clone();
         let mut sim = built.sim;
@@ -59,7 +67,7 @@ fn main() {
             .iter()
             .cloned()
             .fold(RealTime::from_secs(f64::NEG_INFINITY), RealTime::max);
-        let r = check_validity(
+        check_validity(
             &view,
             &params,
             tmin0,
@@ -67,10 +75,13 @@ fn main() {
             tmax0,
             RealTime::from_secs(t_end * 0.98),
             RealDur::from_secs(1.0),
-        );
+        )
+    });
+
+    for ((name, _), r) in cases.iter().zip(&reports) {
         let (a1, a2, a3) = r.alphas;
         table.row_owned(vec![
-            name.to_string(),
+            (*name).to_string(),
             format!("{a1:.9}"),
             format!("{a2:.9}"),
             format!("{a3:.6}"),

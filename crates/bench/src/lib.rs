@@ -1,88 +1,17 @@
-//! Shared measurement helpers for the experiment binaries.
+//! Shared helpers for the experiment binaries.
 //!
 //! Each `exp_*` binary in `src/bin/` regenerates one table or figure of
-//! EXPERIMENTS.md. The helpers here run a built scenario to completion and
-//! extract the standard quantities (max skew, steady skew, adjustment
-//! stats, per-round series) so the binaries stay declarative.
+//! EXPERIMENTS.md. Scenario assembly and measurement live in
+//! [`wl_harness`]; this crate re-exports the run helpers and keeps only
+//! the experiment-local conveniences (default constants, cell
+//! formatting).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use wl_analysis::adjustment::{check_adjustments, AdjustmentReport};
-use wl_analysis::agreement::{check_agreement, AgreementReport};
-use wl_analysis::convergence::{round_series, RoundSeries};
-use wl_analysis::skew::SkewSeries;
-use wl_analysis::ExecutionView;
-use wl_core::scenario::Built;
+pub use wl_harness::run::{baseline_metrics, run_summary, skew_series, steady_skew, RunSummary};
+
 use wl_core::Params;
-use wl_time::{RealDur, RealTime};
-
-/// Everything the experiments usually need from one run.
-#[derive(Debug)]
-pub struct RunSummary {
-    /// Agreement check from two rounds in to the end.
-    pub agreement: AgreementReport,
-    /// Adjustment check (first adjustment skipped as warm-up).
-    pub adjustments: AdjustmentReport,
-    /// Skew at each resynchronization wave.
-    pub rounds: RoundSeries,
-    /// Events delivered.
-    pub events: u64,
-    /// Suppressed timers (must be 0 for nonfaulty correctness).
-    pub timers_suppressed: u64,
-}
-
-/// Runs a built maintenance scenario for `t_end` simulated seconds and
-/// summarizes it.
-#[must_use]
-pub fn run_summary(built: Built, t_end: f64) -> RunSummary {
-    let params = built.params.clone();
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    let from = RealTime::from_secs(params.t0 + 2.0 * params.p_round);
-    let agreement = check_agreement(
-        &view,
-        &params,
-        from,
-        RealTime::from_secs(t_end * 0.98),
-        RealDur::from_secs(params.p_round / 7.0),
-    );
-    let adjustments = check_adjustments(&view, &params, 1);
-    let rounds = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
-    RunSummary {
-        agreement,
-        adjustments,
-        rounds,
-        events: outcome.stats.events_delivered,
-        timers_suppressed: outcome.stats.timers_suppressed,
-    }
-}
-
-/// Runs a built scenario and returns only the steady-state skew measured
-/// over the second half of the horizon.
-#[must_use]
-pub fn steady_skew(built: Built, t_end: f64) -> f64 {
-    run_summary(built, t_end).agreement.steady_skew
-}
-
-/// Samples the full skew series of a built scenario (for figure-style
-/// outputs).
-#[must_use]
-pub fn skew_series(built: Built, t_end: f64, step: f64) -> SkewSeries {
-    let params = built.params.clone();
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    SkewSeries::sample_with_events(
-        &view,
-        RealTime::from_secs(params.t0),
-        RealTime::from_secs(t_end * 0.98),
-        RealDur::from_secs(step),
-    )
-}
 
 /// Standard parameter set used across experiments unless stated otherwise:
 /// `ρ = 1e-6`, `δ = 10ms`, `ε = 1ms`.

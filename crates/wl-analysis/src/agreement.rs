@@ -45,7 +45,11 @@ pub fn check_agreement<C: Clock>(
         gamma,
         steady_skew,
         holds: max_skew <= gamma + 1e-12,
-        tightness: if gamma > 0.0 { max_skew / gamma } else { f64::NAN },
+        tightness: if gamma > 0.0 {
+            max_skew / gamma
+        } else {
+            f64::NAN
+        },
     }
 }
 

@@ -52,9 +52,17 @@ impl<'a, C: Clock> ExecutionView<'a, C> {
     /// Panics if the slices disagree on `n`.
     #[must_use]
     pub fn new(clocks: &'a [C], corr: &'a [CorrectionHistory], faulty: Vec<bool>) -> Self {
-        assert_eq!(clocks.len(), corr.len(), "clocks/correction length mismatch");
+        assert_eq!(
+            clocks.len(),
+            corr.len(),
+            "clocks/correction length mismatch"
+        );
         assert_eq!(clocks.len(), faulty.len(), "clocks/faulty length mismatch");
-        Self { clocks, corr, faulty }
+        Self {
+            clocks,
+            corr,
+            faulty,
+        }
     }
 
     /// Builds the view from a fault plan.

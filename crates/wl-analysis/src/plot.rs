@@ -21,8 +21,14 @@ pub fn ascii_chart(samples: &[(f64, f64)], width: usize, height: usize, y_label:
     if samples.is_empty() {
         return format!("(no samples)\n{:>12}", y_label);
     }
-    let x_min = samples.iter().map(|&(x, _)| x).fold(f64::INFINITY, f64::min);
-    let x_max = samples.iter().map(|&(x, _)| x).fold(f64::NEG_INFINITY, f64::max);
+    let x_min = samples
+        .iter()
+        .map(|&(x, _)| x)
+        .fold(f64::INFINITY, f64::min);
+    let x_max = samples
+        .iter()
+        .map(|&(x, _)| x)
+        .fold(f64::NEG_INFINITY, f64::max);
     let y_max = samples.iter().map(|&(_, y)| y).fold(0.0f64, f64::max);
     let y_min = 0.0f64.min(samples.iter().map(|&(_, y)| y).fold(0.0, f64::min));
     let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);

@@ -48,7 +48,8 @@ impl Table {
     /// Panics if the arity differs from the headers.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|s| (*s).to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_string()).collect());
     }
 
     /// Appends a row of already-owned cells.

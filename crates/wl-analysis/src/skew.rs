@@ -84,8 +84,7 @@ impl SkewSeries {
                 }
             }
         }
-        s.samples
-            .sort_by(|a, b| a.0.total_cmp(&b.0));
+        s.samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         s
     }
 
@@ -184,10 +183,7 @@ mod tests {
     fn at_times_evaluates_pointwise() {
         let (clocks, corr) = fixed_skew_pair(0.3);
         let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
-        let v = SkewSeries::at_times(
-            &view,
-            &[RealTime::from_secs(1.0), RealTime::from_secs(2.0)],
-        );
+        let v = SkewSeries::at_times(&view, &[RealTime::from_secs(1.0), RealTime::from_secs(2.0)]);
         assert_eq!(v.len(), 2);
         assert!((v[0] - 0.3).abs() < 1e-12);
     }
@@ -197,6 +193,11 @@ mod tests {
     fn zero_step_rejected() {
         let (clocks, corr) = fixed_skew_pair(0.0);
         let view = ExecutionView::new(&clocks, &corr, vec![false, false]);
-        let _ = SkewSeries::sample(&view, RealTime::ZERO, RealTime::from_secs(1.0), RealDur::ZERO);
+        let _ = SkewSeries::sample(
+            &view,
+            RealTime::ZERO,
+            RealTime::from_secs(1.0),
+            RealDur::ZERO,
+        );
     }
 }

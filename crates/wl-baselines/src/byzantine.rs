@@ -153,7 +153,11 @@ where
                 let high = (self.make_msg)(self.t_round + self.amplitude);
                 let low = (self.make_msg)(self.t_round - self.amplitude);
                 for q in 0..self.params.n {
-                    let msg = if q < self.early_below { high.clone() } else { low.clone() };
+                    let msg = if q < self.early_below {
+                        high.clone()
+                    } else {
+                        low.clone()
+                    };
                     out.send(ProcessId(q), msg);
                 }
                 self.t_round += self.params.p_round;

@@ -25,5 +25,4 @@
 pub mod byzantine;
 pub mod lm_cnv;
 pub mod mahaney_schneider;
-pub mod scenario;
 pub mod srikanth_toueg;

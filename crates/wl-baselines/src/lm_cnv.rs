@@ -196,7 +196,10 @@ mod tests {
         for (q, off) in [(1usize, -0.001), (2, 0.001)] {
             let mut o = Actions::new();
             a.on_input(
-                Input::Message { from: ProcessId(q), msg: CnvMsg(p.t0_clock()) },
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: CnvMsg(p.t0_clock()),
+                },
                 phys(p.t0 + p.delta + off, 0.0),
                 &mut o,
             );
@@ -216,7 +219,10 @@ mod tests {
         // A Byzantine arrival so late its estimate exceeds the threshold.
         let mut o = Actions::new();
         a.on_input(
-            Input::Message { from: ProcessId(3), msg: CnvMsg(p.t0_clock()) },
+            Input::Message {
+                from: ProcessId(3),
+                msg: CnvMsg(p.t0_clock()),
+            },
             phys(p.t0 + p.delta + 10.0, 0.0),
             &mut o,
         );
@@ -236,7 +242,10 @@ mod tests {
         a.on_input(Input::Start, phys(p.t0, 0.0), &mut out);
         let mut o = Actions::new();
         a.on_input(
-            Input::Message { from: ProcessId(3), msg: CnvMsg(p.t0_clock()) },
+            Input::Message {
+                from: ProcessId(3),
+                msg: CnvMsg(p.t0_clock()),
+            },
             phys(p.t0 + p.delta - lie, 0.0),
             &mut o,
         );

@@ -120,7 +120,10 @@ impl MahaneySchneider {
             .iter()
             .copied()
             .filter(|&v| {
-                est.iter().filter(|&&w| (v - w).abs() <= self.tolerance).count() >= quorum
+                est.iter()
+                    .filter(|&&w| (v - w).abs() <= self.tolerance)
+                    .count()
+                    >= quorum
             })
             .collect();
         let adj = if accepted.is_empty() {
@@ -180,7 +183,10 @@ mod tests {
     fn feed(a: &mut MahaneySchneider, q: usize, arrival_local: f64) {
         let mut o = Actions::new();
         a.on_input(
-            Input::Message { from: ProcessId(q), msg: MsMsg(ClockTime::from_secs(a.t_round)) },
+            Input::Message {
+                from: ProcessId(q),
+                msg: MsMsg(ClockTime::from_secs(a.t_round)),
+            },
             phys(arrival_local, a.corr),
             &mut o,
         );
@@ -220,7 +226,11 @@ mod tests {
         // tol and accept-all: mean = 1.25ms.
         let tol = 2.0 * (p.beta + 2.0 * p.eps);
         assert!(tol > 0.003, "test premise: tolerance {tol} > 3ms");
-        assert!((a.correction() - 0.00125).abs() < 1e-9, "corr {}", a.correction());
+        assert!(
+            (a.correction() - 0.00125).abs() < 1e-9,
+            "corr {}",
+            a.correction()
+        );
     }
 
     #[test]

@@ -205,7 +205,10 @@ mod tests {
         let mut o = Actions::new();
         let corr = a.corr;
         a.on_input(
-            Input::Message { from: ProcessId(q), msg: StMsg { round, echo: false } },
+            Input::Message {
+                from: ProcessId(q),
+                msg: StMsg { round, echo: false },
+            },
             phys(at_local, corr),
             &mut o,
         );
@@ -235,7 +238,13 @@ mod tests {
         let mut out = Actions::new();
         a.on_input(Input::Start, phys(p.t0, 0.0), &mut out);
         assert!(
-            matches!(out.as_slice()[0], Action::Broadcast(StMsg { round: 0, echo: false })),
+            matches!(
+                out.as_slice()[0],
+                Action::Broadcast(StMsg {
+                    round: 0,
+                    echo: false
+                })
+            ),
             "{:?}",
             out.as_slice()
         );
@@ -247,7 +256,13 @@ mod tests {
         let mut a = SrikanthToueg::new(ProcessId(0), p.clone(), 0.0);
         let mut out = Actions::new();
         a.on_input(Input::Timer, phys(p.t0, 0.0), &mut out);
-        assert!(matches!(out.as_slice()[0], Action::Broadcast(StMsg { round: 0, echo: false })));
+        assert!(matches!(
+            out.as_slice()[0],
+            Action::Broadcast(StMsg {
+                round: 0,
+                echo: false
+            })
+        ));
         // A second (stale) timer does not re-broadcast.
         let mut out = Actions::new();
         a.on_input(Input::Timer, phys(p.t0 + 0.001, 0.0), &mut out);
@@ -262,7 +277,13 @@ mod tests {
         let o = sync_from(&mut a, 1, 0, p.t0 - 0.002);
         assert!(o.is_empty());
         let o = sync_from(&mut a, 2, 0, p.t0 - 0.001);
-        assert!(matches!(o.as_slice()[0], Action::Broadcast(StMsg { round: 0, echo: true })));
+        assert!(matches!(
+            o.as_slice()[0],
+            Action::Broadcast(StMsg {
+                round: 0,
+                echo: true
+            })
+        ));
     }
 
     #[test]
@@ -309,6 +330,6 @@ mod tests {
         // Late round-0 votes are dropped.
         let o = sync_from(&mut a, 1, 0, p.t0 + 0.01);
         assert!(o.is_empty());
-        assert!(a.votes.get(&0).is_none());
+        assert!(!a.votes.contains_key(&0));
     }
 }

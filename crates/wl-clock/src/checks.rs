@@ -103,10 +103,21 @@ mod tests {
     #[test]
     fn ideal_clock_passes_all_checks() {
         let c = LinearClock::ideal();
-        assert!(find_rho_violation(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(10.0), 0.1)
-            .is_none());
-        assert!(lemma1_holds(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(5.0)));
-        assert!(lemma2a_holds(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(5.0)));
+        assert!(
+            find_rho_violation(&c, 1e-6, RealTime::ZERO, RealTime::from_secs(10.0), 0.1).is_none()
+        );
+        assert!(lemma1_holds(
+            &c,
+            1e-6,
+            RealTime::ZERO,
+            RealTime::from_secs(5.0)
+        ));
+        assert!(lemma2a_holds(
+            &c,
+            1e-6,
+            RealTime::ZERO,
+            RealTime::from_secs(5.0)
+        ));
     }
 
     #[test]
@@ -131,7 +142,10 @@ mod tests {
         let c = PiecewiseLinearClock::from_rates(
             RealTime::ZERO,
             ClockTime::ZERO,
-            &[(wl_time::RealDur::from_secs(5.0), hi), (wl_time::RealDur::from_secs(5.0), lo)],
+            &[
+                (wl_time::RealDur::from_secs(5.0), hi),
+                (wl_time::RealDur::from_secs(5.0), lo),
+            ],
             1.0,
         );
         assert_rho_bounded(&c, rho, RealTime::ZERO, RealTime::from_secs(20.0), 0.25);
@@ -140,7 +154,12 @@ mod tests {
     #[test]
     fn lemma1_fails_for_wild_clock() {
         let c = LinearClock::new(2.0, ClockTime::ZERO);
-        assert!(!lemma1_holds(&c, 1e-3, RealTime::ZERO, RealTime::from_secs(1.0)));
+        assert!(!lemma1_holds(
+            &c,
+            1e-3,
+            RealTime::ZERO,
+            RealTime::from_secs(1.0)
+        ));
     }
 
     #[test]
@@ -154,6 +173,11 @@ mod tests {
     #[test]
     fn lemma2a_detects_violation() {
         let c = LinearClock::new(1.5, ClockTime::ZERO);
-        assert!(!lemma2a_holds(&c, 1e-3, RealTime::ZERO, RealTime::from_secs(10.0)));
+        assert!(!lemma2a_holds(
+            &c,
+            1e-3,
+            RealTime::ZERO,
+            RealTime::from_secs(10.0)
+        ));
     }
 }

@@ -98,7 +98,10 @@ mod tests {
         let phys = LinearClock::new(2.0, ClockTime::ZERO);
         let lc = LogicalClock::new(phys, ClockDur::from_secs(10.0));
         // reads 10 + 2t; reads 14 at t=2.
-        assert_eq!(lc.time_of(ClockTime::from_secs(14.0)), RealTime::from_secs(2.0));
+        assert_eq!(
+            lc.time_of(ClockTime::from_secs(14.0)),
+            RealTime::from_secs(2.0)
+        );
     }
 
     #[test]

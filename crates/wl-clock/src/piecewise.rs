@@ -115,10 +115,7 @@ impl PiecewiseLinearClock {
     fn segment_for_real(&self, t: RealTime) -> &Segment {
         // The first segment whose start is <= t; before the first start we
         // extend the first segment's rate backwards.
-        match self
-            .segments
-            .binary_search_by(|s| s.start.total_cmp(&t))
-        {
+        match self.segments.binary_search_by(|s| s.start.total_cmp(&t)) {
             Ok(i) => &self.segments[i],
             Err(0) => &self.segments[0],
             Err(i) => &self.segments[i - 1],
@@ -203,12 +200,8 @@ mod tests {
 
     #[test]
     fn single_rate_matches_linear() {
-        let pw = PiecewiseLinearClock::from_rates(
-            RealTime::ZERO,
-            ClockTime::from_secs(1.0),
-            &[],
-            1.25,
-        );
+        let pw =
+            PiecewiseLinearClock::from_rates(RealTime::ZERO, ClockTime::from_secs(1.0), &[], 1.25);
         let lin = crate::LinearClock::new(1.25, ClockTime::from_secs(1.0));
         for s in [-3.0, 0.0, 7.5] {
             let t = RealTime::from_secs(s);

@@ -220,10 +220,21 @@ mod tests {
         let sends = out
             .as_slice()
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: WlMsg::Round(_), .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: WlMsg::Round(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(sends, 4);
-        assert!(matches!(out.as_slice().last().unwrap(), Action::SetTimer { .. }));
+        assert!(matches!(
+            out.as_slice().last().unwrap(),
+            Action::SetTimer { .. }
+        ));
     }
 
     #[test]
@@ -231,7 +242,10 @@ mod tests {
         let mut s = RoundSpammer::new(4, 0.01, 9, (0.0, 100.0));
         let mut out = Actions::new();
         s.on_input(
-            Input::Message { from: ProcessId(0), msg: WlMsg::Ready },
+            Input::Message {
+                from: ProcessId(0),
+                msg: WlMsg::Ready,
+            },
             ClockTime::ZERO,
             &mut out,
         );

@@ -22,24 +22,27 @@
 //!   process.
 //! * [`byzantine`] — protocol-aware Byzantine strategies used by the
 //!   experiments.
-//! * [`scenario`] — builders that assemble clocks, automata, delay models,
-//!   and fault plans into a ready-to-run [`wl_sim::Simulation`].
+//!
+//! Scenario assembly (clocks + automata + delay models + fault plans into
+//! a ready-to-run [`wl_sim::Simulation`]) lives one layer up, in
+//! `wl-harness`, so that this algorithm and the §10 baselines share one
+//! assembly path.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use wl_core::{Params, scenario::ScenarioBuilder};
-//! use wl_time::RealTime;
+//! use wl_core::{Maintenance, Params};
+//! use wl_sim::{Actions, Automaton, Input, ProcessId};
+//! use wl_time::ClockTime;
 //!
 //! // n = 4 processes tolerating f = 1 Byzantine fault.
 //! let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
-//! let mut built = ScenarioBuilder::new(params.clone())
-//!     .seed(42)
-//!     .t_end(RealTime::from_secs(30.0))
-//!     .build();
-//! let outcome = built.sim.run();
-//! // Every nonfaulty pair of local times stays within gamma (Theorem 16).
-//! assert!(outcome.stats.events_delivered > 0);
+//! // The maintenance automaton reacts to its START interrupt by arming
+//! // the round timer for T0 on its own physical clock.
+//! let mut p0 = Maintenance::new(ProcessId(0), params, 0.0);
+//! let mut out = Actions::new();
+//! p0.on_input(Input::Start, ClockTime::from_secs(0.5), &mut out);
+//! assert!(!out.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -50,7 +53,6 @@ mod maintenance;
 mod msg;
 pub mod params;
 mod reintegration;
-pub mod scenario;
 mod startup;
 pub mod theory;
 

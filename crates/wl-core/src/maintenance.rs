@@ -96,12 +96,7 @@ impl Maintenance {
     /// The caller must schedule the first timer at the returned physical
     /// deadline (the automaton cannot emit actions outside a step).
     #[must_use]
-    pub fn resume_at(
-        id: ProcessId,
-        params: Params,
-        corr: f64,
-        t_round: f64,
-    ) -> (Self, ClockTime) {
+    pub fn resume_at(id: ProcessId, params: Params, corr: f64, t_round: f64) -> (Self, ClockTime) {
         params.validate_timing().expect("invalid parameters");
         let arr = vec![params.t0; params.n];
         let me = Self {
@@ -292,7 +287,10 @@ mod tests {
         m.on_input(Input::Start, phys(params().t0, 0.0), &mut out);
         let mut out = Actions::new();
         m.on_input(
-            Input::Message { from: ProcessId(2), msg: WlMsg::Round(ClockTime::from_secs(1.0)) },
+            Input::Message {
+                from: ProcessId(2),
+                msg: WlMsg::Round(ClockTime::from_secs(1.0)),
+            },
             ClockTime::from_secs(1.25),
             &mut out,
         );
@@ -306,7 +304,10 @@ mod tests {
         let mut out = Actions::new();
         let before = m.arr.clone();
         m.on_input(
-            Input::Message { from: ProcessId(1), msg: WlMsg::Ready },
+            Input::Message {
+                from: ProcessId(1),
+                msg: WlMsg::Ready,
+            },
             ClockTime::from_secs(1.5),
             &mut out,
         );
@@ -324,7 +325,10 @@ mod tests {
         for q in 0..4 {
             let mut o = Actions::new();
             m.on_input(
-                Input::Message { from: ProcessId(q), msg: WlMsg::Round(p.t0_clock()) },
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: WlMsg::Round(p.t0_clock()),
+                },
                 phys(p.t0 + p.delta, 0.0),
                 &mut o,
             );
@@ -360,14 +364,21 @@ mod tests {
         for q in 0..4 {
             let mut o = Actions::new();
             m.on_input(
-                Input::Message { from: ProcessId(q), msg: WlMsg::Round(p.t0_clock()) },
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: WlMsg::Round(p.t0_clock()),
+                },
                 phys(p.t0 + p.delta + 0.001, 0.0),
                 &mut o,
             );
         }
         let mut out = Actions::new();
         m.on_input(Input::Timer, phys(p.t0 + p.wait_window(), 0.0), &mut out);
-        assert!((m.correction() + 0.001).abs() < 1e-12, "corr {}", m.correction());
+        assert!(
+            (m.correction() + 0.001).abs() < 1e-12,
+            "corr {}",
+            m.correction()
+        );
     }
 
     #[test]
@@ -380,14 +391,20 @@ mod tests {
         for q in 0..3 {
             let mut o = Actions::new();
             m.on_input(
-                Input::Message { from: ProcessId(q), msg: WlMsg::Round(p.t0_clock()) },
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: WlMsg::Round(p.t0_clock()),
+                },
                 phys(p.t0 + p.delta, 0.0),
                 &mut o,
             );
         }
         let mut o = Actions::new();
         m.on_input(
-            Input::Message { from: ProcessId(3), msg: WlMsg::Round(p.t0_clock()) },
+            Input::Message {
+                from: ProcessId(3),
+                msg: WlMsg::Round(p.t0_clock()),
+            },
             phys(p.t0 + 500.0, 0.0),
             &mut o,
         );
@@ -414,7 +431,10 @@ mod tests {
         // Arrival from process 3 is normalised by 3σ.
         let mut o = Actions::new();
         m.on_input(
-            Input::Message { from: ProcessId(3), msg: WlMsg::Round(p.t0_clock()) },
+            Input::Message {
+                from: ProcessId(3),
+                msg: WlMsg::Round(p.t0_clock()),
+            },
             phys(p.t0 + p.delta + 3.0e-4, 0.0),
             &mut o,
         );
@@ -437,10 +457,18 @@ mod tests {
             Err(_) => {
                 // Need a round long enough; re-derive with a longer P.
                 let base = params();
-                Params::new(4, 1, base.rho, base.delta, base.eps, base.beta, base.min_p() * 3.0)
-                    .unwrap()
-                    .with_exchanges(2)
-                    .unwrap()
+                Params::new(
+                    4,
+                    1,
+                    base.rho,
+                    base.delta,
+                    base.eps,
+                    base.beta,
+                    base.min_p() * 3.0,
+                )
+                .unwrap()
+                .with_exchanges(2)
+                .unwrap()
             }
         };
         let mut m = Maintenance::new(ProcessId(0), p.clone(), 0.0);
@@ -454,10 +482,14 @@ mod tests {
         // Second exchange broadcast + update completes the round.
         let b2 = p.t0 + p.exchange_period();
         let mut out = Actions::new();
-        m.on_input(Input::Timer, phys(b2 - m.correction(), 0.0) , &mut out);
+        m.on_input(Input::Timer, phys(b2 - m.correction(), 0.0), &mut out);
         assert!(matches!(out.as_slice()[0], Action::Broadcast(_)));
         let mut out = Actions::new();
-        m.on_input(Input::Timer, phys(b2 + p.wait_window(), m.correction()), &mut out);
+        m.on_input(
+            Input::Timer,
+            phys(b2 + p.wait_window(), m.correction()),
+            &mut out,
+        );
         assert_eq!(m.updates_completed(), 2);
         assert_eq!(m.rounds_completed(), 1);
     }
@@ -465,7 +497,8 @@ mod tests {
     #[test]
     fn resume_at_reports_first_deadline() {
         let p = params();
-        let (m, deadline) = Maintenance::resume_at(ProcessId(1), p.clone(), -0.5, p.t0 + 3.0 * p.p_round);
+        let (m, deadline) =
+            Maintenance::resume_at(ProcessId(1), p.clone(), -0.5, p.t0 + 3.0 * p.p_round);
         assert_eq!(m.correction(), -0.5);
         assert_eq!(m.phase(), Phase::AwaitSend);
         // Deadline converts local target through corr.

@@ -74,21 +74,36 @@ impl fmt::Display for ParamError {
                 write!(f, "assumption A2 needs n >= 3f+1, got n={n}, f={faults}")
             }
             ParamError::BadDelayBand { delta, eps } => {
-                write!(f, "assumption A3 needs delta > eps >= 0, got delta={delta}, eps={eps}")
+                write!(
+                    f,
+                    "assumption A3 needs delta > eps >= 0, got delta={delta}, eps={eps}"
+                )
             }
             ParamError::BadRho(r) => write!(f, "rho must be in [0, 1), got {r}"),
             ParamError::BadBeta(b) => write!(f, "beta must be positive, got {b}"),
             ParamError::RoundTooShort { p, min } => {
-                write!(f, "round length P={p} below the section-5.2 lower bound {min}")
+                write!(
+                    f,
+                    "round length P={p} below the section-5.2 lower bound {min}"
+                )
             }
             ParamError::RoundTooLong { p, max } => {
-                write!(f, "round length P={p} above the section-5.2 upper bound {max}")
+                write!(
+                    f,
+                    "round length P={p} above the section-5.2 upper bound {max}"
+                )
             }
             ParamError::Infeasible { min, max } => {
-                write!(f, "no feasible P: lower bound {min} exceeds upper bound {max}")
+                write!(
+                    f,
+                    "no feasible P: lower bound {min} exceeds upper bound {max}"
+                )
             }
             ParamError::VariantDoesNotFit { needed, p } => {
-                write!(f, "variant schedule needs {needed}s inside a round of P={p}s")
+                write!(
+                    f,
+                    "variant schedule needs {needed}s inside a round of P={p}s"
+                )
             }
         }
     }
@@ -249,7 +264,10 @@ impl Params {
     /// Returns the first violated constraint.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.n < 3 * self.f + 1 {
-            return Err(ParamError::TooManyFaults { n: self.n, f: self.f });
+            return Err(ParamError::TooManyFaults {
+                n: self.n,
+                f: self.f,
+            });
         }
         self.validate_timing()
     }
@@ -276,10 +294,16 @@ impl Params {
             return Err(ParamError::Infeasible { min, max });
         }
         if self.p_round < min {
-            return Err(ParamError::RoundTooShort { p: self.p_round, min });
+            return Err(ParamError::RoundTooShort {
+                p: self.p_round,
+                min,
+            });
         }
         if self.p_round > max {
-            return Err(ParamError::RoundTooLong { p: self.p_round, max });
+            return Err(ParamError::RoundTooLong {
+                p: self.p_round,
+                max,
+            });
         }
         // Variant schedules must complete within the round: the last
         // sub-exchange's collection window (plus stagger tail) has to end
@@ -287,7 +311,10 @@ impl Params {
         // algorithm's lower bound provides.
         let needed = self.schedule_span();
         if needed > self.p_round {
-            return Err(ParamError::VariantDoesNotFit { needed, p: self.p_round });
+            return Err(ParamError::VariantDoesNotFit {
+                needed,
+                p: self.p_round,
+            });
         }
         Ok(())
     }
@@ -338,7 +365,9 @@ impl Params {
         if coeff <= 0.0 {
             return None;
         }
-        let rhs = 2.0 * rho * p + 2.0 * eps + 2.0 * rho * (delta + 2.0 * eps)
+        let rhs = 2.0 * rho * p
+            + 2.0 * eps
+            + 2.0 * rho * (delta + 2.0 * eps)
             + 2.0 * rho * rho * (delta + eps);
         Some(rhs / coeff)
     }
@@ -370,7 +399,7 @@ fn check_basics(n: usize, f: usize, rho: f64, delta: f64, eps: f64) -> Result<()
     if n <= 2 * f {
         return Err(ParamError::TooManyFaults { n, f });
     }
-    if !(rho >= 0.0 && rho < 1.0 && rho.is_finite()) {
+    if !((0.0..1.0).contains(&rho) && rho.is_finite()) {
         return Err(ParamError::BadRho(rho));
     }
     if !(eps >= 0.0 && delta > eps && delta.is_finite()) {
@@ -432,7 +461,13 @@ impl StartupParams {
             return Err(ParamError::TooManyFaults { n, f });
         }
         check_basics(n, f, rho, delta, eps)?;
-        Ok(Self { n, f, rho, delta, eps })
+        Ok(Self {
+            n,
+            f,
+            rho,
+            delta,
+            eps,
+        })
     }
 
     /// The first waiting interval `(1+ρ)(2δ+4ε)` — long enough to hear

@@ -190,15 +190,22 @@ impl Rejoiner {
         // nothing in particular; reduce() treats them as the ≤ f faults.
         let filler = c.first_arrival;
         let values: Vec<f64> = c.arr.iter().map(|o| o.unwrap_or(filler)).collect();
-        let av = self.params.avg.apply(&Multiset::from_values(&values), self.params.f);
+        let av = self
+            .params
+            .avg
+            .apply(&Multiset::from_values(&values), self.params.f);
         let adj = v + self.params.delta - av;
         self.corr += adj;
         out.note_correction(self.corr);
 
         // Rejoin at the next round boundary.
         let next_round = v + self.params.p_round;
-        let (inner, deadline) =
-            Maintenance::resume_at(ProcessId(self.id), self.params.clone(), self.corr, next_round);
+        let (inner, deadline) = Maintenance::resume_at(
+            ProcessId(self.id),
+            self.params.clone(),
+            self.corr,
+            next_round,
+        );
         out.set_timer(deadline);
         out.annotate(format!(
             "reintegration complete: adj={adj:+.9}, rejoining at round base {next_round:.6}"
@@ -277,7 +284,10 @@ mod tests {
         let mut r = Rejoiner::new(ProcessId(3), params());
         let mut out = Actions::new();
         r.on_input(
-            Input::Message { from: ProcessId(0), msg: round_msg(1.0) },
+            Input::Message {
+                from: ProcessId(0),
+                msg: round_msg(1.0),
+            },
             phys(0.5),
             &mut out,
         );
@@ -307,7 +317,10 @@ mod tests {
         for q in 0..3 {
             let mut o = Actions::new();
             r.on_input(
-                Input::Message { from: ProcessId(q), msg: round_msg(5.0) },
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: round_msg(5.0),
+                },
                 phys(10.0 + 0.5 * w),
                 &mut o,
             );
@@ -316,7 +329,10 @@ mod tests {
         // A value heard late but from only one sender: not committable.
         let mut o = Actions::new();
         r.on_input(
-            Input::Message { from: ProcessId(0), msg: round_msg(6.0) },
+            Input::Message {
+                from: ProcessId(0),
+                msg: round_msg(6.0),
+            },
             phys(10.0 + 2.0 * w),
             &mut o,
         );
@@ -333,11 +349,21 @@ mod tests {
         r.on_input(Input::Start, phys(10.0), &mut out);
         let t1 = 10.0 + 1.5 * w;
         let mut o = Actions::new();
-        r.on_input(Input::Message { from: ProcessId(0), msg: round_msg(6.0) }, phys(t1), &mut o);
+        r.on_input(
+            Input::Message {
+                from: ProcessId(0),
+                msg: round_msg(6.0),
+            },
+            phys(t1),
+            &mut o,
+        );
         assert!(o.is_empty());
         let mut o = Actions::new();
         r.on_input(
-            Input::Message { from: ProcessId(1), msg: round_msg(6.0) },
+            Input::Message {
+                from: ProcessId(1),
+                msg: round_msg(6.0),
+            },
             phys(t1 + 0.001),
             &mut o,
         );
@@ -366,7 +392,10 @@ mod tests {
         for (q, off) in [(0usize, 0.0), (1, 0.0002), (2, 0.0004)] {
             let mut o = Actions::new();
             r.on_input(
-                Input::Message { from: ProcessId(q), msg: round_msg(v) },
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: round_msg(v),
+                },
                 phys(t1 + off),
                 &mut o,
             );
@@ -400,7 +429,14 @@ mod tests {
         let t1 = 10.0 + 2.0 * w;
         for q in 0..2 {
             let mut o = Actions::new();
-            r.on_input(Input::Message { from: ProcessId(q), msg: round_msg(6.0) }, phys(t1), &mut o);
+            r.on_input(
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: round_msg(6.0),
+                },
+                phys(t1),
+                &mut o,
+            );
         }
         let mut o = Actions::new();
         r.on_input(Input::Timer, phys(t1 + w), &mut o);
@@ -426,7 +462,10 @@ mod tests {
         for i in 0..100 {
             let mut o = Actions::new();
             r.on_input(
-                Input::Message { from: ProcessId(0), msg: round_msg(1000.0 + i as f64) },
+                Input::Message {
+                    from: ProcessId(0),
+                    msg: round_msg(1000.0 + i as f64),
+                },
                 phys(10.1),
                 &mut o,
             );

@@ -233,7 +233,6 @@ impl Automaton for Startup {
                     if (now - v).abs() <= TIMER_TOL {
                         self.pending_v = None;
                         self.on_v_timer(out);
-                        return;
                     }
                 }
                 // Stale timer from an abandoned interval: ignore.
@@ -278,14 +277,20 @@ mod tests {
         let mut s = Startup::new(ProcessId(1), params(), 0.0);
         let mut out = Actions::new();
         s.on_input(
-            Input::Message { from: ProcessId(0), msg: WlMsg::Time(phys(5.0)) },
+            Input::Message {
+                from: ProcessId(0),
+                msg: WlMsg::Time(phys(5.0)),
+            },
             phys(2.0),
             &mut out,
         );
         // DIFF[0] = 5 + delta - 2.
         assert!((s.diff[0] - (5.0 + 0.010 - 2.0)).abs() < 1e-12);
         // Woke up: broadcast its own Time.
-        assert!(matches!(out.as_slice()[0], Action::Broadcast(WlMsg::Time(_))));
+        assert!(matches!(
+            out.as_slice()[0],
+            Action::Broadcast(WlMsg::Time(_))
+        ));
         assert!(!s.asleep);
     }
 
@@ -331,10 +336,24 @@ mod tests {
         s.on_input(Input::Timer, phys(u), &mut out);
         // f+1 = 2 READYs before V.
         let mut out = Actions::new();
-        s.on_input(Input::Message { from: ProcessId(1), msg: WlMsg::Ready }, phys(u + 0.001), &mut out);
+        s.on_input(
+            Input::Message {
+                from: ProcessId(1),
+                msg: WlMsg::Ready,
+            },
+            phys(u + 0.001),
+            &mut out,
+        );
         assert!(out.is_empty());
         let mut out = Actions::new();
-        s.on_input(Input::Message { from: ProcessId(2), msg: WlMsg::Ready }, phys(u + 0.002), &mut out);
+        s.on_input(
+            Input::Message {
+                from: ProcessId(2),
+                msg: WlMsg::Ready,
+            },
+            phys(u + 0.002),
+            &mut out,
+        );
         assert!(matches!(out.as_slice()[0], Action::Broadcast(WlMsg::Ready)));
         assert!(s.early_end);
     }
@@ -348,7 +367,14 @@ mod tests {
         s.on_input(Input::Start, phys(0.0), &mut out);
         for q in 1..=3 {
             let mut o = Actions::new();
-            s.on_input(Input::Message { from: ProcessId(q), msg: WlMsg::Ready }, phys(0.001), &mut o);
+            s.on_input(
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: WlMsg::Ready,
+                },
+                phys(0.001),
+                &mut o,
+            );
             assert!(o.is_empty(), "READY before U must be inert");
         }
         assert_eq!(s.rounds_completed(), 0);
@@ -370,7 +396,14 @@ mod tests {
         s.on_input(Input::Start, phys(0.0), &mut out);
         for _ in 0..5 {
             let mut o = Actions::new();
-            s.on_input(Input::Message { from: ProcessId(1), msg: WlMsg::Ready }, phys(0.01), &mut o);
+            s.on_input(
+                Input::Message {
+                    from: ProcessId(1),
+                    msg: WlMsg::Ready,
+                },
+                phys(0.01),
+                &mut o,
+            );
             assert!(o.is_empty(), "one sender must never trigger early-end");
         }
         assert_eq!(s.rcvd_ready_count, 1);
@@ -389,7 +422,14 @@ mod tests {
         // n - f = 3 READYs.
         for q in 1..=3 {
             let mut o = Actions::new();
-            s.on_input(Input::Message { from: ProcessId(q), msg: WlMsg::Ready }, phys(0.05), &mut o);
+            s.on_input(
+                Input::Message {
+                    from: ProcessId(q),
+                    msg: WlMsg::Ready,
+                },
+                phys(0.05),
+                &mut o,
+            );
             if q == 3 {
                 // Applied: corr 1.0 + 0.2; diffs shifted; new round begun.
                 assert!((s.correction() - 1.2).abs() < 1e-12);
@@ -427,11 +467,17 @@ mod tests {
         let mut s = Startup::new(ProcessId(0), params(), 0.0);
         let mut out = Actions::new();
         s.on_input(
-            Input::Message { from: ProcessId(1), msg: WlMsg::Round(phys(9.0)) },
+            Input::Message {
+                from: ProcessId(1),
+                msg: WlMsg::Round(phys(9.0)),
+            },
             phys(1.0),
             &mut out,
         );
         assert!(out.is_empty());
-        assert!(s.asleep, "Round messages must not wake the startup automaton");
+        assert!(
+            s.asleep,
+            "Round messages must not wake the startup automaton"
+        );
     }
 }

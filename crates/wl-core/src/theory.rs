@@ -128,7 +128,11 @@ pub struct ComparisonRow {
 #[must_use]
 pub fn comparison_table(n: usize, delta: f64, eps: f64) -> Vec<ComparisonRow> {
     vec![
-        ComparisonRow { name: "Welch-Lynch (this paper)", agreement: 4.0 * eps, adjustment: 5.0 * eps },
+        ComparisonRow {
+            name: "Welch-Lynch (this paper)",
+            agreement: 4.0 * eps,
+            adjustment: 5.0 * eps,
+        },
         ComparisonRow {
             name: "Lamport/Melliar-Smith CNV",
             agreement: 2.0 * n as f64 * eps,

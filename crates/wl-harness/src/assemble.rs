@@ -1,0 +1,288 @@
+//! The single scenario-assembly path: [`assemble`].
+//!
+//! Replaces the duplicated builders that used to live in
+//! `wl_core::scenario` and `wl_baselines::scenario`. The RNG draw order
+//! and sim-seed salting are preserved exactly, so executions are
+//! bit-for-bit identical to the legacy paths (pinned by the
+//! `harness_parity` integration tests).
+
+use crate::algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
+use crate::spec::{DelayKind, ScenarioSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wl_clock::Clock;
+use wl_core::Params;
+use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, DelayModel, UniformDelay};
+use wl_sim::faults::FaultPlan;
+use wl_sim::{Automaton, ProcessId, SimConfig, Simulation};
+use wl_time::{ClockTime, RealTime};
+
+/// A fully assembled scenario, generic over the protocol message type.
+pub struct BuiltScenario<M> {
+    /// The simulation, ready to run.
+    pub sim: Simulation<M>,
+    /// Which processes are designated faulty (for the analysis).
+    pub plan: FaultPlan,
+    /// The parameters the scenario was built from.
+    pub params: Params,
+    /// The A4 start times `t⁰_p` (when each initial logical clock reads
+    /// `T⁰`) — even for a rejoiner, whose *simulation* START is instead
+    /// deferred to its repair time (`spec.rejoiner`). Mirrors the legacy
+    /// builders' `starts` field.
+    pub starts: Vec<RealTime>,
+    /// Initial corrections per process (all zero unless cold-starting).
+    pub initial_corrs: Vec<f64>,
+}
+
+impl<M> std::fmt::Debug for BuiltScenario<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltScenario")
+            .field("plan", &self.plan)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// Assembles `spec` under algorithm `A`.
+///
+/// The assembly realizes the spec's assumptions in a fixed RNG draw
+/// order so that identical `(spec, A)` pairs produce identical
+/// executions — on any machine, at any sweep width:
+///
+/// 1. **Round-aligned** (A4): `n` initial offsets within
+///    `spread_frac · β`, then the drift-model build seed, then START at
+///    `c⁰_p(T⁰)`.
+/// 2. **Cold start** (§9.2): the drift-model build seed, then `n`
+///    initial corrections within ±`initial_spread/2`, then `n` START
+///    times inside `[1, 1+δ)`.
+///
+/// The simulator's delay RNG is decorrelated with the algorithm's salt.
+///
+/// # Panics
+///
+/// Panics if the spec fails the algorithm's validation, a fault id is out
+/// of range, or the algorithm does not support a requested fault kind or
+/// rejoiner.
+#[must_use]
+pub fn assemble<A: SyncAlgorithm>(spec: &ScenarioSpec) -> BuiltScenario<A::Msg> {
+    A::validate(spec);
+    let p = &spec.params;
+    let n = p.n;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let drift = spec.effective_drift();
+
+    let (clocks, starts, initial_corrs, sim_seed) = match A::discipline(spec) {
+        StartDiscipline::RoundAligned { sim_seed_salt } => {
+            // Initial offsets: logical clocks (corr = 0) read T⁰ within a
+            // window of spread_frac · β, so their inverses at T⁰ are within
+            // β even after drift widens the spread slightly (A4).
+            let window = p.beta * spec.spread_frac;
+            let offsets: Vec<ClockTime> = (0..n)
+                .map(|_| ClockTime::from_secs(rng.gen_range(-window / 2.0..=window / 2.0)))
+                .collect();
+            let clocks = drift.build(n, &offsets, rng.gen());
+            // A4: START arrives when the initial logical clock reads T⁰.
+            let starts: Vec<RealTime> = clocks.iter().map(|c| c.time_of(p.t0_clock())).collect();
+            (
+                clocks,
+                starts,
+                vec![0.0; n],
+                spec.seed.wrapping_add(sim_seed_salt),
+            )
+        }
+        StartDiscipline::ColdStart { sim_seed_salt } => {
+            let clocks = drift.build(n, &vec![ClockTime::ZERO; n], rng.gen());
+            let initial_corrs: Vec<f64> = (0..n)
+                .map(|_| rng.gen_range(-spec.initial_spread / 2.0..=spec.initial_spread / 2.0))
+                .collect();
+            // STARTs delivered within a small real-time window — the
+            // problem statement lets the environment wake processes
+            // arbitrarily; the first Time broadcast wakes the rest anyway.
+            let starts: Vec<RealTime> = (0..n)
+                .map(|_| RealTime::from_secs(1.0 + rng.gen_range(0.0..p.delta)))
+                .collect();
+            (
+                clocks,
+                starts,
+                initial_corrs,
+                spec.seed.wrapping_add(sim_seed_salt),
+            )
+        }
+    };
+
+    let mut faulty_ids: Vec<ProcessId> = spec.faults.iter().map(|&(id, _)| id).collect();
+    if let Some((id, _)) = spec.rejoiner {
+        faulty_ids.push(id);
+    }
+    let plan = FaultPlan::with_faulty(n, &faulty_ids);
+
+    let ctx = AssemblyCtx {
+        clocks: &clocks,
+        initial_corrs: &initial_corrs,
+    };
+    let mut starts_adj = starts.clone();
+    let mut procs: Vec<Box<dyn Automaton<Msg = A::Msg>>> = Vec::with_capacity(n);
+    for (i, start_slot) in starts_adj.iter_mut().enumerate() {
+        let id = ProcessId(i);
+        let fault = spec
+            .faults
+            .iter()
+            .find(|&&(fid, _)| fid == id)
+            .map(|&(_, k)| k);
+        let is_rejoiner = spec.rejoiner.map(|(rid, _)| rid) == Some(id);
+        let auto: Box<dyn Automaton<Msg = A::Msg>> = if is_rejoiner {
+            let (_, repair_at) = spec.rejoiner.expect("checked above");
+            *start_slot = repair_at;
+            A::rejoiner_automaton(spec, id)
+                .unwrap_or_else(|| panic!("{} does not support rejoiners", A::NAME))
+        } else if let Some(kind) = fault {
+            A::faulty(spec, id, kind, &ctx)
+        } else {
+            A::correct(spec, id, &ctx)
+        };
+        procs.push(auto);
+    }
+
+    let delay: Box<dyn DelayModel> = match spec.delay {
+        DelayKind::Constant => Box::new(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta))),
+        DelayKind::Uniform => Box::new(UniformDelay::new(p.delay_bounds())),
+        DelayKind::AdversarialSplit => {
+            Box::new(AdversarialSplitDelay::new(p.delay_bounds(), n / 2))
+        }
+    };
+
+    let sim = Simulation::new(
+        clocks,
+        procs,
+        delay,
+        starts_adj,
+        SimConfig {
+            t_end: spec.t_end,
+            seed: sim_seed,
+            delay_bounds: p.delay_bounds(),
+            trace_capacity: spec.trace_capacity,
+            max_events: spec.max_events,
+        },
+    );
+
+    BuiltScenario {
+        sim,
+        plan,
+        params: spec.params.clone(),
+        starts,
+        initial_corrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultKind;
+    use crate::{LmCnv, Maintenance, Startup};
+    use wl_core::StartupParams;
+
+    fn params() -> Params {
+        Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+    }
+
+    #[test]
+    fn build_produces_n_processes_and_valid_starts() {
+        let p = params();
+        let built = ScenarioSpec::new(p.clone()).seed(3).build::<Maintenance>();
+        assert_eq!(built.sim.n(), 4);
+        assert_eq!(built.plan.fault_count(), 0);
+        // Starts are within beta of each other (A4).
+        let min = built
+            .starts
+            .iter()
+            .cloned()
+            .fold(RealTime::from_secs(f64::INFINITY), RealTime::min);
+        let max = built
+            .starts
+            .iter()
+            .cloned()
+            .fold(RealTime::from_secs(f64::NEG_INFINITY), RealTime::max);
+        assert!((max - min).as_secs() <= p.beta, "start spread exceeds beta");
+    }
+
+    #[test]
+    fn faults_recorded_in_plan() {
+        let p = Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
+        let built = ScenarioSpec::new(p)
+            .fault(ProcessId(1), FaultKind::Silent)
+            .fault(ProcessId(5), FaultKind::PullApart(0.002))
+            .build::<Maintenance>();
+        assert_eq!(built.plan.fault_count(), 2);
+        assert!(built.plan.is_faulty(ProcessId(1)));
+        assert!(built.plan.is_faulty(ProcessId(5)));
+        assert!(built.plan.satisfies_a2());
+    }
+
+    #[test]
+    fn rejoiner_marked_faulty() {
+        let built = ScenarioSpec::new(params())
+            .rejoiner(ProcessId(2), RealTime::from_secs(5.0))
+            .build::<Maintenance>();
+        assert!(built.plan.is_faulty(ProcessId(2)));
+    }
+
+    #[test]
+    fn short_run_executes_rounds() {
+        let p = params();
+        let mut sim = ScenarioSpec::new(p.clone())
+            .t_end(RealTime::from_secs(5.0))
+            .build::<Maintenance>()
+            .sim;
+        let outcome = sim.run();
+        assert!(outcome.stats.messages_sent >= (p.n * p.n) as u64);
+        assert_eq!(
+            outcome.stats.timers_suppressed, 0,
+            "no timer may land in the past"
+        );
+    }
+
+    #[test]
+    fn startup_scenario_builds_and_runs() {
+        let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        let built = ScenarioSpec::startup(&sp, 5.0)
+            .seed(7)
+            .t_end(RealTime::from_secs(3.0))
+            .build::<Startup>();
+        assert_eq!(built.sim.n(), 4);
+        assert!(built.initial_corrs.iter().any(|&c| c != 0.0));
+        let mut sim = built.sim;
+        let outcome = sim.run();
+        assert!(outcome.stats.messages_sent > 0);
+    }
+
+    #[test]
+    fn same_spec_same_execution() {
+        let p = params();
+        let spec = ScenarioSpec::new(p)
+            .seed(11)
+            .t_end(RealTime::from_secs(5.0));
+        let a = assemble::<Maintenance>(&spec).sim.run();
+        let b = assemble::<Maintenance>(&spec).sim.run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.corr, b.corr);
+    }
+
+    #[test]
+    fn baseline_builds_under_same_spec() {
+        let p = params();
+        let spec = ScenarioSpec::new(p)
+            .seed(11)
+            .t_end(RealTime::from_secs(5.0));
+        let mut sim = assemble::<LmCnv>(&spec).sim;
+        let outcome = sim.run();
+        assert!(outcome.stats.messages_sent > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support rejoiners")]
+    fn baselines_reject_rejoiners() {
+        let _ = ScenarioSpec::new(params())
+            .rejoiner(ProcessId(1), RealTime::from_secs(2.0))
+            .build::<LmCnv>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Unified scenario harness: one assembly path and one sweep engine for
+//! **every** synchronization algorithm in the workspace.
+//!
+//! Before this crate existed, `wl-core::scenario` and
+//! `wl-baselines::scenario` each hand-rolled the same assembly steps —
+//! draw initial offsets, build drift clocks, compute START times, wrap
+//! faulty processes, pick a delay model, seed the simulator — and every
+//! experiment binary wrote its own serial sweep loop on top. This crate
+//! owns all of that:
+//!
+//! * [`ScenarioSpec`] — a plain-data description of a scenario: parameters,
+//!   drift model, delay model, fault plan, seed, horizon. Algorithm
+//!   agnostic; build it once, run it under any algorithm.
+//! * [`SyncAlgorithm`] — the plug-in trait. Implemented for the paper's
+//!   [`Maintenance`], [`Startup`] and [`Rejoiner`] automata and for the
+//!   §10 baselines [`LmCnv`], [`MahaneySchneider`] and [`SrikanthToueg`].
+//!   An algorithm contributes its message type, its per-process automata
+//!   (correct, faulty, rejoining), and its start discipline; the harness
+//!   contributes everything else.
+//! * [`assemble()`](assemble()) — the single assembly function:
+//!   `assemble::<A>(&spec)` → a ready-to-run [`BuiltScenario`].
+//! * [`run`] — shared measurement helpers (`run_summary`,
+//!   `baseline_metrics`, `skew_series`) generic over the message type, so
+//!   Welch–Lynch runs and baseline runs are summarized by the same code.
+//! * [`SweepRunner`] — fans a grid of specs across threads with
+//!   deterministic per-scenario seed derivation ([`derive_seed`]). Results
+//!   are identical at any thread count, including one.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wl_harness::{assemble, Maintenance, ScenarioSpec, SweepRunner};
+//! use wl_core::Params;
+//! use wl_time::RealTime;
+//!
+//! let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+//!
+//! // One scenario:
+//! let spec = ScenarioSpec::new(params.clone())
+//!     .seed(42)
+//!     .t_end(RealTime::from_secs(10.0));
+//! let outcome = assemble::<Maintenance>(&spec).sim.run();
+//! assert!(outcome.stats.events_delivered > 0);
+//!
+//! // A parallel sweep over seeds (deterministic at any thread count):
+//! let specs: Vec<ScenarioSpec> = (0..4)
+//!     .map(|i| {
+//!         ScenarioSpec::new(params.clone())
+//!             .seed(wl_harness::derive_seed(42, i))
+//!             .t_end(RealTime::from_secs(5.0))
+//!     })
+//!     .collect();
+//! let skews = SweepRunner::new().run(specs, |_, spec| {
+//!     wl_harness::run::steady_skew(assemble::<Maintenance>(spec), 5.0)
+//! });
+//! assert_eq!(skews.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod assemble;
+pub mod run;
+pub mod spec;
+pub mod sweep;
+
+pub use algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
+pub use assemble::{assemble, BuiltScenario};
+pub use spec::{DelayKind, FaultKind, ScenarioSpec};
+pub use sweep::{derive_seed, SweepOutcome, SweepRunner, SweepSummary};
+
+// The algorithms, re-exported so harness users need a single import.
+pub use wl_baselines::lm_cnv::LmCnv;
+pub use wl_baselines::mahaney_schneider::MahaneySchneider;
+pub use wl_baselines::srikanth_toueg::SrikanthToueg;
+pub use wl_core::{Maintenance, Rejoiner, Startup};

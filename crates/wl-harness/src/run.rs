@@ -1,0 +1,113 @@
+//! Shared measurement helpers: run a [`BuiltScenario`] to completion and
+//! extract the standard quantities, generically over the message type —
+//! the same code summarizes Welch–Lynch runs and baseline runs.
+//!
+//! These used to live in the `bench` crate (Welch–Lynch only) and were
+//! re-implemented ad hoc inside experiment binaries for the baselines.
+
+use crate::assemble::BuiltScenario;
+use wl_analysis::adjustment::{check_adjustments, AdjustmentReport};
+use wl_analysis::agreement::{check_agreement, AgreementReport};
+use wl_analysis::convergence::{round_series, RoundSeries};
+use wl_analysis::skew::SkewSeries;
+use wl_analysis::ExecutionView;
+use wl_sim::SimStats;
+use wl_time::{RealDur, RealTime};
+
+/// Everything the experiments usually need from one run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Agreement check from two rounds in to the end.
+    pub agreement: AgreementReport,
+    /// Adjustment check (first adjustment skipped as warm-up).
+    pub adjustments: AdjustmentReport,
+    /// Skew at each resynchronization wave.
+    pub rounds: RoundSeries,
+    /// Raw simulator counters (events delivered, timers suppressed, …).
+    pub stats: SimStats,
+}
+
+/// Runs a built scenario for `t_end` simulated seconds and summarizes it
+/// against the Welch–Lynch theorem suite.
+#[must_use]
+pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static>(
+    built: BuiltScenario<M>,
+    t_end: f64,
+) -> RunSummary {
+    let params = built.params.clone();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let from = RealTime::from_secs(params.t0 + 2.0 * params.p_round);
+    let agreement = check_agreement(
+        &view,
+        &params,
+        from,
+        RealTime::from_secs(t_end * 0.98),
+        RealDur::from_secs(params.p_round / 7.0),
+    );
+    let adjustments = check_adjustments(&view, &params, 1);
+    let rounds = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
+    RunSummary {
+        agreement,
+        adjustments,
+        rounds,
+        stats: outcome.stats,
+    }
+}
+
+/// Runs a built scenario and returns only the steady-state skew measured
+/// over the second half of the horizon.
+#[must_use]
+pub fn steady_skew<M: Clone + std::fmt::Debug + Send + 'static>(
+    built: BuiltScenario<M>,
+    t_end: f64,
+) -> f64 {
+    run_summary(built, t_end).agreement.steady_skew
+}
+
+/// Samples the full skew series of a built scenario (for figure-style
+/// outputs).
+#[must_use]
+pub fn skew_series<M: Clone + std::fmt::Debug + Send + 'static>(
+    built: BuiltScenario<M>,
+    t_end: f64,
+    step: f64,
+) -> SkewSeries {
+    let params = built.params.clone();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(params.t0),
+        RealTime::from_secs(t_end * 0.98),
+        RealDur::from_secs(step),
+    )
+}
+
+/// The §10 comparison metrics: `(steady skew, max |ADJ|)`, sampled the way
+/// experiment E11 samples baselines (settling for three rounds, steady
+/// state over the second half of the horizon).
+#[must_use]
+pub fn baseline_metrics<M: Clone + std::fmt::Debug + Send + 'static>(
+    built: BuiltScenario<M>,
+    t_end: f64,
+) -> (f64, f64) {
+    let params = built.params.clone();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(params.t0 + 3.0 * params.p_round),
+        RealTime::from_secs(t_end * 0.95),
+        RealDur::from_secs(params.p_round / 5.0),
+    );
+    let steady = series.max_after(RealTime::from_secs(t_end / 2.0));
+    let adj = check_adjustments(&view, &params, 1);
+    (steady, adj.max_abs)
+}

@@ -1,0 +1,281 @@
+//! [`ScenarioSpec`]: the algorithm-agnostic description of a scenario.
+//!
+//! A spec realizes the paper's assumptions concretely:
+//!
+//! * physical clocks from a [`DriftModel`] (A1), with initial offsets
+//!   chosen so the initial logical clocks of nonfaulty processes are
+//!   within β (A4) — or deliberately *not*, for the startup scenarios;
+//! * a delay model within `[δ−ε, δ+ε]` (A3);
+//! * START messages delivered exactly when each initial logical clock
+//!   reads `T⁰` (A4) — or inside a small real-time window, for startup;
+//! * a fault plan assigning behaviours to up to `f` processes (A2) — or
+//!   more, for the impossibility experiments.
+//!
+//! The same spec can be assembled under any [`SyncAlgorithm`]: experiment
+//! E11 runs Welch–Lynch, LM-CNV, Mahaney–Schneider, and Srikanth–Toueg
+//! from literally the same value, so "identical conditions" is a type-level
+//! guarantee instead of a code-review obligation.
+//!
+//! [`SyncAlgorithm`]: crate::SyncAlgorithm
+
+use wl_clock::drift::DriftModel;
+use wl_core::{Params, StartupParams};
+use wl_sim::ProcessId;
+use wl_time::RealTime;
+
+/// Which delay model a scenario uses (all within the A3 band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayKind {
+    /// Every message takes exactly δ.
+    Constant,
+    /// Uniform noise over `[δ−ε, δ+ε]`.
+    Uniform,
+    /// Adversarial: fast to the low-index half, slow to the rest.
+    AdversarialSplit,
+}
+
+/// Fault behaviours assignable to a process.
+///
+/// Each algorithm realizes the kinds that make sense for its message
+/// alphabet (see [`SyncAlgorithm::faulty`]); asking for an unsupported
+/// kind panics with a clear message.
+///
+/// [`SyncAlgorithm::faulty`]: crate::SyncAlgorithm::faulty
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Correct until the given real time, then silent.
+    CrashAt(f64),
+    /// Never sends anything.
+    Silent,
+    /// Sends random protocol-shaped `Round` noise.
+    RoundSpam,
+    /// The two-faced early/late attack with the given amplitude (seconds).
+    PullApart(f64),
+    /// The two-faced attack targeting the *upper-index* half of the honest
+    /// processes with the early send (with even-spread drift, those are the
+    /// fast clocks — the strongest configuration, used by the
+    /// fault-boundary experiment E12).
+    PullApartHigh(f64),
+    /// The value/timing two-faced attack against the baselines: claims a
+    /// clock `amplitude` ahead to the low half and `amplitude` behind to
+    /// the rest. For Welch–Lynch this is realized as [`FaultKind::PullApart`].
+    TwoFaced(f64),
+}
+
+/// A fully specified scenario, ready to assemble under any algorithm.
+///
+/// Construct with [`ScenarioSpec::new`] (round-aligned, A4 start) or
+/// [`ScenarioSpec::startup`] (§9.2 cold start), then chain the builder
+/// methods. The spec is plain data: `Clone` it, mutate copies for grid
+/// sweeps, send it across threads.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The paper's global constants.
+    pub params: Params,
+    /// Drift model; `None` uses the adversarial default — `Split` at
+    /// `params.rho`, or `Ideal` when `rho == 0`.
+    pub drift: Option<DriftModel>,
+    /// Message-delay model (default: uniform).
+    pub delay: DelayKind,
+    /// RNG seed for offsets, drift rates, corrections, and delays.
+    pub seed: u64,
+    /// Simulated horizon.
+    pub t_end: RealTime,
+    /// Fraction of β used as the initial offset window (A4 headroom).
+    pub spread_frac: f64,
+    /// Fault behaviours per process.
+    pub faults: Vec<(ProcessId, FaultKind)>,
+    /// §9.1 rejoiner: the process and its repair time. It counts as
+    /// faulty until it rejoins.
+    pub rejoiner: Option<(ProcessId, RealTime)>,
+    /// Trace capacity (0 = tracing disabled).
+    pub trace_capacity: usize,
+    /// Safety valve on event count (0 = unlimited).
+    pub max_events: u64,
+    /// §9.2 startup only: width (seconds) of the arbitrary initial
+    /// correction window.
+    pub initial_spread: f64,
+}
+
+impl ScenarioSpec {
+    /// A round-aligned (A4) scenario with the defaults the experiments
+    /// assume: split drift at `params.rho`, uniform delays, 30 simulated
+    /// seconds, 80% of β as the initial offset window, no faults.
+    #[must_use]
+    pub fn new(params: Params) -> Self {
+        Self {
+            params,
+            drift: None,
+            delay: DelayKind::Uniform,
+            seed: 1,
+            t_end: RealTime::from_secs(30.0),
+            spread_frac: 0.8,
+            faults: Vec::new(),
+            rejoiner: None,
+            trace_capacity: 0,
+            max_events: 0,
+            initial_spread: 0.0,
+        }
+    }
+
+    /// A §9.2 cold-start scenario: clocks with the same rate behaviour as
+    /// [`ScenarioSpec::new`], but initial *corrections* arbitrary within
+    /// ±`initial_spread/2` — the clocks start wildly unsynchronized.
+    ///
+    /// Startup needs only the A1–A3 constants; `β` and `P` exist in
+    /// [`Params`] for the round-aligned algorithms and the analysis
+    /// helpers, so workable values are derived here **without** demanding
+    /// §5.2 feasibility — high-drift startup scenarios (where no feasible
+    /// maintenance `(β, P)` exists) remain constructible, exactly as the
+    /// legacy `build_startup` allowed.
+    #[must_use]
+    pub fn startup(sp: &StartupParams, initial_spread: f64) -> Self {
+        let params = Params::auto(sp.n, sp.f, sp.rho, sp.delta, sp.eps).unwrap_or_else(|_| {
+            // No feasible maintenance round exists; fill β/P with the
+            // natural scales so analysis windows stay meaningful. The
+            // cold-start assembly itself only reads ρ and δ.
+            let beta = 4.5 * sp.eps + 8.0 * sp.rho * sp.delta + 1e-7;
+            Params {
+                n: sp.n,
+                f: sp.f,
+                rho: sp.rho,
+                delta: sp.delta,
+                eps: sp.eps,
+                beta,
+                p_round: wl_core::params::min_p(sp.rho, sp.delta, sp.eps, beta),
+                t0: 1.0,
+                avg: wl_core::AveragingFn::default(),
+                sigma: 0.0,
+                exchanges: 1,
+            }
+        });
+        let mut spec = Self::new(params);
+        spec.initial_spread = initial_spread;
+        spec
+    }
+
+    /// Sets the RNG seed (offsets, drift rates, corrections, delays).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    #[must_use]
+    pub fn t_end(mut self, t_end: RealTime) -> Self {
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets the drift model.
+    #[must_use]
+    pub fn drift(mut self, drift: DriftModel) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Sets the delay model.
+    #[must_use]
+    pub fn delay(mut self, delay: DelayKind) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the fraction of β used for initial offsets (default 0.8).
+    #[must_use]
+    pub fn spread_frac(mut self, frac: f64) -> Self {
+        self.spread_frac = frac;
+        self
+    }
+
+    /// Assigns a fault behaviour to a process.
+    #[must_use]
+    pub fn fault(mut self, p: ProcessId, kind: FaultKind) -> Self {
+        self.faults.push((p, kind));
+        self
+    }
+
+    /// Marks the listed processes silent (legacy baseline-builder shape).
+    #[must_use]
+    pub fn silent(mut self, ids: &[ProcessId]) -> Self {
+        for &id in ids {
+            self.faults.push((id, FaultKind::Silent));
+        }
+        self
+    }
+
+    /// Replaces process `p` with a §9.1 rejoiner repaired at `repair_at`.
+    #[must_use]
+    pub fn rejoiner(mut self, p: ProcessId, repair_at: RealTime) -> Self {
+        self.rejoiner = Some((p, repair_at));
+        self
+    }
+
+    /// Enables trace recording with the given capacity.
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Sets the event-count safety valve.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The default drift model for these parameters: the adversarial
+    /// `Split` extreme, or `Ideal` when drift is disabled.
+    #[must_use]
+    pub fn effective_drift(&self) -> DriftModel {
+        self.drift.clone().unwrap_or({
+            if self.params.rho > 0.0 {
+                DriftModel::Split {
+                    rho: self.params.rho,
+                }
+            } else {
+                DriftModel::Ideal
+            }
+        })
+    }
+
+    /// The startup constants corresponding to `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` violates A2/A3 (impossible for validated specs).
+    #[must_use]
+    pub fn startup_params(&self) -> StartupParams {
+        let p = &self.params;
+        StartupParams::new(p.n, p.f, p.rho, p.delta, p.eps)
+            .expect("spec params satisfy the startup constraints")
+    }
+
+    /// Builds and runs nothing — convenience passthrough to
+    /// [`assemble()`](crate::assemble()) for fluent call sites.
+    #[must_use]
+    pub fn build<A: crate::SyncAlgorithm>(&self) -> crate::BuiltScenario<A::Msg> {
+        crate::assemble::<A>(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble, Startup};
+
+    #[test]
+    fn startup_constructible_at_high_drift() {
+        // rho = 0.2 admits no feasible maintenance (beta, P), but startup
+        // only needs A1-A3 — the legacy build_startup accepted this and
+        // the harness must too.
+        let sp = StartupParams::new(4, 1, 0.2, 0.010, 0.001).unwrap();
+        let spec = ScenarioSpec::startup(&sp, 2.0)
+            .seed(5)
+            .t_end(RealTime::from_secs(2.0));
+        let mut sim = assemble::<Startup>(&spec).sim;
+        assert!(sim.run().stats.messages_sent > 0);
+    }
+}

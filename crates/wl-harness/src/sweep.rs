@@ -1,0 +1,295 @@
+//! [`SweepRunner`]: fan a grid of scenarios across threads.
+//!
+//! Experiment binaries used to iterate their parameter grids serially;
+//! on a multi-core box most of the machine idled. The runner executes any
+//! per-item job over a work-stealing thread pool (`std::thread::scope` —
+//! no external dependency) while guaranteeing that **results are a pure
+//! function of the input grid**: output order matches input order, and
+//! every scenario's randomness comes from its own spec seed, never from
+//! which worker ran it. `threads = 1` degenerates to the serial loop, so
+//! "parallel equals serial" is testable (`sweep_thread_independence`).
+//!
+//! Seeds for grid points come from [`derive_seed`], a SplitMix64 hop from
+//! a base seed — decorrelated streams per scenario without coordination.
+
+use crate::algo::SyncAlgorithm;
+use crate::assemble::assemble;
+use crate::run::{run_summary, RunSummary};
+use crate::spec::ScenarioSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wl_analysis::stats::Online;
+use wl_sim::SimStats;
+
+/// Derives the seed of grid point `idx` from a base seed (SplitMix64).
+///
+/// Adjacent indices give decorrelated streams, and the mapping is stable
+/// across machines and sweep widths — a scenario's identity is
+/// `(base, idx)`, not its position in some thread's work queue.
+#[must_use]
+pub fn derive_seed(base: u64, idx: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(idx.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs per-scenario jobs over a scoped thread pool, deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner sized to the machine (`available_parallelism`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { threads: 0 }
+    }
+
+    /// A single-threaded runner (the legacy serial loop).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A runner with an explicit worker count (`0` = machine-sized).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The number of workers this runner will spawn.
+    ///
+    /// Machine-sized runners (`threads == 0`) honour the
+    /// `WL_SWEEP_THREADS` environment variable before falling back to
+    /// `available_parallelism()` — operational escape hatch for
+    /// containers whose advertised core count does not match their
+    /// actual CPU bandwidth. Explicit counts are never overridden.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("WL_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+
+    /// Maps `job` over `items`, in parallel, preserving input order.
+    ///
+    /// `job(i, &items[i])` must be a pure function of its arguments for
+    /// the thread-count-independence guarantee to mean anything; jobs that
+    /// assemble and run a [`ScenarioSpec`] are (all randomness flows from
+    /// the spec seed).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `job`.
+    pub fn run<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let threads = self.threads().min(items.len().max(1));
+        if threads <= 1 {
+            return items.iter().enumerate().map(|(i, t)| job(i, t)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let n_items = items.len();
+        let mut slots: Vec<Option<R>> = (0..n_items).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let items = &items;
+            let job = &job;
+            let next = &next;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_items {
+                                break;
+                            }
+                            local.push((i, job(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("sweep worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every grid index ran exactly once"))
+            .collect()
+    }
+
+    /// Assembles and runs every spec under algorithm `A`, summarizing each
+    /// with [`run_summary`] into a [`SweepOutcome`].
+    #[must_use]
+    pub fn sweep<A: SyncAlgorithm>(&self, specs: Vec<ScenarioSpec>) -> Vec<SweepOutcome> {
+        self.run(specs, |index, spec| {
+            let t_end = spec.t_end.as_secs();
+            let summary = run_summary(assemble::<A>(spec), t_end);
+            SweepOutcome::new(index, spec.seed, &summary)
+        })
+    }
+}
+
+/// One grid point's results, in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Position in the input grid.
+    pub index: usize,
+    /// The spec seed that produced this outcome.
+    pub seed: u64,
+    /// Steady-state skew (second half of the agreement window).
+    pub steady_skew: f64,
+    /// Worst skew over the whole agreement window.
+    pub max_skew: f64,
+    /// Whether Theorem 16's γ bound held.
+    pub agreement_holds: bool,
+    /// Largest observed |ADJ|.
+    pub max_abs_adjustment: f64,
+    /// Raw simulator counters.
+    pub stats: SimStats,
+}
+
+impl SweepOutcome {
+    fn new(index: usize, seed: u64, summary: &RunSummary) -> Self {
+        Self {
+            index,
+            seed,
+            steady_skew: summary.agreement.steady_skew,
+            max_skew: summary.agreement.max_skew,
+            agreement_holds: summary.agreement.holds,
+            max_abs_adjustment: summary.adjustments.max_abs,
+            stats: summary.stats,
+        }
+    }
+}
+
+/// Streaming aggregation of sweep outcomes into `wl-analysis` collectors.
+#[derive(Debug, Default)]
+pub struct SweepSummary {
+    /// Steady-state skew across the grid.
+    pub steady_skew: Online,
+    /// Worst-case skew across the grid.
+    pub max_skew: Online,
+    /// |ADJ| maxima across the grid.
+    pub max_abs_adjustment: Online,
+    /// Total events simulated.
+    pub events: u64,
+    /// Grid points where Theorem 16 held.
+    pub agreement_held: usize,
+    /// Grid points aggregated.
+    pub count: usize,
+}
+
+impl SweepSummary {
+    /// Aggregates a slice of outcomes.
+    #[must_use]
+    pub fn collect(outcomes: &[SweepOutcome]) -> Self {
+        let mut s = Self::default();
+        for o in outcomes {
+            s.push(o);
+        }
+        s
+    }
+
+    /// Adds one outcome.
+    pub fn push(&mut self, o: &SweepOutcome) {
+        self.steady_skew.push(o.steady_skew);
+        self.max_skew.push(o.max_skew);
+        self.max_abs_adjustment.push(o.max_abs_adjustment);
+        self.events += o.stats.events_delivered;
+        self.agreement_held += usize::from(o.agreement_holds);
+        self.count += 1;
+    }
+
+    /// Whether agreement held at every grid point.
+    #[must_use]
+    pub fn all_hold(&self) -> bool {
+        self.agreement_held == self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Maintenance;
+    use wl_core::Params;
+    use wl_time::RealTime;
+
+    fn grid(count: usize) -> Vec<ScenarioSpec> {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        (0..count)
+            .map(|i| {
+                ScenarioSpec::new(params.clone())
+                    .seed(derive_seed(7, i as u64))
+                    .t_end(RealTime::from_secs(4.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        assert_eq!(derive_seed(1, 0), derive_seed(1, 0));
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn run_preserves_input_order() {
+        let doubled = SweepRunner::with_threads(4).run(vec![1, 2, 3, 4, 5], |_, x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn sweep_outcomes_independent_of_thread_count() {
+        let serial = SweepRunner::serial().sweep::<Maintenance>(grid(6));
+        let wide = SweepRunner::with_threads(4).sweep::<Maintenance>(grid(6));
+        assert_eq!(serial.len(), wide.len());
+        for (a, b) in serial.iter().zip(&wide) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.stats, b.stats);
+            assert!((a.steady_skew - b.steady_skew).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let outcomes = SweepRunner::new().sweep::<Maintenance>(grid(4));
+        let summary = SweepSummary::collect(&outcomes);
+        assert_eq!(summary.count, 4);
+        assert!(summary.all_hold());
+        assert!(summary.steady_skew.mean() > 0.0);
+        assert!(summary.events > 0);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out = SweepRunner::new().run(Vec::<u32>::new(), |_, x| *x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The §10 baselines converge under the harness (tests inherited from the
+//! deleted `wl_baselines::scenario` module, now running through the
+//! unified assembly path).
+
+use wl_analysis::skew::SkewSeries;
+use wl_analysis::ExecutionView;
+use wl_core::Params;
+use wl_harness::{
+    assemble, BuiltScenario, LmCnv, MahaneySchneider, ScenarioSpec, SrikanthToueg, SyncAlgorithm,
+};
+use wl_sim::ProcessId;
+use wl_time::{RealDur, RealTime};
+
+fn params() -> Params {
+    Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+}
+
+fn spec(silent: &[ProcessId], seed: u64, t_end: f64) -> ScenarioSpec {
+    ScenarioSpec::new(params())
+        .seed(seed)
+        .t_end(RealTime::from_secs(t_end))
+        .silent(silent)
+}
+
+fn steady_skew<M: Clone + std::fmt::Debug + Send + 'static>(
+    built: BuiltScenario<M>,
+    t_end: f64,
+) -> f64 {
+    let params = built.params.clone();
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(params.t0 + 3.0 * params.p_round),
+        RealTime::from_secs(t_end * 0.95),
+        RealDur::from_secs(params.p_round / 5.0),
+    );
+    series.max_after(RealTime::from_secs(t_end / 2.0))
+}
+
+#[test]
+fn cnv_converges_fault_free() {
+    let p = params();
+    let skew = steady_skew(assemble::<LmCnv>(&spec(&[], 3, 30.0)), 30.0);
+    // CNV should keep clocks within ~2n*eps = 8ms here.
+    assert!(skew < 2.0 * 4.0 * p.eps, "CNV steady skew {skew}");
+    assert!(skew > 0.0);
+}
+
+#[test]
+fn ms_converges_fault_free() {
+    let p = params();
+    let skew = steady_skew(assemble::<MahaneySchneider>(&spec(&[], 3, 30.0)), 30.0);
+    assert!(skew < 2.0 * 4.0 * p.eps, "MS steady skew {skew}");
+}
+
+#[test]
+fn st_converges_fault_free() {
+    let p = params();
+    let built = assemble::<SrikanthToueg>(&spec(&[], 3, 30.0));
+    let plan = built.plan.clone();
+    let mut sim = built.sim;
+    let outcome = sim.run();
+    // The protocol must actually resynchronize round after round, not
+    // just coast on the initial offsets.
+    for q in 0..p.n {
+        assert!(
+            outcome.corr[q].adjustments().len() > 100,
+            "p{q} only adjusted {} times",
+            outcome.corr[q].adjustments().len()
+        );
+    }
+    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    let series = SkewSeries::sample_with_events(
+        &view,
+        RealTime::from_secs(p.t0 + 3.0 * p.p_round),
+        RealTime::from_secs(28.0),
+        RealDur::from_secs(p.p_round / 5.0),
+    );
+    let skew = series.max_after(RealTime::from_secs(15.0));
+    // ST agreement ~ delta + eps = 11ms.
+    assert!(skew < 2.0 * (p.delta + p.eps), "ST steady skew {skew}");
+    assert!(skew > 0.0);
+}
+
+#[test]
+fn baselines_tolerate_one_silent_fault() {
+    let p = params();
+    let silent = [ProcessId(3)];
+    let s1 = steady_skew(assemble::<LmCnv>(&spec(&silent, 4, 30.0)), 30.0);
+    let s2 = steady_skew(assemble::<MahaneySchneider>(&spec(&silent, 4, 30.0)), 30.0);
+    let s3 = steady_skew(assemble::<SrikanthToueg>(&spec(&silent, 4, 30.0)), 30.0);
+    assert!(s1 < 2.0 * 4.0 * p.eps, "CNV with fault {s1}");
+    assert!(s2 < 2.0 * 4.0 * p.eps, "MS with fault {s2}");
+    assert!(s3 < 2.0 * (p.delta + p.eps), "ST with fault {s3}");
+}
+
+#[test]
+fn baseline_names() {
+    assert_eq!(<LmCnv as SyncAlgorithm>::NAME, "LM-CNV");
+    assert_eq!(
+        <MahaneySchneider as SyncAlgorithm>::NAME,
+        "Mahaney-Schneider"
+    );
+    assert_eq!(<SrikanthToueg as SyncAlgorithm>::NAME, "Srikanth-Toueg");
+}

@@ -99,11 +99,8 @@ mod tests {
             .map(|_| base + rng.gen_range(0.0..=spread))
             .collect();
         let w = Multiset::from_values(&good);
-        let mut build_uv = |rng: &mut StdRng| -> Multiset {
-            let mut vals: Vec<f64> = good
-                .iter()
-                .map(|g| g + rng.gen_range(-x..=x))
-                .collect();
+        let build_uv = |rng: &mut StdRng| -> Multiset {
+            let mut vals: Vec<f64> = good.iter().map(|g| g + rng.gen_range(-x..=x)).collect();
             for _ in 0..f {
                 vals.push(rng.gen_range(-1e6..1e6));
             }

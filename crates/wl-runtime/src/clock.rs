@@ -25,7 +25,11 @@ impl VirtualClock {
     #[must_use]
     pub fn new(epoch: Instant, rate: f64, offset: ClockTime) -> Self {
         assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
-        Self { epoch, rate, offset }
+        Self {
+            epoch,
+            rate,
+            offset,
+        }
     }
 
     /// The clock reading now.

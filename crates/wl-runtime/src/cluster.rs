@@ -179,9 +179,9 @@ fn node_loop<M: Send + Clone + std::fmt::Debug + 'static>(
         }
         // Next deadline: START if not yet delivered, else earliest timer.
         let next_wall: Option<Instant> = if started {
-            timers.peek().and_then(|std::cmp::Reverse(t)| {
-                clock.wall_of(ClockTime::from_secs(t.0.as_secs()))
-            })
+            timers
+                .peek()
+                .and_then(|std::cmp::Reverse(t)| clock.wall_of(ClockTime::from_secs(t.0.as_secs())))
         } else {
             start_wall
         };
@@ -217,10 +217,18 @@ fn node_loop<M: Send + Clone + std::fmt::Debug + 'static>(
         for action in out.drain() {
             match action {
                 Action::Broadcast(msg) => {
-                    let _ = tx.send(Transmission { from: ProcessId(p), to: None, msg });
+                    let _ = tx.send(Transmission {
+                        from: ProcessId(p),
+                        to: None,
+                        msg,
+                    });
                 }
                 Action::Send { to, msg } => {
-                    let _ = tx.send(Transmission { from: ProcessId(p), to: Some(to), msg });
+                    let _ = tx.send(Transmission {
+                        from: ProcessId(p),
+                        to: Some(to),
+                        msg,
+                    });
                 }
                 Action::SetTimer { physical } => {
                     // §2.2 semantics: deadlines in the past are dropped.
@@ -309,6 +317,9 @@ mod tests {
         let outcome = Cluster::run(&config, &[ClockTime::from_secs(0.05)], |_p| {
             Box::new(TimerPing) as Box<dyn Automaton<Msg = u8>>
         });
-        assert_eq!(outcome.delivered, 1, "the timer must have fired and broadcast");
+        assert_eq!(
+            outcome.delivered, 1,
+            "the timer must have fired and broadcast"
+        );
     }
 }

@@ -112,10 +112,7 @@ pub struct SharedMedium<M> {
 impl<M: Send + Clone + 'static> SharedMedium<M> {
     /// Spawns the router thread delivering into `inboxes[q]`.
     #[must_use]
-    pub fn spawn(
-        config: MediumConfig,
-        inboxes: Vec<Sender<(ProcessId, M)>>,
-    ) -> Self {
+    pub fn spawn(config: MediumConfig, inboxes: Vec<Sender<(ProcessId, M)>>) -> Self {
         let (tx, rx) = channel::unbounded::<Transmission<M>>();
         let stats = Arc::new(MediumStats::default());
         let stop = Arc::new(AtomicBool::new(false));
@@ -196,20 +193,17 @@ fn router_loop<M: Send + Clone + 'static>(
             return;
         }
         // Wait for the next transmission or the next due delivery.
-        let timeout = heap
-            .peek()
-            .map_or(Duration::from_millis(20), |s| {
-                s.at.saturating_duration_since(Instant::now())
-                    .min(Duration::from_millis(20))
-            });
+        let timeout = heap.peek().map_or(Duration::from_millis(20), |s| {
+            s.at.saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(20))
+        });
         match rx.recv_timeout(timeout) {
             Ok(t) => {
                 let now = Instant::now();
                 // Collision check applies to broadcasts (medium
                 // transmissions); unicast control traffic is not modelled
                 // as occupying the medium.
-                let colliding = t.to.is_none()
-                    && busy_until.is_some_and(|b| now < b);
+                let colliding = t.to.is_none() && busy_until.is_some_and(|b| now < b);
                 if colliding {
                     stats.collisions.fetch_add(1, Ordering::Relaxed);
                     continue;
@@ -223,7 +217,8 @@ fn router_loop<M: Send + Clone + 'static>(
                     None => (0..n).collect(),
                 };
                 for q in targets {
-                    let d = rng.gen_range((config.delta - config.eps)..=(config.delta + config.eps));
+                    let d =
+                        rng.gen_range((config.delta - config.eps)..=(config.delta + config.eps));
                     heap.push(Scheduled {
                         at: now + Duration::from_secs_f64(d),
                         to: q,
@@ -273,7 +268,11 @@ mod tests {
         let medium = SharedMedium::spawn(config(0.0), vec![tx0, tx1]);
         medium
             .sender()
-            .send(Transmission { from: ProcessId(0), to: None, msg: 42u32 })
+            .send(Transmission {
+                from: ProcessId(0),
+                to: None,
+                msg: 42u32,
+            })
             .unwrap();
         let a = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
         let b = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -290,7 +289,11 @@ mod tests {
         let medium = SharedMedium::spawn(config(0.0), vec![tx0, tx1]);
         medium
             .sender()
-            .send(Transmission { from: ProcessId(0), to: Some(ProcessId(1)), msg: 7u32 })
+            .send(Transmission {
+                from: ProcessId(0),
+                to: Some(ProcessId(1)),
+                msg: 7u32,
+            })
             .unwrap();
         let b = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(b, (ProcessId(0), 7));
@@ -306,11 +309,19 @@ mod tests {
         // second must be dropped.
         medium
             .sender()
-            .send(Transmission { from: ProcessId(0), to: None, msg: 1u32 })
+            .send(Transmission {
+                from: ProcessId(0),
+                to: None,
+                msg: 1u32,
+            })
             .unwrap();
         medium
             .sender()
-            .send(Transmission { from: ProcessId(0), to: None, msg: 2u32 })
+            .send(Transmission {
+                from: ProcessId(0),
+                to: None,
+                msg: 2u32,
+            })
             .unwrap();
         let first = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(first.1, 1);
@@ -325,12 +336,20 @@ mod tests {
         let medium = SharedMedium::spawn(config(5.0), vec![tx0]);
         medium
             .sender()
-            .send(Transmission { from: ProcessId(0), to: None, msg: 1u32 })
+            .send(Transmission {
+                from: ProcessId(0),
+                to: None,
+                msg: 1u32,
+            })
             .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         medium
             .sender()
-            .send(Transmission { from: ProcessId(1), to: None, msg: 2u32 })
+            .send(Transmission {
+                from: ProcessId(1),
+                to: None,
+                msg: 2u32,
+            })
             .unwrap();
         let _ = rx0.recv_timeout(Duration::from_secs(1)).unwrap();
         let _ = rx0.recv_timeout(Duration::from_secs(1)).unwrap();

@@ -180,7 +180,13 @@ impl PerPairDelay {
 }
 
 impl DelayModel for PerPairDelay {
-    fn delay(&mut self, from: ProcessId, to: ProcessId, _at: RealTime, _rng: &mut StdRng) -> RealDur {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        _at: RealTime,
+        _rng: &mut StdRng,
+    ) -> RealDur {
         self.matrix[from.index() * self.n + to.index()]
     }
 }
@@ -255,7 +261,10 @@ mod tests {
         let mut m = UniformDelay::new(b);
         let mut r = rng();
         let samples: Vec<f64> = (0..2000)
-            .map(|_| m.delay(ProcessId(0), ProcessId(1), RealTime::ZERO, &mut r).as_millis())
+            .map(|_| {
+                m.delay(ProcessId(0), ProcessId(1), RealTime::ZERO, &mut r)
+                    .as_millis()
+            })
             .collect();
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -268,10 +277,22 @@ mod tests {
         let b = DelayBounds::new(ms(10.0), ms(1.0));
         let mut m = AdversarialSplitDelay::new(b, 2);
         let mut r = rng();
-        assert_eq!(m.delay(ProcessId(3), ProcessId(0), RealTime::ZERO, &mut r), ms(9.0));
-        assert_eq!(m.delay(ProcessId(3), ProcessId(1), RealTime::ZERO, &mut r), ms(9.0));
-        assert_eq!(m.delay(ProcessId(0), ProcessId(2), RealTime::ZERO, &mut r), ms(11.0));
-        assert_eq!(m.delay(ProcessId(0), ProcessId(3), RealTime::ZERO, &mut r), ms(11.0));
+        assert_eq!(
+            m.delay(ProcessId(3), ProcessId(0), RealTime::ZERO, &mut r),
+            ms(9.0)
+        );
+        assert_eq!(
+            m.delay(ProcessId(3), ProcessId(1), RealTime::ZERO, &mut r),
+            ms(9.0)
+        );
+        assert_eq!(
+            m.delay(ProcessId(0), ProcessId(2), RealTime::ZERO, &mut r),
+            ms(11.0)
+        );
+        assert_eq!(
+            m.delay(ProcessId(0), ProcessId(3), RealTime::ZERO, &mut r),
+            ms(11.0)
+        );
     }
 
     #[test]
@@ -279,8 +300,14 @@ mod tests {
         let mut m = PerPairDelay::uniform(3, ms(5.0));
         m.set(ProcessId(1), ProcessId(2), ms(6.0));
         let mut r = rng();
-        assert_eq!(m.delay(ProcessId(1), ProcessId(2), RealTime::ZERO, &mut r), ms(6.0));
-        assert_eq!(m.delay(ProcessId(2), ProcessId(1), RealTime::ZERO, &mut r), ms(5.0));
+        assert_eq!(
+            m.delay(ProcessId(1), ProcessId(2), RealTime::ZERO, &mut r),
+            ms(6.0)
+        );
+        assert_eq!(
+            m.delay(ProcessId(2), ProcessId(1), RealTime::ZERO, &mut r),
+            ms(5.0)
+        );
     }
 
     #[test]

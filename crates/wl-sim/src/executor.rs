@@ -199,12 +199,12 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
         if self.config.max_events != 0 && self.stats.events_delivered >= self.config.max_events {
             return None;
         }
-        let ev = loop {
+        let ev = {
             let head = self.queue.peek()?;
             if head.0.at >= self.config.t_end {
                 return None;
             }
-            break self.queue.pop()?.0;
+            self.queue.pop()?.0
         };
         debug_assert!(
             ev.at.total_cmp(&self.now).is_ge() || !self.now.is_finite(),
@@ -281,12 +281,20 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             Action::NoteCorrection(c) => {
                 self.corr[p.index()].record(self.now, c);
                 if self.config.trace_capacity > 0 {
-                    self.trace.push(TraceEvent::Correction { by: p, at: self.now, corr: c });
+                    self.trace.push(TraceEvent::Correction {
+                        by: p,
+                        at: self.now,
+                        corr: c,
+                    });
                 }
             }
             Action::Annotate(text) => {
                 if self.config.trace_capacity > 0 {
-                    self.trace.push(TraceEvent::Note { by: p, at: self.now, text });
+                    self.trace.push(TraceEvent::Note {
+                        by: p,
+                        at: self.now,
+                        text,
+                    });
                 }
             }
         }
@@ -303,7 +311,12 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
         let deliver_at = self.now + d;
         self.stats.messages_sent += 1;
         if self.config.trace_capacity > 0 {
-            self.trace.push(TraceEvent::Send { from, to, at: self.now, deliver_at });
+            self.trace.push(TraceEvent::Send {
+                from,
+                to,
+                at: self.now,
+                deliver_at,
+            });
         }
         let seq = self.next_seq();
         self.queue.push(std::cmp::Reverse(QueuedEvent {
@@ -593,7 +606,12 @@ mod tests {
     fn max_events_safety_valve() {
         let clocks = DriftModel::Ideal.build(2, &[ClockTime::ZERO; 2], 0);
         let procs: Vec<Box<dyn Automaton<Msg = u32>>> = (0..2)
-            .map(|me| Box::new(PingPong { budget: u32::MAX, me }) as Box<dyn Automaton<Msg = u32>>)
+            .map(|me| {
+                Box::new(PingPong {
+                    budget: u32::MAX,
+                    me,
+                }) as Box<dyn Automaton<Msg = u32>>
+            })
             .collect();
         let mut sim = Simulation::new(
             clocks,
@@ -626,7 +644,10 @@ mod tests {
             vec![RealTime::ZERO; 2],
             SimConfig {
                 t_end: RealTime::from_secs(1.0),
-                delay_bounds: DelayBounds::new(RealDur::from_millis(10.0), RealDur::from_millis(1.0)),
+                delay_bounds: DelayBounds::new(
+                    RealDur::from_millis(10.0),
+                    RealDur::from_millis(1.0),
+                ),
                 trace_capacity: 100,
                 ..SimConfig::default()
             },

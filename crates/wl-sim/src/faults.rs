@@ -289,14 +289,20 @@ mod tests {
         let mut c = CrashAt::new(Echo::default(), ClockTime::from_secs(10.0));
         let mut out = Actions::new();
         c.on_input(
-            Input::Message { from: ProcessId(0), msg: 1 },
+            Input::Message {
+                from: ProcessId(0),
+                msg: 1,
+            },
             ClockTime::from_secs(9.0),
             &mut out,
         );
         assert_eq!(out.len(), 1);
         let mut out2 = Actions::new();
         c.on_input(
-            Input::Message { from: ProcessId(0), msg: 1 },
+            Input::Message {
+                from: ProcessId(0),
+                msg: 1,
+            },
             ClockTime::from_secs(10.0),
             &mut out2,
         );
@@ -310,13 +316,22 @@ mod tests {
         let mut out = Actions::new();
         s.on_input(Input::Start, ClockTime::ZERO, &mut out);
         s.on_input(Input::Timer, ClockTime::ZERO, &mut out);
-        s.on_input(Input::Message { from: ProcessId(0), msg: 3 }, ClockTime::ZERO, &mut out);
+        s.on_input(
+            Input::Message {
+                from: ProcessId(0),
+                msg: 3,
+            },
+            ClockTime::ZERO,
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
     #[test]
     fn spammer_sends_distinct_forgeries_and_rearms() {
-        let mut sp = RandomSpammer::new(3, ClockDur::from_secs(1.0), 5, |rng| rng.gen_range(0u32..1000));
+        let mut sp = RandomSpammer::new(3, ClockDur::from_secs(1.0), 5, |rng| {
+            rng.gen_range(0u32..1000)
+        });
         let mut out = Actions::new();
         sp.on_input(Input::Start, ClockTime::ZERO, &mut out);
         let acts: Vec<_> = out.drain().collect();

@@ -53,7 +53,9 @@ impl CorrectionHistory {
     #[must_use]
     pub fn corr_at(&self, t: RealTime) -> f64 {
         assert!(!self.entries.is_empty(), "empty correction history");
-        let idx = self.entries.partition_point(|&(at, _)| at.total_cmp(&t).is_le());
+        let idx = self
+            .entries
+            .partition_point(|&(at, _)| at.total_cmp(&t).is_le());
         if idx == 0 {
             // t precedes the first entry; extend it backwards.
             self.entries[0].1
@@ -77,19 +79,13 @@ impl CorrectionHistory {
     /// Real times at which the correction changed (excluding the initial
     /// sentinel), i.e. the paper's update times `u^i_p`.
     pub fn change_times(&self) -> impl Iterator<Item = RealTime> + '_ {
-        self.entries
-            .iter()
-            .skip(1)
-            .map(|&(t, _)| t)
+        self.entries.iter().skip(1).map(|&(t, _)| t)
     }
 
     /// The adjustments `ADJ^i_p = CORR^{i+1} − CORR^i` in order.
     #[must_use]
     pub fn adjustments(&self) -> Vec<f64> {
-        self.entries
-            .windows(2)
-            .map(|w| w[1].1 - w[0].1)
-            .collect()
+        self.entries.windows(2).map(|w| w[1].1 - w[0].1).collect()
     }
 }
 
@@ -131,7 +127,10 @@ mod tests {
         h.record(RealTime::from_secs(2.0), 1.25);
         assert_eq!(h.adjustments(), vec![0.5, -0.25]);
         let times: Vec<RealTime> = h.change_times().collect();
-        assert_eq!(times, vec![RealTime::from_secs(1.0), RealTime::from_secs(2.0)]);
+        assert_eq!(
+            times,
+            vec![RealTime::from_secs(1.0), RealTime::from_secs(2.0)]
+        );
     }
 
     #[test]

@@ -271,7 +271,13 @@ mod tests {
         assert_eq!(a.len(), 5);
         let v: Vec<Action<u8>> = a.drain().collect();
         assert_eq!(v[0], Action::Broadcast(1));
-        assert_eq!(v[1], Action::Send { to: ProcessId(2), msg: 9 });
+        assert_eq!(
+            v[1],
+            Action::Send {
+                to: ProcessId(2),
+                msg: 9
+            }
+        );
         assert_eq!(
             v[2],
             Action::SetTimer {

@@ -159,7 +159,10 @@ mod tests {
     fn capacity_bounds_recording() {
         let mut tr = Trace::with_capacity(2);
         for i in 0..5 {
-            tr.push(TraceEvent::Timer { to: ProcessId(0), at: t(i as f64) });
+            tr.push(TraceEvent::Timer {
+                to: ProcessId(0),
+                at: t(i as f64),
+            });
         }
         assert_eq!(tr.events().len(), 2);
         assert_eq!(tr.dropped(), 3);
@@ -174,8 +177,16 @@ mod tests {
             at: t(0.0),
             deliver_at: t(0.01),
         });
-        tr.push(TraceEvent::Correction { by: ProcessId(2), at: t(1.0), corr: 0.5 });
-        tr.push(TraceEvent::Note { by: ProcessId(1), at: t(2.0), text: "x".into() });
+        tr.push(TraceEvent::Correction {
+            by: ProcessId(2),
+            at: t(1.0),
+            corr: 0.5,
+        });
+        tr.push(TraceEvent::Note {
+            by: ProcessId(1),
+            at: t(2.0),
+            text: "x".into(),
+        });
         assert_eq!(tr.for_process(ProcessId(1)).count(), 2);
         assert_eq!(tr.for_process(ProcessId(2)).count(), 1);
         assert_eq!(tr.for_process(ProcessId(3)).count(), 0);
@@ -183,7 +194,10 @@ mod tests {
 
     #[test]
     fn event_time_accessor() {
-        let e = TraceEvent::Start { to: ProcessId(0), at: t(4.5) };
+        let e = TraceEvent::Start {
+            to: ProcessId(0),
+            at: t(4.5),
+        };
         assert_eq!(e.at(), t(4.5));
     }
 }

@@ -431,7 +431,7 @@ mod tests {
 
     #[test]
     fn ordered_real_time_total_order() {
-        let mut v = vec![
+        let mut v = [
             OrderedRealTime(RealTime::from_secs(3.0)),
             OrderedRealTime(RealTime::from_secs(1.0)),
             OrderedRealTime(RealTime::from_secs(2.0)),

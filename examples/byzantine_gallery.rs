@@ -1,30 +1,41 @@
 //! A gallery of Byzantine behaviours thrown at the algorithm, including
 //! the fault boundary: the same attack absorbed at n = 3f+1 diverges the
-//! fleet at n = 3f (the [DHS] impossibility).
+//! fleet at n = 3f (the [DHS] impossibility). The gallery sweep runs
+//! through the harness's parallel `SweepRunner`.
 //!
 //! Run: `cargo run --release --example byzantine_gallery`
 
 use welch_lynch::analysis::skew::SkewSeries;
 use welch_lynch::analysis::ExecutionView;
 use welch_lynch::clock::drift::DriftModel;
-use welch_lynch::core::scenario::{FaultKind, ScenarioBuilder};
 use welch_lynch::core::{theory, Params};
+use welch_lynch::harness::{assemble, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
-fn steady_skew(params: &Params, fault: Option<FaultKind>, n_override: Option<usize>) -> f64 {
+fn gallery_spec(
+    params: &Params,
+    fault: Option<FaultKind>,
+    n_override: Option<usize>,
+) -> ScenarioSpec {
     let mut params = params.clone();
     if let Some(n) = n_override {
         params.n = n;
     }
-    let mut b = ScenarioBuilder::new(params.clone())
+    let rho = params.rho;
+    let mut spec = ScenarioSpec::new(params)
         .seed(11)
-        .drift(DriftModel::EvenSpread { rho: params.rho })
+        .drift(DriftModel::EvenSpread { rho })
         .t_end(RealTime::from_secs(60.0));
     if let Some(k) = fault {
-        b = b.fault(ProcessId(0), k);
+        spec = spec.fault(ProcessId(0), k);
     }
-    let built = b.build();
+    spec
+}
+
+fn steady_skew(spec: &ScenarioSpec) -> f64 {
+    let built = assemble::<Maintenance>(spec);
+    let params = built.params.clone();
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
@@ -48,24 +59,47 @@ fn main() {
         ("silent", Some(FaultKind::Silent)),
         ("crash at t=20s", Some(FaultKind::CrashAt(20.0))),
         ("random protocol spam", Some(FaultKind::RoundSpam)),
-        ("two-faced pull-apart", Some(FaultKind::PullApart(params.beta / 2.0))),
-        ("targeted straddle", Some(FaultKind::PullApartHigh(3.0 * params.beta))),
+        (
+            "two-faced pull-apart",
+            Some(FaultKind::PullApart(params.beta / 2.0)),
+        ),
+        (
+            "targeted straddle",
+            Some(FaultKind::PullApartHigh(3.0 * params.beta)),
+        ),
     ];
-    for (name, fault) in cases {
-        let skew = steady_skew(&params, fault, None);
+    let specs: Vec<ScenarioSpec> = cases
+        .iter()
+        .map(|&(_, fault)| gallery_spec(&params, fault, None))
+        .collect();
+    let skews = SweepRunner::new().run(specs, |_, spec| steady_skew(spec));
+    for ((name, _), skew) in cases.iter().zip(&skews) {
         println!(
             "{name:<24} skew {:>9.3}ms  ({})",
             skew * 1e3,
-            if skew <= gamma { "within gamma" } else { "DIVERGED" }
+            if *skew <= gamma {
+                "within gamma"
+            } else {
+                "DIVERGED"
+            }
         );
     }
 
     println!("\n--- the boundary: same straddle attack, one process fewer ---");
     let attack = Some(FaultKind::PullApartHigh(3.0 * params.beta));
-    let ok = steady_skew(&params, attack, Some(4));
-    let broken = steady_skew(&params, attack, Some(3));
+    let boundary = SweepRunner::new().run(
+        vec![
+            gallery_spec(&params, attack, Some(4)),
+            gallery_spec(&params, attack, Some(3)),
+        ],
+        |_, spec| steady_skew(spec),
+    );
+    let (ok, broken) = (boundary[0], boundary[1]);
     println!("n = 3f+1 = 4: skew {:>9.3}ms (absorbed)", ok * 1e3);
-    println!("n = 3f   = 3: skew {:>9.3}ms (diverges: [DHS] impossibility)", broken * 1e3);
+    println!(
+        "n = 3f   = 3: skew {:>9.3}ms (diverges: [DHS] impossibility)",
+        broken * 1e3
+    );
     assert!(ok <= gamma);
     assert!(broken > gamma, "expected divergence at n = 3f");
 }

@@ -6,8 +6,8 @@
 
 use welch_lynch::analysis::convergence::round_series;
 use welch_lynch::analysis::ExecutionView;
-use welch_lynch::core::scenario::build_startup;
 use welch_lynch::core::{theory, StartupParams};
+use welch_lynch::harness::{assemble, ScenarioSpec, Startup};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
@@ -23,12 +23,11 @@ fn main() {
     // One silent (faulty) process keeps a stale zero in everyone's DIFF
     // array — the worst case for the averaging function, which makes the
     // per-round halving visible.
-    let built = build_startup(
-        &params,
-        initial_spread,
-        &[ProcessId(3)],
-        7,
-        RealTime::from_secs(10.0),
+    let built = assemble::<Startup>(
+        &ScenarioSpec::startup(&params, initial_spread)
+            .seed(7)
+            .t_end(RealTime::from_secs(10.0))
+            .silent(&[ProcessId(3)]),
     );
     let plan = built.plan.clone();
     let mut sim = built.sim;
@@ -39,7 +38,8 @@ fn main() {
     println!("round | spread B_i | Lemma 20 bound from previous");
     let mut prev: Option<f64> = None;
     for (i, &b) in series.skews.iter().enumerate().take(12) {
-        let bound = prev.map(|p| theory::startup_recurrence(params.rho, params.delta, params.eps, p));
+        let bound =
+            prev.map(|p| theory::startup_recurrence(params.rho, params.delta, params.eps, p));
         match bound {
             Some(bd) => println!("{i:>5} | {:>10.3}ms | {:.3}ms", b * 1e3, bd * 1e3),
             None => println!("{i:>5} | {:>10.3}ms | -", b * 1e3),

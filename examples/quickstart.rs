@@ -5,8 +5,8 @@
 
 use welch_lynch::analysis::agreement::check_agreement;
 use welch_lynch::analysis::ExecutionView;
-use welch_lynch::core::scenario::{FaultKind, ScenarioBuilder};
 use welch_lynch::core::{theory, Params};
+use welch_lynch::harness::{assemble, FaultKind, Maintenance, ScenarioSpec};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
@@ -25,11 +25,12 @@ fn main() {
 
     // One Byzantine process running the two-faced early/late attack.
     let t_end = 30.0;
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(2024)
-        .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
-        .t_end(RealTime::from_secs(t_end))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params.clone())
+            .seed(2024)
+            .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
+            .t_end(RealTime::from_secs(t_end)),
+    );
 
     let plan = built.plan.clone();
     let mut sim = built.sim;

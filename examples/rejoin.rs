@@ -6,8 +6,8 @@
 
 use welch_lynch::analysis::skew::SkewSeries;
 use welch_lynch::analysis::ExecutionView;
-use welch_lynch::core::scenario::ScenarioBuilder;
 use welch_lynch::core::{theory, Params};
+use welch_lynch::harness::{assemble, Rejoiner, ScenarioSpec};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
@@ -16,15 +16,14 @@ fn main() {
     let repair_at = 10.0 + 0.4 * params.p_round; // mid-round, on purpose
     let t_end = 40.0;
 
-    println!(
-        "process 3 is down from the start; repaired at t = {repair_at:.3}s (mid-round)"
+    println!("process 3 is down from the start; repaired at t = {repair_at:.3}s (mid-round)");
+    let built = assemble::<Rejoiner>(
+        &ScenarioSpec::new(params.clone())
+            .seed(5)
+            .rejoiner(ProcessId(3), RealTime::from_secs(repair_at))
+            .t_end(RealTime::from_secs(t_end))
+            .trace(100_000),
     );
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(5)
-        .rejoiner(ProcessId(3), RealTime::from_secs(repair_at))
-        .t_end(RealTime::from_secs(t_end))
-        .trace(100_000)
-        .build();
     let mut sim = built.sim;
     let outcome = sim.run();
 
@@ -51,5 +50,8 @@ fn main() {
         after * 1e6,
         gamma * 1e6
     );
-    assert!(after <= gamma, "rejoined process must be within the envelope");
+    assert!(
+        after <= gamma,
+        "rejoined process must be within the envelope"
+    );
 }

@@ -17,6 +17,10 @@
 //!   (§5.2), and the closed-form theory bounds.
 //! * [`baselines`] — the §10 comparison algorithms (Lamport/Melliar-Smith
 //!   interactive convergence, Mahaney–Schneider, Srikanth–Toueg).
+//! * [`harness`] — the unified scenario layer: an algorithm-agnostic
+//!   [`harness::ScenarioSpec`], the [`harness::SyncAlgorithm`] plug-in
+//!   trait implemented by every algorithm above, and the parallel
+//!   [`harness::SweepRunner`] for parameter grids.
 //! * [`analysis`] — skew measurement and property checking (Theorems 4,
 //!   16, 19; Lemmas 10, 20).
 //! * [`runtime`] — a threaded real-time runtime with a shared-medium
@@ -29,6 +33,7 @@ pub use wl_analysis as analysis;
 pub use wl_baselines as baselines;
 pub use wl_clock as clock;
 pub use wl_core as core;
+pub use wl_harness as harness;
 pub use wl_multiset as multiset;
 pub use wl_runtime as runtime;
 pub use wl_sim as sim;

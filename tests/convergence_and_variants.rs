@@ -3,8 +3,8 @@
 
 use welch_lynch::analysis::convergence::round_series;
 use welch_lynch::analysis::ExecutionView;
-use welch_lynch::core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
 use welch_lynch::core::{theory, AveragingFn, Params};
+use welch_lynch::harness::{assemble, DelayKind, FaultKind, Maintenance, ScenarioSpec};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
@@ -17,16 +17,16 @@ fn wide_params() -> Params {
 
 fn run_rounds(params: &Params, adversarial: bool, seed: u64) -> Vec<f64> {
     let t_end = params.t0 + 14.0 * params.p_round;
-    let mut b = ScenarioBuilder::new(params.clone())
+    let mut spec = ScenarioSpec::new(params.clone())
         .seed(seed)
         .spread_frac(0.95)
         .t_end(RealTime::from_secs(t_end));
     if adversarial {
-        b = b
+        spec = spec
             .delay(DelayKind::AdversarialSplit)
             .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
     }
-    let built = b.build();
+    let built = assemble::<Maintenance>(&spec);
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
@@ -76,13 +76,14 @@ fn mean_contraction_rate_matches_paper_formula() {
         let mut params = Params::new(n, 1, rho, delta, eps, beta, p).unwrap();
         params.avg = AveragingFn::Mean;
         let t_end = params.t0 + 14.0 * params.p_round;
-        let built = ScenarioBuilder::new(params.clone())
-            .seed(55)
-            .spread_frac(0.95)
-            .delay(DelayKind::AdversarialSplit)
-            .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
-            .t_end(RealTime::from_secs(t_end))
-            .build();
+        let built = assemble::<Maintenance>(
+            &ScenarioSpec::new(params.clone())
+                .seed(55)
+                .spread_frac(0.95)
+                .delay(DelayKind::AdversarialSplit)
+                .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
+                .t_end(RealTime::from_secs(t_end)),
+        );
         let plan = built.plan.clone();
         let mut sim = built.sim;
         let outcome = sim.run();
@@ -107,10 +108,11 @@ fn k_exchange_variant_synchronizes() {
             .unwrap()
             .with_exchanges(k)
             .unwrap();
-        let built = ScenarioBuilder::new(params.clone())
-            .seed(77)
-            .t_end(RealTime::from_secs(30.0))
-            .build();
+        let built = assemble::<Maintenance>(
+            &ScenarioSpec::new(params.clone())
+                .seed(77)
+                .t_end(RealTime::from_secs(30.0)),
+        );
         let plan = built.plan.clone();
         let mut sim = built.sim;
         let outcome = sim.run();
@@ -133,10 +135,11 @@ fn staggered_variant_synchronizes_in_simulation() {
         .unwrap()
         .with_stagger(5e-4)
         .unwrap();
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(13)
-        .t_end(RealTime::from_secs(30.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params.clone())
+            .seed(13)
+            .t_end(RealTime::from_secs(30.0)),
+    );
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();

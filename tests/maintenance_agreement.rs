@@ -1,15 +1,19 @@
 //! End-to-end integration tests: the maintenance algorithm achieves
 //! γ-agreement (Theorem 16) in full simulated executions.
 
-use wl_analysis::agreement::check_agreement;
 use wl_analysis::adjustment::check_adjustments;
+use wl_analysis::agreement::check_agreement;
 use wl_analysis::ExecutionView;
-use wl_core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
+use wl_core::WlMsg;
 use wl_core::{theory, Params};
+use wl_harness::{assemble, BuiltScenario, DelayKind, FaultKind, Maintenance, ScenarioSpec};
 use wl_sim::ProcessId;
 use wl_time::{RealDur, RealTime};
 
-fn run_and_check(built: wl_core::scenario::Built, t_end: f64) -> wl_analysis::agreement::AgreementReport {
+fn run_and_check(
+    built: BuiltScenario<WlMsg>,
+    t_end: f64,
+) -> wl_analysis::agreement::AgreementReport {
     let params = built.params.clone();
     let plan = built.plan.clone();
     let mut sim = built.sim;
@@ -35,10 +39,11 @@ fn run_and_check(built: wl_core::scenario::Built, t_end: f64) -> wl_analysis::ag
 fn fault_free_n4_agreement_holds() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
     let t_end = 60.0;
-    let built = ScenarioBuilder::new(params)
-        .seed(11)
-        .t_end(RealTime::from_secs(t_end))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(11)
+            .t_end(RealTime::from_secs(t_end)),
+    );
     let r = run_and_check(built, t_end);
     assert!(r.holds, "agreement violated: {r:?}");
     // The bound should not be vacuous: the algorithm does real work, the
@@ -50,12 +55,17 @@ fn fault_free_n4_agreement_holds() {
 fn agreement_holds_across_seeds_and_delay_models() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
     for seed in [1, 2, 3] {
-        for delay in [DelayKind::Constant, DelayKind::Uniform, DelayKind::AdversarialSplit] {
-            let built = ScenarioBuilder::new(params.clone())
-                .seed(seed)
-                .delay(delay)
-                .t_end(RealTime::from_secs(40.0))
-                .build();
+        for delay in [
+            DelayKind::Constant,
+            DelayKind::Uniform,
+            DelayKind::AdversarialSplit,
+        ] {
+            let built = assemble::<Maintenance>(
+                &ScenarioSpec::new(params.clone())
+                    .seed(seed)
+                    .delay(delay)
+                    .t_end(RealTime::from_secs(40.0)),
+            );
             let r = run_and_check(built, 40.0);
             assert!(r.holds, "seed={seed} delay={delay:?}: {r:?}");
         }
@@ -65,11 +75,12 @@ fn agreement_holds_across_seeds_and_delay_models() {
 #[test]
 fn agreement_holds_with_silent_fault() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = ScenarioBuilder::new(params)
-        .seed(5)
-        .fault(ProcessId(3), FaultKind::Silent)
-        .t_end(RealTime::from_secs(40.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(5)
+            .fault(ProcessId(3), FaultKind::Silent)
+            .t_end(RealTime::from_secs(40.0)),
+    );
     let r = run_and_check(built, 40.0);
     assert!(r.holds, "{r:?}");
 }
@@ -77,11 +88,12 @@ fn agreement_holds_with_silent_fault() {
 #[test]
 fn agreement_holds_with_crash_mid_run() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = ScenarioBuilder::new(params)
-        .seed(6)
-        .fault(ProcessId(2), FaultKind::CrashAt(15.0))
-        .t_end(RealTime::from_secs(40.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(6)
+            .fault(ProcessId(2), FaultKind::CrashAt(15.0))
+            .t_end(RealTime::from_secs(40.0)),
+    );
     let r = run_and_check(built, 40.0);
     assert!(r.holds, "{r:?}");
 }
@@ -89,11 +101,12 @@ fn agreement_holds_with_crash_mid_run() {
 #[test]
 fn agreement_holds_with_round_spammer() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = ScenarioBuilder::new(params)
-        .seed(7)
-        .fault(ProcessId(1), FaultKind::RoundSpam)
-        .t_end(RealTime::from_secs(40.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(7)
+            .fault(ProcessId(1), FaultKind::RoundSpam)
+            .t_end(RealTime::from_secs(40.0)),
+    );
     let r = run_and_check(built, 40.0);
     assert!(r.holds, "{r:?}");
 }
@@ -102,11 +115,12 @@ fn agreement_holds_with_round_spammer() {
 fn agreement_holds_with_pull_apart_attacker() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
     let amp = params.beta / 2.0;
-    let built = ScenarioBuilder::new(params)
-        .seed(8)
-        .fault(ProcessId(0), FaultKind::PullApart(amp))
-        .t_end(RealTime::from_secs(40.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(8)
+            .fault(ProcessId(0), FaultKind::PullApart(amp))
+            .t_end(RealTime::from_secs(40.0)),
+    );
     let r = run_and_check(built, 40.0);
     assert!(r.holds, "{r:?}");
 }
@@ -115,12 +129,13 @@ fn agreement_holds_with_pull_apart_attacker() {
 fn agreement_holds_n7_f2_two_byzantine() {
     let params = Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
     let amp = params.beta / 2.0;
-    let built = ScenarioBuilder::new(params)
-        .seed(9)
-        .fault(ProcessId(0), FaultKind::PullApart(amp))
-        .fault(ProcessId(4), FaultKind::RoundSpam)
-        .t_end(RealTime::from_secs(40.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params)
+            .seed(9)
+            .fault(ProcessId(0), FaultKind::PullApart(amp))
+            .fault(ProcessId(4), FaultKind::RoundSpam)
+            .t_end(RealTime::from_secs(40.0)),
+    );
     let r = run_and_check(built, 40.0);
     assert!(r.holds, "{r:?}");
 }
@@ -129,16 +144,17 @@ fn agreement_holds_n7_f2_two_byzantine() {
 fn adjustments_respect_theorem_4a() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
     let plan;
-    let outcome;
+
     let mut sim = {
-        let built = ScenarioBuilder::new(params.clone())
-            .seed(13)
-            .t_end(RealTime::from_secs(60.0))
-            .build();
+        let built = assemble::<Maintenance>(
+            &ScenarioSpec::new(params.clone())
+                .seed(13)
+                .t_end(RealTime::from_secs(60.0)),
+        );
         plan = built.plan;
         built.sim
     };
-    outcome = sim.run();
+    let outcome = sim.run();
     let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
     let r = check_adjustments(&view, &params, 1);
     assert!(r.count > 0);

@@ -3,12 +3,12 @@
 //! mixes — not just the hand-picked configurations.
 
 use proptest::prelude::*;
-use welch_lynch::analysis::agreement::check_agreement;
 use welch_lynch::analysis::adjustment::check_adjustments;
+use welch_lynch::analysis::agreement::check_agreement;
 use welch_lynch::analysis::ExecutionView;
 use welch_lynch::clock::drift::DriftModel;
-use welch_lynch::core::scenario::{DelayKind, FaultKind, ScenarioBuilder};
 use welch_lynch::core::Params;
+use welch_lynch::harness::{assemble, DelayKind, FaultKind, Maintenance, ScenarioSpec};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
@@ -50,7 +50,7 @@ proptest! {
             DriftModel::RandomConstant { rho }
         };
         let t_end = 20.0;
-        let mut b = ScenarioBuilder::new(params.clone())
+        let mut spec = ScenarioSpec::new(params.clone())
             .seed(seed)
             .delay(delay)
             .drift(drift)
@@ -61,9 +61,9 @@ proptest! {
                 FaultKind::PullApart(k) => FaultKind::PullApart(k * params.beta),
                 other => other,
             };
-            b = b.fault(ProcessId(victim), f);
+            spec = spec.fault(ProcessId(victim), f);
         }
-        let built = b.build();
+        let built = assemble::<Maintenance>(&spec);
         let plan = built.plan.clone();
         let mut sim = built.sim;
         let outcome = sim.run();
@@ -88,10 +88,11 @@ proptest! {
     fn prop_execution_deterministic(seed in 0u64..1000) {
         let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
         let run = |seed| {
-            let built = ScenarioBuilder::new(params.clone())
-                .seed(seed)
-                .t_end(RealTime::from_secs(8.0))
-                .build();
+            let built = assemble::<Maintenance>(
+                &ScenarioSpec::new(params.clone())
+                    .seed(seed)
+                    .t_end(RealTime::from_secs(8.0)),
+            );
             let mut sim = built.sim;
             sim.run().corr
         };

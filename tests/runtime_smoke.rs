@@ -41,7 +41,10 @@ fn threaded_cluster_synchronizes_with_stagger() {
     });
 
     // Staggered: no collisions, several rounds of broadcasts on air.
-    assert_eq!(outcome.collisions, 0, "staggered broadcasts must not collide");
+    assert_eq!(
+        outcome.collisions, 0,
+        "staggered broadcasts must not collide"
+    );
     assert!(
         outcome.transmitted >= (n as u64) * 4,
         "expected several rounds of broadcasts, got {}",

@@ -48,7 +48,7 @@ mod tiny_json {
         };
     }
 
-    impl<'a> Serializer for &'a mut Ser {
+    impl Serializer for &mut Ser {
         type Ok = ();
         type Error = Err0;
         type SerializeSeq = Self;
@@ -169,7 +169,7 @@ mod tiny_json {
         }
     }
 
-    impl<'a> SerializeSeq for &'a mut Ser {
+    impl SerializeSeq for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
@@ -183,7 +183,7 @@ mod tiny_json {
             Ok(())
         }
     }
-    impl<'a> SerializeTuple for &'a mut Ser {
+    impl SerializeTuple for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
@@ -193,7 +193,7 @@ mod tiny_json {
             SerializeSeq::end(self)
         }
     }
-    impl<'a> SerializeTupleStruct for &'a mut Ser {
+    impl SerializeTupleStruct for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
@@ -203,7 +203,7 @@ mod tiny_json {
             SerializeSeq::end(self)
         }
     }
-    impl<'a> SerializeTupleVariant for &'a mut Ser {
+    impl SerializeTupleVariant for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Err0> {
@@ -214,7 +214,7 @@ mod tiny_json {
             Ok(())
         }
     }
-    impl<'a> SerializeMap for &'a mut Ser {
+    impl SerializeMap for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Err0> {
@@ -232,7 +232,7 @@ mod tiny_json {
             Ok(())
         }
     }
-    impl<'a> SerializeStruct for &'a mut Ser {
+    impl SerializeStruct for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_field<T: Serialize + ?Sized>(
@@ -247,7 +247,7 @@ mod tiny_json {
             SerializeMap::end(self)
         }
     }
-    impl<'a> SerializeStructVariant for &'a mut Ser {
+    impl SerializeStructVariant for &mut Ser {
         type Ok = ();
         type Error = Err0;
         fn serialize_field<T: Serialize + ?Sized>(
@@ -268,7 +268,15 @@ mod tiny_json {
 fn params_serialize_to_stable_json_shape() {
     let p = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
     let json = tiny_json::to_string(&p);
-    for key in ["\"n\"", "\"f\"", "\"rho\"", "\"delta\"", "\"eps\"", "\"beta\"", "\"p_round\""] {
+    for key in [
+        "\"n\"",
+        "\"f\"",
+        "\"rho\"",
+        "\"delta\"",
+        "\"eps\"",
+        "\"beta\"",
+        "\"p_round\"",
+    ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
     assert!(json.contains("\"Midpoint\""));

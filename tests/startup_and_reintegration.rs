@@ -5,15 +5,19 @@
 use welch_lynch::analysis::convergence::round_series;
 use welch_lynch::analysis::skew::SkewSeries;
 use welch_lynch::analysis::ExecutionView;
-use welch_lynch::core::scenario::{build_startup, ScenarioBuilder};
 use welch_lynch::core::{theory, Params, StartupParams};
+use welch_lynch::harness::{assemble, FaultKind, Rejoiner, ScenarioSpec, Startup};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
 #[test]
 fn startup_converges_from_seconds_to_milliseconds() {
     let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = build_startup(&sp, 5.0, &[], 23, RealTime::from_secs(10.0));
+    let built = assemble::<Startup>(
+        &ScenarioSpec::startup(&sp, 5.0)
+            .seed(23)
+            .t_end(RealTime::from_secs(10.0)),
+    );
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
@@ -29,13 +33,22 @@ fn startup_converges_from_seconds_to_milliseconds() {
 #[test]
 fn startup_obeys_lemma20_recurrence_with_silent_fault() {
     let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = build_startup(&sp, 5.0, &[ProcessId(3)], 23, RealTime::from_secs(10.0));
+    let built = assemble::<Startup>(
+        &ScenarioSpec::startup(&sp, 5.0)
+            .seed(23)
+            .t_end(RealTime::from_secs(10.0))
+            .silent(&[ProcessId(3)]),
+    );
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
     let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
     let series = round_series(&view, RealDur::from_secs(sp.delta));
-    assert!(series.skews.len() >= 8, "too few rounds: {}", series.skews.len());
+    assert!(
+        series.skews.len() >= 8,
+        "too few rounds: {}",
+        series.skews.len()
+    );
     // Lemma 20 bound round by round (10% tolerance for wave-measurement
     // granularity).
     let violation = series.check_recurrence(
@@ -50,13 +63,22 @@ fn startup_obeys_lemma20_recurrence_with_silent_fault() {
 #[test]
 fn startup_works_for_larger_system() {
     let sp = StartupParams::new(7, 2, 1e-6, 0.010, 0.001).unwrap();
-    let built = build_startup(&sp, 3.0, &[ProcessId(1), ProcessId(5)], 9, RealTime::from_secs(10.0));
+    let built = assemble::<Startup>(
+        &ScenarioSpec::startup(&sp, 3.0)
+            .seed(9)
+            .t_end(RealTime::from_secs(10.0))
+            .silent(&[ProcessId(1), ProcessId(5)]),
+    );
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
     let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
     let series = round_series(&view, RealDur::from_secs(sp.delta));
-    assert!(series.final_skew().unwrap() < 0.05, "spread {:?}", series.final_skew());
+    assert!(
+        series.final_skew().unwrap() < 0.05,
+        "spread {:?}",
+        series.final_skew()
+    );
 }
 
 #[test]
@@ -65,11 +87,12 @@ fn rejoiner_enters_envelope_at_every_repair_phase() {
     let gamma = theory::gamma(&params);
     for frac in [0.0, 0.3, 0.6, 0.9] {
         let repair = 8.0 + frac * params.p_round;
-        let built = ScenarioBuilder::new(params.clone())
-            .seed(17)
-            .rejoiner(ProcessId(3), RealTime::from_secs(repair))
-            .t_end(RealTime::from_secs(35.0))
-            .build();
+        let built = assemble::<Rejoiner>(
+            &ScenarioSpec::new(params.clone())
+                .seed(17)
+                .rejoiner(ProcessId(3), RealTime::from_secs(repair))
+                .t_end(RealTime::from_secs(35.0)),
+        );
         let mut sim = built.sim;
         let outcome = sim.run();
         // All four processes — including the repaired one — within gamma
@@ -101,12 +124,13 @@ fn rejoiner_survives_concurrent_byzantine_noise() {
     // spammer — the reintegration safeguards must not be fooled by forged
     // round values.
     let params = Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(29)
-        .fault(ProcessId(0), welch_lynch::core::scenario::FaultKind::RoundSpam)
-        .rejoiner(ProcessId(6), RealTime::from_secs(9.0))
-        .t_end(RealTime::from_secs(35.0))
-        .build();
+    let built = assemble::<Rejoiner>(
+        &ScenarioSpec::new(params.clone())
+            .seed(29)
+            .fault(ProcessId(0), FaultKind::RoundSpam)
+            .rejoiner(ProcessId(6), RealTime::from_secs(9.0))
+            .t_end(RealTime::from_secs(35.0)),
+    );
     let mut sim = built.sim;
     let outcome = sim.run();
     let gamma = theory::gamma(&params);

@@ -4,15 +4,12 @@ use welch_lynch::analysis::skew::SkewSeries;
 use welch_lynch::analysis::validity::check_validity;
 use welch_lynch::analysis::ExecutionView;
 use welch_lynch::clock::drift::DriftModel;
-use welch_lynch::core::scenario::{FaultKind, ScenarioBuilder};
 use welch_lynch::core::{theory, Params};
+use welch_lynch::harness::{assemble, FaultKind, Maintenance, ScenarioSpec};
 use welch_lynch::sim::ProcessId;
 use welch_lynch::time::{RealDur, RealTime};
 
-fn nonfaulty_start_bounds(
-    starts: &[RealTime],
-    faulty: &[bool],
-) -> (RealTime, RealTime) {
+fn nonfaulty_start_bounds(starts: &[RealTime], faulty: &[bool]) -> (RealTime, RealTime) {
     let mut tmin = RealTime::from_secs(f64::INFINITY);
     let mut tmax = RealTime::from_secs(f64::NEG_INFINITY);
     for (i, &t) in starts.iter().enumerate() {
@@ -27,10 +24,11 @@ fn nonfaulty_start_bounds(
 #[test]
 fn validity_envelope_holds_over_long_run() {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(31)
-        .t_end(RealTime::from_secs(90.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params.clone())
+            .seed(31)
+            .t_end(RealTime::from_secs(90.0)),
+    );
     let plan = built.plan.clone();
     let starts = built.starts.clone();
     let mut sim = built.sim;
@@ -48,17 +46,22 @@ fn validity_envelope_holds_over_long_run() {
     );
     assert!(r.holds, "{r:?}");
     // Synchronized time advances at essentially rate 1.
-    assert!((r.empirical_rate - 1.0).abs() < 1e-3, "rate {}", r.empirical_rate);
+    assert!(
+        (r.empirical_rate - 1.0).abs() < 1e-3,
+        "rate {}",
+        r.empirical_rate
+    );
 }
 
 #[test]
 fn validity_holds_under_byzantine_attack() {
     let params = Params::auto(4, 1, 1e-4, 0.010, 0.001).unwrap();
-    let built = ScenarioBuilder::new(params.clone())
-        .seed(37)
-        .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
-        .t_end(RealTime::from_secs(60.0))
-        .build();
+    let built = assemble::<Maintenance>(
+        &ScenarioSpec::new(params.clone())
+            .seed(37)
+            .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0))
+            .t_end(RealTime::from_secs(60.0)),
+    );
     let plan = built.plan.clone();
     let starts = built.starts.clone();
     let mut sim = built.sim;
@@ -80,14 +83,14 @@ fn validity_holds_under_byzantine_attack() {
 fn boundary_skew(n: usize, f: usize) -> (f64, f64) {
     let mut params = Params::auto(3 * f + 1, f, 1e-4, 0.010, 0.001).unwrap();
     params.n = n;
-    let mut b = ScenarioBuilder::new(params.clone())
+    let mut spec = ScenarioSpec::new(params.clone())
         .seed(101)
         .drift(DriftModel::EvenSpread { rho: params.rho })
         .t_end(RealTime::from_secs(90.0));
     for i in 0..f {
-        b = b.fault(ProcessId(i), FaultKind::PullApartHigh(3.0 * params.beta));
+        spec = spec.fault(ProcessId(i), FaultKind::PullApartHigh(3.0 * params.beta));
     }
-    let built = b.build();
+    let built = assemble::<Maintenance>(&spec);
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();

@@ -1,0 +1,29 @@
+//! The deserialization half — a compile-only stub.
+//!
+//! `#[derive(Deserialize)]` compiles against these traits so config types
+//! keep both halves of the serde contract in their signatures, but the
+//! generated impls return an error if invoked: this offline shim has no
+//! deserializer implementation (and the workspace never deserializes).
+
+use std::fmt::Display;
+
+/// Trait for deserialization errors.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can deserialize serde data structures.
+///
+/// This stub carries only the associated error type; no driving methods.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value. The derived impls in this offline shim always
+    /// return an error.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}

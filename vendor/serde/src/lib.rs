@@ -1,0 +1,18 @@
+//! Offline, API-compatible subset of [`serde`].
+//!
+//! Provides the `Serialize`/`Serializer` half of serde's data model — enough
+//! for derived impls and hand-written serializers (see the workspace's
+//! `tiny_json` test encoder) — plus a stub `Deserialize` half so that
+//! `#[derive(Deserialize)]` compiles. Deserialization is not implemented;
+//! calling it returns an error. Nothing in this workspace deserializes at
+//! runtime today — the derives exist so experiment configs keep a stable,
+//! pinned serialization shape (test `serde_roundtrip.rs`).
+//!
+//! [`serde`]: https://serde.rs
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,340 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim — no `syn`/`quote`, just a small token walker.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * unit structs, newtype/tuple structs, named-field structs;
+//! * enums with unit, newtype, tuple, and struct variants;
+//! * arbitrary attributes/doc comments on items, fields, and variants
+//!   (skipped — `#[serde(...)]` customization is not supported).
+//!
+//! Generic types are intentionally rejected with a clear error: nothing in
+//! the workspace derives serde on a generic type, and supporting bounds
+//! without `syn` is not worth the complexity.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    kind: Kind,
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive shim: cannot derive on `{kw}` items"),
+    };
+
+    Parsed { name, kind }
+}
+
+/// Counts the top-level (angle-bracket-aware) comma-separated segments of a
+/// tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    let mut angle = 0i32;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        arity += 1;
+    }
+    arity
+}
+
+/// Extracts the field names of a named-struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect ':' then consume the type up to the next top-level comma.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts the variants of an enum body.
+fn variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, up to the next comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, kind } = parse_item(input);
+    let body = match &kind {
+        Kind::UnitStruct => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Kind::TupleStruct(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Kind::TupleStruct(arity) => {
+            let mut s =
+                String::from("{ use ::serde::ser::SerializeTupleStruct as _; let mut __st = ");
+            s.push_str(&format!(
+                "__serializer.serialize_tuple_struct(\"{name}\", {arity}usize)?;"
+            ));
+            for idx in 0..*arity {
+                s.push_str(&format!("__st.serialize_field(&self.{idx})?;"));
+            }
+            s.push_str("__st.end() }");
+            s
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("{ use ::serde::ser::SerializeStruct as _; let mut __st = ");
+            s.push_str(&format!(
+                "__serializer.serialize_struct(\"{name}\", {}usize)?;",
+                fields.len()
+            ));
+            for f in fields {
+                s.push_str(&format!("__st.serialize_field(\"{f}\", &self.{f})?;"));
+            }
+            s.push_str("__st.end() }");
+            s
+        }
+        Kind::Enum(vars) => {
+            let mut s = String::from("match self {");
+            for (vi, v) in vars.iter().enumerate() {
+                match &v.shape {
+                    Shape::Unit => {
+                        s.push_str(&format!(
+                            "{name}::{v} => __serializer.serialize_unit_variant(\"{name}\", {vi}u32, \"{v}\"),",
+                            v = v.name
+                        ));
+                    }
+                    Shape::Tuple(1) => {
+                        s.push_str(&format!(
+                            "{name}::{v}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {vi}u32, \"{v}\", __f0),",
+                            v = v.name
+                        ));
+                    }
+                    Shape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({binds}) => {{ use ::serde::ser::SerializeTupleVariant as _; let mut __st = __serializer.serialize_tuple_variant(\"{name}\", {vi}u32, \"{v}\", {arity}usize)?;",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                        for b in &binders {
+                            s.push_str(&format!("__st.serialize_field({b})?;"));
+                        }
+                        s.push_str("__st.end() },");
+                    }
+                    Shape::Named(fields) => {
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ use ::serde::ser::SerializeStructVariant as _; let mut __st = __serializer.serialize_struct_variant(\"{name}\", {vi}u32, \"{v}\", {len}usize)?;",
+                            v = v.name,
+                            binds = fields.join(", "),
+                            len = fields.len()
+                        ));
+                        for f in fields {
+                            s.push_str(&format!("__st.serialize_field(\"{f}\", {f})?;"));
+                        }
+                        s.push_str("__st.end() },");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (compile-only stub: errors if invoked).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse_item(input);
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(_deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                     \"offline serde shim: Deserialize is a compile-only stub\"))\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
