@@ -1,0 +1,137 @@
+//! Engine-axis throughput: `HeapQueue` vs `CalendarQueue`, and the
+//! standard observer bundle vs `NullObserver`, across fleet sizes.
+//!
+//! The workload is the paper's communication shape without the algorithm
+//! arithmetic: every process broadcasts to all `n` peers and re-arms a
+//! round timer, with delays drawn uniformly from the A3 band
+//! `[δ−ε, δ+ε]` — the bounded-delay distribution the calendar queue's
+//! buckets are tuned to. Every variant runs the identical event sequence
+//! (queue and observer choices cannot change behaviour — see the
+//! `queue_parity` tests), so the ratio is pure engine overhead.
+//!
+//! The headline `queue throughput:` lines feed the PERF.md trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wl_clock::drift::DriftModel;
+use wl_sim::delay::{DelayBounds, UniformDelay};
+use wl_sim::{
+    Actions, Automaton, CalendarQueue, EventQueue, HeapQueue, Input, NullObserver, SimBuilder,
+    SimConfig,
+};
+use wl_time::{ClockDur, ClockTime, RealDur, RealTime};
+
+const EVENTS: u64 = 20_000;
+const DELTA_MS: f64 = 10.0;
+const EPS_MS: f64 = 1.0;
+const PERIOD_S: f64 = 0.1;
+
+/// Broadcast-and-rearm: the Welch–Lynch round pattern, arithmetic-free.
+#[derive(Debug)]
+struct Waver {
+    period: ClockDur,
+}
+
+impl Automaton for Waver {
+    type Msg = u32;
+    fn on_input(&mut self, input: Input<u32>, now: ClockTime, out: &mut Actions<u32>) {
+        match input {
+            Input::Start | Input::Timer => {
+                out.broadcast(0);
+                out.set_timer(now + self.period);
+            }
+            Input::Message { .. } => {}
+        }
+    }
+}
+
+fn builder(n: usize) -> SimBuilder<u32, Vec<Waver>> {
+    let bounds = DelayBounds::new(RealDur::from_millis(DELTA_MS), RealDur::from_millis(EPS_MS));
+    let fleet: Vec<Waver> = (0..n)
+        .map(|_| Waver {
+            period: ClockDur::from_secs(PERIOD_S),
+        })
+        .collect();
+    // Staggered starts inside one delay band, like round-aligned offsets.
+    let starts: Vec<RealTime> = (0..n)
+        .map(|p| RealTime::from_secs(p as f64 * (DELTA_MS / 1000.0) / n as f64))
+        .collect();
+    SimBuilder::new()
+        .clocks(DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0))
+        .fleet(fleet)
+        .delay(UniformDelay::new(bounds))
+        .starts(starts)
+        .config(SimConfig {
+            t_end: RealTime::from_secs(f64::INFINITY),
+            seed: 7,
+            delay_bounds: bounds,
+            trace_capacity: 0,
+            max_events: EVENTS,
+        })
+}
+
+fn calendar(_n: usize) -> CalendarQueue<u32> {
+    CalendarQueue::for_bounds(&DelayBounds::new(
+        RealDur::from_millis(DELTA_MS),
+        RealDur::from_millis(EPS_MS),
+    ))
+}
+
+fn run_std<Q: EventQueue<u32>>(n: usize, queue: Q) -> u64 {
+    let mut sim = builder(n).build_with_queue(queue);
+    sim.run().stats.events_delivered
+}
+
+fn run_null<Q: EventQueue<u32>>(n: usize, queue: Q) -> u64 {
+    let mut sim = builder(n).build_with(queue, NullObserver);
+    sim.drive();
+    sim.events_delivered()
+}
+
+fn bench_queue_axes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_axes");
+    group.throughput(Throughput::Elements(EVENTS));
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("heap_std", n), &n, |b, &n| {
+            b.iter(|| black_box(run_std(n, HeapQueue::new())));
+        });
+        group.bench_with_input(BenchmarkId::new("calendar_std", n), &n, |b, &n| {
+            b.iter(|| black_box(run_std(n, calendar(n))));
+        });
+        group.bench_with_input(BenchmarkId::new("heap_null", n), &n, |b, &n| {
+            b.iter(|| black_box(run_null(n, HeapQueue::new())));
+        });
+        group.bench_with_input(BenchmarkId::new("calendar_null", n), &n, |b, &n| {
+            b.iter(|| black_box(run_null(n, calendar(n))));
+        });
+    }
+    group.finish();
+
+    // Headline rows for the PERF.md trajectory: one warmup run, then the
+    // best of 5 — a single cold shot on a throttled container has more
+    // variance than the margins these rows are quoted for.
+    for n in [8usize, 32, 128] {
+        let timed = |f: &dyn Fn() -> u64| {
+            let mut best = f64::INFINITY;
+            let mut ev = f(); // warmup (also includes builder assembly)
+            for _ in 0..5 {
+                let t0 = std::time::Instant::now();
+                ev = f();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            (ev as f64 / best / 1e6, ev)
+        };
+        let (heap_std, ev) = timed(&|| run_std(n, HeapQueue::new()));
+        let (cal_std, _) = timed(&|| run_std(n, calendar(n)));
+        let (heap_null, _) = timed(&|| run_null(n, HeapQueue::new()));
+        let (cal_null, _) = timed(&|| run_null(n, calendar(n)));
+        println!(
+            "queue throughput: n={n:3} ({ev} events) heap/std {heap_std:.2} Mev/s, \
+             calendar/std {cal_std:.2} Mev/s, heap/null {heap_null:.2} Mev/s, \
+             calendar/null {cal_null:.2} Mev/s"
+        );
+    }
+}
+
+criterion_group!(benches, bench_queue_axes);
+criterion_main!(benches);

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use wl_clock::drift::DriftModel;
 use wl_sim::delay::{ConstantDelay, DelayBounds};
-use wl_sim::{Actions, Automaton, Input, ProcessId, SimConfig, Simulation};
+use wl_sim::{Actions, Automaton, Input, ProcessId, SimBuilder, SimConfig};
 use wl_time::{ClockTime, RealDur, RealTime};
 
 #[derive(Debug)]
@@ -32,18 +32,18 @@ fn run_sim(n: usize, events: u64) -> u64 {
     let procs: Vec<Box<dyn Automaton<Msg = u64>>> = (0..n)
         .map(|me| Box::new(Pinger { me, n }) as Box<dyn Automaton<Msg = u64>>)
         .collect();
-    let mut sim = Simulation::new(
-        clocks,
-        procs,
-        Box::new(ConstantDelay::new(RealDur::from_micros(10.0))),
-        vec![RealTime::ZERO; n],
-        SimConfig {
+    let mut sim = SimBuilder::new()
+        .clocks(clocks)
+        .procs(procs)
+        .delay(ConstantDelay::new(RealDur::from_micros(10.0)))
+        .starts(vec![RealTime::ZERO; n])
+        .config(SimConfig {
             t_end: RealTime::from_secs(f64::INFINITY),
             delay_bounds: DelayBounds::new(RealDur::from_micros(10.0), RealDur::ZERO),
             max_events: events,
             ..SimConfig::default()
-        },
-    );
+        })
+        .build();
     sim.run().stats.events_delivered
 }
 

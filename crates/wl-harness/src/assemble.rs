@@ -12,15 +12,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wl_clock::Clock;
 use wl_core::Params;
-use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, DelayModel, UniformDelay};
+use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, UniformDelay};
 use wl_sim::faults::FaultPlan;
-use wl_sim::{Automaton, ProcessId, SimConfig, Simulation};
+use wl_sim::{
+    Automaton, CalendarQueue, EventQueue, HeapQueue, ProcessId, SimBuilder, SimConfig, Simulation,
+};
 use wl_time::{ClockTime, RealTime};
 
-/// A fully assembled scenario, generic over the protocol message type.
-pub struct BuiltScenario<M> {
+/// A fully assembled scenario, generic over the protocol message type and
+/// (defaulted) the engine's event queue.
+pub struct BuiltScenario<M, Q = HeapQueue<M>> {
     /// The simulation, ready to run.
-    pub sim: Simulation<M>,
+    pub sim: Simulation<M, Q>,
     /// Which processes are designated faulty (for the analysis).
     pub plan: FaultPlan,
     /// The parameters the scenario was built from.
@@ -34,7 +37,7 @@ pub struct BuiltScenario<M> {
     pub initial_corrs: Vec<f64>,
 }
 
-impl<M> std::fmt::Debug for BuiltScenario<M> {
+impl<M, Q> std::fmt::Debug for BuiltScenario<M, Q> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BuiltScenario")
             .field("plan", &self.plan)
@@ -65,6 +68,32 @@ impl<M> std::fmt::Debug for BuiltScenario<M> {
 /// rejoiner.
 #[must_use]
 pub fn assemble<A: SyncAlgorithm>(spec: &ScenarioSpec) -> BuiltScenario<A::Msg> {
+    assemble_with_queue::<A, _>(spec, HeapQueue::new())
+}
+
+/// [`assemble`], but with the engine's [`CalendarQueue`] tuned to the
+/// spec's delay band. Executions are byte-identical to [`assemble`]'s
+/// (pinned by the `queue_parity` tests); only the queue's cost model
+/// changes.
+#[must_use]
+pub fn assemble_calendar<A: SyncAlgorithm>(
+    spec: &ScenarioSpec,
+) -> BuiltScenario<A::Msg, CalendarQueue<A::Msg>> {
+    let queue = CalendarQueue::for_bounds(&spec.params.delay_bounds());
+    assemble_with_queue::<A, _>(spec, queue)
+}
+
+/// [`assemble`] with a caller-supplied event queue — the fully general
+/// entry point behind both convenience wrappers.
+///
+/// # Panics
+///
+/// As [`assemble`].
+#[must_use]
+pub fn assemble_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
+    spec: &ScenarioSpec,
+    queue: Q,
+) -> BuiltScenario<A::Msg, Q> {
     A::validate(spec);
     let p = &spec.params;
     let n = p.n;
@@ -143,27 +172,28 @@ pub fn assemble<A: SyncAlgorithm>(spec: &ScenarioSpec) -> BuiltScenario<A::Msg> 
         procs.push(auto);
     }
 
-    let delay: Box<dyn DelayModel> = match spec.delay {
-        DelayKind::Constant => Box::new(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta))),
-        DelayKind::Uniform => Box::new(UniformDelay::new(p.delay_bounds())),
-        DelayKind::AdversarialSplit => {
-            Box::new(AdversarialSplitDelay::new(p.delay_bounds(), n / 2))
-        }
-    };
-
-    let sim = Simulation::new(
-        clocks,
-        procs,
-        delay,
-        starts_adj,
-        SimConfig {
+    let builder = SimBuilder::new()
+        .clocks(clocks)
+        .procs(procs)
+        .starts(starts_adj)
+        .fault_plan(plan.clone())
+        .config(SimConfig {
             t_end: spec.t_end,
             seed: sim_seed,
             delay_bounds: p.delay_bounds(),
             trace_capacity: spec.trace_capacity,
             max_events: spec.max_events,
-        },
-    );
+        });
+    let builder = match spec.delay {
+        DelayKind::Constant => {
+            builder.delay(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta)))
+        }
+        DelayKind::Uniform => builder.delay(UniformDelay::new(p.delay_bounds())),
+        DelayKind::AdversarialSplit => {
+            builder.delay(AdversarialSplitDelay::new(p.delay_bounds(), n / 2))
+        }
+    };
+    let sim = builder.build_with_queue(queue);
 
     BuiltScenario {
         sim,

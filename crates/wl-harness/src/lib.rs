@@ -18,7 +18,11 @@
 //!   (correct, faulty, rejoining), and its start discipline; the harness
 //!   contributes everything else.
 //! * [`assemble()`](assemble()) — the single assembly function:
-//!   `assemble::<A>(&spec)` → a ready-to-run [`BuiltScenario`].
+//!   `assemble::<A>(&spec)` → a ready-to-run [`BuiltScenario`]. The
+//!   engine's queue is pluggable per `wl-sim`'s `EventQueue`:
+//!   [`assemble_calendar`] swaps the binary heap for a calendar queue
+//!   tuned to the spec's delay band, and [`assemble_with_queue`] accepts
+//!   any queue — all byte-identical in behaviour (`queue_parity` tests).
 //! * [`run`] — shared measurement helpers (`run_summary`,
 //!   `baseline_metrics`, `skew_series`) generic over the message type, so
 //!   Welch–Lynch runs and baseline runs are summarized by the same code.
@@ -66,9 +70,9 @@ pub mod spec;
 pub mod sweep;
 
 pub use algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
-pub use assemble::{assemble, BuiltScenario};
+pub use assemble::{assemble, assemble_calendar, assemble_with_queue, BuiltScenario};
 pub use spec::{DelayKind, FaultKind, ScenarioSpec};
-pub use sweep::{derive_seed, SweepOutcome, SweepRunner, SweepSummary};
+pub use sweep::{derive_seed, SweepCache, SweepOutcome, SweepRunner, SweepSummary};
 
 // The algorithms, re-exported so harness users need a single import.
 pub use wl_baselines::lm_cnv::LmCnv;

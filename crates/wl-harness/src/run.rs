@@ -11,7 +11,7 @@ use wl_analysis::agreement::{check_agreement, AgreementReport};
 use wl_analysis::convergence::{round_series, RoundSeries};
 use wl_analysis::skew::SkewSeries;
 use wl_analysis::ExecutionView;
-use wl_sim::SimStats;
+use wl_sim::{EventQueue, SimStats};
 use wl_time::{RealDur, RealTime};
 
 /// Everything the experiments usually need from one run.
@@ -30,8 +30,8 @@ pub struct RunSummary {
 /// Runs a built scenario for `t_end` simulated seconds and summarizes it
 /// against the Welch–Lynch theorem suite.
 #[must_use]
-pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static>(
-    built: BuiltScenario<M>,
+pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
+    built: BuiltScenario<M, Q>,
     t_end: f64,
 ) -> RunSummary {
     let params = built.params.clone();
@@ -60,8 +60,8 @@ pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static>(
 /// Runs a built scenario and returns only the steady-state skew measured
 /// over the second half of the horizon.
 #[must_use]
-pub fn steady_skew<M: Clone + std::fmt::Debug + Send + 'static>(
-    built: BuiltScenario<M>,
+pub fn steady_skew<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
+    built: BuiltScenario<M, Q>,
     t_end: f64,
 ) -> f64 {
     run_summary(built, t_end).agreement.steady_skew
@@ -70,8 +70,8 @@ pub fn steady_skew<M: Clone + std::fmt::Debug + Send + 'static>(
 /// Samples the full skew series of a built scenario (for figure-style
 /// outputs).
 #[must_use]
-pub fn skew_series<M: Clone + std::fmt::Debug + Send + 'static>(
-    built: BuiltScenario<M>,
+pub fn skew_series<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
+    built: BuiltScenario<M, Q>,
     t_end: f64,
     step: f64,
 ) -> SkewSeries {
@@ -92,8 +92,8 @@ pub fn skew_series<M: Clone + std::fmt::Debug + Send + 'static>(
 /// experiment E11 samples baselines (settling for three rounds, steady
 /// state over the second half of the horizon).
 #[must_use]
-pub fn baseline_metrics<M: Clone + std::fmt::Debug + Send + 'static>(
-    built: BuiltScenario<M>,
+pub fn baseline_metrics<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
+    built: BuiltScenario<M, Q>,
     t_end: f64,
 ) -> (f64, f64) {
     let params = built.params.clone();

@@ -68,7 +68,7 @@ pub enum FaultKind {
 /// [`ScenarioSpec::startup`] (§9.2 cold start), then chain the builder
 /// methods. The spec is plain data: `Clone` it, mutate copies for grid
 /// sweeps, send it across threads.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The paper's global constants.
     pub params: Params,
@@ -259,12 +259,163 @@ impl ScenarioSpec {
     pub fn build<A: crate::SyncAlgorithm>(&self) -> crate::BuiltScenario<A::Msg> {
         crate::assemble::<A>(self)
     }
+
+    /// The spec with its drift made explicit (`drift: None` and an
+    /// explicit [`ScenarioSpec::effective_drift`] assemble identically,
+    /// so the cache must treat them as the same spec — as the hash does).
+    #[must_use]
+    pub(crate) fn canonical(&self) -> ScenarioSpec {
+        let mut spec = self.clone();
+        spec.drift = Some(self.effective_drift());
+        spec
+    }
+
+    /// A stable content hash of everything that determines this spec's
+    /// execution.
+    ///
+    /// Equal *specs* assemble into bit-identical executions under the
+    /// same algorithm (executions are pure functions of the spec), so
+    /// [`crate::SweepCache`] uses this hash as its lookup key — and,
+    /// because a 64-bit non-cryptographic hash can collide in principle,
+    /// confirms every hit by comparing the stored spec for equality.
+    /// The hash is FNV-1a over a fixed field serialization — stable
+    /// across machines and runs, *not* across releases that add spec
+    /// fields.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            // FNV-1a, one byte at a time, over the little-endian word.
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let p = &self.params;
+        mix(p.n as u64);
+        mix(p.f as u64);
+        mix(p.rho.to_bits());
+        mix(p.delta.to_bits());
+        mix(p.eps.to_bits());
+        mix(p.beta.to_bits());
+        mix(p.p_round.to_bits());
+        mix(p.t0.to_bits());
+        mix(match p.avg {
+            wl_core::AveragingFn::Midpoint => 0,
+            wl_core::AveragingFn::Mean => 1,
+        });
+        mix(p.sigma.to_bits());
+        mix(p.exchanges as u64);
+        match self.effective_drift() {
+            DriftModel::Ideal => mix(0),
+            DriftModel::EvenSpread { rho } => {
+                mix(1);
+                mix(rho.to_bits());
+            }
+            DriftModel::Split { rho } => {
+                mix(2);
+                mix(rho.to_bits());
+            }
+            DriftModel::RandomConstant { rho } => {
+                mix(3);
+                mix(rho.to_bits());
+            }
+            DriftModel::RandomPiecewise {
+                rho,
+                segment_secs,
+                horizon_secs,
+            } => {
+                mix(4);
+                mix(rho.to_bits());
+                mix(segment_secs.to_bits());
+                mix(horizon_secs.to_bits());
+            }
+        }
+        mix(match self.delay {
+            DelayKind::Constant => 0,
+            DelayKind::Uniform => 1,
+            DelayKind::AdversarialSplit => 2,
+        });
+        mix(self.seed);
+        mix(self.t_end.as_secs().to_bits());
+        mix(self.spread_frac.to_bits());
+        mix(self.faults.len() as u64);
+        for &(id, kind) in &self.faults {
+            mix(id.index() as u64);
+            match kind {
+                FaultKind::CrashAt(t) => {
+                    mix(0);
+                    mix(t.to_bits());
+                }
+                FaultKind::Silent => mix(1),
+                FaultKind::RoundSpam => mix(2),
+                FaultKind::PullApart(a) => {
+                    mix(3);
+                    mix(a.to_bits());
+                }
+                FaultKind::PullApartHigh(a) => {
+                    mix(4);
+                    mix(a.to_bits());
+                }
+                FaultKind::TwoFaced(a) => {
+                    mix(5);
+                    mix(a.to_bits());
+                }
+            }
+        }
+        match self.rejoiner {
+            None => mix(0),
+            Some((id, at)) => {
+                mix(1);
+                mix(id.index() as u64);
+                mix(at.as_secs().to_bits());
+            }
+        }
+        mix(self.trace_capacity as u64);
+        mix(self.max_events);
+        mix(self.initial_spread.to_bits());
+        h
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{assemble, Startup};
+
+    #[test]
+    fn content_hash_stable_and_sensitive() {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        let spec = ScenarioSpec::new(params.clone()).seed(7);
+        assert_eq!(spec.content_hash(), spec.clone().content_hash());
+        assert_ne!(
+            spec.content_hash(),
+            spec.clone().seed(8).content_hash(),
+            "seed must be part of the identity"
+        );
+        assert_ne!(
+            spec.content_hash(),
+            spec.clone().delay(DelayKind::Constant).content_hash()
+        );
+        assert_ne!(
+            spec.content_hash(),
+            spec.clone()
+                .fault(ProcessId(1), crate::FaultKind::Silent)
+                .content_hash()
+        );
+        assert_ne!(
+            spec.content_hash(),
+            spec.clone().t_end(RealTime::from_secs(31.0)).content_hash()
+        );
+        // The None drift and its explicit default hash identically
+        // (effective_drift is what the assembly consumes).
+        assert_eq!(
+            spec.content_hash(),
+            spec.clone().drift(spec.effective_drift()).content_hash()
+        );
+    }
 
     #[test]
     fn startup_constructible_at_high_drift() {

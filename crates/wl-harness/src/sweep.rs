@@ -16,7 +16,9 @@ use crate::algo::SyncAlgorithm;
 use crate::assemble::assemble;
 use crate::run::{run_summary, RunSummary};
 use crate::spec::ScenarioSpec;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use wl_analysis::stats::Online;
 use wl_sim::SimStats;
 
@@ -147,11 +149,129 @@ impl SweepRunner {
     /// with [`run_summary`] into a [`SweepOutcome`].
     #[must_use]
     pub fn sweep<A: SyncAlgorithm>(&self, specs: Vec<ScenarioSpec>) -> Vec<SweepOutcome> {
+        self.run(specs, |index, spec| run_point::<A>(index, spec))
+    }
+
+    /// [`sweep`](SweepRunner::sweep) with memoization: grid points whose
+    /// spec is already in `cache` under algorithm `A` are served from it
+    /// without assembling or simulating anything.
+    ///
+    /// Executions are pure functions of the spec, so a hit is exact, not
+    /// approximate — lookups go through the 64-bit
+    /// [`ScenarioSpec::content_hash`], and every hit is confirmed by
+    /// comparing the stored spec for equality, so a hash collision
+    /// degrades to a miss rather than a wrong result. Repeated
+    /// experiment grids (tweak one axis, re-run) only pay for the points
+    /// that changed; results still arrive in grid order with
+    /// grid-relative indices.
+    #[must_use]
+    pub fn sweep_cached<A: SyncAlgorithm>(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        cache: &SweepCache,
+    ) -> Vec<SweepOutcome> {
         self.run(specs, |index, spec| {
-            let t_end = spec.t_end.as_secs();
-            let summary = run_summary(assemble::<A>(spec), t_end);
-            SweepOutcome::new(index, spec.seed, &summary)
+            let key = (spec.content_hash(), A::NAME);
+            // Canonical form on both sides: `drift: None` and its explicit
+            // default are the same execution, and must hit each other.
+            let canonical = spec.canonical();
+            if let Some(mut hit) = cache.get(&key, &canonical) {
+                hit.index = index;
+                return hit;
+            }
+            let outcome = run_point::<A>(index, spec);
+            cache.insert(key, canonical, outcome.clone());
+            outcome
         })
+    }
+}
+
+/// Executes one grid point — the single per-point body shared by
+/// [`SweepRunner::sweep`] and [`SweepRunner::sweep_cached`], so the
+/// cached and uncached paths cannot diverge.
+fn run_point<A: SyncAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
+    let t_end = spec.t_end.as_secs();
+    let summary = run_summary(assemble::<A>(spec), t_end);
+    SweepOutcome::new(index, spec.seed, &summary)
+}
+
+/// Opt-in memo of per-scenario sweep results, keyed by
+/// `(ScenarioSpec::content_hash, algorithm name)`.
+///
+/// Shareable across sweeps and threads (`&SweepCache` is all
+/// [`SweepRunner::sweep_cached`] needs). The first step of the ROADMAP's
+/// incremental-sweep item: repeated grid runs skip unchanged points.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    /// Value holds the spec that produced the outcome, so hash
+    /// collisions are detected instead of served.
+    map: Mutex<HashMap<CacheKey, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// `(spec content hash, algorithm name)`.
+type CacheKey = (u64, &'static str);
+/// The spec that produced the outcome (verified on every hit) plus the
+/// memoized outcome.
+type CacheEntry = (ScenarioSpec, SweepOutcome);
+
+impl SweepCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, key: &CacheKey, spec: &ScenarioSpec) -> Option<SweepOutcome> {
+        let found = self
+            .map
+            .lock()
+            .expect("sweep cache poisoned")
+            .get(key)
+            .filter(|(cached_spec, _)| cached_spec == spec)
+            .map(|(_, outcome)| outcome.clone());
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn insert(&self, key: CacheKey, spec: ScenarioSpec, outcome: SweepOutcome) {
+        self.map
+            .lock()
+            .expect("sweep cache poisoned")
+            .insert(key, (spec, outcome));
+    }
+
+    /// Number of scenarios currently memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous cache user panicked mid-operation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("sweep cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed and had to simulate.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -291,5 +411,62 @@ mod tests {
     fn empty_grid_is_fine() {
         let out = SweepRunner::new().run(Vec::<u32>::new(), |_, x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached() {
+        let cache = SweepCache::new();
+        let cold = SweepRunner::serial().sweep_cached::<Maintenance>(grid(4), &cache);
+        let plain = SweepRunner::serial().sweep::<Maintenance>(grid(4));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 4);
+        for (a, b) in cold.iter().zip(&plain) {
+            assert_eq!(a.stats, b.stats);
+            assert!((a.steady_skew - b.steady_skew).abs() == 0.0);
+        }
+        // Second run: all hits, same results, grid indices remapped.
+        let warm = SweepRunner::with_threads(3).sweep_cached::<Maintenance>(grid(4), &cache);
+        assert_eq!(cache.hits(), 4);
+        for (a, b) in warm.iter().zip(&plain) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn cache_hits_across_drift_canonicalization() {
+        // `drift: None` and its explicit default assemble identically and
+        // hash identically — they must hit each other in the cache.
+        let cache = SweepCache::new();
+        let implicit = grid(2);
+        let explicit: Vec<ScenarioSpec> = implicit
+            .iter()
+            .map(|s| s.clone().drift(s.effective_drift()))
+            .collect();
+        let a = SweepRunner::serial().sweep_cached::<Maintenance>(implicit, &cache);
+        let b = SweepRunner::serial().sweep_cached::<Maintenance>(explicit, &cache);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_algorithms_and_specs() {
+        use crate::LmCnv;
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), &cache);
+        // Same specs, different algorithm: no hits.
+        let _ = SweepRunner::serial().sweep_cached::<LmCnv>(grid(2), &cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 4);
+        // A changed grid point misses; unchanged ones hit.
+        let mut shifted = grid(2);
+        shifted[1] = shifted[1].clone().seed(0xDEAD);
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(shifted, &cache);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 5);
     }
 }

@@ -14,7 +14,10 @@
 //!
 //! If an intentional behaviour change ever lands in the harness, these
 //! tests are expected to fail and the fixture should be updated with the
-//! new golden behaviour — consciously.
+//! new golden behaviour — consciously. (One such conscious update: the
+//! positional `Simulation::new` constructor was retired for `SimBuilder`,
+//! so the frozen assembly logic below now hands its identically-derived
+//! ingredients to the builder.)
 
 use wl_core::Params;
 use wl_harness::{
@@ -40,7 +43,7 @@ mod legacy {
     use wl_core::{Params, StartupParams};
     use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, DelayModel, UniformDelay};
     use wl_sim::faults::{crash_phys_time, FaultPlan, SilentFor};
-    use wl_sim::{Automaton, ProcessId, SimConfig, Simulation};
+    use wl_sim::{Automaton, ProcessId, SimBuilder, SimConfig, Simulation};
     use wl_time::{ClockTime, RealTime};
 
     pub use wl_harness::{DelayKind, FaultKind};
@@ -196,19 +199,19 @@ mod legacy {
                 }
             };
 
-            let sim = Simulation::new(
-                clocks,
-                procs,
-                delay,
-                starts_adj,
-                SimConfig {
+            let sim = SimBuilder::new()
+                .clocks(clocks)
+                .procs(procs)
+                .delay_boxed(delay)
+                .starts(starts_adj)
+                .config(SimConfig {
                     t_end: self.t_end,
                     seed: self.seed.wrapping_add(0x5EED),
                     delay_bounds: p.delay_bounds(),
                     trace_capacity: self.trace_capacity,
                     max_events: 0,
-                },
-            );
+                })
+                .build();
 
             Built { sim, plan, starts }
         }
@@ -252,19 +255,19 @@ mod legacy {
             .map(|_| RealTime::from_secs(1.0 + rng.gen_range(0.0..params.delta)))
             .collect();
 
-        let sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(UniformDelay::new(params.delay_bounds())),
-            starts.clone(),
-            SimConfig {
+        let sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(UniformDelay::new(params.delay_bounds()))
+            .starts(starts.clone())
+            .config(SimConfig {
                 t_end,
                 seed: seed.wrapping_add(0xF00D),
                 delay_bounds: params.delay_bounds(),
                 trace_capacity,
                 max_events: 0,
-            },
-        );
+            })
+            .build();
         Built { sim, plan, starts }
     }
 
@@ -314,20 +317,19 @@ mod legacy {
                 }
             })
             .collect();
-        let delay: Box<dyn DelayModel> = Box::new(UniformDelay::new(params.delay_bounds()));
-        let sim = Simulation::new(
-            clocks,
-            procs,
-            delay,
-            starts.clone(),
-            SimConfig {
+        let sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(UniformDelay::new(params.delay_bounds()))
+            .starts(starts.clone())
+            .config(SimConfig {
                 t_end,
                 seed: seed.wrapping_add(0xBA5E),
                 delay_bounds: params.delay_bounds(),
                 trace_capacity,
                 max_events: 0,
-            },
-        );
+            })
+            .build();
         Built { sim, plan, starts }
     }
 

@@ -1,0 +1,177 @@
+//! Queue-swap safety net: the [`CalendarQueue`] engine produces
+//! **byte-identical executions** to the default [`HeapQueue`] engine.
+//!
+//! The delivery order of the model (§2.3) is a *total* order —
+//! `(t', class, seq)` — so a correct event queue has no ordering freedom
+//! at all; swapping the data structure may change only speed. These tests
+//! pin that across all three scenario families (round-aligned
+//! maintenance, §9.2 cold start, §9.1 reintegration) plus a §10 baseline,
+//! with fault galleries and every delay model, comparing the full
+//! `Debug`-formatted trace, correction histories, and counters.
+
+use wl_harness::{
+    assemble, assemble_calendar, assemble_with_queue, DelayKind, FaultKind, LmCnv, Maintenance,
+    Rejoiner, ScenarioSpec, Startup,
+};
+use wl_sim::queue::CalendarQueue;
+use wl_sim::{EventQueue, SimOutcome, Simulation};
+use wl_time::RealTime;
+
+const CAP: usize = 2_000_000;
+
+fn run<M, Q>(mut sim: Simulation<M, Q>) -> SimOutcome
+where
+    M: Clone + std::fmt::Debug + Send + 'static,
+    Q: EventQueue<M>,
+{
+    sim.run()
+}
+
+fn assert_identical(heap: SimOutcome, cal: SimOutcome) {
+    assert_eq!(heap.stats, cal.stats, "simulator counters differ");
+    assert_eq!(heap.corr, cal.corr, "correction histories differ");
+    assert_eq!(heap.stopped_at, cal.stopped_at, "stop times differ");
+    assert!(
+        !heap.trace.events().is_empty(),
+        "trace must be non-empty for a meaningful check"
+    );
+    assert_eq!(
+        format!("{:?}", heap.trace.events()),
+        format!("{:?}", cal.trace.events()),
+        "trace event streams differ"
+    );
+}
+
+fn params() -> wl_core::Params {
+    wl_core::Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap()
+}
+
+#[test]
+fn maintenance_family_parity() {
+    for seed in [1u64, 42, 1337] {
+        for delay in [
+            DelayKind::Constant,
+            DelayKind::Uniform,
+            DelayKind::AdversarialSplit,
+        ] {
+            let spec = ScenarioSpec::new(params())
+                .seed(seed)
+                .delay(delay)
+                .t_end(RealTime::from_secs(10.0))
+                .trace(CAP);
+            assert_identical(
+                run(assemble::<Maintenance>(&spec).sim),
+                run(assemble_calendar::<Maintenance>(&spec).sim),
+            );
+        }
+    }
+}
+
+#[test]
+fn maintenance_fault_gallery_parity() {
+    let p = wl_core::Params::auto(7, 2, 1e-6, 0.010, 0.001).unwrap();
+    let spec = ScenarioSpec::new(p.clone())
+        .seed(9)
+        .fault(wl_sim::ProcessId(0), FaultKind::PullApart(p.beta / 2.0))
+        .fault(wl_sim::ProcessId(3), FaultKind::RoundSpam)
+        .fault(wl_sim::ProcessId(5), FaultKind::CrashAt(6.0))
+        .t_end(RealTime::from_secs(10.0))
+        .trace(CAP);
+    assert_identical(
+        run(assemble::<Maintenance>(&spec).sim),
+        run(assemble_calendar::<Maintenance>(&spec).sim),
+    );
+}
+
+#[test]
+fn startup_family_parity() {
+    let sp = wl_core::StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    for seed in [23u64, 99] {
+        let spec = ScenarioSpec::startup(&sp, 5.0)
+            .seed(seed)
+            .t_end(RealTime::from_secs(8.0))
+            .silent(&[wl_sim::ProcessId(3)])
+            .trace(CAP);
+        assert_identical(
+            run(assemble::<Startup>(&spec).sim),
+            run(assemble_calendar::<Startup>(&spec).sim),
+        );
+    }
+}
+
+#[test]
+fn rejoiner_family_parity() {
+    let spec = ScenarioSpec::new(params())
+        .seed(19)
+        .rejoiner(wl_sim::ProcessId(3), RealTime::from_secs(7.3))
+        .t_end(RealTime::from_secs(20.0))
+        .trace(CAP);
+    assert_identical(
+        run(assemble::<Rejoiner>(&spec).sim),
+        run(assemble_calendar::<Rejoiner>(&spec).sim),
+    );
+}
+
+#[test]
+fn baseline_parity() {
+    let spec = ScenarioSpec::new(params())
+        .seed(61)
+        .t_end(RealTime::from_secs(10.0))
+        .silent(&[wl_sim::ProcessId(3)])
+        .trace(CAP);
+    assert_identical(
+        run(assemble::<LmCnv>(&spec).sim),
+        run(assemble_calendar::<LmCnv>(&spec).sim),
+    );
+}
+
+#[test]
+fn pathological_calendar_geometries_still_identical() {
+    // Deliberately terrible tunings: a 2-bucket calendar with a huge
+    // width, and a 512-bucket calendar with a microscopic width. Order is
+    // a correctness property, not a tuning property.
+    let spec = ScenarioSpec::new(params())
+        .seed(5)
+        .t_end(RealTime::from_secs(6.0))
+        .trace(CAP);
+    let reference = run(assemble::<Maintenance>(&spec).sim);
+    for queue in [CalendarQueue::new(3.0, 2), CalendarQueue::new(2e-5, 512)] {
+        let got = run(assemble_with_queue::<Maintenance, _>(&spec, queue).sim);
+        assert_eq!(reference.stats, got.stats);
+        assert_eq!(reference.corr, got.corr);
+        assert_eq!(
+            format!("{:?}", reference.trace.events()),
+            format!("{:?}", got.trace.events())
+        );
+    }
+}
+
+#[test]
+fn calendar_sweep_summary_matches_heap() {
+    // End-to-end through run_summary: the measured quantities (skew,
+    // adjustments, agreement verdicts) are bitwise equal too.
+    let spec = ScenarioSpec::new(params())
+        .seed(77)
+        .t_end(RealTime::from_secs(12.0));
+    let heap = wl_harness::run::run_summary(assemble::<Maintenance>(&spec), 12.0);
+    let cal = wl_harness::run::run_summary(assemble_calendar::<Maintenance>(&spec), 12.0);
+    assert_eq!(heap.stats, cal.stats);
+    assert!((heap.agreement.steady_skew - cal.agreement.steady_skew).abs() == 0.0);
+    assert!((heap.agreement.max_skew - cal.agreement.max_skew).abs() == 0.0);
+    assert_eq!(heap.agreement.holds, cal.agreement.holds);
+    assert!((heap.adjustments.max_abs - cal.adjustments.max_abs).abs() == 0.0);
+}
+
+/// The run-facing check: with tracing *off* (the sweep configuration),
+/// the calendar engine still reproduces heap outcomes exactly.
+#[test]
+fn untraced_runs_identical() {
+    let spec = ScenarioSpec::new(params())
+        .seed(4242)
+        .t_end(RealTime::from_secs(10.0));
+    let a = run(assemble::<Maintenance>(&spec).sim);
+    let b = run(assemble_calendar::<Maintenance>(&spec).sim);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.corr, b.corr);
+    assert_eq!(a.stopped_at, b.stopped_at);
+}

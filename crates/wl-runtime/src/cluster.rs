@@ -1,4 +1,9 @@
 //! One OS thread per process, driving the same automata as the simulator.
+//!
+//! Observability also mirrors the simulator: each node thread streams its
+//! correction changes and annotations through the `wl-sim`
+//! [`Observer`] contract (a [`SharedCorrSink`] per node), so the same
+//! sink types work against both engines.
 
 use crate::clock::VirtualClock;
 use crate::medium::{MediumConfig, SharedMedium, Transmission};
@@ -8,8 +13,50 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wl_sim::{Action, Actions, Automaton, Input, ProcessId};
+use wl_sim::{Action, Actions, Automaton, Input, Observer, ProcessId};
 use wl_time::{ClockTime, RealTime};
+
+/// An [`Observer`] recording one node's correction history behind a lock
+/// — the runtime counterpart of `wl_sim::CorrectionSink`, shared between
+/// the node thread (writer) and the collecting caller (reader).
+#[derive(Debug, Clone)]
+pub struct SharedCorrSink {
+    hist: Arc<Mutex<wl_sim::CorrectionHistory>>,
+}
+
+impl Default for SharedCorrSink {
+    /// Starts at correction zero — `CorrectionHistory` requires a seeded
+    /// initial entry (`corr_at` panics on an empty history).
+    fn default() -> Self {
+        Self::with_initial(0.0)
+    }
+}
+
+impl SharedCorrSink {
+    /// A sink whose history starts at the given initial correction.
+    #[must_use]
+    pub fn with_initial(corr: f64) -> Self {
+        Self {
+            hist: Arc::new(Mutex::new(wl_sim::CorrectionHistory::with_initial(corr))),
+        }
+    }
+
+    /// Snapshot of the history recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> wl_sim::CorrectionHistory {
+        self.hist.lock().clone()
+    }
+
+    fn reset(&self, corr: f64) {
+        *self.hist.lock() = wl_sim::CorrectionHistory::with_initial(corr);
+    }
+}
+
+impl<M> Observer<M> for SharedCorrSink {
+    fn on_correction(&mut self, _by: ProcessId, at: RealTime, corr: f64) {
+        self.hist.lock().record(at, corr);
+    }
+}
 
 /// Cluster configuration.
 #[derive(Debug, Clone, Copy)]
@@ -110,9 +157,7 @@ impl Cluster {
         );
 
         let stop = Arc::new(AtomicBool::new(false));
-        let corr: Vec<Arc<Mutex<wl_sim::CorrectionHistory>>> = (0..n)
-            .map(|_| Arc::new(Mutex::new(wl_sim::CorrectionHistory::with_initial(0.0))))
-            .collect();
+        let corr: Vec<SharedCorrSink> = (0..n).map(|_| SharedCorrSink::default()).collect();
 
         let mut handles = Vec::with_capacity(n);
         for p in 0..n {
@@ -121,12 +166,12 @@ impl Cluster {
             let rx = inbox_rxs.remove(0);
             let tx = medium.sender();
             let stop = Arc::clone(&stop);
-            let corr = Arc::clone(&corr[p]);
+            let sink = corr[p].clone();
             let start_local = start_at[p];
             let h = std::thread::Builder::new()
                 .name(format!("wl-node-{p}"))
                 .spawn(move || {
-                    node_loop(p, auto, &clock, &rx, &tx, &stop, &corr, start_local);
+                    node_loop(p, auto, &clock, &rx, &tx, &stop, sink, start_local);
                 })
                 .expect("spawn node thread");
             handles.push(h);
@@ -139,7 +184,7 @@ impl Cluster {
         }
         let stats = medium.stats();
         let outcome = RuntimeOutcome {
-            corr: corr.iter().map(|c| c.lock().clone()).collect(),
+            corr: corr.iter().map(SharedCorrSink::snapshot).collect(),
             clocks: clocks.iter().map(VirtualClock::to_linear).collect(),
             transmitted: stats.transmitted(),
             collisions: stats.collisions(),
@@ -158,13 +203,10 @@ fn node_loop<M: Send + Clone + std::fmt::Debug + 'static>(
     rx: &channel::Receiver<(ProcessId, M)>,
     tx: &channel::Sender<Transmission<M>>,
     stop: &AtomicBool,
-    corr: &Mutex<wl_sim::CorrectionHistory>,
+    mut observer: SharedCorrSink,
     start_local: ClockTime,
 ) {
-    {
-        let mut c = corr.lock();
-        *c = wl_sim::CorrectionHistory::with_initial(auto.initial_correction());
-    }
+    observer.reset(auto.initial_correction());
 
     // Pending timers as physical-clock deadlines; min-heap via Reverse.
     let mut timers: BinaryHeap<std::cmp::Reverse<wl_time::OrderedRealTime>> = BinaryHeap::new();
@@ -239,9 +281,11 @@ fn node_loop<M: Send + Clone + std::fmt::Debug + 'static>(
                     }
                 }
                 Action::NoteCorrection(c) => {
-                    corr.lock().record(clock.real_now(), c);
+                    Observer::<M>::on_correction(&mut observer, ProcessId(p), clock.real_now(), c);
                 }
-                Action::Annotate(_) => {}
+                Action::Annotate(text) => {
+                    Observer::<M>::on_note(&mut observer, ProcessId(p), clock.real_now(), &text);
+                }
             }
         }
     }

@@ -34,5 +34,5 @@ mod cluster;
 mod medium;
 
 pub use clock::VirtualClock;
-pub use cluster::{Cluster, ClusterConfig, RuntimeOutcome};
+pub use cluster::{Cluster, ClusterConfig, RuntimeOutcome, SharedCorrSink};
 pub use medium::{MediumConfig, MediumStats, SharedMedium, Transmission};

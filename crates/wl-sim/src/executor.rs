@@ -5,18 +5,33 @@
 //! same instant; each delivery triggers one process step whose outputs are
 //! inserted back into the buffer with delays from the [`DelayModel`].
 //! Everything is deterministic given the seed.
+//!
+//! The engine is generic over its three pluggable axes (see
+//! `docs/engine.md`):
+//!
+//! * `Q:` [`EventQueue`] — the pending-event store ([`HeapQueue`] default,
+//!   [`crate::CalendarQueue`] for bounded-delay workloads);
+//! * `O:` [`Observer`] — the measurement sink ([`StdObservers`] default,
+//!   [`crate::NullObserver`] for measurement-free runs);
+//! * `F:` [`Fleet`] — the process collection ([`DynFleet`] default; a
+//!   `Vec<A>` of one concrete automaton type monomorphizes dispatch).
+//!
+//! Construct simulations with [`SimBuilder`](crate::SimBuilder); the
+//! defaulted type parameters keep `Simulation<M>` meaning exactly what it
+//! always did.
 
 use crate::delay::{DelayBounds, DelayModel};
 use crate::event::{EventClass, Input, QueuedEvent};
 use crate::history::CorrectionHistory;
-use crate::trace::{Trace, TraceEvent};
+use crate::observer::{Observer, SimStats, StdObservers};
+use crate::queue::{EventQueue, HeapQueue};
+use crate::trace::Trace;
 use crate::{Action, Actions, Automaton, ProcessId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BinaryHeap;
+use std::fmt;
 use wl_clock::drift::FleetClock;
 use wl_clock::Clock;
-use wl_time::RealTime;
+use wl_time::{ClockTime, RealTime};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -28,7 +43,8 @@ pub struct SimConfig {
     /// The band every sampled delay must respect (assumption A3); the
     /// executor panics if the delay model steps outside it.
     pub delay_bounds: DelayBounds,
-    /// If nonzero, record a [`Trace`] of up to this many events.
+    /// If nonzero, the default observer bundle records a [`Trace`] of up
+    /// to this many events.
     pub trace_capacity: usize,
     /// Safety valve: abort after this many deliveries (0 = unlimited).
     /// Protects tests from runaway Byzantine behaviours.
@@ -50,23 +66,6 @@ impl Default for SimConfig {
     }
 }
 
-/// Counters describing an execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SimStats {
-    /// Events delivered (START + TIMER + messages).
-    pub events_delivered: u64,
-    /// Point-to-point message deliveries scheduled (a broadcast to `n`
-    /// processes counts `n`).
-    pub messages_sent: u64,
-    /// Timers scheduled.
-    pub timers_set: u64,
-    /// Timers requested for a physical-clock value already in the past —
-    /// per §2.2 no interrupt is generated. A nonzero count for a nonfaulty
-    /// process indicates a parameter-validation bug (Theorem 4(b) says this
-    /// never happens when `P` is large enough).
-    pub timers_suppressed: u64,
-}
-
 /// The results of an execution.
 #[derive(Debug)]
 pub struct SimOutcome {
@@ -80,99 +79,91 @@ pub struct SimOutcome {
     pub stopped_at: RealTime,
 }
 
-/// The discrete-event simulator.
+/// A collection of processes the engine can step.
 ///
-/// Generic over the protocol's message type `M`. Owns the physical clocks
-/// (processes only ever see readings of their own clock), the automata, the
-/// delay model, and the global message buffer.
-pub struct Simulation<M> {
-    clocks: Vec<FleetClock>,
-    procs: Vec<Box<dyn Automaton<Msg = M>>>,
-    delay: Box<dyn DelayModel>,
-    queue: BinaryHeap<std::cmp::Reverse<QueuedEvent<M>>>,
-    corr: Vec<CorrectionHistory>,
-    stats: SimStats,
-    trace: Trace,
-    rng: StdRng,
-    seq: u64,
-    now: RealTime,
-    config: SimConfig,
-    scratch: Actions<M>,
+/// The default is [`DynFleet`] — one boxed [`Automaton`] trait object per
+/// process, supporting mixed fleets (correct + Byzantine + rejoining).
+/// A `Vec<A>` of one concrete automaton type also implements `Fleet`
+/// (every `Box<dyn Automaton>` is itself an `Automaton`), giving
+/// single-algorithm fleets a monomorphized, virtual-call-free step path.
+pub trait Fleet<M>: Send {
+    /// Number of processes.
+    fn len(&self) -> usize;
+
+    /// Whether the fleet is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers one input to process `p`.
+    fn step(&mut self, p: ProcessId, input: Input<M>, phys_now: ClockTime, out: &mut Actions<M>);
+
+    /// Process `p`'s initial correction variable.
+    fn initial_correction(&self, p: ProcessId) -> f64;
 }
 
-impl<M> std::fmt::Debug for Simulation<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+/// The default, fully dynamic fleet: one boxed automaton per process.
+pub type DynFleet<M> = Vec<Box<dyn Automaton<Msg = M>>>;
+
+impl<A: Automaton> Fleet<A::Msg> for Vec<A> {
+    fn len(&self) -> usize {
+        <[A]>::len(self)
+    }
+    fn step(
+        &mut self,
+        p: ProcessId,
+        input: Input<A::Msg>,
+        phys_now: ClockTime,
+        out: &mut Actions<A::Msg>,
+    ) {
+        self[p.index()].on_input(input, phys_now, out);
+    }
+    fn initial_correction(&self, p: ProcessId) -> f64 {
+        self[p.index()].initial_correction()
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the protocol's message type `M`, the event queue `Q`, the
+/// observer `O`, and the fleet `F` (see the module docs); the defaults
+/// make `Simulation<M>` the heap-queue, standard-observer, dynamic-fleet
+/// engine. Owns the physical clocks (processes only ever see readings of
+/// their own clock), the automata, the delay model, and the global
+/// message buffer. Built by [`SimBuilder`](crate::SimBuilder).
+pub struct Simulation<M, Q = HeapQueue<M>, O = StdObservers, F = DynFleet<M>> {
+    pub(crate) clocks: Vec<FleetClock>,
+    pub(crate) procs: F,
+    pub(crate) delay: Box<dyn DelayModel>,
+    pub(crate) queue: Q,
+    pub(crate) observer: O,
+    pub(crate) plan: crate::faults::FaultPlan,
+    pub(crate) events_delivered: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) seq: u64,
+    pub(crate) now: RealTime,
+    pub(crate) config: SimConfig,
+    pub(crate) scratch: Actions<M>,
+}
+
+impl<M, Q: EventQueue<M>, O, F: Fleet<M>> fmt::Debug for Simulation<M, Q, O, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("n", &self.procs.len())
             .field("now", &self.now)
             .field("queued", &self.queue.len())
-            .field("stats", &self.stats)
+            .field("events_delivered", &self.events_delivered)
             .finish()
     }
 }
 
-impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
-    /// Builds a simulation.
-    ///
-    /// * `clocks[p]` — process `p`'s physical clock.
-    /// * `procs[p]` — process `p`'s automaton (correct or Byzantine).
-    /// * `delay` — the message-delay model.
-    /// * `starts[p]` — the real time at which `p`'s START message is
-    ///   delivered (assumption A4 fixes these to `c⁰_p(T⁰)`; scenarios
-    ///   compute them).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the vectors disagree on `n` or `n == 0`.
-    #[must_use]
-    pub fn new(
-        clocks: Vec<FleetClock>,
-        procs: Vec<Box<dyn Automaton<Msg = M>>>,
-        delay: Box<dyn DelayModel>,
-        starts: Vec<RealTime>,
-        config: SimConfig,
-    ) -> Self {
-        let n = procs.len();
-        assert!(n > 0, "need at least one process");
-        assert_eq!(clocks.len(), n, "one clock per process");
-        assert_eq!(starts.len(), n, "one start time per process");
-
-        let corr = procs
-            .iter()
-            .map(|p| CorrectionHistory::with_initial(p.initial_correction()))
-            .collect();
-
-        let mut queue = BinaryHeap::new();
-        let mut seq = 0;
-        for (i, &at) in starts.iter().enumerate() {
-            queue.push(std::cmp::Reverse(QueuedEvent {
-                at,
-                class: EventClass::Normal,
-                seq,
-                to: ProcessId(i),
-                input: Input::Start,
-            }));
-            seq += 1;
-        }
-
-        let trace = Trace::with_capacity(config.trace_capacity);
-        let rng = StdRng::seed_from_u64(config.seed);
-        Self {
-            clocks,
-            procs,
-            delay,
-            queue,
-            corr,
-            stats: SimStats::default(),
-            trace,
-            rng,
-            seq,
-            now: RealTime::from_secs(f64::NEG_INFINITY),
-            config,
-            scratch: Actions::new(),
-        }
-    }
-
+impl<M, Q, O, F> Simulation<M, Q, O, F>
+where
+    M: Clone + fmt::Debug + Send + 'static,
+    Q: EventQueue<M>,
+    O: Observer<M>,
+    F: Fleet<M>,
+{
     /// Number of processes.
     #[must_use]
     pub fn n(&self) -> usize {
@@ -191,47 +182,66 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
         self.now
     }
 
+    /// Events delivered so far (the `max_events` safety-valve counter —
+    /// maintained by the engine itself, so it is available even under
+    /// [`crate::NullObserver`]).
+    #[must_use]
+    pub fn events_delivered(&self) -> u64 {
+        self.events_delivered
+    }
+
+    /// The designated-faulty plan this simulation was built with
+    /// (defaults to all-correct).
+    #[must_use]
+    pub fn fault_plan(&self) -> &crate::faults::FaultPlan {
+        &self.plan
+    }
+
+    /// The observer stack.
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer stack.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the simulation, returning the observer stack.
+    #[must_use]
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
     /// Delivers the next event, if any remains before `t_end`.
     ///
     /// Returns the real time of the delivered event, or `None` when the
     /// run is over.
     pub fn step(&mut self) -> Option<RealTime> {
-        if self.config.max_events != 0 && self.stats.events_delivered >= self.config.max_events {
+        if self.config.max_events != 0 && self.events_delivered >= self.config.max_events {
             return None;
         }
-        let ev = {
-            let head = self.queue.peek()?;
-            if head.0.at >= self.config.t_end {
-                return None;
-            }
-            self.queue.pop()?.0
-        };
+        let ev = self.queue.pop_next()?;
+        if ev.at >= self.config.t_end {
+            // Not consumed: the event keeps its sequence number, so a
+            // later run with a larger horizon continues identically.
+            self.queue.push(ev);
+            return None;
+        }
         debug_assert!(
             ev.at.total_cmp(&self.now).is_ge() || !self.now.is_finite(),
             "event queue went backwards"
         );
         self.now = ev.at;
-        self.stats.events_delivered += 1;
+        self.events_delivered += 1;
 
         let p = ev.to;
         let phys_now = self.clocks[p.index()].read(ev.at);
-
-        if self.config.trace_capacity > 0 {
-            let te = match &ev.input {
-                Input::Start => TraceEvent::Start { to: p, at: ev.at },
-                Input::Timer => TraceEvent::Timer { to: p, at: ev.at },
-                Input::Message { from, msg } => TraceEvent::Deliver {
-                    from: *from,
-                    to: p,
-                    at: ev.at,
-                    msg: format!("{msg:?}"),
-                },
-            };
-            self.trace.push(te);
-        }
+        self.observer.on_deliver(p, &ev.input, ev.at);
 
         let mut out = std::mem::take(&mut self.scratch);
-        self.procs[p.index()].on_input(ev.input, phys_now, &mut out);
+        self.procs.step(p, ev.input, phys_now, &mut out);
         let actions: Vec<Action<M>> = out.drain().collect();
         self.scratch = out;
         for action in actions {
@@ -254,48 +264,26 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             Action::SetTimer { physical } => {
                 let fire_at = self.clocks[p.index()].time_of(physical);
                 let suppressed = fire_at <= self.now;
-                if self.config.trace_capacity > 0 {
-                    self.trace.push(TraceEvent::TimerSet {
-                        by: p,
-                        at: self.now,
-                        physical,
-                        suppressed,
-                    });
-                }
-                if suppressed {
+                self.observer
+                    .on_timer_set(p, self.now, physical, suppressed);
+                if !suppressed {
                     // §2.2: if Ph⁻¹(T) is not in the future, no message is
                     // placed in the buffer.
-                    self.stats.timers_suppressed += 1;
-                } else {
-                    self.stats.timers_set += 1;
                     let seq = self.next_seq();
-                    self.queue.push(std::cmp::Reverse(QueuedEvent {
+                    self.queue.push(QueuedEvent {
                         at: fire_at,
                         class: EventClass::Timer,
                         seq,
                         to: p,
                         input: Input::Timer,
-                    }));
+                    });
                 }
             }
             Action::NoteCorrection(c) => {
-                self.corr[p.index()].record(self.now, c);
-                if self.config.trace_capacity > 0 {
-                    self.trace.push(TraceEvent::Correction {
-                        by: p,
-                        at: self.now,
-                        corr: c,
-                    });
-                }
+                self.observer.on_correction(p, self.now, c);
             }
             Action::Annotate(text) => {
-                if self.config.trace_capacity > 0 {
-                    self.trace.push(TraceEvent::Note {
-                        by: p,
-                        at: self.now,
-                        text,
-                    });
-                }
+                self.observer.on_note(p, self.now, &text);
             }
         }
     }
@@ -309,23 +297,15 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
             self.config.delay_bounds.max_delay(),
         );
         let deliver_at = self.now + d;
-        self.stats.messages_sent += 1;
-        if self.config.trace_capacity > 0 {
-            self.trace.push(TraceEvent::Send {
-                from,
-                to,
-                at: self.now,
-                deliver_at,
-            });
-        }
+        self.observer.on_send(from, to, self.now, deliver_at, &msg);
         let seq = self.next_seq();
-        self.queue.push(std::cmp::Reverse(QueuedEvent {
+        self.queue.push(QueuedEvent {
             at: deliver_at,
             class: EventClass::Normal,
             seq,
             to,
             input: Input::Message { from, msg },
-        }));
+        });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -334,35 +314,55 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Simulation<M> {
         s
     }
 
+    /// Runs to completion (any observer), returning the real time at
+    /// which the run stopped.
+    pub fn drive(&mut self) -> RealTime {
+        while self.step().is_some() {}
+        self.now
+    }
+}
+
+/// Outcome extraction, available when the standard observer bundle is
+/// installed (the default).
+impl<M, Q, F> Simulation<M, Q, StdObservers, F>
+where
+    M: Clone + fmt::Debug + Send + 'static,
+    Q: EventQueue<M>,
+    F: Fleet<M>,
+{
     /// Runs to completion and returns the outcome.
     #[must_use]
     pub fn run(&mut self) -> SimOutcome {
-        while self.step().is_some() {}
+        let stopped_at = self.drive();
         SimOutcome {
-            corr: self.corr.clone(),
-            stats: self.stats,
-            trace: std::mem::take(&mut self.trace),
-            stopped_at: self.now,
+            corr: self.observer.corr.histories().to_vec(),
+            stats: self.observer.counters.stats(),
+            trace: self.observer.trace.take(),
+            stopped_at,
         }
     }
 
     /// Read-only view of the correction histories mid-run.
     #[must_use]
     pub fn correction_histories(&self) -> &[CorrectionHistory] {
-        &self.corr
+        self.observer.corr.histories()
     }
 
     /// Counters so far.
     #[must_use]
     pub fn stats(&self) -> SimStats {
-        self.stats
+        self.observer.counters.stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SimBuilder;
     use crate::delay::{ConstantDelay, PerPairDelay};
+    use crate::observer::NullObserver;
+    use crate::queue::CalendarQueue;
+    use crate::trace::TraceEvent;
     use wl_clock::drift::DriftModel;
     use wl_time::{ClockDur, ClockTime, RealDur};
 
@@ -393,24 +393,27 @@ mod tests {
         }
     }
 
-    fn simple_sim(budget: u32, delay_ms: f64, t_end: f64) -> Simulation<u32> {
+    fn simple_builder(budget: u32, delay_ms: f64, t_end: f64) -> SimBuilder<u32> {
         let n = 2;
         let clocks = DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0);
         let procs: Vec<Box<dyn Automaton<Msg = u32>>> = (0..n)
             .map(|me| Box::new(PingPong { budget, me }) as Box<dyn Automaton<Msg = u32>>)
             .collect();
-        Simulation::new(
-            clocks,
-            procs,
-            Box::new(ConstantDelay::new(RealDur::from_millis(delay_ms))),
-            vec![RealTime::ZERO; n],
-            SimConfig {
+        SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(ConstantDelay::new(RealDur::from_millis(delay_ms)))
+            .starts(vec![RealTime::ZERO; n])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(t_end),
                 delay_bounds: DelayBounds::new(RealDur::from_millis(delay_ms), RealDur::ZERO),
                 trace_capacity: 1000,
                 ..SimConfig::default()
-            },
-        )
+            })
+    }
+
+    fn simple_sim(budget: u32, delay_ms: f64, t_end: f64) -> Simulation<u32> {
+        simple_builder(budget, delay_ms, t_end).build()
     }
 
     #[test]
@@ -435,6 +438,49 @@ mod tests {
         let a = simple_sim(10, 1.0, 1.0).run();
         let b = simple_sim(10, 1.0, 1.0).run();
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn calendar_queue_engine_matches_heap_engine() {
+        let heap = simple_sim(10, 1.0, 1.0).run();
+        let mut cal_sim =
+            simple_builder(10, 1.0, 1.0).build_with_queue(CalendarQueue::new(0.0005, 16));
+        let cal = cal_sim.run();
+        assert_eq!(heap.stats, cal.stats);
+        assert_eq!(
+            format!("{:?}", heap.trace.events()),
+            format!("{:?}", cal.trace.events())
+        );
+    }
+
+    #[test]
+    fn null_observer_runs_without_measurement() {
+        let mut sim = simple_builder(10, 1.0, 1.0).build_with(HeapQueue::new(), NullObserver);
+        let stopped = sim.drive();
+        // 2 starts + 11 message hops.
+        assert_eq!(sim.events_delivered(), 13);
+        assert!(stopped > RealTime::ZERO);
+    }
+
+    #[test]
+    fn homogeneous_fleet_monomorphizes() {
+        // A Vec<PingPong> (no boxing) is a valid fleet.
+        let n = 2;
+        let clocks = DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0);
+        let fleet: Vec<PingPong> = (0..n).map(|me| PingPong { budget: 4, me }).collect();
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .fleet(fleet)
+            .delay(ConstantDelay::new(RealDur::from_millis(1.0)))
+            .starts(vec![RealTime::ZERO; n])
+            .config(SimConfig {
+                t_end: RealTime::from_secs(10.0),
+                delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
+                ..SimConfig::default()
+            })
+            .build();
+        let outcome = sim.run();
+        assert_eq!(outcome.stats.messages_sent, 5);
     }
 
     #[test]
@@ -473,17 +519,17 @@ mod tests {
     fn past_timers_suppressed_future_timers_fire() {
         let clocks = DriftModel::Ideal.build(1, &[ClockTime::ZERO], 0);
         let procs: Vec<Box<dyn Automaton<Msg = u32>>> = vec![Box::new(BadTimer)];
-        let mut sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
-            vec![RealTime::from_secs(2.0)],
-            SimConfig {
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(ConstantDelay::new(RealDur::from_millis(1.0)))
+            .starts(vec![RealTime::from_secs(2.0)])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(10.0),
                 delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
                 ..SimConfig::default()
-            },
-        );
+            })
+            .build();
         let outcome = sim.run();
         assert_eq!(outcome.stats.timers_suppressed, 1);
         assert_eq!(outcome.stats.timers_set, 1);
@@ -520,18 +566,18 @@ mod tests {
         let clocks = DriftModel::Ideal.build(1, &[ClockTime::ZERO], 0);
         let probe = Box::new(OrderProbe::default());
         let procs: Vec<Box<dyn Automaton<Msg = u32>>> = vec![probe];
-        let mut sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(ConstantDelay::new(RealDur::from_secs(1.0))),
-            vec![RealTime::ZERO],
-            SimConfig {
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(ConstantDelay::new(RealDur::from_secs(1.0)))
+            .starts(vec![RealTime::ZERO])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(5.0),
                 delay_bounds: DelayBounds::new(RealDur::from_secs(1.0), RealDur::ZERO),
                 trace_capacity: 100,
                 ..SimConfig::default()
-            },
-        );
+            })
+            .build();
         let outcome = sim.run();
         // Inspect the trace: Deliver at t=1.0 must precede Timer at t=1.0.
         let order: Vec<&str> = outcome
@@ -564,17 +610,17 @@ mod tests {
         }
         let clocks = DriftModel::Ideal.build(1, &[ClockTime::ZERO], 0);
         let procs: Vec<Box<dyn Automaton<Msg = u32>>> = vec![Box::new(Corrector)];
-        let mut sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
-            vec![RealTime::from_secs(1.0)],
-            SimConfig {
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(ConstantDelay::new(RealDur::from_millis(1.0)))
+            .starts(vec![RealTime::from_secs(1.0)])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(2.0),
                 delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
                 ..SimConfig::default()
-            },
-        );
+            })
+            .build();
         let outcome = sim.run();
         assert_eq!(outcome.corr[0].corr_at(RealTime::from_secs(0.5)), -2.0);
         assert_eq!(outcome.corr[0].corr_at(RealTime::from_secs(1.5)), 1.5);
@@ -588,17 +634,17 @@ mod tests {
             .map(|me| Box::new(PingPong { budget: 1, me }) as Box<dyn Automaton<Msg = u32>>)
             .collect();
         // Delay model says 5ms but declared bounds say 1ms +/- 0.
-        let mut sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(ConstantDelay::new(RealDur::from_millis(5.0))),
-            vec![RealTime::ZERO; 2],
-            SimConfig {
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(ConstantDelay::new(RealDur::from_millis(5.0)))
+            .starts(vec![RealTime::ZERO; 2])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(1.0),
                 delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
                 ..SimConfig::default()
-            },
-        );
+            })
+            .build();
         let _ = sim.run();
     }
 
@@ -613,18 +659,18 @@ mod tests {
                 }) as Box<dyn Automaton<Msg = u32>>
             })
             .collect();
-        let mut sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
-            vec![RealTime::ZERO; 2],
-            SimConfig {
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(ConstantDelay::new(RealDur::from_millis(1.0)))
+            .starts(vec![RealTime::ZERO; 2])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(1e9),
                 delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
                 max_events: 50,
                 ..SimConfig::default()
-            },
-        );
+            })
+            .build();
         let outcome = sim.run();
         assert_eq!(outcome.stats.events_delivered, 50);
     }
@@ -637,12 +683,12 @@ mod tests {
             .collect();
         let mut m = PerPairDelay::uniform(2, RealDur::from_millis(9.0));
         m.set(ProcessId(0), ProcessId(1), RealDur::from_millis(11.0));
-        let mut sim = Simulation::new(
-            clocks,
-            procs,
-            Box::new(m),
-            vec![RealTime::ZERO; 2],
-            SimConfig {
+        let mut sim = SimBuilder::new()
+            .clocks(clocks)
+            .procs(procs)
+            .delay(m)
+            .starts(vec![RealTime::ZERO; 2])
+            .config(SimConfig {
                 t_end: RealTime::from_secs(1.0),
                 delay_bounds: DelayBounds::new(
                     RealDur::from_millis(10.0),
@@ -650,8 +696,8 @@ mod tests {
                 ),
                 trace_capacity: 100,
                 ..SimConfig::default()
-            },
-        );
+            })
+            .build();
         let outcome = sim.run();
         let deliver_at = outcome
             .trace

@@ -19,14 +19,31 @@
 //! * [`faults`] — crash / silence / spam wrappers and fault bookkeeping;
 //!   fully Byzantine behaviours are just alternative `Automaton`
 //!   implementations (they may send different lies to different peers).
-//! * [`Simulation`] — the executor: seeded, deterministic, recording the
-//!   correction history of every process so the analysis can reconstruct
-//!   each local-time function `L_p(t)` exactly.
+//! * [`Simulation`] — the executor: seeded, deterministic, streaming every
+//!   observable occurrence through its [`Observer`] so the analysis can
+//!   reconstruct each local-time function `L_p(t)` exactly.
+//!
+//! # The pluggable engine
+//!
+//! The executor is generic over three axes, all chosen through
+//! [`SimBuilder`] (see `docs/engine.md` for the contracts):
+//!
+//! * **Event queue** — anything implementing [`EventQueue`]:
+//!   [`HeapQueue`] (the default binary heap) or [`CalendarQueue`] (time
+//!   buckets tuned to the A3 bounded-delay band). All queues produce
+//!   byte-identical executions; they differ only in speed.
+//! * **Observer** — anything implementing [`Observer`]: the default
+//!   [`StdObservers`] bundle (counters + correction histories + bounded
+//!   trace), a [`NullObserver`] for measurement-free runs, a streaming
+//!   [`SkewProbe`], or any composition of sinks.
+//! * **Fleet** — the process collection: boxed trait objects
+//!   ([`DynFleet`]) for mixed fleets, or a `Vec<A>` of one concrete
+//!   automaton type for monomorphized dispatch.
 //!
 //! # Example
 //!
 //! ```
-//! use wl_sim::{Actions, Automaton, Input, ProcessId, Simulation, SimConfig};
+//! use wl_sim::{Actions, Automaton, Input, ProcessId, SimBuilder, SimConfig};
 //! use wl_sim::delay::{ConstantDelay, DelayBounds};
 //! use wl_clock::drift::DriftModel;
 //! use wl_time::{ClockTime, RealDur, RealTime};
@@ -47,20 +64,14 @@
 //! }
 //!
 //! let n = 3;
-//! let clocks = DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0);
-//! let procs: Vec<Box<dyn Automaton<Msg = _>>> =
-//!     (0..n).map(|_| Box::new(Hello(0)) as Box<dyn Automaton<Msg = _>>).collect();
-//! let mut sim = Simulation::new(
-//!     clocks,
-//!     procs,
-//!     Box::new(ConstantDelay::new(RealDur::from_millis(1.0))),
-//!     vec![RealTime::ZERO; n],
-//!     SimConfig {
-//!         t_end: RealTime::from_secs(1.0),
-//!         delay_bounds: DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO),
-//!         ..SimConfig::default()
-//!     },
-//! );
+//! let mut sim = SimBuilder::new()
+//!     .clocks(DriftModel::Ideal.build(n, &vec![ClockTime::ZERO; n], 0))
+//!     .fleet((0..n).map(|_| Hello(0)).collect::<Vec<_>>())
+//!     .delay(ConstantDelay::new(RealDur::from_millis(1.0)))
+//!     .starts(vec![RealTime::ZERO; n])
+//!     .t_end(RealTime::from_secs(1.0))
+//!     .delay_bounds(DelayBounds::new(RealDur::from_millis(1.0), RealDur::ZERO))
+//!     .build();
 //! let outcome = sim.run();
 //! assert_eq!(outcome.stats.messages_sent, 9); // 3 broadcasts x 3 receivers
 //! ```
@@ -68,16 +79,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 pub mod delay;
 mod event;
 mod executor;
 pub mod faults;
 mod history;
+pub mod observer;
+pub mod queue;
 pub mod trace;
 
+pub use builder::SimBuilder;
 pub use event::{EventClass, Input, QueuedEvent};
-pub use executor::{SimConfig, SimOutcome, SimStats, Simulation};
+pub use executor::{DynFleet, Fleet, SimConfig, SimOutcome, Simulation};
 pub use history::CorrectionHistory;
+pub use observer::{
+    CorrectionSink, Counters, NullObserver, Observer, SimStats, SkewProbe, StdObservers, TraceSink,
+};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue};
 
 use std::fmt;
 use wl_time::ClockTime;

@@ -1,0 +1,434 @@
+//! Pluggable event queues: the [`EventQueue`] trait and its two engine
+//! implementations.
+//!
+//! The executor only needs one thing from its pending-event store: *pop
+//! events in the model's delivery order* — ascending `(t', class, seq)`,
+//! where `class` realizes §2.3 property 4 (TIMERs sort after ordinary
+//! messages at the same instant) and `seq` is the deterministic FIFO
+//! tie-break. That order is **total** ([`QueuedEvent`]'s `Ord`), so any
+//! correct priority queue yields byte-identical executions — which is what
+//! lets the queue be swapped for performance without touching semantics
+//! (pinned by the `queue_parity` tests in `wl-harness`).
+//!
+//! * [`HeapQueue`] — a `BinaryHeap`, the historical default. `O(log n)`
+//!   push/pop, no tuning knobs.
+//! * [`CalendarQueue`] — a bucketed calendar queue (Brown 1988) tuned to
+//!   the paper's bounded-delay model: with every delay inside
+//!   `[δ−ε, δ+ε]` (A3) and timers one round apart, pending events cluster
+//!   in a narrow moving window, so hashing them into time buckets gives
+//!   `O(1)` expected push/pop.
+
+use crate::delay::DelayBounds;
+use crate::event::QueuedEvent;
+
+/// A pending-event store for the executor.
+///
+/// # Contract
+///
+/// `pop_next` must return the minimum remaining event under
+/// [`QueuedEvent`]'s total order, and implementations must be
+/// deterministic: the pop sequence is a pure function of the push
+/// sequence. The executor only ever pushes events at or after the
+/// timestamp of the last event popped (discrete-event causality);
+/// implementations may rely on that.
+pub trait EventQueue<M>: Send {
+    /// Inserts a scheduled delivery.
+    fn push(&mut self, ev: QueuedEvent<M>);
+
+    /// Removes and returns the next event in delivery order.
+    fn pop_next(&mut self) -> Option<QueuedEvent<M>>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The classic binary-heap queue (`BinaryHeap<Reverse<QueuedEvent>>`) —
+/// exactly the structure the executor used before queues were pluggable,
+/// preserving its pop order bit-for-bit.
+pub struct HeapQueue<M> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<QueuedEvent<M>>>,
+}
+
+impl<M> Default for HeapQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> HeapQueue<M> {
+    /// An empty heap queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for HeapQueue<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapQueue")
+            .field("len", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<M: Send> EventQueue<M> for HeapQueue<M> {
+    fn push(&mut self, ev: QueuedEvent<M>) {
+        self.heap.push(std::cmp::Reverse(ev));
+    }
+
+    fn pop_next(&mut self) -> Option<QueuedEvent<M>> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// A bucketed calendar queue.
+///
+/// Events hash into `buckets.len()` time buckets of width `width`; bucket
+/// `⌊t/width⌋ mod buckets.len()` holds the events of that time slot (and,
+/// modulo-aliased, of slots whole "years" later). Each bucket is a small
+/// min-heap, and a cursor walks slots in time order. When a whole year of
+/// slots is empty — a sparse far-future jump, e.g. the gap between two
+/// resynchronization rounds larger than the calendar — the queue falls
+/// back to a direct scan for the global minimum and jumps the cursor
+/// there.
+///
+/// Pop order is identical to [`HeapQueue`]: events at the same instant
+/// share a slot (and therefore a bucket), where the full
+/// `(t', class, seq)` order sorts them.
+///
+/// Two adaptive rules keep buckets small under the paper's workload —
+/// broadcast waves whose `n²` deliveries land inside one `2ε` window:
+/// the bucket count doubles when average occupancy exceeds four, and the
+/// bucket *width* halves when one slot collects a dense cluster of
+/// distinct timestamps. Both rules (and the cursor walk) depend only on
+/// the push sequence, so determinism is preserved.
+pub struct CalendarQueue<M> {
+    /// Each bucket a min-heap over the event order.
+    buckets: Vec<std::collections::BinaryHeap<std::cmp::Reverse<QueuedEvent<M>>>>,
+    /// Bucket width in seconds.
+    width: f64,
+    /// Total pending events.
+    len: usize,
+    /// The absolute slot number (`⌊t/width⌋`) the cursor is draining.
+    cur_slot: i64,
+}
+
+/// Occupancy of one slot above which the bucket width halves (if the
+/// cluster spans distinct timestamps — identical instants cannot be
+/// separated by any width).
+const DENSE_BUCKET: usize = 32;
+/// Smallest adaptive bucket width, seconds.
+const MIN_WIDTH: f64 = 1e-9;
+
+impl<M> std::fmt::Debug for CalendarQueue<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+impl<M> CalendarQueue<M> {
+    /// A calendar with the given bucket width (seconds) and initial bucket
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width > 0` and `nbuckets > 0`.
+    #[must_use]
+    pub fn new(width_secs: f64, nbuckets: usize) -> Self {
+        assert!(
+            width_secs > 0.0 && width_secs.is_finite(),
+            "bucket width must be positive and finite"
+        );
+        assert!(nbuckets > 0, "need at least one bucket");
+        Self {
+            buckets: (0..nbuckets)
+                .map(|_| std::collections::BinaryHeap::new())
+                .collect(),
+            width: width_secs,
+            len: 0,
+            cur_slot: 0,
+        }
+    }
+
+    /// A calendar tuned to a bounded-delay band (A3). The deliveries of
+    /// one broadcast wave spread over the `2ε` uncertainty window (every
+    /// delay lies in `[δ−ε, δ+ε]`), so the bucket width starts at a
+    /// quarter of `ε` — splitting a wave across ~8 slots — and the
+    /// adaptive rules refine it from there. With `ε = 0` all deliveries
+    /// of a wave share one instant and no width separates them; fall
+    /// back to a fraction of `δ`.
+    #[must_use]
+    pub fn for_bounds(bounds: &DelayBounds) -> Self {
+        let eps = bounds.eps.as_secs();
+        let width = if eps > 0.0 {
+            (eps / 4.0).max(MIN_WIDTH)
+        } else {
+            (bounds.delta.as_secs() / 8.0).max(1e-6)
+        };
+        Self::new(width, 512)
+    }
+
+    fn slot_of(&self, at: wl_time::RealTime) -> i64 {
+        let s = (at.as_secs() / self.width).floor();
+        // Clamp: only reachable with absurd horizons; keeps the cursor
+        // arithmetic finite.
+        if s >= i64::MAX as f64 {
+            i64::MAX - 1
+        } else if s <= i64::MIN as f64 {
+            i64::MIN + 1
+        } else {
+            s as i64
+        }
+    }
+
+    fn bucket_of(&self, slot: i64) -> usize {
+        slot.rem_euclid(self.buckets.len() as i64) as usize
+    }
+
+    /// Inserts without triggering resizes; returns the bucket index used.
+    fn insert(&mut self, ev: QueuedEvent<M>) -> usize {
+        let slot = self.slot_of(ev.at);
+        if self.len == 0 || slot < self.cur_slot {
+            self.cur_slot = slot;
+        }
+        let b = self.bucket_of(slot);
+        self.buckets[b].push(std::cmp::Reverse(ev));
+        self.len += 1;
+        b
+    }
+
+    /// Rehashes everything into `nbuckets` buckets of width `width`.
+    fn rebucket(&mut self, width: f64, nbuckets: usize) {
+        let mut all: Vec<QueuedEvent<M>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.extend(std::mem::take(b).into_iter().map(|r| r.0));
+        }
+        self.width = width;
+        self.buckets = (0..nbuckets)
+            .map(|_| std::collections::BinaryHeap::new())
+            .collect();
+        self.len = 0;
+        let cur = self.cur_slot;
+        for ev in all {
+            self.insert(ev);
+        }
+        if self.len == 0 {
+            // Nothing to re-place; keep the cursor where it was.
+            self.cur_slot = cur;
+        }
+    }
+}
+
+impl<M: Send> EventQueue<M> for CalendarQueue<M> {
+    fn push(&mut self, ev: QueuedEvent<M>) {
+        let at = ev.at;
+        let b = self.insert(ev);
+        if self.len > self.buckets.len() * 4 {
+            self.rebucket(self.width, self.buckets.len() * 2);
+        } else if self.width > MIN_WIDTH && self.buckets[b].len() > DENSE_BUCKET {
+            // A dense slot: halve the width, provided the cluster spans
+            // distinct timestamps (identical instants share a slot at
+            // every width, so splitting cannot separate them). Width
+            // halvings are bounded: log2(width / MIN_WIDTH) per queue.
+            let min = self.buckets[b].peek().expect("just inserted").0.at;
+            if at != min {
+                self.rebucket(self.width / 2.0, self.buckets.len());
+            }
+        }
+    }
+
+    fn pop_next(&mut self) -> Option<QueuedEvent<M>> {
+        if self.len == 0 {
+            return None;
+        }
+        // Walk slots in time order. A bucket's heap top is its minimum;
+        // it belongs to the current slot iff its slot number has been
+        // reached (events aliased from later years have larger slots).
+        for _ in 0..self.buckets.len() {
+            let b = self.bucket_of(self.cur_slot);
+            if let Some(top) = self.buckets[b].peek() {
+                if self.slot_of(top.0.at) <= self.cur_slot {
+                    self.len -= 1;
+                    return self.buckets[b].pop().map(|r| r.0);
+                }
+            }
+            self.cur_slot += 1;
+        }
+        // A full year was empty: jump straight to the global minimum.
+        let bi = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.peek().map(|e| (i, &e.0)))
+            .min_by(|(_, a), (_, b)| a.cmp(b))
+            .map(|(i, _)| i)?;
+        let at = self.buckets[bi].peek().expect("bucket nonempty").0.at;
+        self.cur_slot = self.slot_of(at);
+        self.len -= 1;
+        self.buckets[bi].pop().map(|r| r.0)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<M, Q: EventQueue<M> + ?Sized> EventQueue<M> for Box<Q> {
+    fn push(&mut self, ev: QueuedEvent<M>) {
+        (**self).push(ev);
+    }
+    fn pop_next(&mut self) -> Option<QueuedEvent<M>> {
+        (**self).pop_next()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventClass, Input};
+    use crate::ProcessId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wl_time::RealTime;
+
+    fn ev(at: f64, class: EventClass, seq: u64) -> QueuedEvent<u32> {
+        QueuedEvent {
+            at: RealTime::from_secs(at),
+            class,
+            seq,
+            to: ProcessId(0),
+            input: Input::Timer,
+        }
+    }
+
+    /// Drains both queues under an identical randomized push/pop schedule
+    /// and asserts identical pop sequences.
+    fn parity_run(seed: u64, width: f64, nbuckets: usize) {
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new(width, nbuckets);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = 0u64;
+        let mut now = 0.0f64;
+        for _ in 0..2000 {
+            if rng.gen_range(0..3) < 2 || heap.len() == 0 {
+                // Push an event at or after `now` (DES causality), with
+                // occasional exact-tie timestamps and far-future jumps.
+                let dt = match rng.gen_range(0u32..10) {
+                    0 => 0.0,
+                    9 => rng.gen_range(0.0..50.0),
+                    _ => rng.gen_range(0.0..0.02),
+                };
+                let class = if rng.gen_range(0..4) == 0 {
+                    EventClass::Timer
+                } else {
+                    EventClass::Normal
+                };
+                let e = ev(now + dt, class, seq);
+                seq += 1;
+                heap.push(e.clone());
+                cal.push(e);
+            } else {
+                let a = heap.pop_next().expect("heap nonempty");
+                let b = cal.pop_next().expect("calendar nonempty");
+                assert_eq!(a.seq, b.seq, "pop order diverged at t={}", a.at);
+                now = a.at.as_secs();
+            }
+        }
+        while let Some(a) = heap.pop_next() {
+            let b = cal.pop_next().expect("calendar drained early");
+            assert_eq!(a.seq, b.seq);
+        }
+        assert!(cal.pop_next().is_none());
+    }
+
+    #[test]
+    fn calendar_matches_heap_order_randomized() {
+        for seed in [1u64, 7, 99] {
+            parity_run(seed, 0.005, 64);
+        }
+    }
+
+    #[test]
+    fn calendar_matches_heap_with_tiny_calendar() {
+        // Few buckets => heavy aliasing and frequent grow(); order must
+        // still match.
+        parity_run(3, 0.001, 2);
+    }
+
+    #[test]
+    fn calendar_matches_heap_with_huge_buckets() {
+        // Width so large everything lands in one slot.
+        parity_run(4, 1e6, 8);
+    }
+
+    #[test]
+    fn ties_pop_in_class_then_seq_order() {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new(0.01, 16);
+        cal.push(ev(1.0, EventClass::Timer, 0));
+        cal.push(ev(1.0, EventClass::Normal, 2));
+        cal.push(ev(1.0, EventClass::Normal, 1));
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop_next())
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sparse_far_future_jump() {
+        // One event years past the calendar horizon: the year-scan fails
+        // and the direct-search fallback must find it.
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new(0.001, 4);
+        cal.push(ev(0.0005, EventClass::Normal, 0));
+        cal.push(ev(1000.0, EventClass::Normal, 1));
+        assert_eq!(cal.pop_next().unwrap().seq, 0);
+        assert_eq!(cal.pop_next().unwrap().seq, 1);
+        assert!(cal.pop_next().is_none());
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new(0.01, 1);
+        for i in 0..100 {
+            cal.push(ev(i as f64 * 0.003, EventClass::Normal, i));
+        }
+        assert!(cal.buckets.len() > 1, "queue should have grown");
+        assert_eq!(cal.len(), 100);
+        let popped: Vec<u64> = std::iter::from_fn(|| cal.pop_next())
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_bounds_width_tracks_band() {
+        let b = DelayBounds::new(
+            wl_time::RealDur::from_millis(10.0),
+            wl_time::RealDur::from_millis(1.0),
+        );
+        let cal: CalendarQueue<u32> = CalendarQueue::for_bounds(&b);
+        assert!((cal.width - 0.001 / 4.0).abs() < 1e-12);
+        // Zero uncertainty: falls back to a fraction of delta.
+        let b0 = DelayBounds::new(wl_time::RealDur::from_millis(8.0), wl_time::RealDur::ZERO);
+        let cal0: CalendarQueue<u32> = CalendarQueue::for_bounds(&b0);
+        assert!((cal0.width - 0.008 / 8.0).abs() < 1e-12);
+    }
+}

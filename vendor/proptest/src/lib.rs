@@ -69,7 +69,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by the `prop_oneof!` macro).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -125,7 +125,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among several strategies (see [`prop_oneof!`]).
+    /// Uniform choice among several strategies (see the `prop_oneof!` macro).
     pub struct Union<V> {
         options: Vec<BoxedStrategy<V>>,
     }
@@ -196,7 +196,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Accepted sizes for [`vec`]: an exact length or a half-open range.
+    /// Accepted sizes for [`vec()`]: an exact length or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -219,7 +219,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
