@@ -1,14 +1,25 @@
-//! SweepRunner throughput: a 64-scenario maintenance grid, serial vs
-//! parallel — the benchmark backing the harness's scaling claim.
+//! SweepRunner throughput: a 64-scenario maintenance grid — serial vs
+//! parallel, cold vs warm cache, instrumented vs unobserved.
 //!
-//! Expected shape: the parallel runner approaches `min(cores, 64)`×
-//! the serial wall-clock (each grid point is an independent
-//! discrete-event simulation; there is no shared state).
+//! Expected shapes:
+//!
+//! * **parallel / serial** approaches `min(cores, 64)`× (each grid point
+//!   is an independent discrete-event simulation; no shared state) —
+//!   subject to the dev-container throttling caveat in PERF.md;
+//! * **warm cache / cold** collapses to lookup cost: a warm
+//!   [`SweepCache`] serves all 64 points without a single simulator
+//!   execution, and a disk round trip (`SweepStore` save + open +
+//!   rehydrate) adds only file I/O;
+//! * **unobserved floor**: `run::drive_unobserved` (NullObserver +
+//!   monomorphized `Vec<Maintenance>` fleet) bounds how fast the engine
+//!   can go with every measurement cost removed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wl_core::Params;
-use wl_harness::{derive_seed, DelayKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{
+    derive_seed, run, DelayKind, Maintenance, ScenarioSpec, SweepCache, SweepRunner, SweepStore,
+};
 use wl_time::RealTime;
 
 const GRID: u64 = 64;
@@ -39,9 +50,32 @@ fn bench_sweep(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("parallel", GRID), &(), |b, ()| {
         b.iter(|| black_box(SweepRunner::new().sweep::<Maintenance>(grid())));
     });
+    group.bench_with_input(BenchmarkId::new("cold_cache", GRID), &(), |b, ()| {
+        // Fresh cache every iteration: sweep + memoization overhead.
+        b.iter(|| {
+            let cache = SweepCache::new();
+            black_box(SweepRunner::new().sweep_cached::<Maintenance>(grid(), &cache))
+        });
+    });
+    let warm = SweepCache::new();
+    let _ = SweepRunner::new().sweep_cached::<Maintenance>(grid(), &warm);
+    group.bench_with_input(BenchmarkId::new("warm_cache", GRID), &(), |b, ()| {
+        b.iter(|| black_box(SweepRunner::new().sweep_cached::<Maintenance>(grid(), &warm)));
+    });
+    group.bench_with_input(BenchmarkId::new("unobserved_floor", GRID), &(), |b, ()| {
+        // NullObserver + monomorphized Vec<Maintenance>: the engine with
+        // all measurement externalized.
+        b.iter(|| {
+            let events: u64 = grid()
+                .iter()
+                .map(|s| run::drive_unobserved::<Maintenance>(s).expect("fault-free grid"))
+                .sum();
+            black_box(events)
+        });
+    });
     group.finish();
 
-    // Print the headline number the acceptance criterion cares about.
+    // Print the headline numbers the PERF.md trajectory tracks.
     let t0 = std::time::Instant::now();
     black_box(SweepRunner::serial().sweep::<Maintenance>(grid()));
     let serial = t0.elapsed();
@@ -52,6 +86,44 @@ fn bench_sweep(c: &mut Criterion) {
         "sweep speedup: serial {serial:?} / parallel {parallel:?} = {:.2}x on {} workers",
         serial.as_secs_f64() / parallel.as_secs_f64(),
         SweepRunner::new().threads(),
+    );
+
+    let t2 = std::time::Instant::now();
+    black_box(SweepRunner::new().sweep_cached::<Maintenance>(grid(), &warm));
+    let warm_dt = t2.elapsed();
+    println!(
+        "cache: cold {serial:?} -> warm {warm_dt:?} = {:.0}x ({} hits, 0 sims)",
+        serial.as_secs_f64() / warm_dt.as_secs_f64(),
+        GRID,
+    );
+
+    // Disk round trip: absorb + save + reopen + rehydrate + serve all 64.
+    let path = std::env::temp_dir().join(format!("wl-bench-{}.wls", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let t3 = std::time::Instant::now();
+    let mut store = SweepStore::open(&path).expect("open store");
+    store.absorb(&warm);
+    store.save().expect("save store");
+    let reopened = SweepStore::open(&path).expect("reopen store");
+    let hydrated = reopened.hydrate();
+    black_box(SweepRunner::new().sweep_cached::<Maintenance>(grid(), &hydrated));
+    let disk_dt = t3.elapsed();
+    println!(
+        "disk round trip (save + load + serve {GRID}): {disk_dt:?}, {} records, {} bytes",
+        reopened.len(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+    );
+    let _ = std::fs::remove_file(&path);
+
+    let t4 = std::time::Instant::now();
+    let events: u64 = grid()
+        .iter()
+        .map(|s| run::drive_unobserved::<Maintenance>(s).expect("fault-free grid"))
+        .sum();
+    let floor = t4.elapsed();
+    println!(
+        "unobserved floor: {events} events in {floor:?} = {:.1} Mev/s (serial, NullObserver + Vec<Maintenance>)",
+        events as f64 / floor.as_secs_f64() / 1e6,
     );
 }
 

@@ -4,12 +4,15 @@
 //! compares against `(1+ρ)(β+ε)+ρδ`. §10 summarizes the steady-state
 //! adjustment as "about 5ε".
 //!
+//! The sweep goes through the shared disk cache (`WL_SWEEP_CACHE_DIR`);
+//! repeat runs serve every case from it without simulating.
+//!
 //! Run: `cargo run --release -p bench --bin exp_adjustment`
 
 use bench::{default_params, fs};
 use wl_analysis::report::Table;
 use wl_core::theory;
-use wl_harness::{assemble, run, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
@@ -67,23 +70,26 @@ fn main() {
         specs.push(spec);
     }
 
-    let summaries = SweepRunner::new().run(specs, |_, spec| {
-        run::run_summary(assemble::<Maintenance>(spec), t_end)
-    });
+    let mut disk = DiskSweepCache::open_shared();
+    let outcomes = SweepRunner::new().sweep_cached::<Maintenance>(specs, disk.cache());
 
-    for (&(name, n, f, bound, five_eps), s) in rows.iter().zip(&summaries) {
+    for (&(name, n, f, bound, five_eps), o) in rows.iter().zip(&outcomes) {
         table.row_owned(vec![
             name.to_string(),
             n.to_string(),
             f.to_string(),
-            fs(s.adjustments.max_abs),
-            fs(s.adjustments.mean_abs),
+            fs(o.max_abs_adjustment),
+            fs(o.mean_abs_adjustment),
             fs(bound),
             fs(five_eps),
-            s.adjustments.holds.to_string(),
+            o.adjustment_holds.to_string(),
         ]);
     }
     println!("{table}");
+    eprintln!("{}", disk.status());
+    if let Err(e) = disk.persist() {
+        eprintln!("warning: could not persist sweep cache: {e}");
+    }
     let _ = table.save_csv("target/exp_adjustment.csv");
     println!("(CSV saved to target/exp_adjustment.csv)");
 }

@@ -7,14 +7,17 @@
 //!
 //! The 48-point grid is specified declaratively as `ScenarioSpec`s and
 //! fanned across every core by `SweepRunner`; results are identical at
-//! any thread count.
+//! any thread count. The sweep runs through the shared disk cache
+//! (`WL_SWEEP_CACHE_DIR`, see `docs/sweeps.md`): a repeat run — or any
+//! other experiment that already visited one of these grid points —
+//! skips its simulations entirely.
 //!
 //! Run: `cargo run --release -p bench --bin exp_agreement`
 
 use bench::fs;
 use wl_analysis::report::Table;
 use wl_core::{theory, Params};
-use wl_harness::{assemble, run, DelayKind, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
@@ -92,13 +95,15 @@ fn main() {
         }
     }
 
-    let summaries = SweepRunner::new()
-        .run(cases.iter().map(|c| c.spec.clone()).collect(), |_, spec| {
-            run::run_summary(assemble::<Maintenance>(spec), t_end)
-        });
+    let mut disk = DiskSweepCache::open_shared();
+    let outcomes = SweepRunner::new()
+        .sweep_cached::<Maintenance>(cases.iter().map(|c| c.spec.clone()).collect(), disk.cache());
 
-    for (case, s) in cases.iter().zip(&summaries) {
-        assert_eq!(s.stats.timers_suppressed, 0);
+    for (case, o) in cases.iter().zip(&outcomes) {
+        assert_eq!(o.stats.timers_suppressed, 0);
+        // check_agreement's tightness: max_skew / gamma (gamma > 0 always
+        // holds for these feasible parameter sets).
+        let tightness = o.max_skew / case.gamma;
         table.row_owned(vec![
             case.n.to_string(),
             case.f.to_string(),
@@ -106,14 +111,18 @@ fn main() {
             fs(case.eps),
             format!("{:?}", case.delay),
             case.fault_desc.clone(),
-            fs(s.agreement.max_skew),
-            fs(s.agreement.steady_skew),
+            fs(o.max_skew),
+            fs(o.steady_skew),
             fs(case.gamma),
-            format!("{:.2}", s.agreement.tightness),
-            s.agreement.holds.to_string(),
+            format!("{tightness:.2}"),
+            o.agreement_holds.to_string(),
         ]);
     }
     println!("{table}");
+    eprintln!("{}", disk.status());
+    if let Err(e) = disk.persist() {
+        eprintln!("warning: could not persist sweep cache: {e}");
+    }
     let _ = table.save_csv("target/exp_agreement.csv");
     println!("(CSV saved to target/exp_agreement.csv)");
 }

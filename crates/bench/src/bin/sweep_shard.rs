@@ -1,0 +1,148 @@
+//! Shard-and-merge driver for distributed sweeps — and the CI smoke test
+//! for the determinism contract behind them (`docs/sweeps.md`).
+//!
+//! Runs a fixed demonstration grid (or `--grid N` points of it) as one
+//! shard of `N`, persisting the shard's results to its own store file;
+//! a separate invocation merges shard stores into one. Because store
+//! files are canonical (records sorted, engine-versioned, checksummed),
+//! **the merge of the shard stores is byte-identical to the store a
+//! single unsharded run writes** — CI runs both and `cmp`s the files:
+//!
+//! ```text
+//! sweep_shard --shard 0/2 --store a.wls
+//! sweep_shard --shard 1/2 --store b.wls        # other process/machine
+//! sweep_shard --merge merged.wls a.wls b.wls
+//! sweep_shard --shard 0/1 --store full.wls     # the 1-process reference
+//! cmp merged.wls full.wls
+//! ```
+
+use wl_core::Params;
+use wl_harness::{
+    derive_seed, DelayKind, Maintenance, ScenarioSpec, Shard, SweepCache, SweepRunner, SweepStore,
+    SweepSummary,
+};
+use wl_time::RealTime;
+
+const DEFAULT_GRID: usize = 24;
+
+/// The fixed demo grid: the same shape the sweep bench uses — three
+/// delay models round-robined over machine-independent seeds.
+fn demo_grid(size: usize) -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).expect("feasible parameters");
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..size)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0x5AAD_BA5E, i as u64))
+                .delay(delays[i % 3])
+                .t_end(RealTime::from_secs(2.0))
+        })
+        .collect()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE]\n  \
+         sweep_shard --merge OUT IN1 IN2 [IN3 ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--shard") => run_shard(&args[1..]),
+        Some("--merge") => run_merge(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_shard(args: &[String]) {
+    let mut it = args.iter();
+    let shard: Shard = it
+        .next()
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("bad shard: {e}");
+            std::process::exit(2)
+        });
+    let mut store_path: Option<String> = None;
+    let mut grid_size = DEFAULT_GRID;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => store_path = it.next().cloned(),
+            "--grid" => {
+                grid_size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let store_path = store_path.unwrap_or_else(|| usage());
+
+    let mut store = SweepStore::open(&store_path).unwrap_or_else(|e| {
+        eprintln!("cannot open store {store_path}: {e}");
+        std::process::exit(1)
+    });
+    let cache: SweepCache = store.hydrate();
+    let outcomes =
+        SweepRunner::new().sweep_sharded_cached::<Maintenance>(demo_grid(grid_size), shard, &cache);
+    let summary = SweepSummary::collect(&outcomes);
+    let added = store.absorb(&cache);
+    store.save().unwrap_or_else(|e| {
+        eprintln!("cannot save store {store_path}: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "shard {shard}: {} grid points ({} hits, {} misses), {} events, all-agree {}; \
+         {added} records written to {store_path}",
+        outcomes.len(),
+        cache.hits(),
+        cache.misses(),
+        summary.events,
+        summary.all_hold(),
+    );
+}
+
+fn run_merge(args: &[String]) {
+    let [out, inputs @ ..] = args else { usage() };
+    if inputs.len() < 2 {
+        usage();
+    }
+    let mut merged = SweepStore::new();
+    for input in inputs {
+        let shard_store = SweepStore::open(input).unwrap_or_else(|e| {
+            eprintln!("cannot open shard store {input}: {e}");
+            std::process::exit(1)
+        });
+        if shard_store.skipped_lines() > 0 || shard_store.stale_records() > 0 {
+            eprintln!(
+                "warning: {input}: skipped {} corrupt line(s), {} stale record(s)",
+                shard_store.skipped_lines(),
+                shard_store.stale_records()
+            );
+        }
+        match merged.merge_from(&shard_store) {
+            Ok(stats) => println!(
+                "merged {input}: {} added, {} agreed",
+                stats.added, stats.agreed
+            ),
+            Err(conflict) => {
+                eprintln!("merge conflict: {conflict}");
+                std::process::exit(1);
+            }
+        }
+    }
+    merged.save_to(out).unwrap_or_else(|e| {
+        eprintln!("cannot save merged store {out}: {e}");
+        std::process::exit(1)
+    });
+    println!("merged store: {} records -> {out}", merged.len());
+}

@@ -86,6 +86,25 @@ pub trait SyncAlgorithm {
         ctx: &AssemblyCtx<'_>,
     ) -> Box<dyn Automaton<Msg = Self::Msg>>;
 
+    /// The *unboxed* correct-process automaton, when the implementing
+    /// type is itself that automaton — which is the pattern every
+    /// algorithm in this workspace follows. Enables the monomorphized
+    /// `Vec<Self>` fleet fast path ([`crate::assemble_mono`]): fault-free
+    /// fleets skip the per-event virtual dispatch of `Box<dyn Automaton>`
+    /// entirely. `None` (the default) opts out; the assembly then falls
+    /// back to the boxed path, which is always available.
+    ///
+    /// Implementations must build **exactly** the automaton
+    /// [`SyncAlgorithm::correct`] would box: the two paths are pinned
+    /// byte-identical by the sweep parity tests.
+    fn correct_mono(spec: &ScenarioSpec, id: ProcessId, ctx: &AssemblyCtx<'_>) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = (spec, id, ctx);
+        None
+    }
+
     /// The automaton realizing `kind` for a designated-faulty process.
     ///
     /// # Panics
@@ -166,6 +185,10 @@ impl SyncAlgorithm for Maintenance {
         _ctx: &AssemblyCtx<'_>,
     ) -> Box<dyn Automaton<Msg = WlMsg>> {
         Box::new(Maintenance::new(id, spec.params.clone(), 0.0))
+    }
+
+    fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
+        Some(Maintenance::new(id, spec.params.clone(), 0.0))
     }
 
     fn faulty(
@@ -284,6 +307,14 @@ impl SyncAlgorithm for Startup {
         ))
     }
 
+    fn correct_mono(spec: &ScenarioSpec, id: ProcessId, ctx: &AssemblyCtx<'_>) -> Option<Self> {
+        Some(Startup::new(
+            id,
+            spec.startup_params(),
+            ctx.initial_corrs[id.index()],
+        ))
+    }
+
     fn faulty(
         _spec: &ScenarioSpec,
         _id: ProcessId,
@@ -319,6 +350,10 @@ impl SyncAlgorithm for LmCnv {
         _ctx: &AssemblyCtx<'_>,
     ) -> Box<dyn Automaton<Msg = CnvMsg>> {
         Box::new(LmCnv::new(id, spec.params.clone(), 0.0))
+    }
+
+    fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
+        Some(LmCnv::new(id, spec.params.clone(), 0.0))
     }
 
     fn faulty(
@@ -359,6 +394,10 @@ impl SyncAlgorithm for MahaneySchneider {
         Box::new(MahaneySchneider::new(id, spec.params.clone(), 0.0))
     }
 
+    fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
+        Some(MahaneySchneider::new(id, spec.params.clone(), 0.0))
+    }
+
     fn faulty(
         spec: &ScenarioSpec,
         _id: ProcessId,
@@ -397,6 +436,10 @@ impl SyncAlgorithm for SrikanthToueg {
         _ctx: &AssemblyCtx<'_>,
     ) -> Box<dyn Automaton<Msg = StMsg>> {
         Box::new(SrikanthToueg::new(id, spec.params.clone(), 0.0))
+    }
+
+    fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
+        Some(SrikanthToueg::new(id, spec.params.clone(), 0.0))
     }
 
     fn faulty(

@@ -10,12 +10,14 @@ use crate::algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
 use crate::spec::{DelayKind, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wl_clock::drift::FleetClock;
 use wl_clock::Clock;
 use wl_core::Params;
-use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, UniformDelay};
+use wl_sim::delay::{AdversarialSplitDelay, ConstantDelay, DelayModel, UniformDelay};
 use wl_sim::faults::FaultPlan;
 use wl_sim::{
-    Automaton, CalendarQueue, EventQueue, HeapQueue, ProcessId, SimBuilder, SimConfig, Simulation,
+    Automaton, CalendarQueue, CorrectionSink, Counters, EventQueue, HeapQueue, NullObserver,
+    Observer, ProcessId, SimBuilder, SimConfig, Simulation,
 };
 use wl_time::{ClockTime, RealTime};
 
@@ -94,6 +96,73 @@ pub fn assemble_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
     spec: &ScenarioSpec,
     queue: Q,
 ) -> BuiltScenario<A::Msg, Q> {
+    let AssemblyParts {
+        clocks,
+        starts,
+        initial_corrs,
+        sim_seed,
+        plan,
+    } = assembly_parts::<A>(spec);
+
+    let ctx = AssemblyCtx {
+        clocks: &clocks,
+        initial_corrs: &initial_corrs,
+    };
+    let n = spec.params.n;
+    let mut starts_adj = starts.clone();
+    let mut procs: Vec<Box<dyn Automaton<Msg = A::Msg>>> = Vec::with_capacity(n);
+    for (i, start_slot) in starts_adj.iter_mut().enumerate() {
+        let id = ProcessId(i);
+        let fault = spec
+            .faults
+            .iter()
+            .find(|&&(fid, _)| fid == id)
+            .map(|&(_, k)| k);
+        let is_rejoiner = spec.rejoiner.map(|(rid, _)| rid) == Some(id);
+        let auto: Box<dyn Automaton<Msg = A::Msg>> = if is_rejoiner {
+            let (_, repair_at) = spec.rejoiner.expect("checked above");
+            *start_slot = repair_at;
+            A::rejoiner_automaton(spec, id)
+                .unwrap_or_else(|| panic!("{} does not support rejoiners", A::NAME))
+        } else if let Some(kind) = fault {
+            A::faulty(spec, id, kind, &ctx)
+        } else {
+            A::correct(spec, id, &ctx)
+        };
+        procs.push(auto);
+    }
+
+    let sim = SimBuilder::new()
+        .clocks(clocks)
+        .procs(procs)
+        .starts(starts_adj)
+        .fault_plan(plan.clone())
+        .config(sim_config(spec, sim_seed))
+        .delay_boxed(delay_model(spec))
+        .build_with_queue(queue);
+
+    BuiltScenario {
+        sim,
+        plan,
+        params: spec.params.clone(),
+        starts,
+        initial_corrs,
+    }
+}
+
+/// The algorithm-independent half of an assembly: clocks, START times,
+/// initial corrections, the salted simulator seed, and the fault plan.
+/// One RNG draw order, shared verbatim by the boxed and monomorphized
+/// paths — byte-identical executions are a consequence, not a hope.
+struct AssemblyParts {
+    clocks: Vec<FleetClock>,
+    starts: Vec<RealTime>,
+    initial_corrs: Vec<f64>,
+    sim_seed: u64,
+    plan: FaultPlan,
+}
+
+fn assembly_parts<A: SyncAlgorithm>(spec: &ScenarioSpec) -> AssemblyParts {
     A::validate(spec);
     let p = &spec.params;
     let n = p.n;
@@ -145,63 +214,151 @@ pub fn assemble_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
     }
     let plan = FaultPlan::with_faulty(n, &faulty_ids);
 
-    let ctx = AssemblyCtx {
-        clocks: &clocks,
-        initial_corrs: &initial_corrs,
-    };
-    let mut starts_adj = starts.clone();
-    let mut procs: Vec<Box<dyn Automaton<Msg = A::Msg>>> = Vec::with_capacity(n);
-    for (i, start_slot) in starts_adj.iter_mut().enumerate() {
-        let id = ProcessId(i);
-        let fault = spec
-            .faults
-            .iter()
-            .find(|&&(fid, _)| fid == id)
-            .map(|&(_, k)| k);
-        let is_rejoiner = spec.rejoiner.map(|(rid, _)| rid) == Some(id);
-        let auto: Box<dyn Automaton<Msg = A::Msg>> = if is_rejoiner {
-            let (_, repair_at) = spec.rejoiner.expect("checked above");
-            *start_slot = repair_at;
-            A::rejoiner_automaton(spec, id)
-                .unwrap_or_else(|| panic!("{} does not support rejoiners", A::NAME))
-        } else if let Some(kind) = fault {
-            A::faulty(spec, id, kind, &ctx)
-        } else {
-            A::correct(spec, id, &ctx)
-        };
-        procs.push(auto);
-    }
-
-    let builder = SimBuilder::new()
-        .clocks(clocks)
-        .procs(procs)
-        .starts(starts_adj)
-        .fault_plan(plan.clone())
-        .config(SimConfig {
-            t_end: spec.t_end,
-            seed: sim_seed,
-            delay_bounds: p.delay_bounds(),
-            trace_capacity: spec.trace_capacity,
-            max_events: spec.max_events,
-        });
-    let builder = match spec.delay {
-        DelayKind::Constant => {
-            builder.delay(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta)))
-        }
-        DelayKind::Uniform => builder.delay(UniformDelay::new(p.delay_bounds())),
-        DelayKind::AdversarialSplit => {
-            builder.delay(AdversarialSplitDelay::new(p.delay_bounds(), n / 2))
-        }
-    };
-    let sim = builder.build_with_queue(queue);
-
-    BuiltScenario {
-        sim,
-        plan,
-        params: spec.params.clone(),
+    AssemblyParts {
+        clocks,
         starts,
         initial_corrs,
+        sim_seed,
+        plan,
     }
+}
+
+fn sim_config(spec: &ScenarioSpec, sim_seed: u64) -> SimConfig {
+    SimConfig {
+        t_end: spec.t_end,
+        seed: sim_seed,
+        delay_bounds: spec.params.delay_bounds(),
+        trace_capacity: spec.trace_capacity,
+        max_events: spec.max_events,
+    }
+}
+
+fn delay_model(spec: &ScenarioSpec) -> Box<dyn DelayModel> {
+    let p = &spec.params;
+    match spec.delay {
+        DelayKind::Constant => Box::new(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta))),
+        DelayKind::Uniform => Box::new(UniformDelay::new(p.delay_bounds())),
+        DelayKind::AdversarialSplit => {
+            Box::new(AdversarialSplitDelay::new(p.delay_bounds(), p.n / 2))
+        }
+    }
+}
+
+/// The simulation type of the monomorphized fast path: algorithm `A`'s
+/// message type, the default heap queue, observer `O`, and a `Vec<A>`
+/// fleet.
+pub type MonoSimulation<A, O> =
+    Simulation<<A as SyncAlgorithm>::Msg, HeapQueue<<A as SyncAlgorithm>::Msg>, O, Vec<A>>;
+
+/// A scenario assembled on the monomorphized fast path: a `Vec<A>` fleet
+/// (no per-event virtual dispatch) under a `(Counters, CorrectionSink)`
+/// observer pair (no trace machinery). Produced by [`assemble_mono`];
+/// executions are byte-identical to the boxed [`assemble`] path.
+pub struct MonoScenario<A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>> {
+    /// The simulation, ready to [`Simulation::drive`].
+    pub sim: MonoSimulation<A, (Counters, CorrectionSink)>,
+    /// Which processes are designated faulty (always none on this path).
+    pub plan: FaultPlan,
+    /// The parameters the scenario was built from.
+    pub params: Params,
+    /// The A4 start times `t⁰_p` (see [`BuiltScenario::starts`]).
+    pub starts: Vec<RealTime>,
+    /// Initial corrections per process (all zero unless cold-starting).
+    pub initial_corrs: Vec<f64>,
+}
+
+/// Assembles `spec` on the monomorphized fast path, if it qualifies.
+///
+/// Qualifying specs are the all-correct ones — no faults, no rejoiner,
+/// tracing disabled — under an algorithm that offers
+/// [`SyncAlgorithm::correct_mono`]. Everything else returns `None` and
+/// callers fall back to [`assemble`]; [`crate::SweepRunner`] does this
+/// per grid point, so mixed fault/fault-free grids take the fast path
+/// exactly where it applies.
+///
+/// The RNG draw order, simulator seed, delay model, and fault plan are
+/// shared with [`assemble`] (one `assembly_parts` body), so the two
+/// paths produce bit-identical executions — pinned by the
+/// `mono_path_bit_identical_to_boxed` sweep test.
+#[must_use]
+pub fn assemble_mono<A>(spec: &ScenarioSpec) -> Option<MonoScenario<A>>
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    let (parts, fleet) = mono_parts::<A>(spec)?;
+    let observers = (Counters::new(), CorrectionSink::new(&parts.initial_corrs));
+    let sim = SimBuilder::new()
+        .clocks(parts.clocks)
+        .fleet(fleet)
+        .starts(parts.starts.clone())
+        .fault_plan(parts.plan.clone())
+        .config(sim_config(spec, parts.sim_seed))
+        .delay_boxed(delay_model(spec))
+        .build_with(HeapQueue::new(), observers);
+    Some(MonoScenario {
+        sim,
+        plan: parts.plan,
+        params: spec.params.clone(),
+        starts: parts.starts,
+        initial_corrs: parts.initial_corrs,
+    })
+}
+
+/// [`assemble_mono`] under a caller-chosen observer — the fully
+/// measurement-free variant with [`NullObserver`] is what the raw
+/// Monte Carlo throughput benchmarks use (`bench/benches/sweep.rs`).
+///
+/// Returns `None` under exactly the same conditions as
+/// [`assemble_mono`].
+#[must_use]
+pub fn assemble_mono_observed<A, O>(
+    spec: &ScenarioSpec,
+    observer: O,
+) -> Option<MonoSimulation<A, O>>
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+    O: Observer<<A as SyncAlgorithm>::Msg>,
+{
+    let (parts, fleet) = mono_parts::<A>(spec)?;
+    Some(
+        SimBuilder::new()
+            .clocks(parts.clocks)
+            .fleet(fleet)
+            .starts(parts.starts)
+            .fault_plan(parts.plan)
+            .config(sim_config(spec, parts.sim_seed))
+            .delay_boxed(delay_model(spec))
+            .build_with(HeapQueue::new(), observer),
+    )
+}
+
+/// [`assemble_mono_observed`] with [`NullObserver`]: zero per-event
+/// measurement work. The engine's own `events_delivered` counter is the
+/// only instrument left.
+#[must_use]
+pub fn assemble_mono_null<A>(spec: &ScenarioSpec) -> Option<MonoSimulation<A, NullObserver>>
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    assemble_mono_observed::<A, _>(spec, NullObserver)
+}
+
+fn mono_parts<A>(spec: &ScenarioSpec) -> Option<(AssemblyParts, Vec<A>)>
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    if !spec.faults.is_empty() || spec.rejoiner.is_some() || spec.trace_capacity != 0 {
+        return None;
+    }
+    let parts = assembly_parts::<A>(spec);
+    let ctx = AssemblyCtx {
+        clocks: &parts.clocks,
+        initial_corrs: &parts.initial_corrs,
+    };
+    let fleet: Option<Vec<A>> = (0..spec.params.n)
+        .map(|i| A::correct_mono(spec, ProcessId(i), &ctx))
+        .collect();
+    Some((parts, fleet?))
 }
 
 #[cfg(test)]

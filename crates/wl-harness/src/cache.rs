@@ -1,0 +1,1448 @@
+//! Disk persistence for [`SweepCache`]: a content-addressed, append-only
+//! record store shared across experiment binaries and machines.
+//!
+//! Sweeps are pure functions of their specs (`docs/sweeps.md` spells out
+//! the contract), so their results are cacheable *forever* — as long as
+//! three identities line up:
+//!
+//! 1. **the spec** — keyed by [`ScenarioSpec::content_hash`] and
+//!    confirmed byte-for-byte against a canonical serialization of the
+//!    spec (a hash collision degrades to a miss, never a wrong result);
+//! 2. **the algorithm** — the [`SyncAlgorithm::NAME`] string;
+//! 3. **the engine** — [`ENGINE_VERSION`], bumped whenever simulator
+//!    semantics, seed derivation, or the canonical encoding change.
+//!    Records from another engine version are *stale* and ignored.
+//!
+//! [`SweepStore`] owns the file format: one human-greppable text record
+//! per `(spec, algorithm)` pair, each line carrying its own checksum.
+//! Loading tolerates arbitrary corruption (truncated tails, mangled
+//! lines, foreign files) by skipping what it cannot verify; saving
+//! writes the whole store to a temp file and atomically renames it, so
+//! readers never observe a half-written store. Records are written in
+//! sorted key order, which makes store files *canonical*: merging shard
+//! stores and then saving yields byte-for-byte the file an unsharded
+//! run would have produced — CI diffs the two.
+//!
+//! Serialization uses the workspace's vendored `serde` (`Serialize`
+//! half) through [`canon_string`]; the vendored shim's `Deserialize` is
+//! compile-only by design, so loading goes through a small hand-rolled
+//! parser over the same canonical grammar, pinned by round-trip tests.
+//!
+//! [`ScenarioSpec::content_hash`]: crate::ScenarioSpec::content_hash
+//! [`SyncAlgorithm::NAME`]: crate::SyncAlgorithm::NAME
+
+use crate::sweep::{SweepCache, SweepOutcome};
+use serde::ser::{
+    SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
+    SerializeTupleStruct, SerializeTupleVariant,
+};
+use serde::{Serialize, Serializer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use wl_sim::SimStats;
+
+/// The engine-semantics version stamped into every persisted record.
+///
+/// Cached results are only valid while executions remain bit-for-bit
+/// reproducible, so **bump this** whenever anything that feeds an
+/// execution changes: simulator event ordering, RNG draw order in
+/// assembly, [`derive_seed`](crate::derive_seed), the spec hash, the
+/// canonical encoding, or the [`SweepOutcome`] fields. Stale records are
+/// ignored at load time (never an error), so old stores degrade to cold
+/// caches instead of poisoning new runs.
+pub const ENGINE_VERSION: u32 = 2;
+
+/// First line of every store file: format magic + *format* version
+/// (which is about the file layout; [`ENGINE_VERSION`] travels per
+/// record).
+const HEADER: &str = "wlsweep 1";
+
+// ---------------------------------------------------------------------------
+// Canonical serialization (vendored-serde Serializer).
+// ---------------------------------------------------------------------------
+
+/// Serializes any [`serde::Serialize`] value into the canonical,
+/// machine-independent text form the cache is keyed on.
+///
+/// Properties the store relies on:
+///
+/// * **deterministic & cross-machine stable** — no pointers, no hash
+///   iteration order (the workspace's derived types are structs, enums,
+///   tuples, and `Vec`s);
+/// * **bit-exact floats** — `f64`/`f32` are emitted as the hex of their
+///   IEEE bit patterns (`x3ff0000000000000`), so `-0.0`, `NaN` payloads,
+///   and every last ULP survive the round trip;
+/// * **whitespace-free** — records embed these strings in
+///   space-separated lines; the string escape maps ` ` to `\s`.
+#[must_use]
+pub fn canon_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut canon = Canon { out: String::new() };
+    value
+        .serialize(&mut canon)
+        .expect("canonical serialization is infallible");
+    canon.out
+}
+
+/// Error type for [`Canon`] — required by the serde traits, never
+/// actually produced.
+#[derive(Debug)]
+struct CanonError(String);
+
+impl std::fmt::Display for CanonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "canonical serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+impl serde::ser::Error for CanonError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+struct Canon {
+    out: String,
+}
+
+impl Canon {
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '"' => self.out.push_str("\\\""),
+                ' ' => self.out.push_str("\\s"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// Compound-serializer helper: writes separators between elements.
+struct Compound<'a> {
+    canon: &'a mut Canon,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.canon.out.push(',');
+        }
+    }
+
+    fn value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CanonError> {
+        self.sep();
+        value.serialize(&mut *self.canon)
+    }
+
+    fn field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), CanonError> {
+        self.sep();
+        self.canon.out.push_str(key);
+        self.canon.out.push(':');
+        value.serialize(&mut *self.canon)
+    }
+
+    fn finish(self) {
+        self.canon.out.push_str(self.close);
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CanonError> {
+        self.value(value)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CanonError> {
+        self.value(value)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CanonError> {
+        self.value(value)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CanonError> {
+        self.value(value)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CanonError> {
+        self.sep();
+        key.serialize(&mut *self.canon)?;
+        self.canon.out.push_str("=>");
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CanonError> {
+        value.serialize(&mut *self.canon)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), CanonError> {
+        self.field(key, value)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CanonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), CanonError> {
+        self.field(key, value)
+    }
+    fn end(self) -> Result<(), CanonError> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for &'a mut Canon {
+    type Ok = ();
+    type Error = CanonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CanonError> {
+        self.out.push(if v { 'T' } else { 'F' });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CanonError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CanonError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CanonError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CanonError> {
+        write!(self.out, "{v}").expect("write to String");
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CanonError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CanonError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CanonError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CanonError> {
+        write!(self.out, "{v}").expect("write to String");
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CanonError> {
+        write!(self.out, "y{:08x}", v.to_bits()).expect("write to String");
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CanonError> {
+        write!(self.out, "x{:016x}", v.to_bits()).expect("write to String");
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CanonError> {
+        self.push_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CanonError> {
+        self.push_escaped(v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CanonError> {
+        self.out.push('b');
+        for byte in v {
+            write!(self.out, "{byte:02x}").expect("write to String");
+        }
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CanonError> {
+        self.out.push('~');
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CanonError> {
+        self.out.push('+');
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CanonError> {
+        self.out.push_str("()");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, name: &'static str) -> Result<(), CanonError> {
+        self.out.push_str(name);
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), CanonError> {
+        self.out.push_str(name);
+        self.out.push_str("::");
+        self.out.push_str(variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), CanonError> {
+        self.out.push_str(name);
+        self.out.push('(');
+        value.serialize(&mut *self)?;
+        self.out.push(')');
+        Ok(())
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), CanonError> {
+        self.out.push_str(name);
+        self.out.push_str("::");
+        self.out.push_str(variant);
+        self.out.push('(');
+        value.serialize(&mut *self)?;
+        self.out.push(')');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, CanonError> {
+        self.out.push('[');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: "]",
+        })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CanonError> {
+        self.out.push('(');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: ")",
+        })
+    }
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CanonError> {
+        self.out.push_str(name);
+        self.out.push('(');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: ")",
+        })
+    }
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CanonError> {
+        self.out.push_str(name);
+        self.out.push_str("::");
+        self.out.push_str(variant);
+        self.out.push('(');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: ")",
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, CanonError> {
+        self.out.push('{');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: "}",
+        })
+    }
+    fn serialize_struct(self, name: &'static str, _len: usize) -> Result<Compound<'a>, CanonError> {
+        self.out.push_str(name);
+        self.out.push('{');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: "}",
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CanonError> {
+        self.out.push_str(name);
+        self.out.push_str("::");
+        self.out.push_str(variant);
+        self.out.push('{');
+        Ok(Compound {
+            canon: self,
+            first: true,
+            close: "}",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The hand-rolled loader side: unescape + the SweepOutcome parser.
+// ---------------------------------------------------------------------------
+
+fn unescape(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            's' => out.push(' '),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Strict cursor over a canonical string: every `eat` states exactly what
+/// the generated encoding must contain next, so any drift between writer
+/// and parser surfaces as `None` (→ a skipped record), never as a
+/// misread value.
+struct Cursor<'a> {
+    s: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn eat(&mut self, prefix: &str) -> Option<()> {
+        self.s = self.s.strip_prefix(prefix)?;
+        Some(())
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let end = self
+            .s
+            .char_indices()
+            .find(|&(_, c)| !pred(c))
+            .map_or(self.s.len(), |(i, _)| i);
+        let (head, tail) = self.s.split_at(end);
+        self.s = tail;
+        head
+    }
+
+    fn u64_dec(&mut self) -> Option<u64> {
+        self.take_while(|c| c.is_ascii_digit()).parse().ok()
+    }
+
+    fn f64_bits(&mut self) -> Option<f64> {
+        self.eat("x")?;
+        let hex = self.take_while(|c| c.is_ascii_hexdigit());
+        if hex.len() != 16 {
+            return None;
+        }
+        Some(f64::from_bits(u64::from_str_radix(hex, 16).ok()?))
+    }
+
+    fn boolean(&mut self) -> Option<bool> {
+        match self.take_while(|c| c == 'T' || c == 'F') {
+            "T" => Some(true),
+            "F" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the canonical encoding of a [`SweepOutcome`] — the exact
+/// mirror of what `canon_string(&outcome)` emits (pinned by the
+/// `outcome_roundtrip` test). Returns `None` on any mismatch.
+fn parse_outcome(s: &str) -> Option<SweepOutcome> {
+    let mut c = Cursor { s };
+    c.eat("SweepOutcome{index:")?;
+    let index = c.u64_dec()?;
+    c.eat(",seed:")?;
+    let seed = c.u64_dec()?;
+    c.eat(",steady_skew:")?;
+    let steady_skew = c.f64_bits()?;
+    c.eat(",max_skew:")?;
+    let max_skew = c.f64_bits()?;
+    c.eat(",agreement_holds:")?;
+    let agreement_holds = c.boolean()?;
+    c.eat(",max_abs_adjustment:")?;
+    let max_abs_adjustment = c.f64_bits()?;
+    c.eat(",mean_abs_adjustment:")?;
+    let mean_abs_adjustment = c.f64_bits()?;
+    c.eat(",adjustment_holds:")?;
+    let adjustment_holds = c.boolean()?;
+    c.eat(",stats:SimStats{events_delivered:")?;
+    let events_delivered = c.u64_dec()?;
+    c.eat(",messages_sent:")?;
+    let messages_sent = c.u64_dec()?;
+    c.eat(",timers_set:")?;
+    let timers_set = c.u64_dec()?;
+    c.eat(",timers_suppressed:")?;
+    let timers_suppressed = c.u64_dec()?;
+    c.eat("}}")?;
+    if !c.s.is_empty() {
+        return None;
+    }
+    Some(SweepOutcome {
+        index: usize::try_from(index).ok()?,
+        seed,
+        steady_skew,
+        max_skew,
+        agreement_holds,
+        max_abs_adjustment,
+        mean_abs_adjustment,
+        adjustment_holds,
+        stats: SimStats {
+            events_delivered,
+            messages_sent,
+            timers_set,
+            timers_suppressed,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The record store.
+// ---------------------------------------------------------------------------
+
+/// The FNV-1a offset basis and prime — one definition for every FNV use
+/// in the crate (line checksums here, cache slot keys in `sweep.rs`).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a continued from an arbitrary running state.
+pub(crate) fn fnv64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over raw bytes — the per-line checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_seeded(FNV_OFFSET, bytes)
+}
+
+type StoreKey = (u64, String);
+
+#[derive(Debug, Clone)]
+struct StoreRecord {
+    spec_canon: String,
+    outcome_canon: String,
+    outcome: SweepOutcome,
+}
+
+/// Records are equal iff their canonical bytes are — `outcome` is just
+/// the parsed view of `outcome_canon`.
+impl PartialEq for StoreRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec_canon == other.spec_canon && self.outcome_canon == other.outcome_canon
+    }
+}
+
+/// Why two stores refused to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// The colliding spec content hash.
+    pub content_hash: u64,
+    /// The algorithm whose record collided.
+    pub algo: String,
+    /// Whether the specs or (worse) the outcomes disagreed.
+    pub kind: MergeConflictKind,
+}
+
+/// The two ways records under one key can disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeConflictKind {
+    /// Same key, different canonical specs: a genuine 64-bit hash
+    /// collision between distinct scenarios. Harmless in-process (the
+    /// cache degrades it to a miss) but unrepresentable in the one-slot
+    /// store, so merging refuses.
+    SpecMismatch,
+    /// Same key, same spec, different outcomes: the two stores were
+    /// written by executions that were *not* bit-identical — mixed
+    /// engine builds or hardware-dependent math. This is the error the
+    /// determinism contract exists to catch; do not pick a winner.
+    OutcomeMismatch,
+}
+
+impl std::fmt::Display for MergeConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            MergeConflictKind::SpecMismatch => "distinct specs share a content hash",
+            MergeConflictKind::OutcomeMismatch => "same spec, conflicting outcomes",
+        };
+        write!(
+            f,
+            "sweep store merge conflict under key {:016x}/{}: {what}",
+            self.content_hash, self.algo
+        )
+    }
+}
+
+impl std::error::Error for MergeConflict {}
+
+/// What [`SweepStore::merge_from`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Records the other store contributed that this one lacked.
+    pub added: usize,
+    /// Records present in both and confirmed byte-identical.
+    pub agreed: usize,
+}
+
+/// A disk-persistent, content-addressed store of sweep records — the
+/// serialization layer under [`SweepCache`].
+///
+/// See the [module docs](self) for the format and guarantees. Typical
+/// shapes:
+///
+/// * **one process, warm restarts** — [`DiskSweepCache`] bundles a store
+///   and a cache; experiment binaries use it via
+///   [`DiskSweepCache::open_shared`].
+/// * **N shards, one grid** — each shard opens its own store path, runs
+///   [`SweepRunner::sweep_sharded_cached`], saves; a merge step folds
+///   the shard stores together with [`SweepStore::merge_from`] and saves
+///   the canonical union (`cargo run -p bench --bin sweep_shard`).
+///
+/// [`SweepRunner::sweep_sharded_cached`]: crate::SweepRunner::sweep_sharded_cached
+#[derive(Debug, Default)]
+pub struct SweepStore {
+    path: Option<PathBuf>,
+    records: BTreeMap<StoreKey, StoreRecord>,
+    skipped: usize,
+    stale: usize,
+}
+
+impl SweepStore {
+    /// An empty, path-less store (useful as a merge accumulator; save it
+    /// with [`SweepStore::save_to`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the store at `path`, tolerating anything it finds there.
+    ///
+    /// A missing file is an empty store. A present file is scanned line
+    /// by line: records that fail their checksum, fail to parse, or
+    /// duplicate an earlier key are counted in
+    /// [`skipped_lines`](SweepStore::skipped_lines); records from
+    /// another [`ENGINE_VERSION`] are counted in
+    /// [`stale_records`](SweepStore::stale_records); everything valid
+    /// loads. A file whose header is foreign contributes nothing but
+    /// skips. Truncation mid-record therefore costs exactly the
+    /// truncated record.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures (permissions, hardware) — *content*
+    /// never errors.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut store = Self {
+            path: Some(path.clone()),
+            ..Self::default()
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(store),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            store.skipped = text.lines().count();
+            return Ok(store);
+        }
+        for line in lines {
+            match parse_line(line) {
+                ParsedLine::Record { key, record } => {
+                    // First writer wins: the store is append-only, and an
+                    // appended duplicate can only be a foreign artifact.
+                    match store.records.entry(key) {
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(record);
+                        }
+                        std::collections::btree_map::Entry::Occupied(_) => store.skipped += 1,
+                    }
+                }
+                ParsedLine::Stale => store.stale += 1,
+                ParsedLine::Corrupt => store.skipped += 1,
+            }
+        }
+        Ok(store)
+    }
+
+    /// Number of valid current-engine records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Lines the last [`open`](SweepStore::open) discarded as corrupt.
+    #[must_use]
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped
+    }
+
+    /// Records the last [`open`](SweepStore::open) ignored for carrying
+    /// a different [`ENGINE_VERSION`].
+    #[must_use]
+    pub fn stale_records(&self) -> usize {
+        self.stale
+    }
+
+    /// The path this store loads from and saves to, if it has one.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Hydrates an in-memory [`SweepCache`] with every record — the
+    /// read half of cross-process sharing.
+    #[must_use]
+    pub fn hydrate(&self) -> SweepCache {
+        let cache = SweepCache::new();
+        for ((hash, algo), record) in &self.records {
+            cache.seed(
+                *hash,
+                algo.clone(),
+                record.spec_canon.clone(),
+                record.outcome.clone(),
+            );
+        }
+        cache
+    }
+
+    /// Folds a cache's entries into the store (the write half), keyed by
+    /// recomputing nothing: the cache already holds the canonical spec
+    /// bytes. Outcome grid indices are normalized to zero so that *what*
+    /// was computed, not *where in some grid* it sat, is what persists —
+    /// this is what makes shard-store merges canonical.
+    ///
+    /// Returns how many records were added or replaced.
+    pub fn absorb(&mut self, cache: &SweepCache) -> usize {
+        let mut changed = 0;
+        for (content_hash, algo, spec_canon, outcome) in cache.snapshot() {
+            let mut normalized = outcome;
+            normalized.index = 0;
+            let outcome_canon = canon_string(&normalized);
+            let key = (content_hash, algo);
+            let record = StoreRecord {
+                spec_canon,
+                outcome_canon,
+                outcome: normalized,
+            };
+            let slot = self.records.entry(key);
+            match slot {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(record);
+                    changed += 1;
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if *o.get() != record {
+                        o.insert(record);
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Merges another store's records into this one, equality-confirmed:
+    /// a key present in both must carry byte-identical spec *and*
+    /// outcome, otherwise the merge refuses with a [`MergeConflict`]
+    /// (and this store is left unchanged).
+    ///
+    /// # Errors
+    ///
+    /// See [`MergeConflictKind`] for the two refusal modes.
+    pub fn merge_from(&mut self, other: &Self) -> Result<MergeStats, MergeConflict> {
+        // Validate everything before mutating anything.
+        for (key, theirs) in &other.records {
+            if let Some(ours) = self.records.get(key) {
+                if ours.spec_canon != theirs.spec_canon {
+                    return Err(MergeConflict {
+                        content_hash: key.0,
+                        algo: key.1.clone(),
+                        kind: MergeConflictKind::SpecMismatch,
+                    });
+                }
+                if ours.outcome_canon != theirs.outcome_canon {
+                    return Err(MergeConflict {
+                        content_hash: key.0,
+                        algo: key.1.clone(),
+                        kind: MergeConflictKind::OutcomeMismatch,
+                    });
+                }
+            }
+        }
+        let mut stats = MergeStats::default();
+        for (key, theirs) in &other.records {
+            if self.records.contains_key(key) {
+                stats.agreed += 1;
+            } else {
+                self.records.insert(key.clone(), theirs.clone());
+                stats.added += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Adopts every record of `other` that this store lacks, never
+    /// touching records it already has — the conflict-silent sibling of
+    /// [`SweepStore::merge_from`], for when "ours is fresher" is the
+    /// right policy (e.g. folding in what another process wrote to the
+    /// shared file while we were running). Returns how many records
+    /// were adopted.
+    pub fn adopt_missing_from(&mut self, other: &Self) -> usize {
+        let mut adopted = 0;
+        for (key, theirs) in &other.records {
+            if !self.records.contains_key(key) {
+                self.records.insert(key.clone(), theirs.clone());
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+
+    /// Saves to the store's own path (see [`SweepStore::save_to`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`io::ErrorKind::InvalidInput`] if the store was
+    /// created path-less.
+    pub fn save(&self) -> io::Result<()> {
+        let path = self.path.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "sweep store has no path")
+        })?;
+        self.save_to(path)
+    }
+
+    /// Writes the canonical store file: header plus one record line per
+    /// key, in sorted key order — so any two stores with equal contents
+    /// produce byte-identical files, regardless of insertion history.
+    ///
+    /// The write is atomic-by-rename: content goes to a sibling temp
+    /// file (suffixed with this process id) which is then renamed over
+    /// `path`. Concurrent savers last-write-win a *complete* file;
+    /// readers never observe a torn store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from create/write/rename.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut content = String::with_capacity(64 + self.records.len() * 256);
+        content.push_str(HEADER);
+        content.push('\n');
+        for ((hash, algo), record) in &self.records {
+            content.push_str(&record_line(*hash, algo, record));
+            content.push('\n');
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, content)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn record_line(hash: u64, algo: &str, record: &StoreRecord) -> String {
+    let prefix = format!(
+        "R {hash:016x} {ENGINE_VERSION} {} {} {}",
+        canon_string(algo),
+        record.spec_canon,
+        record.outcome_canon,
+    );
+    let crc = fnv64(prefix.as_bytes());
+    format!("{prefix} {crc:016x}")
+}
+
+enum ParsedLine {
+    Record { key: StoreKey, record: StoreRecord },
+    Stale,
+    Corrupt,
+}
+
+fn parse_line(line: &str) -> ParsedLine {
+    let Some((prefix, crc_tok)) = line.rsplit_once(' ') else {
+        return ParsedLine::Corrupt;
+    };
+    if u64::from_str_radix(crc_tok, 16) != Ok(fnv64(prefix.as_bytes())) {
+        return ParsedLine::Corrupt;
+    }
+    let fields: Vec<&str> = prefix.split(' ').collect();
+    let [tag, hash_tok, engine_tok, algo_tok, spec_tok, outcome_tok] = fields.as_slice() else {
+        return ParsedLine::Corrupt;
+    };
+    if *tag != "R" {
+        return ParsedLine::Corrupt;
+    }
+    let Ok(hash) = u64::from_str_radix(hash_tok, 16) else {
+        return ParsedLine::Corrupt;
+    };
+    match engine_tok.parse::<u32>() {
+        Ok(engine) if engine == ENGINE_VERSION => {}
+        Ok(_) => return ParsedLine::Stale,
+        Err(_) => return ParsedLine::Corrupt,
+    }
+    let Some(algo) = unescape(algo_tok) else {
+        return ParsedLine::Corrupt;
+    };
+    let Some(outcome) = parse_outcome(outcome_tok) else {
+        return ParsedLine::Corrupt;
+    };
+    ParsedLine::Record {
+        key: (hash, algo),
+        record: StoreRecord {
+            spec_canon: (*spec_tok).to_string(),
+            outcome_canon: (*outcome_tok).to_string(),
+            outcome,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The convenience bundle experiment binaries use.
+// ---------------------------------------------------------------------------
+
+/// A [`SweepStore`] + the [`SweepCache`] hydrated from it — the two
+/// lines every experiment binary actually wants:
+///
+/// ```no_run
+/// use wl_harness::{DiskSweepCache, Maintenance, SweepRunner};
+/// # let grid = Vec::new();
+/// let mut disk = DiskSweepCache::open_shared();
+/// let outcomes = SweepRunner::new().sweep_cached::<Maintenance>(grid, disk.cache());
+/// disk.persist().expect("save sweep cache");
+/// ```
+///
+/// `open_shared` reads the `WL_SWEEP_CACHE_DIR` environment variable
+/// (default `target/sweep-cache`; set it to `0` or `off` to disable
+/// persistence) and *never fails*: an unreadable store degrades to an
+/// in-memory cache with a warning on stderr, because a broken cache
+/// must never break an experiment.
+#[derive(Debug)]
+pub struct DiskSweepCache {
+    store: SweepStore,
+    cache: SweepCache,
+    enabled: bool,
+}
+
+impl DiskSweepCache {
+    /// Opens the store at `path` and hydrates a cache from it.
+    ///
+    /// # Errors
+    ///
+    /// Genuine I/O failures from [`SweepStore::open`] only.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let store = SweepStore::open(path)?;
+        let cache = store.hydrate();
+        Ok(Self {
+            store,
+            cache,
+            enabled: true,
+        })
+    }
+
+    /// Opens the shared store under `WL_SWEEP_CACHE_DIR` (see the type
+    /// docs). Infallible by design.
+    #[must_use]
+    pub fn open_shared() -> Self {
+        let dir = std::env::var("WL_SWEEP_CACHE_DIR").unwrap_or_default();
+        match dir.as_str() {
+            "0" | "off" => Self {
+                store: SweepStore::new(),
+                cache: SweepCache::new(),
+                enabled: false,
+            },
+            "" => Self::open_or_warn(Path::new("target/sweep-cache").join("sweeps.wls")),
+            dir => Self::open_or_warn(Path::new(dir).join("sweeps.wls")),
+        }
+    }
+
+    fn open_or_warn(path: PathBuf) -> Self {
+        match Self::open(path.clone()) {
+            Ok(disk) => disk,
+            Err(e) => {
+                eprintln!(
+                    "warning: sweep cache at {} unavailable ({e}); running without persistence",
+                    path.display()
+                );
+                Self {
+                    store: SweepStore::new(),
+                    cache: SweepCache::new(),
+                    enabled: false,
+                }
+            }
+        }
+    }
+
+    /// The cache to hand to [`SweepRunner::sweep_cached`].
+    ///
+    /// [`SweepRunner::sweep_cached`]: crate::SweepRunner::sweep_cached
+    #[must_use]
+    pub fn cache(&self) -> &SweepCache {
+        &self.cache
+    }
+
+    /// The underlying store (for stats and inspection).
+    #[must_use]
+    pub fn store(&self) -> &SweepStore {
+        &self.store
+    }
+
+    /// Absorbs the cache into the store and saves it (no-op when
+    /// persistence is disabled). Returns how many records were newly
+    /// written.
+    ///
+    /// Before saving, the shared file is re-read and any records other
+    /// processes wrote since we opened it are adopted — concurrent
+    /// experiment binaries sharing `WL_SWEEP_CACHE_DIR` extend each
+    /// other's stores instead of overwriting them (the save itself is
+    /// atomic-by-rename, so the residual race is a benign
+    /// lose-the-interleaved-write, not a torn file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates save I/O failures.
+    pub fn persist(&mut self) -> io::Result<usize> {
+        if !self.enabled {
+            return Ok(0);
+        }
+        let added = self.store.absorb(&self.cache);
+        if let Some(path) = self.store.path().map(std::path::Path::to_path_buf) {
+            if let Ok(on_disk) = SweepStore::open(path) {
+                self.store.adopt_missing_from(&on_disk);
+            }
+        }
+        self.store.save()?;
+        Ok(added)
+    }
+
+    /// One status line for experiment binaries to print: hit/miss
+    /// counts and where (whether) the store lives.
+    #[must_use]
+    pub fn status(&self) -> String {
+        let target = match (self.enabled, self.store.path()) {
+            (true, Some(p)) => format!("store {}", p.display()),
+            _ => "persistence off".to_string(),
+        };
+        format!(
+            "sweep cache: {} hits, {} misses, {} records loaded ({target})",
+            self.cache.hits(),
+            self.cache.misses(),
+            self.store.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+    use crate::sweep::{derive_seed, SweepRunner};
+    use crate::Maintenance;
+    use wl_core::Params;
+    use wl_time::RealTime;
+
+    fn grid(count: usize) -> Vec<ScenarioSpec> {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        (0..count)
+            .map(|i| {
+                ScenarioSpec::new(params.clone())
+                    .seed(derive_seed(0xCAFE, i as u64))
+                    .t_end(RealTime::from_secs(2.0))
+            })
+            .collect()
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("wl-cache-{}-{name}.wls", std::process::id()))
+    }
+
+    fn outcome_fixture() -> SweepOutcome {
+        SweepOutcome {
+            index: 3,
+            seed: 0xDEAD_BEEF,
+            steady_skew: 1.25e-3,
+            max_skew: -0.0,
+            agreement_holds: true,
+            max_abs_adjustment: f64::NAN,
+            mean_abs_adjustment: 7.5e-4,
+            adjustment_holds: false,
+            stats: wl_sim::SimStats {
+                events_delivered: 1,
+                messages_sent: 2,
+                timers_set: 3,
+                timers_suppressed: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn canon_encoding_is_pinned() {
+        // The format contract: change this string only together with
+        // ENGINE_VERSION.
+        assert_eq!(canon_string(&true), "T");
+        assert_eq!(canon_string(&1.0f64), "x3ff0000000000000");
+        assert_eq!(canon_string(&Some(7u64)), "+7");
+        assert_eq!(canon_string(&Option::<u64>::None), "~");
+        assert_eq!(canon_string("a b\"c"), "\"a\\sb\\\"c\"");
+        assert_eq!(
+            canon_string(&crate::DelayKind::AdversarialSplit),
+            "DelayKind::AdversarialSplit"
+        );
+        assert_eq!(
+            canon_string(&wl_time::RealTime::from_secs(2.0)),
+            "RealTime(x4000000000000000)"
+        );
+        let spec = grid(1).remove(0);
+        let canon = canon_string(&spec.clone());
+        assert!(canon.starts_with("ScenarioSpec{params:Params{n:4,f:1,"));
+        assert!(
+            !canon.contains(' '),
+            "canonical encoding must be space-free"
+        );
+        assert_eq!(canon, canon_string(&spec), "encoding is deterministic");
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let outcome = outcome_fixture();
+        let encoded = canon_string(&outcome);
+        let decoded = parse_outcome(&encoded).expect("parses back");
+        assert!(decoded.bit_identical(&outcome), "NaN and -0.0 must survive");
+        // Any tampering is rejected, not misread.
+        assert!(parse_outcome(&encoded[1..]).is_none());
+        assert!(parse_outcome(&format!("{encoded}x")).is_none());
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert_eq!(unescape("\"a\\sb\"").as_deref(), Some("a b"));
+        assert!(unescape("no-quotes").is_none());
+        assert!(unescape("\"dangling\\\"").is_none());
+        assert!(unescape("\"bad\\q\"").is_none());
+    }
+
+    #[test]
+    fn store_roundtrip_and_rehydration() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = SweepCache::new();
+        let outcomes = SweepRunner::serial().sweep_cached::<Maintenance>(grid(3), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.absorb(&cache), 3);
+        store.save().unwrap();
+
+        // Re-absorbing identical content changes nothing.
+        assert_eq!(store.absorb(&cache), 0);
+
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.skipped_lines(), 0);
+        assert_eq!(reopened.stale_records(), 0);
+
+        // The hydrated cache serves the whole grid without a single miss.
+        let warm = reopened.hydrate();
+        let served = SweepRunner::serial().sweep_cached::<Maintenance>(grid(3), &warm);
+        assert_eq!(warm.hits(), 3);
+        assert_eq!(warm.misses(), 0);
+        for (a, b) in served.iter().zip(&outcomes) {
+            assert!(a.bit_identical(b));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_store_loads_as_empty() {
+        let path = tmp_path("truncated");
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(1), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Cut mid-record: the single record line loses its tail (and its
+        // checksum with it).
+        let cut = full.len() - 10;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let reopened = SweepStore::open(&path).unwrap();
+        assert!(reopened.is_empty());
+        assert_eq!(reopened.skipped_lines(), 1);
+
+        // Truncating into the *header* orphans every line.
+        std::fs::write(&path, &full[3..]).unwrap();
+        let reopened = SweepStore::open(&path).unwrap();
+        assert!(reopened.is_empty());
+        assert!(reopened.skipped_lines() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let path = tmp_path("corrupt");
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip a byte inside the first record line's spec blob.
+        let lines: Vec<&str> = text.lines().collect();
+        let vandalized = lines[1].replacen("Params", "Psrams", 1);
+        text = format!("{}\n{}\n{}\ngarbage line\n", lines[0], vandalized, lines[2]);
+        std::fs::write(&path, text).unwrap();
+
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 1, "the intact record survives");
+        assert_eq!(reopened.skipped_lines(), 2, "vandalized + garbage");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_engine_records_are_ignored() {
+        let path = tmp_path("stale");
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        // Rewrite one record as if an older engine had produced it —
+        // with a *valid* checksum, so only the version gate rejects it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let old = lines[1].clone();
+        let (prefix, _) = old.rsplit_once(' ').unwrap();
+        let downgraded_prefix = prefix.replacen(
+            &format!(" {ENGINE_VERSION} "),
+            &format!(" {} ", ENGINE_VERSION - 1),
+            1,
+        );
+        let crc = fnv64(downgraded_prefix.as_bytes());
+        lines[1] = format!("{downgraded_prefix} {crc:016x}");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.stale_records(), 1);
+        assert_eq!(reopened.skipped_lines(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_confirms_equality_and_detects_conflicts() {
+        let a_cache = SweepCache::new();
+        let b_cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(3), &a_cache);
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), &b_cache);
+
+        let mut a = SweepStore::new();
+        a.absorb(&a_cache);
+        let mut b = SweepStore::new();
+        b.absorb(&b_cache);
+
+        // b ⊂ a: everything agrees, nothing added.
+        let stats = a.merge_from(&b).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 0,
+                agreed: 2
+            }
+        );
+
+        // Tamper with one of b's outcomes: the merge must refuse.
+        let key = b.records.keys().next().unwrap().clone();
+        let record = b.records.get_mut(&key).unwrap();
+        record.outcome_canon = record.outcome_canon.replacen("seed:", "seed:1", 1);
+        let err = a.merge_from(&b).unwrap_err();
+        assert_eq!(err.kind, MergeConflictKind::OutcomeMismatch);
+        assert_eq!(a.len(), 3, "failed merge left the target untouched");
+    }
+
+    #[test]
+    fn save_is_canonical_regardless_of_insertion_order() {
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(4), &cache);
+        let shard_a = SweepCache::new();
+        let shard_b = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_sharded_cached::<Maintenance>(
+            grid(4),
+            crate::Shard::new(0, 2),
+            &shard_a,
+        );
+        let _ = SweepRunner::serial().sweep_sharded_cached::<Maintenance>(
+            grid(4),
+            crate::Shard::new(1, 2),
+            &shard_b,
+        );
+
+        let p_full = tmp_path("canon-full");
+        let p_merged = tmp_path("canon-merged");
+        let mut full = SweepStore::open(&p_full).unwrap();
+        full.absorb(&cache);
+        full.save().unwrap();
+
+        // Merge b into a (reverse of creation order on purpose).
+        let mut sa = SweepStore::new();
+        sa.absorb(&shard_b);
+        let mut sb = SweepStore::new();
+        sb.absorb(&shard_a);
+        sa.merge_from(&sb).unwrap();
+        sa.save_to(&p_merged).unwrap();
+
+        let full_bytes = std::fs::read(&p_full).unwrap();
+        let merged_bytes = std::fs::read(&p_merged).unwrap();
+        assert_eq!(
+            full_bytes, merged_bytes,
+            "2-shard merged store must be byte-identical to the unsharded store"
+        );
+        let _ = std::fs::remove_file(&p_full);
+        let _ = std::fs::remove_file(&p_merged);
+    }
+
+    #[test]
+    fn interleaved_persists_union_instead_of_clobbering() {
+        // Two processes share one store file: both open it empty, run
+        // disjoint grids, and persist one after the other. The second
+        // persist must adopt the first's records, not overwrite them.
+        let path = tmp_path("interleaved");
+        let _ = std::fs::remove_file(&path);
+        let mut a = DiskSweepCache::open(&path).unwrap();
+        let mut b = DiskSweepCache::open(&path).unwrap();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), a.cache());
+        let grid_b: Vec<ScenarioSpec> = grid(2)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.seed(derive_seed(0xB0B, i as u64)))
+            .collect();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid_b, b.cache());
+        a.persist().unwrap();
+        b.persist().unwrap();
+        let merged = SweepStore::open(&path).unwrap();
+        assert_eq!(merged.len(), 4, "both processes' records survive");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disk_cache_disabled_by_env_value() {
+        // `open` + `persist` path without env manipulation (env vars are
+        // process-global; tests must not race each other over them).
+        let path = tmp_path("disk-bundle");
+        let _ = std::fs::remove_file(&path);
+        let mut disk = DiskSweepCache::open(&path).unwrap();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), disk.cache());
+        assert_eq!(disk.persist().unwrap(), 2);
+        assert!(disk.status().contains("2 misses"));
+
+        let disk2 = DiskSweepCache::open(&path).unwrap();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), disk2.cache());
+        assert_eq!(disk2.cache().hits(), 2);
+        assert_eq!(disk2.cache().misses(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

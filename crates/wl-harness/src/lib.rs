@@ -28,7 +28,15 @@
 //!   Welch–Lynch runs and baseline runs are summarized by the same code.
 //! * [`SweepRunner`] — fans a grid of specs across threads with
 //!   deterministic per-scenario seed derivation ([`derive_seed`]). Results
-//!   are identical at any thread count, including one.
+//!   are identical at any thread count, including one. Grids also split
+//!   across *processes and machines*: [`Shard`] + [`merge_sharded`]
+//!   cover a grid k/N-wise with equality-confirmed reassembly.
+//! * [`cache`] — the persistence layer: [`SweepCache`] memoizes per-spec
+//!   results in memory; [`SweepStore`] persists them to a
+//!   content-addressed, corruption-tolerant record file shared across
+//!   experiment binaries and machines ([`DiskSweepCache`] bundles both).
+//!   A sweep re-run against a warm store executes **zero** simulations.
+//!   See `docs/sweeps.md` for the format and the determinism contract.
 //!
 //! # Quickstart
 //!
@@ -65,14 +73,24 @@
 
 pub mod algo;
 pub mod assemble;
+pub mod cache;
 pub mod run;
 pub mod spec;
 pub mod sweep;
 
 pub use algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
-pub use assemble::{assemble, assemble_calendar, assemble_with_queue, BuiltScenario};
+pub use assemble::{
+    assemble, assemble_calendar, assemble_mono, assemble_mono_null, assemble_mono_observed,
+    assemble_with_queue, BuiltScenario, MonoScenario,
+};
+pub use cache::{
+    DiskSweepCache, MergeConflict, MergeConflictKind, MergeStats, SweepStore, ENGINE_VERSION,
+};
 pub use spec::{DelayKind, FaultKind, ScenarioSpec};
-pub use sweep::{derive_seed, SweepCache, SweepOutcome, SweepRunner, SweepSummary};
+pub use sweep::{
+    derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,
+    SweepRunner, SweepSummary,
+};
 
 // The algorithms, re-exported so harness users need a single import.
 pub use wl_baselines::lm_cnv::LmCnv;

@@ -5,13 +5,18 @@
 //! These used to live in the `bench` crate (Welch–Lynch only) and were
 //! re-implemented ad hoc inside experiment binaries for the baselines.
 
-use crate::assemble::BuiltScenario;
+use crate::algo::SyncAlgorithm;
+use crate::assemble::{BuiltScenario, MonoScenario};
+use crate::spec::ScenarioSpec;
 use wl_analysis::adjustment::{check_adjustments, AdjustmentReport};
 use wl_analysis::agreement::{check_agreement, AgreementReport};
 use wl_analysis::convergence::{round_series, RoundSeries};
 use wl_analysis::skew::SkewSeries;
 use wl_analysis::ExecutionView;
-use wl_sim::{EventQueue, SimStats};
+use wl_clock::drift::FleetClock;
+use wl_core::Params;
+use wl_sim::faults::FaultPlan;
+use wl_sim::{Automaton, CorrectionHistory, EventQueue, SimStats};
 use wl_time::{RealDur, RealTime};
 
 /// Everything the experiments usually need from one run.
@@ -38,22 +43,82 @@ pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>
     let plan = built.plan.clone();
     let mut sim = built.sim;
     let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
+    summarize(
+        sim.clocks(),
+        &outcome.corr,
+        outcome.stats,
+        &params,
+        &plan,
+        t_end,
+    )
+}
+
+/// [`run_summary`] over a [`MonoScenario`] (the monomorphized fast path):
+/// drives the sim, then feeds the streamed counters and correction
+/// histories through the identical analysis body. Results are
+/// bit-identical to the boxed path's.
+#[must_use]
+pub fn run_summary_mono<A>(built: MonoScenario<A>, t_end: f64) -> RunSummary
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    let mut sim = built.sim;
+    sim.drive();
+    let (counters, corr) = sim.observer();
+    let stats = counters.stats();
+    summarize(
+        sim.clocks(),
+        corr.histories(),
+        stats,
+        &built.params,
+        &built.plan,
+        t_end,
+    )
+}
+
+/// Runs `spec` with a monomorphized fleet and **no observer at all**
+/// ([`wl_sim::NullObserver`]) and returns the engine's own delivered-event
+/// count — the raw Monte Carlo throughput floor, with every measurement
+/// cost removed. `None` if the spec does not qualify for the fast path
+/// (see [`crate::assemble_mono`]).
+#[must_use]
+pub fn drive_unobserved<A>(spec: &ScenarioSpec) -> Option<u64>
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    let mut sim = crate::assemble::assemble_mono_null::<A>(spec)?;
+    sim.drive();
+    Some(sim.events_delivered())
+}
+
+/// The one analysis body behind [`run_summary`] and [`run_summary_mono`]:
+/// given whatever ran (clocks + correction histories + counters), apply
+/// the theorem suite. Keeping this single keeps the two run paths from
+/// diverging.
+fn summarize(
+    clocks: &[FleetClock],
+    corr: &[CorrectionHistory],
+    stats: SimStats,
+    params: &Params,
+    plan: &FaultPlan,
+    t_end: f64,
+) -> RunSummary {
+    let view = ExecutionView::with_plan(clocks, corr, plan);
     let from = RealTime::from_secs(params.t0 + 2.0 * params.p_round);
     let agreement = check_agreement(
         &view,
-        &params,
+        params,
         from,
         RealTime::from_secs(t_end * 0.98),
         RealDur::from_secs(params.p_round / 7.0),
     );
-    let adjustments = check_adjustments(&view, &params, 1);
+    let adjustments = check_adjustments(&view, params, 1);
     let rounds = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
     RunSummary {
         agreement,
         adjustments,
         rounds,
-        stats: outcome.stats,
+        stats,
     }
 }
 

@@ -24,7 +24,7 @@ use wl_sim::ProcessId;
 use wl_time::RealTime;
 
 /// Which delay model a scenario uses (all within the A3 band).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub enum DelayKind {
     /// Every message takes exactly δ.
     Constant,
@@ -41,7 +41,7 @@ pub enum DelayKind {
 /// kind panics with a clear message.
 ///
 /// [`SyncAlgorithm::faulty`]: crate::SyncAlgorithm::faulty
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub enum FaultKind {
     /// Correct until the given real time, then silent.
     CrashAt(f64),
@@ -68,7 +68,7 @@ pub enum FaultKind {
 /// [`ScenarioSpec::startup`] (§9.2 cold start), then chain the builder
 /// methods. The spec is plain data: `Clone` it, mutate copies for grid
 /// sweeps, send it across threads.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ScenarioSpec {
     /// The paper's global constants.
     pub params: Params,
@@ -280,7 +280,27 @@ impl ScenarioSpec {
     /// confirms every hit by comparing the stored spec for equality.
     /// The hash is FNV-1a over a fixed field serialization — stable
     /// across machines and runs, *not* across releases that add spec
-    /// fields.
+    /// fields (the disk store additionally gates every record on
+    /// [`crate::cache::ENGINE_VERSION`] for exactly that reason).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wl_core::Params;
+    /// use wl_harness::ScenarioSpec;
+    ///
+    /// let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    /// let spec = ScenarioSpec::new(params).seed(7);
+    ///
+    /// // Equal specs hash equally; any execution-relevant edit changes it.
+    /// assert_eq!(spec.content_hash(), spec.clone().content_hash());
+    /// assert_ne!(spec.content_hash(), spec.clone().seed(8).content_hash());
+    ///
+    /// // `drift: None` and its explicit default are the *same* execution,
+    /// // and hash identically.
+    /// let explicit = spec.clone().drift(spec.effective_drift());
+    /// assert_eq!(spec.content_hash(), explicit.content_hash());
+    /// ```
     #[must_use]
     pub fn content_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

@@ -1,4 +1,4 @@
-//! [`SweepRunner`]: fan a grid of scenarios across threads.
+//! [`SweepRunner`]: fan a grid of scenarios across threads — and shards.
 //!
 //! Experiment binaries used to iterate their parameter grids serially;
 //! on a multi-core box most of the machine idled. The runner executes any
@@ -11,22 +11,32 @@
 //!
 //! Seeds for grid points come from [`derive_seed`], a SplitMix64 hop from
 //! a base seed — decorrelated streams per scenario without coordination.
+//! Because the seed of grid point `i` depends only on `(base, i)`, a grid
+//! can also be split across *processes and machines*: [`Shard`] names a
+//! `k/N` slice, [`SweepRunner::sweep_sharded`] runs it, and
+//! [`merge_sharded`] reassembles the full grid with equality-confirmed
+//! conflict detection. Persist results across runs with
+//! [`crate::cache::SweepStore`] (see `docs/sweeps.md`).
 
 use crate::algo::SyncAlgorithm;
-use crate::assemble::assemble;
-use crate::run::{run_summary, RunSummary};
+use crate::assemble::{assemble, assemble_mono};
+use crate::cache::canon_string;
+use crate::run::{run_summary, run_summary_mono, RunSummary};
 use crate::spec::ScenarioSpec;
 use std::collections::HashMap;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wl_analysis::stats::Online;
-use wl_sim::SimStats;
+use wl_sim::{Automaton, SimStats};
 
 /// Derives the seed of grid point `idx` from a base seed (SplitMix64).
 ///
 /// Adjacent indices give decorrelated streams, and the mapping is stable
 /// across machines and sweep widths — a scenario's identity is
-/// `(base, idx)`, not its position in some thread's work queue.
+/// `(base, idx)`, not its position in some thread's work queue. This is
+/// also what makes [sharding](Shard) sound: every shard derives the same
+/// seed for the same grid index, on any machine.
 #[must_use]
 pub fn derive_seed(base: u64, idx: u64) -> u64 {
     let mut z = base
@@ -37,7 +47,224 @@ pub fn derive_seed(base: u64, idx: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A [`SyncAlgorithm`] whose tag type is itself the correct-process
+/// [`Automaton`] over its own message type — the pattern every algorithm
+/// in this workspace follows (blanket-implemented; nothing to do).
+///
+/// [`SweepRunner`]'s sweep methods require it so they can take the
+/// monomorphized `Vec<A>` fleet fast path on qualifying grid points; see
+/// [`crate::assemble_mono`].
+pub trait SweepAlgorithm: SyncAlgorithm + Automaton<Msg = <Self as SyncAlgorithm>::Msg> {}
+
+impl<T> SweepAlgorithm for T where T: SyncAlgorithm + Automaton<Msg = <T as SyncAlgorithm>::Msg> {}
+
+/// A `k/N` slice of a sweep grid: shard `k` owns the grid indices
+/// congruent to `k` mod `N`.
+///
+/// Sharding is machine-independent: ownership depends only on the grid
+/// index, and grid-point seeds depend only on `(base, index)` (see
+/// [`derive_seed`]), so N processes — on N different machines — each
+/// running [`SweepRunner::sweep_sharded`] over the *same* grid cover it
+/// exactly once, and [`merge_sharded`] reassembles the unsharded result
+/// bit-for-bit.
+///
+/// Parses from the conventional CLI form `"k/N"`:
+///
+/// ```
+/// use wl_harness::Shard;
+///
+/// let shard: Shard = "1/4".parse().unwrap();
+/// assert_eq!((shard.index(), shard.count()), (1, 4));
+/// assert!(shard.owns(5) && !shard.owns(6));
+/// assert_eq!(Shard::full(), "0/1".parse().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: u32,
+    count: u32,
+}
+
+impl Shard {
+    /// Shard `index` of `count` total.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count` (which also forces `count >= 1`).
+    #[must_use]
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        Self { index, count }
+    }
+
+    /// The trivial shard `0/1`: owns every grid point.
+    #[must_use]
+    pub fn full() -> Self {
+        Self::new(0, 1)
+    }
+
+    /// This shard's zero-based index.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total number of shards the grid is split into.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether this shard owns grid index `i`.
+    #[must_use]
+    pub fn owns(&self, i: usize) -> bool {
+        i as u64 % u64::from(self.count) == u64::from(self.index)
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (k, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{s}` is not of the form k/N"))?;
+        let index: u32 = k
+            .parse()
+            .map_err(|_| format!("shard index `{k}` is not a number"))?;
+        let count: u32 = n
+            .parse()
+            .map_err(|_| format!("shard count `{n}` is not a number"))?;
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(Self { index, count })
+    }
+}
+
+/// Why [`merge_sharded`] refused to combine shard outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMergeError {
+    /// No shard produced grid index `index` — the shard set does not
+    /// cover the grid (wrong `N`, or a missing shard).
+    Missing {
+        /// The uncovered grid index.
+        index: usize,
+    },
+    /// Two shards produced grid index `index` with different results —
+    /// the executions were not deterministic across the shards
+    /// (mismatched engine versions, or a corrupted input).
+    Conflict {
+        /// The doubly-covered, disagreeing grid index.
+        index: usize,
+    },
+    /// A shard produced an outcome for an index beyond the grid — its
+    /// output belongs to a *different* (larger) grid than the one being
+    /// merged; check the `grid_len`/`--grid` arguments line up.
+    OutOfRange {
+        /// The offending outcome's grid index.
+        index: usize,
+        /// The length of the grid being merged.
+        grid_len: usize,
+    },
+}
+
+impl std::fmt::Display for ShardMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Missing { index } => {
+                write!(
+                    f,
+                    "shard merge: grid index {index} missing from every shard"
+                )
+            }
+            Self::Conflict { index } => write!(
+                f,
+                "shard merge: grid index {index} has conflicting results across shards"
+            ),
+            Self::OutOfRange { index, grid_len } => write!(
+                f,
+                "shard merge: outcome index {index} exceeds the {grid_len}-point grid — \
+                 shard outputs come from a different grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardMergeError {}
+
+/// Combines per-shard outcome slices back into the full grid, in grid
+/// order.
+///
+/// Duplicated grid points are tolerated **only** when the duplicates are
+/// bit-identical ([`SweepOutcome::bit_identical`]) — equality-confirmed
+/// conflict detection, the same discipline the cache applies. Any
+/// disagreement or gap is an error, never a silent pick-one.
+///
+/// # Errors
+///
+/// [`ShardMergeError::Missing`] if some grid index has no outcome;
+/// [`ShardMergeError::Conflict`] if two shards disagree on one.
+pub fn merge_sharded(
+    parts: &[Vec<SweepOutcome>],
+    grid_len: usize,
+) -> Result<Vec<SweepOutcome>, ShardMergeError> {
+    let mut slots: Vec<Option<&SweepOutcome>> = vec![None; grid_len];
+    for outcome in parts.iter().flatten() {
+        let slot = slots
+            .get_mut(outcome.index)
+            .ok_or(ShardMergeError::OutOfRange {
+                index: outcome.index,
+                grid_len,
+            })?;
+        match slot {
+            Some(existing) if !existing.bit_identical(outcome) => {
+                return Err(ShardMergeError::Conflict {
+                    index: outcome.index,
+                })
+            }
+            _ => *slot = Some(outcome),
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| slot.cloned().ok_or(ShardMergeError::Missing { index }))
+        .collect()
+}
+
 /// Runs per-scenario jobs over a scoped thread pool, deterministically.
+///
+/// # Examples
+///
+/// A cached sweep: the second run serves every grid point from the cache
+/// without executing a single simulation.
+///
+/// ```
+/// use wl_core::Params;
+/// use wl_harness::{derive_seed, Maintenance, ScenarioSpec, SweepCache, SweepRunner};
+/// use wl_time::RealTime;
+///
+/// let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+/// let grid: Vec<ScenarioSpec> = (0..3)
+///     .map(|i| {
+///         ScenarioSpec::new(params.clone())
+///             .seed(derive_seed(9, i))
+///             .t_end(RealTime::from_secs(2.0))
+///     })
+///     .collect();
+///
+/// let cache = SweepCache::new();
+/// let cold = SweepRunner::new().sweep_cached::<Maintenance>(grid.clone(), &cache);
+/// let warm = SweepRunner::new().sweep_cached::<Maintenance>(grid, &cache);
+/// assert_eq!((cache.hits(), cache.misses()), (3, 3));
+/// assert!(cold.iter().zip(&warm).all(|(a, b)| a.bit_identical(b)));
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     threads: usize,
@@ -148,7 +375,7 @@ impl SweepRunner {
     /// Assembles and runs every spec under algorithm `A`, summarizing each
     /// with [`run_summary`] into a [`SweepOutcome`].
     #[must_use]
-    pub fn sweep<A: SyncAlgorithm>(&self, specs: Vec<ScenarioSpec>) -> Vec<SweepOutcome> {
+    pub fn sweep<A: SweepAlgorithm>(&self, specs: Vec<ScenarioSpec>) -> Vec<SweepOutcome> {
         self.run(specs, |index, spec| run_point::<A>(index, spec))
     }
 
@@ -159,62 +386,147 @@ impl SweepRunner {
     /// Executions are pure functions of the spec, so a hit is exact, not
     /// approximate — lookups go through the 64-bit
     /// [`ScenarioSpec::content_hash`], and every hit is confirmed by
-    /// comparing the stored spec for equality, so a hash collision
-    /// degrades to a miss rather than a wrong result. Repeated
-    /// experiment grids (tweak one axis, re-run) only pay for the points
-    /// that changed; results still arrive in grid order with
-    /// grid-relative indices.
+    /// comparing the stored canonical spec serialization byte-for-byte,
+    /// so a hash collision degrades to a miss rather than a wrong
+    /// result. Repeated experiment grids (tweak one axis, re-run) only
+    /// pay for the points that changed; results still arrive in grid
+    /// order with grid-relative indices. Caches hydrated from a
+    /// [`crate::cache::SweepStore`] extend this across processes and
+    /// machines.
     #[must_use]
-    pub fn sweep_cached<A: SyncAlgorithm>(
+    pub fn sweep_cached<A: SweepAlgorithm>(
         &self,
         specs: Vec<ScenarioSpec>,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
         self.run(specs, |index, spec| {
-            let key = (spec.content_hash(), A::NAME);
-            // Canonical form on both sides: `drift: None` and its explicit
-            // default are the same execution, and must hit each other.
-            let canonical = spec.canonical();
-            if let Some(mut hit) = cache.get(&key, &canonical) {
-                hit.index = index;
-                return hit;
-            }
-            let outcome = run_point::<A>(index, spec);
-            cache.insert(key, canonical, outcome.clone());
-            outcome
+            run_point_cached::<A>(index, spec, cache)
+        })
+    }
+
+    /// Runs only the grid points owned by `shard`, with **grid-global**
+    /// indices preserved in the outcomes — [`merge_sharded`] (or
+    /// [`crate::cache::SweepStore::merge_from`], for the on-disk route)
+    /// reassembles the full grid from the per-shard outputs.
+    #[must_use]
+    pub fn sweep_sharded<A: SweepAlgorithm>(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        shard: Shard,
+    ) -> Vec<SweepOutcome> {
+        let owned = shard_slice(specs, shard);
+        self.run(owned, |_, (index, spec)| run_point::<A>(*index, spec))
+    }
+
+    /// [`sweep_sharded`](SweepRunner::sweep_sharded) through a cache —
+    /// the per-shard half of a distributed incremental sweep.
+    #[must_use]
+    pub fn sweep_sharded_cached<A: SweepAlgorithm>(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        shard: Shard,
+        cache: &SweepCache,
+    ) -> Vec<SweepOutcome> {
+        let owned = shard_slice(specs, shard);
+        self.run(owned, |_, (index, spec)| {
+            run_point_cached::<A>(*index, spec, cache)
         })
     }
 }
 
-/// Executes one grid point — the single per-point body shared by
-/// [`SweepRunner::sweep`] and [`SweepRunner::sweep_cached`], so the
-/// cached and uncached paths cannot diverge.
-fn run_point<A: SyncAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
+fn shard_slice(specs: Vec<ScenarioSpec>, shard: Shard) -> Vec<(usize, ScenarioSpec)> {
+    specs
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| shard.owns(i))
+        .collect()
+}
+
+/// Executes one grid point — the single per-point body shared by every
+/// sweep entry point, so the cached, sharded, and plain paths cannot
+/// diverge. Fault-free points take the monomorphized fleet fast path;
+/// both paths are pinned bit-identical by `mono_path_bit_identical_to_boxed`.
+fn run_point<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
     let t_end = spec.t_end.as_secs();
-    let summary = run_summary(assemble::<A>(spec), t_end);
+    let summary = match assemble_mono::<A>(spec) {
+        Some(built) => run_summary_mono(built, t_end),
+        None => run_summary(assemble::<A>(spec), t_end),
+    };
     SweepOutcome::new(index, spec.seed, &summary)
 }
 
+/// The cached per-point body: canonicalize, look up, fall back to
+/// [`run_point`], insert.
+fn run_point_cached<A: SweepAlgorithm>(
+    index: usize,
+    spec: &ScenarioSpec,
+    cache: &SweepCache,
+) -> SweepOutcome {
+    // Canonical form on both sides: `drift: None` and its explicit
+    // default are the same execution, and must hit each other.
+    let spec_canon = canon_string(&spec.canonical());
+    let hash = spec.content_hash();
+    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon) {
+        hit.index = index;
+        return hit;
+    }
+    let outcome = run_point::<A>(index, spec);
+    cache.store(hash, A::NAME.to_string(), spec_canon, outcome.clone());
+    outcome
+}
+
 /// Opt-in memo of per-scenario sweep results, keyed by
-/// `(ScenarioSpec::content_hash, algorithm name)`.
+/// `(ScenarioSpec::content_hash, algorithm name)` and confirmed against
+/// the canonical spec serialization on every hit.
 ///
 /// Shareable across sweeps and threads (`&SweepCache` is all
-/// [`SweepRunner::sweep_cached`] needs). The first step of the ROADMAP's
-/// incremental-sweep item: repeated grid runs skip unchanged points.
+/// [`SweepRunner::sweep_cached`] needs), and across *processes and
+/// machines* through [`crate::cache::SweepStore`], which persists the
+/// same entries to disk.
+///
+/// # Examples
+///
+/// ```
+/// use wl_core::Params;
+/// use wl_harness::{Maintenance, ScenarioSpec, SweepCache, SweepRunner};
+/// use wl_time::RealTime;
+///
+/// let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+/// let spec = ScenarioSpec::new(params).seed(3).t_end(RealTime::from_secs(2.0));
+///
+/// let cache = SweepCache::new();
+/// let _ = SweepRunner::serial().sweep_cached::<Maintenance>(vec![spec.clone()], &cache);
+/// assert_eq!((cache.len(), cache.misses()), (1, 1));
+///
+/// // Same spec again: a hit, no simulation.
+/// let _ = SweepRunner::serial().sweep_cached::<Maintenance>(vec![spec], &cache);
+/// assert_eq!((cache.len(), cache.hits()), (1, 1));
+/// ```
 #[derive(Debug, Default)]
 pub struct SweepCache {
-    /// Value holds the spec that produced the outcome, so hash
-    /// collisions are detected instead of served.
-    map: Mutex<HashMap<CacheKey, CacheEntry>>,
+    /// Keyed by a mix of the spec content hash and the algorithm name;
+    /// the entry holds both back, plus the canonical spec bytes, so any
+    /// collision is detected instead of served.
+    map: Mutex<HashMap<u64, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-/// `(spec content hash, algorithm name)`.
-type CacheKey = (u64, &'static str);
-/// The spec that produced the outcome (verified on every hit) plus the
-/// memoized outcome.
-type CacheEntry = (ScenarioSpec, SweepOutcome);
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// The spec's [`ScenarioSpec::content_hash`] — carried through to
+    /// the disk store, which persists it as the record key.
+    content_hash: u64,
+    algo: String,
+    spec_canon: String,
+    outcome: SweepOutcome,
+}
+
+/// Folds the algorithm name into the spec content hash (FNV-1a
+/// continuation) — one `u64` map key per `(spec, algorithm)` pair.
+fn entry_key(content_hash: u64, algo: &str) -> u64 {
+    crate::cache::fnv64_seeded(content_hash ^ crate::cache::FNV_OFFSET, algo.as_bytes())
+}
 
 impl SweepCache {
     /// An empty cache.
@@ -223,14 +535,21 @@ impl SweepCache {
         Self::default()
     }
 
-    fn get(&self, key: &CacheKey, spec: &ScenarioSpec) -> Option<SweepOutcome> {
+    /// Looks up `(content_hash, algo)`, confirming the hit against the
+    /// canonical spec bytes. Counts a hit or a miss either way.
+    pub(crate) fn lookup(
+        &self,
+        content_hash: u64,
+        algo: &str,
+        spec_canon: &str,
+    ) -> Option<SweepOutcome> {
         let found = self
             .map
             .lock()
             .expect("sweep cache poisoned")
-            .get(key)
-            .filter(|(cached_spec, _)| cached_spec == spec)
-            .map(|(_, outcome)| outcome.clone());
+            .get(&entry_key(content_hash, algo))
+            .filter(|e| e.algo == algo && e.spec_canon == spec_canon)
+            .map(|e| e.outcome.clone());
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -239,11 +558,54 @@ impl SweepCache {
         found
     }
 
-    fn insert(&self, key: CacheKey, spec: ScenarioSpec, outcome: SweepOutcome) {
+    /// Inserts an entry (replacing any previous occupant of the slot).
+    pub(crate) fn store(
+        &self,
+        content_hash: u64,
+        algo: String,
+        spec_canon: String,
+        outcome: SweepOutcome,
+    ) {
+        self.map.lock().expect("sweep cache poisoned").insert(
+            entry_key(content_hash, &algo),
+            CacheEntry {
+                content_hash,
+                algo,
+                spec_canon,
+                outcome,
+            },
+        );
+    }
+
+    /// Seeds an entry without touching the hit/miss counters — how
+    /// [`crate::cache::SweepStore`] hydrates a cache from disk.
+    pub(crate) fn seed(
+        &self,
+        content_hash: u64,
+        algo: String,
+        spec_canon: String,
+        outcome: SweepOutcome,
+    ) {
+        self.store(content_hash, algo, spec_canon, outcome);
+    }
+
+    /// Snapshots every entry as `(content_hash, algo, spec_canon,
+    /// outcome)` — the persistence export used by
+    /// [`crate::cache::SweepStore::absorb`].
+    pub(crate) fn snapshot(&self) -> Vec<(u64, String, String, SweepOutcome)> {
         self.map
             .lock()
             .expect("sweep cache poisoned")
-            .insert(key, (spec, outcome));
+            .values()
+            .map(|e| {
+                (
+                    e.content_hash,
+                    e.algo.clone(),
+                    e.spec_canon.clone(),
+                    e.outcome.clone(),
+                )
+            })
+            .collect()
     }
 
     /// Number of scenarios currently memoized.
@@ -276,7 +638,7 @@ impl SweepCache {
 }
 
 /// One grid point's results, in grid order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct SweepOutcome {
     /// Position in the input grid.
     pub index: usize,
@@ -290,6 +652,10 @@ pub struct SweepOutcome {
     pub agreement_holds: bool,
     /// Largest observed |ADJ|.
     pub max_abs_adjustment: f64,
+    /// Mean observed |ADJ| (first adjustment skipped as warm-up).
+    pub mean_abs_adjustment: f64,
+    /// Whether Theorem 4a's adjustment bound held.
+    pub adjustment_holds: bool,
     /// Raw simulator counters.
     pub stats: SimStats,
 }
@@ -303,8 +669,27 @@ impl SweepOutcome {
             max_skew: summary.agreement.max_skew,
             agreement_holds: summary.agreement.holds,
             max_abs_adjustment: summary.adjustments.max_abs,
+            mean_abs_adjustment: summary.adjustments.mean_abs,
+            adjustment_holds: summary.adjustments.holds,
             stats: summary.stats,
         }
+    }
+
+    /// Bit-level equality: floats compared by their IEEE bit patterns
+    /// (`NaN == NaN`, `-0.0 != 0.0`) — the determinism currency of the
+    /// shard merge and the disk store, strictly stronger than any
+    /// epsilon comparison.
+    #[must_use]
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        self.index == other.index
+            && self.seed == other.seed
+            && self.steady_skew.to_bits() == other.steady_skew.to_bits()
+            && self.max_skew.to_bits() == other.max_skew.to_bits()
+            && self.agreement_holds == other.agreement_holds
+            && self.max_abs_adjustment.to_bits() == other.max_abs_adjustment.to_bits()
+            && self.mean_abs_adjustment.to_bits() == other.mean_abs_adjustment.to_bits()
+            && self.adjustment_holds == other.adjustment_holds
+            && self.stats == other.stats
     }
 }
 
@@ -390,11 +775,31 @@ mod tests {
         let wide = SweepRunner::with_threads(4).sweep::<Maintenance>(grid(6));
         assert_eq!(serial.len(), wide.len());
         for (a, b) in serial.iter().zip(&wide) {
-            assert_eq!(a.index, b.index);
-            assert_eq!(a.seed, b.seed);
-            assert_eq!(a.stats, b.stats);
-            assert!((a.steady_skew - b.steady_skew).abs() == 0.0);
+            assert!(a.bit_identical(b));
         }
+    }
+
+    #[test]
+    fn mono_path_bit_identical_to_boxed() {
+        // Fault-free specs take the Vec<A> fast path inside run_point;
+        // forcing the boxed path through assemble + run_summary must give
+        // byte-identical outcomes.
+        for (i, spec) in grid(3).iter().enumerate() {
+            let fast = run_point::<Maintenance>(i, spec);
+            let boxed = SweepOutcome::new(
+                i,
+                spec.seed,
+                &run_summary(assemble::<Maintenance>(spec), spec.t_end.as_secs()),
+            );
+            assert!(fast.bit_identical(&boxed), "grid point {i} diverged");
+        }
+        // And the fast path really is available for these specs.
+        assert!(assemble_mono::<Maintenance>(&grid(1)[0]).is_some());
+        // Faulted specs fall back.
+        let faulted = grid(1)[0]
+            .clone()
+            .fault(wl_sim::ProcessId(0), crate::FaultKind::Silent);
+        assert!(assemble_mono::<Maintenance>(&faulted).is_none());
     }
 
     #[test]
@@ -422,15 +827,13 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 4);
         for (a, b) in cold.iter().zip(&plain) {
-            assert_eq!(a.stats, b.stats);
-            assert!((a.steady_skew - b.steady_skew).abs() == 0.0);
+            assert!(a.bit_identical(b));
         }
         // Second run: all hits, same results, grid indices remapped.
         let warm = SweepRunner::with_threads(3).sweep_cached::<Maintenance>(grid(4), &cache);
         assert_eq!(cache.hits(), 4);
         for (a, b) in warm.iter().zip(&plain) {
-            assert_eq!(a.index, b.index);
-            assert_eq!(a.stats, b.stats);
+            assert!(a.bit_identical(b));
         }
     }
 
@@ -468,5 +871,63 @@ mod tests {
         let _ = SweepRunner::serial().sweep_cached::<Maintenance>(shifted, &cache);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn shard_parsing_and_ownership() {
+        let s: Shard = "2/5".parse().unwrap();
+        assert_eq!((s.index(), s.count()), (2, 5));
+        assert!(s.owns(2) && s.owns(7) && !s.owns(3));
+        assert_eq!(s.to_string(), "2/5");
+        assert!("5/5".parse::<Shard>().is_err());
+        assert!("x/5".parse::<Shard>().is_err());
+        assert!("3".parse::<Shard>().is_err());
+        assert!(Shard::full().owns(0) && Shard::full().owns(123));
+    }
+
+    #[test]
+    fn sharded_sweep_merges_to_unsharded() {
+        let full = SweepRunner::serial().sweep::<Maintenance>(grid(5));
+        let parts: Vec<Vec<SweepOutcome>> = (0..2)
+            .map(|k| SweepRunner::serial().sweep_sharded::<Maintenance>(grid(5), Shard::new(k, 2)))
+            .collect();
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 2);
+        let merged = merge_sharded(&parts, 5).unwrap();
+        assert_eq!(merged.len(), full.len());
+        for (a, b) in merged.iter().zip(&full) {
+            assert!(a.bit_identical(b));
+        }
+    }
+
+    #[test]
+    fn shard_merge_detects_gaps_and_conflicts() {
+        let full = SweepRunner::serial().sweep::<Maintenance>(grid(3));
+        // A missing shard leaves a gap.
+        let only_first: Vec<Vec<SweepOutcome>> = vec![vec![full[0].clone()], vec![full[2].clone()]];
+        assert_eq!(
+            merge_sharded(&only_first, 3).unwrap_err(),
+            ShardMergeError::Missing { index: 1 }
+        );
+        // Overlap is fine when identical…
+        let overlap = vec![full.clone(), vec![full[1].clone()]];
+        assert!(merge_sharded(&overlap, 3).is_ok());
+        // …and an error when it disagrees.
+        let mut tampered = full[1].clone();
+        tampered.steady_skew += 1.0;
+        let conflict = vec![full.clone(), vec![tampered]];
+        assert_eq!(
+            merge_sharded(&conflict, 3).unwrap_err(),
+            ShardMergeError::Conflict { index: 1 }
+        );
+        // An index beyond the grid is a mismatched-grid error, not a
+        // phantom determinism violation.
+        assert_eq!(
+            merge_sharded(&[full], 2).unwrap_err(),
+            ShardMergeError::OutOfRange {
+                index: 2,
+                grid_len: 2
+            }
+        );
     }
 }

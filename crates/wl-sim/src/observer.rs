@@ -31,7 +31,7 @@ use wl_clock::Clock;
 use wl_time::{ClockTime, RealDur, RealTime};
 
 /// Counters describing an execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SimStats {
     /// Events delivered (START + TIMER + messages).
     pub events_delivered: u64,
