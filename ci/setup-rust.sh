@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Shared CI toolchain setup — the one place the workflow installs Rust.
+#
+# GitHub's YAML has no anchors and this repo keeps no composite actions,
+# so every job calls this script instead of repeating the rustup line:
+#
+#   ci/setup-rust.sh                  # toolchain only (bench jobs)
+#   ci/setup-rust.sh clippy,rustfmt   # with components (lint job)
+set -euo pipefail
+
+components="${1:-}"
+if [ -n "$components" ]; then
+  rustup toolchain install stable --profile minimal --component "$components"
+else
+  rustup toolchain install stable --profile minimal
+fi
+rustup default stable
+rustc --version
+cargo --version

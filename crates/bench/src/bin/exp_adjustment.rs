@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin exp_adjustment`
 
-use bench::{default_params, fs};
+use bench::{default_params, enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::theory;
 use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
@@ -72,6 +72,7 @@ fn main() {
 
     let mut disk = DiskSweepCache::open_shared();
     let outcomes = SweepRunner::new().sweep_cached::<Maintenance>(specs, disk.cache());
+    enforce_expected_misses(&disk);
 
     for (&(name, n, f, bound, five_eps), o) in rows.iter().zip(&outcomes) {
         table.row_owned(vec![

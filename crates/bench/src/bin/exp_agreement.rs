@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin exp_agreement`
 
-use bench::fs;
+use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::{theory, Params};
 use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
@@ -98,6 +98,7 @@ fn main() {
     let mut disk = DiskSweepCache::open_shared();
     let outcomes = SweepRunner::new()
         .sweep_cached::<Maintenance>(cases.iter().map(|c| c.spec.clone()).collect(), disk.cache());
+    enforce_expected_misses(&disk);
 
     for (case, o) in cases.iter().zip(&outcomes) {
         assert_eq!(o.stats.timers_suppressed, 0);

@@ -6,16 +6,17 @@
 //! attack against `n = 3f+1` (where `reduce` provably absorbs it) and
 //! `n = 3f` (where it does not): the skew stays bounded in the first case
 //! and is dragged wide in the second. The four cases run concurrently
-//! through `SweepRunner`.
+//! through `SweepRunner` — and through the shared disk cache with the
+//! **series** payload (`sweep_cached_series`), so a warm re-run reads
+//! its skew windows straight from cached records and executes zero
+//! simulations.
 //!
 //! Run: `cargo run --release -p bench --bin exp_boundary`
 
-use bench::fs;
+use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
-use wl_analysis::skew::SkewSeries;
-use wl_analysis::ExecutionView;
 use wl_core::{theory, Params};
-use wl_harness::{assemble, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
@@ -67,31 +68,22 @@ fn main() {
             (3 * f, "n = 3f (A2 violated)"),
         ] {
             let (spec, gamma) = case_spec(n, f, t_end, 101 + f as u64);
-            rows.push((n, f, regime, gamma));
+            // The skew windows below reproduce the legacy sampling span:
+            // from two rounds past T0 (settled) to just short of the end.
+            let from = spec.params.t0 + 2.0 * spec.params.p_round;
+            rows.push((n, f, regime, gamma, from));
             specs.push(spec);
         }
     }
 
-    let results = SweepRunner::new().run(specs, |_, spec| {
-        let built = assemble::<Maintenance>(spec);
-        let params = built.params.clone();
-        let plan = built.plan.clone();
-        let mut sim = built.sim;
-        let outcome = sim.run();
-        let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-        let series = SkewSeries::sample_with_events(
-            &view,
-            RealTime::from_secs(params.t0 + 2.0 * params.p_round),
-            RealTime::from_secs(t_end * 0.98),
-            wl_time::RealDur::from_secs(params.p_round / 5.0),
-        );
-        (
-            series.max(),
-            series.max_after(RealTime::from_secs(t_end / 2.0)),
-        )
-    });
+    let mut disk = DiskSweepCache::open_shared();
+    let outcomes = SweepRunner::new().sweep_cached_series::<Maintenance>(specs, disk.cache());
+    enforce_expected_misses(&disk);
 
-    for (&(n, f, regime, gamma), &(max, steady)) in rows.iter().zip(&results) {
+    for (&(n, f, regime, gamma, from), o) in rows.iter().zip(&outcomes) {
+        let series = o.series.as_ref().expect("series sweep always captures");
+        let max = series.max_skew_in(from, t_end * 0.98);
+        let steady = series.max_skew_in(t_end / 2.0, t_end * 0.98);
         table.row_owned(vec![
             n.to_string(),
             f.to_string(),
@@ -104,6 +96,10 @@ fn main() {
     }
     println!("{table}");
     println!("shape check: the same attack is absorbed at n=3f+1 and not at n=3f.");
+    eprintln!("{}", disk.status());
+    if let Err(e) = disk.persist() {
+        eprintln!("warning: could not persist sweep cache: {e}");
+    }
     let _ = table.save_csv("target/exp_boundary.csv");
     println!("(CSV saved to target/exp_boundary.csv)");
 }

@@ -6,18 +6,25 @@
 //! * **F2**: startup algorithm from seconds of disagreement (the Lemma 20
 //!   geometric descent), log-scale flavour shown via the raw CSV.
 //!
+//! All three curves come out of `sweep_cached_series` records: the skew
+//! series is part of the cached payload, so regenerating the figures
+//! against a warm disk cache executes **zero** simulations.
+//!
 //! Run: `cargo run --release -p bench --bin exp_figures`
 
+use bench::enforce_expected_misses;
 use wl_analysis::plot::ascii_chart;
 use wl_analysis::report::Table;
-use wl_analysis::skew::SkewSeries;
-use wl_analysis::ExecutionView;
 use wl_core::{Params, StartupParams};
-use wl_harness::{assemble, DelayKind, FaultKind, Maintenance, ScenarioSpec, Startup};
+use wl_harness::{
+    DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, Startup, SweepRunner,
+};
 use wl_sim::ProcessId;
-use wl_time::{RealDur, RealTime};
+use wl_time::RealTime;
 
-fn maintenance_series(byz: bool) -> Vec<(f64, f64)> {
+/// The F1 maintenance scenario (fault-free or Byzantine) and the window
+/// its curve is read over.
+fn maintenance_spec(byz: bool) -> (ScenarioSpec, f64, f64) {
     let (rho, delta, eps) = (1e-6, 0.010, 0.001);
     let beta = 50.0 * eps;
     let p_round = 2.0 * wl_core::params::min_p(rho, delta, eps, beta);
@@ -32,45 +39,17 @@ fn maintenance_series(byz: bool) -> Vec<(f64, f64)> {
             .delay(DelayKind::AdversarialSplit)
             .fault(ProcessId(0), FaultKind::PullApart(params.beta / 2.0));
     }
-    let built = assemble::<Maintenance>(&spec);
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    SkewSeries::sample_with_events(
-        &view,
-        RealTime::from_secs(0.9),
-        RealTime::from_secs(t_end * 0.99),
-        RealDur::from_secs(params.p_round / 10.0),
-    )
-    .samples
-    .into_iter()
-    .map(|(t, s)| (t.as_secs(), s))
-    .collect()
+    (spec, 0.9, t_end * 0.99)
 }
 
-fn startup_series() -> Vec<(f64, f64)> {
+/// The F2 cold-start scenario and its window.
+fn startup_spec() -> (ScenarioSpec, f64, f64) {
     let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).unwrap();
-    let built = assemble::<Startup>(
-        &ScenarioSpec::startup(&sp, 5.0)
-            .seed(23)
-            .t_end(RealTime::from_secs(10.0))
-            .silent(&[ProcessId(3)]),
-    );
-    let plan = built.plan.clone();
-    let mut sim = built.sim;
-    let outcome = sim.run();
-    let view = ExecutionView::with_plan(sim.clocks(), &outcome.corr, &plan);
-    SkewSeries::sample_with_events(
-        &view,
-        RealTime::from_secs(1.0),
-        RealTime::from_secs(9.9),
-        RealDur::from_secs(0.05),
-    )
-    .samples
-    .into_iter()
-    .map(|(t, s)| (t.as_secs(), s))
-    .collect()
+    let spec = ScenarioSpec::startup(&sp, 5.0)
+        .seed(23)
+        .t_end(RealTime::from_secs(10.0))
+        .silent(&[ProcessId(3)]);
+    (spec, 1.0, 9.9)
 }
 
 fn save_series(name: &str, series: &[(f64, f64)]) {
@@ -84,18 +63,41 @@ fn save_series(name: &str, series: &[(f64, f64)]) {
 }
 
 fn main() {
+    let mut disk = DiskSweepCache::open_shared();
+
+    let (free_spec, free_from, free_to) = maintenance_spec(false);
+    let (byz_spec, byz_from, byz_to) = maintenance_spec(true);
+    let maintenance = SweepRunner::new()
+        .sweep_cached_series::<Maintenance>(vec![free_spec, byz_spec], disk.cache());
+
+    let (su_spec, su_from, su_to) = startup_spec();
+    let startup = SweepRunner::new().sweep_cached_series::<Startup>(vec![su_spec], disk.cache());
+    enforce_expected_misses(&disk);
+
+    let window = |o: &wl_harness::SweepOutcome, from: f64, to: f64| {
+        o.series
+            .as_ref()
+            .expect("series sweep always captures")
+            .skew_window(from, to)
+    };
+
     println!("F1a: maintenance from wide spread, fault-free (y = max skew, s)");
-    let s = maintenance_series(false);
+    let s = window(&maintenance[0], free_from, free_to);
     println!("{}", ascii_chart(&s, 72, 12, "t, seconds"));
     save_series("fig_f1a_maintenance_faultfree", &s);
 
     println!("\nF1b: maintenance, Byzantine + adversarial delays (rides s/2 + 2eps)");
-    let s = maintenance_series(true);
+    let s = window(&maintenance[1], byz_from, byz_to);
     println!("{}", ascii_chart(&s, 72, 12, "t, seconds"));
     save_series("fig_f1b_maintenance_byzantine", &s);
 
     println!("\nF2: startup from 5s spread, one silent fault (Lemma 20 descent)");
-    let s = startup_series();
+    let s = window(&startup[0], su_from, su_to);
     println!("{}", ascii_chart(&s, 72, 12, "t, seconds"));
     save_series("fig_f2_startup", &s);
+
+    eprintln!("{}", disk.status());
+    if let Err(e) = disk.persist() {
+        eprintln!("warning: could not persist sweep cache: {e}");
+    }
 }

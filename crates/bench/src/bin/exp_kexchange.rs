@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin exp_kexchange`
 
-use bench::fs;
+use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::{theory, Params};
 use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
@@ -63,6 +63,7 @@ fn main() {
     // for the grid points that actually changed.
     let mut disk = DiskSweepCache::open_shared();
     let outcomes = SweepRunner::new().sweep_cached::<Maintenance>(specs, disk.cache());
+    enforce_expected_misses(&disk);
     let skews: Vec<f64> = outcomes.iter().map(|o| o.steady_skew).collect();
 
     let k1_skew = skews[0];

@@ -1,0 +1,206 @@
+//! Multi-process sweep driver CLI — `wl_harness::driver` behind flags.
+//!
+//! One invocation partitions the demonstration grid into `--workers N`
+//! shards, spawns **this same binary** once per shard in `--worker`
+//! mode, babysits the subprocesses (heartbeat via store/log activity,
+//! restart-on-crash with bounded retries, optional stall kill), and
+//! merges the shard stores into one canonical output store:
+//!
+//! ```text
+//! sweep_drive --workers 3 --dir target/drive --out target/drive/merged.wls
+//! sweep_drive --workers 1 --dir target/ref   --out target/ref/merged.wls
+//! cmp target/drive/merged.wls target/ref/merged.wls     # byte-identical
+//! ```
+//!
+//! `--crash-worker K` makes worker `K`'s *first* launch abort right
+//! after its first checkpoint (a deterministic stand-in for `kill -9`
+//! mid-sweep); the driver restarts it, the restart resumes from the
+//! checkpointed shard store, and the merged output is still
+//! byte-identical — CI pins exactly that. The run fails if the injected
+//! crash did not actually cause a restart, so the smoke cannot silently
+//! stop covering the restart path.
+
+use bench::{demo_grid, DEMO_GRID};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+use wl_harness::{
+    drive, run_worker, DriverConfig, Maintenance, Shard, SweepRunner, SweepStore, WorkerConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sweep_drive --workers N [--grid SIZE] [--dir DIR] [--out FILE] \
+         [--checkpoint C] [--retries R] [--stall-ms T] [--crash-worker K]\n  \
+         sweep_drive --worker K/N --store FILE [--grid SIZE] [--checkpoint C] [--crash-after M]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>) -> T {
+    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--workers") => driver_main(&args),
+        Some("--worker") => worker_main(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// The worker protocol: run one shard of the demo grid, checkpointing
+/// the shard store; print one progress line per checkpoint (the driver
+/// appends them to `worker-<k>.log` and watches the file grow).
+fn worker_main(args: &[String]) {
+    let mut it = args.iter();
+    let shard: Shard = parse(it.next());
+    let mut store: Option<String> = None;
+    let mut grid_size = DEMO_GRID;
+    let mut checkpoint = 4usize;
+    let mut crash_after = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => store = it.next().cloned(),
+            "--grid" => grid_size = parse(it.next()),
+            "--checkpoint" => checkpoint = parse(it.next()),
+            "--crash-after" => crash_after = Some(parse(it.next())),
+            _ => usage(),
+        }
+    }
+    let cfg = WorkerConfig {
+        shard,
+        store: PathBuf::from(store.unwrap_or_else(|| usage())),
+        checkpoint,
+        crash_after,
+    };
+    let progress =
+        run_worker::<Maintenance>(&SweepRunner::new(), demo_grid(grid_size), &cfg, |p| {
+            println!(
+                "progress shard={shard} done={}/{} hits={} misses={} records={}",
+                p.done, p.total, p.hits, p.misses, p.records
+            );
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("worker {shard}: store I/O failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "worker {shard} complete: {} points ({} hits, {} misses)",
+        progress.total, progress.hits, progress.misses
+    );
+}
+
+fn driver_main(args: &[String]) {
+    let mut it = args.iter();
+    it.next(); // the "--workers" flag itself
+    let workers: u32 = parse(it.next());
+    let mut grid_size = DEMO_GRID;
+    let mut dir = PathBuf::from("target/sweep-drive");
+    let mut out: Option<PathBuf> = None;
+    let mut checkpoint = 4usize;
+    let mut retries = 2u32;
+    let mut stall_ms: Option<u64> = None;
+    let mut crash_worker: Option<u32> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--grid" => grid_size = parse(it.next()),
+            "--dir" => dir = PathBuf::from(parse::<String>(it.next())),
+            "--out" => out = Some(PathBuf::from(parse::<String>(it.next()))),
+            "--checkpoint" => checkpoint = parse(it.next()),
+            "--retries" => retries = parse(it.next()),
+            "--stall-ms" => stall_ms = Some(parse(it.next())),
+            "--crash-worker" => crash_worker = Some(parse(it.next())),
+            _ => usage(),
+        }
+    }
+    if workers == 0 {
+        usage();
+    }
+    if let Some(k) = crash_worker {
+        if k >= workers {
+            eprintln!("--crash-worker {k} out of range 0..{workers}");
+            std::process::exit(2);
+        }
+    }
+    let out = out.unwrap_or_else(|| dir.join("merged.wls"));
+    let exe = std::env::current_exe().expect("own executable path");
+
+    let mut cfg = DriverConfig::new(workers, dir, out.clone());
+    cfg.max_restarts = retries;
+    cfg.stall_timeout = stall_ms.map(Duration::from_millis);
+
+    let report = drive(&cfg, |shard, store, attempt| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--worker")
+            .arg(shard.to_string())
+            .arg("--store")
+            .arg(store)
+            .arg("--grid")
+            .arg(grid_size.to_string())
+            .arg("--checkpoint")
+            .arg(checkpoint.to_string());
+        // Fault injection only poisons the first launch: the restart the
+        // driver issues must run clean and converge.
+        if attempt == 0 && crash_worker == Some(shard.index()) {
+            cmd.arg("--crash-after").arg("1");
+        }
+        cmd
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("sweep_drive failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "driver: {workers} worker(s) over {grid_size} grid points; {} restart(s) \
+         ({} stall kill(s)), {} torn line(s) tolerated; merged {} record(s) -> {}",
+        report.restarts,
+        report.stall_kills,
+        report.skipped_lines,
+        report.merged_records,
+        out.display()
+    );
+
+    if crash_worker.is_some() && report.restarts == 0 {
+        eprintln!("crash injection requested but no worker was ever restarted");
+        std::process::exit(1);
+    }
+
+    // Exactly one record per grid point: a surplus means the work dir
+    // held shard stores from another grid, and the output would not be
+    // byte-comparable to a clean run — the property this tool exists to
+    // guarantee.
+    if report.merged_records != grid_size {
+        eprintln!(
+            "merged store holds {} record(s) for a {grid_size}-point grid; \
+             is {} reused from another grid? use a fresh --dir",
+            report.merged_records,
+            cfg.dir.display()
+        );
+        std::process::exit(1);
+    }
+
+    // Self-check: the merged store must serve the whole grid without a
+    // single simulation. Machine-checked here so every driver run —
+    // local or CI — proves the merge actually covers the grid.
+    let merged = SweepStore::open(&out).unwrap_or_else(|e| {
+        eprintln!("cannot reopen merged store: {e}");
+        std::process::exit(1);
+    });
+    let cache = merged.hydrate();
+    let _ = SweepRunner::new().sweep_cached::<Maintenance>(demo_grid(grid_size), &cache);
+    if cache.misses() != 0 {
+        eprintln!(
+            "merged store does not cover the grid: {} hit(s), {} miss(es)",
+            cache.hits(),
+            cache.misses()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "merged store serves the full grid from cache: {} hits, 0 misses",
+        cache.hits()
+    );
+}

@@ -16,37 +16,12 @@
 //! cmp merged.wls full.wls
 //! ```
 
-use wl_core::Params;
-use wl_harness::{
-    derive_seed, DelayKind, Maintenance, ScenarioSpec, Shard, SweepCache, SweepRunner, SweepStore,
-    SweepSummary,
-};
-use wl_time::RealTime;
-
-const DEFAULT_GRID: usize = 24;
-
-/// The fixed demo grid: the same shape the sweep bench uses — three
-/// delay models round-robined over machine-independent seeds.
-fn demo_grid(size: usize) -> Vec<ScenarioSpec> {
-    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).expect("feasible parameters");
-    let delays = [
-        DelayKind::Constant,
-        DelayKind::Uniform,
-        DelayKind::AdversarialSplit,
-    ];
-    (0..size)
-        .map(|i| {
-            ScenarioSpec::new(params.clone())
-                .seed(derive_seed(0x5AAD_BA5E, i as u64))
-                .delay(delays[i % 3])
-                .t_end(RealTime::from_secs(2.0))
-        })
-        .collect()
-}
+use bench::{demo_grid, DEMO_GRID};
+use wl_harness::{Maintenance, Shard, SweepCache, SweepRunner, SweepStore, SweepSummary};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE]\n  \
+        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE] [--expect-hits N]\n  \
          sweep_shard --merge OUT IN1 IN2 [IN3 ...]"
     );
     std::process::exit(2);
@@ -72,7 +47,8 @@ fn run_shard(args: &[String]) {
             std::process::exit(2)
         });
     let mut store_path: Option<String> = None;
-    let mut grid_size = DEFAULT_GRID;
+    let mut grid_size = DEMO_GRID;
+    let mut expect_hits: Option<u64> = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--store" => store_path = it.next().cloned(),
@@ -81,6 +57,13 @@ fn run_shard(args: &[String]) {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--expect-hits" => {
+                expect_hits = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             _ => usage(),
         }
@@ -109,6 +92,19 @@ fn run_shard(args: &[String]) {
         summary.events,
         summary.all_hold(),
     );
+    // Machine-checkable smoke assertion: CI pins "this run was entirely
+    // cache-served" through the exit code instead of grepping the line
+    // above.
+    if let Some(want) = expect_hits {
+        if cache.hits() != want {
+            eprintln!(
+                "expected exactly {want} cache hit(s), observed {} ({} misses)",
+                cache.hits(),
+                cache.misses()
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_merge(args: &[String]) {

@@ -12,6 +12,8 @@
 pub use wl_harness::run::{baseline_metrics, run_summary, skew_series, steady_skew, RunSummary};
 
 use wl_core::Params;
+use wl_harness::{derive_seed, DelayKind, DiskSweepCache, ScenarioSpec};
+use wl_time::RealTime;
 
 /// Standard parameter set used across experiments unless stated otherwise:
 /// `ρ = 1e-6`, `δ = 10ms`, `ε = 1ms`.
@@ -24,4 +26,57 @@ pub fn default_params(n: usize, f: usize) -> Params {
 #[must_use]
 pub fn fs(x: f64) -> String {
     wl_analysis::report::fmt_secs(x)
+}
+
+/// Default size of [`demo_grid`] — the grid the `sweep_shard` and
+/// `sweep_drive` smoke flows (and CI) run.
+pub const DEMO_GRID: usize = 24;
+
+/// The fixed demonstration grid shared by `sweep_shard` and
+/// `sweep_drive`: the same shape the sweep bench uses — three delay
+/// models round-robined over machine-independent seeds. Both binaries
+/// must build byte-identical grids or the CI `cmp`s would compare
+/// different sweeps.
+#[must_use]
+pub fn demo_grid(size: usize) -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).expect("feasible parameters");
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..size)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0x5AAD_BA5E, i as u64))
+                .delay(delays[i % 3])
+                .t_end(RealTime::from_secs(2.0))
+        })
+        .collect()
+}
+
+/// CI guard: when `WL_SWEEP_EXPECT_MISSES` is set, the experiment's
+/// actual cache-miss count must equal it or the process exits 1.
+///
+/// A miss is the only thing that triggers a simulation, so
+/// `WL_SWEEP_EXPECT_MISSES=0` is a machine-checkable "this run executed
+/// zero simulations" assertion — CI's warm-cache steps set it instead of
+/// grepping human-readable output. Call it right after the sweep, before
+/// persisting.
+pub fn enforce_expected_misses(disk: &DiskSweepCache) {
+    let Ok(raw) = std::env::var("WL_SWEEP_EXPECT_MISSES") else {
+        return;
+    };
+    let Ok(want) = raw.parse::<u64>() else {
+        eprintln!("WL_SWEEP_EXPECT_MISSES={raw} is not a number");
+        std::process::exit(1);
+    };
+    let got = disk.cache().misses();
+    if got != want {
+        eprintln!(
+            "WL_SWEEP_EXPECT_MISSES={want} but this run missed {got} time(s) ({})",
+            disk.status()
+        );
+        std::process::exit(1);
+    }
 }

@@ -15,6 +15,9 @@
 //!
 //! [`SweepStore`] owns the file format: one human-greppable text record
 //! per `(spec, algorithm)` pair, each line carrying its own checksum.
+//! Scalar summaries are `R`-tagged; records whose outcome additionally
+//! carries a [`SweepSeries`] payload are `S`-tagged (the v2 record kind,
+//! introduced with `ENGINE_VERSION` 3).
 //! Loading tolerates arbitrary corruption (truncated tails, mangled
 //! lines, foreign files) by skipping what it cannot verify; saving
 //! writes the whole store to a temp file and atomically renames it, so
@@ -31,7 +34,7 @@
 //! [`ScenarioSpec::content_hash`]: crate::ScenarioSpec::content_hash
 //! [`SyncAlgorithm::NAME`]: crate::SyncAlgorithm::NAME
 
-use crate::sweep::{SweepCache, SweepOutcome};
+use crate::sweep::{SweepCache, SweepOutcome, SweepSeries};
 use serde::ser::{
     SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
     SerializeTupleStruct, SerializeTupleVariant,
@@ -52,7 +55,11 @@ use wl_sim::SimStats;
 /// canonical encoding, or the [`SweepOutcome`] fields. Stale records are
 /// ignored at load time (never an error), so old stores degrade to cold
 /// caches instead of poisoning new runs.
-pub const ENGINE_VERSION: u32 = 2;
+///
+/// History: 3 added the optional [`SweepSeries`] payload (`S`-tagged
+/// records) and the `series` field to the canonical [`SweepOutcome`]
+/// encoding.
+pub const ENGINE_VERSION: u32 = 3;
 
 /// First line of every store file: format magic + *format* version
 /// (which is about the file layout; [`ENGINE_VERSION`] travels per
@@ -531,6 +538,59 @@ impl<'a> Cursor<'a> {
             _ => None,
         }
     }
+
+    /// A `[a,b,c]` sequence, elements parsed by `elem`.
+    fn seq<T>(&mut self, mut elem: impl FnMut(&mut Self) -> Option<T>) -> Option<Vec<T>> {
+        self.eat("[")?;
+        let mut out = Vec::new();
+        if self.eat("]").is_some() {
+            return Some(out);
+        }
+        loop {
+            out.push(elem(self)?);
+            if self.eat("]").is_some() {
+                return Some(out);
+            }
+            self.eat(",")?;
+        }
+    }
+
+    fn f64_seq(&mut self) -> Option<Vec<f64>> {
+        self.seq(Self::f64_bits)
+    }
+
+    fn u32_seq(&mut self) -> Option<Vec<u32>> {
+        self.seq(|c| u32::try_from(c.u64_dec()?).ok())
+    }
+}
+
+/// Parses the canonical encoding of a [`SweepSeries`] (the payload of
+/// `S`-tagged records), mirroring `canon_string(&series)`.
+fn parse_series(c: &mut Cursor<'_>) -> Option<SweepSeries> {
+    c.eat("SweepSeries{round_times:")?;
+    let round_times = c.f64_seq()?;
+    c.eat(",round_skews:")?;
+    let round_skews = c.f64_seq()?;
+    c.eat(",skew_times:")?;
+    let skew_times = c.f64_seq()?;
+    c.eat(",skew_values:")?;
+    let skew_values = c.f64_seq()?;
+    c.eat(",corr_procs:")?;
+    let corr_procs = c.u32_seq()?;
+    c.eat(",corr_times:")?;
+    let corr_times = c.f64_seq()?;
+    c.eat(",corr_values:")?;
+    let corr_values = c.f64_seq()?;
+    c.eat("}")?;
+    Some(SweepSeries {
+        round_times,
+        round_skews,
+        skew_times,
+        skew_values,
+        corr_procs,
+        corr_times,
+        corr_values,
+    })
 }
 
 /// Parses the canonical encoding of a [`SweepOutcome`] — the exact
@@ -562,7 +622,14 @@ fn parse_outcome(s: &str) -> Option<SweepOutcome> {
     let timers_set = c.u64_dec()?;
     c.eat(",timers_suppressed:")?;
     let timers_suppressed = c.u64_dec()?;
-    c.eat("}}")?;
+    c.eat("},series:")?;
+    let series = if c.eat("~").is_some() {
+        None
+    } else {
+        c.eat("+")?;
+        Some(parse_series(&mut c)?)
+    };
+    c.eat("}")?;
     if !c.s.is_empty() {
         return None;
     }
@@ -581,6 +648,7 @@ fn parse_outcome(s: &str) -> Option<SweepOutcome> {
             timers_set,
             timers_suppressed,
         },
+        series,
     })
 }
 
@@ -746,7 +814,7 @@ impl SweepStore {
                     // appended duplicate can only be a foreign artifact.
                     match store.records.entry(key) {
                         std::collections::btree_map::Entry::Vacant(v) => {
-                            v.insert(record);
+                            v.insert(*record);
                         }
                         std::collections::btree_map::Entry::Occupied(_) => store.skipped += 1,
                     }
@@ -944,8 +1012,17 @@ impl SweepStore {
 }
 
 fn record_line(hash: u64, algo: &str, record: &StoreRecord) -> String {
+    // `R` = scalar summary; `S` = series-bearing (the v2 payload). The
+    // tag duplicates what the outcome encoding says so a reader can
+    // filter record kinds without parsing payloads; the parser
+    // cross-checks the two.
+    let tag = if record.outcome.series.is_some() {
+        "S"
+    } else {
+        "R"
+    };
     let prefix = format!(
-        "R {hash:016x} {ENGINE_VERSION} {} {} {}",
+        "{tag} {hash:016x} {ENGINE_VERSION} {} {} {}",
         canon_string(algo),
         record.spec_canon,
         record.outcome_canon,
@@ -955,7 +1032,12 @@ fn record_line(hash: u64, algo: &str, record: &StoreRecord) -> String {
 }
 
 enum ParsedLine {
-    Record { key: StoreKey, record: StoreRecord },
+    // Boxed: a parsed record (outcome + canon strings, possibly a whole
+    // series payload) dwarfs the data-free variants.
+    Record {
+        key: StoreKey,
+        record: Box<StoreRecord>,
+    },
     Stale,
     Corrupt,
 }
@@ -971,7 +1053,7 @@ fn parse_line(line: &str) -> ParsedLine {
     let [tag, hash_tok, engine_tok, algo_tok, spec_tok, outcome_tok] = fields.as_slice() else {
         return ParsedLine::Corrupt;
     };
-    if *tag != "R" {
+    if *tag != "R" && *tag != "S" {
         return ParsedLine::Corrupt;
     }
     let Ok(hash) = u64::from_str_radix(hash_tok, 16) else {
@@ -988,13 +1070,16 @@ fn parse_line(line: &str) -> ParsedLine {
     let Some(outcome) = parse_outcome(outcome_tok) else {
         return ParsedLine::Corrupt;
     };
+    if (*tag == "S") != outcome.series.is_some() {
+        return ParsedLine::Corrupt;
+    }
     ParsedLine::Record {
         key: (hash, algo),
-        record: StoreRecord {
+        record: Box::new(StoreRecord {
             spec_canon: (*spec_tok).to_string(),
             outcome_canon: (*outcome_tok).to_string(),
             outcome,
-        },
+        }),
     }
 }
 
@@ -1173,6 +1258,19 @@ mod tests {
                 timers_set: 3,
                 timers_suppressed: 4,
             },
+            series: None,
+        }
+    }
+
+    fn series_fixture() -> SweepSeries {
+        SweepSeries {
+            round_times: vec![1.0, 2.0],
+            round_skews: vec![0.5, -0.0],
+            skew_times: vec![0.0, 0.5, 1.0],
+            skew_values: vec![1.0, f64::NAN, 0.25],
+            corr_procs: vec![0, 3],
+            corr_times: vec![1.0, 1.5],
+            corr_values: vec![-0.125, 2.5e-3],
         }
     }
 
@@ -1212,6 +1310,96 @@ mod tests {
         // Any tampering is rejected, not misread.
         assert!(parse_outcome(&encoded[1..]).is_none());
         assert!(parse_outcome(&format!("{encoded}x")).is_none());
+    }
+
+    #[test]
+    fn series_outcome_roundtrip() {
+        let mut outcome = outcome_fixture();
+        outcome.series = Some(series_fixture());
+        let encoded = canon_string(&outcome);
+        assert!(
+            encoded.contains(",series:+SweepSeries{round_times:[x3ff0000000000000,"),
+            "series payload is inlined in the outcome encoding: {encoded}"
+        );
+        assert!(!encoded.contains(' '), "series encoding must be space-free");
+        let decoded = parse_outcome(&encoded).expect("series record parses back");
+        assert!(
+            decoded.bit_identical(&outcome),
+            "every series element must survive bit-for-bit (incl. NaN, -0.0)"
+        );
+        // Truncating inside the series is rejected, not misread.
+        assert!(parse_outcome(&encoded[..encoded.len() - 3]).is_none());
+        // Empty series vectors round-trip too.
+        outcome.series = Some(SweepSeries {
+            round_times: vec![],
+            round_skews: vec![],
+            skew_times: vec![],
+            skew_values: vec![],
+            corr_procs: vec![],
+            corr_times: vec![],
+            corr_values: vec![],
+        });
+        let encoded = canon_string(&outcome);
+        let decoded = parse_outcome(&encoded).expect("empty series parses back");
+        assert!(decoded.bit_identical(&outcome));
+    }
+
+    #[test]
+    fn series_records_tagged_and_cross_checked() {
+        // A store holding one scalar and one series record writes `R` and
+        // `S` tags respectively; forging the tag of either line fails the
+        // cross-check (after re-checksumming, so only the tag is at
+        // fault).
+        let path = tmp_path("series-tags");
+        let _ = std::fs::remove_file(&path);
+        let cache = SweepCache::new();
+        let g = grid(2);
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(vec![g[0].clone()], &cache);
+        let _ =
+            SweepRunner::serial().sweep_cached_series::<Maintenance>(vec![g[1].clone()], &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tags: Vec<char> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().next().unwrap())
+            .collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec!['R', 'S'], "one scalar + one series record");
+
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let hydrated = reopened.hydrate();
+        let warm =
+            SweepRunner::serial().sweep_cached_series::<Maintenance>(vec![g[1].clone()], &hydrated);
+        assert_eq!(hydrated.hits(), 1, "series record serves a series request");
+        assert!(warm[0].series.is_some());
+
+        // Forge each tag: the line re-checksums fine but the payload
+        // disagrees with the tag, so the loader must skip it.
+        let forged: String = std::iter::once(text.lines().next().unwrap().to_string())
+            .chain(text.lines().skip(1).map(|line| {
+                let (prefix, _) = line.rsplit_once(' ').unwrap();
+                let flipped = if let Some(rest) = prefix.strip_prefix("R ") {
+                    format!("S {rest}")
+                } else {
+                    format!("R {}", prefix.strip_prefix("S ").unwrap())
+                };
+                let crc = fnv64(flipped.as_bytes());
+                format!("{flipped} {crc:016x}")
+            }))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        std::fs::write(&path, forged).unwrap();
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 0);
+        assert_eq!(reopened.skipped_lines(), 2, "both forged tags rejected");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Multi-process sweep driver: partition a grid into `N` shards, run one
+//! **worker subprocess** per shard, babysit them, and auto-merge their
+//! stores.
+//!
+//! PR 3's sharding layer made grids splittable (`k/N` shards, canonical
+//! stores, equality-confirmed merges) but left the operational half to a
+//! human: launch N `sweep_shard` processes, watch them, re-run the ones
+//! that died, merge by hand. This module is that human, mechanized:
+//!
+//! * [`run_worker`] — the **worker** half: runs one shard's grid points
+//!   through the shared cached per-point body, *checkpointing* the shard
+//!   store every few points (atomic tmp+rename saves). A worker killed at
+//!   any instant — `kill -9` included — leaves either the previous or the
+//!   next complete store; a re-run hydrates it and pays only for the
+//!   points that never checkpointed. That is what makes the driver's
+//!   restart policy safe: restarting a shard is idempotent.
+//! * [`drive`] — the **driver** half: spawns one worker subprocess per
+//!   shard (the caller supplies the [`Command`], so any binary speaking
+//!   the worker protocol works), monitors a per-worker *heartbeat*
+//!   (store mtime/size + log growth), restarts crashed workers with the
+//!   same shard slice under a bounded retry budget, optionally
+//!   `SIGKILL`s-and-restarts stalled ones, and finally folds the shard
+//!   stores into one canonical output store with
+//!   [`SweepStore::merge_from`].
+//!
+//! The end-to-end contract, pinned by `tests/driver_process.rs` and CI:
+//! a driver run — including one whose worker was killed mid-sweep —
+//! produces an output store **byte-identical** to a 1-process run over
+//! the same grid. See `docs/sweeps.md` § "The driver".
+
+use crate::cache::{MergeConflict, SweepStore};
+use crate::spec::ScenarioSpec;
+use crate::sweep::{run_point_cached, Shard, SweepAlgorithm, SweepRunner};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant, SystemTime};
+
+// ---------------------------------------------------------------------------
+// Worker half.
+// ---------------------------------------------------------------------------
+
+/// Configuration of one shard worker (the subprocess side).
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The `k/N` slice of the grid this worker owns.
+    pub shard: Shard,
+    /// The worker's private shard store (created if missing, hydrated if
+    /// present — which is exactly how a restarted worker resumes).
+    pub store: PathBuf,
+    /// Points per checkpoint: after each batch of this many grid points
+    /// the store is absorbed and atomically saved, and the heartbeat
+    /// callback fires. `0` means "one checkpoint at the end".
+    pub checkpoint: usize,
+    /// Fault injection: abort the process (as a crash would) right after
+    /// this many checkpoints. `None` in production; tests and the CI
+    /// kill-smoke use it to crash a worker mid-sweep deterministically.
+    pub crash_after: Option<usize>,
+}
+
+/// One worker heartbeat: cumulative progress at a checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerProgress {
+    /// Grid points processed so far (hits and misses both count).
+    pub done: usize,
+    /// Grid points this shard owns in total.
+    pub total: usize,
+    /// Cache hits so far (points served without simulating).
+    pub hits: u64,
+    /// Cache misses so far (points that ran a simulation).
+    pub misses: u64,
+    /// Records in the shard store after the checkpoint save.
+    pub records: usize,
+}
+
+/// Runs one shard of `grid` under algorithm `A`, checkpointing the shard
+/// store as configured — the worker protocol body shared by
+/// `sweep_drive --worker` and the test workers.
+///
+/// `heartbeat` fires after every checkpoint *save*; workers should print
+/// one progress line from it (the driver watches the log grow, and log
+/// lines are what a human reads post-mortem).
+///
+/// Resume semantics: the store is opened (corruption-tolerant — a
+/// truncated tail from a previous crash costs exactly the damaged
+/// records) and hydrated into the cache, so previously checkpointed
+/// points are hits and only the remainder simulates.
+///
+/// # Errors
+///
+/// Propagates store I/O failures. Simulation itself cannot fail.
+pub fn run_worker<A: SweepAlgorithm>(
+    runner: &SweepRunner,
+    grid: Vec<ScenarioSpec>,
+    cfg: &WorkerConfig,
+    mut heartbeat: impl FnMut(&WorkerProgress),
+) -> io::Result<WorkerProgress> {
+    let mut store = SweepStore::open(&cfg.store)?;
+    let cache = store.hydrate();
+    let owned: Vec<(usize, ScenarioSpec)> = grid
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| cfg.shard.owns(i))
+        .collect();
+    let total = owned.len();
+    let chunk = if cfg.checkpoint == 0 {
+        total.max(1)
+    } else {
+        cfg.checkpoint
+    };
+
+    let mut progress = WorkerProgress {
+        done: 0,
+        total,
+        hits: 0,
+        misses: 0,
+        records: store.len(),
+    };
+    let mut checkpoints = 0usize;
+    for batch in owned.chunks(chunk) {
+        let _ = runner.run(batch.to_vec(), |_, (index, spec)| {
+            run_point_cached::<A>(*index, spec, &cache)
+        });
+        store.absorb(&cache);
+        store.save()?;
+        checkpoints += 1;
+        progress = WorkerProgress {
+            done: progress.done + batch.len(),
+            total,
+            hits: cache.hits(),
+            misses: cache.misses(),
+            records: store.len(),
+        };
+        heartbeat(&progress);
+        if cfg.crash_after == Some(checkpoints) {
+            // Simulated crash: no unwinding, no destructors — the closest
+            // safe stand-in for `kill -9` the process can inflict on
+            // itself. The checkpoint just saved is what the restart sees.
+            std::process::abort();
+        }
+    }
+    if total == 0 {
+        // An empty shard still writes a valid (header-only) store so the
+        // merge step finds a file.
+        store.save()?;
+        heartbeat(&progress);
+    }
+    Ok(progress)
+}
+
+// ---------------------------------------------------------------------------
+// Driver half.
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`drive`] run (the parent side).
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of shards = number of worker subprocesses.
+    pub shards: u32,
+    /// Working directory: shard stores (`shard-<k>.wls`) and worker logs
+    /// (`worker-<k>.log`) live here. Created if missing. Use a fresh
+    /// directory per grid — leftover shard stores from another grid
+    /// would merge extra records into the output.
+    pub dir: PathBuf,
+    /// Path of the merged output store.
+    pub out: PathBuf,
+    /// Restart budget **per shard**: a worker may crash (or stall) at
+    /// most this many times before the drive fails.
+    pub max_restarts: u32,
+    /// Monitor poll interval.
+    pub poll: Duration,
+    /// If set, a worker whose heartbeat (store mtime/size, log size)
+    /// has not changed for this long is `SIGKILL`ed and restarted,
+    /// consuming one restart. `None` trusts workers to either exit or
+    /// make progress.
+    pub stall_timeout: Option<Duration>,
+}
+
+impl DriverConfig {
+    /// A config with the defaults the `sweep_drive` bin uses: 2 restarts
+    /// per shard, 50 ms poll, no stall timeout.
+    #[must_use]
+    pub fn new(shards: u32, dir: impl Into<PathBuf>, out: impl Into<PathBuf>) -> Self {
+        Self {
+            shards,
+            dir: dir.into(),
+            out: out.into(),
+            max_restarts: 2,
+            poll: Duration::from_millis(50),
+            stall_timeout: None,
+        }
+    }
+
+    /// The store path assigned to shard `k`.
+    #[must_use]
+    pub fn shard_store(&self, k: u32) -> PathBuf {
+        self.dir.join(format!("shard-{k}.wls"))
+    }
+
+    /// The log file worker `k`'s stdout/stderr are appended to (across
+    /// restarts, so the crash story reads in one place).
+    #[must_use]
+    pub fn worker_log(&self, k: u32) -> PathBuf {
+        self.dir.join(format!("worker-{k}.log"))
+    }
+}
+
+/// What a completed [`drive`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriveReport {
+    /// Records in the merged output store.
+    pub merged_records: usize,
+    /// Worker restarts across all shards (crashes + stall kills).
+    pub restarts: u32,
+    /// How many of those restarts were stall kills.
+    pub stall_kills: u32,
+    /// Corrupt lines skipped while loading shard stores for the merge
+    /// (a crashed worker's torn tail, tolerated by design).
+    pub skipped_lines: usize,
+    /// Stale-engine records ignored while loading shard stores.
+    pub stale_records: usize,
+}
+
+/// Why a [`drive`] failed.
+#[derive(Debug)]
+pub enum DriveError {
+    /// Spawning, polling, or store I/O failed.
+    Io(io::Error),
+    /// A shard's worker kept failing past its restart budget.
+    WorkerExhausted {
+        /// The shard whose worker could not be kept alive.
+        shard: Shard,
+        /// Launch attempts made (1 initial + restarts).
+        attempts: u32,
+        /// The worker's log, for the post-mortem.
+        log: PathBuf,
+    },
+    /// Two shard stores disagreed — the determinism contract was broken
+    /// (mixed engine builds, foreign stores in the work dir).
+    Merge(MergeConflict),
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "driver I/O failure: {e}"),
+            Self::WorkerExhausted {
+                shard,
+                attempts,
+                log,
+            } => write!(
+                f,
+                "worker for shard {shard} failed {attempts} time(s), retry budget exhausted \
+                 (see {})",
+                log.display()
+            ),
+            Self::Merge(c) => write!(f, "shard store merge failed: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+impl From<io::Error> for DriveError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The heartbeat signature of one worker: (store mtime + size, log size).
+/// Any change counts as life; checkpoint saves touch the store, progress
+/// lines grow the log.
+type BeatSig = (Option<(SystemTime, u64)>, u64);
+
+fn beat_sig(store: &Path, log: &Path) -> BeatSig {
+    let store_sig = std::fs::metadata(store)
+        .ok()
+        .and_then(|m| Some((m.modified().ok()?, m.len())));
+    let log_len = std::fs::metadata(log).map_or(0, |m| m.len());
+    (store_sig, log_len)
+}
+
+struct Slot {
+    shard: Shard,
+    store: PathBuf,
+    log: PathBuf,
+    child: Child,
+    /// Launches so far (1 = initial).
+    attempts: u32,
+    last_beat: Instant,
+    sig: BeatSig,
+    done: bool,
+}
+
+fn spawn_worker(mut cmd: Command, log: &Path) -> io::Result<Child> {
+    let log_file = std::fs::File::options()
+        .create(true)
+        .append(true)
+        .open(log)?;
+    let err_file = log_file.try_clone()?;
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::from(log_file))
+        .stderr(Stdio::from(err_file))
+        .spawn()
+}
+
+/// Partitions the grid `0/N … (N−1)/N`, runs one worker subprocess per
+/// shard, keeps them alive (restart on crash, bounded per-shard retries,
+/// optional stall kill), and merges the shard stores into
+/// [`DriverConfig::out`].
+///
+/// `command_for(shard, store, attempt)` builds the worker invocation —
+/// typically "this very binary with `--worker k/N --store <path>`"
+/// (`attempt` is 0 for the initial launch, so fault injection can be
+/// confined to first launches). The driver owns stdout/stderr: both are
+/// appended to [`DriverConfig::worker_log`]. A worker signals success by
+/// exiting 0 with its store saved; *any* other exit — including being
+/// killed — triggers a restart with the same shard slice, which is safe
+/// because checkpointed stores make workers idempotent ([`run_worker`]).
+///
+/// On success the merged store at `cfg.out` is canonical: byte-identical
+/// to what a 1-process run over the same grid saves.
+///
+/// # Errors
+///
+/// [`DriveError::WorkerExhausted`] when a shard's restart budget runs
+/// out (remaining workers are killed before returning),
+/// [`DriveError::Merge`] when shard stores disagree, [`DriveError::Io`]
+/// for spawn/poll/store failures.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards == 0`.
+pub fn drive(
+    cfg: &DriverConfig,
+    mut command_for: impl FnMut(Shard, &Path, u32) -> Command,
+) -> Result<DriveReport, DriveError> {
+    assert!(cfg.shards >= 1, "driver needs at least one shard");
+    std::fs::create_dir_all(&cfg.dir)?;
+    let mut report = DriveReport::default();
+
+    let mut slots: Vec<Slot> = Vec::with_capacity(cfg.shards as usize);
+    for k in 0..cfg.shards {
+        let shard = Shard::new(k, cfg.shards);
+        let store = cfg.shard_store(k);
+        let log = cfg.worker_log(k);
+        let child = match spawn_worker(command_for(shard, &store, 0), &log) {
+            Ok(child) => child,
+            Err(e) => {
+                kill_all(&mut slots);
+                return Err(e.into());
+            }
+        };
+        slots.push(Slot {
+            shard,
+            store,
+            log,
+            child,
+            attempts: 1,
+            last_beat: Instant::now(),
+            sig: (None, 0),
+            done: false,
+        });
+    }
+
+    let result = monitor(cfg, &mut slots, &mut command_for, &mut report);
+    if result.is_err() {
+        kill_all(&mut slots);
+    }
+    result?;
+
+    let mut merged = SweepStore::new();
+    for slot in &slots {
+        let shard_store = SweepStore::open(&slot.store)?;
+        report.skipped_lines += shard_store.skipped_lines();
+        report.stale_records += shard_store.stale_records();
+        merged.merge_from(&shard_store).map_err(DriveError::Merge)?;
+    }
+    merged.save_to(&cfg.out)?;
+    report.merged_records = merged.len();
+    Ok(report)
+}
+
+fn kill_all(slots: &mut [Slot]) {
+    for slot in slots {
+        if !slot.done {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+    }
+}
+
+fn monitor(
+    cfg: &DriverConfig,
+    slots: &mut [Slot],
+    command_for: &mut impl FnMut(Shard, &Path, u32) -> Command,
+    report: &mut DriveReport,
+) -> Result<(), DriveError> {
+    loop {
+        let mut all_done = true;
+        for slot in slots.iter_mut() {
+            if slot.done {
+                continue;
+            }
+            all_done = false;
+            if let Some(status) = slot.child.try_wait()? {
+                if status.success() {
+                    slot.done = true;
+                    continue;
+                }
+                restart(cfg, slot, command_for, report)?;
+                continue;
+            }
+            // Still running: refresh the heartbeat, stall-kill if asked.
+            let sig = beat_sig(&slot.store, &slot.log);
+            if sig != slot.sig {
+                slot.sig = sig;
+                slot.last_beat = Instant::now();
+            } else if let Some(stall) = cfg.stall_timeout {
+                if slot.last_beat.elapsed() >= stall {
+                    let _ = slot.child.kill(); // SIGKILL on unix
+                    let _ = slot.child.wait();
+                    report.stall_kills += 1;
+                    restart(cfg, slot, command_for, report)?;
+                }
+            }
+        }
+        if all_done {
+            return Ok(());
+        }
+        std::thread::sleep(cfg.poll);
+    }
+}
+
+fn restart(
+    cfg: &DriverConfig,
+    slot: &mut Slot,
+    command_for: &mut impl FnMut(Shard, &Path, u32) -> Command,
+    report: &mut DriveReport,
+) -> Result<(), DriveError> {
+    if slot.attempts > cfg.max_restarts {
+        return Err(DriveError::WorkerExhausted {
+            shard: slot.shard,
+            attempts: slot.attempts,
+            log: slot.log.clone(),
+        });
+    }
+    report.restarts += 1;
+    let attempt = slot.attempts; // 1-based: first restart passes attempt=1
+    slot.child = spawn_worker(command_for(slot.shard, &slot.store, attempt), &slot.log)?;
+    slot.attempts += 1;
+    slot.sig = beat_sig(&slot.store, &slot.log);
+    slot.last_beat = Instant::now();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::derive_seed;
+    use crate::Maintenance;
+    use wl_core::Params;
+    use wl_time::RealTime;
+
+    fn grid(count: usize) -> Vec<ScenarioSpec> {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        (0..count)
+            .map(|i| {
+                ScenarioSpec::new(params.clone())
+                    .seed(derive_seed(0xD21_5EED, i as u64))
+                    .t_end(RealTime::from_secs(1.5))
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("wl-driver-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn worker_checkpoints_and_resumes_in_process() {
+        let store = tmp("worker.wls");
+        let _ = std::fs::remove_file(&store);
+        let cfg = WorkerConfig {
+            shard: Shard::new(0, 2),
+            store: store.clone(),
+            checkpoint: 2,
+            crash_after: None,
+        };
+        let mut beats = 0;
+        let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |p| {
+            beats += 1;
+            assert!(p.done <= p.total);
+        })
+        .unwrap();
+        // Shard 0/2 of 7 points owns indices 0,2,4,6 → 4 points, 2-point
+        // checkpoints → 2 saves.
+        assert_eq!(progress.total, 4);
+        assert_eq!(progress.done, 4);
+        assert_eq!(progress.misses, 4);
+        assert_eq!(beats, 2);
+
+        // A re-run resumes from the store: all hits, no simulations.
+        let progress =
+            run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |_| {}).unwrap();
+        assert_eq!(progress.hits, 4);
+        assert_eq!(progress.misses, 0);
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn empty_shard_still_writes_a_store() {
+        let store = tmp("empty.wls");
+        let _ = std::fs::remove_file(&store);
+        let cfg = WorkerConfig {
+            shard: Shard::new(3, 4),
+            store: store.clone(),
+            checkpoint: 0,
+            crash_after: None,
+        };
+        let progress =
+            run_worker::<Maintenance>(&SweepRunner::serial(), grid(2), &cfg, |_| {}).unwrap();
+        assert_eq!(progress.total, 0);
+        assert!(store.exists(), "header-only store written for the merge");
+        assert!(SweepStore::open(&store).unwrap().is_empty());
+        let _ = std::fs::remove_file(&store);
+    }
+}

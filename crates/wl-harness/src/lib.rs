@@ -35,8 +35,17 @@
 //!   results in memory; [`SweepStore`] persists them to a
 //!   content-addressed, corruption-tolerant record file shared across
 //!   experiment binaries and machines ([`DiskSweepCache`] bundles both).
-//!   A sweep re-run against a warm store executes **zero** simulations.
-//!   See `docs/sweeps.md` for the format and the determinism contract.
+//!   A sweep re-run against a warm store executes **zero** simulations —
+//!   including series-hungry figure experiments, via the optional
+//!   [`SweepSeries`] record payload
+//!   ([`SweepRunner::sweep_cached_series`]). See `docs/sweeps.md` for
+//!   the format and the determinism contract.
+//! * [`driver`] — the multi-process layer: [`run_worker`] executes one
+//!   shard with checkpointed, resumable stores; [`drive`] spawns one
+//!   worker subprocess per shard, monitors heartbeats, restarts crashed
+//!   or stalled workers under a bounded budget, and auto-merges the
+//!   shard stores into a store byte-identical to a 1-process run
+//!   (`sweep_drive` is the CLI).
 //!
 //! # Quickstart
 //!
@@ -74,6 +83,7 @@
 pub mod algo;
 pub mod assemble;
 pub mod cache;
+pub mod driver;
 pub mod run;
 pub mod spec;
 pub mod sweep;
@@ -86,10 +96,13 @@ pub use assemble::{
 pub use cache::{
     DiskSweepCache, MergeConflict, MergeConflictKind, MergeStats, SweepStore, ENGINE_VERSION,
 };
+pub use driver::{
+    drive, run_worker, DriveError, DriveReport, DriverConfig, WorkerConfig, WorkerProgress,
+};
 pub use spec::{DelayKind, FaultKind, ScenarioSpec};
 pub use sweep::{
     derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,
-    SweepRunner, SweepSummary,
+    SweepRunner, SweepSeries, SweepSummary,
 };
 
 // The algorithms, re-exported so harness users need a single import.

@@ -8,6 +8,7 @@
 use crate::algo::SyncAlgorithm;
 use crate::assemble::{BuiltScenario, MonoScenario};
 use crate::spec::ScenarioSpec;
+use crate::sweep::SweepSeries;
 use wl_analysis::adjustment::{check_adjustments, AdjustmentReport};
 use wl_analysis::agreement::{check_agreement, AgreementReport};
 use wl_analysis::convergence::{round_series, RoundSeries};
@@ -39,6 +40,59 @@ pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>
     built: BuiltScenario<M, Q>,
     t_end: f64,
 ) -> RunSummary {
+    run_capture_impl(built, t_end, false).0
+}
+
+/// [`run_summary`] over a [`MonoScenario`] (the monomorphized fast path):
+/// drives the sim, then feeds the streamed counters and correction
+/// histories through the identical analysis body. Results are
+/// bit-identical to the boxed path's.
+#[must_use]
+pub fn run_summary_mono<A>(built: MonoScenario<A>, t_end: f64) -> RunSummary
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    run_capture_mono_impl(built, t_end, false).0
+}
+
+/// [`run_summary`] plus a [`SweepSeries`] captured from the same
+/// execution: the per-round skew series, a dense event-aware skew
+/// sampling, and the nonfaulty correction series (see [`SweepSeries`]
+/// for the exact contents).
+///
+/// The capture is a post-hoc, read-only pass over the correction
+/// histories the standard observers already record — deliberately *not*
+/// a [`wl_sim::SkewProbe`] streamed during the run, because the
+/// event-adjacent samples (immediately before/after each correction,
+/// where the skew is extremal) need the completed history. That also
+/// keeps the captured series identical on the boxed and monomorphized
+/// run paths by construction, and leaves the scalar summary bit-for-bit
+/// what [`run_summary`] returns.
+#[must_use]
+pub fn run_capture<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
+    built: BuiltScenario<M, Q>,
+    t_end: f64,
+) -> (RunSummary, SweepSeries) {
+    let (summary, series) = run_capture_impl(built, t_end, true);
+    (summary, series.expect("capture requested"))
+}
+
+/// [`run_capture`] over a [`MonoScenario`] — same series, same
+/// bit-identity guarantees, on the fast path.
+#[must_use]
+pub fn run_capture_mono<A>(built: MonoScenario<A>, t_end: f64) -> (RunSummary, SweepSeries)
+where
+    A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
+{
+    let (summary, series) = run_capture_mono_impl(built, t_end, true);
+    (summary, series.expect("capture requested"))
+}
+
+fn run_capture_impl<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
+    built: BuiltScenario<M, Q>,
+    t_end: f64,
+    capture: bool,
+) -> (RunSummary, Option<SweepSeries>) {
     let params = built.params.clone();
     let plan = built.plan.clone();
     let mut sim = built.sim;
@@ -50,15 +104,15 @@ pub fn run_summary<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>
         &params,
         &plan,
         t_end,
+        capture,
     )
 }
 
-/// [`run_summary`] over a [`MonoScenario`] (the monomorphized fast path):
-/// drives the sim, then feeds the streamed counters and correction
-/// histories through the identical analysis body. Results are
-/// bit-identical to the boxed path's.
-#[must_use]
-pub fn run_summary_mono<A>(built: MonoScenario<A>, t_end: f64) -> RunSummary
+fn run_capture_mono_impl<A>(
+    built: MonoScenario<A>,
+    t_end: f64,
+    capture: bool,
+) -> (RunSummary, Option<SweepSeries>)
 where
     A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
 {
@@ -73,6 +127,7 @@ where
         &built.params,
         &built.plan,
         t_end,
+        capture,
     )
 }
 
@@ -91,10 +146,11 @@ where
     Some(sim.events_delivered())
 }
 
-/// The one analysis body behind [`run_summary`] and [`run_summary_mono`]:
-/// given whatever ran (clocks + correction histories + counters), apply
-/// the theorem suite. Keeping this single keeps the two run paths from
-/// diverging.
+/// The one analysis body behind [`run_summary`], [`run_summary_mono`],
+/// and the capture variants: given whatever ran (clocks + correction
+/// histories + counters), apply the theorem suite — and optionally
+/// sample the series payload from the same view. Keeping this single
+/// keeps the run paths from diverging.
 fn summarize(
     clocks: &[FleetClock],
     corr: &[CorrectionHistory],
@@ -102,7 +158,8 @@ fn summarize(
     params: &Params,
     plan: &FaultPlan,
     t_end: f64,
-) -> RunSummary {
+    capture: bool,
+) -> (RunSummary, Option<SweepSeries>) {
     let view = ExecutionView::with_plan(clocks, corr, plan);
     let from = RealTime::from_secs(params.t0 + 2.0 * params.p_round);
     let agreement = check_agreement(
@@ -114,11 +171,53 @@ fn summarize(
     );
     let adjustments = check_adjustments(&view, params, 1);
     let rounds = round_series(&view, RealDur::from_secs(params.p_round / 4.0));
-    RunSummary {
-        agreement,
-        adjustments,
-        rounds,
-        stats,
+    let series = capture.then(|| capture_series(&view, params, t_end, &rounds));
+    (
+        RunSummary {
+            agreement,
+            adjustments,
+            rounds,
+            stats,
+        },
+        series,
+    )
+}
+
+/// Builds the [`SweepSeries`] payload from a completed execution. The
+/// uniform sampling step is `P/10`, floored so even very long horizons
+/// stay at ≤ ~4000 grid samples (event-adjacent samples make window
+/// maxima exact regardless of grid density, so the floor costs nothing).
+fn capture_series(
+    view: &ExecutionView<'_, FleetClock>,
+    params: &Params,
+    t_end: f64,
+    rounds: &RoundSeries,
+) -> SweepSeries {
+    let step = (params.p_round / 10.0).max(t_end / 4000.0);
+    let skew = SkewSeries::sample_with_events(
+        view,
+        RealTime::ZERO,
+        RealTime::from_secs(t_end * 0.99),
+        RealDur::from_secs(step),
+    );
+    let mut corr_changes: Vec<(u32, f64, f64)> = Vec::new();
+    for p in view.nonfaulty() {
+        for &(t, c) in view.corr[p].entries() {
+            let t = t.as_secs();
+            if t.is_finite() {
+                corr_changes.push((p as u32, t, c));
+            }
+        }
+    }
+    corr_changes.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    SweepSeries {
+        round_times: rounds.times.iter().map(|t| t.as_secs()).collect(),
+        round_skews: rounds.skews.clone(),
+        skew_times: skew.samples.iter().map(|&(t, _)| t.as_secs()).collect(),
+        skew_values: skew.samples.iter().map(|&(_, s)| s).collect(),
+        corr_procs: corr_changes.iter().map(|&(p, _, _)| p).collect(),
+        corr_times: corr_changes.iter().map(|&(_, t, _)| t).collect(),
+        corr_values: corr_changes.iter().map(|&(_, _, c)| c).collect(),
     }
 }
 

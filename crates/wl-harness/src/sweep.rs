@@ -21,7 +21,7 @@
 use crate::algo::SyncAlgorithm;
 use crate::assemble::{assemble, assemble_mono};
 use crate::cache::canon_string;
-use crate::run::{run_summary, run_summary_mono, RunSummary};
+use crate::run::{run_capture, run_capture_mono, run_summary, run_summary_mono, RunSummary};
 use crate::spec::ScenarioSpec;
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -379,6 +379,30 @@ impl SweepRunner {
         self.run(specs, |index, spec| run_point::<A>(index, spec))
     }
 
+    /// [`sweep_cached`](SweepRunner::sweep_cached), but every returned
+    /// outcome carries a [`SweepSeries`] payload (`outcome.series` is
+    /// always `Some`).
+    ///
+    /// Cache hits must carry a series to count: a scalar-only record for
+    /// the same spec (written by a summary-level sweep) is treated as a
+    /// miss, re-simulated once, and the richer record replaces it in the
+    /// cache — so series-hungry experiments (`exp_boundary`,
+    /// `exp_mean_mid`, `exp_figures`) regenerate their figures from a
+    /// warm cache with **zero** simulator executions. The scalar half of
+    /// a series-bearing outcome is bit-identical to what
+    /// [`sweep_cached`](SweepRunner::sweep_cached) produces for the same
+    /// spec, so scalar consumers hit series-bearing records freely.
+    #[must_use]
+    pub fn sweep_cached_series<A: SweepAlgorithm>(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        cache: &SweepCache,
+    ) -> Vec<SweepOutcome> {
+        self.run(specs, |index, spec| {
+            run_point_cached_series::<A>(index, spec, cache)
+        })
+    }
+
     /// [`sweep`](SweepRunner::sweep) with memoization: grid points whose
     /// spec is already in `cache` under algorithm `A` are served from it
     /// without assembling or simulating anything.
@@ -455,9 +479,23 @@ fn run_point<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutco
     SweepOutcome::new(index, spec.seed, &summary)
 }
 
+/// [`run_point`] with series capture: the same execution, but the
+/// correction histories are additionally sampled into a [`SweepSeries`]
+/// before they are dropped. The scalar fields are bit-identical to
+/// [`run_point`]'s (the capture is a read-only pass over the same run).
+fn run_point_series<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
+    let t_end = spec.t_end.as_secs();
+    let (summary, series) = match assemble_mono::<A>(spec) {
+        Some(built) => run_capture_mono(built, t_end),
+        None => run_capture(assemble::<A>(spec), t_end),
+    };
+    SweepOutcome::new(index, spec.seed, &summary).with_series(series)
+}
+
 /// The cached per-point body: canonicalize, look up, fall back to
-/// [`run_point`], insert.
-fn run_point_cached<A: SweepAlgorithm>(
+/// [`run_point`], insert. `pub(crate)` so [`crate::driver`]'s
+/// checkpointed worker loop runs the exact same body.
+pub(crate) fn run_point_cached<A: SweepAlgorithm>(
     index: usize,
     spec: &ScenarioSpec,
     cache: &SweepCache,
@@ -466,11 +504,30 @@ fn run_point_cached<A: SweepAlgorithm>(
     // default are the same execution, and must hit each other.
     let spec_canon = canon_string(&spec.canonical());
     let hash = spec.content_hash();
-    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon) {
+    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, false) {
         hit.index = index;
         return hit;
     }
     let outcome = run_point::<A>(index, spec);
+    cache.store(hash, A::NAME.to_string(), spec_canon, outcome.clone());
+    outcome
+}
+
+/// The series-requiring cached body: a hit must carry a series, a miss
+/// (including a scalar-only near-hit) re-runs with capture and upgrades
+/// the cached record.
+fn run_point_cached_series<A: SweepAlgorithm>(
+    index: usize,
+    spec: &ScenarioSpec,
+    cache: &SweepCache,
+) -> SweepOutcome {
+    let spec_canon = canon_string(&spec.canonical());
+    let hash = spec.content_hash();
+    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, true) {
+        hit.index = index;
+        return hit;
+    }
+    let outcome = run_point_series::<A>(index, spec);
     cache.store(hash, A::NAME.to_string(), spec_canon, outcome.clone());
     outcome
 }
@@ -536,12 +593,16 @@ impl SweepCache {
     }
 
     /// Looks up `(content_hash, algo)`, confirming the hit against the
-    /// canonical spec bytes. Counts a hit or a miss either way.
+    /// canonical spec bytes. When `need_series` is set, a scalar-only
+    /// entry does not count — the caller needs the [`SweepSeries`]
+    /// payload, so the lookup degrades to a miss (and the re-run will
+    /// upgrade the entry). Counts a hit or a miss either way.
     pub(crate) fn lookup(
         &self,
         content_hash: u64,
         algo: &str,
         spec_canon: &str,
+        need_series: bool,
     ) -> Option<SweepOutcome> {
         let found = self
             .map
@@ -549,6 +610,7 @@ impl SweepCache {
             .expect("sweep cache poisoned")
             .get(&entry_key(content_hash, algo))
             .filter(|e| e.algo == algo && e.spec_canon == spec_canon)
+            .filter(|e| !need_series || e.outcome.series.is_some())
             .map(|e| e.outcome.clone());
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -658,6 +720,12 @@ pub struct SweepOutcome {
     pub adjustment_holds: bool,
     /// Raw simulator counters.
     pub stats: SimStats,
+    /// Optional per-run series payload (see [`SweepSeries`]) — present
+    /// only when the outcome was produced by
+    /// [`SweepRunner::sweep_cached_series`] (or hydrated from a
+    /// series-bearing store record). Keep it **last**: the canonical
+    /// record parser in `cache.rs` mirrors the field order.
+    pub series: Option<SweepSeries>,
 }
 
 impl SweepOutcome {
@@ -672,15 +740,27 @@ impl SweepOutcome {
             mean_abs_adjustment: summary.adjustments.mean_abs,
             adjustment_holds: summary.adjustments.holds,
             stats: summary.stats,
+            series: None,
         }
+    }
+
+    fn with_series(mut self, series: SweepSeries) -> Self {
+        self.series = Some(series);
+        self
     }
 
     /// Bit-level equality: floats compared by their IEEE bit patterns
     /// (`NaN == NaN`, `-0.0 != 0.0`) — the determinism currency of the
     /// shard merge and the disk store, strictly stronger than any
-    /// epsilon comparison.
+    /// epsilon comparison. Series payloads (or their absence) must match
+    /// too.
     #[must_use]
     pub fn bit_identical(&self, other: &Self) -> bool {
+        let series_match = match (&self.series, &other.series) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.bit_identical(b),
+            _ => false,
+        };
         self.index == other.index
             && self.seed == other.seed
             && self.steady_skew.to_bits() == other.steady_skew.to_bits()
@@ -690,6 +770,105 @@ impl SweepOutcome {
             && self.mean_abs_adjustment.to_bits() == other.mean_abs_adjustment.to_bits()
             && self.adjustment_holds == other.adjustment_holds
             && self.stats == other.stats
+            && series_match
+    }
+}
+
+/// Per-run time series cached alongside the scalar summary — the payload
+/// that lets figure-style experiments regenerate from a warm cache
+/// without re-simulating anything.
+///
+/// All times are real seconds. The three series:
+///
+/// * **per-round skew** (`round_times`/`round_skews`) — the max
+///   nonfaulty skew just after each resynchronization wave
+///   (`wl_analysis::convergence::round_series` at wave gap `P/4`, the
+///   same series [`RunSummary`] reports); its
+///   last element is the *final skew*, the quantity "final skew vs
+///   parameter" plots read off per grid point.
+/// * **sampled skew** (`skew_times`/`skew_values`) — the max pairwise
+///   nonfaulty skew on a uniform grid over `[0, 0.99·t_end]` (step
+///   `P/10`, floored so a run yields at most ~4000 grid samples) *plus*
+///   a sample immediately before and after every nonfaulty correction
+///   change, where piecewise-linear local time makes the skew extremal —
+///   so window maxima computed from the series are exact, not
+///   grid-resolution approximations.
+/// * **correction series** (`corr_procs`/`corr_times`/`corr_values`) —
+///   every nonfaulty correction change as `(process, time, new CORR)`,
+///   flattened in time order (ties broken by process id).
+///
+/// Stored in v2 (`S`-tagged) records of the sweep store; see
+/// `docs/sweeps.md`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepSeries {
+    /// Real time of each resynchronization wave measurement.
+    pub round_times: Vec<f64>,
+    /// Max nonfaulty skew just after each wave.
+    pub round_skews: Vec<f64>,
+    /// Sample times of the skew series (grid + correction events).
+    pub skew_times: Vec<f64>,
+    /// Max pairwise nonfaulty skew at each sample time.
+    pub skew_values: Vec<f64>,
+    /// Process id of each correction change, parallel to `corr_times`.
+    pub corr_procs: Vec<u32>,
+    /// Real time of each correction change.
+    pub corr_times: Vec<f64>,
+    /// The new correction value reported at each change.
+    pub corr_values: Vec<f64>,
+}
+
+impl SweepSeries {
+    /// The skew series restricted to `from <= t <= to`, as `(t, skew)`
+    /// pairs — the shape plotting code consumes.
+    #[must_use]
+    pub fn skew_window(&self, from: f64, to: f64) -> Vec<(f64, f64)> {
+        self.skew_times
+            .iter()
+            .zip(&self.skew_values)
+            .filter(|&(&t, _)| t >= from && t <= to)
+            .map(|(&t, &s)| (t, s))
+            .collect()
+    }
+
+    /// The largest sampled skew with `from <= t <= to` (0 if the window
+    /// is empty). Exact, because the series samples every correction
+    /// event (where the piecewise-linear skew is extremal).
+    #[must_use]
+    pub fn max_skew_in(&self, from: f64, to: f64) -> f64 {
+        self.skew_window(from, to)
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(0.0, f64::max)
+    }
+
+    /// The per-round series as a [`wl_analysis::convergence::RoundSeries`]
+    /// (for `contraction_factor` / `final_skew` / `check_recurrence`).
+    #[must_use]
+    pub fn rounds(&self) -> wl_analysis::convergence::RoundSeries {
+        wl_analysis::convergence::RoundSeries {
+            skews: self.round_skews.clone(),
+            times: self
+                .round_times
+                .iter()
+                .map(|&t| wl_time::RealTime::from_secs(t))
+                .collect(),
+        }
+    }
+
+    /// Bit-level equality of every series element (same currency as
+    /// [`SweepOutcome::bit_identical`]).
+    #[must_use]
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        fn eq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        eq(&self.round_times, &other.round_times)
+            && eq(&self.round_skews, &other.round_skews)
+            && eq(&self.skew_times, &other.skew_times)
+            && eq(&self.skew_values, &other.skew_values)
+            && self.corr_procs == other.corr_procs
+            && eq(&self.corr_times, &other.corr_times)
+            && eq(&self.corr_values, &other.corr_values)
     }
 }
 
@@ -835,6 +1014,48 @@ mod tests {
         for (a, b) in warm.iter().zip(&plain) {
             assert!(a.bit_identical(b));
         }
+    }
+
+    #[test]
+    fn series_path_scalars_match_plain_sweep() {
+        let plain = SweepRunner::serial().sweep::<Maintenance>(grid(3));
+        let cache = SweepCache::new();
+        let with_series = SweepRunner::serial().sweep_cached_series::<Maintenance>(grid(3), &cache);
+        for (a, b) in with_series.iter().zip(&plain) {
+            let series = a.series.as_ref().expect("series always captured");
+            assert!(!series.skew_times.is_empty());
+            assert_eq!(series.skew_times.len(), series.skew_values.len());
+            assert_eq!(series.round_times.len(), series.round_skews.len());
+            assert_eq!(series.corr_times.len(), series.corr_values.len());
+            assert_eq!(series.corr_times.len(), series.corr_procs.len());
+            // The scalar half must be exactly what the scalar sweep
+            // produces — capture is a read-only pass over the same run.
+            let mut scalar = a.clone();
+            scalar.series = None;
+            assert!(scalar.bit_identical(b), "series capture perturbed point");
+        }
+    }
+
+    #[test]
+    fn series_requirement_upgrades_scalar_entries() {
+        let cache = SweepCache::new();
+        // Scalar sweep first: entries lack series.
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), &cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // A series sweep over the same grid must NOT trust the scalar
+        // entries: every point re-runs once with capture.
+        let upgraded = SweepRunner::serial().sweep_cached_series::<Maintenance>(grid(2), &cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 4));
+        assert!(upgraded.iter().all(|o| o.series.is_some()));
+        // Now both kinds of consumer hit the upgraded entries.
+        let warm_series = SweepRunner::serial().sweep_cached_series::<Maintenance>(grid(2), &cache);
+        let warm_scalar = SweepRunner::serial().sweep_cached::<Maintenance>(grid(2), &cache);
+        assert_eq!((cache.hits(), cache.misses()), (4, 4));
+        for (a, b) in warm_series.iter().zip(&upgraded) {
+            assert!(a.bit_identical(b));
+        }
+        // Scalar consumers receive the series-bearing outcome as-is.
+        assert!(warm_scalar.iter().all(|o| o.series.is_some()));
     }
 
     #[test]

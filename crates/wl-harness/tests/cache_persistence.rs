@@ -7,6 +7,12 @@
 //!    sweep — at the outcome level (`merge_sharded` + `bit_identical`)
 //!    and at the store-file level (merged shard stores serialize to the
 //!    same bytes as the 1-process store).
+//!
+//! And the ISSUE-4 extension: series-bearing sweeps
+//! (`sweep_cached_series`, the payload behind `exp_boundary` /
+//! `exp_mean_mid` / `exp_figures`) round-trip through the disk store
+//! with every series element intact, so their warm re-runs also execute
+//! zero simulations.
 
 use std::path::PathBuf;
 use wl_core::Params;
@@ -56,6 +62,31 @@ fn second_disk_cached_run_executes_zero_simulations() {
     assert_eq!(disk2.cache().misses(), 0, "zero simulator executions");
     for (a, b) in warm.iter().zip(&cold) {
         assert!(a.bit_identical(b), "disk round trip must be lossless");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_series_run_executes_zero_simulations() {
+    let path = tmp("series-zero-exec");
+    let _ = std::fs::remove_file(&path);
+
+    // Cold: capture series for every grid point, persist.
+    let mut disk = DiskSweepCache::open(&path).unwrap();
+    let cold = SweepRunner::new().sweep_cached_series::<Maintenance>(grid(5), disk.cache());
+    assert_eq!(disk.cache().misses(), 5);
+    assert!(cold.iter().all(|o| o.series.is_some()));
+    disk.persist().unwrap();
+
+    // Warm, fresh handle: the series requirement is satisfied from disk
+    // alone — zero misses means zero simulator executions, with every
+    // series element surviving the round trip bit-for-bit.
+    let disk2 = DiskSweepCache::open(&path).unwrap();
+    let warm = SweepRunner::new().sweep_cached_series::<Maintenance>(grid(5), disk2.cache());
+    assert_eq!(disk2.cache().hits(), 5, "series served from disk");
+    assert_eq!(disk2.cache().misses(), 0, "zero simulator executions");
+    for (a, b) in warm.iter().zip(&cold) {
+        assert!(a.bit_identical(b), "series round trip must be lossless");
     }
     let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,331 @@
+//! End-to-end tests of the multi-process sweep driver, with real
+//! subprocesses: this test binary re-enters itself as the worker
+//! (`argv[1] == "--worker"`), so `harness = false` in the manifest.
+//!
+//! Pinned here (and mirrored by the CI `driver-smoke` job):
+//!
+//! 1. a 3-worker drive produces a merged store **byte-identical** to a
+//!    1-worker drive;
+//! 2. a worker crashed mid-sweep (hard abort after its first
+//!    checkpoint) is restarted, resumes from its checkpointed store,
+//!    and the merged store is still byte-identical;
+//! 3. shard stores damaged *between* drives — truncated mid-record and
+//!    truncated at a record boundary — cost exactly the damaged tail on
+//!    resume (the loader skips it, the worker re-runs only those
+//!    points), and the final merged store is byte-identical to a clean
+//!    run;
+//! 4. a worker that hangs after its first checkpoint is stall-killed
+//!    (`SIGKILL`) and restarted, and the drive still converges;
+//! 5. a worker that crashes on every launch exhausts its restart budget
+//!    and fails the drive with `WorkerExhausted`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+use wl_core::Params;
+use wl_harness::{
+    derive_seed, drive, run_worker, DelayKind, DriveError, DriverConfig, Maintenance, ScenarioSpec,
+    Shard, SweepRunner, SweepStore, WorkerConfig,
+};
+use wl_time::RealTime;
+
+const GRID: usize = 12;
+
+/// The test grid — small horizons so a full drive stays fast, three
+/// delay models so records are not all alike.
+fn grid() -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..GRID)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0xD21_4E57, i as u64))
+                .delay(delays[i % 3])
+                .t_end(RealTime::from_secs(1.5))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--worker") {
+        worker_main(&args[2..]);
+        return;
+    }
+
+    test_three_workers_byte_identical_to_one();
+    test_crashed_worker_resumes_and_converges();
+    test_truncated_stores_resume_costs_only_the_tail();
+    test_stalled_worker_is_killed_and_restarted();
+    test_restart_budget_exhaustion_fails_the_drive();
+    println!("driver_process: all 5 tests passed");
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode.
+// ---------------------------------------------------------------------------
+
+/// `--worker K/N --store FILE [--crash-after M] [--hang-after M]`
+fn worker_main(args: &[String]) {
+    let mut it = args.iter();
+    let shard: Shard = it.next().expect("shard").parse().expect("valid shard");
+    let mut store = None;
+    let mut crash_after = None;
+    let mut hang_after: Option<usize> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => store = it.next().cloned(),
+            "--crash-after" => crash_after = Some(it.next().unwrap().parse().unwrap()),
+            "--hang-after" => hang_after = Some(it.next().unwrap().parse().unwrap()),
+            other => panic!("unknown worker flag {other}"),
+        }
+    }
+    let cfg = WorkerConfig {
+        shard,
+        store: PathBuf::from(store.expect("--store")),
+        checkpoint: 2,
+        crash_after,
+    };
+    let mut checkpoints = 0;
+    let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(), &cfg, |p| {
+        println!(
+            "progress shard={shard} done={}/{} hits={} misses={}",
+            p.done, p.total, p.hits, p.misses
+        );
+        checkpoints += 1;
+        if hang_after == Some(checkpoints) {
+            // A wedged worker: alive but never progressing again. The
+            // driver's stall timeout is what gets us out of here.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+    })
+    .expect("worker store I/O");
+    println!(
+        "worker {shard} complete: {} points ({} hits, {} misses)",
+        progress.total, progress.hits, progress.misses
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Driver-side helpers.
+// ---------------------------------------------------------------------------
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wl-driver-proc-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A worker command for this very binary; `extra` is appended on the
+/// first launch only (fault injection must not survive the restart).
+fn self_command(shard: Shard, store: &Path, attempt: u32, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(std::env::current_exe().expect("own path"));
+    cmd.arg("--worker")
+        .arg(shard.to_string())
+        .arg("--store")
+        .arg(store);
+    if attempt == 0 {
+        for arg in extra {
+            cmd.arg(arg);
+        }
+    }
+    cmd
+}
+
+fn config(name: &str, shards: u32) -> DriverConfig {
+    let dir = tmp_dir(name);
+    let out = dir.join("merged.wls");
+    let mut cfg = DriverConfig::new(shards, dir, out);
+    cfg.poll = Duration::from_millis(10);
+    cfg
+}
+
+/// The 1-process reference bytes every test compares against.
+fn reference_bytes() -> Vec<u8> {
+    let cfg = config("reference", 1);
+    let report =
+        drive(&cfg, |shard, store, _| self_command(shard, store, 1, &[])).expect("reference drive");
+    assert_eq!(report.merged_records, GRID);
+    let bytes = std::fs::read(&cfg.out).unwrap();
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    bytes
+}
+
+/// Reads `(hits, misses)` off the worker's completion line —
+/// `worker K/N complete: P points (H hits, M misses)`.
+fn final_hits_misses(log: &Path) -> (u64, u64) {
+    let text = std::fs::read_to_string(log).expect("worker log");
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| l.contains("complete:"))
+        .expect("completion line");
+    let nums: Vec<u64> = line
+        .split(['(', ')', ',', ' '])
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    assert_eq!(nums.len(), 3, "points, hits, misses in {line:?}");
+    (nums[1], nums[2])
+}
+
+// ---------------------------------------------------------------------------
+// The tests.
+// ---------------------------------------------------------------------------
+
+fn test_three_workers_byte_identical_to_one() {
+    let reference = reference_bytes();
+    let cfg = config("three", 3);
+    let report = drive(&cfg, |shard, store, attempt| {
+        self_command(shard, store, attempt, &[])
+    })
+    .expect("3-worker drive");
+    assert_eq!(report.merged_records, GRID);
+    assert_eq!(report.restarts, 0);
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference,
+        "3-worker merged store != 1-worker store"
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!("ok: 3-worker drive byte-identical to 1-worker drive");
+}
+
+fn test_crashed_worker_resumes_and_converges() {
+    let reference = reference_bytes();
+    let cfg = config("crash", 3);
+    // Worker 1 hard-aborts right after its first checkpoint on its first
+    // launch; the driver must restart it and the restart must resume.
+    let report = drive(&cfg, |shard, store, attempt| {
+        let extra: &[&str] = if shard.index() == 1 {
+            &["--crash-after", "1"]
+        } else {
+            &[]
+        };
+        self_command(shard, store, attempt, extra)
+    })
+    .expect("crash drive");
+    assert_eq!(report.restarts, 1, "exactly the injected crash restarted");
+    assert_eq!(report.merged_records, GRID);
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference,
+        "post-crash merged store != clean store"
+    );
+    // The restarted worker's completion line proves resume: the 2 points
+    // checkpointed before the crash were hits, the remaining 2 misses.
+    let (hits, misses) = final_hits_misses(&cfg.worker_log(1));
+    assert_eq!((hits, misses), (2, 2), "restart must resume, not redo");
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!("ok: crashed worker restarted, resumed, and converged byte-identically");
+}
+
+fn test_truncated_stores_resume_costs_only_the_tail() {
+    let reference = reference_bytes();
+    let cfg = config("truncate", 2);
+    let clean = |cfg: &DriverConfig| {
+        drive(cfg, |shard, store, attempt| {
+            self_command(shard, store, attempt, &[])
+        })
+    };
+    clean(&cfg).expect("initial drive");
+    assert_eq!(std::fs::read(&cfg.out).unwrap(), reference);
+
+    // Damage shard 0's store mid-record: strip 10 bytes off the tail, so
+    // the last line fails its checksum. Damage shard 1's store at a
+    // record boundary: drop the final line whole. Each shard owns 6
+    // points here.
+    let store0 = cfg.shard_store(0);
+    let full = std::fs::read_to_string(&store0).unwrap();
+    std::fs::write(&store0, &full[..full.len() - 10]).unwrap();
+    let damaged0 = SweepStore::open(&store0).unwrap();
+    assert_eq!(damaged0.len(), 5, "only the torn record is lost");
+    assert_eq!(damaged0.skipped_lines(), 1);
+
+    let store1 = cfg.shard_store(1);
+    let full = std::fs::read_to_string(&store1).unwrap();
+    let boundary = full[..full.len() - 1].rfind('\n').unwrap() + 1;
+    std::fs::write(&store1, &full[..boundary]).unwrap();
+    let damaged1 = SweepStore::open(&store1).unwrap();
+    assert_eq!(damaged1.len(), 5, "the boundary cut drops one whole record");
+    assert_eq!(damaged1.skipped_lines(), 0, "no torn line at a boundary");
+
+    // Resume: fresh logs so the completion lines below belong to this
+    // drive, then re-drive over the damaged stores.
+    for k in 0..2 {
+        let _ = std::fs::remove_file(cfg.worker_log(k));
+    }
+    let _ = std::fs::remove_file(&cfg.out);
+    clean(&cfg).expect("resume drive");
+    for k in 0..2 {
+        let (hits, misses) = final_hits_misses(&cfg.worker_log(k));
+        assert_eq!(
+            (hits, misses),
+            (5, 1),
+            "worker {k} must re-run exactly the damaged record"
+        );
+    }
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference,
+        "resume over damaged stores != clean store"
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!("ok: mid-record and boundary truncations cost exactly the damaged tail");
+}
+
+fn test_stalled_worker_is_killed_and_restarted() {
+    let reference = reference_bytes();
+    let mut cfg = config("stall", 2);
+    // Generous relative to a healthy worker's inter-checkpoint time
+    // (tens of ms even in debug builds) so only the deliberately hung
+    // worker can ever trip it.
+    cfg.stall_timeout = Some(Duration::from_millis(2000));
+    let report = drive(&cfg, |shard, store, attempt| {
+        let extra: &[&str] = if shard.index() == 0 {
+            &["--hang-after", "1"]
+        } else {
+            &[]
+        };
+        self_command(shard, store, attempt, extra)
+    })
+    .expect("stall drive");
+    assert_eq!(report.stall_kills, 1, "the hung worker was SIGKILLed");
+    assert_eq!(report.restarts, 1);
+    assert_eq!(std::fs::read(&cfg.out).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!("ok: stalled worker killed and restarted; drive converged");
+}
+
+fn test_restart_budget_exhaustion_fails_the_drive() {
+    let mut cfg = config("exhaust", 2);
+    cfg.max_restarts = 1;
+    // Shard 0 crashes on *every* launch (injection not limited to
+    // attempt 0): initial + 1 restart, then the budget is gone.
+    let err = drive(&cfg, |shard, store, _attempt| {
+        let extra: &[&str] = if shard.index() == 0 {
+            &["--crash-after", "1"]
+        } else {
+            &[]
+        };
+        self_command(shard, store, 0, extra)
+    })
+    .expect_err("budget must run out");
+    match err {
+        DriveError::WorkerExhausted {
+            shard, attempts, ..
+        } => {
+            assert_eq!(shard, Shard::new(0, 2));
+            assert_eq!(attempts, 2, "initial launch + one restart");
+        }
+        other => panic!("expected WorkerExhausted, got {other}"),
+    }
+    // The healthy worker must not be left running after the failure.
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!("ok: restart budget exhaustion fails the drive cleanly");
+}
