@@ -12,13 +12,17 @@
 //!   rehydrate) adds only file I/O;
 //! * **unobserved floor**: `run::drive_unobserved` (NullObserver +
 //!   monomorphized `Vec<Maintenance>` fleet) bounds how fast the engine
-//!   can go with every measurement cost removed.
+//!   can go with every measurement cost removed;
+//! * **store format**: the same series-bearing records saved as v2 text
+//!   vs v3 compressed binary segments — binary should be ~2× smaller
+//!   with comparable warm-load time (PERF.md tracks both).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wl_core::Params;
 use wl_harness::{
-    derive_seed, run, DelayKind, Maintenance, ScenarioSpec, SweepCache, SweepRunner, SweepStore,
+    derive_seed, run, DelayKind, Maintenance, ScenarioSpec, StoreFormat, SweepCache, SweepRunner,
+    SweepStore,
 };
 use wl_time::RealTime;
 
@@ -125,6 +129,43 @@ fn bench_sweep(c: &mut Criterion) {
         "unobserved floor: {events} events in {floor:?} = {:.1} Mev/s (serial, NullObserver + Vec<Maintenance>)",
         events as f64 / floor.as_secs_f64() / 1e6,
     );
+
+    // Store-format axis: text vs v3 binary segments, on the payload that
+    // actually stresses the store — series-bearing records. Measures
+    // what PERF.md tracks: file size and warm-load (open + hydrate +
+    // serve) time per format.
+    let series_cache = SweepCache::new();
+    let series_grid: Vec<ScenarioSpec> = grid().into_iter().take(8).collect();
+    let _ =
+        SweepRunner::new().sweep_cached_series::<Maintenance>(series_grid.clone(), &series_cache);
+    for format in [StoreFormat::Text, StoreFormat::Binary] {
+        let path = std::env::temp_dir().join(format!(
+            "wl-bench-series-{}-{format}.wls",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut store = SweepStore::open(&path).expect("open store");
+        store.set_format(format);
+        store.absorb(&series_cache);
+        let t_save = std::time::Instant::now();
+        store.save().expect("save store");
+        let save_dt = t_save.elapsed();
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let t_load = std::time::Instant::now();
+        let reopened = SweepStore::open(&path).expect("reopen store");
+        let hydrated = reopened.hydrate();
+        black_box(
+            SweepRunner::new().sweep_cached_series::<Maintenance>(series_grid.clone(), &hydrated),
+        );
+        let load_dt = t_load.elapsed();
+        assert_eq!(hydrated.misses(), 0, "{format} store must serve warm");
+        println!(
+            "series store [{format}]: {} records, {size} bytes; save {save_dt:?}, \
+             warm load+serve {load_dt:?}",
+            reopened.len(),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
 }
 
 criterion_group!(benches, bench_sweep);

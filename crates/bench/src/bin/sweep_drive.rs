@@ -25,14 +25,17 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
 use wl_harness::{
-    drive, run_worker, DriverConfig, Maintenance, Shard, SweepRunner, SweepStore, WorkerConfig,
+    drive, run_worker, DriverConfig, Maintenance, Shard, StoreFormat, SweepRunner, SweepStore,
+    WorkerConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sweep_drive --workers N [--grid SIZE] [--dir DIR] [--out FILE] \
-         [--checkpoint C] [--retries R] [--stall-ms T] [--crash-worker K]\n  \
-         sweep_drive --worker K/N --store FILE [--grid SIZE] [--checkpoint C] [--crash-after M]"
+         [--checkpoint C] [--retries R] [--stall-ms T] [--crash-worker K] \
+         [--format text|binary] [--compact]\n  \
+         sweep_drive --worker K/N --store FILE [--grid SIZE] [--checkpoint C] [--crash-after M] \
+         [--format text|binary]"
     );
     std::process::exit(2);
 }
@@ -60,12 +63,14 @@ fn worker_main(args: &[String]) {
     let mut grid_size = DEMO_GRID;
     let mut checkpoint = 4usize;
     let mut crash_after = None;
+    let mut format = StoreFormat::Text;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--store" => store = it.next().cloned(),
             "--grid" => grid_size = parse(it.next()),
             "--checkpoint" => checkpoint = parse(it.next()),
             "--crash-after" => crash_after = Some(parse(it.next())),
+            "--format" => format = parse(it.next()),
             _ => usage(),
         }
     }
@@ -74,6 +79,7 @@ fn worker_main(args: &[String]) {
         store: PathBuf::from(store.unwrap_or_else(|| usage())),
         checkpoint,
         crash_after,
+        format,
     };
     let progress =
         run_worker::<Maintenance>(&SweepRunner::new(), demo_grid(grid_size), &cfg, |p| {
@@ -103,6 +109,8 @@ fn driver_main(args: &[String]) {
     let mut retries = 2u32;
     let mut stall_ms: Option<u64> = None;
     let mut crash_worker: Option<u32> = None;
+    let mut format = StoreFormat::Text;
+    let mut compact = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--grid" => grid_size = parse(it.next()),
@@ -112,6 +120,8 @@ fn driver_main(args: &[String]) {
             "--retries" => retries = parse(it.next()),
             "--stall-ms" => stall_ms = Some(parse(it.next())),
             "--crash-worker" => crash_worker = Some(parse(it.next())),
+            "--format" => format = parse(it.next()),
+            "--compact" => compact = true,
             _ => usage(),
         }
     }
@@ -130,6 +140,7 @@ fn driver_main(args: &[String]) {
     let mut cfg = DriverConfig::new(workers, dir, out.clone());
     cfg.max_restarts = retries;
     cfg.stall_timeout = stall_ms.map(Duration::from_millis);
+    cfg.format = format;
 
     let report = drive(&cfg, |shard, store, attempt| {
         let mut cmd = Command::new(&exe);
@@ -140,7 +151,9 @@ fn driver_main(args: &[String]) {
             .arg("--grid")
             .arg(grid_size.to_string())
             .arg("--checkpoint")
-            .arg(checkpoint.to_string());
+            .arg(checkpoint.to_string())
+            .arg("--format")
+            .arg(format.to_string());
         // Fault injection only poisons the first launch: the restart the
         // driver issues must run clean and converge.
         if attempt == 0 && crash_worker == Some(shard.index()) {
@@ -162,6 +175,33 @@ fn driver_main(args: &[String]) {
         report.merged_records,
         out.display()
     );
+
+    // Post-drive GC: rewrite every shard store (whose binary checkpoints
+    // are appended segments, possibly with superseded versions) in
+    // canonical form. The merged store needs no pass — drive() just
+    // wrote it canonically, with no stale or superseded baggage.
+    if compact {
+        for k in 0..workers {
+            let path = cfg.shard_store(k);
+            let mut store = SweepStore::open(&path).unwrap_or_else(|e| {
+                eprintln!("cannot reopen shard store {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let stats = store.compact().unwrap_or_else(|e| {
+                eprintln!("compacting {} failed: {e}", path.display());
+                std::process::exit(1);
+            });
+            println!(
+                "compacted shard {k}: {} live record(s), {} stale + {} superseded dropped, \
+                 {} -> {} bytes",
+                stats.live,
+                stats.dropped_stale,
+                stats.dropped_superseded,
+                stats.bytes_before,
+                stats.bytes_after
+            );
+        }
+    }
 
     if crash_worker.is_some() && report.restarts == 0 {
         eprintln!("crash injection requested but no worker was ever restarted");

@@ -17,12 +17,16 @@
 //! ```
 
 use bench::{demo_grid, DEMO_GRID};
-use wl_harness::{Maintenance, Shard, SweepCache, SweepRunner, SweepStore, SweepSummary};
+use wl_harness::{
+    Maintenance, Shard, StoreFormat, SweepCache, SweepRunner, SweepStore, SweepSummary,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE] [--expect-hits N]\n  \
-         sweep_shard --merge OUT IN1 IN2 [IN3 ...]"
+        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE] [--expect-hits N] \
+         [--format text|binary] [--compact]\n  \
+         sweep_shard --merge OUT IN1 IN2 [IN3 ...] [--format text|binary]\n  \
+         sweep_shard --migrate SRC DST [--format text|binary] [--compact]"
     );
     std::process::exit(2);
 }
@@ -32,6 +36,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--shard") => run_shard(&args[1..]),
         Some("--merge") => run_merge(&args[1..]),
+        Some("--migrate") => run_migrate(&args[1..]),
         _ => usage(),
     }
 }
@@ -49,6 +54,8 @@ fn run_shard(args: &[String]) {
     let mut store_path: Option<String> = None;
     let mut grid_size = DEMO_GRID;
     let mut expect_hits: Option<u64> = None;
+    let mut format: Option<StoreFormat> = None;
+    let mut compact = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--store" => store_path = it.next().cloned(),
@@ -65,6 +72,14 @@ fn run_shard(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--format" => {
+                format = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--compact" => compact = true,
             _ => usage(),
         }
     }
@@ -74,23 +89,44 @@ fn run_shard(args: &[String]) {
         eprintln!("cannot open store {store_path}: {e}");
         std::process::exit(1)
     });
+    // Unspecified, the store keeps its auto-detected format; an explicit
+    // --format migrates it on this save.
+    if let Some(format) = format {
+        store.set_format(format);
+    }
     let cache: SweepCache = store.hydrate();
     let outcomes =
         SweepRunner::new().sweep_sharded_cached::<Maintenance>(demo_grid(grid_size), shard, &cache);
     let summary = SweepSummary::collect(&outcomes);
     let added = store.absorb(&cache);
-    store.save().unwrap_or_else(|e| {
-        eprintln!("cannot save store {store_path}: {e}");
-        std::process::exit(1)
-    });
+    if compact {
+        let stats = store.compact().unwrap_or_else(|e| {
+            eprintln!("cannot compact store {store_path}: {e}");
+            std::process::exit(1)
+        });
+        println!(
+            "compacted {store_path}: {} live, {} stale + {} superseded dropped, {} -> {} bytes",
+            stats.live,
+            stats.dropped_stale,
+            stats.dropped_superseded,
+            stats.bytes_before,
+            stats.bytes_after
+        );
+    } else {
+        store.save().unwrap_or_else(|e| {
+            eprintln!("cannot save store {store_path}: {e}");
+            std::process::exit(1)
+        });
+    }
     println!(
         "shard {shard}: {} grid points ({} hits, {} misses), {} events, all-agree {}; \
-         {added} records written to {store_path}",
+         {added} records written to {store_path} ({} format)",
         outcomes.len(),
         cache.hits(),
         cache.misses(),
         summary.events,
         summary.all_hold(),
+        store.format(),
     );
     // Machine-checkable smoke assertion: CI pins "this run was entirely
     // cache-served" through the exit code instead of grepping the line
@@ -108,11 +144,25 @@ fn run_shard(args: &[String]) {
 }
 
 fn run_merge(args: &[String]) {
-    let [out, inputs @ ..] = args else { usage() };
+    // A trailing `--format F` selects the output format; everything
+    // before it is OUT IN1 IN2 [IN3 ...].
+    let mut args = args.to_vec();
+    let mut format = StoreFormat::Text;
+    if let Some(pos) = args.iter().position(|a| a == "--format") {
+        format = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
+        args.drain(pos..pos + 2);
+    }
+    let [out, inputs @ ..] = &args[..] else {
+        usage()
+    };
     if inputs.len() < 2 {
         usage();
     }
     let mut merged = SweepStore::new();
+    merged.set_format(format);
     for input in inputs {
         let shard_store = SweepStore::open(input).unwrap_or_else(|e| {
             eprintln!("cannot open shard store {input}: {e}");
@@ -140,5 +190,60 @@ fn run_merge(args: &[String]) {
         eprintln!("cannot save merged store {out}: {e}");
         std::process::exit(1)
     });
-    println!("merged store: {} records -> {out}", merged.len());
+    println!(
+        "merged store: {} records -> {out} ({} format)",
+        merged.len(),
+        merged.format()
+    );
+}
+
+/// `--migrate SRC DST [--format F] [--compact]`: lossless store
+/// conversion (default: to binary). Text → binary → text reproduces the
+/// source byte-for-byte; `--compact` additionally drops stale-engine
+/// records from DST (after which the round trip is no longer claimed).
+fn run_migrate(args: &[String]) {
+    let mut it = args.iter();
+    let src = it.next().unwrap_or_else(|| usage());
+    let dst = it.next().unwrap_or_else(|| usage());
+    let mut format = StoreFormat::Binary;
+    let mut compact = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--format" => {
+                format = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--compact" => compact = true,
+            _ => usage(),
+        }
+    }
+    let report = SweepStore::migrate(src, dst, format).unwrap_or_else(|e| {
+        eprintln!("cannot migrate {src} -> {dst}: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "migrated {src} -> {dst} ({format} format): {} record(s), {} stale retained, \
+         {} skipped, {} -> {} bytes",
+        report.records, report.stale_retained, report.skipped, report.bytes_in, report.bytes_out
+    );
+    if compact {
+        let mut store = SweepStore::open(dst).unwrap_or_else(|e| {
+            eprintln!("cannot reopen {dst}: {e}");
+            std::process::exit(1)
+        });
+        let stats = store.compact().unwrap_or_else(|e| {
+            eprintln!("cannot compact {dst}: {e}");
+            std::process::exit(1)
+        });
+        println!(
+            "compacted {dst}: {} live, {} stale + {} superseded dropped, {} -> {} bytes",
+            stats.live,
+            stats.dropped_stale,
+            stats.dropped_superseded,
+            stats.bytes_before,
+            stats.bytes_after
+        );
+    }
 }

@@ -13,18 +13,36 @@
 //!    semantics, seed derivation, or the canonical encoding change.
 //!    Records from another engine version are *stale* and ignored.
 //!
-//! [`SweepStore`] owns the file format: one human-greppable text record
-//! per `(spec, algorithm)` pair, each line carrying its own checksum.
-//! Scalar summaries are `R`-tagged; records whose outcome additionally
-//! carries a [`SweepSeries`] payload are `S`-tagged (the v2 record kind,
-//! introduced with `ENGINE_VERSION` 3).
-//! Loading tolerates arbitrary corruption (truncated tails, mangled
-//! lines, foreign files) by skipping what it cannot verify; saving
-//! writes the whole store to a temp file and atomically renames it, so
-//! readers never observe a half-written store. Records are written in
-//! sorted key order, which makes store files *canonical*: merging shard
-//! stores and then saving yields byte-for-byte the file an unsharded
-//! run would have produced — CI diffs the two.
+//! [`SweepStore`] owns the on-disk formats — two of them, auto-detected
+//! on load and selected per store on save ([`StoreFormat`]):
+//!
+//! * **text** (`wlsweep 1`): one human-greppable record line per
+//!   `(spec, algorithm)` pair, each carrying its own checksum. Scalar
+//!   summaries are `R`-tagged; records whose outcome additionally
+//!   carries a [`SweepSeries`] payload are `S`-tagged (the v2 record
+//!   kind, introduced with `ENGINE_VERSION` 3).
+//! * **binary** (`WLSB`, the v3 format): the same records framed as
+//!   length-prefixed, checksummed binary units with their canonical
+//!   strings [`wlz`]-compressed, packed into fixed-capacity segments
+//!   ([`segment`] is the framing layer). ~2× smaller on series-heavy
+//!   grids (the hex-entropy floor; PERF.md row 5 has measurements), and
+//!   *appendable*: [`SweepStore::checkpoint`] extends the file by one
+//!   segment instead of rewriting it. Migration between the two is
+//!   lossless and byte-pinned ([`SweepStore::migrate`]).
+//!
+//! `docs/store-format.md` is the normative byte-level specification of
+//! both formats. Loading tolerates arbitrary corruption (truncated
+//! tails, mangled lines or segments, foreign files) by skipping what it
+//! cannot verify; saving writes the whole store to a temp file and
+//! atomically renames it, so readers never observe a half-written
+//! store. Records are written in sorted key order, which makes saved
+//! store files *canonical*: merging shard stores and then saving yields
+//! byte-for-byte the file an unsharded run would have produced — CI
+//! diffs the two, in both formats. Stale-engine records are **retained**
+//! verbatim across saves (a new-engine process saving into a shared
+//! store must not destroy another build's records);
+//! [`SweepStore::compact`] is the explicit GC that drops them, along
+//! with records superseded by appended checkpoint segments.
 //!
 //! Serialization uses the workspace's vendored `serde` (`Serialize`
 //! half) through [`canon_string`]; the vendored shim's `Deserialize` is
@@ -34,16 +52,20 @@
 //! [`ScenarioSpec::content_hash`]: crate::ScenarioSpec::content_hash
 //! [`SyncAlgorithm::NAME`]: crate::SyncAlgorithm::NAME
 
+pub mod segment;
+
 use crate::sweep::{SweepCache, SweepOutcome, SweepSeries};
+use segment::{EncodedRecord, SegmentReader, SegmentWriter, DEFAULT_SEGMENT_CAPACITY};
 use serde::ser::{
     SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
     SerializeTupleStruct, SerializeTupleVariant,
 };
 use serde::{Serialize, Serializer};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::str::FromStr;
 use wl_sim::SimStats;
 
 /// The engine-semantics version stamped into every persisted record.
@@ -61,10 +83,53 @@ use wl_sim::SimStats;
 /// encoding.
 pub const ENGINE_VERSION: u32 = 3;
 
-/// First line of every store file: format magic + *format* version
-/// (which is about the file layout; [`ENGINE_VERSION`] travels per
-/// record).
+/// First line of every **text** store file: format magic + *format*
+/// version (which is about the file layout; [`ENGINE_VERSION`] travels
+/// per record). Binary stores open with [`segment::FILE_MAGIC`]
+/// instead; [`SweepStore::open`] tells the two apart by these leading
+/// bytes.
 const HEADER: &str = "wlsweep 1";
+
+/// Which on-disk layout a [`SweepStore`] reads and writes.
+///
+/// Both formats carry exactly the same records (`docs/store-format.md`
+/// specifies each byte), so stores migrate between them losslessly —
+/// text → binary → text reproduces the original file byte-for-byte.
+/// [`SweepStore::open`] auto-detects the format of an existing file;
+/// the format only has to be *chosen* when creating or migrating a
+/// store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// Line-oriented, human-greppable text (`wlsweep 1`): the v1/v2
+    /// format, and the default for new stores.
+    #[default]
+    Text,
+    /// Compressed binary segments (`WLSB`): the v3 format — ~2×
+    /// smaller on series grids (PERF.md row 5), appendable in O(new
+    /// records) by [`SweepStore::checkpoint`].
+    Binary,
+}
+
+impl std::fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Text => "text",
+            Self::Binary => "binary",
+        })
+    }
+}
+
+impl FromStr for StoreFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Self::Text),
+            "binary" => Ok(Self::Binary),
+            other => Err(format!("unknown store format `{other}` (text|binary)")),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Canonical serialization (vendored-serde Serializer).
@@ -759,12 +824,44 @@ pub struct MergeStats {
 ///   the canonical union (`cargo run -p bench --bin sweep_shard`).
 ///
 /// [`SweepRunner::sweep_sharded_cached`]: crate::SweepRunner::sweep_sharded_cached
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SweepStore {
     path: Option<PathBuf>,
     records: BTreeMap<StoreKey, StoreRecord>,
+    format: StoreFormat,
+    segment_capacity: u32,
+    /// Stale-engine records carried verbatim (structurally) across
+    /// saves and migrations; [`SweepStore::compact`] drops them.
+    retained: Vec<EncodedRecord>,
+    /// Keys changed since the last write to `path` — what
+    /// [`SweepStore::checkpoint`] appends.
+    unsaved: BTreeSet<StoreKey>,
+    /// Whether the file at `path` is a cleanly-loaded (or just-written)
+    /// binary store this process may extend by appending segments.
+    append_base: bool,
+    /// Ordinal the next appended segment should carry.
+    next_ordinal: u32,
     skipped: usize,
     stale: usize,
+    superseded: usize,
+}
+
+impl Default for SweepStore {
+    fn default() -> Self {
+        Self {
+            path: None,
+            records: BTreeMap::new(),
+            format: StoreFormat::default(),
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            retained: Vec::new(),
+            unsaved: BTreeSet::new(),
+            append_base: false,
+            next_ordinal: 0,
+            skipped: 0,
+            stale: 0,
+            superseded: 0,
+        }
+    }
 }
 
 impl SweepStore {
@@ -777,15 +874,24 @@ impl SweepStore {
 
     /// Opens the store at `path`, tolerating anything it finds there.
     ///
-    /// A missing file is an empty store. A present file is scanned line
-    /// by line: records that fail their checksum, fail to parse, or
-    /// duplicate an earlier key are counted in
+    /// The format is auto-detected from the leading bytes: a `WLSB`
+    /// magic loads as v3 binary, a `wlsweep 1` header as v1/v2 text —
+    /// the store remembers which, and [`save`](SweepStore::save) writes
+    /// it back the same way unless
+    /// [`set_format`](SweepStore::set_format) says otherwise. A missing
+    /// file is an empty store (in the default text format).
+    ///
+    /// Damage never errors, whatever the format: records that fail
+    /// their checksum or their parse are counted in
     /// [`skipped_lines`](SweepStore::skipped_lines); records from
     /// another [`ENGINE_VERSION`] are counted in
-    /// [`stale_records`](SweepStore::stale_records); everything valid
-    /// loads. A file whose header is foreign contributes nothing but
-    /// skips. Truncation mid-record therefore costs exactly the
-    /// truncated record.
+    /// [`stale_records`](SweepStore::stale_records) *and retained* for
+    /// the next save; binary records superseded by a later appended
+    /// checkpoint are counted in
+    /// [`superseded_records`](SweepStore::superseded_records);
+    /// everything valid loads. A file whose header is foreign
+    /// contributes nothing but skips. Truncation mid-record costs
+    /// exactly the truncated record, in either format.
     ///
     /// # Errors
     ///
@@ -797,33 +903,76 @@ impl SweepStore {
             path: Some(path.clone()),
             ..Self::default()
         };
-        let text = match std::fs::read_to_string(&path) {
-            Ok(text) => text,
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(store),
             Err(e) => return Err(e),
         };
+        if let Some(reader) = SegmentReader::new(&bytes) {
+            store.load_binary(reader);
+        } else {
+            store.load_text(&String::from_utf8_lossy(&bytes));
+        }
+        Ok(store)
+    }
+
+    /// The v3 load path: drain a [`SegmentReader`], sorting each record
+    /// into live / stale / skipped. Later records for a key a previous
+    /// segment already supplied **supersede** it (last writer wins) —
+    /// that is how an appended checkpoint upgrades a scalar record to a
+    /// series-bearing one without rewriting the file.
+    fn load_binary(&mut self, mut reader: SegmentReader<'_>) {
+        self.format = StoreFormat::Binary;
+        if reader.capacity() > 0 {
+            self.segment_capacity = reader.capacity();
+        }
+        for encoded in reader.by_ref() {
+            if encoded.engine_version != ENGINE_VERSION {
+                self.stale += 1;
+                self.retained.push(encoded);
+                continue;
+            }
+            match live_record(&encoded) {
+                Some((key, record)) => {
+                    if self.records.insert(key, record).is_some() {
+                        self.superseded += 1;
+                    }
+                }
+                None => self.skipped += 1,
+            }
+        }
+        self.skipped += reader.damaged();
+        self.next_ordinal = reader.next_ordinal();
+        // A store with damage must not be extended in place: the torn
+        // tail would corrupt the first appended segment's framing.
+        self.append_base = reader.damaged() == 0;
+    }
+
+    /// The v1/v2 load path, line-oriented. Duplicate keys keep the
+    /// *first* record (the text format is never appended to by this
+    /// crate, so an appended duplicate can only be a foreign artifact).
+    fn load_text(&mut self, text: &str) {
+        self.format = StoreFormat::Text;
         let mut lines = text.lines();
         if lines.next() != Some(HEADER) {
-            store.skipped = text.lines().count();
-            return Ok(store);
+            self.skipped = text.lines().count();
+            return;
         }
         for line in lines {
             match parse_line(line) {
-                ParsedLine::Record { key, record } => {
-                    // First writer wins: the store is append-only, and an
-                    // appended duplicate can only be a foreign artifact.
-                    match store.records.entry(key) {
-                        std::collections::btree_map::Entry::Vacant(v) => {
-                            v.insert(*record);
-                        }
-                        std::collections::btree_map::Entry::Occupied(_) => store.skipped += 1,
+                ParsedLine::Record { key, record } => match self.records.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(*record);
                     }
+                    std::collections::btree_map::Entry::Occupied(_) => self.skipped += 1,
+                },
+                ParsedLine::Stale(encoded) => {
+                    self.stale += 1;
+                    self.retained.push(*encoded);
                 }
-                ParsedLine::Stale => store.stale += 1,
-                ParsedLine::Corrupt => store.skipped += 1,
+                ParsedLine::Corrupt => self.skipped += 1,
             }
         }
-        Ok(store)
     }
 
     /// Number of valid current-engine records.
@@ -845,10 +994,60 @@ impl SweepStore {
     }
 
     /// Records the last [`open`](SweepStore::open) ignored for carrying
-    /// a different [`ENGINE_VERSION`].
+    /// a different [`ENGINE_VERSION`]. They are not *lost*: the store
+    /// retains them verbatim across saves until
+    /// [`compact`](SweepStore::compact) drops them.
     #[must_use]
     pub fn stale_records(&self) -> usize {
         self.stale
+    }
+
+    /// Binary records the last [`open`](SweepStore::open) found
+    /// superseded by a later appended checkpoint segment (their bytes
+    /// still occupy the file until a rewrite —
+    /// [`compact`](SweepStore::compact) reclaims them).
+    #[must_use]
+    pub fn superseded_records(&self) -> usize {
+        self.superseded
+    }
+
+    /// The format this store loads from and saves to. Auto-detected by
+    /// [`open`](SweepStore::open); change it with
+    /// [`set_format`](SweepStore::set_format).
+    #[must_use]
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
+    /// Selects the on-disk format for subsequent saves — the in-place
+    /// half of a migration (the next [`save`](SweepStore::save) rewrites
+    /// the file in the new format; see [`SweepStore::migrate`] for the
+    /// copying form).
+    pub fn set_format(&mut self, format: StoreFormat) {
+        if self.format != format {
+            self.format = format;
+            self.append_base = false;
+        }
+    }
+
+    /// The capacity (in record-block bytes) binary saves pack segments
+    /// to. Adopted from the file on load, [`segment::DEFAULT_SEGMENT_CAPACITY`]
+    /// otherwise.
+    #[must_use]
+    pub fn segment_capacity(&self) -> u32 {
+        self.segment_capacity
+    }
+
+    /// Overrides the segment capacity for subsequent binary saves.
+    /// Capacity is part of a binary file's canonical identity (it moves
+    /// segment boundaries), so two stores compare byte-identical only
+    /// when saved at the same capacity. Values below 1 are clamped to 1.
+    pub fn set_segment_capacity(&mut self, capacity: u32) {
+        let capacity = capacity.max(1);
+        if self.segment_capacity != capacity {
+            self.segment_capacity = capacity;
+            self.append_base = false;
+        }
     }
 
     /// The path this store loads from and saves to, if it has one.
@@ -892,15 +1091,17 @@ impl SweepStore {
                 outcome_canon,
                 outcome: normalized,
             };
-            let slot = self.records.entry(key);
+            let slot = self.records.entry(key.clone());
             match slot {
                 std::collections::btree_map::Entry::Vacant(v) => {
                     v.insert(record);
+                    self.unsaved.insert(key);
                     changed += 1;
                 }
                 std::collections::btree_map::Entry::Occupied(mut o) => {
                     if *o.get() != record {
                         o.insert(record);
+                        self.unsaved.insert(key);
                         changed += 1;
                     }
                 }
@@ -943,6 +1144,7 @@ impl SweepStore {
                 stats.agreed += 1;
             } else {
                 self.records.insert(key.clone(), theirs.clone());
+                self.unsaved.insert(key.clone());
                 stats.added += 1;
             }
         }
@@ -960,28 +1162,40 @@ impl SweepStore {
         for (key, theirs) in &other.records {
             if !self.records.contains_key(key) {
                 self.records.insert(key.clone(), theirs.clone());
+                self.unsaved.insert(key.clone());
                 adopted += 1;
             }
         }
         adopted
     }
 
-    /// Saves to the store's own path (see [`SweepStore::save_to`]).
+    /// Saves to the store's own path (see [`SweepStore::save_to`]) and
+    /// resets the incremental-checkpoint bookkeeping: after a save the
+    /// on-disk file is canonical, everything is flushed, and (for
+    /// binary stores) subsequent [`checkpoint`](SweepStore::checkpoint)s
+    /// may append to it.
     ///
     /// # Errors
     ///
     /// I/O failures, or [`io::ErrorKind::InvalidInput`] if the store was
     /// created path-less.
-    pub fn save(&self) -> io::Result<()> {
-        let path = self.path.as_ref().ok_or_else(|| {
+    pub fn save(&mut self) -> io::Result<()> {
+        let path = self.path.clone().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "sweep store has no path")
         })?;
-        self.save_to(path)
+        let (bytes, next_ordinal) = self.render();
+        write_atomic(&path, &bytes)?;
+        self.unsaved.clear();
+        self.next_ordinal = next_ordinal;
+        self.append_base = self.format == StoreFormat::Binary;
+        Ok(())
     }
 
-    /// Writes the canonical store file: header plus one record line per
-    /// key, in sorted key order — so any two stores with equal contents
-    /// produce byte-identical files, regardless of insertion history.
+    /// Writes the canonical store file to an arbitrary path, in the
+    /// store's [`format`](SweepStore::format): live records in sorted
+    /// key order (then any retained stale records, in load order) — so
+    /// any two stores with equal contents produce byte-identical files,
+    /// regardless of insertion history.
     ///
     /// The write is atomic-by-rename: content goes to a sibling temp
     /// file (suffixed with this process id) which is then renamed over
@@ -992,40 +1206,292 @@ impl SweepStore {
     ///
     /// Propagates I/O failures from create/write/rename.
     pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        let mut content = String::with_capacity(64 + self.records.len() * 256);
-        content.push_str(HEADER);
-        content.push('\n');
-        for ((hash, algo), record) in &self.records {
-            content.push_str(&record_line(*hash, algo, record));
-            content.push('\n');
-        }
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+        write_atomic(path.as_ref(), &self.render().0)
+    }
+
+    /// Serializes the whole store in its configured format, returning
+    /// the file bytes and the ordinal an appended segment would carry
+    /// (meaningful for binary only).
+    fn render(&self) -> (Vec<u8>, u32) {
+        let live = self
+            .records
+            .iter()
+            .map(|(key, record)| encoded_record(key, record));
+        match self.format {
+            StoreFormat::Text => {
+                let mut content = String::with_capacity(64 + self.records.len() * 256);
+                content.push_str(HEADER);
+                content.push('\n');
+                for encoded in live.chain(self.retained.iter().cloned()) {
+                    content.push_str(&text_line(&encoded));
+                    content.push('\n');
+                }
+                (content.into_bytes(), 0)
+            }
+            StoreFormat::Binary => {
+                let records: Vec<EncodedRecord> =
+                    live.chain(self.retained.iter().cloned()).collect();
+                segment::write_file_with_ordinal(&records, self.segment_capacity)
             }
         }
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, content)?;
-        std::fs::rename(&tmp, path)
+    }
+
+    /// Flushes changes since the last write **incrementally** where the
+    /// format allows it: on a cleanly-loaded (or just-saved) binary
+    /// store this *appends* one or more segments holding only the
+    /// changed records — O(changes), not O(store) — relying on the v3
+    /// last-writer-wins load rule to supersede any older versions of
+    /// those keys. Everywhere else (text stores, damaged files, fresh
+    /// paths, format changes) it falls back to a full
+    /// [`save`](SweepStore::save). Returns how many records were
+    /// flushed.
+    ///
+    /// The append is *not* atomic — a crash mid-append leaves a torn
+    /// trailing segment — but it is **safe**: the corruption-tolerant
+    /// loader recovers every record before the tear, so the cost is
+    /// exactly the records of the interrupted checkpoint, which a
+    /// restarted worker re-runs. This is the call
+    /// [`run_worker`](crate::driver::run_worker) makes per checkpoint
+    /// batch. An appended-to file is no longer *canonical* (records are
+    /// no longer globally sorted); the next full save or
+    /// [`compact`](SweepStore::compact) restores canonical form.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; [`io::ErrorKind::InvalidInput`] on a path-less
+    /// store.
+    pub fn checkpoint(&mut self) -> io::Result<usize> {
+        let n = self.unsaved.len();
+        if self.format != StoreFormat::Binary || !self.append_base {
+            self.save()?;
+            return Ok(n);
+        }
+        if n == 0 {
+            return Ok(0);
+        }
+        let path = self.path.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "sweep store has no path")
+        })?;
+        let mut writer = SegmentWriter::new(self.segment_capacity, self.next_ordinal);
+        for key in &self.unsaved {
+            if let Some(record) = self.records.get(key) {
+                writer.push(&encoded_record(key, record).encode());
+            }
+        }
+        let (bytes, next_ordinal) = writer.into_parts();
+        let result = (|| {
+            use std::io::Write as _;
+            let mut file = std::fs::File::options().append(true).open(&path)?;
+            file.write_all(&bytes)
+        })();
+        if result.is_err() {
+            // The file tail is now untrustworthy; force a rewrite next.
+            self.append_base = false;
+            return result.map(|()| n);
+        }
+        self.unsaved.clear();
+        self.next_ordinal = next_ordinal;
+        Ok(n)
+    }
+
+    /// Compaction / garbage collection: drops every stale-engine record
+    /// retained from load and reclaims the bytes of superseded record
+    /// versions by rewriting the file in canonical form (atomic
+    /// tmp+rename, like any save). Live current-engine records are never
+    /// touched — `compaction_preserves_live_records` pins that a
+    /// compacted store serves exactly the same grid.
+    ///
+    /// ```
+    /// use wl_harness::{StoreFormat, SweepStore};
+    ///
+    /// let path = std::env::temp_dir().join(format!("compact-doc-{}.wls", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// let mut store = SweepStore::open(&path).expect("open");
+    /// store.set_format(StoreFormat::Binary);
+    /// let stats = store.compact().expect("compact");
+    /// assert_eq!((stats.dropped_stale, stats.dropped_superseded), (0, 0));
+    /// assert_eq!(stats.live, store.len());
+    /// # let _ = std::fs::remove_file(&path);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates save I/O failures (path-less stores compact in memory
+    /// only and report `bytes_before == bytes_after == 0`).
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        let on_disk = |path: &Option<PathBuf>| {
+            path.as_ref()
+                .and_then(|p| std::fs::metadata(p).ok())
+                .map_or(0, |m| m.len())
+        };
+        let bytes_before = on_disk(&self.path);
+        let stats = CompactStats {
+            live: self.records.len(),
+            dropped_stale: self.retained.len(),
+            dropped_superseded: self.superseded,
+            bytes_before,
+            bytes_after: bytes_before,
+        };
+        self.retained.clear();
+        self.stale = 0;
+        self.superseded = 0;
+        if self.path.is_some() {
+            self.save()?;
+        }
+        Ok(CompactStats {
+            bytes_after: on_disk(&self.path),
+            ..stats
+        })
+    }
+
+    /// Copies the store at `src` to `dst` in `format` — the lossless,
+    /// byte-pinned migration: migrating text → binary → text (or the
+    /// reverse) reproduces the original file **byte-for-byte**, stale
+    /// records included, as long as both hops use the same segment
+    /// capacity. `src` is left untouched; `src == dst` converts in
+    /// place (the write is atomic-by-rename).
+    ///
+    /// ```
+    /// use wl_harness::{StoreFormat, SweepStore};
+    ///
+    /// let dir = std::env::temp_dir();
+    /// let text = dir.join(format!("migrate-doc-{}.wls", std::process::id()));
+    /// let binary = dir.join(format!("migrate-doc-{}.wlb", std::process::id()));
+    /// let round = dir.join(format!("migrate-doc-{}-round.wls", std::process::id()));
+    /// # let _ = std::fs::remove_file(&text);
+    /// let mut store = SweepStore::open(&text).expect("open");
+    /// store.save().expect("write an (empty) text store");
+    ///
+    /// let report = SweepStore::migrate(&text, &binary, StoreFormat::Binary).expect("to binary");
+    /// assert_eq!(report.records, 0);
+    /// let _ = SweepStore::migrate(&binary, &round, StoreFormat::Text).expect("back to text");
+    /// assert_eq!(
+    ///     std::fs::read(&text).unwrap(),
+    ///     std::fs::read(&round).unwrap(),
+    ///     "text -> binary -> text is byte-identical",
+    /// );
+    /// # for p in [&text, &binary, &round] { let _ = std::fs::remove_file(p); }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the read or the write; content damage never
+    /// errors (it is skipped, and reported in the returned
+    /// [`MigrationReport`]).
+    pub fn migrate(
+        src: impl AsRef<Path>,
+        dst: impl AsRef<Path>,
+        format: StoreFormat,
+    ) -> io::Result<MigrationReport> {
+        let bytes_in = std::fs::metadata(src.as_ref()).map_or(0, |m| m.len());
+        let mut store = Self::open(src.as_ref().to_path_buf())?;
+        store.set_format(format);
+        store.save_to(dst.as_ref())?;
+        Ok(MigrationReport {
+            records: store.len(),
+            stale_retained: store.retained.len(),
+            skipped: store.skipped_lines(),
+            superseded_dropped: store.superseded_records(),
+            bytes_in,
+            bytes_out: std::fs::metadata(dst.as_ref()).map_or(0, |m| m.len()),
+        })
     }
 }
 
-fn record_line(hash: u64, algo: &str, record: &StoreRecord) -> String {
-    // `R` = scalar summary; `S` = series-bearing (the v2 payload). The
-    // tag duplicates what the outcome encoding says so a reader can
-    // filter record kinds without parsing payloads; the parser
-    // cross-checks the two.
-    let tag = if record.outcome.series.is_some() {
-        "S"
-    } else {
-        "R"
-    };
+/// Atomic-by-rename file write shared by every save path.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// What [`SweepStore::compact`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Current-engine records preserved (all of them, always).
+    pub live: usize,
+    /// Retained stale-engine records dropped.
+    pub dropped_stale: usize,
+    /// Superseded record versions whose file bytes were reclaimed.
+    pub dropped_superseded: usize,
+    /// File size before the rewrite (0 for path-less stores).
+    pub bytes_before: u64,
+    /// File size after the rewrite (0 for path-less stores).
+    pub bytes_after: u64,
+}
+
+/// What [`SweepStore::migrate`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Live records carried across.
+    pub records: usize,
+    /// Stale-engine records carried across verbatim.
+    pub stale_retained: usize,
+    /// Damaged units in the source that could not be carried.
+    pub skipped: usize,
+    /// Superseded record versions left behind (migration always writes
+    /// canonical files, so only the winning version survives).
+    pub superseded_dropped: usize,
+    /// Source file size in bytes.
+    pub bytes_in: u64,
+    /// Destination file size in bytes.
+    pub bytes_out: u64,
+}
+
+/// The format-level view of one live record — what both the text and
+/// the binary writer serialize. The tag duplicates what the outcome
+/// encoding says (`R` scalar, `S` series-bearing) so a reader can
+/// filter record kinds without parsing payloads; both parsers
+/// cross-check the two.
+fn encoded_record((hash, algo): &StoreKey, record: &StoreRecord) -> EncodedRecord {
+    EncodedRecord {
+        tag: if record.outcome.series.is_some() {
+            segment::TAG_SERIES
+        } else {
+            segment::TAG_SCALAR
+        },
+        content_hash: *hash,
+        engine_version: ENGINE_VERSION,
+        algo: algo.clone(),
+        spec_canon: record.spec_canon.clone(),
+        outcome_canon: record.outcome_canon.clone(),
+    }
+}
+
+/// The inverse of [`encoded_record`]: validates a current-engine record
+/// semantically (outcome parses, tag agrees with the payload) and
+/// produces the store's in-memory form. `None` = corrupt, skip it.
+fn live_record(encoded: &EncodedRecord) -> Option<(StoreKey, StoreRecord)> {
+    let outcome = parse_outcome(&encoded.outcome_canon)?;
+    if (encoded.tag == segment::TAG_SERIES) != outcome.series.is_some() {
+        return None;
+    }
+    Some((
+        (encoded.content_hash, encoded.algo.clone()),
+        StoreRecord {
+            spec_canon: encoded.spec_canon.clone(),
+            outcome_canon: encoded.outcome_canon.clone(),
+            outcome,
+        },
+    ))
+}
+
+/// Renders one text record line (any engine version — retained stale
+/// records re-emit through the same path as live ones).
+fn text_line(encoded: &EncodedRecord) -> String {
     let prefix = format!(
-        "{tag} {hash:016x} {ENGINE_VERSION} {} {} {}",
-        canon_string(algo),
-        record.spec_canon,
-        record.outcome_canon,
+        "{} {:016x} {} {} {} {}",
+        encoded.tag as char,
+        encoded.content_hash,
+        encoded.engine_version,
+        canon_string(&encoded.algo),
+        encoded.spec_canon,
+        encoded.outcome_canon,
     );
     let crc = fnv64(prefix.as_bytes());
     format!("{prefix} {crc:016x}")
@@ -1033,12 +1499,16 @@ fn record_line(hash: u64, algo: &str, record: &StoreRecord) -> String {
 
 enum ParsedLine {
     // Boxed: a parsed record (outcome + canon strings, possibly a whole
-    // series payload) dwarfs the data-free variants.
+    // series payload) dwarfs the data-free variant.
     Record {
         key: StoreKey,
         record: Box<StoreRecord>,
     },
-    Stale,
+    /// Checksum-valid, structurally sound, but from another engine:
+    /// carried as an [`EncodedRecord`] so saves can re-emit it verbatim
+    /// (its outcome grammar may be unknown to this build, so it is
+    /// never parsed).
+    Stale(Box<EncodedRecord>),
     Corrupt,
 }
 
@@ -1059,14 +1529,29 @@ fn parse_line(line: &str) -> ParsedLine {
     let Ok(hash) = u64::from_str_radix(hash_tok, 16) else {
         return ParsedLine::Corrupt;
     };
-    match engine_tok.parse::<u32>() {
-        Ok(engine) if engine == ENGINE_VERSION => {}
-        Ok(_) => return ParsedLine::Stale,
-        Err(_) => return ParsedLine::Corrupt,
-    }
     let Some(algo) = unescape(algo_tok) else {
         return ParsedLine::Corrupt;
     };
+    // The binary record frames the algorithm with a u16 length; a text
+    // line whose algo cannot survive that framing is treated as corrupt
+    // here rather than panicking in a later cross-format save.
+    if algo.len() > usize::from(u16::MAX) {
+        return ParsedLine::Corrupt;
+    }
+    match engine_tok.parse::<u32>() {
+        Ok(engine) if engine == ENGINE_VERSION => {}
+        Ok(engine) => {
+            return ParsedLine::Stale(Box::new(EncodedRecord {
+                tag: tag.as_bytes()[0],
+                content_hash: hash,
+                engine_version: engine,
+                algo,
+                spec_canon: (*spec_tok).to_string(),
+                outcome_canon: (*outcome_tok).to_string(),
+            }))
+        }
+        Err(_) => return ParsedLine::Corrupt,
+    }
     let Some(outcome) = parse_outcome(outcome_tok) else {
         return ParsedLine::Corrupt;
     };
@@ -1128,10 +1613,18 @@ impl DiskSweepCache {
 
     /// Opens the shared store under `WL_SWEEP_CACHE_DIR` (see the type
     /// docs). Infallible by design.
+    ///
+    /// The `WL_SWEEP_FORMAT` environment variable (`text` | `binary`)
+    /// selects the on-disk [`StoreFormat`] future persists write —
+    /// an existing store in the other format still loads (detection is
+    /// by content, not by the variable) and is migrated in place on the
+    /// next persist. Unset, the store keeps whatever format it already
+    /// has (text for brand-new stores). Like every cache knob, the
+    /// variable cannot change a *result* — only how it is stored.
     #[must_use]
     pub fn open_shared() -> Self {
         let dir = std::env::var("WL_SWEEP_CACHE_DIR").unwrap_or_default();
-        match dir.as_str() {
+        let mut disk = match dir.as_str() {
             "0" | "off" => Self {
                 store: SweepStore::new(),
                 cache: SweepCache::new(),
@@ -1139,7 +1632,15 @@ impl DiskSweepCache {
             },
             "" => Self::open_or_warn(Path::new("target/sweep-cache").join("sweeps.wls")),
             dir => Self::open_or_warn(Path::new(dir).join("sweeps.wls")),
+        };
+        match std::env::var("WL_SWEEP_FORMAT").as_deref() {
+            Err(_) | Ok("") => {}
+            Ok(raw) => match raw.parse::<StoreFormat>() {
+                Ok(format) => disk.store.set_format(format),
+                Err(e) => eprintln!("warning: WL_SWEEP_FORMAT ignored: {e}"),
+            },
         }
+        disk
     }
 
     fn open_or_warn(path: PathBuf) -> Self {
@@ -1171,6 +1672,14 @@ impl DiskSweepCache {
     #[must_use]
     pub fn store(&self) -> &SweepStore {
         &self.store
+    }
+
+    /// Selects the [`StoreFormat`] the next [`persist`](DiskSweepCache::persist)
+    /// writes — the programmatic form of the `WL_SWEEP_FORMAT`
+    /// environment knob (an existing store in the other format is
+    /// migrated by that persist).
+    pub fn set_format(&mut self, format: StoreFormat) {
+        self.store.set_format(format);
     }
 
     /// Absorbs the cache into the store and saves it (no-op when
@@ -1206,7 +1715,7 @@ impl DiskSweepCache {
     #[must_use]
     pub fn status(&self) -> String {
         let target = match (self.enabled, self.store.path()) {
-            (true, Some(p)) => format!("store {}", p.display()),
+            (true, Some(p)) => format!("{} store {}", self.store.format(), p.display()),
             _ => "persistence off".to_string(),
         };
         format!(
@@ -1614,6 +2123,383 @@ mod tests {
         let merged = SweepStore::open(&path).unwrap();
         assert_eq!(merged.len(), 4, "both processes' records survive");
         let _ = std::fs::remove_file(&path);
+    }
+
+    // -----------------------------------------------------------------
+    // v3 binary format, migration, checkpointing, compaction.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn binary_store_roundtrip_and_rehydration() {
+        let path = tmp_path("bin-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let cache = SweepCache::new();
+        let outcomes = SweepRunner::serial().sweep_cached_series::<Maintenance>(grid(3), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.set_format(StoreFormat::Binary);
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], b"WLSB", "binary magic");
+
+        // Auto-detection: open() needs no format hint.
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.format(), StoreFormat::Binary);
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.skipped_lines(), 0);
+        let warm = reopened.hydrate();
+        let served = SweepRunner::serial().sweep_cached_series::<Maintenance>(grid(3), &warm);
+        assert_eq!((warm.hits(), warm.misses()), (3, 0));
+        for (a, b) in served.iter().zip(&outcomes) {
+            assert!(a.bit_identical(b), "binary round trip must be lossless");
+        }
+
+        // Canonical regardless of how the records arrived: a merge
+        // accumulator saving in binary produces the identical file.
+        let mut merged = SweepStore::new();
+        merged.set_format(StoreFormat::Binary);
+        merged.merge_from(&reopened).unwrap();
+        let p2 = tmp_path("bin-roundtrip-merged");
+        merged.save_to(&p2).unwrap();
+        assert_eq!(bytes, std::fs::read(&p2).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn migration_text_binary_text_is_byte_identical() {
+        // The PR-4-shaped store: scalar and series records mixed.
+        let text1 = tmp_path("mig-text1");
+        let binary = tmp_path("mig-binary");
+        let text2 = tmp_path("mig-text2");
+        let _ = std::fs::remove_file(&text1);
+        let cache = SweepCache::new();
+        let g = grid(4);
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(g[..2].to_vec(), &cache);
+        let _ = SweepRunner::serial().sweep_cached_series::<Maintenance>(g[2..].to_vec(), &cache);
+        let mut store = SweepStore::open(&text1).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        let to_bin = SweepStore::migrate(&text1, &binary, StoreFormat::Binary).unwrap();
+        assert_eq!(
+            (to_bin.records, to_bin.skipped, to_bin.stale_retained),
+            (4, 0, 0)
+        );
+        let back = SweepStore::migrate(&binary, &text2, StoreFormat::Text).unwrap();
+        assert_eq!(back.records, 4);
+        assert_eq!(
+            std::fs::read(&text1).unwrap(),
+            std::fs::read(&text2).unwrap(),
+            "text -> binary -> text must reproduce the file byte-for-byte"
+        );
+        // And binary -> binary is idempotent (the format is canonical).
+        let binary2 = tmp_path("mig-binary2");
+        SweepStore::migrate(&binary, &binary2, StoreFormat::Binary).unwrap();
+        assert_eq!(
+            std::fs::read(&binary).unwrap(),
+            std::fs::read(&binary2).unwrap()
+        );
+        for p in [&text1, &binary, &text2, &binary2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 24,
+            .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Migration round-trip byte-identity over *arbitrary* record
+        /// contents: adversarial floats (NaN payloads, -0.0, subnormals
+        /// — any bit pattern), algorithm names with spaces/quotes/
+        /// escapes, empty and lopsided series vectors.
+        #[test]
+        fn prop_migration_roundtrip_byte_identity(seed in 0u64..u64::MAX) {
+            use rand::{Rng, SeedableRng};
+            fn f(rng: &mut rand::rngs::StdRng) -> f64 {
+                f64::from_bits(rng.gen::<u64>())
+            }
+            fn fv(rng: &mut rand::rngs::StdRng, n: usize) -> Vec<f64> {
+                (0..n).map(|_| f(rng)).collect()
+            }
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let cache = SweepCache::new();
+            let records = 1 + (rng.gen::<u64>() % 5) as usize;
+            for i in 0..records {
+                let series = if rng.gen::<u64>() % 2 == 0 {
+                    let n = (rng.gen::<u64>() % 40) as usize;
+                    Some(SweepSeries {
+                        round_times: fv(&mut rng, n),
+                        round_skews: fv(&mut rng, n),
+                        skew_times: fv(&mut rng, n / 2),
+                        skew_values: fv(&mut rng, n / 2),
+                        corr_procs: (0..n / 3).map(|_| rng.gen::<u64>() as u32).collect(),
+                        corr_times: fv(&mut rng, n / 3),
+                        corr_values: fv(&mut rng, n / 3),
+                    })
+                } else {
+                    None
+                };
+                let outcome = SweepOutcome {
+                    index: i,
+                    seed: rng.gen(),
+                    steady_skew: f(&mut rng),
+                    max_skew: f(&mut rng),
+                    agreement_holds: rng.gen::<u64>() % 2 == 0,
+                    max_abs_adjustment: f(&mut rng),
+                    mean_abs_adjustment: f(&mut rng),
+                    adjustment_holds: rng.gen::<u64>() % 2 == 0,
+                    stats: wl_sim::SimStats {
+                        events_delivered: rng.gen(),
+                        messages_sent: rng.gen(),
+                        timers_set: rng.gen(),
+                        timers_suppressed: rng.gen(),
+                    },
+                    series,
+                };
+                let nasty = ["algo a", "q\"uote", "tab\there", "wl-maintenance", "∆-sync"];
+                let algo = format!("{}-{i}", nasty[(rng.gen::<u64>() % 5) as usize]);
+                // The spec canon is opaque to the store; use an escaped
+                // arbitrary string (space-free, like real canon output).
+                let spec_canon = canon_string(&format!("spec {i} of seed {seed}"));
+                cache.seed(rng.gen(), algo, spec_canon, outcome);
+            }
+            let text1 = tmp_path(&format!("prop-mig-t1-{seed}"));
+            let binary = tmp_path(&format!("prop-mig-b-{seed}"));
+            let text2 = tmp_path(&format!("prop-mig-t2-{seed}"));
+            let mut store = SweepStore::new();
+            store.absorb(&cache);
+            store.save_to(&text1).unwrap();
+            SweepStore::migrate(&text1, &binary, StoreFormat::Binary).unwrap();
+            SweepStore::migrate(&binary, &text2, StoreFormat::Text).unwrap();
+            let t1 = std::fs::read(&text1).unwrap();
+            let t2 = std::fs::read(&text2).unwrap();
+            for p in [&text1, &binary, &text2] {
+                let _ = std::fs::remove_file(p);
+            }
+            proptest::prop_assert_eq!(t1, t2, "seed {} round trip diverged", seed);
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_live_records_and_drops_stale() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(3), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        // Downgrade one record's engine version (valid checksum), as in
+        // `stale_engine_records_are_ignored`.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let (prefix, _) = lines[1]
+            .clone()
+            .rsplit_once(' ')
+            .map(|(p, c)| (p.to_string(), c.to_string()))
+            .unwrap();
+        let downgraded = prefix.replacen(
+            &format!(" {ENGINE_VERSION} "),
+            &format!(" {} ", ENGINE_VERSION - 1),
+            1,
+        );
+        let crc = fnv64(downgraded.as_bytes());
+        lines[1] = format!("{downgraded} {crc:016x}");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        // Retention: a load + save must NOT destroy the stale record.
+        let mut store = SweepStore::open(&path).unwrap();
+        assert_eq!((store.len(), store.stale_records()), (2, 1));
+        store.save().unwrap();
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(
+            reopened.stale_records(),
+            1,
+            "stale records must survive an ordinary save"
+        );
+
+        // Compaction is the explicit GC that drops them.
+        let mut store = SweepStore::open(&path).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.live, 2);
+        assert_eq!(stats.dropped_stale, 1);
+        assert_eq!(stats.dropped_superseded, 0);
+        assert!(stats.bytes_after < stats.bytes_before);
+        let compacted = SweepStore::open(&path).unwrap();
+        assert_eq!((compacted.len(), compacted.stale_records()), (2, 0));
+
+        // Live records still serve their grid points.
+        let warm = compacted.hydrate();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(3), &warm);
+        assert_eq!(
+            (warm.hits(), warm.misses()),
+            (2, 1),
+            "both live records survive compaction; only the stale one re-runs"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_appends_segments_and_supersedes_older_versions() {
+        let path = tmp_path("checkpoint-append");
+        let _ = std::fs::remove_file(&path);
+        let g = grid(2);
+
+        // Scalar records first, full save.
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(g.clone(), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.set_format(StoreFormat::Binary);
+        store.absorb(&cache);
+        store.save().unwrap();
+        let base = std::fs::read(&path).unwrap();
+
+        // Upgrade both records to series-bearing; checkpoint() must
+        // *append* (the old file is a byte prefix of the new one).
+        let _ = SweepRunner::serial().sweep_cached_series::<Maintenance>(g.clone(), &cache);
+        assert_eq!(store.absorb(&cache), 2, "series upgrade rewrites both");
+        let flushed = store.checkpoint().unwrap();
+        assert_eq!(flushed, 2);
+        let extended = std::fs::read(&path).unwrap();
+        assert!(extended.len() > base.len());
+        assert_eq!(&extended[..base.len()], &base[..], "checkpoint appends");
+
+        // Loading sees the upgraded records (last writer wins) and
+        // counts the superseded scalar versions.
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.superseded_records(), 2);
+        let warm = reopened.hydrate();
+        let served = SweepRunner::serial().sweep_cached_series::<Maintenance>(g, &warm);
+        assert_eq!((warm.hits(), warm.misses()), (2, 0));
+        assert!(served.iter().all(|o| o.series.is_some()));
+
+        // Nothing new to flush: checkpoint is a no-op, not a rewrite.
+        let mut reopened = reopened;
+        assert_eq!(reopened.checkpoint().unwrap(), 0);
+        assert_eq!(std::fs::read(&path).unwrap(), extended);
+
+        // Compaction reclaims the dead scalar bytes.
+        let stats = reopened.compact().unwrap();
+        assert_eq!(stats.dropped_superseded, 2);
+        assert!(stats.bytes_after < stats.bytes_before);
+        let compacted = SweepStore::open(&path).unwrap();
+        assert_eq!(compacted.superseded_records(), 0);
+        assert_eq!(compacted.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binary_truncation_costs_exactly_the_damaged_tail() {
+        // Mirror of the v2 text pins (`truncated_store_loads_as_empty`,
+        // driver_process's mid-record/boundary cuts), at the segment
+        // level: one record per segment via a tiny capacity.
+        let path = tmp_path("bin-truncate");
+        let _ = std::fs::remove_file(&path);
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(3), &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.set_format(StoreFormat::Binary);
+        store.set_segment_capacity(1); // every record overflows: 1 segment each
+        store.absorb(&cache);
+        store.save().unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Mid-record cut: the torn record is lost, everything before it
+        // survives.
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.skipped_lines(), 1);
+
+        // A damaged store must not be appended to (the torn tail would
+        // corrupt the next segment's framing): checkpoint falls back to
+        // a full rewrite, which also repairs the file.
+        let mut repaired = reopened;
+        repaired.absorb(&cache);
+        repaired.checkpoint().unwrap();
+        let fixed = SweepStore::open(&path).unwrap();
+        assert_eq!((fixed.len(), fixed.skipped_lines()), (3, 0));
+        assert_eq!(std::fs::read(&path).unwrap(), full, "rewrite is canonical");
+
+        // Segment-boundary cut: costs nothing but the records beyond it.
+        let mut reader = segment::SegmentReader::new(&full).unwrap();
+        reader.by_ref().for_each(drop);
+        assert_eq!(reader.segments(), 3);
+        // Find the last segment's start: walk two segments' worth.
+        let mut offset = segment::FILE_HEADER_LEN;
+        for _ in 0..2 {
+            let block_len = u32::from_le_bytes(full[offset + 12..offset + 16].try_into().unwrap());
+            offset += segment::SEGMENT_HEADER_LEN + block_len as usize;
+        }
+        std::fs::write(&path, &full[..offset]).unwrap();
+        let boundary = SweepStore::open(&path).unwrap();
+        assert_eq!((boundary.len(), boundary.skipped_lines()), (2, 0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_binary_records_retained_and_format_portable() {
+        // A stale record whose *outcome grammar* this build cannot parse
+        // must still ride along through saves and format migrations.
+        let path = tmp_path("bin-stale");
+        let live_outcome = outcome_fixture();
+        let live = EncodedRecord {
+            tag: segment::TAG_SCALAR,
+            content_hash: 0x1111,
+            engine_version: ENGINE_VERSION,
+            algo: "wl-maintenance".into(),
+            spec_canon: canon_string("live spec"),
+            outcome_canon: canon_string(&{
+                let mut o = live_outcome;
+                o.index = 0;
+                o
+            }),
+        };
+        let stale = EncodedRecord {
+            tag: segment::TAG_SERIES,
+            content_hash: 0x2222,
+            engine_version: ENGINE_VERSION - 1,
+            algo: "old algo".into(),
+            spec_canon: "AncientSpec{v:1}".into(),
+            outcome_canon: "AncientOutcome{grammar:unknown,series:+[]}".into(),
+        };
+        std::fs::write(
+            &path,
+            segment::write_file([&live, &stale], segment::DEFAULT_SEGMENT_CAPACITY),
+        )
+        .unwrap();
+
+        let store = SweepStore::open(&path).unwrap();
+        assert_eq!(
+            (store.len(), store.stale_records(), store.skipped_lines()),
+            (1, 1, 0)
+        );
+
+        let text = tmp_path("bin-stale-text");
+        let binary2 = tmp_path("bin-stale-bin2");
+        SweepStore::migrate(&path, &text, StoreFormat::Text).unwrap();
+        let as_text = SweepStore::open(&text).unwrap();
+        assert_eq!(
+            (as_text.len(), as_text.stale_records()),
+            (1, 1),
+            "stale record survives binary -> text"
+        );
+        SweepStore::migrate(&text, &binary2, StoreFormat::Binary).unwrap();
+        let back = SweepStore::open(&binary2).unwrap();
+        assert_eq!(
+            (back.len(), back.stale_records()),
+            (1, 1),
+            "and text -> binary again"
+        );
+        for p in [&path, &text, &binary2] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

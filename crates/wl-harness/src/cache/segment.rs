@@ -1,0 +1,776 @@
+//! Byte-level framing of the **v3 binary segment store** — the reader
+//! and writer under [`SweepStore`]'s binary format.
+//!
+//! This module knows nothing about sweeps: it frames opaque canonical
+//! strings into length-prefixed, checksummed records, packs records
+//! into fixed-capacity segments, and concatenates segments into a
+//! container file. The normative byte-level specification — authoritative
+//! over this implementation, and detailed enough to reimplement the
+//! reader independently — is `docs/store-format.md`; the layout in
+//! brief:
+//!
+//! ```text
+//! file    := file-header segment*
+//! segment := segment-header record-block
+//! record  := body-len:u32 body          (body self-checksummed)
+//! ```
+//!
+//! * **Records** carry the same six fields a v1/v2 text line does (tag,
+//!   content hash, engine version, algorithm, canonical spec, canonical
+//!   outcome) — see [`EncodedRecord`] — with the two canonical-string
+//!   payloads individually [`wlz`]-compressed when that shrinks them.
+//! * **Segments** are capacity-bounded: a writer starts a new segment
+//!   when the next record would push the current record-block past the
+//!   configured capacity (a single oversized record gets a segment of
+//!   its own). Each segment header states its record count and block
+//!   length and checksums the whole block, so any segment is verifiable
+//!   — and skippable — without touching its neighbours.
+//! * **Append-friendly**: the file header does not state a segment
+//!   count; readers scan segments to EOF. A checkpoint can therefore
+//!   extend a store by appending one segment instead of rewriting the
+//!   file — and a crash mid-append costs exactly the torn tail, which
+//!   the reader recovers record-by-record.
+//!
+//! [`SweepStore`]: crate::cache::SweepStore
+
+use crate::cache::{fnv64_seeded, FNV_OFFSET};
+
+/// First four bytes of every binary store file.
+pub const FILE_MAGIC: [u8; 4] = *b"WLSB";
+
+/// The binary *file-format* version (independent of the per-record
+/// engine version), fifth byte of the file header.
+pub const FILE_FORMAT_VERSION: u8 = 1;
+
+/// Byte length of the file header: magic (4), format version (1),
+/// reserved zeros (3), segment capacity (`u32` LE), reserved zeros (4).
+pub const FILE_HEADER_LEN: usize = 16;
+
+/// First four bytes of every segment header.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"WSEG";
+
+/// Byte length of a segment header: magic (4), ordinal (`u32` LE),
+/// record count (`u32` LE), record-block length (`u32` LE), FNV-1a of
+/// the record block (`u64` LE).
+pub const SEGMENT_HEADER_LEN: usize = 24;
+
+/// Default capacity of one segment's record block, in bytes. Part of a
+/// file's canonical identity (it is written into the file header and
+/// governs where segment boundaries fall), so two stores compare
+/// byte-identical only when written at the same capacity.
+pub const DEFAULT_SEGMENT_CAPACITY: u32 = 256 * 1024;
+
+/// The `R` record tag: a scalar-summary record.
+pub const TAG_SCALAR: u8 = b'R';
+
+/// The `S` record tag: an outcome whose encoding carries a series
+/// payload.
+pub const TAG_SERIES: u8 = b'S';
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_seeded(FNV_OFFSET, bytes)
+}
+
+/// One store record at the *format* level: the six fields shared by the
+/// text line formats (v1 `R`, v2 `S`) and the v3 binary record, with
+/// the spec and outcome as opaque canonical strings.
+///
+/// This is the unit both stores read and write — and the unit in which
+/// stale-engine records are retained across saves and carried through
+/// text↔binary migration without their (possibly foreign-grammar)
+/// outcome payloads ever being parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedRecord {
+    /// Record kind: [`TAG_SCALAR`] or [`TAG_SERIES`].
+    pub tag: u8,
+    /// The spec's content hash (the record key, with `algo`).
+    pub content_hash: u64,
+    /// The engine-semantics version that produced this record.
+    pub engine_version: u32,
+    /// The algorithm name, unescaped.
+    pub algo: String,
+    /// Canonical serialization of the spec.
+    pub spec_canon: String,
+    /// Canonical serialization of the outcome.
+    pub outcome_canon: String,
+}
+
+/// Payload encoding id: raw bytes, untransformed.
+pub const ENC_RAW: u8 = 0;
+/// Payload encoding id: a [`wlz::compress`] stream.
+pub const ENC_LZ: u8 = 1;
+/// Payload encoding id: [`wlz::hex_pack`] then [`wlz::compress`] — the
+/// winner on canonical text, whose bulk is 16-digit hex float
+/// encodings that nibble-packing halves before LZ sees them.
+pub const ENC_HEX_LZ: u8 = 2;
+
+/// Appends `payload` to `out` in the compression framing: one encoding
+/// byte, raw length, encoded length, encoded bytes — and, for
+/// [`ENC_HEX_LZ`] only, the intermediate hex-packed length between the
+/// two (each codec layer is decoded against its exact expected length,
+/// so truncation and padding are detected at every layer). The writer
+/// tries every encoding and keeps the smallest *total framing* (ties
+/// break toward the lowest id), so the choice is deterministic and the
+/// reader never guesses — it just dispatches on the byte.
+fn push_payload(out: &mut Vec<u8>, payload: &[u8]) {
+    let len32 = |n: usize| u32::try_from(n).expect("payload < 4 GiB").to_le_bytes();
+    let lz = wlz::compress(payload);
+    let hex_packed = wlz::hex_pack(payload);
+    let hex_lz = wlz::compress(&hex_packed);
+    // ENC_HEX_LZ carries 4 extra framing bytes; account for them.
+    let (enc, encoded): (u8, &[u8]) =
+        if payload.len() <= lz.len() && payload.len() <= hex_lz.len() + 4 {
+            (ENC_RAW, payload)
+        } else if lz.len() <= hex_lz.len() + 4 {
+            (ENC_LZ, &lz)
+        } else {
+            (ENC_HEX_LZ, &hex_lz)
+        };
+    out.push(enc);
+    out.extend_from_slice(&len32(payload.len()));
+    if enc == ENC_HEX_LZ {
+        out.extend_from_slice(&len32(hex_packed.len()));
+    }
+    out.extend_from_slice(&len32(encoded.len()));
+    out.extend_from_slice(encoded);
+}
+
+/// Cursor helpers over a record body.
+struct Take<'a>(&'a [u8]);
+
+impl<'a> Take<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+    fn payload(&mut self) -> Option<String> {
+        let enc = *self.bytes(1)?.first()?;
+        let raw_len = self.u32()? as usize;
+        let raw = match enc {
+            ENC_RAW => {
+                let enc_len = self.u32()? as usize;
+                if enc_len != raw_len {
+                    return None;
+                }
+                self.bytes(enc_len)?.to_vec()
+            }
+            ENC_LZ => {
+                let enc_len = self.u32()? as usize;
+                wlz::decompress(self.bytes(enc_len)?, raw_len)?
+            }
+            ENC_HEX_LZ => {
+                let mid_len = self.u32()? as usize;
+                let enc_len = self.u32()? as usize;
+                let packed = wlz::decompress(self.bytes(enc_len)?, mid_len)?;
+                let raw = wlz::hex_unpack(&packed)?;
+                if raw.len() != raw_len {
+                    return None;
+                }
+                raw
+            }
+            _ => return None,
+        };
+        String::from_utf8(raw).ok()
+    }
+}
+
+impl EncodedRecord {
+    /// Whether `tag` is one of the two known record tags.
+    #[must_use]
+    pub fn known_tag(tag: u8) -> bool {
+        tag == TAG_SCALAR || tag == TAG_SERIES
+    }
+
+    /// Serializes this record: `u32` LE body length, then the
+    /// self-checksummed body (see `docs/store-format.md` § "v3 record").
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.outcome_canon.len() / 4);
+        body.push(self.tag);
+        body.extend_from_slice(&self.content_hash.to_le_bytes());
+        body.extend_from_slice(&self.engine_version.to_le_bytes());
+        let algo = self.algo.as_bytes();
+        body.extend_from_slice(
+            &u16::try_from(algo.len())
+                .expect("algorithm names are short")
+                .to_le_bytes(),
+        );
+        body.extend_from_slice(algo);
+        push_payload(&mut body, self.spec_canon.as_bytes());
+        push_payload(&mut body, self.outcome_canon.as_bytes());
+        let crc = fnv64(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(
+            &u32::try_from(body.len())
+                .expect("record < 4 GiB")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses one record from the front of `data`, returning it and the
+    /// number of bytes consumed. `None` on any malformation — a length
+    /// running past `data`, a checksum mismatch, an unknown tag, a
+    /// compression framing violation, or non-UTF-8 text.
+    #[must_use]
+    pub fn decode(data: &[u8]) -> Option<(Self, usize)> {
+        let mut head = Take(data);
+        let body_len = head.u32()? as usize;
+        let body = head.bytes(body_len)?;
+        if body_len < 8 {
+            return None;
+        }
+        let (checked, crc_bytes) = body.split_at(body_len - 8);
+        let crc = u64::from_le_bytes(crc_bytes.try_into().ok()?);
+        if crc != fnv64(checked) {
+            return None;
+        }
+        let mut c = Take(checked);
+        let tag = *c.bytes(1)?.first()?;
+        if !Self::known_tag(tag) {
+            return None;
+        }
+        let content_hash = c.u64()?;
+        let engine_version = c.u32()?;
+        let algo_len = c.u16()? as usize;
+        let algo = String::from_utf8(c.bytes(algo_len)?.to_vec()).ok()?;
+        let spec_canon = c.payload()?;
+        let outcome_canon = c.payload()?;
+        if !c.0.is_empty() {
+            return None;
+        }
+        Some((
+            Self {
+                tag,
+                content_hash,
+                engine_version,
+                algo,
+                spec_canon,
+                outcome_canon,
+            },
+            4 + body_len,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+/// Packs [`EncodedRecord`]s into capacity-bounded segments.
+///
+/// Use [`write_file`] for a whole store file; use a bare writer when
+/// producing *appendable* segment bytes (a checkpoint extending an
+/// existing file):
+///
+/// ```
+/// use wl_harness::cache::segment::{EncodedRecord, SegmentReader, SegmentWriter, TAG_SCALAR};
+///
+/// let rec = EncodedRecord {
+///     tag: TAG_SCALAR,
+///     content_hash: 7,
+///     engine_version: 3,
+///     algo: "demo".into(),
+///     spec_canon: "Spec{x:1}".into(),
+///     outcome_canon: "Outcome{y:2}".into(),
+/// };
+///
+/// // A full file...
+/// let mut file = wl_harness::cache::segment::write_file([&rec], 1024);
+/// // ...extended by one appended checkpoint segment:
+/// let mut w = SegmentWriter::new(1024, 1);
+/// w.push(&rec.encode());
+/// file.extend_from_slice(&w.finish());
+///
+/// let mut reader = SegmentReader::new(&file).expect("valid header");
+/// assert_eq!(reader.by_ref().count(), 2);
+/// assert_eq!((reader.segments(), reader.damaged()), (2, 0));
+/// ```
+#[derive(Debug)]
+pub struct SegmentWriter {
+    capacity: u32,
+    next_ordinal: u32,
+    out: Vec<u8>,
+    block: Vec<u8>,
+    block_records: u32,
+}
+
+impl SegmentWriter {
+    /// A writer producing segments `first_ordinal, first_ordinal+1, …`
+    /// with the given record-block capacity.
+    #[must_use]
+    pub fn new(capacity: u32, first_ordinal: u32) -> Self {
+        Self {
+            capacity,
+            next_ordinal: first_ordinal,
+            out: Vec::new(),
+            block: Vec::new(),
+            block_records: 0,
+        }
+    }
+
+    /// Adds one encoded record (the bytes from [`EncodedRecord::encode`]),
+    /// sealing the current segment first if the record would overflow it.
+    pub fn push(&mut self, encoded: &[u8]) {
+        if !self.block.is_empty() && self.block.len() + encoded.len() > self.capacity as usize {
+            self.seal();
+        }
+        self.block.extend_from_slice(encoded);
+        self.block_records += 1;
+    }
+
+    fn seal(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        self.out.extend_from_slice(&SEGMENT_MAGIC);
+        self.out.extend_from_slice(&self.next_ordinal.to_le_bytes());
+        self.out
+            .extend_from_slice(&self.block_records.to_le_bytes());
+        self.out.extend_from_slice(
+            &u32::try_from(self.block.len())
+                .expect("segment < 4 GiB")
+                .to_le_bytes(),
+        );
+        self.out
+            .extend_from_slice(&fnv64(&self.block).to_le_bytes());
+        self.out.append(&mut self.block);
+        self.block_records = 0;
+        self.next_ordinal += 1;
+    }
+
+    /// Seals the pending segment and returns the segment bytes (no file
+    /// header — callers append these to an existing file or prepend
+    /// [`FILE_MAGIC`]'s header themselves via [`write_file`]).
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.into_parts().0
+    }
+
+    /// [`finish`](SegmentWriter::finish), also returning the ordinal the
+    /// *next* appended segment should carry — what an incremental
+    /// checkpointer needs to keep extending the same file.
+    #[must_use]
+    pub fn into_parts(mut self) -> (Vec<u8>, u32) {
+        self.seal();
+        (self.out, self.next_ordinal)
+    }
+}
+
+/// Serializes a complete binary store file: the 16-byte file header
+/// followed by the records packed into capacity-bounded segments in
+/// iteration order. The output is a pure function of the record
+/// sequence and the capacity — the canonicality the store's
+/// byte-comparison contract rests on.
+#[must_use]
+pub fn write_file<'a>(
+    records: impl IntoIterator<Item = &'a EncodedRecord>,
+    capacity: u32,
+) -> Vec<u8> {
+    write_file_with_ordinal(records, capacity).0
+}
+
+/// [`write_file`], also returning the ordinal an appended segment
+/// should carry (i.e. how many segments were written) — so a saver
+/// that intends to append later does not have to re-read its own
+/// output to learn it.
+#[must_use]
+pub fn write_file_with_ordinal<'a>(
+    records: impl IntoIterator<Item = &'a EncodedRecord>,
+    capacity: u32,
+) -> (Vec<u8>, u32) {
+    let mut out = Vec::with_capacity(FILE_HEADER_LEN + 1024);
+    out.extend_from_slice(&FILE_MAGIC);
+    out.push(FILE_FORMAT_VERSION);
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&capacity.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    let mut writer = SegmentWriter::new(capacity, 0);
+    for record in records {
+        writer.push(&record.encode());
+    }
+    let (segments, next_ordinal) = writer.into_parts();
+    out.extend_from_slice(&segments);
+    (out, next_ordinal)
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+/// Streaming, corruption-tolerant reader over a binary store file.
+///
+/// Yields every record that survives verification, in file order, and
+/// counts what it had to discard ([`damaged`](SegmentReader::damaged)):
+/// a record failing its checksum or parse costs that record; a torn
+/// tail costs the records after the tear; a vandalized segment header
+/// costs its segment (the reader resyncs on the next [`SEGMENT_MAGIC`]).
+/// Construction fails only when the 16-byte file header is absent or
+/// foreign — the file is then *not a binary store* at all.
+///
+/// ```
+/// use wl_harness::cache::segment::{write_file, EncodedRecord, SegmentReader, TAG_SERIES};
+///
+/// let rec = EncodedRecord {
+///     tag: TAG_SERIES,
+///     content_hash: 0xFEED,
+///     engine_version: 3,
+///     algo: "wl-maintenance".into(),
+///     spec_canon: "Spec{n:4}".into(),
+///     outcome_canon: "Outcome{series:+…}".into(),
+/// };
+/// let file = write_file([&rec, &rec], 64); // tiny capacity: 2 segments
+///
+/// let mut reader = SegmentReader::new(&file).expect("valid header");
+/// let records: Vec<EncodedRecord> = reader.by_ref().collect();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0], rec);
+/// assert_eq!(reader.segments(), 2);
+/// assert_eq!(reader.damaged(), 0);
+/// assert_eq!(reader.next_ordinal(), 2); // where an append would continue
+/// ```
+#[derive(Debug)]
+pub struct SegmentReader<'a> {
+    rest: &'a [u8],
+    block: &'a [u8],
+    block_left: u32,
+    capacity: u32,
+    segments: usize,
+    damaged: usize,
+    next_ordinal: u32,
+}
+
+impl<'a> SegmentReader<'a> {
+    /// Validates the file header and positions the reader at the first
+    /// segment. `None` means "not a v3 binary store" (wrong magic,
+    /// unknown format version, or a file shorter than the header) — the
+    /// caller should try the text format instead.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Option<Self> {
+        if data.len() < FILE_HEADER_LEN || data[..4] != FILE_MAGIC || data[4] != FILE_FORMAT_VERSION
+        {
+            return None;
+        }
+        let capacity = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        Some(Self {
+            rest: &data[FILE_HEADER_LEN..],
+            block: &[],
+            block_left: 0,
+            capacity,
+            segments: 0,
+            damaged: 0,
+            next_ordinal: 0,
+        })
+    }
+
+    /// The segment capacity stated in the file header.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Segments encountered so far (including damaged ones).
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Units discarded so far: individual records that failed
+    /// verification, plus one per segment whose header was unreadable.
+    #[must_use]
+    pub fn damaged(&self) -> usize {
+        self.damaged
+    }
+
+    /// One past the highest segment ordinal seen — the ordinal an
+    /// appended segment should carry.
+    #[must_use]
+    pub fn next_ordinal(&self) -> u32 {
+        self.next_ordinal
+    }
+
+    /// Enters the next segment, handling header damage and torn tails.
+    /// Returns `false` at end of file.
+    fn advance_segment(&mut self) -> bool {
+        loop {
+            if self.rest.is_empty() {
+                return false;
+            }
+            if self.rest.len() < SEGMENT_HEADER_LEN || self.rest[..4] != SEGMENT_MAGIC {
+                // Damaged or torn segment header: drop it and resync on
+                // the next segment magic, if any.
+                self.damaged += 1;
+                self.segments += 1;
+                match find_magic(&self.rest[1..]) {
+                    Some(i) => self.rest = &self.rest[1 + i..],
+                    None => {
+                        self.rest = &[];
+                        return false;
+                    }
+                }
+                continue;
+            }
+            let header = &self.rest[..SEGMENT_HEADER_LEN];
+            let ordinal = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+            let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+            let block_len =
+                u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+            self.segments += 1;
+            self.next_ordinal = self.next_ordinal.max(ordinal.saturating_add(1));
+            let body = &self.rest[SEGMENT_HEADER_LEN..];
+            if body.len() < block_len {
+                // Torn tail (crash mid-append): salvage the prefix
+                // record-by-record; the per-record checksums decide how
+                // far is trustworthy.
+                self.block = body;
+                self.block_left = count;
+                self.rest = &[];
+            } else {
+                let (block, rest) = body.split_at(block_len);
+                self.rest = rest;
+                self.block = block;
+                self.block_left = count;
+                // The block checksum (header bytes 16..24) lets other
+                // implementations verify a segment wholesale; this
+                // reader salvages records one by one regardless, so the
+                // per-record checksums decide what survives.
+            }
+            return true;
+        }
+    }
+}
+
+fn find_magic(hay: &[u8]) -> Option<usize> {
+    hay.windows(SEGMENT_MAGIC.len())
+        .position(|w| w == SEGMENT_MAGIC)
+}
+
+impl Iterator for SegmentReader<'_> {
+    type Item = EncodedRecord;
+
+    fn next(&mut self) -> Option<EncodedRecord> {
+        loop {
+            if self.block_left == 0 || self.block.is_empty() {
+                // Leftover bytes with no records promised — or promised
+                // records with no bytes left — are damage.
+                if self.block_left > 0 {
+                    self.damaged += self.block_left as usize;
+                } else if !self.block.is_empty() {
+                    self.damaged += 1;
+                }
+                self.block = &[];
+                self.block_left = 0;
+                if !self.advance_segment() {
+                    return None;
+                }
+                continue;
+            }
+            self.block_left -= 1;
+            match EncodedRecord::decode(self.block) {
+                Some((record, used)) => {
+                    self.block = &self.block[used..];
+                    return Some(record);
+                }
+                None => {
+                    // Unrecoverable within this block: the length prefix
+                    // itself may be damaged, so everything after the bad
+                    // record is unaddressable. Cost: the bad record plus
+                    // whatever the header still promised.
+                    self.damaged += 1 + self.block_left as usize;
+                    self.block = &[];
+                    self.block_left = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64, series: bool) -> EncodedRecord {
+        EncodedRecord {
+            tag: if series { TAG_SERIES } else { TAG_SCALAR },
+            content_hash: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            engine_version: 3,
+            algo: format!("algo-{}", i % 3),
+            spec_canon: format!("Spec{{n:{i},rho:x3ff0000000000000}}").repeat(3),
+            outcome_canon: format!("Outcome{{v:x400921fb54442d18,k:{i}}}")
+                .repeat(1 + (i as usize % 4)),
+        }
+    }
+
+    fn read_all(data: &[u8]) -> (Vec<EncodedRecord>, usize, usize) {
+        let mut r = SegmentReader::new(data).expect("valid header");
+        let records: Vec<_> = r.by_ref().collect();
+        (records, r.segments(), r.damaged())
+    }
+
+    #[test]
+    fn record_roundtrip_and_tamper_rejection() {
+        let original = rec(5, true);
+        let bytes = original.encode();
+        let (decoded, used) = EncodedRecord::decode(&bytes).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, original);
+        // Every single-byte flip is rejected, never misread.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            if let Some((tampered, _)) = EncodedRecord::decode(&bad) {
+                assert_ne!(tampered, original, "flip at byte {i} went unnoticed");
+                // The only survivable flips are in the length prefix in a
+                // way that still frames a valid checksummed body — which
+                // cannot happen because the checksum covers the body the
+                // length delimits.
+                panic!("flip at byte {i} produced a decodable record");
+            }
+        }
+        // Truncation is rejected.
+        assert!(EncodedRecord::decode(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn incompressible_payloads_are_stored_raw() {
+        // A short, high-entropy payload: wlz gains nothing, so the
+        // framing must fall back to raw bytes (enc_len == raw_len).
+        let r = EncodedRecord {
+            tag: TAG_SCALAR,
+            content_hash: 1,
+            engine_version: 3,
+            algo: "a".into(),
+            spec_canon: "zq9!k".into(),
+            outcome_canon: "x".into(),
+        };
+        let bytes = r.encode();
+        let (decoded, _) = EncodedRecord::decode(&bytes).expect("decodes");
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn file_roundtrip_across_capacities() {
+        let records: Vec<EncodedRecord> = (0..20).map(|i| rec(i, i % 2 == 0)).collect();
+        for capacity in [64, 1024, DEFAULT_SEGMENT_CAPACITY] {
+            let file = write_file(&records, capacity);
+            let mut reader = SegmentReader::new(&file).expect("valid header");
+            assert_eq!(reader.capacity(), capacity);
+            let out: Vec<_> = reader.by_ref().collect();
+            assert_eq!(out, records, "capacity {capacity}");
+            assert_eq!(reader.damaged(), 0);
+            // Tiny capacities force many segments; huge ones, few.
+            if capacity == 64 {
+                assert!(
+                    reader.segments() >= records.len(),
+                    "oversized records sit alone"
+                );
+            }
+            if capacity == DEFAULT_SEGMENT_CAPACITY {
+                assert_eq!(reader.segments(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn write_is_deterministic_and_append_matches_rewrite_contents() {
+        let records: Vec<EncodedRecord> = (0..8).map(|i| rec(i, false)).collect();
+        assert_eq!(write_file(&records, 512), write_file(&records, 512));
+
+        // Append path: first 5 written as a file, last 3 appended.
+        let mut file = write_file(records.iter().take(5), 512);
+        let first = {
+            let mut r = SegmentReader::new(&file).expect("header");
+            r.by_ref().for_each(drop);
+            r.next_ordinal()
+        };
+        let mut w = SegmentWriter::new(512, first);
+        for r in records.iter().skip(5) {
+            w.push(&r.encode());
+        }
+        file.extend_from_slice(&w.finish());
+        let (out, _, damaged) = read_all(&file);
+        assert_eq!(out, records);
+        assert_eq!(damaged, 0);
+    }
+
+    #[test]
+    fn torn_tail_costs_exactly_the_unreadable_records() {
+        let records: Vec<EncodedRecord> = (0..6).map(|i| rec(i, true)).collect();
+        let file = write_file(&records, 128); // one record per segment
+                                              // Cut mid-way through the final record's bytes.
+        let cut = file.len() - 10;
+        let (out, _, damaged) = read_all(&file[..cut]);
+        assert_eq!(out, records[..5], "only the torn record is lost");
+        assert_eq!(damaged, 1);
+
+        // Cut inside the final segment *header*: same cost, detected as
+        // a damaged segment instead of a damaged record.
+        let last_seg_start = file.len() - (records[5].encode().len() + SEGMENT_HEADER_LEN);
+        let (out, _, damaged) = read_all(&file[..last_seg_start + 7]);
+        assert_eq!(out, records[..5]);
+        assert_eq!(damaged, 1);
+
+        // Cut exactly at a segment boundary: nothing damaged at all.
+        let (out, _, damaged) = read_all(&file[..last_seg_start]);
+        assert_eq!(out, records[..5]);
+        assert_eq!(damaged, 0);
+    }
+
+    #[test]
+    fn vandalized_segment_resyncs_on_next_magic() {
+        let records: Vec<EncodedRecord> = (0..4).map(|i| rec(i, false)).collect();
+        let mut file = write_file(&records, 128); // one record per segment
+                                                  // Vandalize segment 1's magic (segment 0 starts at FILE_HEADER_LEN).
+        let seg_len = SEGMENT_HEADER_LEN + records[0].encode().len();
+        // Records differ in length; find segment 1 by scanning.
+        let seg1 = FILE_HEADER_LEN + seg_len;
+        assert_eq!(&file[seg1..seg1 + 4], SEGMENT_MAGIC.as_slice());
+        file[seg1] = b'X';
+        let (out, _, damaged) = read_all(&file);
+        assert_eq!(out.len(), 3, "segments 0, 2, 3 survive");
+        assert_eq!(out[0], records[0]);
+        assert_eq!(out[1], records[2]);
+        assert!(damaged >= 1);
+    }
+
+    #[test]
+    fn corrupt_record_inside_block_costs_the_block_tail() {
+        let records: Vec<EncodedRecord> = (0..4).map(|i| rec(i, false)).collect();
+        let mut file = write_file(&records, DEFAULT_SEGMENT_CAPACITY); // one segment
+                                                                       // Flip a byte in record 1's body (after record 0).
+        let r0 = records[0].encode().len();
+        let hit = FILE_HEADER_LEN + SEGMENT_HEADER_LEN + r0 + 10;
+        file[hit] ^= 0xFF;
+        let (out, segments, damaged) = read_all(&file);
+        assert_eq!(segments, 1);
+        assert_eq!(out, records[..1], "the prefix before the damage survives");
+        assert_eq!(damaged, 3, "the bad record plus the unaddressable tail");
+    }
+
+    #[test]
+    fn foreign_files_are_not_binary_stores() {
+        assert!(SegmentReader::new(b"").is_none());
+        assert!(SegmentReader::new(b"wlsweep 1\n").is_none());
+        assert!(SegmentReader::new(&[0u8; 64]).is_none());
+        // Right magic, wrong format version.
+        let mut file = write_file(std::iter::empty(), 1024);
+        file[4] = 99;
+        assert!(SegmentReader::new(&file).is_none());
+    }
+}

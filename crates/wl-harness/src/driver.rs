@@ -28,7 +28,7 @@
 //! produces an output store **byte-identical** to a 1-process run over
 //! the same grid. See `docs/sweeps.md` § "The driver".
 
-use crate::cache::{MergeConflict, SweepStore};
+use crate::cache::{MergeConflict, StoreFormat, SweepStore};
 use crate::spec::ScenarioSpec;
 use crate::sweep::{run_point_cached, Shard, SweepAlgorithm, SweepRunner};
 use std::io;
@@ -56,6 +56,11 @@ pub struct WorkerConfig {
     /// this many checkpoints. `None` in production; tests and the CI
     /// kill-smoke use it to crash a worker mid-sweep deterministically.
     pub crash_after: Option<usize>,
+    /// On-disk format of the shard store. [`StoreFormat::Binary`] makes
+    /// checkpoints *appends* — O(points per checkpoint) instead of
+    /// O(points so far) — via [`SweepStore::checkpoint`]; an existing
+    /// store in the other format is migrated on the first checkpoint.
+    pub format: StoreFormat,
 }
 
 /// One worker heartbeat: cumulative progress at a checkpoint.
@@ -96,6 +101,7 @@ pub fn run_worker<A: SweepAlgorithm>(
     mut heartbeat: impl FnMut(&WorkerProgress),
 ) -> io::Result<WorkerProgress> {
     let mut store = SweepStore::open(&cfg.store)?;
+    store.set_format(cfg.format);
     let cache = store.hydrate();
     let owned: Vec<(usize, ScenarioSpec)> = grid
         .into_iter()
@@ -122,7 +128,10 @@ pub fn run_worker<A: SweepAlgorithm>(
             run_point_cached::<A>(*index, spec, &cache)
         });
         store.absorb(&cache);
-        store.save()?;
+        // Binary stores append one segment per checkpoint (torn tails
+        // from a crash mid-append cost exactly that checkpoint on
+        // resume); text stores rewrite atomically.
+        store.checkpoint()?;
         checkpoints += 1;
         progress = WorkerProgress {
             done: progress.done + batch.len(),
@@ -174,6 +183,10 @@ pub struct DriverConfig {
     /// consuming one restart. `None` trusts workers to either exit or
     /// make progress.
     pub stall_timeout: Option<Duration>,
+    /// Format of the merged output store. Shard stores keep whatever
+    /// format their workers wrote (the merge auto-detects per file), so
+    /// a drive can merge mixed-format shards into either output.
+    pub format: StoreFormat,
 }
 
 impl DriverConfig {
@@ -188,6 +201,7 @@ impl DriverConfig {
             max_restarts: 2,
             poll: Duration::from_millis(50),
             stall_timeout: None,
+            format: StoreFormat::default(),
         }
     }
 
@@ -370,6 +384,7 @@ pub fn drive(
     result?;
 
     let mut merged = SweepStore::new();
+    merged.set_format(cfg.format);
     for slot in &slots {
         let shard_store = SweepStore::open(&slot.store)?;
         report.skipped_lines += shard_store.skipped_lines();
@@ -479,33 +494,39 @@ mod tests {
 
     #[test]
     fn worker_checkpoints_and_resumes_in_process() {
-        let store = tmp("worker.wls");
-        let _ = std::fs::remove_file(&store);
-        let cfg = WorkerConfig {
-            shard: Shard::new(0, 2),
-            store: store.clone(),
-            checkpoint: 2,
-            crash_after: None,
-        };
-        let mut beats = 0;
-        let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |p| {
-            beats += 1;
-            assert!(p.done <= p.total);
-        })
-        .unwrap();
-        // Shard 0/2 of 7 points owns indices 0,2,4,6 → 4 points, 2-point
-        // checkpoints → 2 saves.
-        assert_eq!(progress.total, 4);
-        assert_eq!(progress.done, 4);
-        assert_eq!(progress.misses, 4);
-        assert_eq!(beats, 2);
+        // Same contract in both store formats; binary checkpoints are
+        // appended segments rather than rewrites, so the resume path
+        // additionally exercises the segment loader.
+        for format in [StoreFormat::Text, StoreFormat::Binary] {
+            let store = tmp(&format!("worker-{format}.wls"));
+            let _ = std::fs::remove_file(&store);
+            let cfg = WorkerConfig {
+                shard: Shard::new(0, 2),
+                store: store.clone(),
+                checkpoint: 2,
+                crash_after: None,
+                format,
+            };
+            let mut beats = 0;
+            let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |p| {
+                beats += 1;
+                assert!(p.done <= p.total);
+            })
+            .unwrap();
+            // Shard 0/2 of 7 points owns indices 0,2,4,6 → 4 points,
+            // 2-point checkpoints → 2 saves.
+            assert_eq!(progress.total, 4);
+            assert_eq!(progress.done, 4);
+            assert_eq!(progress.misses, 4);
+            assert_eq!(beats, 2);
 
-        // A re-run resumes from the store: all hits, no simulations.
-        let progress =
-            run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |_| {}).unwrap();
-        assert_eq!(progress.hits, 4);
-        assert_eq!(progress.misses, 0);
-        let _ = std::fs::remove_file(&store);
+            // A re-run resumes from the store: all hits, no simulations.
+            let progress =
+                run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |_| {}).unwrap();
+            assert_eq!(progress.hits, 4, "{format} store must resume");
+            assert_eq!(progress.misses, 0);
+            let _ = std::fs::remove_file(&store);
+        }
     }
 
     #[test]
@@ -517,6 +538,7 @@ mod tests {
             store: store.clone(),
             checkpoint: 0,
             crash_after: None,
+            format: StoreFormat::Text,
         };
         let progress =
             run_worker::<Maintenance>(&SweepRunner::serial(), grid(2), &cfg, |_| {}).unwrap();

@@ -94,7 +94,8 @@ pub use assemble::{
     assemble_with_queue, BuiltScenario, MonoScenario,
 };
 pub use cache::{
-    DiskSweepCache, MergeConflict, MergeConflictKind, MergeStats, SweepStore, ENGINE_VERSION,
+    CompactStats, DiskSweepCache, MergeConflict, MergeConflictKind, MergeStats, MigrationReport,
+    StoreFormat, SweepStore, ENGINE_VERSION,
 };
 pub use driver::{
     drive, run_worker, DriveError, DriveReport, DriverConfig, WorkerConfig, WorkerProgress,

@@ -13,12 +13,17 @@
 //! `exp_mean_mid` / `exp_figures`) round-trip through the disk store
 //! with every series element intact, so their warm re-runs also execute
 //! zero simulations.
+//!
+//! And the ISSUE-5 acceptance: a text store migrates to the v3 binary
+//! segment format and back **byte-identically**, warm runs off the
+//! migrated (smaller) binary store still execute zero simulations, and
+//! `DiskSweepCache` persists/serves either format transparently.
 
 use std::path::PathBuf;
 use wl_core::Params;
 use wl_harness::{
     derive_seed, merge_sharded, DelayKind, DiskSweepCache, Maintenance, ScenarioSpec, Shard,
-    SweepCache, SweepRunner, SweepStore,
+    StoreFormat, SweepCache, SweepRunner, SweepStore,
 };
 use wl_time::RealTime;
 
@@ -87,6 +92,80 @@ fn warm_series_run_executes_zero_simulations() {
     assert_eq!(disk2.cache().misses(), 0, "zero simulator executions");
     for (a, b) in warm.iter().zip(&cold) {
         assert!(a.bit_identical(b), "series round trip must be lossless");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn migrated_binary_store_serves_warm_series_run_with_zero_simulations() {
+    // The ISSUE-5 acceptance flow end-to-end through the public API: a
+    // text store produced the PR-4 way migrates to the v3 binary format
+    // and back byte-identically, and warm runs off the *migrated* store
+    // execute zero simulations.
+    let text = tmp("mig-warm-text");
+    let binary = tmp("mig-warm-binary");
+    let round = tmp("mig-warm-round");
+    let _ = std::fs::remove_file(&text);
+
+    let mut disk = DiskSweepCache::open(&text).unwrap();
+    let cold = SweepRunner::new().sweep_cached_series::<Maintenance>(grid(4), disk.cache());
+    disk.persist().unwrap();
+
+    let report = SweepStore::migrate(&text, &binary, StoreFormat::Binary).unwrap();
+    assert_eq!(report.records, 4);
+    assert!(
+        report.bytes_out < report.bytes_in,
+        "binary series store ({}) must be smaller than text ({})",
+        report.bytes_out,
+        report.bytes_in
+    );
+
+    // Warm run off the binary store: zero misses = zero simulations.
+    let warm_disk = DiskSweepCache::open(&binary).unwrap();
+    assert_eq!(warm_disk.store().format(), StoreFormat::Binary);
+    let warm = SweepRunner::new().sweep_cached_series::<Maintenance>(grid(4), warm_disk.cache());
+    assert_eq!(
+        (warm_disk.cache().hits(), warm_disk.cache().misses()),
+        (4, 0),
+        "migrated store must serve the whole grid warm"
+    );
+    for (a, b) in warm.iter().zip(&cold) {
+        assert!(a.bit_identical(b), "migration must be lossless");
+    }
+
+    // And back: byte-identical to the original text store.
+    SweepStore::migrate(&binary, &round, StoreFormat::Text).unwrap();
+    assert_eq!(
+        std::fs::read(&text).unwrap(),
+        std::fs::read(&round).unwrap(),
+        "text -> binary -> text is byte-pinned"
+    );
+    for p in [&text, &binary, &round] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn binary_disk_cache_persists_and_serves_like_text() {
+    // DiskSweepCache::set_format (the WL_SWEEP_FORMAT code path): the
+    // persist writes binary, a fresh handle auto-detects it, and the
+    // warm run is served entirely from disk.
+    let path = tmp("bin-disk");
+    let _ = std::fs::remove_file(&path);
+    let mut disk = DiskSweepCache::open(&path).unwrap();
+    disk.set_format(StoreFormat::Binary);
+    let cold = SweepRunner::new().sweep_cached::<Maintenance>(grid(6), disk.cache());
+    assert_eq!(disk.persist().unwrap(), 6);
+    assert!(disk.status().contains("binary store"), "{}", disk.status());
+
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..4], b"WLSB");
+
+    let disk2 = DiskSweepCache::open(&path).unwrap();
+    let warm = SweepRunner::new().sweep_cached::<Maintenance>(grid(6), disk2.cache());
+    assert_eq!((disk2.cache().hits(), disk2.cache().misses()), (6, 0));
+    for (a, b) in warm.iter().zip(&cold) {
+        assert!(a.bit_identical(b));
     }
     let _ = std::fs::remove_file(&path);
 }

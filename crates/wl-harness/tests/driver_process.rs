@@ -17,7 +17,12 @@
 //! 4. a worker that hangs after its first checkpoint is stall-killed
 //!    (`SIGKILL`) and restarted, and the drive still converges;
 //! 5. a worker that crashes on every launch exhausts its restart budget
-//!    and fails the drive with `WorkerExhausted`.
+//!    and fails the drive with `WorkerExhausted`;
+//! 6. the whole crash → restart → resume → merge story holds in the v3
+//!    **binary** store format too (appending checkpoints, compressed
+//!    segments): a 3-worker binary drive with an injected crash merges
+//!    byte-identical to a 1-worker binary drive, and the binary merged
+//!    store hydrates the same records as the text one.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -25,7 +30,7 @@ use std::time::Duration;
 use wl_core::Params;
 use wl_harness::{
     derive_seed, drive, run_worker, DelayKind, DriveError, DriverConfig, Maintenance, ScenarioSpec,
-    Shard, SweepRunner, SweepStore, WorkerConfig,
+    Shard, StoreFormat, SweepRunner, SweepStore, WorkerConfig,
 };
 use wl_time::RealTime;
 
@@ -62,25 +67,28 @@ fn main() {
     test_truncated_stores_resume_costs_only_the_tail();
     test_stalled_worker_is_killed_and_restarted();
     test_restart_budget_exhaustion_fails_the_drive();
-    println!("driver_process: all 5 tests passed");
+    test_binary_format_drive_crash_resume_byte_identical();
+    println!("driver_process: all 6 tests passed");
 }
 
 // ---------------------------------------------------------------------------
 // Worker mode.
 // ---------------------------------------------------------------------------
 
-/// `--worker K/N --store FILE [--crash-after M] [--hang-after M]`
+/// `--worker K/N --store FILE [--crash-after M] [--hang-after M] [--format F]`
 fn worker_main(args: &[String]) {
     let mut it = args.iter();
     let shard: Shard = it.next().expect("shard").parse().expect("valid shard");
     let mut store = None;
     let mut crash_after = None;
     let mut hang_after: Option<usize> = None;
+    let mut format = StoreFormat::Text;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--store" => store = it.next().cloned(),
             "--crash-after" => crash_after = Some(it.next().unwrap().parse().unwrap()),
             "--hang-after" => hang_after = Some(it.next().unwrap().parse().unwrap()),
+            "--format" => format = it.next().unwrap().parse().unwrap(),
             other => panic!("unknown worker flag {other}"),
         }
     }
@@ -89,6 +97,7 @@ fn worker_main(args: &[String]) {
         store: PathBuf::from(store.expect("--store")),
         checkpoint: 2,
         crash_after,
+        format,
     };
     let mut checkpoints = 0;
     let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(), &cfg, |p| {
@@ -328,4 +337,66 @@ fn test_restart_budget_exhaustion_fails_the_drive() {
     // The healthy worker must not be left running after the failure.
     let _ = std::fs::remove_dir_all(&cfg.dir);
     println!("ok: restart budget exhaustion fails the drive cleanly");
+}
+
+fn test_binary_format_drive_crash_resume_byte_identical() {
+    // A worker command whose --format survives restarts (unlike the
+    // fault-injection extras, which are first-launch-only).
+    let binary_command = |shard: Shard, store: &Path, attempt: u32, crash: bool| {
+        let mut cmd = self_command(shard, store, attempt, &[]);
+        cmd.arg("--format").arg("binary");
+        if attempt == 0 && crash {
+            cmd.arg("--crash-after").arg("1");
+        }
+        cmd
+    };
+
+    // 1-worker binary reference.
+    let mut ref_cfg = config("bin-reference", 1);
+    ref_cfg.format = StoreFormat::Binary;
+    drive(&ref_cfg, |shard, store, attempt| {
+        binary_command(shard, store, attempt, false)
+    })
+    .expect("binary reference drive");
+    let reference = std::fs::read(&ref_cfg.out).unwrap();
+    assert_eq!(
+        &reference[..4],
+        b"WLSB",
+        "merged output really is a binary store"
+    );
+
+    // 3 workers, worker 1 crashed after its first (appended) checkpoint.
+    let mut cfg = config("bin-crash", 3);
+    cfg.format = StoreFormat::Binary;
+    let report = drive(&cfg, |shard, store, attempt| {
+        binary_command(shard, store, attempt, shard.index() == 1)
+    })
+    .expect("binary crash drive");
+    assert_eq!(report.restarts, 1, "the injected crash restarted");
+    assert_eq!(report.merged_records, GRID);
+    assert_eq!(report.skipped_lines, 0, "appended checkpoints load clean");
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference,
+        "binary 3-worker crash drive != binary 1-worker drive"
+    );
+    let (hits, misses) = final_hits_misses(&cfg.worker_log(1));
+    assert_eq!((hits, misses), (2, 2), "binary restart must resume");
+
+    // The binary merged store hydrates the same records the text merged
+    // store does (same grid, different bytes).
+    let binary_merged = SweepStore::open(&cfg.out).unwrap();
+    assert_eq!(binary_merged.format(), StoreFormat::Binary);
+    assert_eq!(binary_merged.len(), GRID);
+    let text_reference = reference_bytes();
+    assert_ne!(reference, text_reference, "formats differ on disk");
+    assert!(
+        reference.len() < text_reference.len(),
+        "binary merged store ({}) not smaller than text ({})",
+        reference.len(),
+        text_reference.len()
+    );
+    let _ = std::fs::remove_dir_all(&ref_cfg.dir);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!("ok: binary-format drive (crash + resume) byte-identical and smaller than text");
 }

@@ -1,0 +1,442 @@
+//! `wlz`: a tiny, deterministic LZSS codec for the sweep store's binary
+//! segment format (`docs/store-format.md` § "Compression framing").
+//!
+//! The store needs a codec that is **offline** (no crates.io access),
+//! **deterministic** (the same input bytes always compress to the same
+//! output bytes, on every machine — binary store files are byte-compared
+//! in CI), and **honest about failure** (decompression of malformed
+//! input returns `None`, never garbage). Ratio matters less than those
+//! three properties, but the store's canonical text payloads compress
+//! well anyway: structural repeats (field names, separators) fall to
+//! this ~150-line greedy LZSS, and the high-entropy half — 16-digit
+//! lowercase-hex float encodings — halves under the [`hex_pack`]
+//! transform applied before it (real series stores land around 2×
+//! overall; see PERF.md).
+//!
+//! # Token stream
+//!
+//! Compressed data is a sequence of *groups*: one control byte followed
+//! by up to 8 tokens, one per control bit, **least-significant bit
+//! first**. A clear bit (0) is a literal token (1 raw byte); a set bit
+//! (1) is a match token (3 bytes): a little-endian `u16` *distance*
+//! (1-based, counted back from the current output position, ≤
+//! [`WINDOW`]) followed by one *length* byte encoding match length −
+//! [`MIN_MATCH`] (so lengths span 4..=259). The final group may be
+//! partial; trailing unused control bits must be zero. An empty input
+//! compresses to an empty output.
+//!
+//! Matches may overlap their own output (distance < length copies
+//! RLE-style), which is what makes the codec double as the "RLE shim"
+//! for long runs.
+//!
+//! # Determinism
+//!
+//! The compressor is single-strategy greedy: at each position it
+//! consults a 4-byte-prefix hash table that remembers only the *most
+//! recent* occurrence, takes the match there if it is at least
+//! [`MIN_MATCH`] long, and never searches further. No heuristics depend
+//! on timing, allocation addresses, or platform word size, so output
+//! bytes are a pure function of input bytes — pinned by
+//! `compress_is_deterministic`.
+//!
+//! ```
+//! let data = b"abcabcabcabcabcabc-the-quick-brown-fox".repeat(20);
+//! let packed = wlz::compress(&data);
+//! assert!(packed.len() < data.len() / 4);
+//! assert_eq!(wlz::decompress(&packed, data.len()).unwrap(), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Maximum match distance: how far back a match token may reach — the
+/// largest value a 1-based `u16` distance can carry (65536 would wrap
+/// to 0 in the token, which decoders rightly reject).
+pub const WINDOW: usize = u16::MAX as usize;
+
+/// Minimum match length worth a 3-byte token (shorter repeats are
+/// emitted as literals).
+pub const MIN_MATCH: usize = 4;
+
+/// Maximum match length one token can encode (`MIN_MATCH + 255`).
+pub const MAX_MATCH: usize = MIN_MATCH + 255;
+
+const HASH_BITS: u32 = 15;
+
+/// Hashes the 4-byte prefix at `input[i..]` into the match table slot.
+fn hash4(input: &[u8], i: usize) -> usize {
+    let quad = u32::from_le_bytes([input[i], input[i + 1], input[i + 2], input[i + 3]]);
+    (quad.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into the token stream described in the module
+/// docs. Deterministic: equal inputs yield equal outputs on every
+/// machine. The output of an empty input is empty.
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Most-recent occurrence of each 4-byte-prefix hash. usize::MAX =
+    // empty slot (a real position can never reach it).
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+
+    let mut ctrl_pos = usize::MAX; // index of the current control byte in `out`
+    let mut ctrl_bit = 8u8; // 8 = control byte exhausted, start a new one
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool, bytes: &[u8]| {
+        if ctrl_bit == 8 {
+            ctrl_pos = out.len();
+            out.push(0);
+            ctrl_bit = 0;
+        }
+        if is_match {
+            out[ctrl_pos] |= 1 << ctrl_bit;
+        }
+        ctrl_bit += 1;
+        out.extend_from_slice(bytes);
+    };
+
+    let mut i = 0;
+    while i < input.len() {
+        let mut emitted_match = false;
+        if i + MIN_MATCH <= input.len() {
+            let slot = hash4(input, i);
+            let candidate = table[slot];
+            table[slot] = i;
+            if candidate != usize::MAX && i - candidate <= WINDOW {
+                let limit = (input.len() - i).min(MAX_MATCH);
+                let mut len = 0;
+                while len < limit && input[candidate + len] == input[i + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH {
+                    let dist = (i - candidate) as u16; // 1-based, ≤ WINDOW
+                    let mut tok = [0u8; 3];
+                    tok[..2].copy_from_slice(&dist.to_le_bytes());
+                    tok[2] = (len - MIN_MATCH) as u8;
+                    push_token(&mut out, true, &tok);
+                    // Index the covered positions so later matches can
+                    // refer into them (skip the last 3: no full quad).
+                    let end = (i + len).min(input.len().saturating_sub(3));
+                    for j in (i + 1)..end {
+                        table[hash4(input, j)] = j;
+                    }
+                    i += len;
+                    emitted_match = true;
+                }
+            }
+        }
+        if !emitted_match {
+            push_token(&mut out, false, &input[i..=i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a [`compress`]ed stream back into exactly `out_len`
+/// bytes.
+///
+/// Returns `None` on any malformation: a token running past the input,
+/// a match reaching before the start of the output, output overshooting
+/// `out_len`, input left over after `out_len` bytes were produced, or a
+/// nonzero unused control bit. A `None` is a *detected* corruption —
+/// callers (the segment loader) treat it like a failed checksum and
+/// skip the record.
+#[must_use]
+pub fn decompress(data: &[u8], out_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(out_len);
+    let mut pos = 0;
+    while out.len() < out_len {
+        let ctrl = *data.get(pos)?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == out_len {
+                // Unused trailing control bits must be zero.
+                if ctrl >> bit != 0 {
+                    return None;
+                }
+                break;
+            }
+            if ctrl & (1 << bit) == 0 {
+                out.push(*data.get(pos)?);
+                pos += 1;
+            } else {
+                let lo = *data.get(pos)?;
+                let hi = *data.get(pos + 1)?;
+                let len = MIN_MATCH + usize::from(*data.get(pos + 2)?);
+                pos += 3;
+                let dist = usize::from(u16::from_le_bytes([lo, hi]));
+                if dist == 0 || dist > out.len() || out.len() + len > out_len {
+                    return None;
+                }
+                // Byte-by-byte so overlapping (RLE-style) matches work.
+                let start = out.len() - dist;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if pos != data.len() {
+        return None;
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Hex-run packing: the pre-LZ transform for canonical store text.
+// ---------------------------------------------------------------------------
+
+/// Minimum run of hex characters worth packing (shorter runs stay
+/// literal — a packed chunk costs one control byte).
+pub const HEX_MIN_RUN: usize = 4;
+
+fn is_hex(b: u8) -> bool {
+    b.is_ascii_digit() || (b'a'..=b'f').contains(&b)
+}
+
+fn nibble(b: u8) -> u8 {
+    if b.is_ascii_digit() {
+        b - b'0'
+    } else {
+        b - b'a' + 10
+    }
+}
+
+fn hex_char(n: u8) -> u8 {
+    if n < 10 {
+        n + b'0'
+    } else {
+        n - 10 + b'a'
+    }
+}
+
+/// Packs runs of lowercase hex characters at 2 chars/byte — the
+/// bijective transform that halves the store's canonical float
+/// encodings (`x3ff0000000000000`) *before* [`compress`] looks for
+/// structural repeats; generic LZ cannot shrink hex text below its
+/// 4-bits-per-char entropy, but nibble packing can.
+///
+/// Output is a chunk stream. Each chunk is one control byte `c`:
+/// `0x00..=0x7F` — a literal run of `c + 1` raw bytes follows;
+/// `0x80..=0xFF` — a hex run of `c - 0x7F` packed bytes follows, each
+/// encoding two lowercase hex characters, high nibble first. The
+/// encoder is deterministic: it packs every maximal even-length run of
+/// ≥ [`HEX_MIN_RUN`] hex characters (an odd trailing character joins
+/// the following literal) and emits everything else as literals.
+///
+/// ```
+/// let canon = b"steady_skew:x3f50624dd2f1a9fc,max_skew:x3f50624dd2f1aa01";
+/// let packed = wlz::hex_pack(canon);
+/// assert!(packed.len() < canon.len());
+/// assert_eq!(wlz::hex_unpack(&packed).unwrap(), canon);
+/// ```
+#[must_use]
+pub fn hex_pack(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    let mut lit_start = 0;
+    let mut i = 0;
+    let flush_literal = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(128);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&input[s..s + n]);
+            s += n;
+        }
+    };
+    while i < input.len() {
+        let run = input[i..].iter().take_while(|&&b| is_hex(b)).count();
+        let even = run & !1;
+        if even >= HEX_MIN_RUN {
+            flush_literal(&mut out, lit_start, i);
+            let mut s = i;
+            let end = i + even;
+            while s < end {
+                let chars = (end - s).min(256);
+                out.push(0x7F + (chars / 2) as u8);
+                for pair in input[s..s + chars].chunks(2) {
+                    out.push((nibble(pair[0]) << 4) | nibble(pair[1]));
+                }
+                s += chars;
+            }
+            i += even;
+            lit_start = i;
+        } else {
+            i += run.max(1);
+        }
+    }
+    flush_literal(&mut out, lit_start, input.len());
+    out
+}
+
+/// Reverses [`hex_pack`]. Returns `None` on malformation (a chunk
+/// running past the input).
+#[must_use]
+pub fn hex_unpack(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut pos = 0;
+    while pos < data.len() {
+        let ctrl = data[pos];
+        pos += 1;
+        if ctrl < 0x80 {
+            let n = usize::from(ctrl) + 1;
+            out.extend_from_slice(data.get(pos..pos + n)?);
+            pos += n;
+        } else {
+            let n = usize::from(ctrl - 0x7F);
+            for &b in data.get(pos..pos + n)? {
+                out.push(hex_char(b >> 4));
+                out.push(hex_char(b & 0x0F));
+            }
+            pos += n;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        assert_eq!(
+            decompress(&packed, data.len()).as_deref(),
+            Some(data),
+            "round trip failed for {} bytes",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn roundtrips_edge_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"aaaa"); // minimal RLE-style overlap
+        roundtrip(&[0u8; 10_000]); // long run
+        roundtrip(b"abcdefgh"); // nothing compressible
+        let mut mixed = Vec::new();
+        for i in 0..5_000u32 {
+            mixed.extend_from_slice(format!("field:{:08x},", i % 37).as_bytes());
+        }
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_bytes() {
+        // Xorshift64 noise: near-incompressible input must still survive.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn compresses_canonical_store_text_well() {
+        // The shape of real payloads: repeated field names + hex floats.
+        let payload = "SweepSeries{round_times:[x3ff0000000000000,x4000000000000000],\
+                       round_skews:[x3f50624dd2f1a9fc,x3f40624dd2f1a9fc]}"
+            .repeat(64);
+        let packed = compress(payload.as_bytes());
+        assert!(
+            packed.len() * 4 < payload.len(),
+            "expected ≥4× on repetitive canonical text, got {} -> {}",
+            payload.len(),
+            packed.len()
+        );
+        roundtrip(payload.as_bytes());
+    }
+
+    #[test]
+    fn match_at_window_boundary_roundtrips() {
+        // Regression: a repeat exactly WINDOW+1 bytes back once produced
+        // a distance of 65536, which wrapped to 0 in the u16 token and
+        // made the stream undecodable. The window must stop at what the
+        // token can carry.
+        for gap in [WINDOW - 4, WINDOW - 3, WINDOW - 2, WINDOW - 1, WINDOW] {
+            let mut data = b"QUAD".to_vec();
+            data.extend(std::iter::repeat_n(b'.', gap));
+            data.extend_from_slice(b"QUAD");
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn compress_is_deterministic() {
+        let data = b"determinism is the whole point".repeat(100);
+        assert_eq!(compress(&data), compress(&data));
+    }
+
+    #[test]
+    fn decompress_rejects_malformed() {
+        let data = b"hello hello hello hello hello";
+        let packed = compress(data);
+        // Wrong expected length (both directions).
+        assert!(decompress(&packed, data.len() + 1).is_none());
+        assert!(decompress(&packed, data.len().saturating_sub(1)).is_none());
+        // Truncated stream.
+        assert!(decompress(&packed[..packed.len() - 1], data.len()).is_none());
+        // Trailing garbage.
+        let mut padded = packed.clone();
+        padded.push(0xFF);
+        assert!(decompress(&padded, data.len()).is_none());
+        // A match reaching before the start of the output: control byte
+        // says "match", distance 9999 with nothing yet produced.
+        assert!(decompress(&[0b0000_0001, 0x0F, 0x27, 0x00], 10).is_none());
+        // Zero distance is never legal.
+        assert!(decompress(&[0b0000_0001, 0x00, 0x00, 0x00], 10).is_none());
+    }
+
+    #[test]
+    fn hex_pack_roundtrips_and_halves_hex() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"abc",
+            b"xyz no hex at all",
+            b"deadbeef",
+            b"deadbee",                            // odd-length run
+            b"x3ff0000000000000",                  // a canonical float
+            b"prefix x3f50624dd2f1a9fc, suffix",   // mixed
+            &[0u8; 300],                           // long literal (chunked)
+            b"0123456789abcdef".repeat(40).leak(), // long hex (chunked)
+        ];
+        for &case in cases {
+            let packed = hex_pack(case);
+            assert_eq!(
+                hex_unpack(&packed).as_deref(),
+                Some(case),
+                "hex_pack round trip failed for {case:?}"
+            );
+        }
+        // A canonical float string: 17 chars -> 1 literal ctrl + 'x' +
+        // 1 hex ctrl + 8 packed bytes = 11.
+        assert_eq!(hex_pack(b"x3ff0000000000000").len(), 11);
+        // Uppercase hex is NOT packed (the canonical grammar is
+        // lowercase-only).
+        assert_eq!(hex_pack(b"DEADBEEF").len(), 9);
+    }
+
+    #[test]
+    fn hex_unpack_rejects_truncation() {
+        let packed = hex_pack(b"x3ff0000000000000,x4000000000000000");
+        assert!(hex_unpack(&packed[..packed.len() - 1]).is_none());
+        assert!(hex_unpack(&[0x85]).is_none(), "hex chunk with no bytes");
+        assert!(hex_unpack(&[0x05, b'a']).is_none(), "short literal chunk");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(compress(b"").is_empty());
+        assert_eq!(decompress(b"", 0).as_deref(), Some(&[][..]));
+        assert!(decompress(b"\0", 0).is_none(), "trailing bytes rejected");
+    }
+}
