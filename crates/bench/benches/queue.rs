@@ -1,5 +1,6 @@
-//! Engine-axis throughput: `HeapQueue` vs `CalendarQueue`, and the
-//! standard observer bundle vs `NullObserver`, across fleet sizes.
+//! Engine-axis throughput: `HeapQueue` vs `CalendarQueue`, inline vs
+//! arena event storage, and the standard observer bundle vs
+//! `NullObserver`, across fleet sizes.
 //!
 //! The workload is the paper's communication shape without the algorithm
 //! arithmetic: every process broadcasts to all `n` peers and re-arms a
@@ -16,8 +17,8 @@ use std::hint::black_box;
 use wl_clock::drift::DriftModel;
 use wl_sim::delay::{DelayBounds, UniformDelay};
 use wl_sim::{
-    Actions, Automaton, CalendarQueue, EventQueue, HeapQueue, Input, NullObserver, SimBuilder,
-    SimConfig,
+    Actions, ArenaCalendarQueue, ArenaHeapQueue, ArenaStore, Automaton, CalendarQueue, EventQueue,
+    HeapQueue, Input, NullObserver, SimBuilder, SimConfig,
 };
 use wl_time::{ClockDur, ClockTime, RealDur, RealTime};
 
@@ -77,6 +78,13 @@ fn calendar(_n: usize) -> CalendarQueue<u32> {
     ))
 }
 
+fn arena_calendar(_n: usize) -> ArenaCalendarQueue<u32> {
+    CalendarQueue::for_bounds_with_store(
+        &DelayBounds::new(RealDur::from_millis(DELTA_MS), RealDur::from_millis(EPS_MS)),
+        ArenaStore::default(),
+    )
+}
+
 fn run_std<Q: EventQueue<u32>>(n: usize, queue: Q) -> u64 {
     let mut sim = builder(n).build_with_queue(queue);
     sim.run().stats.events_delivered
@@ -104,6 +112,14 @@ fn bench_queue_axes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("calendar_null", n), &n, |b, &n| {
             b.iter(|| black_box(run_null(n, calendar(n))));
         });
+        // The arena axis: identical orderings with payloads parked in a
+        // per-run slab instead of riding inside the heap/bucket entries.
+        group.bench_with_input(BenchmarkId::new("arena_heap_null", n), &n, |b, &n| {
+            b.iter(|| black_box(run_null(n, ArenaHeapQueue::<u32>::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("arena_calendar_null", n), &n, |b, &n| {
+            b.iter(|| black_box(run_null(n, arena_calendar(n))));
+        });
     }
     group.finish();
 
@@ -125,10 +141,13 @@ fn bench_queue_axes(c: &mut Criterion) {
         let (cal_std, _) = timed(&|| run_std(n, calendar(n)));
         let (heap_null, _) = timed(&|| run_null(n, HeapQueue::new()));
         let (cal_null, _) = timed(&|| run_null(n, calendar(n)));
+        let (arena_heap, _) = timed(&|| run_null(n, ArenaHeapQueue::<u32>::default()));
+        let (arena_cal, _) = timed(&|| run_null(n, arena_calendar(n)));
         println!(
             "queue throughput: n={n:3} ({ev} events) heap/std {heap_std:.2} Mev/s, \
              calendar/std {cal_std:.2} Mev/s, heap/null {heap_null:.2} Mev/s, \
-             calendar/null {cal_null:.2} Mev/s"
+             calendar/null {cal_null:.2} Mev/s, arena-heap/null {arena_heap:.2} Mev/s, \
+             arena-calendar/null {arena_cal:.2} Mev/s"
         );
     }
 }

@@ -15,15 +15,21 @@
 //!   can go with every measurement cost removed;
 //! * **store format**: the same series-bearing records saved as v2 text
 //!   vs v3 compressed binary segments — binary should be ~2× smaller
-//!   with comparable warm-load time (PERF.md tracks both).
+//!   with comparable warm-load time (PERF.md tracks both);
+//! * **faulted dispatch**: the same designated-faulty grid assembled as
+//!   `Vec<Box<dyn Automaton>>` (the historical path) vs the PR-6
+//!   enum-dispatched `Vec<WlAlgoFleet>` fast path — byte-identical
+//!   outcomes (`fleet_parity` tests), so the ratio is pure dispatch +
+//!   allocation overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wl_core::Params;
 use wl_harness::{
-    derive_seed, run, DelayKind, Maintenance, ScenarioSpec, StoreFormat, SweepCache, SweepRunner,
-    SweepStore,
+    assemble, assemble_enum, derive_seed, run, DelayKind, FaultKind, Maintenance, ScenarioSpec,
+    StoreFormat, SweepCache, SweepRunner, SweepStore,
 };
+use wl_sim::ProcessId;
 use wl_time::RealTime;
 
 const GRID: u64 = 64;
@@ -43,6 +49,46 @@ fn grid() -> Vec<ScenarioSpec> {
                 .t_end(RealTime::from_secs(2.0))
         })
         .collect()
+}
+
+/// `grid`, but every point designates one faulty process (cycling the
+/// maintenance fault gallery) — the shape that used to force the boxed
+/// fleet.
+fn faulted_grid() -> Vec<ScenarioSpec> {
+    let kinds = [
+        FaultKind::Silent,
+        FaultKind::TwoFaced(0.002),
+        FaultKind::RoundSpam,
+    ];
+    grid()
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| spec.fault(ProcessId(i % 4), kinds[i % 3]))
+        .collect()
+}
+
+fn run_faulted_boxed(specs: &[ScenarioSpec]) -> u64 {
+    specs
+        .iter()
+        .map(|s| {
+            let built = assemble::<Maintenance>(s);
+            run::run_summary(built, s.t_end.as_secs())
+                .stats
+                .events_delivered
+        })
+        .sum()
+}
+
+fn run_faulted_enum(specs: &[ScenarioSpec]) -> u64 {
+    specs
+        .iter()
+        .map(|s| {
+            let built = assemble_enum::<Maintenance>(s).expect("faulted spec rides the enum path");
+            run::run_summary_enum(built, s.t_end.as_secs())
+                .stats
+                .events_delivered
+        })
+        .sum()
 }
 
 fn bench_sweep(c: &mut Criterion) {
@@ -76,6 +122,13 @@ fn bench_sweep(c: &mut Criterion) {
                 .sum();
             black_box(events)
         });
+    });
+    let faulted = faulted_grid();
+    group.bench_with_input(BenchmarkId::new("faulted_boxed", GRID), &(), |b, ()| {
+        b.iter(|| black_box(run_faulted_boxed(&faulted)));
+    });
+    group.bench_with_input(BenchmarkId::new("faulted_enum", GRID), &(), |b, ()| {
+        b.iter(|| black_box(run_faulted_enum(&faulted)));
     });
     group.finish();
 
@@ -128,6 +181,30 @@ fn bench_sweep(c: &mut Criterion) {
     println!(
         "unobserved floor: {events} events in {floor:?} = {:.1} Mev/s (serial, NullObserver + Vec<Maintenance>)",
         events as f64 / floor.as_secs_f64() / 1e6,
+    );
+
+    // Faulted dispatch: boxed vs enum fleet on the same faulted grid,
+    // best of 3 each (the container throttles sustained load).
+    let faulted = faulted_grid();
+    let best_of = |f: &dyn Fn() -> u64| {
+        let mut best = f64::INFINITY;
+        let mut ev = f(); // warmup
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            ev = f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (ev as f64 / best / 1e6, ev)
+    };
+    let (boxed_rate, ev_boxed) = best_of(&|| run_faulted_boxed(&faulted));
+    let (enum_rate, ev_enum) = best_of(&|| run_faulted_enum(&faulted));
+    assert_eq!(
+        ev_boxed, ev_enum,
+        "dispatch paths must run identical executions"
+    );
+    println!(
+        "faulted dispatch: {ev_boxed} events; boxed {boxed_rate:.2} Mev/s -> enum {enum_rate:.2} Mev/s ({:.2}x)",
+        enum_rate / boxed_rate,
     );
 
     // Store-format axis: text vs v3 binary segments, on the payload that

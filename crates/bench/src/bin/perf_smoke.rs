@@ -1,0 +1,129 @@
+//! CI throughput floor: `drive_unobserved` on a small fixed workload,
+//! gated against a checked-in baseline.
+//!
+//! Measures the best-of-5 event throughput of the engine's fastest path
+//! (monomorphized `Vec<Maintenance>` + `NullObserver` + arena heap) on a
+//! fixed 16-point fault-free grid and compares it against the floor in
+//! `ci/perf-baseline.txt`. The run **fails** (exit 1) when the measured
+//! rate drops below half the baseline — a >2× regression — and passes
+//! otherwise. Criterion benches track the fine-grained trajectory; this
+//! binary exists so a regression fails CI instead of a PERF.md diff.
+//!
+//! Knobs:
+//!
+//! * `WL_PERF_BASELINE=<float>` — override the baseline Mev/s (for
+//!   machines with a different known-good floor);
+//! * `WL_PERF_BASELINE=warn` — soft-fail: print the verdict but always
+//!   exit 0 (for throttled containers where the floor is meaningless);
+//! * `--inject-slowdown` — deliberately run the workload 4× per timed
+//!   sample while counting it once, to verify locally that the gate
+//!   actually trips on a >2× regression.
+
+use std::path::PathBuf;
+use wl_core::Params;
+use wl_harness::{derive_seed, run, DelayKind, Maintenance, ScenarioSpec};
+use wl_time::RealTime;
+
+const GRID: u64 = 16;
+const PASSES: usize = 5;
+
+fn grid() -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..GRID)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0x5EED, i))
+                .delay(delays[(i % 3) as usize])
+                .t_end(RealTime::from_secs(8.0))
+        })
+        .collect()
+}
+
+fn workload(specs: &[ScenarioSpec]) -> u64 {
+    specs
+        .iter()
+        .map(|s| run::drive_unobserved::<Maintenance>(s).expect("fault-free grid"))
+        .sum()
+}
+
+fn baseline_path() -> PathBuf {
+    // cwd-relative when run from the workspace root (the CI case), with
+    // a manifest-relative fallback for `cargo run` from anywhere else.
+    let local = PathBuf::from("ci/perf-baseline.txt");
+    if local.exists() {
+        return local;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../ci/perf-baseline.txt")
+}
+
+fn read_baseline() -> f64 {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse().ok())
+        .unwrap_or_else(|| panic!("{}: no baseline Mev/s value found", path.display()))
+}
+
+fn main() {
+    let inject = std::env::args().any(|a| a == "--inject-slowdown");
+    // An empty value reads as unset so CI steps can cancel a job-level
+    // override with `WL_PERF_BASELINE: ""`.
+    let env = std::env::var("WL_PERF_BASELINE")
+        .ok()
+        .filter(|v| !v.is_empty());
+    let soft = env.as_deref() == Some("warn");
+    let baseline: f64 = match env.as_deref() {
+        Some("warn") | None => read_baseline(),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("WL_PERF_BASELINE must be a float or \"warn\", got {v:?}")),
+    };
+
+    let specs = grid();
+    let events = workload(&specs); // warmup pass, also fixes the event count
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t0 = std::time::Instant::now();
+        let ev = workload(&specs);
+        if inject {
+            // A genuine >2× slowdown: do the same work 3 more times
+            // inside the timed window without counting it.
+            for _ in 0..3 {
+                std::hint::black_box(workload(&specs));
+            }
+        }
+        assert_eq!(ev, events, "fixed workload must be deterministic");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let rate = events as f64 / best / 1e6;
+    let floor = baseline / 2.0;
+
+    println!(
+        "perf smoke: {events} events, best of {PASSES}: {rate:.2} Mev/s \
+         (baseline {baseline:.2}, floor {floor:.2}{})",
+        if inject { ", slowdown injected" } else { "" }
+    );
+    if rate >= floor {
+        println!("perf smoke: PASS");
+    } else if soft {
+        println!(
+            "perf smoke: WARN — {rate:.2} Mev/s is below the {floor:.2} floor, \
+             but WL_PERF_BASELINE=warn soft-fails (throttled container?)"
+        );
+    } else {
+        println!(
+            "perf smoke: FAIL — {rate:.2} Mev/s is a >2x regression from the \
+             {baseline:.2} Mev/s baseline (set WL_PERF_BASELINE to recalibrate, \
+             or =warn to soft-fail)"
+        );
+        std::process::exit(1);
+    }
+}

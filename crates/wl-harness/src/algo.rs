@@ -17,6 +17,7 @@
 //! executions are bit-for-bit identical to the pre-harness code paths —
 //! the `harness_parity` integration tests pin this.
 
+use crate::fleet::{CnvAlgoFleet, MsAlgoFleet, StAlgoFleet, WlAlgoFleet};
 use crate::spec::{FaultKind, ScenarioSpec};
 use wl_baselines::byzantine::{TimedTwoFaced, ValueTwoFaced};
 use wl_baselines::lm_cnv::{CnvMsg, LmCnv};
@@ -25,9 +26,21 @@ use wl_baselines::srikanth_toueg::{SrikanthToueg, StMsg};
 use wl_clock::drift::FleetClock;
 use wl_core::byzantine::{PullApart, RoundSpammer};
 use wl_core::{Maintenance, Rejoiner, Startup, WlMsg};
-use wl_sim::faults::{crash_phys_time, SilentFor};
+use wl_sim::faults::{crash_phys_time, CrashAt, SilentFor};
 use wl_sim::{Automaton, ProcessId};
 use wl_time::{ClockTime, RealTime};
+
+/// The role a fleet slot plays in a scenario — the single argument that
+/// selects which automaton [`SyncAlgorithm::fleet_automaton`] builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetRole {
+    /// A correct process.
+    Correct,
+    /// A designated-faulty process realizing this fault kind.
+    Faulty(FaultKind),
+    /// The §9.1 rejoiner (START deferred to its repair time).
+    Rejoiner,
+}
 
 /// How a scenario's initial offsets, corrections, and START times are
 /// derived — and which salt decorrelates the delay RNG from the assembly
@@ -79,12 +92,50 @@ pub trait SyncAlgorithm {
     /// The start discipline and sim-seed salt.
     fn discipline(spec: &ScenarioSpec) -> StartDiscipline;
 
-    /// The automaton of a correct process.
+    /// The enum type a `Vec`-of-enums fleet of this algorithm holds —
+    /// one of the `*AlgoFleet` enums in [`crate::fleet`], shared by
+    /// every algorithm of the same message family.
+    type FleetAuto: Automaton<Msg = Self::Msg> + 'static;
+
+    /// The **single** automaton-construction body: builds the automaton
+    /// filling fleet slot `id` in role `role`.
+    ///
+    /// Both fleet representations go through here — the enum fast path
+    /// stores the result directly in a `Vec<Self::FleetAuto>`
+    /// ([`crate::assemble_enum`]), and the boxed path boxes it (the
+    /// default [`SyncAlgorithm::correct`] / [`SyncAlgorithm::faulty`] /
+    /// [`SyncAlgorithm::rejoiner_automaton`] all delegate). One body
+    /// means the two paths cannot diverge; byte-identity is pinned by
+    /// `enum_path_bit_identical_to_boxed` and the `fleet_parity`
+    /// proptests.
+    ///
+    /// Returns `None` only for an unsupported *role* (today: a rejoiner
+    /// under an algorithm without one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm has no realization of a requested
+    /// [`FaultKind`].
+    fn fleet_automaton(
+        spec: &ScenarioSpec,
+        id: ProcessId,
+        role: FleetRole,
+        ctx: &AssemblyCtx<'_>,
+    ) -> Option<Self::FleetAuto>;
+
+    /// The automaton of a correct process, boxed. Default: boxes
+    /// [`SyncAlgorithm::fleet_automaton`]'s [`FleetRole::Correct`]
+    /// result.
     fn correct(
         spec: &ScenarioSpec,
         id: ProcessId,
         ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = Self::Msg>>;
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(
+            Self::fleet_automaton(spec, id, FleetRole::Correct, ctx)
+                .expect("fleet_automaton must realize Correct"),
+        )
+    }
 
     /// The *unboxed* correct-process automaton, when the implementing
     /// type is itself that automaton — which is the pattern every
@@ -105,7 +156,9 @@ pub trait SyncAlgorithm {
         None
     }
 
-    /// The automaton realizing `kind` for a designated-faulty process.
+    /// The automaton realizing `kind` for a designated-faulty process,
+    /// boxed. Default: boxes [`SyncAlgorithm::fleet_automaton`]'s
+    /// [`FleetRole::Faulty`] result.
     ///
     /// # Panics
     ///
@@ -115,14 +168,23 @@ pub trait SyncAlgorithm {
         id: ProcessId,
         kind: FaultKind,
         ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = Self::Msg>>;
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(
+            Self::fleet_automaton(spec, id, FleetRole::Faulty(kind), ctx)
+                .expect("fleet_automaton must realize designated faults"),
+        )
+    }
 
-    /// The automaton of a §9.1 rejoiner, if the algorithm supports one.
+    /// The automaton of a §9.1 rejoiner, boxed, if the algorithm
+    /// supports one. Default: boxes [`SyncAlgorithm::fleet_automaton`]'s
+    /// [`FleetRole::Rejoiner`] result.
     fn rejoiner_automaton(
-        _spec: &ScenarioSpec,
-        _id: ProcessId,
+        spec: &ScenarioSpec,
+        id: ProcessId,
+        ctx: &AssemblyCtx<'_>,
     ) -> Option<Box<dyn Automaton<Msg = Self::Msg>>> {
-        None
+        Self::fleet_automaton(spec, id, FleetRole::Rejoiner, ctx)
+            .map(|a| Box::new(a) as Box<dyn Automaton<Msg = Self::Msg>>)
     }
 }
 
@@ -179,58 +241,49 @@ impl SyncAlgorithm for Maintenance {
         }
     }
 
-    fn correct(
+    type FleetAuto = WlAlgoFleet;
+
+    fn fleet_automaton(
         spec: &ScenarioSpec,
         id: ProcessId,
-        _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = WlMsg>> {
-        Box::new(Maintenance::new(id, spec.params.clone(), 0.0))
+        role: FleetRole,
+        ctx: &AssemblyCtx<'_>,
+    ) -> Option<WlAlgoFleet> {
+        let p = &spec.params;
+        let n = p.n;
+        Some(match role {
+            FleetRole::Correct => WlAlgoFleet::Maintenance(Maintenance::new(id, p.clone(), 0.0)),
+            FleetRole::Rejoiner => WlAlgoFleet::Rejoiner(Rejoiner::new(id, p.clone())),
+            FleetRole::Faulty(kind) => match kind {
+                FaultKind::CrashAt(t) => WlAlgoFleet::Crashed(CrashAt::new(
+                    Maintenance::new(id, p.clone(), 0.0),
+                    crash_phys_time(&ctx.clocks[id.index()], RealTime::from_secs(t)),
+                )),
+                FaultKind::Silent => WlAlgoFleet::Silent(SilentFor::<WlMsg>::default()),
+                FaultKind::RoundSpam => WlAlgoFleet::Spammer(RoundSpammer::new(
+                    n,
+                    p.wait_window() / 2.0,
+                    spec.seed.wrapping_add(id.index() as u64),
+                    (p.t0 - 10.0 * p.p_round, p.t0 + 100.0 * p.p_round),
+                )),
+                // Against Welch–Lynch, the generic two-faced attack *is*
+                // the pull-apart: lying about your clock means sending Tⁱ
+                // at a shifted moment.
+                FaultKind::PullApart(a) | FaultKind::TwoFaced(a) => WlAlgoFleet::PullApart(
+                    PullApart::new(p.clone(), a, early_below_legacy_wl(n, p.f)),
+                ),
+                FaultKind::PullApartHigh(a) => {
+                    // Early sends go to the upper-index honest half.
+                    let threshold = p.f + (n - p.f) / 2;
+                    let mask = (0..n).map(|q| q >= threshold).collect();
+                    WlAlgoFleet::PullApart(PullApart::with_early_mask(p.clone(), a, mask))
+                }
+            },
+        })
     }
 
     fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
         Some(Maintenance::new(id, spec.params.clone(), 0.0))
-    }
-
-    fn faulty(
-        spec: &ScenarioSpec,
-        id: ProcessId,
-        kind: FaultKind,
-        ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = WlMsg>> {
-        let p = &spec.params;
-        let n = p.n;
-        match kind {
-            FaultKind::CrashAt(t) => Box::new(wl_sim::faults::CrashAt::new(
-                Maintenance::new(id, p.clone(), 0.0),
-                crash_phys_time(&ctx.clocks[id.index()], RealTime::from_secs(t)),
-            )),
-            FaultKind::Silent => Box::new(SilentFor::<WlMsg>::default()),
-            FaultKind::RoundSpam => Box::new(RoundSpammer::new(
-                n,
-                p.wait_window() / 2.0,
-                spec.seed.wrapping_add(id.index() as u64),
-                (p.t0 - 10.0 * p.p_round, p.t0 + 100.0 * p.p_round),
-            )),
-            // Against Welch–Lynch, the generic two-faced attack *is* the
-            // pull-apart: lying about your clock means sending Tⁱ at a
-            // shifted moment.
-            FaultKind::PullApart(a) | FaultKind::TwoFaced(a) => {
-                Box::new(PullApart::new(p.clone(), a, early_below_legacy_wl(n, p.f)))
-            }
-            FaultKind::PullApartHigh(a) => {
-                // Early sends go to the upper-index honest half.
-                let threshold = p.f + (n - p.f) / 2;
-                let mask = (0..n).map(|q| q >= threshold).collect();
-                Box::new(PullApart::with_early_mask(p.clone(), a, mask))
-            }
-        }
-    }
-
-    fn rejoiner_automaton(
-        spec: &ScenarioSpec,
-        id: ProcessId,
-    ) -> Option<Box<dyn Automaton<Msg = WlMsg>>> {
-        Some(Box::new(Rejoiner::new(id, spec.params.clone())))
     }
 }
 
@@ -256,28 +309,15 @@ impl SyncAlgorithm for Rejoiner {
         <Maintenance as SyncAlgorithm>::discipline(spec)
     }
 
-    fn correct(
-        spec: &ScenarioSpec,
-        id: ProcessId,
-        ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = WlMsg>> {
-        <Maintenance as SyncAlgorithm>::correct(spec, id, ctx)
-    }
+    type FleetAuto = WlAlgoFleet;
 
-    fn faulty(
+    fn fleet_automaton(
         spec: &ScenarioSpec,
         id: ProcessId,
-        kind: FaultKind,
+        role: FleetRole,
         ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = WlMsg>> {
-        <Maintenance as SyncAlgorithm>::faulty(spec, id, kind, ctx)
-    }
-
-    fn rejoiner_automaton(
-        spec: &ScenarioSpec,
-        id: ProcessId,
-    ) -> Option<Box<dyn Automaton<Msg = WlMsg>>> {
-        <Maintenance as SyncAlgorithm>::rejoiner_automaton(spec, id)
+    ) -> Option<WlAlgoFleet> {
+        <Maintenance as SyncAlgorithm>::fleet_automaton(spec, id, role, ctx)
     }
 }
 
@@ -295,16 +335,28 @@ impl SyncAlgorithm for Startup {
         }
     }
 
-    fn correct(
+    type FleetAuto = WlAlgoFleet;
+
+    fn fleet_automaton(
         spec: &ScenarioSpec,
         id: ProcessId,
+        role: FleetRole,
         ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = WlMsg>> {
-        Box::new(Startup::new(
-            id,
-            spec.startup_params(),
-            ctx.initial_corrs[id.index()],
-        ))
+    ) -> Option<WlAlgoFleet> {
+        Some(match role {
+            FleetRole::Correct => WlAlgoFleet::Startup(Startup::new(
+                id,
+                spec.startup_params(),
+                ctx.initial_corrs[id.index()],
+            )),
+            FleetRole::Faulty(FaultKind::Silent) => {
+                WlAlgoFleet::Silent(SilentFor::<WlMsg>::default())
+            }
+            FleetRole::Faulty(other) => {
+                panic!("the startup scenarios only realize Silent faults, got {other:?}")
+            }
+            FleetRole::Rejoiner => return None,
+        })
     }
 
     fn correct_mono(spec: &ScenarioSpec, id: ProcessId, ctx: &AssemblyCtx<'_>) -> Option<Self> {
@@ -313,18 +365,6 @@ impl SyncAlgorithm for Startup {
             spec.startup_params(),
             ctx.initial_corrs[id.index()],
         ))
-    }
-
-    fn faulty(
-        _spec: &ScenarioSpec,
-        _id: ProcessId,
-        kind: FaultKind,
-        _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = WlMsg>> {
-        match kind {
-            FaultKind::Silent => Box::new(SilentFor::<WlMsg>::default()),
-            other => panic!("the startup scenarios only realize Silent faults, got {other:?}"),
-        }
     }
 }
 
@@ -344,35 +384,37 @@ impl SyncAlgorithm for LmCnv {
         }
     }
 
-    fn correct(
+    type FleetAuto = CnvAlgoFleet;
+
+    fn fleet_automaton(
         spec: &ScenarioSpec,
         id: ProcessId,
+        role: FleetRole,
         _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = CnvMsg>> {
-        Box::new(LmCnv::new(id, spec.params.clone(), 0.0))
+    ) -> Option<CnvAlgoFleet> {
+        let p = &spec.params;
+        Some(match role {
+            FleetRole::Correct => CnvAlgoFleet::Correct(LmCnv::new(id, p.clone(), 0.0)),
+            FleetRole::Faulty(FaultKind::Silent) => {
+                CnvAlgoFleet::Silent(SilentFor::<CnvMsg>::default())
+            }
+            FleetRole::Faulty(FaultKind::TwoFaced(a)) => {
+                CnvAlgoFleet::TwoFaced(ValueTwoFaced::new(
+                    p.clone(),
+                    a,
+                    early_below(p.n, spec),
+                    (|claim| CnvMsg(ClockTime::from_secs(claim))) as fn(f64) -> CnvMsg,
+                ))
+            }
+            FleetRole::Faulty(other) => {
+                panic!("LM-CNV scenarios realize Silent/TwoFaced faults, got {other:?}")
+            }
+            FleetRole::Rejoiner => return None,
+        })
     }
 
     fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
         Some(LmCnv::new(id, spec.params.clone(), 0.0))
-    }
-
-    fn faulty(
-        spec: &ScenarioSpec,
-        _id: ProcessId,
-        kind: FaultKind,
-        _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = CnvMsg>> {
-        let p = &spec.params;
-        match kind {
-            FaultKind::Silent => Box::new(SilentFor::<CnvMsg>::default()),
-            FaultKind::TwoFaced(a) => Box::new(ValueTwoFaced::new(
-                p.clone(),
-                a,
-                early_below(p.n, spec),
-                |claim| CnvMsg(ClockTime::from_secs(claim)),
-            )),
-            other => panic!("LM-CNV scenarios realize Silent/TwoFaced faults, got {other:?}"),
-        }
     }
 }
 
@@ -386,37 +428,35 @@ impl SyncAlgorithm for MahaneySchneider {
         }
     }
 
-    fn correct(
+    type FleetAuto = MsAlgoFleet;
+
+    fn fleet_automaton(
         spec: &ScenarioSpec,
         id: ProcessId,
+        role: FleetRole,
         _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = MsMsg>> {
-        Box::new(MahaneySchneider::new(id, spec.params.clone(), 0.0))
+    ) -> Option<MsAlgoFleet> {
+        let p = &spec.params;
+        Some(match role {
+            FleetRole::Correct => MsAlgoFleet::Correct(MahaneySchneider::new(id, p.clone(), 0.0)),
+            FleetRole::Faulty(FaultKind::Silent) => {
+                MsAlgoFleet::Silent(SilentFor::<MsMsg>::default())
+            }
+            FleetRole::Faulty(FaultKind::TwoFaced(a)) => MsAlgoFleet::TwoFaced(ValueTwoFaced::new(
+                p.clone(),
+                a,
+                early_below(p.n, spec),
+                (|claim| MsMsg(ClockTime::from_secs(claim))) as fn(f64) -> MsMsg,
+            )),
+            FleetRole::Faulty(other) => {
+                panic!("Mahaney-Schneider scenarios realize Silent/TwoFaced faults, got {other:?}")
+            }
+            FleetRole::Rejoiner => return None,
+        })
     }
 
     fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
         Some(MahaneySchneider::new(id, spec.params.clone(), 0.0))
-    }
-
-    fn faulty(
-        spec: &ScenarioSpec,
-        _id: ProcessId,
-        kind: FaultKind,
-        _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = MsMsg>> {
-        let p = &spec.params;
-        match kind {
-            FaultKind::Silent => Box::new(SilentFor::<MsMsg>::default()),
-            FaultKind::TwoFaced(a) => Box::new(ValueTwoFaced::new(
-                p.clone(),
-                a,
-                early_below(p.n, spec),
-                |claim| MsMsg(ClockTime::from_secs(claim)),
-            )),
-            other => {
-                panic!("Mahaney-Schneider scenarios realize Silent/TwoFaced faults, got {other:?}")
-            }
-        }
     }
 }
 
@@ -430,40 +470,38 @@ impl SyncAlgorithm for SrikanthToueg {
         }
     }
 
-    fn correct(
+    type FleetAuto = StAlgoFleet;
+
+    fn fleet_automaton(
         spec: &ScenarioSpec,
         id: ProcessId,
+        role: FleetRole,
         _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = StMsg>> {
-        Box::new(SrikanthToueg::new(id, spec.params.clone(), 0.0))
+    ) -> Option<StAlgoFleet> {
+        let p = &spec.params;
+        Some(match role {
+            FleetRole::Correct => StAlgoFleet::Correct(SrikanthToueg::new(id, p.clone(), 0.0)),
+            FleetRole::Faulty(FaultKind::Silent) => {
+                StAlgoFleet::Silent(SilentFor::<StMsg>::default())
+            }
+            FleetRole::Faulty(FaultKind::TwoFaced(a)) => StAlgoFleet::TwoFaced(TimedTwoFaced::new(
+                p.clone(),
+                a,
+                early_below(p.n, spec),
+                (|round, _| StMsg {
+                    round: round as u32,
+                    echo: false,
+                }) as fn(u64, f64) -> StMsg,
+            )),
+            FleetRole::Faulty(other) => {
+                panic!("Srikanth-Toueg scenarios realize Silent/TwoFaced faults, got {other:?}")
+            }
+            FleetRole::Rejoiner => return None,
+        })
     }
 
     fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
         Some(SrikanthToueg::new(id, spec.params.clone(), 0.0))
-    }
-
-    fn faulty(
-        spec: &ScenarioSpec,
-        _id: ProcessId,
-        kind: FaultKind,
-        _ctx: &AssemblyCtx<'_>,
-    ) -> Box<dyn Automaton<Msg = StMsg>> {
-        let p = &spec.params;
-        match kind {
-            FaultKind::Silent => Box::new(SilentFor::<StMsg>::default()),
-            FaultKind::TwoFaced(a) => Box::new(TimedTwoFaced::new(
-                p.clone(),
-                a,
-                early_below(p.n, spec),
-                |round, _| StMsg {
-                    round: round as u32,
-                    echo: false,
-                },
-            )),
-            other => {
-                panic!("Srikanth-Toueg scenarios realize Silent/TwoFaced faults, got {other:?}")
-            }
-        }
     }
 }
 

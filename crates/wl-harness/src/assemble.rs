@@ -6,7 +6,7 @@
 //! bit-for-bit identical to the legacy paths (pinned by the
 //! `harness_parity` integration tests).
 
-use crate::algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
+use crate::algo::{AssemblyCtx, FleetRole, StartDiscipline, SyncAlgorithm};
 use crate::spec::{DelayKind, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -122,7 +122,7 @@ pub fn assemble_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
         let auto: Box<dyn Automaton<Msg = A::Msg>> = if is_rejoiner {
             let (_, repair_at) = spec.rejoiner.expect("checked above");
             *start_slot = repair_at;
-            A::rejoiner_automaton(spec, id)
+            A::rejoiner_automaton(spec, id, &ctx)
                 .unwrap_or_else(|| panic!("{} does not support rejoiners", A::NAME))
         } else if let Some(kind) = fault {
             A::faulty(spec, id, kind, &ctx)
@@ -245,8 +245,9 @@ fn delay_model(spec: &ScenarioSpec) -> Box<dyn DelayModel> {
 }
 
 /// The simulation type of the monomorphized fast path: algorithm `A`'s
-/// message type, the default heap queue, observer `O`, and a `Vec<A>`
-/// fleet.
+/// message type, the inline heap queue (fastest measured storage at this
+/// workspace's payload sizes — see the `arena_*` axes in
+/// `bench/benches/queue.rs`), observer `O`, and a `Vec<A>` fleet.
 pub type MonoSimulation<A, O> =
     Simulation<<A as SyncAlgorithm>::Msg, HeapQueue<<A as SyncAlgorithm>::Msg>, O, Vec<A>>;
 
@@ -359,6 +360,132 @@ where
         .map(|i| A::correct_mono(spec, ProcessId(i), &ctx))
         .collect();
     Some((parts, fleet?))
+}
+
+/// The simulation type of the enum-dispatched fast path: algorithm `A`'s
+/// message type, the inline heap queue, observer `O`, and a
+/// `Vec<A::FleetAuto>` fleet (enum-match dispatch, no boxing).
+pub type EnumSimulation<A, O> = Simulation<
+    <A as SyncAlgorithm>::Msg,
+    HeapQueue<<A as SyncAlgorithm>::Msg>,
+    O,
+    Vec<<A as SyncAlgorithm>::FleetAuto>,
+>;
+
+/// A scenario assembled on the enum-dispatched fast path: a mixed fleet
+/// (correct + faulty + rejoining processes) stored as a
+/// `Vec<A::FleetAuto>` instead of `Vec<Box<dyn Automaton>>`, under a
+/// `(Counters, CorrectionSink)` observer pair. Produced by
+/// [`assemble_enum`] (inline heap queue) or
+/// [`assemble_enum_with_queue`] (any queue); executions are
+/// byte-identical to the boxed [`assemble`] path.
+pub struct EnumScenario<A: SyncAlgorithm, Q = HeapQueue<<A as SyncAlgorithm>::Msg>> {
+    /// The simulation, ready to [`Simulation::drive`].
+    pub sim: Simulation<
+        <A as SyncAlgorithm>::Msg,
+        Q,
+        (Counters, CorrectionSink),
+        Vec<<A as SyncAlgorithm>::FleetAuto>,
+    >,
+    /// Which processes are designated faulty (for the analysis).
+    pub plan: FaultPlan,
+    /// The parameters the scenario was built from.
+    pub params: Params,
+    /// The A4 start times `t⁰_p` (see [`BuiltScenario::starts`]).
+    pub starts: Vec<RealTime>,
+    /// Initial corrections per process (all zero unless cold-starting).
+    pub initial_corrs: Vec<f64>,
+}
+
+/// Assembles `spec` on the enum-dispatched fast path, if it qualifies.
+///
+/// This is the faulted-fleet counterpart of [`assemble_mono`]: any mix
+/// of correct, designated-faulty, and rejoining processes runs as a
+/// `Vec<A::FleetAuto>` — enum-match dispatch instead of
+/// `Box<dyn Automaton>` virtual calls, one contiguous allocation instead
+/// of one per process. Only tracing disqualifies a spec (the path runs
+/// `(Counters, CorrectionSink)` observers, which record no trace), plus
+/// a rejoiner under an algorithm that does not support one; both return
+/// `None` and callers fall back to [`assemble`].
+///
+/// The RNG draw order, simulator seed, delay model, fault plan, rejoiner
+/// START deferral, and per-process automaton construction
+/// ([`SyncAlgorithm::fleet_automaton`] — the same single body the boxed
+/// path boxes) are all shared with [`assemble`], so the two paths
+/// produce bit-identical executions — pinned by
+/// `enum_path_bit_identical_to_boxed` and the `fleet_parity` proptests.
+///
+/// # Panics
+///
+/// As [`assemble`] (validation failures, unsupported fault kinds).
+#[must_use]
+pub fn assemble_enum<A: SyncAlgorithm>(spec: &ScenarioSpec) -> Option<EnumScenario<A>> {
+    assemble_enum_with_queue::<A, _>(spec, HeapQueue::new())
+}
+
+/// [`assemble_enum`] with a caller-supplied event queue — what the
+/// `fleet_parity` proptests use to pit the enum fleet against the boxed
+/// fleet under the *same* (arbitrary, legal) tie-breaking queue.
+///
+/// # Panics
+///
+/// As [`assemble_enum`].
+#[must_use]
+pub fn assemble_enum_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
+    spec: &ScenarioSpec,
+    queue: Q,
+) -> Option<EnumScenario<A, Q>> {
+    if spec.trace_capacity != 0 {
+        return None;
+    }
+    let parts = assembly_parts::<A>(spec);
+    let ctx = AssemblyCtx {
+        clocks: &parts.clocks,
+        initial_corrs: &parts.initial_corrs,
+    };
+    let n = spec.params.n;
+    let mut starts_adj = parts.starts.clone();
+    let mut fleet: Vec<A::FleetAuto> = Vec::with_capacity(n);
+    for (i, start_slot) in starts_adj.iter_mut().enumerate() {
+        let id = ProcessId(i);
+        let fault = spec
+            .faults
+            .iter()
+            .find(|&&(fid, _)| fid == id)
+            .map(|&(_, k)| k);
+        let role = if spec.rejoiner.map(|(rid, _)| rid) == Some(id) {
+            let (_, repair_at) = spec.rejoiner.expect("checked above");
+            *start_slot = repair_at;
+            FleetRole::Rejoiner
+        } else if let Some(kind) = fault {
+            FleetRole::Faulty(kind)
+        } else {
+            FleetRole::Correct
+        };
+        fleet.push(A::fleet_automaton(spec, id, role, &ctx)?);
+    }
+
+    // Mirror `build_with_queue`: the correction sink is seeded from the
+    // *built fleet's* per-process initial corrections (a faulty wrapper
+    // reports 0.0 even in a cold-start scenario, exactly as on the boxed
+    // path).
+    let initial: Vec<f64> = fleet.iter().map(Automaton::initial_correction).collect();
+    let observers = (Counters::new(), CorrectionSink::new(&initial));
+    let sim = SimBuilder::new()
+        .clocks(parts.clocks)
+        .fleet(fleet)
+        .starts(starts_adj)
+        .fault_plan(parts.plan.clone())
+        .config(sim_config(spec, parts.sim_seed))
+        .delay_boxed(delay_model(spec))
+        .build_with(queue, observers);
+    Some(EnumScenario {
+        sim,
+        plan: parts.plan,
+        params: spec.params.clone(),
+        starts: parts.starts,
+        initial_corrs: parts.initial_corrs,
+    })
 }
 
 #[cfg(test)]

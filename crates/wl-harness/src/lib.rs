@@ -84,14 +84,16 @@ pub mod algo;
 pub mod assemble;
 pub mod cache;
 pub mod driver;
+pub mod fleet;
 pub mod run;
 pub mod spec;
 pub mod sweep;
 
-pub use algo::{AssemblyCtx, StartDiscipline, SyncAlgorithm};
+pub use algo::{AssemblyCtx, FleetRole, StartDiscipline, SyncAlgorithm};
 pub use assemble::{
-    assemble, assemble_calendar, assemble_mono, assemble_mono_null, assemble_mono_observed,
-    assemble_with_queue, BuiltScenario, MonoScenario,
+    assemble, assemble_calendar, assemble_enum, assemble_enum_with_queue, assemble_mono,
+    assemble_mono_null, assemble_mono_observed, assemble_with_queue, BuiltScenario, EnumScenario,
+    MonoScenario,
 };
 pub use cache::{
     CompactStats, DiskSweepCache, MergeConflict, MergeConflictKind, MergeStats, MigrationReport,
@@ -100,6 +102,7 @@ pub use cache::{
 pub use driver::{
     drive, run_worker, DriveError, DriveReport, DriverConfig, WorkerConfig, WorkerProgress,
 };
+pub use fleet::{CnvAlgoFleet, MsAlgoFleet, StAlgoFleet, WlAlgoFleet};
 pub use spec::{DelayKind, FaultKind, ScenarioSpec};
 pub use sweep::{
     derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,

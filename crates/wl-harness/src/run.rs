@@ -6,7 +6,7 @@
 //! re-implemented ad hoc inside experiment binaries for the baselines.
 
 use crate::algo::SyncAlgorithm;
-use crate::assemble::{BuiltScenario, MonoScenario};
+use crate::assemble::{BuiltScenario, EnumScenario, MonoScenario};
 use crate::spec::ScenarioSpec;
 use crate::sweep::SweepSeries;
 use wl_analysis::adjustment::{check_adjustments, AdjustmentReport};
@@ -88,6 +88,29 @@ where
     (summary, series.expect("capture requested"))
 }
 
+/// [`run_summary`] over an [`EnumScenario`] (the enum-dispatched faulted
+/// fast path): drives the sim, then feeds the streamed counters and
+/// correction histories through the identical analysis body. Results
+/// are bit-identical to the boxed path's.
+#[must_use]
+pub fn run_summary_enum<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
+    built: EnumScenario<A, Q>,
+    t_end: f64,
+) -> RunSummary {
+    run_capture_enum_impl(built, t_end, false).0
+}
+
+/// [`run_capture`] over an [`EnumScenario`] — same series, same
+/// bit-identity guarantees, on the enum fast path.
+#[must_use]
+pub fn run_capture_enum<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
+    built: EnumScenario<A, Q>,
+    t_end: f64,
+) -> (RunSummary, SweepSeries) {
+    let (summary, series) = run_capture_enum_impl(built, t_end, true);
+    (summary, series.expect("capture requested"))
+}
+
 fn run_capture_impl<M: Clone + std::fmt::Debug + Send + 'static, Q: EventQueue<M>>(
     built: BuiltScenario<M, Q>,
     t_end: f64,
@@ -116,6 +139,26 @@ fn run_capture_mono_impl<A>(
 where
     A: SyncAlgorithm + Automaton<Msg = <A as SyncAlgorithm>::Msg>,
 {
+    let mut sim = built.sim;
+    sim.drive();
+    let (counters, corr) = sim.observer();
+    let stats = counters.stats();
+    summarize(
+        sim.clocks(),
+        corr.histories(),
+        stats,
+        &built.params,
+        &built.plan,
+        t_end,
+        capture,
+    )
+}
+
+fn run_capture_enum_impl<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
+    built: EnumScenario<A, Q>,
+    t_end: f64,
+    capture: bool,
+) -> (RunSummary, Option<SweepSeries>) {
     let mut sim = built.sim;
     sim.drive();
     let (counters, corr) = sim.observer();

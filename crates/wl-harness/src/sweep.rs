@@ -19,9 +19,12 @@
 //! [`crate::cache::SweepStore`] (see `docs/sweeps.md`).
 
 use crate::algo::SyncAlgorithm;
-use crate::assemble::{assemble, assemble_mono};
+use crate::assemble::{assemble, assemble_enum, assemble_mono};
 use crate::cache::canon_string;
-use crate::run::{run_capture, run_capture_mono, run_summary, run_summary_mono, RunSummary};
+use crate::run::{
+    run_capture, run_capture_enum, run_capture_mono, run_summary, run_summary_enum,
+    run_summary_mono, RunSummary,
+};
 use crate::spec::ScenarioSpec;
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -468,26 +471,37 @@ fn shard_slice(specs: Vec<ScenarioSpec>, shard: Shard) -> Vec<(usize, ScenarioSp
 
 /// Executes one grid point — the single per-point body shared by every
 /// sweep entry point, so the cached, sharded, and plain paths cannot
-/// diverge. Fault-free points take the monomorphized fleet fast path;
-/// both paths are pinned bit-identical by `mono_path_bit_identical_to_boxed`.
+/// diverge. The dispatch ladder: fault-free points take the
+/// monomorphized `Vec<A>` fast path; faulted/rejoiner points take the
+/// enum-dispatched `Vec<A::FleetAuto>` fast path; only traced specs
+/// fall back to `Box<dyn Automaton>`. All three paths are pinned
+/// bit-identical by `mono_path_bit_identical_to_boxed` and
+/// `enum_path_bit_identical_to_boxed`.
 fn run_point<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
     let t_end = spec.t_end.as_secs();
     let summary = match assemble_mono::<A>(spec) {
         Some(built) => run_summary_mono(built, t_end),
-        None => run_summary(assemble::<A>(spec), t_end),
+        None => match assemble_enum::<A>(spec) {
+            Some(built) => run_summary_enum(built, t_end),
+            None => run_summary(assemble::<A>(spec), t_end),
+        },
     };
     SweepOutcome::new(index, spec.seed, &summary)
 }
 
-/// [`run_point`] with series capture: the same execution, but the
-/// correction histories are additionally sampled into a [`SweepSeries`]
-/// before they are dropped. The scalar fields are bit-identical to
-/// [`run_point`]'s (the capture is a read-only pass over the same run).
+/// [`run_point`] with series capture: the same execution (same dispatch
+/// ladder), but the correction histories are additionally sampled into a
+/// [`SweepSeries`] before they are dropped. The scalar fields are
+/// bit-identical to [`run_point`]'s (the capture is a read-only pass
+/// over the same run).
 fn run_point_series<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
     let t_end = spec.t_end.as_secs();
     let (summary, series) = match assemble_mono::<A>(spec) {
         Some(built) => run_capture_mono(built, t_end),
-        None => run_capture(assemble::<A>(spec), t_end),
+        None => match assemble_enum::<A>(spec) {
+            Some(built) => run_capture_enum(built, t_end),
+            None => run_capture(assemble::<A>(spec), t_end),
+        },
     };
     SweepOutcome::new(index, spec.seed, &summary).with_series(series)
 }
@@ -729,7 +743,12 @@ pub struct SweepOutcome {
 }
 
 impl SweepOutcome {
-    fn new(index: usize, seed: u64, summary: &RunSummary) -> Self {
+    /// Collapses a [`RunSummary`] into the scalar grid-point record —
+    /// exactly what the sweep's per-point body stores. Public so parity
+    /// tests can compare independently produced runs with
+    /// [`SweepOutcome::bit_identical`].
+    #[must_use]
+    pub fn new(index: usize, seed: u64, summary: &RunSummary) -> Self {
         Self {
             index,
             seed,
@@ -979,6 +998,44 @@ mod tests {
             .clone()
             .fault(wl_sim::ProcessId(0), crate::FaultKind::Silent);
         assert!(assemble_mono::<Maintenance>(&faulted).is_none());
+    }
+
+    #[test]
+    fn enum_path_bit_identical_to_boxed() {
+        // Faulted specs take the Vec<A::FleetAuto> fast path inside
+        // run_point; forcing the boxed path through assemble + run_summary
+        // must give byte-identical outcomes.
+        use crate::run::run_summary;
+        for (i, base) in grid(3).iter().enumerate() {
+            let spec = base
+                .clone()
+                .fault(wl_sim::ProcessId(0), crate::FaultKind::Silent);
+            // The faulted spec is served by the enum path, not mono.
+            assert!(assemble_mono::<Maintenance>(&spec).is_none());
+            assert!(assemble_enum::<Maintenance>(&spec).is_some());
+            let fast = run_point::<Maintenance>(i, &spec);
+            let boxed = SweepOutcome::new(
+                i,
+                spec.seed,
+                &run_summary(assemble::<Maintenance>(&spec), spec.t_end.as_secs()),
+            );
+            assert!(fast.bit_identical(&boxed), "grid point {i} diverged");
+        }
+        // A rejoiner scenario also rides the enum path, byte-identically.
+        let spec = grid(1)[0]
+            .clone()
+            .rejoiner(wl_sim::ProcessId(2), wl_time::RealTime::from_secs(2.0));
+        assert!(assemble_enum::<Maintenance>(&spec).is_some());
+        let fast = run_point::<Maintenance>(0, &spec);
+        let boxed = SweepOutcome::new(
+            0,
+            spec.seed,
+            &run_summary(assemble::<Maintenance>(&spec), spec.t_end.as_secs()),
+        );
+        assert!(fast.bit_identical(&boxed), "rejoiner point diverged");
+        // Traced specs fall all the way back to the boxed path.
+        let traced = grid(1)[0].clone().trace(16);
+        assert!(assemble_enum::<Maintenance>(&traced).is_none());
     }
 
     #[test]

@@ -22,9 +22,10 @@
 use std::path::PathBuf;
 use wl_core::Params;
 use wl_harness::{
-    derive_seed, merge_sharded, DelayKind, DiskSweepCache, Maintenance, ScenarioSpec, Shard,
-    StoreFormat, SweepCache, SweepRunner, SweepStore,
+    derive_seed, merge_sharded, DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec,
+    Shard, StoreFormat, SweepCache, SweepRunner, SweepStore,
 };
+use wl_sim::ProcessId;
 use wl_time::RealTime;
 
 fn grid(count: usize) -> Vec<ScenarioSpec> {
@@ -41,6 +42,22 @@ fn grid(count: usize) -> Vec<ScenarioSpec> {
                 .delay(delays[i % 3])
                 .t_end(RealTime::from_secs(2.0))
         })
+        .collect()
+}
+
+/// `grid`, but every point designates a faulty process — so the cached
+/// per-point body is served by the enum-dispatched fast path, not the
+/// monomorphized all-correct one.
+fn faulted_grid(count: usize) -> Vec<ScenarioSpec> {
+    let kinds = [
+        FaultKind::Silent,
+        FaultKind::TwoFaced(0.002),
+        FaultKind::RoundSpam,
+    ];
+    grid(count)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| spec.fault(ProcessId(i % 4), kinds[i % 3]))
         .collect()
 }
 
@@ -67,6 +84,43 @@ fn second_disk_cached_run_executes_zero_simulations() {
     assert_eq!(disk2.cache().misses(), 0, "zero simulator executions");
     for (a, b) in warm.iter().zip(&cold) {
         assert!(a.bit_identical(b), "disk round trip must be lossless");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn faulted_warm_run_executes_zero_simulations_on_enum_path() {
+    // PR-6: faulted grid points are served by the enum-dispatched fleet
+    // fast path inside the cached per-point body. The cache must not
+    // notice — cold run misses everything, warm run off a fresh handle
+    // hits everything (zero simulator executions), and the round trip
+    // is bit-identical.
+    let specs = faulted_grid(6);
+    for spec in &specs {
+        assert!(
+            wl_harness::assemble_mono::<Maintenance>(spec).is_none(),
+            "faulted specs must not qualify for the all-correct mono path"
+        );
+        assert!(
+            wl_harness::assemble_enum::<Maintenance>(spec).is_some(),
+            "faulted specs must qualify for the enum fast path"
+        );
+    }
+
+    let path = tmp("enum-zero-exec");
+    let _ = std::fs::remove_file(&path);
+
+    let mut disk = DiskSweepCache::open(&path).unwrap();
+    let cold = SweepRunner::new().sweep_cached::<Maintenance>(specs.clone(), disk.cache());
+    assert_eq!(disk.cache().misses(), 6);
+    assert_eq!(disk.persist().unwrap(), 6);
+
+    let disk2 = DiskSweepCache::open(&path).unwrap();
+    let warm = SweepRunner::new().sweep_cached::<Maintenance>(specs, disk2.cache());
+    assert_eq!(disk2.cache().hits(), 6, "every faulted point served warm");
+    assert_eq!(disk2.cache().misses(), 0, "zero simulator executions");
+    for (a, b) in warm.iter().zip(&cold) {
+        assert!(a.bit_identical(b), "enum-path round trip must be lossless");
     }
     let _ = std::fs::remove_file(&path);
 }

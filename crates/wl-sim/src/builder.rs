@@ -204,7 +204,7 @@ where
     /// clock/start vectors disagree with the fleet on `n`.
     #[must_use]
     pub fn build(self) -> Simulation<M, HeapQueue<M>, StdObservers, F> {
-        self.build_with_queue(HeapQueue::new())
+        self.build_with_queue(HeapQueue::<M>::new())
     }
 
     /// Builds with a custom event queue and the standard observers.

@@ -90,13 +90,13 @@ pub mod queue;
 pub mod trace;
 
 pub use builder::SimBuilder;
-pub use event::{EventClass, Input, QueuedEvent};
+pub use event::{ArenaStore, EventClass, EventStore, InlineStore, Input, QueuedEvent};
 pub use executor::{DynFleet, Fleet, SimConfig, SimOutcome, Simulation};
 pub use history::CorrectionHistory;
 pub use observer::{
     CorrectionSink, Counters, NullObserver, Observer, SimStats, SkewProbe, StdObservers, TraceSink,
 };
-pub use queue::{CalendarQueue, EventQueue, HeapQueue};
+pub use queue::{ArenaCalendarQueue, ArenaHeapQueue, CalendarQueue, EventQueue, HeapQueue};
 
 use std::fmt;
 use wl_time::ClockTime;

@@ -17,9 +17,23 @@
 //!   `[δ−ε, δ+ε]` (A3) and timers one round apart, pending events cluster
 //!   in a narrow moving window, so hashing them into time buckets gives
 //!   `O(1)` expected push/pop.
+//!
+//! Both queues are additionally generic over *payload storage*
+//! ([`EventStore`]): internally they order slim `(t', class, seq, to,
+//! slot)` entries, and the message payload either rides inside the entry
+//! ([`InlineStore`], the default — the historical layout) or is parked in
+//! a per-run slab and referenced by a 4-byte handle ([`ArenaStore`]; see
+//! [`ArenaHeapQueue`] / [`ArenaCalendarQueue`]), so heap sift-ups and
+//! calendar rebucketings stop moving payloads through the structure. Pop
+//! order is a function of the slim key alone, so the storage choice
+//! cannot change it — pinned by the parity tests below and in
+//! `wl-harness`.
 
 use crate::delay::DelayBounds;
-use crate::event::QueuedEvent;
+use crate::event::{ArenaStore, EventClass, EventStore, InlineStore, QueuedEvent};
+use crate::ProcessId;
+use std::cmp::Ordering;
+use wl_time::RealTime;
 
 /// A pending-event store for the executor.
 ///
@@ -47,30 +61,118 @@ pub trait EventQueue<M>: Send {
     }
 }
 
-/// The classic binary-heap queue (`BinaryHeap<Reverse<QueuedEvent>>`) —
-/// exactly the structure the executor used before queues were pluggable,
-/// preserving its pop order bit-for-bit.
-pub struct HeapQueue<M> {
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<QueuedEvent<M>>>,
+/// The slim ordered entry the queues actually sift: the total-order key
+/// `(at, class, seq)` plus routing and the payload handle. With
+/// [`InlineStore`] the "handle" is the payload itself and this is
+/// layout-equivalent to the historical `QueuedEvent`; with
+/// [`ArenaStore`] it is 4 bytes.
+struct Entry<S> {
+    at: RealTime,
+    class: EventClass,
+    seq: u64,
+    to: ProcessId,
+    slot: S,
 }
 
-impl<M> Default for HeapQueue<M> {
-    fn default() -> Self {
-        Self::new()
+impl<S> Entry<S> {
+    fn cmp_key(&self) -> (RealTime, EventClass, u64) {
+        (self.at, self.class, self.seq)
     }
 }
 
-impl<M> HeapQueue<M> {
-    /// An empty heap queue.
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+
+impl<S> Eq for Entry<S> {}
+
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (t1, c1, s1) = self.cmp_key();
+        let (t2, c2, s2) = other.cmp_key();
+        t1.total_cmp(&t2)
+            .then_with(|| c1.cmp(&c2))
+            .then_with(|| s1.cmp(&s2))
+    }
+}
+
+fn park<M, S: EventStore<M>>(store: &mut S, ev: QueuedEvent<M>) -> Entry<S::Slot> {
+    let QueuedEvent {
+        at,
+        class,
+        seq,
+        to,
+        input,
+    } = ev;
+    Entry {
+        at,
+        class,
+        seq,
+        to,
+        slot: store.put(input),
+    }
+}
+
+fn redeem<M, S: EventStore<M>>(store: &mut S, entry: Entry<S::Slot>) -> QueuedEvent<M> {
+    QueuedEvent {
+        at: entry.at,
+        class: entry.class,
+        seq: entry.seq,
+        to: entry.to,
+        input: store.take(entry.slot),
+    }
+}
+
+/// The classic binary-heap queue (`BinaryHeap<Reverse<…>>`) — exactly the
+/// structure the executor used before queues were pluggable, preserving
+/// its pop order bit-for-bit. Generic over payload storage `S`; the
+/// [`InlineStore`] default reproduces the historical layout.
+pub struct HeapQueue<M, S: EventStore<M> = InlineStore<M>> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<Entry<S::Slot>>>,
+    store: S,
+    _msg: std::marker::PhantomData<fn(M)>,
+}
+
+/// [`HeapQueue`] with arena payload storage: sift-ups move a slim
+/// fixed-size entry while `Input` payloads stay parked in the slab.
+pub type ArenaHeapQueue<M> = HeapQueue<M, ArenaStore<M>>;
+
+impl<M, S: EventStore<M>> Default for HeapQueue<M, S> {
+    fn default() -> Self {
+        Self::with_store(S::default())
+    }
+}
+
+impl<M, S: EventStore<M>> HeapQueue<M, S> {
+    /// An empty heap queue over the given payload store.
     #[must_use]
-    pub fn new() -> Self {
+    pub fn with_store(store: S) -> Self {
         Self {
             heap: std::collections::BinaryHeap::new(),
+            store,
+            _msg: std::marker::PhantomData,
         }
     }
 }
 
-impl<M> std::fmt::Debug for HeapQueue<M> {
+impl<M> HeapQueue<M> {
+    /// An empty heap queue (inline payload storage — the historical
+    /// layout).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_store(InlineStore::default())
+    }
+}
+
+impl<M, S: EventStore<M>> std::fmt::Debug for HeapQueue<M, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HeapQueue")
             .field("len", &self.heap.len())
@@ -78,13 +180,20 @@ impl<M> std::fmt::Debug for HeapQueue<M> {
     }
 }
 
-impl<M: Send> EventQueue<M> for HeapQueue<M> {
+impl<M, S> EventQueue<M> for HeapQueue<M, S>
+where
+    M: Send,
+    S: EventStore<M> + Send,
+    S::Slot: Send,
+{
     fn push(&mut self, ev: QueuedEvent<M>) {
-        self.heap.push(std::cmp::Reverse(ev));
+        let entry = park(&mut self.store, ev);
+        self.heap.push(std::cmp::Reverse(entry));
     }
 
     fn pop_next(&mut self) -> Option<QueuedEvent<M>> {
-        self.heap.pop().map(|r| r.0)
+        let entry = self.heap.pop()?.0;
+        Some(redeem(&mut self.store, entry))
     }
 
     fn len(&self) -> usize {
@@ -113,16 +222,24 @@ impl<M: Send> EventQueue<M> for HeapQueue<M> {
 /// bucket *width* halves when one slot collects a dense cluster of
 /// distinct timestamps. Both rules (and the cursor walk) depend only on
 /// the push sequence, so determinism is preserved.
-pub struct CalendarQueue<M> {
-    /// Each bucket a min-heap over the event order.
-    buckets: Vec<std::collections::BinaryHeap<std::cmp::Reverse<QueuedEvent<M>>>>,
+///
+/// Generic over payload storage `S` like [`HeapQueue`]; with
+/// [`ArenaStore`] the periodic `rebucket` rehash moves slim entries only.
+pub struct CalendarQueue<M, S: EventStore<M> = InlineStore<M>> {
+    /// Each bucket a min-heap over the slim entry order.
+    buckets: Vec<std::collections::BinaryHeap<std::cmp::Reverse<Entry<S::Slot>>>>,
     /// Bucket width in seconds.
     width: f64,
     /// Total pending events.
     len: usize,
     /// The absolute slot number (`⌊t/width⌋`) the cursor is draining.
     cur_slot: i64,
+    /// Payload storage.
+    store: S,
 }
+
+/// [`CalendarQueue`] with arena payload storage.
+pub type ArenaCalendarQueue<M> = CalendarQueue<M, ArenaStore<M>>;
 
 /// Occupancy of one slot above which the bucket width halves (if the
 /// cluster spans distinct timestamps — identical instants cannot be
@@ -131,7 +248,7 @@ const DENSE_BUCKET: usize = 32;
 /// Smallest adaptive bucket width, seconds.
 const MIN_WIDTH: f64 = 1e-9;
 
-impl<M> std::fmt::Debug for CalendarQueue<M> {
+impl<M, S: EventStore<M>> std::fmt::Debug for CalendarQueue<M, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CalendarQueue")
             .field("len", &self.len)
@@ -141,15 +258,59 @@ impl<M> std::fmt::Debug for CalendarQueue<M> {
     }
 }
 
+/// The [`CalendarQueue::for_bounds`] bucket-width heuristic, shared by
+/// every storage instantiation.
+fn bounds_width(bounds: &DelayBounds) -> f64 {
+    let eps = bounds.eps.as_secs();
+    if eps > 0.0 {
+        (eps / 4.0).max(MIN_WIDTH)
+    } else {
+        (bounds.delta.as_secs() / 8.0).max(1e-6)
+    }
+}
+
 impl<M> CalendarQueue<M> {
     /// A calendar with the given bucket width (seconds) and initial bucket
-    /// count.
+    /// count (inline payload storage — the historical layout).
     ///
     /// # Panics
     ///
     /// Panics unless `width > 0` and `nbuckets > 0`.
     #[must_use]
     pub fn new(width_secs: f64, nbuckets: usize) -> Self {
+        Self::with_store(width_secs, nbuckets, InlineStore::default())
+    }
+
+    /// A calendar tuned to a bounded-delay band (A3). The deliveries of
+    /// one broadcast wave spread over the `2ε` uncertainty window (every
+    /// delay lies in `[δ−ε, δ+ε]`), so the bucket width starts at a
+    /// quarter of `ε` — splitting a wave across ~8 slots — and the
+    /// adaptive rules refine it from there. With `ε = 0` all deliveries
+    /// of a wave share one instant and no width separates them; fall
+    /// back to a fraction of `δ`.
+    #[must_use]
+    pub fn for_bounds(bounds: &DelayBounds) -> Self {
+        Self::new(bounds_width(bounds), 512)
+    }
+}
+
+impl<M, S: EventStore<M>> CalendarQueue<M, S> {
+    /// A calendar tuned to a bounded-delay band over the given payload
+    /// store — the [`CalendarQueue::for_bounds`] heuristic with the
+    /// storage choice exposed (e.g.
+    /// `CalendarQueue::for_bounds_with_store(&b, ArenaStore::default())`).
+    #[must_use]
+    pub fn for_bounds_with_store(bounds: &DelayBounds, store: S) -> Self {
+        Self::with_store(bounds_width(bounds), 512, store)
+    }
+
+    /// A calendar with the given geometry over the given payload store.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width > 0` and `nbuckets > 0`.
+    #[must_use]
+    pub fn with_store(width_secs: f64, nbuckets: usize, store: S) -> Self {
         assert!(
             width_secs > 0.0 && width_secs.is_finite(),
             "bucket width must be positive and finite"
@@ -162,25 +323,8 @@ impl<M> CalendarQueue<M> {
             width: width_secs,
             len: 0,
             cur_slot: 0,
+            store,
         }
-    }
-
-    /// A calendar tuned to a bounded-delay band (A3). The deliveries of
-    /// one broadcast wave spread over the `2ε` uncertainty window (every
-    /// delay lies in `[δ−ε, δ+ε]`), so the bucket width starts at a
-    /// quarter of `ε` — splitting a wave across ~8 slots — and the
-    /// adaptive rules refine it from there. With `ε = 0` all deliveries
-    /// of a wave share one instant and no width separates them; fall
-    /// back to a fraction of `δ`.
-    #[must_use]
-    pub fn for_bounds(bounds: &DelayBounds) -> Self {
-        let eps = bounds.eps.as_secs();
-        let width = if eps > 0.0 {
-            (eps / 4.0).max(MIN_WIDTH)
-        } else {
-            (bounds.delta.as_secs() / 8.0).max(1e-6)
-        };
-        Self::new(width, 512)
     }
 
     fn slot_of(&self, at: wl_time::RealTime) -> i64 {
@@ -201,20 +345,21 @@ impl<M> CalendarQueue<M> {
     }
 
     /// Inserts without triggering resizes; returns the bucket index used.
-    fn insert(&mut self, ev: QueuedEvent<M>) -> usize {
-        let slot = self.slot_of(ev.at);
+    fn insert(&mut self, entry: Entry<S::Slot>) -> usize {
+        let slot = self.slot_of(entry.at);
         if self.len == 0 || slot < self.cur_slot {
             self.cur_slot = slot;
         }
         let b = self.bucket_of(slot);
-        self.buckets[b].push(std::cmp::Reverse(ev));
+        self.buckets[b].push(std::cmp::Reverse(entry));
         self.len += 1;
         b
     }
 
     /// Rehashes everything into `nbuckets` buckets of width `width`.
+    /// Only slim entries move; parked payloads are untouched.
     fn rebucket(&mut self, width: f64, nbuckets: usize) {
-        let mut all: Vec<QueuedEvent<M>> = Vec::with_capacity(self.len);
+        let mut all: Vec<Entry<S::Slot>> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
             all.extend(std::mem::take(b).into_iter().map(|r| r.0));
         }
@@ -224,8 +369,8 @@ impl<M> CalendarQueue<M> {
             .collect();
         self.len = 0;
         let cur = self.cur_slot;
-        for ev in all {
-            self.insert(ev);
+        for entry in all {
+            self.insert(entry);
         }
         if self.len == 0 {
             // Nothing to re-place; keep the cursor where it was.
@@ -234,10 +379,16 @@ impl<M> CalendarQueue<M> {
     }
 }
 
-impl<M: Send> EventQueue<M> for CalendarQueue<M> {
+impl<M, S> EventQueue<M> for CalendarQueue<M, S>
+where
+    M: Send,
+    S: EventStore<M> + Send,
+    S::Slot: Send,
+{
     fn push(&mut self, ev: QueuedEvent<M>) {
         let at = ev.at;
-        let b = self.insert(ev);
+        let entry = park(&mut self.store, ev);
+        let b = self.insert(entry);
         if self.len > self.buckets.len() * 4 {
             self.rebucket(self.width, self.buckets.len() * 2);
         } else if self.width > MIN_WIDTH && self.buckets[b].len() > DENSE_BUCKET {
@@ -264,7 +415,8 @@ impl<M: Send> EventQueue<M> for CalendarQueue<M> {
             if let Some(top) = self.buckets[b].peek() {
                 if self.slot_of(top.0.at) <= self.cur_slot {
                     self.len -= 1;
-                    return self.buckets[b].pop().map(|r| r.0);
+                    let entry = self.buckets[b].pop().expect("peeked").0;
+                    return Some(redeem(&mut self.store, entry));
                 }
             }
             self.cur_slot += 1;
@@ -280,7 +432,8 @@ impl<M: Send> EventQueue<M> for CalendarQueue<M> {
         let at = self.buckets[bi].peek().expect("bucket nonempty").0.at;
         self.cur_slot = self.slot_of(at);
         self.len -= 1;
-        self.buckets[bi].pop().map(|r| r.0)
+        let entry = self.buckets[bi].pop().expect("bucket nonempty").0;
+        Some(redeem(&mut self.store, entry))
     }
 
     fn len(&self) -> usize {
@@ -303,7 +456,7 @@ impl<M, Q: EventQueue<M> + ?Sized> EventQueue<M> for Box<Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{EventClass, Input};
+    use crate::event::Input;
     use crate::ProcessId;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -315,20 +468,27 @@ mod tests {
             class,
             seq,
             to: ProcessId(0),
-            input: Input::Timer,
+            // A distinct payload per event, so parity checks also verify
+            // that every store returns exactly the payload that was pushed.
+            input: Input::Message {
+                from: ProcessId(0),
+                msg: seq as u32,
+            },
         }
     }
 
     /// Drains both queues under an identical randomized push/pop schedule
-    /// and asserts identical pop sequences.
-    fn parity_run(seed: u64, width: f64, nbuckets: usize) {
-        let mut heap: HeapQueue<u32> = HeapQueue::new();
-        let mut cal: CalendarQueue<u32> = CalendarQueue::new(width, nbuckets);
+    /// and asserts identical pop sequences (keys *and* payloads).
+    fn parity_run(
+        mut reference: impl EventQueue<u32>,
+        mut subject: impl EventQueue<u32>,
+        seed: u64,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut seq = 0u64;
         let mut now = 0.0f64;
         for _ in 0..2000 {
-            if rng.gen_range(0..3) < 2 || heap.len() == 0 {
+            if rng.gen_range(0..3) < 2 || reference.len() == 0 {
                 // Push an event at or after `now` (DES causality), with
                 // occasional exact-tie timestamps and far-future jumps.
                 let dt = match rng.gen_range(0u32..10) {
@@ -343,26 +503,36 @@ mod tests {
                 };
                 let e = ev(now + dt, class, seq);
                 seq += 1;
-                heap.push(e.clone());
-                cal.push(e);
+                reference.push(e.clone());
+                subject.push(e);
             } else {
-                let a = heap.pop_next().expect("heap nonempty");
-                let b = cal.pop_next().expect("calendar nonempty");
+                let a = reference.pop_next().expect("reference nonempty");
+                let b = subject.pop_next().expect("subject nonempty");
                 assert_eq!(a.seq, b.seq, "pop order diverged at t={}", a.at);
+                assert_eq!(a.input, b.input, "payload diverged at seq={}", a.seq);
                 now = a.at.as_secs();
             }
         }
-        while let Some(a) = heap.pop_next() {
-            let b = cal.pop_next().expect("calendar drained early");
+        while let Some(a) = reference.pop_next() {
+            let b = subject.pop_next().expect("subject drained early");
             assert_eq!(a.seq, b.seq);
+            assert_eq!(a.input, b.input);
         }
-        assert!(cal.pop_next().is_none());
+        assert!(subject.pop_next().is_none());
+    }
+
+    fn heap_vs_calendar(seed: u64, width: f64, nbuckets: usize) {
+        parity_run(
+            HeapQueue::<u32>::new(),
+            CalendarQueue::<u32>::new(width, nbuckets),
+            seed,
+        );
     }
 
     #[test]
     fn calendar_matches_heap_order_randomized() {
         for seed in [1u64, 7, 99] {
-            parity_run(seed, 0.005, 64);
+            heap_vs_calendar(seed, 0.005, 64);
         }
     }
 
@@ -370,13 +540,42 @@ mod tests {
     fn calendar_matches_heap_with_tiny_calendar() {
         // Few buckets => heavy aliasing and frequent grow(); order must
         // still match.
-        parity_run(3, 0.001, 2);
+        heap_vs_calendar(3, 0.001, 2);
     }
 
     #[test]
     fn calendar_matches_heap_with_huge_buckets() {
         // Width so large everything lands in one slot.
-        parity_run(4, 1e6, 8);
+        heap_vs_calendar(4, 1e6, 8);
+    }
+
+    #[test]
+    fn arena_heap_matches_inline_heap() {
+        for seed in [1u64, 7, 99] {
+            parity_run(
+                HeapQueue::<u32>::new(),
+                ArenaHeapQueue::<u32>::default(),
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn arena_calendar_matches_inline_heap() {
+        // Rebucketing (grow + width halving) must keep every handle
+        // attached to its entry.
+        for seed in [1u64, 7] {
+            parity_run(
+                HeapQueue::<u32>::new(),
+                CalendarQueue::with_store(0.005, 64, ArenaStore::<u32>::default()),
+                seed,
+            );
+        }
+        parity_run(
+            HeapQueue::<u32>::new(),
+            CalendarQueue::with_store(0.001, 2, ArenaStore::<u32>::default()),
+            3,
+        );
     }
 
     #[test]

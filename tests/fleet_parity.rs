@@ -1,0 +1,147 @@
+//! Enum-fleet ↔ boxed-fleet parity: the `Vec<A::FleetAuto>` fast path
+//! (`assemble_enum`) must produce **byte-identical** outcomes to the
+//! historical `Vec<Box<dyn Automaton>>` path (`assemble`), across all
+//! six algorithms, arbitrary fault lists, and — the property-test twist
+//! — *arbitrary legal tie-breaking*: both fleets run under the same
+//! seeded [`ShuffledTieQueue`], so the identity cannot be an artifact of
+//! the default FIFO tie-break.
+//!
+//! Byte-identity is checked with [`SweepOutcome::bit_identical`] (IEEE
+//! bit patterns, not epsilons) — the same currency the sweep cache and
+//! shard merge use.
+
+mod common;
+
+use common::ShuffledTieQueue;
+use proptest::prelude::*;
+use welch_lynch::core::{Params, StartupParams};
+use welch_lynch::harness::{
+    assemble_enum_with_queue, assemble_with_queue, run, DelayKind, FaultKind, LmCnv,
+    MahaneySchneider, Maintenance, Rejoiner, ScenarioSpec, SrikanthToueg, Startup, SweepOutcome,
+    SyncAlgorithm,
+};
+use welch_lynch::sim::ProcessId;
+use welch_lynch::time::RealTime;
+
+/// Runs `spec` on both fleet representations under the same shuffled-tie
+/// queue and asserts bit-identical outcomes.
+fn assert_parity<A: SyncAlgorithm>(spec: &ScenarioSpec, salt: u64) {
+    let t_end = spec.t_end.as_secs();
+    let boxed = assemble_with_queue::<A, _>(spec, ShuffledTieQueue::new(salt));
+    let boxed_out = SweepOutcome::new(0, spec.seed, &run::run_summary(boxed, t_end));
+    let enum_built = assemble_enum_with_queue::<A, _>(spec, ShuffledTieQueue::new(salt))
+        .expect("spec qualifies for the enum fast path");
+    let enum_out = SweepOutcome::new(0, spec.seed, &run::run_summary_enum(enum_built, t_end));
+    assert!(
+        enum_out.bit_identical(&boxed_out),
+        "enum fleet diverged from boxed fleet under {} (salt {salt})",
+        A::NAME,
+    );
+}
+
+fn wl_fault(idx: usize) -> FaultKind {
+    [
+        FaultKind::Silent,
+        FaultKind::CrashAt(3.0),
+        FaultKind::RoundSpam,
+        FaultKind::PullApart(0.002),
+        FaultKind::TwoFaced(0.002),
+        FaultKind::PullApartHigh(0.002),
+    ][idx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Maintenance: the full fault gallery, one or two designated-faulty
+    /// processes, arbitrary tie-breaking.
+    #[test]
+    fn prop_maintenance_parity(
+        seed in 0u64..10_000,
+        salt in 1u64..u64::MAX,
+        fault_idx in 0usize..6,
+        second_fault in proptest::option::of(0usize..2),
+    ) {
+        let (n, f) = if second_fault.is_some() { (7, 2) } else { (4, 1) };
+        let params = Params::auto(n, f, 1e-6, 0.010, 0.001).expect("feasible");
+        let mut spec = ScenarioSpec::new(params)
+            .seed(seed)
+            .delay(DelayKind::Uniform)
+            .fault(ProcessId(0), wl_fault(fault_idx))
+            .t_end(RealTime::from_secs(8.0));
+        if let Some(idx) = second_fault {
+            spec = spec.fault(ProcessId(5), wl_fault(idx)); // Silent or CrashAt
+        }
+        assert_parity::<Maintenance>(&spec, salt);
+    }
+
+    /// Rejoiner: the repaired process' deferred START plus an optional
+    /// additional fault ride the enum path identically.
+    #[test]
+    fn prop_rejoiner_parity(
+        seed in 0u64..10_000,
+        salt in 1u64..u64::MAX,
+        with_fault in proptest::bool::ANY,
+    ) {
+        let (n, f) = if with_fault { (7, 2) } else { (4, 1) };
+        let params = Params::auto(n, f, 1e-6, 0.010, 0.001).expect("feasible");
+        let mut spec = ScenarioSpec::new(params)
+            .seed(seed)
+            .delay(DelayKind::Uniform)
+            .rejoiner(ProcessId(1), RealTime::from_secs(4.0))
+            .t_end(RealTime::from_secs(10.0));
+        if with_fault {
+            spec = spec.fault(ProcessId(0), FaultKind::Silent);
+        }
+        assert_parity::<Rejoiner>(&spec, salt);
+    }
+
+    /// Startup: cold-start discipline (nonzero initial corrections) with
+    /// its one supported fault kind.
+    #[test]
+    fn prop_startup_parity(
+        seed in 0u64..10_000,
+        salt in 1u64..u64::MAX,
+        silent in proptest::bool::ANY,
+    ) {
+        let sp = StartupParams::new(4, 1, 1e-6, 0.010, 0.001).expect("feasible");
+        let mut spec = ScenarioSpec::startup(&sp, 5.0)
+            .seed(seed)
+            .delay(DelayKind::Uniform)
+            .t_end(RealTime::from_secs(6.0));
+        if silent {
+            spec = spec.fault(ProcessId(2), FaultKind::Silent);
+        }
+        assert_parity::<Startup>(&spec, salt);
+    }
+
+    /// The §10 baselines: Silent and value/timing-lying two-faced
+    /// attackers, each message family's enum against its boxed fleet.
+    #[test]
+    fn prop_baseline_parity(
+        seed in 0u64..10_000,
+        salt in 1u64..u64::MAX,
+        algo_idx in 0usize..3,
+        two_faced in proptest::bool::ANY,
+    ) {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).expect("feasible");
+        let kind = if two_faced {
+            FaultKind::TwoFaced(0.002)
+        } else {
+            FaultKind::Silent
+        };
+        let spec = ScenarioSpec::new(params)
+            .seed(seed)
+            .delay(DelayKind::Uniform)
+            .fault(ProcessId(0), kind)
+            .t_end(RealTime::from_secs(8.0));
+        match algo_idx {
+            0 => assert_parity::<LmCnv>(&spec, salt),
+            1 => assert_parity::<MahaneySchneider>(&spec, salt),
+            _ => assert_parity::<SrikanthToueg>(&spec, salt),
+        }
+    }
+}

@@ -11,76 +11,17 @@
 //! survive it. [`ShuffledTieQueue`] below does exactly that, with a
 //! seeded permutation so failures replay.
 
+mod common;
+
+use common::ShuffledTieQueue;
 use proptest::prelude::*;
 use welch_lynch::core::Params;
-use welch_lynch::harness::{assemble_with_queue, run, DelayKind, Maintenance, ScenarioSpec};
-use welch_lynch::sim::{EventQueue, QueuedEvent};
+use welch_lynch::harness::{
+    assemble_enum_with_queue, assemble_with_queue, run, DelayKind, FaultKind, Maintenance,
+    ScenarioSpec,
+};
+use welch_lynch::sim::ProcessId;
 use welch_lynch::time::RealTime;
-
-/// Orders by `(at, class, mix(seq))` instead of `(at, class, seq)`:
-/// time-legal and §2.3-property-4-legal, but same-instant same-class
-/// ties resolve in a seeded pseudo-random order.
-struct ShuffledTieQueue<M> {
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<Keyed<M>>>,
-    salt: u64,
-}
-
-struct Keyed<M> {
-    tie: u64,
-    ev: QueuedEvent<M>,
-}
-
-impl<M> PartialEq for Keyed<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl<M> Eq for Keyed<M> {}
-impl<M> PartialOrd for Keyed<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Keyed<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.ev
-            .at
-            .total_cmp(&other.ev.at)
-            .then_with(|| self.ev.class.cmp(&other.ev.class))
-            .then_with(|| self.tie.cmp(&other.tie))
-            .then_with(|| self.ev.seq.cmp(&other.ev.seq))
-    }
-}
-
-fn mix(seq: u64, salt: u64) -> u64 {
-    // SplitMix64 finalizer: a seeded permutation of the tie-break space.
-    let mut z = seq ^ salt;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-impl<M> ShuffledTieQueue<M> {
-    fn new(salt: u64) -> Self {
-        Self {
-            heap: std::collections::BinaryHeap::new(),
-            salt,
-        }
-    }
-}
-
-impl<M: Send> EventQueue<M> for ShuffledTieQueue<M> {
-    fn push(&mut self, ev: QueuedEvent<M>) {
-        let tie = mix(ev.seq, self.salt);
-        self.heap.push(std::cmp::Reverse(Keyed { tie, ev }));
-    }
-    fn pop_next(&mut self) -> Option<QueuedEvent<M>> {
-        self.heap.pop().map(|r| r.0.ev)
-    }
-    fn len(&self) -> usize {
-        self.heap.len()
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig {
@@ -145,5 +86,41 @@ proptest! {
         // so the two runs see identical message timings; only tie order
         // differs, and the aggregate counters must agree.
         prop_assert_eq!(a.stats, b.stats);
+    }
+
+    /// The theorems also survive arbitrary legal tie-breaking when the
+    /// fleet runs on the enum-dispatched fast path with a designated
+    /// Byzantine attacker in it: the `f`-resilient bounds hold for the
+    /// nonfaulty processes no matter how ties resolve.
+    #[test]
+    fn prop_agreement_enum_fleet_under_any_legal_interleaving(
+        seed in 0u64..10_000,
+        salt in 1u64..u64::MAX,
+        n_idx in 0usize..3,
+    ) {
+        let (n, f) = [(4, 1), (5, 1), (7, 2)][n_idx];
+        let params = Params::auto(n, f, 1e-6, 0.010, 0.001).expect("feasible");
+        let attack = params.beta / 2.0;
+        let t_end = 15.0;
+        let spec = ScenarioSpec::new(params)
+            .seed(seed)
+            .delay(DelayKind::Uniform)
+            .fault(ProcessId(0), FaultKind::TwoFaced(attack))
+            .t_end(RealTime::from_secs(t_end));
+        let built = assemble_enum_with_queue::<Maintenance, _>(&spec, ShuffledTieQueue::new(salt))
+            .expect("faulted spec rides the enum path");
+        let summary = run::run_summary_enum(built, t_end);
+        prop_assert!(
+            summary.agreement.holds,
+            "Theorem 16 violated by enum fleet under shuffled ties: max skew {} > gamma {}",
+            summary.agreement.max_skew,
+            summary.agreement.gamma,
+        );
+        prop_assert!(
+            summary.adjustments.holds,
+            "adjustment bound violated by enum fleet under shuffled ties: {} > {}",
+            summary.adjustments.max_abs,
+            summary.adjustments.bound,
+        );
     }
 }
