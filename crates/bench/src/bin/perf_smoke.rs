@@ -17,7 +17,12 @@
 //!   exit 0 (for throttled containers where the floor is meaningless);
 //! * `--inject-slowdown` — deliberately run the workload 4× per timed
 //!   sample while counting it once, to verify locally that the gate
-//!   actually trips on a >2× regression.
+//!   actually trips on a >2× regression;
+//! * `--write-baseline` — measure, then rewrite the value line of
+//!   `ci/perf-baseline.txt` in place with the measured rate (comment
+//!   lines survive untouched) and exit 0 without gating. This is how
+//!   the baseline is recalibrated after a deliberate perf change — run
+//!   it on a quiet machine and commit the diff.
 
 use std::path::PathBuf;
 use wl_core::Params;
@@ -72,8 +77,37 @@ fn read_baseline() -> f64 {
         .unwrap_or_else(|| panic!("{}: no baseline Mev/s value found", path.display()))
 }
 
+/// Rewrites only the value line of the baseline file, preserving every
+/// `#` comment line, so recalibration diffs are one line.
+fn write_baseline(rate: f64) {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut replaced = false;
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let t = line.trim();
+        if !replaced && !t.is_empty() && !t.starts_with('#') {
+            out.push_str(&format!("{rate:.2}\n"));
+            replaced = true;
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !replaced {
+        out.push_str(&format!("{rate:.2}\n"));
+    }
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!(
+        "perf smoke: baseline {rate:.2} Mev/s written to {}",
+        path.display()
+    );
+}
+
 fn main() {
     let inject = std::env::args().any(|a| a == "--inject-slowdown");
+    let write = std::env::args().any(|a| a == "--write-baseline");
     // An empty value reads as unset so CI steps can cancel a job-level
     // override with `WL_PERF_BASELINE: ""`.
     let env = std::env::var("WL_PERF_BASELINE")
@@ -81,6 +115,7 @@ fn main() {
         .filter(|v| !v.is_empty());
     let soft = env.as_deref() == Some("warn");
     let baseline: f64 = match env.as_deref() {
+        _ if write => 0.0, // unused: --write-baseline measures, never gates
         Some("warn") | None => read_baseline(),
         Some(v) => v
             .parse()
@@ -104,6 +139,10 @@ fn main() {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     let rate = events as f64 / best / 1e6;
+    if write {
+        write_baseline(rate);
+        return;
+    }
     let floor = baseline / 2.0;
 
     println!(

@@ -175,6 +175,16 @@ fn driver_main(args: &[String]) {
         report.merged_records,
         out.display()
     );
+    // The one-line summary scripts grep: where the merge landed, how
+    // big it is, and how many dead shard records a --compact would
+    // reclaim.
+    let merged_bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "merge summary: {} | {} record(s) | {merged_bytes} bytes | {} superseded shard record(s)",
+        out.display(),
+        report.merged_records,
+        report.superseded_records
+    );
 
     // Post-drive GC: rewrite every shard store (whose binary checkpoints
     // are appended segments, possibly with superseded versions) in

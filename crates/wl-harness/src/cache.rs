@@ -661,7 +661,9 @@ fn parse_series(c: &mut Cursor<'_>) -> Option<SweepSeries> {
 /// Parses the canonical encoding of a [`SweepOutcome`] — the exact
 /// mirror of what `canon_string(&outcome)` emits (pinned by the
 /// `outcome_roundtrip` test). Returns `None` on any mismatch.
-fn parse_outcome(s: &str) -> Option<SweepOutcome> {
+/// `pub(crate)` so the service tier can validate wire records through
+/// the same grammar the store loaders use.
+pub(crate) fn parse_outcome(s: &str) -> Option<SweepOutcome> {
     let mut c = Cursor { s };
     c.eat("SweepOutcome{index:")?;
     let index = c.u64_dec()?;
@@ -1108,6 +1110,85 @@ impl SweepStore {
             }
         }
         changed
+    }
+
+    /// The canonical [`EncodedRecord`] for one live key, if present —
+    /// the byte payload [`crate::service`] puts on the wire, so served
+    /// records are *exactly* what a store save would write.
+    pub(crate) fn record_encoded(&self, content_hash: u64, algo: &str) -> Option<EncodedRecord> {
+        let key = (content_hash, algo.to_string());
+        self.records
+            .get(&key)
+            .map(|record| encoded_record(&key, record))
+    }
+
+    /// Inserts one wire/store record, equality-confirmed like
+    /// [`merge_from`](SweepStore::merge_from), with the same
+    /// scalar/series upgrade lattice the in-memory cache applies: a
+    /// series-bearing record replaces a scalar one for the same key iff
+    /// their scalar halves are byte-identical, and a scalar arrival
+    /// against a held series record is an agreeing no-op under the same
+    /// condition. Grid indices are normalized to zero on the way in
+    /// (the [`absorb`](SweepStore::absorb) rule). Returns whether the
+    /// store changed; changed records are marked unsaved, so the next
+    /// [`checkpoint`](SweepStore::checkpoint) persists them.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeConflict`] if the record is corrupt (unparseable outcome,
+    /// tag/payload disagreement) or contradicts a held record.
+    pub(crate) fn insert_encoded(
+        &mut self,
+        encoded: &EncodedRecord,
+    ) -> Result<bool, MergeConflict> {
+        let conflict = |kind| MergeConflict {
+            content_hash: encoded.content_hash,
+            algo: encoded.algo.clone(),
+            kind,
+        };
+        let Some((key, mut record)) = live_record(encoded) else {
+            return Err(conflict(MergeConflictKind::OutcomeMismatch));
+        };
+        if record.outcome.index != 0 {
+            record.outcome.index = 0;
+            record.outcome_canon = canon_string(&record.outcome);
+        }
+        let Some(ours) = self.records.get(&key) else {
+            self.records.insert(key.clone(), record);
+            self.unsaved.insert(key);
+            return Ok(true);
+        };
+        if ours.spec_canon != record.spec_canon {
+            return Err(conflict(MergeConflictKind::SpecMismatch));
+        }
+        if ours.outcome_canon == record.outcome_canon {
+            return Ok(false);
+        }
+        // The halves must agree scalar-for-scalar for either direction
+        // of the scalar/series lattice to apply.
+        let scalar_canon = |outcome: &SweepOutcome| {
+            let mut scalar = outcome.clone();
+            scalar.series = None;
+            canon_string(&scalar)
+        };
+        if scalar_canon(&ours.outcome) != scalar_canon(&record.outcome) {
+            return Err(conflict(MergeConflictKind::OutcomeMismatch));
+        }
+        match (
+            ours.outcome.series.is_some(),
+            record.outcome.series.is_some(),
+        ) {
+            // Scalar arriving against a held series record: agreed.
+            (true, false) => Ok(false),
+            // Series upgrading a scalar record.
+            (false, true) => {
+                self.records.insert(key.clone(), record);
+                self.unsaved.insert(key);
+                Ok(true)
+            }
+            // Same kind but different bytes: a genuine contradiction.
+            _ => Err(conflict(MergeConflictKind::OutcomeMismatch)),
+        }
     }
 
     /// Merges another store's records into this one, equality-confirmed:
@@ -1718,8 +1799,12 @@ impl DiskSweepCache {
             (true, Some(p)) => format!("{} store {}", self.store.format(), p.display()),
             _ => "persistence off".to_string(),
         };
+        let service = match crate::service::service_from_env() {
+            Some(addr) => format!(", service tier {addr}"),
+            None => String::new(),
+        };
         format!(
-            "sweep cache: {} hits, {} misses, {} records loaded ({target})",
+            "sweep cache: {} hits, {} misses, {} records loaded ({target}{service})",
             self.cache.hits(),
             self.cache.misses(),
             self.store.len(),
@@ -1781,6 +1866,84 @@ mod tests {
             corr_times: vec![1.0, 1.5],
             corr_values: vec![-0.125, 2.5e-3],
         }
+    }
+
+    #[test]
+    fn insert_encoded_upgrade_lattice() {
+        let mut store = SweepStore::new();
+        let make = |outcome: &SweepOutcome| {
+            let mut normalized = outcome.clone();
+            normalized.index = 0;
+            EncodedRecord {
+                tag: if normalized.series.is_some() {
+                    segment::TAG_SERIES
+                } else {
+                    segment::TAG_SCALAR
+                },
+                content_hash: 42,
+                engine_version: ENGINE_VERSION,
+                algo: "A".into(),
+                spec_canon: "Spec{n:4}".into(),
+                outcome_canon: canon_string(&normalized),
+            }
+        };
+        let scalar = outcome_fixture();
+        let mut series = outcome_fixture();
+        series.series = Some(series_fixture());
+
+        // Vacant insert normalizes the grid index and round-trips.
+        let rec_scalar = make(&scalar);
+        assert!(store.insert_encoded(&rec_scalar).unwrap());
+        let held = store.record_encoded(42, "A").expect("held");
+        assert_eq!(held, rec_scalar);
+        assert!(store.record_encoded(42, "B").is_none());
+        assert!(store.record_encoded(43, "A").is_none());
+
+        // Same record again: agreed, unchanged.
+        assert!(!store.insert_encoded(&rec_scalar).unwrap());
+        // An index-denormalized copy is the same record after
+        // normalization.
+        let mut denorm = scalar.clone();
+        denorm.index = 7;
+        let rec_denorm = EncodedRecord {
+            outcome_canon: canon_string(&denorm),
+            ..rec_scalar.clone()
+        };
+        assert!(!store.insert_encoded(&rec_denorm).unwrap());
+
+        // Series upgrade over the matching scalar half: accepted.
+        let rec_series = make(&series);
+        assert!(store.insert_encoded(&rec_series).unwrap());
+        assert_eq!(
+            store.record_encoded(42, "A").unwrap().tag,
+            segment::TAG_SERIES
+        );
+        // Scalar re-arrival against the held series record: agreed no-op.
+        assert!(!store.insert_encoded(&rec_scalar).unwrap());
+        assert_eq!(store.record_encoded(42, "A").unwrap(), rec_series);
+
+        // A contradicting scalar half is refused.
+        let mut wrong = outcome_fixture();
+        wrong.seed ^= 1;
+        let conflict = store.insert_encoded(&make(&wrong)).unwrap_err();
+        assert_eq!(conflict.kind, MergeConflictKind::OutcomeMismatch);
+        // A different spec behind the same key is refused.
+        let rec_badspec = EncodedRecord {
+            spec_canon: "Spec{n:5}".into(),
+            ..rec_scalar.clone()
+        };
+        assert_eq!(
+            store.insert_encoded(&rec_badspec).unwrap_err().kind,
+            MergeConflictKind::SpecMismatch
+        );
+        // A corrupt outcome payload is refused, not inserted.
+        let rec_corrupt = EncodedRecord {
+            content_hash: 77,
+            outcome_canon: "not an outcome".into(),
+            ..rec_scalar.clone()
+        };
+        assert!(store.insert_encoded(&rec_corrupt).is_err());
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

@@ -115,6 +115,15 @@ pub fn run_worker<A: SweepAlgorithm>(
         cfg.checkpoint
     };
 
+    // The service tier, when configured: resolve what the shard store
+    // could not serve against the shared service before simulating, and
+    // offer back whatever the service lacked once the shard is done.
+    let service = crate::service::ServiceSweepCache::from_env();
+    if let Some(service) = &service {
+        let owned_specs: Vec<ScenarioSpec> = owned.iter().map(|(_, s)| s.clone()).collect();
+        service.prefetch::<A>(&owned_specs, false, &cache);
+    }
+
     let mut progress = WorkerProgress {
         done: 0,
         total,
@@ -153,6 +162,9 @@ pub fn run_worker<A: SweepAlgorithm>(
         // merge step finds a file.
         store.save()?;
         heartbeat(&progress);
+    }
+    if let Some(service) = &service {
+        service.push_back::<A>(&cache);
     }
     Ok(progress)
 }
@@ -233,6 +245,9 @@ pub struct DriveReport {
     pub skipped_lines: usize,
     /// Stale-engine records ignored while loading shard stores.
     pub stale_records: usize,
+    /// Binary shard-store records found superseded by later appended
+    /// checkpoint segments (dead bytes a `--compact` would reclaim).
+    pub superseded_records: usize,
 }
 
 /// Why a [`drive`] failed.
@@ -389,6 +404,7 @@ pub fn drive(
         let shard_store = SweepStore::open(&slot.store)?;
         report.skipped_lines += shard_store.skipped_lines();
         report.stale_records += shard_store.stale_records();
+        report.superseded_records += shard_store.superseded_records();
         merged.merge_from(&shard_store).map_err(DriveError::Merge)?;
     }
     merged.save_to(&cfg.out)?;

@@ -40,6 +40,13 @@
 //!   [`SweepSeries`] record payload
 //!   ([`SweepRunner::sweep_cached_series`]). See `docs/sweeps.md` for
 //!   the format and the determinism contract.
+//! * [`service`] — the results-service layer: [`serve`] runs a
+//!   long-lived server that owns one hot [`SweepStore`], answers warm
+//!   lookups at memory speed, simulates misses on a resident pool, and
+//!   checkpoints every batch before answering (`kill -9`-safe, like
+//!   workers); [`ServiceSweepCache`] + the `WL_SWEEP_SERVICE` env knob
+//!   make every cached sweep resolve *local store → service →
+//!   simulate* (`sweep_serve` is the CLI). See `docs/service.md`.
 //! * [`driver`] — the multi-process layer: [`run_worker`] executes one
 //!   shard with checkpointed, resumable stores; [`drive`] spawns one
 //!   worker subprocess per shard, monitors heartbeats, restarts crashed
@@ -86,6 +93,7 @@ pub mod cache;
 pub mod driver;
 pub mod fleet;
 pub mod run;
+pub mod service;
 pub mod spec;
 pub mod sweep;
 
@@ -103,6 +111,10 @@ pub use driver::{
     drive, run_worker, DriveError, DriveReport, DriverConfig, WorkerConfig, WorkerProgress,
 };
 pub use fleet::{CnvAlgoFleet, MsAlgoFleet, StAlgoFleet, WlAlgoFleet};
+pub use service::{
+    serve, service_from_env, ServeConfig, ServeReport, ServiceAddr, ServiceClient, ServiceStats,
+    ServiceSweepCache,
+};
 pub use spec::{DelayKind, FaultKind, ScenarioSpec};
 pub use sweep::{
     derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,

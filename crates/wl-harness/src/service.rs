@@ -1,0 +1,2121 @@
+//! The sweep-results **service**: a long-lived server over a
+//! [`SweepStore`], and the client tier that lets any cached sweep resolve
+//! grid points *local store → service → simulate*.
+//!
+//! PR 1–6 made sweep results content-addressed (keyed by
+//! [`ScenarioSpec::content_hash`] + algorithm + [`ENGINE_VERSION`]),
+//! equality-confirmed on every hit, and durable in a byte-pinned store
+//! with O(batch) appending checkpoints. Every process still owned its own
+//! store, though. This module turns the stack outward into **one hot
+//! shared store serving many clients**:
+//!
+//! * [`serve`] — the server core. It owns a [`SweepStore`], answers warm
+//!   lookups at memory speed from the in-RAM record index, batches misses
+//!   onto a resident simulation pool (a [`SweepRunner`] — every point
+//!   goes through the same per-point body as local sweeps, enum-fleet
+//!   fast path included), and flushes every batch of new records with
+//!   [`SweepStore::checkpoint`] **before** answering. A `kill -9` at any
+//!   instant therefore leaves a loadable store — the same crash contract
+//!   the driver pins for workers — and a graceful [shutdown](Request::Shutdown)
+//!   rewrites the store canonically, so it compares byte-identical to a
+//!   1-process local-store run over the same grid.
+//! * [`ServiceClient`] — the blocking wire client (TCP or unix socket).
+//! * [`ServiceSweepCache`] — the cache tier
+//!   [`SweepRunner::sweep_cached`]/[`sweep_cached_series`] and
+//!   [`run_worker`] consult when `WL_SWEEP_SERVICE` is set: before a
+//!   sweep it batch-resolves every point its local cache lacks, and after
+//!   the sweep it offers back (put-record) any point the service could
+//!   not supply. The tier is strictly additive — losing the server mid
+//!   run degrades to local simulation, never to an error.
+//!
+//! # Wire protocol
+//!
+//! Requests and responses travel in one framing (see `docs/service.md`
+//! for the byte-level layout): a `u32` little-endian body length, then
+//! the body — one opcode byte, the operation payload, and a trailing
+//! FNV-1a 64-bit checksum over everything before it. Record payloads are
+//! the *canonical* [`EncodedRecord`] bytes from `docs/store-format.md`,
+//! so the wire format inherits the store's byte-level spec (and its
+//! tamper tests: flip any byte of a frame and it is rejected, never
+//! misread). Grid points inside a batch-get carry the full
+//! [`ScenarioSpec`] in a fixed binary encoding; the server recomputes the
+//! content hash from the decoded spec and refuses the point on mismatch,
+//! so a codec drift degrades to a local simulation, never a wrong
+//! result.
+//!
+//! [`sweep_cached_series`]: SweepRunner::sweep_cached_series
+//! [`run_worker`]: crate::driver::run_worker
+//! [`ScenarioSpec::content_hash`]: ScenarioSpec::content_hash
+
+use crate::cache::segment::{EncodedRecord, TAG_SCALAR, TAG_SERIES};
+use crate::cache::{canon_string, parse_outcome, StoreFormat, SweepStore, ENGINE_VERSION};
+use crate::spec::{DelayKind, FaultKind, ScenarioSpec};
+use crate::sweep::{run_point, run_point_series, SweepAlgorithm, SweepCache, SweepRunner};
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use wl_clock::drift::DriftModel;
+use wl_core::{AveragingFn, Params};
+use wl_sim::ProcessId;
+use wl_time::RealTime;
+
+// ---------------------------------------------------------------------------
+// Addresses.
+// ---------------------------------------------------------------------------
+
+/// Where a sweep service listens: TCP or a unix-domain socket.
+///
+/// Parses from the `WL_SWEEP_SERVICE` convention: `unix:<path>` for a
+/// unix socket, `tcp:<addr>` (or a bare `host:port`) for TCP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceAddr {
+    /// A TCP address in `std::net` accepted syntax, e.g. `127.0.0.1:7171`.
+    Tcp(String),
+    /// A unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl ServiceAddr {
+    /// Parses an address spec. Empty, `"0"`, and `"off"` mean *no
+    /// service* (so the env knob can be cancelled per invocation).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() || s == "0" || s == "off" {
+            return None;
+        }
+        if let Some(path) = s.strip_prefix("unix:") {
+            #[cfg(unix)]
+            return Some(Self::Unix(PathBuf::from(path)));
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return None;
+            }
+        }
+        Some(Self::Tcp(s.strip_prefix("tcp:").unwrap_or(s).to_string()))
+    }
+}
+
+impl std::fmt::Display for ServiceAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(addr) => write!(f, "tcp:{addr}"),
+            #[cfg(unix)]
+            Self::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// The service address configured in the environment, if any: reads
+/// `WL_SWEEP_SERVICE` and parses it with [`ServiceAddr::parse`].
+#[must_use]
+pub fn service_from_env() -> Option<ServiceAddr> {
+    std::env::var("WL_SWEEP_SERVICE")
+        .ok()
+        .and_then(|v| ServiceAddr::parse(&v))
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O (shared by client and server).
+// ---------------------------------------------------------------------------
+
+/// Hard ceiling on one frame's body, against nonsense length prefixes.
+/// Generous: a 48-point batch of series-bearing records is a few MiB.
+const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// A frame body is at least an opcode byte plus the 8-byte checksum.
+const MIN_FRAME: u32 = 9;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    crate::cache::fnv64_seeded(crate::cache::FNV_OFFSET, bytes)
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes one frame: `u32` LE length, the body, its FNV-1a checksum.
+fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let total = u32::try_from(body.len() + 8).map_err(|_| bad_data("frame too large"))?;
+    if total > MAX_FRAME {
+        return Err(bad_data("frame too large"));
+    }
+    w.write_all(&total.to_le_bytes())?;
+    w.write_all(body)?;
+    w.write_all(&fnv64(body).to_le_bytes())?;
+    w.flush()
+}
+
+/// Validates a fully-read frame body (checksum trailer) and strips the
+/// checksum. `None` = corrupt.
+fn check_frame(buf: &[u8]) -> Option<&[u8]> {
+    if buf.len() < MIN_FRAME as usize {
+        return None;
+    }
+    let (body, crc) = buf.split_at(buf.len() - 8);
+    if fnv64(body).to_le_bytes() != crc {
+        return None;
+    }
+    Some(body)
+}
+
+/// Reads one frame, blocking. `Ok(None)` is a clean EOF *between*
+/// frames; EOF or a checksum failure inside a frame is an error.
+fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(mut got) => {
+            while got < 4 {
+                match r.read(&mut len[got..])? {
+                    0 => return Err(io::ErrorKind::UnexpectedEof.into()),
+                    n => got += n,
+                }
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let total = u32::from_le_bytes(len);
+    if !(MIN_FRAME..=MAX_FRAME).contains(&total) {
+        return Err(bad_data("frame length out of range"));
+    }
+    let mut buf = vec![0u8; total as usize];
+    r.read_exact(&mut buf)?;
+    check_frame(&buf)
+        .map(|body| Some(body.to_vec()))
+        .ok_or_else(|| bad_data("frame checksum mismatch"))
+}
+
+// ---------------------------------------------------------------------------
+// A little byte cursor for payload decoding.
+// ---------------------------------------------------------------------------
+
+struct Take<'a>(&'a [u8]);
+
+impl<'a> Take<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+    fn str16(&mut self) -> Option<String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.bytes(n)?.to_vec()).ok()
+    }
+    fn blob32(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Some(self.bytes(n)?.to_vec())
+    }
+    fn record(&mut self) -> Option<EncodedRecord> {
+        let (record, used) = EncodedRecord::decode(self.0)?;
+        self.0 = &self.0[used..];
+        Some(record)
+    }
+    fn done(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+fn push_str16(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("short string");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_blob32(out: &mut Vec<u8>, b: &[u8]) {
+    let len = u32::try_from(b.len()).expect("blob < 4 GiB");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+// ---------------------------------------------------------------------------
+// The ScenarioSpec wire codec.
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`ScenarioSpec`] into the fixed little-endian wire layout
+/// (see `docs/service.md`). Floats travel as raw IEEE-754 bits, so the
+/// roundtrip is exact — the server recomputes
+/// [`ScenarioSpec::content_hash`] from the decoded spec and must get the
+/// client's value back.
+#[must_use]
+pub fn encode_spec(spec: &ScenarioSpec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(160 + spec.faults.len() * 18);
+    let f = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+    let u = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+    let p = &spec.params;
+    u(&mut out, p.n as u64);
+    u(&mut out, p.f as u64);
+    f(&mut out, p.rho);
+    f(&mut out, p.delta);
+    f(&mut out, p.eps);
+    f(&mut out, p.beta);
+    f(&mut out, p.p_round);
+    f(&mut out, p.t0);
+    out.push(match p.avg {
+        AveragingFn::Midpoint => 0,
+        AveragingFn::Mean => 1,
+    });
+    f(&mut out, p.sigma);
+    u(&mut out, p.exchanges as u64);
+    match &spec.drift {
+        None => out.push(0),
+        Some(DriftModel::Ideal) => out.push(1),
+        Some(DriftModel::EvenSpread { rho }) => {
+            out.push(2);
+            f(&mut out, *rho);
+        }
+        Some(DriftModel::Split { rho }) => {
+            out.push(3);
+            f(&mut out, *rho);
+        }
+        Some(DriftModel::RandomConstant { rho }) => {
+            out.push(4);
+            f(&mut out, *rho);
+        }
+        Some(DriftModel::RandomPiecewise {
+            rho,
+            segment_secs,
+            horizon_secs,
+        }) => {
+            out.push(5);
+            f(&mut out, *rho);
+            f(&mut out, *segment_secs);
+            f(&mut out, *horizon_secs);
+        }
+    }
+    out.push(match spec.delay {
+        DelayKind::Constant => 0,
+        DelayKind::Uniform => 1,
+        DelayKind::AdversarialSplit => 2,
+    });
+    u(&mut out, spec.seed);
+    f(&mut out, spec.t_end.as_secs());
+    f(&mut out, spec.spread_frac);
+    let count = u32::try_from(spec.faults.len()).expect("fault plan < 4G entries");
+    out.extend_from_slice(&count.to_le_bytes());
+    for &(id, kind) in &spec.faults {
+        u(&mut out, id.index() as u64);
+        match kind {
+            FaultKind::CrashAt(t) => {
+                out.push(0);
+                f(&mut out, t);
+            }
+            FaultKind::Silent => out.push(1),
+            FaultKind::RoundSpam => out.push(2),
+            FaultKind::PullApart(a) => {
+                out.push(3);
+                f(&mut out, a);
+            }
+            FaultKind::PullApartHigh(a) => {
+                out.push(4);
+                f(&mut out, a);
+            }
+            FaultKind::TwoFaced(a) => {
+                out.push(5);
+                f(&mut out, a);
+            }
+        }
+    }
+    match spec.rejoiner {
+        None => out.push(0),
+        Some((id, at)) => {
+            out.push(1);
+            u(&mut out, id.index() as u64);
+            f(&mut out, at.as_secs());
+        }
+    }
+    u(&mut out, spec.trace_capacity as u64);
+    u(&mut out, spec.max_events);
+    f(&mut out, spec.initial_spread);
+    out
+}
+
+/// The inverse of [`encode_spec`]. `None` = malformed (wrong length,
+/// unknown variant byte, trailing bytes).
+#[must_use]
+pub fn decode_spec(bytes: &[u8]) -> Option<ScenarioSpec> {
+    let mut t = Take(bytes);
+    let params = Params {
+        n: usize::try_from(t.u64()?).ok()?,
+        f: usize::try_from(t.u64()?).ok()?,
+        rho: t.f64()?,
+        delta: t.f64()?,
+        eps: t.f64()?,
+        beta: t.f64()?,
+        p_round: t.f64()?,
+        t0: t.f64()?,
+        avg: match t.u8()? {
+            0 => AveragingFn::Midpoint,
+            1 => AveragingFn::Mean,
+            _ => return None,
+        },
+        sigma: t.f64()?,
+        exchanges: usize::try_from(t.u64()?).ok()?,
+    };
+    let drift = match t.u8()? {
+        0 => None,
+        1 => Some(DriftModel::Ideal),
+        2 => Some(DriftModel::EvenSpread { rho: t.f64()? }),
+        3 => Some(DriftModel::Split { rho: t.f64()? }),
+        4 => Some(DriftModel::RandomConstant { rho: t.f64()? }),
+        5 => Some(DriftModel::RandomPiecewise {
+            rho: t.f64()?,
+            segment_secs: t.f64()?,
+            horizon_secs: t.f64()?,
+        }),
+        _ => return None,
+    };
+    let delay = match t.u8()? {
+        0 => DelayKind::Constant,
+        1 => DelayKind::Uniform,
+        2 => DelayKind::AdversarialSplit,
+        _ => return None,
+    };
+    let seed = t.u64()?;
+    let t_end = RealTime::from_secs(t.f64()?);
+    let spread_frac = t.f64()?;
+    let fault_count = t.u32()? as usize;
+    let mut faults = Vec::with_capacity(fault_count.min(1024));
+    for _ in 0..fault_count {
+        let id = ProcessId(usize::try_from(t.u64()?).ok()?);
+        let kind = match t.u8()? {
+            0 => FaultKind::CrashAt(t.f64()?),
+            1 => FaultKind::Silent,
+            2 => FaultKind::RoundSpam,
+            3 => FaultKind::PullApart(t.f64()?),
+            4 => FaultKind::PullApartHigh(t.f64()?),
+            5 => FaultKind::TwoFaced(t.f64()?),
+            _ => return None,
+        };
+        faults.push((id, kind));
+    }
+    let rejoiner = match t.u8()? {
+        0 => None,
+        1 => Some((
+            ProcessId(usize::try_from(t.u64()?).ok()?),
+            RealTime::from_secs(t.f64()?),
+        )),
+        _ => return None,
+    };
+    let spec = ScenarioSpec {
+        params,
+        drift,
+        delay,
+        seed,
+        t_end,
+        spread_frac,
+        faults,
+        rejoiner,
+        trace_capacity: usize::try_from(t.u64()?).ok()?,
+        max_events: t.u64()?,
+        initial_spread: t.f64()?,
+    };
+    t.done().then_some(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses.
+// ---------------------------------------------------------------------------
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_BATCH_GET: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+const RE_FOUND: u8 = 0x81;
+const RE_MISS: u8 = 0x82;
+const RE_OK: u8 = 0x83;
+const RE_BATCH: u8 = 0x84;
+const RE_STATS: u8 = 0x85;
+const RE_ERR: u8 = 0x86;
+
+/// One grid point of a [`Request::BatchGet`]: the content hash the
+/// client derived, plus the full spec ([`encode_spec`] bytes) so the
+/// server can simulate the point on a miss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// The client's [`ScenarioSpec::content_hash`] for this point.
+    pub content_hash: u64,
+    /// The [`encode_spec`] encoding of the point's spec.
+    pub spec: Vec<u8>,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Look up one record by key; never simulates.
+    Get {
+        /// The spec's content hash.
+        content_hash: u64,
+        /// The client's [`ENGINE_VERSION`] — a mismatch is a miss.
+        engine_version: u32,
+        /// Require a series-bearing record (a scalar one is a miss).
+        need_series: bool,
+        /// The algorithm name ([`crate::SyncAlgorithm::NAME`]).
+        algo: String,
+    },
+    /// Contribute one canonical record (equality-confirmed insert).
+    Put {
+        /// The record, exactly as a store would hold it.
+        record: EncodedRecord,
+    },
+    /// Resolve a batch of grid points: warm ones from the index, the
+    /// rest simulated on the server's pool, inserted, checkpointed,
+    /// and returned.
+    BatchGet {
+        /// The client's [`ENGINE_VERSION`]; a mismatch refuses the batch.
+        engine_version: u32,
+        /// Whether every returned record must carry a series payload.
+        need_series: bool,
+        /// The algorithm name (must be one the server can assemble).
+        algo: String,
+        /// The grid points, in client order.
+        items: Vec<BatchItem>,
+    },
+    /// Ask for the server's counters.
+    Stats,
+    /// Ask the server to checkpoint, rewrite its store canonically, and
+    /// exit.
+    Shutdown,
+}
+
+/// Server counters, as returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Live records in the served store.
+    pub records: u64,
+    /// Grid points answered from the in-RAM index.
+    pub warm_hits: u64,
+    /// Grid points simulated on the server's pool.
+    pub simulated: u64,
+    /// Records accepted via [`Request::Put`].
+    pub puts: u64,
+    /// Requests handled (all opcodes).
+    pub requests: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The record for a [`Request::Get`] hit.
+    Found {
+        /// The canonical record.
+        record: EncodedRecord,
+    },
+    /// A [`Request::Get`] miss.
+    Miss,
+    /// Acknowledges a [`Request::Put`] or [`Request::Shutdown`].
+    Ok,
+    /// Per-point results of a [`Request::BatchGet`], in request order.
+    /// `None` = the server could not resolve the point (undecodable
+    /// spec, hash mismatch, unknown algorithm); the client simulates it
+    /// locally.
+    Batch {
+        /// One slot per requested item.
+        items: Vec<Option<EncodedRecord>>,
+    },
+    /// The counters for a [`Request::Stats`].
+    Stats {
+        /// Current server counters.
+        stats: ServiceStats,
+    },
+    /// The request was understood but refused.
+    Err {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Encodes a request into a frame body (opcode + payload, no checksum —
+/// the framing layer adds it).
+#[must_use]
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Get {
+            content_hash,
+            engine_version,
+            need_series,
+            algo,
+        } => {
+            out.push(OP_GET);
+            out.extend_from_slice(&content_hash.to_le_bytes());
+            out.extend_from_slice(&engine_version.to_le_bytes());
+            out.push(u8::from(*need_series));
+            push_str16(&mut out, algo);
+        }
+        Request::Put { record } => {
+            out.push(OP_PUT);
+            out.extend_from_slice(&record.encode());
+        }
+        Request::BatchGet {
+            engine_version,
+            need_series,
+            algo,
+            items,
+        } => {
+            out.push(OP_BATCH_GET);
+            out.extend_from_slice(&engine_version.to_le_bytes());
+            out.push(u8::from(*need_series));
+            push_str16(&mut out, algo);
+            let count = u32::try_from(items.len()).expect("batch < 4G items");
+            out.extend_from_slice(&count.to_le_bytes());
+            for item in items {
+                out.extend_from_slice(&item.content_hash.to_le_bytes());
+                push_blob32(&mut out, &item.spec);
+            }
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a frame body into a request. `None` = malformed.
+#[must_use]
+pub fn decode_request(body: &[u8]) -> Option<Request> {
+    let mut t = Take(body);
+    let req = match t.u8()? {
+        OP_GET => Request::Get {
+            content_hash: t.u64()?,
+            engine_version: t.u32()?,
+            need_series: match t.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+            algo: t.str16()?,
+        },
+        OP_PUT => Request::Put {
+            record: t.record()?,
+        },
+        OP_BATCH_GET => {
+            let engine_version = t.u32()?;
+            let need_series = match t.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let algo = t.str16()?;
+            let count = t.u32()? as usize;
+            let mut items = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                items.push(BatchItem {
+                    content_hash: t.u64()?,
+                    spec: t.blob32()?,
+                });
+            }
+            Request::BatchGet {
+                engine_version,
+                need_series,
+                algo,
+                items,
+            }
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        _ => return None,
+    };
+    t.done().then_some(req)
+}
+
+/// Encodes a response into a frame body.
+#[must_use]
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Found { record } => {
+            out.push(RE_FOUND);
+            out.extend_from_slice(&record.encode());
+        }
+        Response::Miss => out.push(RE_MISS),
+        Response::Ok => out.push(RE_OK),
+        Response::Batch { items } => {
+            out.push(RE_BATCH);
+            let count = u32::try_from(items.len()).expect("batch < 4G items");
+            out.extend_from_slice(&count.to_le_bytes());
+            for item in items {
+                match item {
+                    Some(record) => {
+                        out.push(1);
+                        out.extend_from_slice(&record.encode());
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        Response::Stats { stats } => {
+            out.push(RE_STATS);
+            for v in [
+                stats.records,
+                stats.warm_hits,
+                stats.simulated,
+                stats.puts,
+                stats.requests,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Err { message } => {
+            out.push(RE_ERR);
+            push_str16(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a frame body into a response. `None` = malformed.
+#[must_use]
+pub fn decode_response(body: &[u8]) -> Option<Response> {
+    let mut t = Take(body);
+    let resp = match t.u8()? {
+        RE_FOUND => Response::Found {
+            record: t.record()?,
+        },
+        RE_MISS => Response::Miss,
+        RE_OK => Response::Ok,
+        RE_BATCH => {
+            let count = t.u32()? as usize;
+            let mut items = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                items.push(match t.u8()? {
+                    0 => None,
+                    1 => Some(t.record()?),
+                    _ => return None,
+                });
+            }
+            Response::Batch { items }
+        }
+        RE_STATS => Response::Stats {
+            stats: ServiceStats {
+                records: t.u64()?,
+                warm_hits: t.u64()?,
+                simulated: t.u64()?,
+                puts: t.u64()?,
+                requests: t.u64()?,
+            },
+        },
+        RE_ERR => Response::Err {
+            message: t.str16()?,
+        },
+        _ => return None,
+    };
+    t.done().then_some(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Streams (one enum over both transports).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn connect(addr: &ServiceAddr) -> io::Result<Self> {
+        match addr {
+            ServiceAddr::Tcp(a) => TcpStream::connect(a.as_str()).map(Self::Tcp),
+            #[cfg(unix)]
+            ServiceAddr::Unix(p) => UnixStream::connect(p).map(Self::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+/// A blocking sweep-service client over one (lazily established,
+/// transparently re-established) connection.
+#[derive(Debug)]
+pub struct ServiceClient {
+    addr: ServiceAddr,
+    stream: Option<Stream>,
+}
+
+impl ServiceClient {
+    /// A client for `addr`; connects on first use.
+    #[must_use]
+    pub fn new(addr: ServiceAddr) -> Self {
+        Self { addr, stream: None }
+    }
+
+    /// The address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> &ServiceAddr {
+        &self.addr
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// A transport failure on a *reused* connection is retried once on a
+    /// fresh connection (the server may simply have restarted); failures
+    /// on a fresh connection propagate.
+    ///
+    /// # Errors
+    ///
+    /// Connect/write/read failures, and [`io::ErrorKind::InvalidData`]
+    /// for frames that fail their checksum or decode.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let body = encode_request(req);
+        let reused = self.stream.is_some();
+        match self.roundtrip(&body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                // The pooled connection may have died with the previous
+                // server process; one fresh connection decides it.
+                let _ = e;
+                self.stream = None;
+                self.roundtrip(&body)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, body: &[u8]) -> io::Result<Response> {
+        if self.stream.is_none() {
+            self.stream = Some(Stream::connect(&self.addr)?);
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        let result = write_frame(stream, body)
+            .and_then(|()| read_frame(stream))
+            .and_then(|frame| frame.ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof)))
+            .and_then(|frame| {
+                decode_response(&frame).ok_or_else(|| bad_data("malformed response"))
+            });
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Looks up one record by key. `Ok(None)` = the server has no
+    /// matching record.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`io::ErrorKind::InvalidData`] on a server
+    /// refusal or a malformed response.
+    pub fn get(
+        &mut self,
+        content_hash: u64,
+        algo: &str,
+        need_series: bool,
+    ) -> io::Result<Option<EncodedRecord>> {
+        match self.request(&Request::Get {
+            content_hash,
+            engine_version: ENGINE_VERSION,
+            need_series,
+            algo: algo.to_string(),
+        })? {
+            Response::Found { record } => Ok(Some(record)),
+            Response::Miss => Ok(None),
+            Response::Err { message } => Err(bad_data(&message)),
+            _ => Err(bad_data("unexpected response to get")),
+        }
+    }
+
+    /// Contributes one canonical record.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`io::ErrorKind::InvalidData`] if the server
+    /// refuses the record (engine mismatch, corrupt payload, conflict).
+    pub fn put(&mut self, record: &EncodedRecord) -> io::Result<()> {
+        match self.request(&Request::Put {
+            record: record.clone(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(bad_data(&message)),
+            _ => Err(bad_data("unexpected response to put")),
+        }
+    }
+
+    /// Resolves a batch of `(content_hash, spec)` points under `algo`,
+    /// returning one slot per point in order (`None` = unresolved;
+    /// simulate locally).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`io::ErrorKind::InvalidData`] on a server
+    /// refusal (e.g. an [`ENGINE_VERSION`] mismatch) or a malformed or
+    /// mis-sized response.
+    pub fn batch_get(
+        &mut self,
+        algo: &str,
+        need_series: bool,
+        points: &[(u64, &ScenarioSpec)],
+    ) -> io::Result<Vec<Option<EncodedRecord>>> {
+        let items = points
+            .iter()
+            .map(|(hash, spec)| BatchItem {
+                content_hash: *hash,
+                spec: encode_spec(spec),
+            })
+            .collect();
+        match self.request(&Request::BatchGet {
+            engine_version: ENGINE_VERSION,
+            need_series,
+            algo: algo.to_string(),
+            items,
+        })? {
+            Response::Batch { items } if items.len() == points.len() => Ok(items),
+            Response::Batch { .. } => Err(bad_data("batch response size mismatch")),
+            Response::Err { message } => Err(bad_data(&message)),
+            _ => Err(bad_data("unexpected response to batch-get")),
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a malformed response.
+    pub fn stats(&mut self) -> io::Result<ServiceStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            Response::Err { message } => Err(bad_data(&message)),
+            _ => Err(bad_data("unexpected response to stats")),
+        }
+    }
+
+    /// Asks the server to save its store canonically and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a refusal.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(bad_data(&message)),
+            _ => Err(bad_data("unexpected response to shutdown")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The client-side cache tier.
+// ---------------------------------------------------------------------------
+
+/// The service tier of the sweep cache stack: resolves grid points a
+/// local [`SweepCache`] lacks against a running sweep service, and
+/// offers back what the service could not supply.
+///
+/// Constructed per sweep from the `WL_SWEEP_SERVICE` environment knob
+/// ([`ServiceSweepCache::from_env`]); when the knob is unset, cached
+/// sweeps behave exactly as before. The tier is **fail-soft**: any
+/// transport error downgrades it to a no-op for the rest of the sweep
+/// (with one stderr warning), and the sweep falls back to simulating
+/// locally — a dead server can slow a run down, never break it or
+/// change its results.
+#[derive(Debug)]
+pub struct ServiceSweepCache {
+    addr: ServiceAddr,
+    client: Mutex<ServiceClient>,
+    degraded: AtomicBool,
+    served: AtomicU64,
+    pushed: AtomicU64,
+    /// Points the service could not supply, remembered by key so the
+    /// post-sweep [`push_back`](Self::push_back) can offer the locally
+    /// simulated results.
+    pending: Mutex<Vec<(u64, String)>>,
+}
+
+impl ServiceSweepCache {
+    /// A tier talking to `addr`.
+    #[must_use]
+    pub fn new(addr: ServiceAddr) -> Self {
+        Self {
+            client: Mutex::new(ServiceClient::new(addr.clone())),
+            addr,
+            degraded: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            pushed: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The tier configured in the environment (`WL_SWEEP_SERVICE`), if
+    /// any.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        service_from_env().map(Self::new)
+    }
+
+    /// Points this tier served into local caches so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Points this tier pushed back to the service so far.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Batch-resolves every point of `specs` that `cache` cannot serve
+    /// (honoring `need_series`) and seeds the answers into `cache`, so
+    /// the sweep loop that follows sees them as plain hits. Returns how
+    /// many points the service supplied.
+    pub fn prefetch<A: SweepAlgorithm>(
+        &self,
+        specs: &[ScenarioSpec],
+        need_series: bool,
+        cache: &SweepCache,
+    ) -> usize {
+        if self.degraded.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let mut wanted: Vec<(u64, String, &ScenarioSpec)> = Vec::new();
+        let mut seen = HashSet::new();
+        for spec in specs {
+            let canon = canon_string(&spec.canonical());
+            let hash = spec.content_hash();
+            if cache.peek(hash, A::NAME, &canon, need_series).is_some() {
+                continue;
+            }
+            if seen.insert((hash, canon.clone())) {
+                wanted.push((hash, canon, spec));
+            }
+        }
+        if wanted.is_empty() {
+            return 0;
+        }
+        let points: Vec<(u64, &ScenarioSpec)> = wanted.iter().map(|(h, _, s)| (*h, *s)).collect();
+        let records = {
+            let mut client = self.client.lock().expect("service client poisoned");
+            match client.batch_get(A::NAME, need_series, &points) {
+                Ok(records) => records,
+                Err(e) => {
+                    self.degrade(&e);
+                    return 0;
+                }
+            }
+        };
+        let mut served = 0usize;
+        let mut pending = self.pending.lock().expect("service pending poisoned");
+        for ((hash, canon, _spec), record) in wanted.into_iter().zip(records) {
+            let outcome = record
+                .as_ref()
+                .filter(|r| {
+                    r.engine_version == ENGINE_VERSION
+                        && r.algo == A::NAME
+                        && r.content_hash == hash
+                        && r.spec_canon == canon
+                        && (!need_series || r.tag == TAG_SERIES)
+                })
+                .and_then(|r| parse_outcome(&r.outcome_canon))
+                .filter(|o| !need_series || o.series.is_some());
+            match outcome {
+                Some(outcome) => {
+                    cache.seed(hash, A::NAME.to_string(), canon, outcome);
+                    served += 1;
+                }
+                None => pending.push((hash, canon)),
+            }
+        }
+        self.served.fetch_add(served as u64, Ordering::Relaxed);
+        served
+    }
+
+    /// Offers the locally simulated results of every pending point back
+    /// to the service (best-effort put-record; stops on the first
+    /// transport failure).
+    pub fn push_back<A: SweepAlgorithm>(&self, cache: &SweepCache) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let pending = std::mem::take(&mut *self.pending.lock().expect("service pending poisoned"));
+        if pending.is_empty() {
+            return;
+        }
+        let mut client = self.client.lock().expect("service client poisoned");
+        for (hash, canon) in pending {
+            let Some(outcome) = cache.peek(hash, A::NAME, &canon, false) else {
+                continue;
+            };
+            let record = canonical_record(A::NAME, hash, &canon, &outcome);
+            match client.put(&record) {
+                Ok(()) => {
+                    self.pushed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // The server understood and refused (e.g. an engine
+                    // mismatch) — trying the rest is pointless too.
+                    self.degrade(&e);
+                    return;
+                }
+                Err(e) => {
+                    self.degrade(&e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Marks the tier dead for the rest of the sweep. Must not touch
+    /// `self.client` — callers invoke this while holding that lock.
+    fn degrade(&self, e: &io::Error) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: sweep service {} unavailable ({e}); \
+                 falling back to local simulation",
+                self.addr
+            );
+        }
+    }
+}
+
+/// Builds the canonical store/wire record for an outcome: grid index
+/// normalized to zero (*what* was computed, not where it sat in some
+/// grid — the same normalization [`SweepStore::absorb`] applies).
+fn canonical_record(
+    algo: &str,
+    content_hash: u64,
+    spec_canon: &str,
+    outcome: &crate::sweep::SweepOutcome,
+) -> EncodedRecord {
+    let mut normalized = outcome.clone();
+    normalized.index = 0;
+    EncodedRecord {
+        tag: if normalized.series.is_some() {
+            TAG_SERIES
+        } else {
+            TAG_SCALAR
+        },
+        content_hash,
+        engine_version: ENGINE_VERSION,
+        algo: algo.to_string(),
+        spec_canon: spec_canon.to_string(),
+        outcome_canon: canon_string(&normalized),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Where to listen. `tcp:127.0.0.1:0` binds an ephemeral port (the
+    /// resolved address is reported through [`serve`]'s `on_ready`).
+    pub addr: ServiceAddr,
+    /// The served store (created if missing, hydrated if present — a
+    /// restarted server resumes from whatever its checkpoints left).
+    pub store: PathBuf,
+    /// On-disk format. [`StoreFormat::Binary`] makes per-batch
+    /// checkpoints O(batch) segment appends.
+    pub format: StoreFormat,
+    /// Simulation pool width for miss batches; `0` = the
+    /// [`SweepRunner::new`] default (`WL_SWEEP_THREADS` / all cores).
+    pub threads: usize,
+    /// Fault injection: abort the process (as `kill -9` would) right
+    /// after this many miss-batch checkpoints, *before* the response is
+    /// sent. `None` in production; tests and the CI kill-smoke use it to
+    /// crash the server mid-load deterministically.
+    pub crash_after_batches: Option<usize>,
+}
+
+impl ServeConfig {
+    /// A server on `addr` over the store at `store`, with defaults
+    /// (binary format, auto pool width, no fault injection).
+    #[must_use]
+    pub fn new(addr: ServiceAddr, store: impl Into<PathBuf>) -> Self {
+        Self {
+            addr,
+            store: store.into(),
+            format: StoreFormat::Binary,
+            threads: 0,
+            crash_after_batches: None,
+        }
+    }
+}
+
+/// What a graceful [`serve`] run did.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The resolved listen address (ephemeral TCP ports filled in).
+    pub addr: ServiceAddr,
+    /// Final counters.
+    pub stats: ServiceStats,
+}
+
+#[derive(Debug)]
+struct Core {
+    store: SweepStore,
+    warm_hits: u64,
+    simulated: u64,
+    puts: u64,
+    requests: u64,
+    batches: usize,
+}
+
+impl Core {
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            records: self.store.len() as u64,
+            warm_hits: self.warm_hits,
+            simulated: self.simulated,
+            puts: self.puts,
+            requests: self.requests,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn bind(addr: &ServiceAddr) -> io::Result<(Self, ServiceAddr)> {
+        match addr {
+            ServiceAddr::Tcp(a) => {
+                let listener = TcpListener::bind(a.as_str())?;
+                let resolved = ServiceAddr::Tcp(listener.local_addr()?.to_string());
+                Ok((Self::Tcp(listener), resolved))
+            }
+            #[cfg(unix)]
+            ServiceAddr::Unix(path) => {
+                // The server owns its socket path; a stale file from a
+                // killed predecessor must not block the restart.
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                Ok((Self::Unix(listener), ServiceAddr::Unix(path.clone())))
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Self::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            Self::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// Wakes a listener blocked in `accept` by connecting and hanging up —
+/// how the shutdown handler unblocks the accept loop.
+fn wake(addr: &ServiceAddr) {
+    let _ = Stream::connect(addr);
+}
+
+/// Runs a sweep service until a [`Request::Shutdown`] arrives, then
+/// rewrites the store canonically and returns.
+///
+/// `on_ready` fires once, after the listener is bound, with the resolved
+/// address — print it, or hand it to an in-process client.
+///
+/// Per connection the server handles any number of requests; misses of a
+/// batch-get are simulated on the resident pool *outside* the store
+/// lock, so warm lookups from other clients keep flowing while a batch
+/// simulates. Every batch of fresh records is checkpointed **before**
+/// its response goes out: what a client has seen answered, a `kill -9`
+/// cannot lose.
+///
+/// # Errors
+///
+/// Binding, accepting, and final-save I/O failures. Per-connection I/O
+/// errors only drop that connection.
+pub fn serve(cfg: &ServeConfig, on_ready: impl FnOnce(&ServiceAddr)) -> io::Result<ServeReport> {
+    let mut store = SweepStore::open(&cfg.store)?;
+    store.set_format(cfg.format);
+    let (listener, resolved) = Listener::bind(&cfg.addr)?;
+    on_ready(&resolved);
+    let core = Mutex::new(Core {
+        store,
+        warm_hits: 0,
+        simulated: 0,
+        puts: 0,
+        requests: 0,
+        batches: 0,
+    });
+    let runner = if cfg.threads == 0 {
+        SweepRunner::new()
+    } else {
+        SweepRunner::with_threads(cfg.threads)
+    };
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            let stream = match listener.accept() {
+                Ok(stream) => stream,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            };
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let core = &core;
+            let runner = &runner;
+            let shutdown = &shutdown;
+            let resolved = &resolved;
+            scope.spawn(move || {
+                if let Err(e) = handle(stream, core, runner, shutdown, resolved, cfg) {
+                    if !matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof | io::ErrorKind::BrokenPipe
+                    ) {
+                        eprintln!("sweep service: connection error: {e}");
+                    }
+                }
+            });
+        }
+        Ok(())
+    })?;
+
+    #[cfg(unix)]
+    if let ServiceAddr::Unix(path) = &resolved {
+        let _ = std::fs::remove_file(path);
+    }
+    let mut core = core.into_inner().expect("server core poisoned");
+    // The canonical rewrite: appended checkpoint segments collapse into
+    // sorted-order segments, so the store byte-compares against any
+    // other canonical store over the same records.
+    core.store.save()?;
+    Ok(ServeReport {
+        addr: resolved,
+        stats: core.stats(),
+    })
+}
+
+/// How long an idle connection blocks before re-checking the shutdown
+/// flag.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+enum Inbound {
+    Frame(Vec<u8>),
+    Eof,
+    Idle,
+}
+
+/// Reads one frame with an idle timeout: a timeout **between** frames
+/// reports [`Inbound::Idle`] (so the handler can re-check the shutdown
+/// flag); a timeout *inside* a frame keeps waiting — bytes of a frame,
+/// once started, arrive promptly or the peer is gone.
+fn read_frame_idle(stream: &mut Stream) -> io::Result<Inbound> {
+    let timed_out = |e: &io::Error| {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    };
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(Inbound::Eof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if timed_out(&e) && got == 0 => return Ok(Inbound::Idle),
+            Err(e) if timed_out(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let total = u32::from_le_bytes(len);
+    if !(MIN_FRAME..=MAX_FRAME).contains(&total) {
+        return Err(bad_data("frame length out of range"));
+    }
+    let mut buf = vec![0u8; total as usize];
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || timed_out(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    check_frame(&buf)
+        .map(|body| Inbound::Frame(body.to_vec()))
+        .ok_or_else(|| bad_data("frame checksum mismatch"))
+}
+
+fn handle(
+    mut stream: Stream,
+    core: &Mutex<Core>,
+    runner: &SweepRunner,
+    shutdown: &AtomicBool,
+    addr: &ServiceAddr,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    loop {
+        let body = match read_frame_idle(&mut stream)? {
+            Inbound::Frame(body) => body,
+            Inbound::Eof => return Ok(()),
+            Inbound::Idle => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
+        let Some(request) = decode_request(&body) else {
+            let resp = Response::Err {
+                message: "malformed request".to_string(),
+            };
+            write_frame(&mut stream, &encode_response(&resp))?;
+            continue;
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = dispatch(request, core, runner, cfg)?;
+        write_frame(&mut stream, &encode_response(&response))?;
+        if is_shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            wake(addr);
+            return Ok(());
+        }
+    }
+}
+
+fn lock_core(core: &Mutex<Core>) -> std::sync::MutexGuard<'_, Core> {
+    core.lock().expect("server core poisoned")
+}
+
+fn dispatch(
+    request: Request,
+    core: &Mutex<Core>,
+    runner: &SweepRunner,
+    cfg: &ServeConfig,
+) -> io::Result<Response> {
+    lock_core(core).requests += 1;
+    Ok(match request {
+        Request::Get {
+            content_hash,
+            engine_version,
+            need_series,
+            algo,
+        } => {
+            if engine_version != ENGINE_VERSION {
+                return Ok(Response::Miss);
+            }
+            let mut c = lock_core(core);
+            match c
+                .store
+                .record_encoded(content_hash, &algo)
+                .filter(|r| !need_series || r.tag == TAG_SERIES)
+            {
+                Some(record) => {
+                    c.warm_hits += 1;
+                    Response::Found { record }
+                }
+                None => Response::Miss,
+            }
+        }
+        Request::Put { record } => {
+            if record.engine_version != ENGINE_VERSION {
+                Response::Err {
+                    message: format!(
+                        "record engine v{} != server engine v{ENGINE_VERSION}",
+                        record.engine_version
+                    ),
+                }
+            } else {
+                let mut c = lock_core(core);
+                match c.store.insert_encoded(&record) {
+                    Ok(changed) => {
+                        if changed {
+                            c.puts += 1;
+                            c.store.checkpoint()?;
+                        }
+                        Response::Ok
+                    }
+                    Err(conflict) => Response::Err {
+                        message: format!("record refused: {conflict}"),
+                    },
+                }
+            }
+        }
+        Request::BatchGet {
+            engine_version,
+            need_series,
+            algo,
+            items,
+        } => {
+            if engine_version != ENGINE_VERSION {
+                Response::Err {
+                    message: format!(
+                        "client engine v{engine_version} != server engine v{ENGINE_VERSION}"
+                    ),
+                }
+            } else {
+                batch_get(&algo, need_series, &items, core, runner, cfg)?
+            }
+        }
+        Request::Stats => Response::Stats {
+            stats: lock_core(core).stats(),
+        },
+        Request::Shutdown => Response::Ok,
+    })
+}
+
+fn batch_get(
+    algo: &str,
+    need_series: bool,
+    items: &[BatchItem],
+    core: &Mutex<Core>,
+    runner: &SweepRunner,
+    cfg: &ServeConfig,
+) -> io::Result<Response> {
+    let mut out: Vec<Option<EncodedRecord>> = vec![None; items.len()];
+    let mut cold: Vec<(usize, ScenarioSpec)> = Vec::new();
+    {
+        let mut c = lock_core(core);
+        for (i, item) in items.iter().enumerate() {
+            // The hash recomputation is the codec's integrity check: a
+            // drifting spec encoding degrades to "unresolved", and the
+            // client simulates locally — never a wrong record.
+            let Some(spec) =
+                decode_spec(&item.spec).filter(|s| s.content_hash() == item.content_hash)
+            else {
+                continue;
+            };
+            match c
+                .store
+                .record_encoded(item.content_hash, algo)
+                .filter(|r| !need_series || r.tag == TAG_SERIES)
+            {
+                Some(record) => {
+                    c.warm_hits += 1;
+                    out[i] = Some(record);
+                }
+                None => cold.push((i, spec)),
+            }
+        }
+    }
+    if !cold.is_empty() {
+        // Simulate outside the lock: warm lookups from other clients
+        // keep flowing while this batch runs on the pool.
+        if let Some(outcomes) = simulate(algo, runner, &cold, need_series) {
+            let mut c = lock_core(core);
+            for ((i, spec), outcome) in cold.iter().zip(outcomes) {
+                let canon = canon_string(&spec.canonical());
+                let record = canonical_record(algo, spec.content_hash(), &canon, &outcome);
+                match c.store.insert_encoded(&record) {
+                    Ok(inserted) => {
+                        if inserted {
+                            c.simulated += 1;
+                        } else {
+                            // A concurrent client raced this point into
+                            // the store first; determinism guarantees the
+                            // records agree, and the stat stays "records
+                            // resolved by simulation", not "sim calls".
+                            c.warm_hits += 1;
+                        }
+                        out[*i] = Some(record);
+                    }
+                    Err(conflict) => {
+                        // Determinism makes this unreachable short of a
+                        // corrupted store; refuse the point, keep going.
+                        eprintln!("sweep service: refusing simulated record: {conflict}");
+                    }
+                }
+            }
+            // Checkpoint before responding: answered means durable.
+            c.store.checkpoint()?;
+            c.batches += 1;
+            if cfg.crash_after_batches == Some(c.batches) {
+                // Simulated crash: no unwinding, no destructors, no
+                // response — the closest safe stand-in for `kill -9`.
+                // The checkpoint just appended is what a restart serves.
+                std::process::abort();
+            }
+        }
+    }
+    Ok(Response::Batch { items: out })
+}
+
+/// Runs a batch of grid points under the algorithm named `algo`, through
+/// the exact per-point bodies local sweeps use (same dispatch ladder:
+/// mono fleet → enum fleet → boxed). `None` = the name is not one this
+/// server can assemble.
+fn simulate(
+    algo: &str,
+    runner: &SweepRunner,
+    points: &[(usize, ScenarioSpec)],
+    need_series: bool,
+) -> Option<Vec<crate::sweep::SweepOutcome>> {
+    use crate::algo::SyncAlgorithm as _;
+    fn run<A: SweepAlgorithm>(
+        runner: &SweepRunner,
+        points: &[(usize, ScenarioSpec)],
+        need_series: bool,
+    ) -> Vec<crate::sweep::SweepOutcome> {
+        runner.run(points.to_vec(), |_, (index, spec)| {
+            if need_series {
+                run_point_series::<A>(*index, spec)
+            } else {
+                run_point::<A>(*index, spec)
+            }
+        })
+    }
+    if algo == crate::Maintenance::NAME {
+        Some(run::<crate::Maintenance>(runner, points, need_series))
+    } else if algo == crate::Startup::NAME {
+        Some(run::<crate::Startup>(runner, points, need_series))
+    } else if algo == crate::Rejoiner::NAME {
+        Some(run::<crate::Rejoiner>(runner, points, need_series))
+    } else if algo == crate::LmCnv::NAME {
+        Some(run::<crate::LmCnv>(runner, points, need_series))
+    } else if algo == crate::MahaneySchneider::NAME {
+        Some(run::<crate::MahaneySchneider>(runner, points, need_series))
+    } else if algo == crate::SrikanthToueg::NAME {
+        Some(run::<crate::SrikanthToueg>(runner, points, need_series))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::SyncAlgorithm as _;
+    use crate::sweep::derive_seed;
+    use crate::Maintenance;
+    use rand::{Rng, SeedableRng};
+
+    fn grid(count: usize) -> Vec<ScenarioSpec> {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        (0..count)
+            .map(|i| {
+                ScenarioSpec::new(params.clone())
+                    .seed(derive_seed(0x5E12_71CE, i as u64))
+                    .t_end(RealTime::from_secs(2.0))
+            })
+            .collect()
+    }
+
+    fn tmp_store(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("wl-service-{}-{name}.wls", std::process::id()))
+    }
+
+    /// A random record through arbitrary bit patterns — the same
+    /// "seeded arbitrary" style the segment and migration proptests use.
+    fn arb_record(rng: &mut rand::rngs::StdRng) -> EncodedRecord {
+        let nasty = ["algo a", "q\"uote", "tab\there", "wl-maintenance", "∆-sync"];
+        EncodedRecord {
+            tag: if rng.gen::<u64>() % 2 == 0 {
+                TAG_SCALAR
+            } else {
+                TAG_SERIES
+            },
+            content_hash: rng.gen(),
+            engine_version: ENGINE_VERSION,
+            algo: nasty[(rng.gen::<u64>() % 5) as usize].to_string(),
+            spec_canon: format!(
+                "Spec{{n:{},rho:x{:016x}}}",
+                rng.gen::<u32>(),
+                rng.gen::<u64>()
+            )
+            .repeat(1 + (rng.gen::<u64>() % 3) as usize),
+            outcome_canon: format!("Outcome{{v:x{:016x}}}", rng.gen::<u64>())
+                .repeat(1 + (rng.gen::<u64>() % 4) as usize),
+        }
+    }
+
+    fn arb_spec(rng: &mut rand::rngs::StdRng) -> ScenarioSpec {
+        let f = |rng: &mut rand::rngs::StdRng| f64::from_bits(rng.gen::<u64>());
+        let params = Params {
+            n: (rng.gen::<u64>() % (1 << 16)) as usize,
+            f: (rng.gen::<u64>() % (1 << 16)) as usize,
+            rho: f(rng),
+            delta: f(rng),
+            eps: f(rng),
+            beta: f(rng),
+            p_round: f(rng),
+            t0: f(rng),
+            avg: if rng.gen::<u64>() % 2 == 0 {
+                AveragingFn::Midpoint
+            } else {
+                AveragingFn::Mean
+            },
+            sigma: f(rng),
+            exchanges: (rng.gen::<u64>() % (1 << 16)) as usize,
+        };
+        let drift = match rng.gen::<u64>() % 6 {
+            0 => None,
+            1 => Some(DriftModel::Ideal),
+            2 => Some(DriftModel::EvenSpread { rho: f(rng) }),
+            3 => Some(DriftModel::Split { rho: f(rng) }),
+            4 => Some(DriftModel::RandomConstant { rho: f(rng) }),
+            _ => Some(DriftModel::RandomPiecewise {
+                rho: f(rng),
+                segment_secs: f(rng),
+                horizon_secs: f(rng),
+            }),
+        };
+        let faults = (0..rng.gen::<u64>() % 4)
+            .map(|_| {
+                let kind = match rng.gen::<u64>() % 6 {
+                    0 => FaultKind::CrashAt(f(rng)),
+                    1 => FaultKind::Silent,
+                    2 => FaultKind::RoundSpam,
+                    3 => FaultKind::PullApart(f(rng)),
+                    4 => FaultKind::PullApartHigh(f(rng)),
+                    _ => FaultKind::TwoFaced(f(rng)),
+                };
+                (ProcessId((rng.gen::<u64>() % 256) as usize), kind)
+            })
+            .collect();
+        ScenarioSpec {
+            params,
+            drift,
+            delay: match rng.gen::<u64>() % 3 {
+                0 => DelayKind::Constant,
+                1 => DelayKind::Uniform,
+                _ => DelayKind::AdversarialSplit,
+            },
+            seed: rng.gen(),
+            t_end: RealTime::from_secs(f(rng)),
+            spread_frac: f(rng),
+            faults,
+            rejoiner: if rng.gen::<u64>() % 2 == 0 {
+                None
+            } else {
+                Some((
+                    ProcessId((rng.gen::<u64>() % 256) as usize),
+                    RealTime::from_secs(f(rng)),
+                ))
+            },
+            trace_capacity: (rng.gen::<u64>() % (1 << 16)) as usize,
+            max_events: rng.gen(),
+            initial_spread: f(rng),
+        }
+    }
+
+    #[test]
+    fn addr_parse_forms() {
+        assert_eq!(ServiceAddr::parse(""), None);
+        assert_eq!(ServiceAddr::parse("  "), None);
+        assert_eq!(ServiceAddr::parse("0"), None);
+        assert_eq!(ServiceAddr::parse("off"), None);
+        assert_eq!(
+            ServiceAddr::parse("tcp:127.0.0.1:7171"),
+            Some(ServiceAddr::Tcp("127.0.0.1:7171".into()))
+        );
+        assert_eq!(
+            ServiceAddr::parse("localhost:9"),
+            Some(ServiceAddr::Tcp("localhost:9".into()))
+        );
+        #[cfg(unix)]
+        assert_eq!(
+            ServiceAddr::parse("unix:/tmp/x.sock"),
+            Some(ServiceAddr::Unix(PathBuf::from("/tmp/x.sock")))
+        );
+        // Round-trips through Display.
+        let addr = ServiceAddr::parse("tcp:[::1]:4000").unwrap();
+        assert_eq!(ServiceAddr::parse(&addr.to_string()), Some(addr));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 32,
+            .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// The spec wire codec is exact over arbitrary bit patterns
+        /// (NaN payloads, -0.0, subnormals): decode(encode(s)) re-encodes
+        /// to the same bytes and hashes to the same content hash.
+        #[test]
+        fn prop_spec_codec_roundtrip(seed in 0u64..u64::MAX) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..8 {
+                let spec = arb_spec(&mut rng);
+                let bytes = encode_spec(&spec);
+                let back = decode_spec(&bytes).expect("codec must accept its own output");
+                proptest::prop_assert_eq!(&encode_spec(&back), &bytes);
+                proptest::prop_assert_eq!(back.content_hash(), spec.content_hash());
+            }
+        }
+
+        /// Frame + request/response codecs round-trip arbitrary records
+        /// and batches through an in-memory pipe.
+        #[test]
+        fn prop_frame_roundtrip(seed in 0u64..u64::MAX) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let record = arb_record(&mut rng);
+            let spec = arb_spec(&mut rng);
+            let requests = vec![
+                Request::Get {
+                    content_hash: rng.gen(),
+                    engine_version: ENGINE_VERSION,
+                    need_series: rng.gen::<u64>() % 2 == 0,
+                    algo: record.algo.clone(),
+                },
+                Request::Put { record: record.clone() },
+                Request::BatchGet {
+                    engine_version: ENGINE_VERSION,
+                    need_series: rng.gen::<u64>() % 2 == 0,
+                    algo: record.algo.clone(),
+                    items: vec![
+                        BatchItem { content_hash: rng.gen(), spec: encode_spec(&spec) },
+                        BatchItem { content_hash: rng.gen(), spec: vec![] },
+                    ],
+                },
+                Request::Stats,
+                Request::Shutdown,
+            ];
+            let responses = vec![
+                Response::Found { record: record.clone() },
+                Response::Miss,
+                Response::Ok,
+                Response::Batch { items: vec![Some(record.clone()), None] },
+                Response::Stats {
+                    stats: ServiceStats {
+                        records: rng.gen(),
+                        warm_hits: rng.gen(),
+                        simulated: rng.gen(),
+                        puts: rng.gen(),
+                        requests: rng.gen(),
+                    },
+                },
+                Response::Err { message: "refused ∆".into() },
+            ];
+            let mut wire = Vec::new();
+            for req in &requests {
+                write_frame(&mut wire, &encode_request(req)).unwrap();
+            }
+            for resp in &responses {
+                write_frame(&mut wire, &encode_response(resp)).unwrap();
+            }
+            let mut reader: &[u8] = &wire;
+            for req in &requests {
+                let body = read_frame(&mut reader).unwrap().expect("frame");
+                proptest::prop_assert_eq!(decode_request(&body).as_ref(), Some(req));
+            }
+            for resp in &responses {
+                let body = read_frame(&mut reader).unwrap().expect("frame");
+                proptest::prop_assert_eq!(decode_response(&body).as_ref(), Some(resp));
+            }
+            proptest::prop_assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+        }
+    }
+
+    /// Mirror of the segment suite's tamper test at the frame layer:
+    /// flip any single byte of a framed request and the reader must
+    /// reject or differ — never silently yield the original.
+    #[test]
+    fn frame_tamper_rejection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let original = Request::Put {
+            record: arb_record(&mut rng),
+        };
+        let body = encode_request(&original);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            let mut reader: &[u8] = &bad;
+            match read_frame(&mut reader) {
+                Err(_) => {}
+                Ok(None) => {}
+                Ok(Some(read_body)) => {
+                    // A length-prefix flip can reframe the stream; the
+                    // checksum must still keep the *content* honest.
+                    assert_ne!(
+                        decode_request(&read_body).as_ref(),
+                        Some(&original),
+                        "flip at byte {i} went unnoticed"
+                    );
+                }
+            }
+        }
+        // Truncation inside a frame is an error, not a short read.
+        let mut truncated: &[u8] = &wire[..wire.len() - 1];
+        assert!(read_frame(&mut truncated).is_err());
+    }
+
+    #[test]
+    fn oversized_and_undersized_frames_are_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut &wire[..]).is_err());
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MIN_FRAME - 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    /// End-to-end over TCP on an ephemeral port: cold batch-get
+    /// simulates on the server, warm get hits, put inserts, stats
+    /// count, shutdown saves canonically.
+    #[test]
+    fn tcp_end_to_end() {
+        let store_path = tmp_store("tcp-e2e");
+        let _ = std::fs::remove_file(&store_path);
+        let cfg = ServeConfig {
+            addr: ServiceAddr::Tcp("127.0.0.1:0".into()),
+            store: store_path.clone(),
+            format: StoreFormat::Binary,
+            threads: 1,
+            crash_after_batches: None,
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server =
+            std::thread::spawn(move || serve(&cfg, move |addr| tx.send(addr.clone()).unwrap()));
+        let addr = rx.recv().expect("server ready");
+        let mut client = ServiceClient::new(addr);
+
+        let specs = grid(3);
+        let points: Vec<(u64, &ScenarioSpec)> =
+            specs.iter().map(|s| (s.content_hash(), s)).collect();
+        // Cold: the server simulates every point.
+        let got = client.batch_get(Maintenance::NAME, false, &points).unwrap();
+        assert!(got.iter().all(Option::is_some));
+        for ((hash, spec), record) in points.iter().zip(&got) {
+            let record = record.as_ref().unwrap();
+            assert_eq!(record.content_hash, *hash);
+            assert_eq!(record.spec_canon, canon_string(&spec.canonical()));
+            let outcome = parse_outcome(&record.outcome_canon).expect("parses");
+            assert_eq!(outcome.index, 0, "stored outcomes are index-normalized");
+        }
+        // Warm: a single get hits the same record.
+        let warm = client
+            .get(points[0].0, Maintenance::NAME, false)
+            .unwrap()
+            .expect("warm hit");
+        assert_eq!(&warm, got[0].as_ref().unwrap());
+        // A series-requiring get over a scalar record is a miss.
+        assert!(client
+            .get(points[0].0, Maintenance::NAME, true)
+            .unwrap()
+            .is_none());
+        // Unknown algorithm: unresolved slots, not an error.
+        let unknown = client
+            .batch_get("no-such-algo", false, &points[..1])
+            .unwrap();
+        assert_eq!(unknown, vec![None]);
+        // Put a foreign record and read it back.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut foreign = arb_record(&mut rng);
+        foreign.tag = TAG_SCALAR;
+        foreign.outcome_canon = {
+            let outcome = crate::sweep::SweepOutcome {
+                index: 0,
+                seed: 1,
+                steady_skew: 2.0,
+                max_skew: 3.0,
+                agreement_holds: true,
+                max_abs_adjustment: 0.5,
+                mean_abs_adjustment: 0.25,
+                adjustment_holds: true,
+                stats: wl_sim::SimStats::default(),
+                series: None,
+            };
+            canon_string(&outcome)
+        };
+        client.put(&foreign).unwrap();
+        let back = client
+            .get(foreign.content_hash, &foreign.algo, false)
+            .unwrap()
+            .expect("put record readable");
+        assert_eq!(back, foreign);
+        // A conflicting put (same key, different outcome) is refused.
+        let mut conflicting = foreign.clone();
+        conflicting.outcome_canon = conflicting.outcome_canon.replace("seed:1", "seed:9");
+        assert!(client.put(&conflicting).is_err());
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.simulated, 3);
+        assert!(stats.warm_hits >= 2);
+        assert_eq!(stats.puts, 1);
+
+        client.shutdown().unwrap();
+        let report = server.join().unwrap().unwrap();
+        assert_eq!(report.stats.records, 4);
+
+        // The shut-down store is canonical and fully loadable.
+        let store = SweepStore::open(&store_path).unwrap();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.skipped_lines(), 0);
+        let _ = std::fs::remove_file(&store_path);
+    }
+
+    /// The cache tier end-to-end over a unix socket: prefetch seeds the
+    /// local cache so the sweep loop sees pure hits, and a dead server
+    /// degrades to a no-op instead of failing the sweep.
+    #[cfg(unix)]
+    #[test]
+    fn service_tier_prefetch_and_degrade() {
+        let store_path = tmp_store("tier");
+        let sock =
+            std::env::temp_dir().join(format!("wl-service-{}-tier.sock", std::process::id()));
+        let _ = std::fs::remove_file(&store_path);
+        let cfg = ServeConfig {
+            addr: ServiceAddr::Unix(sock.clone()),
+            store: store_path.clone(),
+            format: StoreFormat::Binary,
+            threads: 1,
+            crash_after_batches: None,
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server =
+            std::thread::spawn(move || serve(&cfg, move |addr| tx.send(addr.clone()).unwrap()));
+        let addr = rx.recv().expect("server ready");
+
+        let specs = grid(4);
+        let tier = ServiceSweepCache::new(addr.clone());
+        let cache = SweepCache::new();
+        assert_eq!(tier.prefetch::<Maintenance>(&specs, false, &cache), 4);
+        assert_eq!(tier.served(), 4);
+        // The sweep loop now sees pure hits — zero local simulations.
+        let runner = crate::sweep::SweepRunner::serial();
+        let out = runner.run(specs.clone(), |i, s| {
+            crate::sweep::run_point_cached::<Maintenance>(i, s, &cache)
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.hits(), 4);
+        // Outcomes match a direct simulation (index restored per grid).
+        let direct = run_point::<Maintenance>(2, &specs[2]);
+        assert_eq!(canon_string(&out[2]), canon_string(&direct));
+        // A second prefetch has nothing left to ask for.
+        assert_eq!(tier.prefetch::<Maintenance>(&specs, false, &cache), 0);
+        ServiceClient::new(addr).shutdown().unwrap();
+        server.join().unwrap().unwrap();
+
+        // Dead server: the tier degrades quietly and the sweep works.
+        let dead = ServiceSweepCache::new(ServiceAddr::Unix(
+            std::env::temp_dir().join("wl-service-no-such.sock"),
+        ));
+        let cold = SweepCache::new();
+        assert_eq!(dead.prefetch::<Maintenance>(&specs, false, &cold), 0);
+        let out = runner.run(specs, |i, s| {
+            crate::sweep::run_point_cached::<Maintenance>(i, s, &cold)
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(cold.misses(), 4, "degraded tier leaves the sweep local");
+        dead.push_back::<Maintenance>(&cold); // must be a no-op, not a hang
+        let _ = std::fs::remove_file(&store_path);
+    }
+
+    /// Series-requiring prefetch: the server simulates with capture and
+    /// the tier refuses to seed scalar records where series are needed.
+    #[cfg(unix)]
+    #[test]
+    fn service_tier_series_prefetch() {
+        let store_path = tmp_store("series");
+        let sock =
+            std::env::temp_dir().join(format!("wl-service-{}-series.sock", std::process::id()));
+        let _ = std::fs::remove_file(&store_path);
+        let cfg = ServeConfig {
+            addr: ServiceAddr::Unix(sock.clone()),
+            store: store_path.clone(),
+            format: StoreFormat::Binary,
+            threads: 1,
+            crash_after_batches: None,
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server =
+            std::thread::spawn(move || serve(&cfg, move |addr| tx.send(addr.clone()).unwrap()));
+        let addr = rx.recv().expect("server ready");
+
+        let specs = grid(2);
+        let tier = ServiceSweepCache::new(addr.clone());
+        let cache = SweepCache::new();
+        assert_eq!(tier.prefetch::<Maintenance>(&specs, true, &cache), 2);
+        for spec in &specs {
+            let canon = canon_string(&spec.canonical());
+            let hit = cache
+                .peek(spec.content_hash(), Maintenance::NAME, &canon, true)
+                .expect("series-bearing hit");
+            assert!(hit.series.is_some());
+        }
+        // The scalar-side view of those records also hits.
+        assert_eq!(tier.prefetch::<Maintenance>(&specs, false, &cache), 0);
+        ServiceClient::new(addr).shutdown().unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&store_path);
+    }
+}

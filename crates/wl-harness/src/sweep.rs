@@ -25,6 +25,7 @@ use crate::run::{
     run_capture, run_capture_enum, run_capture_mono, run_summary, run_summary_enum,
     run_summary_mono, RunSummary,
 };
+use crate::service::ServiceSweepCache;
 use crate::spec::ScenarioSpec;
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -401,9 +402,17 @@ impl SweepRunner {
         specs: Vec<ScenarioSpec>,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
-        self.run(specs, |index, spec| {
+        let service = ServiceSweepCache::from_env();
+        if let Some(service) = &service {
+            service.prefetch::<A>(&specs, true, cache);
+        }
+        let out = self.run(specs, |index, spec| {
             run_point_cached_series::<A>(index, spec, cache)
-        })
+        });
+        if let Some(service) = &service {
+            service.push_back::<A>(cache);
+        }
+        out
     }
 
     /// [`sweep`](SweepRunner::sweep) with memoization: grid points whose
@@ -426,9 +435,17 @@ impl SweepRunner {
         specs: Vec<ScenarioSpec>,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
-        self.run(specs, |index, spec| {
+        let service = ServiceSweepCache::from_env();
+        if let Some(service) = &service {
+            service.prefetch::<A>(&specs, false, cache);
+        }
+        let out = self.run(specs, |index, spec| {
             run_point_cached::<A>(index, spec, cache)
-        })
+        });
+        if let Some(service) = &service {
+            service.push_back::<A>(cache);
+        }
+        out
     }
 
     /// Runs only the grid points owned by `shard`, with **grid-global**
@@ -476,8 +493,10 @@ fn shard_slice(specs: Vec<ScenarioSpec>, shard: Shard) -> Vec<(usize, ScenarioSp
 /// enum-dispatched `Vec<A::FleetAuto>` fast path; only traced specs
 /// fall back to `Box<dyn Automaton>`. All three paths are pinned
 /// bit-identical by `mono_path_bit_identical_to_boxed` and
-/// `enum_path_bit_identical_to_boxed`.
-fn run_point<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
+/// `enum_path_bit_identical_to_boxed`. `pub(crate)` so
+/// [`crate::service`]'s server pool simulates misses through the exact
+/// same body.
+pub(crate) fn run_point<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
     let t_end = spec.t_end.as_secs();
     let summary = match assemble_mono::<A>(spec) {
         Some(built) => run_summary_mono(built, t_end),
@@ -494,7 +513,10 @@ fn run_point<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutco
 /// [`SweepSeries`] before they are dropped. The scalar fields are
 /// bit-identical to [`run_point`]'s (the capture is a read-only pass
 /// over the same run).
-fn run_point_series<A: SweepAlgorithm>(index: usize, spec: &ScenarioSpec) -> SweepOutcome {
+pub(crate) fn run_point_series<A: SweepAlgorithm>(
+    index: usize,
+    spec: &ScenarioSpec,
+) -> SweepOutcome {
     let t_end = spec.t_end.as_secs();
     let (summary, series) = match assemble_mono::<A>(spec) {
         Some(built) => run_capture_mono(built, t_end),
@@ -651,6 +673,27 @@ impl SweepCache {
                 outcome,
             },
         );
+    }
+
+    /// [`lookup`](SweepCache::lookup) without touching the hit/miss
+    /// counters — how [`crate::service`]'s client tier decides which
+    /// grid points still need resolving without disturbing the
+    /// statistics contracts (`WL_SWEEP_EXPECT_MISSES` counts only what
+    /// the sweep loop itself observes).
+    pub(crate) fn peek(
+        &self,
+        content_hash: u64,
+        algo: &str,
+        spec_canon: &str,
+        need_series: bool,
+    ) -> Option<SweepOutcome> {
+        self.map
+            .lock()
+            .expect("sweep cache poisoned")
+            .get(&entry_key(content_hash, algo))
+            .filter(|e| e.algo == algo && e.spec_canon == spec_canon)
+            .filter(|e| !need_series || e.outcome.series.is_some())
+            .map(|e| e.outcome.clone())
     }
 
     /// Seeds an entry without touching the hit/miss counters — how
