@@ -19,23 +19,41 @@
 //! byte-identical — CI pins exactly that. The run fails if the injected
 //! crash did not actually cause a restart, so the smoke cannot silently
 //! stop covering the restart path.
+//!
+//! `--transport subprocess|dropbox|service` switches the drive from the
+//! static `k/N` sharding above to the **work-stealing frontier**
+//! (`wl_harness::transport`): the grid is cut into chunks, workers pull
+//! chunks from a shared frontier directory (atomic rename claims, orphan
+//! requeue after `--steal-ms`), and the chosen transport decides where
+//! the shared state lives — drive-local (`subprocess`), under a shared
+//! drop-box directory any machine can mount (`dropbox`), or subprocess
+//! plus the `WL_SWEEP_SERVICE` results service (`service`, requiring
+//! that env var). Workers re-enter this binary in `--frontier-worker`
+//! mode. A frontier directory left over from a *different* grid, chunk
+//! size, or engine version is refused with a clear error naming the
+//! mismatched field — never silently merged, never a hang.
 
 use bench::{demo_grid, DEMO_GRID};
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
 use wl_harness::{
-    drive, run_worker, DriverConfig, Maintenance, Shard, StoreFormat, SweepRunner, SweepStore,
-    WorkerConfig,
+    drive, drive_frontier, run_worker, run_worker_frontier, DriverConfig, DropBoxTransport,
+    FrontierDriveReport, FrontierDriverConfig, FrontierWorkerConfig, Maintenance, ServiceTransport,
+    Shard, StoreFormat, SubprocessTransport, SweepRunner, SweepStore, WorkerConfig, WorkerLaunch,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sweep_drive --workers N [--grid SIZE] [--dir DIR] [--out FILE] \
          [--checkpoint C] [--retries R] [--stall-ms T] [--crash-worker K] \
-         [--format text|binary] [--compact]\n  \
+         [--format text|binary] [--compact] \
+         [--transport subprocess|dropbox|service] [--chunk C] [--steal-ms T]\n  \
          sweep_drive --worker K/N --store FILE [--grid SIZE] [--checkpoint C] [--crash-after M] \
-         [--format text|binary]"
+         [--format text|binary]\n  \
+         sweep_drive --frontier-worker --frontier DIR --worker-id ID --store FILE \
+         [--grid SIZE] [--format text|binary] [--steal-ms T] [--poll-ms T] \
+         [--crash-after-chunks M]"
     );
     std::process::exit(2);
 }
@@ -49,8 +67,63 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--workers") => driver_main(&args),
         Some("--worker") => worker_main(&args[1..]),
+        Some("--frontier-worker") => frontier_worker_main(&args[1..]),
         _ => usage(),
     }
+}
+
+/// The frontier worker protocol: open the shared frontier (refusing a
+/// foreign one), claim chunks until every chunk is done, checkpoint the
+/// private store per chunk; print one progress line per chunk.
+fn frontier_worker_main(args: &[String]) {
+    let mut it = args.iter();
+    let mut frontier: Option<String> = None;
+    let mut worker: Option<String> = None;
+    let mut store: Option<String> = None;
+    let mut grid_size = DEMO_GRID;
+    let mut format = StoreFormat::Text;
+    let mut steal_ms = 2000u64;
+    let mut poll_ms = 100u64;
+    let mut crash_after_chunks = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--frontier" => frontier = it.next().cloned(),
+            "--worker-id" => worker = it.next().cloned(),
+            "--store" => store = it.next().cloned(),
+            "--grid" => grid_size = parse(it.next()),
+            "--format" => format = parse(it.next()),
+            "--steal-ms" => steal_ms = parse(it.next()),
+            "--poll-ms" => poll_ms = parse(it.next()),
+            "--crash-after-chunks" => crash_after_chunks = Some(parse(it.next())),
+            _ => usage(),
+        }
+    }
+    let worker = worker.unwrap_or_else(|| usage());
+    let cfg = FrontierWorkerConfig {
+        frontier: PathBuf::from(frontier.unwrap_or_else(|| usage())),
+        worker: worker.clone(),
+        store: PathBuf::from(store.unwrap_or_else(|| usage())),
+        format,
+        steal_timeout: Duration::from_millis(steal_ms),
+        poll: Duration::from_millis(poll_ms),
+        crash_after_chunks,
+    };
+    let progress =
+        run_worker_frontier::<Maintenance>(&SweepRunner::new(), demo_grid(grid_size), &cfg, |p| {
+            println!(
+                "progress worker={worker} chunks={} stolen={} requeued={} points={} \
+                 hits={} misses={} records={}",
+                p.chunks, p.stolen, p.requeued, p.points, p.hits, p.misses, p.records
+            );
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("frontier worker {worker}: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "frontier worker {worker} complete: {} chunk(s), {} point(s) ({} hits, {} misses)",
+        progress.chunks, progress.points, progress.hits, progress.misses
+    );
 }
 
 /// The worker protocol: run one shard of the demo grid, checkpointing
@@ -111,6 +184,9 @@ fn driver_main(args: &[String]) {
     let mut crash_worker: Option<u32> = None;
     let mut format = StoreFormat::Text;
     let mut compact = false;
+    let mut transport: Option<String> = None;
+    let mut chunk = 4usize;
+    let mut steal_ms = 2000u64;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--grid" => grid_size = parse(it.next()),
@@ -122,6 +198,9 @@ fn driver_main(args: &[String]) {
             "--crash-worker" => crash_worker = Some(parse(it.next())),
             "--format" => format = parse(it.next()),
             "--compact" => compact = true,
+            "--transport" => transport = it.next().cloned(),
+            "--chunk" => chunk = parse(it.next()),
+            "--steal-ms" => steal_ms = parse(it.next()),
             _ => usage(),
         }
     }
@@ -136,6 +215,24 @@ fn driver_main(args: &[String]) {
     }
     let out = out.unwrap_or_else(|| dir.join("merged.wls"));
     let exe = std::env::current_exe().expect("own executable path");
+
+    if let Some(transport) = transport {
+        frontier_drive(FrontierDrive {
+            transport,
+            workers,
+            grid_size,
+            dir,
+            out,
+            chunk,
+            retries,
+            stall_ms,
+            steal_ms,
+            crash_worker,
+            format,
+            exe,
+        });
+        return;
+    }
 
     let mut cfg = DriverConfig::new(workers, dir, out.clone());
     cfg.max_restarts = retries;
@@ -218,24 +315,141 @@ fn driver_main(args: &[String]) {
         std::process::exit(1);
     }
 
-    // Exactly one record per grid point: a surplus means the work dir
-    // held shard stores from another grid, and the output would not be
-    // byte-comparable to a clean run — the property this tool exists to
-    // guarantee.
-    if report.merged_records != grid_size {
+    verify_merged(&out, grid_size, report.merged_records, &cfg.dir);
+}
+
+/// Everything a `--transport` frontier drive needs, parsed off the CLI.
+struct FrontierDrive {
+    transport: String,
+    workers: u32,
+    grid_size: usize,
+    dir: PathBuf,
+    out: PathBuf,
+    chunk: usize,
+    retries: u32,
+    stall_ms: Option<u64>,
+    steal_ms: u64,
+    crash_worker: Option<u32>,
+    format: StoreFormat,
+    exe: PathBuf,
+}
+
+/// The work-stealing drive: cut the grid into chunks, run the fleet over
+/// the chosen transport, and apply the same post-drive self-checks as
+/// the static-shard path.
+fn frontier_drive(args: FrontierDrive) {
+    let mut cfg = FrontierDriverConfig::new(args.workers, args.dir.clone(), args.out.clone());
+    cfg.chunk = args.chunk;
+    cfg.max_restarts = args.retries;
+    cfg.stall_timeout = args.stall_ms.map(Duration::from_millis);
+    cfg.steal_timeout = Duration::from_millis(args.steal_ms);
+    cfg.format = args.format;
+
+    let grid_size = args.grid_size;
+    let steal_ms = args.steal_ms;
+    let crash_worker = args.crash_worker;
+    let format = args.format;
+    let exe = args.exe.clone();
+    let command_for = move |launch: &WorkerLaunch| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--frontier-worker")
+            .arg("--frontier")
+            .arg(&launch.frontier)
+            .arg("--worker-id")
+            .arg(&launch.worker)
+            .arg("--store")
+            .arg(&launch.store)
+            .arg("--grid")
+            .arg(grid_size.to_string())
+            .arg("--format")
+            .arg(format.to_string())
+            .arg("--steal-ms")
+            .arg(steal_ms.to_string());
+        // Fault injection only poisons the first launch: the restart the
+        // driver issues must run clean and converge.
+        if launch.attempt == 0 && crash_worker == Some(launch.slot) {
+            cmd.arg("--crash-after-chunks").arg("1");
+        }
+        cmd
+    };
+
+    let grid = demo_grid(args.grid_size);
+    let result = match args.transport.as_str() {
+        "subprocess" => {
+            drive_frontier::<Maintenance>(&cfg, &grid, &mut SubprocessTransport::new(command_for))
+        }
+        "dropbox" => {
+            drive_frontier::<Maintenance>(&cfg, &grid, &mut DropBoxTransport::new(command_for))
+        }
+        "service" => {
+            // The service transport points workers at a *running*
+            // sweep_serve; this CLI takes its address from the same env
+            // knob the workers will see.
+            let Ok(addr) = std::env::var("WL_SWEEP_SERVICE") else {
+                eprintln!(
+                    "--transport service needs WL_SWEEP_SERVICE set to a running \
+                     sweep_serve address (unix:<path> or tcp:<host>:<port>)"
+                );
+                std::process::exit(2);
+            };
+            drive_frontier::<Maintenance>(
+                &cfg,
+                &grid,
+                &mut ServiceTransport::new(addr, command_for),
+            )
+        }
+        other => {
+            eprintln!("unknown transport {other:?}: use subprocess, dropbox, or service");
+            std::process::exit(2);
+        }
+    };
+    // A foreign frontier (different grid, chunking, or engine) is a
+    // clear refusal, not a hang or a silent merge.
+    let report: FrontierDriveReport = result.unwrap_or_else(|e| {
+        eprintln!("sweep_drive failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "driver[{}]: {} worker(s) stealing {}-point chunks over {} grid points; \
+         {} restart(s) ({} stall kill(s), {} slot(s) retired), {} claim(s) requeued; \
+         merged {} store(s) = {} record(s) -> {}",
+        args.transport,
+        args.workers,
+        cfg.chunk,
+        args.grid_size,
+        report.restarts,
+        report.stall_kills,
+        report.retired,
+        report.requeued,
+        report.stores_merged,
+        report.merged_records,
+        args.out.display()
+    );
+
+    if args.crash_worker.is_some() && report.restarts == 0 {
+        eprintln!("crash injection requested but no worker was ever restarted");
+        std::process::exit(1);
+    }
+
+    verify_merged(&args.out, args.grid_size, report.merged_records, &args.dir);
+}
+
+/// The post-drive self-checks every drive must pass, frontier or static:
+/// exactly one record per grid point (a surplus means the work dir held
+/// stores from another grid), and the merged store serves the whole grid
+/// without a single simulation.
+fn verify_merged(out: &PathBuf, grid_size: usize, merged_records: usize, dir: &std::path::Path) {
+    if merged_records != grid_size {
         eprintln!(
-            "merged store holds {} record(s) for a {grid_size}-point grid; \
+            "merged store holds {merged_records} record(s) for a {grid_size}-point grid; \
              is {} reused from another grid? use a fresh --dir",
-            report.merged_records,
-            cfg.dir.display()
+            dir.display()
         );
         std::process::exit(1);
     }
 
-    // Self-check: the merged store must serve the whole grid without a
-    // single simulation. Machine-checked here so every driver run —
-    // local or CI — proves the merge actually covers the grid.
-    let merged = SweepStore::open(&out).unwrap_or_else(|e| {
+    let merged = SweepStore::open(out).unwrap_or_else(|e| {
         eprintln!("cannot reopen merged store: {e}");
         std::process::exit(1);
     });

@@ -299,9 +299,9 @@ impl From<io::Error> for DriveError {
 /// The heartbeat signature of one worker: (store mtime + size, log size).
 /// Any change counts as life; checkpoint saves touch the store, progress
 /// lines grow the log.
-type BeatSig = (Option<(SystemTime, u64)>, u64);
+pub(crate) type BeatSig = (Option<(SystemTime, u64)>, u64);
 
-fn beat_sig(store: &Path, log: &Path) -> BeatSig {
+pub(crate) fn beat_sig(store: &Path, log: &Path) -> BeatSig {
     let store_sig = std::fs::metadata(store)
         .ok()
         .and_then(|m| Some((m.modified().ok()?, m.len())));
@@ -321,7 +321,7 @@ struct Slot {
     done: bool,
 }
 
-fn spawn_worker(mut cmd: Command, log: &Path) -> io::Result<Child> {
+pub(crate) fn spawn_worker(mut cmd: Command, log: &Path) -> io::Result<Child> {
     let log_file = std::fs::File::options()
         .create(true)
         .append(true)

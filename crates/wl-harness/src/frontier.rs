@@ -1,0 +1,978 @@
+//! The work-stealing frontier: a persisted queue of grid **chunks** that
+//! any number of workers — local subprocesses, remote machines on a
+//! shared mount, service-backed fleets — drain cooperatively.
+//!
+//! PR 4's driver slices a grid statically (`k/N` shards), which makes a
+//! heterogeneous fleet finish at the pace of its slowest member and
+//! makes a dead worker's slice wait for a restart. The frontier replaces
+//! the static slice with a directory of chunk files whose *names* encode
+//! their state, moved between states with `rename(2)` — the one
+//! filesystem operation that is atomic on every platform this workspace
+//! targets, including NFS-style shared mounts:
+//!
+//! ```text
+//! frontier/
+//!   frontier.manifest      # the grid this frontier belongs to (identity)
+//!   c00004.todo            # chunk 4: unclaimed
+//!   c00002.claim-w1-a0     # chunk 2: claimed by worker "w1-a0"
+//!   c00000.done            # chunk 0: results durably checkpointed
+//! ```
+//!
+//! * **Claim** — rename `cNNNNN.todo` → `cNNNNN.claim-<worker>`. Two
+//!   workers racing the same chunk issue two renames of the same source;
+//!   exactly one succeeds, the loser moves on. The winner then touches
+//!   the claim file, and keeps touching it per grid point — the file's
+//!   mtime is the chunk's heartbeat.
+//! * **Complete** — the worker checkpoints its store (the chunk's
+//!   records are durable *first*), then renames the claim → `.done`.
+//!   `.done` files are only ever created, never removed, so "all chunks
+//!   done" is a stable, race-free completion test.
+//! * **Orphan requeue** — a claim whose mtime is older than the steal
+//!   timeout is renamed back to `.todo` by whoever notices (a worker out
+//!   of work, or the driver's monitor loop); a crashed worker's chunks
+//!   are simply re-claimed. A *falsely* orphaned claim (the owner was
+//!   slow, not dead) is harmless: the owner's completion rename fails
+//!   with `NotFound`, its results stay in its own store, and the
+//!   equality-confirmed merge tolerates the duplicate coverage.
+//!
+//! Every transition is a single-source rename, so each chunk is in
+//! exactly one state; re-execution is idempotent because outcomes are
+//! pure functions of the spec and the merge refuses disagreement. That
+//! is why the merged store is **byte-identical to a 1-process run for
+//! any chunk size, claim interleaving, or worker death schedule** —
+//! pinned by `tests/frontier_determinism.rs` (proptest) and the
+//! transport conformance suite. Byte layout and protocol:
+//! `docs/sweeps.md` § "The frontier".
+//!
+//! The frontier refuses to operate on a directory initialized for a
+//! *different* grid (other specs, other chunk size, other
+//! [`ENGINE_VERSION`]): the manifest pins the identity, and a mismatch
+//! is a [`FrontierError::Mismatch`] naming the offending field — never a
+//! silent merge of two unrelated sweeps.
+
+use crate::cache::{
+    canon_string, fnv64_seeded, StoreFormat, SweepStore, ENGINE_VERSION, FNV_OFFSET,
+};
+use crate::spec::ScenarioSpec;
+use crate::sweep::{run_point_cached, SweepAlgorithm, SweepRunner};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// Name of the identity file inside a frontier directory.
+const MANIFEST: &str = "frontier.manifest";
+
+// ---------------------------------------------------------------------------
+// Identity.
+// ---------------------------------------------------------------------------
+
+/// What makes two frontiers "the same sweep": the grid, the algorithm,
+/// the chunking, and the engine that will execute the points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierSpec {
+    /// Number of grid points.
+    pub grid_len: usize,
+    /// Grid points per chunk (the work-stealing granule).
+    pub chunk: usize,
+    /// Algorithm name ([`crate::SyncAlgorithm::NAME`]).
+    pub algo: String,
+    /// FNV-1a over every canonical spec serialization, in grid order —
+    /// two grids hash equal iff they execute identically.
+    pub grid_hash: u64,
+    /// The [`ENGINE_VERSION`] whose records this frontier produces.
+    pub engine_version: u32,
+}
+
+impl FrontierSpec {
+    /// The identity of `grid` under algorithm `A`, cut into
+    /// `chunk`-point chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    #[must_use]
+    pub fn for_grid<A: SweepAlgorithm>(grid: &[ScenarioSpec], chunk: usize) -> Self {
+        assert!(chunk >= 1, "frontier chunks must hold at least one point");
+        let mut hash = FNV_OFFSET;
+        for spec in grid {
+            hash = fnv64_seeded(hash, canon_string(&spec.canonical()).as_bytes());
+            hash = fnv64_seeded(hash, b"\n");
+        }
+        Self {
+            grid_len: grid.len(),
+            chunk,
+            algo: A::NAME.to_string(),
+            grid_hash: hash,
+            engine_version: ENGINE_VERSION,
+        }
+    }
+
+    /// Number of chunks this spec cuts the grid into.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.grid_len.div_ceil(self.chunk)
+    }
+
+    fn manifest_text(&self) -> String {
+        format!(
+            "wl-frontier v1\nengine {}\nalgo {}\ngrid_len {}\nchunk {}\ngrid_hash {:016x}\n",
+            self.engine_version, self.algo, self.grid_len, self.chunk, self.grid_hash
+        )
+    }
+
+    fn parse_manifest(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        if lines.next()? != "wl-frontier v1" {
+            return None;
+        }
+        let mut field = |name: &str| -> Option<String> {
+            let line = lines.next()?;
+            let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+            Some(rest.to_string())
+        };
+        Some(Self {
+            engine_version: field("engine")?.parse().ok()?,
+            algo: field("algo")?,
+            grid_len: field("grid_len")?.parse().ok()?,
+            chunk: field("chunk")?.parse().ok()?,
+            grid_hash: u64::from_str_radix(&field("grid_hash")?, 16).ok()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// Why a frontier could not be initialized, opened, or drained.
+#[derive(Debug)]
+pub enum FrontierError {
+    /// Filesystem trouble.
+    Io(io::Error),
+    /// The directory holds a frontier for a **different sweep** — wrong
+    /// grid, wrong algorithm, wrong chunk size, or wrong engine. Using
+    /// it would merge two unrelated sweeps, so the operation refuses.
+    Mismatch {
+        /// The frontier directory that was refused.
+        dir: PathBuf,
+        /// The manifest field that disagreed (`engine`, `algo`,
+        /// `grid_len`, `chunk`, `grid_hash`).
+        field: &'static str,
+        /// What the on-disk manifest says.
+        found: String,
+        /// What this run expected.
+        expected: String,
+    },
+    /// The directory has no (parseable) manifest where one is required —
+    /// workers refuse to guess what grid a bare directory means.
+    Missing {
+        /// The directory lacking a manifest.
+        dir: PathBuf,
+    },
+}
+
+impl std::fmt::Display for FrontierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "frontier I/O failure: {e}"),
+            Self::Mismatch {
+                dir,
+                field,
+                found,
+                expected,
+            } => write!(
+                f,
+                "frontier at {} belongs to a different sweep: {field} is {found}, \
+                 this run expects {expected} — use a fresh directory (or finish/delete \
+                 the old sweep first)",
+                dir.display()
+            ),
+            Self::Missing { dir } => write!(
+                f,
+                "no frontier manifest in {} — initialize the frontier (driver side) \
+                 before starting workers",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrontierError {}
+
+impl From<io::Error> for FrontierError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The frontier.
+// ---------------------------------------------------------------------------
+
+/// Counts of chunks per state, from one directory scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontierStatus {
+    /// Unclaimed chunks.
+    pub todo: usize,
+    /// Chunks currently claimed by some worker.
+    pub claimed: usize,
+    /// Chunks whose results are durably checkpointed.
+    pub done: usize,
+}
+
+/// A handle on one frontier directory (see the module docs for the
+/// on-disk protocol).
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    dir: PathBuf,
+    spec: FrontierSpec,
+}
+
+impl Frontier {
+    /// Initializes (or resumes) the frontier for `spec` in `dir` — the
+    /// **driver** side. A fresh directory gets one `.todo` file per
+    /// chunk plus the manifest (written last, atomically, so a manifest
+    /// implies a fully populated frontier). A directory already holding
+    /// a manifest is validated against `spec`: a match *resumes* (chunks
+    /// already done stay done — a re-drive pays only the remainder); any
+    /// mismatch is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`FrontierError::Mismatch`] for a foreign frontier,
+    /// [`FrontierError::Io`] for filesystem failures.
+    pub fn init(dir: impl Into<PathBuf>, spec: FrontierSpec) -> Result<Self, FrontierError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST);
+        if manifest.exists() {
+            let frontier = Self { dir, spec };
+            frontier.validate()?;
+            return Ok(frontier);
+        }
+        let frontier = Self { dir, spec };
+        for c in 0..frontier.spec.chunks() {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(frontier.todo_path(c))
+            {
+                Ok(_) => {}
+                // A torn previous init left this one behind; keep it.
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Manifest last, atomically: its existence certifies the chunk
+        // files above are all in place.
+        let tmp = frontier.dir.join(format!("{MANIFEST}.tmp"));
+        std::fs::write(&tmp, frontier.spec.manifest_text())?;
+        std::fs::rename(&tmp, manifest)?;
+        Ok(frontier)
+    }
+
+    /// Opens an existing frontier — the **worker** side. The manifest
+    /// must exist and must match `spec` in every field except `chunk`
+    /// (workers adopt whatever chunking the initializer picked, so the
+    /// caller's `spec.chunk` is ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`FrontierError::Missing`] if there is no manifest,
+    /// [`FrontierError::Mismatch`] for a foreign frontier.
+    pub fn open(dir: impl Into<PathBuf>, spec: FrontierSpec) -> Result<Self, FrontierError> {
+        let dir = dir.into();
+        let manifest = Self::read_manifest(&dir)?;
+        let frontier = Self {
+            dir,
+            spec: FrontierSpec {
+                chunk: manifest.chunk,
+                ..spec
+            },
+        };
+        frontier.validate()?;
+        Ok(frontier)
+    }
+
+    fn read_manifest(dir: &Path) -> Result<FrontierSpec, FrontierError> {
+        let text = match std::fs::read_to_string(dir.join(MANIFEST)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(FrontierError::Missing { dir: dir.into() })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        FrontierSpec::parse_manifest(&text)
+            .ok_or_else(|| FrontierError::Missing { dir: dir.into() })
+    }
+
+    /// Re-reads the manifest and checks every identity field.
+    fn validate(&self) -> Result<(), FrontierError> {
+        let found = Self::read_manifest(&self.dir)?;
+        let want = &self.spec;
+        let mismatch = |field, found: String, expected: String| {
+            Err(FrontierError::Mismatch {
+                dir: self.dir.clone(),
+                field,
+                found,
+                expected,
+            })
+        };
+        if found.engine_version != want.engine_version {
+            return mismatch(
+                "engine",
+                format!("v{}", found.engine_version),
+                format!("v{}", want.engine_version),
+            );
+        }
+        if found.algo != want.algo {
+            return mismatch("algo", found.algo, want.algo.clone());
+        }
+        if found.grid_len != want.grid_len {
+            return mismatch(
+                "grid_len",
+                found.grid_len.to_string(),
+                want.grid_len.to_string(),
+            );
+        }
+        if found.chunk != want.chunk {
+            return mismatch("chunk", found.chunk.to_string(), want.chunk.to_string());
+        }
+        if found.grid_hash != want.grid_hash {
+            return mismatch(
+                "grid_hash",
+                format!("{:016x}", found.grid_hash),
+                format!("{:016x}", want.grid_hash),
+            );
+        }
+        Ok(())
+    }
+
+    /// The identity this frontier was opened with.
+    #[must_use]
+    pub fn spec(&self) -> &FrontierSpec {
+        &self.spec
+    }
+
+    /// The frontier directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total chunk count.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.spec.chunks()
+    }
+
+    /// The grid-index range chunk `c` owns.
+    #[must_use]
+    pub fn chunk_range(&self, c: usize) -> std::ops::Range<usize> {
+        let start = c * self.spec.chunk;
+        start..((c + 1) * self.spec.chunk).min(self.spec.grid_len)
+    }
+
+    fn todo_path(&self, c: usize) -> PathBuf {
+        self.dir.join(format!("c{c:05}.todo"))
+    }
+
+    fn done_path(&self, c: usize) -> PathBuf {
+        self.dir.join(format!("c{c:05}.done"))
+    }
+
+    fn claim_path(&self, c: usize, worker: &str) -> PathBuf {
+        self.dir.join(format!("c{c:05}.claim-{worker}"))
+    }
+
+    /// Parses `cNNNNN.<state>` off a directory entry.
+    fn parse_entry(name: &str) -> Option<(usize, &str)> {
+        let rest = name.strip_prefix('c')?;
+        let (digits, state) = rest.split_once('.')?;
+        if digits.len() != 5 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        Some((digits.parse().ok()?, state))
+    }
+
+    fn scan(&self) -> io::Result<Vec<(usize, String)>> {
+        let mut entries = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((chunk, state)) = Self::parse_entry(name) {
+                entries.push((chunk, state.to_string()));
+            }
+        }
+        entries.sort();
+        Ok(entries)
+    }
+
+    /// One directory scan, bucketed by state.
+    ///
+    /// # Errors
+    ///
+    /// Directory read failures.
+    pub fn status(&self) -> io::Result<FrontierStatus> {
+        let mut status = FrontierStatus::default();
+        for (_, state) in self.scan()? {
+            match state.as_str() {
+                "todo" => status.todo += 1,
+                "done" => status.done += 1,
+                s if s.starts_with("claim-") => status.claimed += 1,
+                _ => {}
+            }
+        }
+        Ok(status)
+    }
+
+    /// Whether every chunk's results are durably checkpointed. `.done`
+    /// files are only ever created, so a `true` is final — no rename
+    /// race can un-complete a frontier.
+    ///
+    /// # Errors
+    ///
+    /// Directory read failures.
+    pub fn is_complete(&self) -> io::Result<bool> {
+        Ok((0..self.chunks()).all(|c| self.done_path(c).exists()))
+    }
+
+    /// Tries to claim one `.todo` chunk for `worker` (lowest chunk id
+    /// first, so progress is front-to-back and post-mortems read
+    /// linearly). `Ok(None)` = nothing claimable *right now* — the
+    /// caller distinguishes "all done" from "all claimed elsewhere" via
+    /// [`status`](Self::status).
+    ///
+    /// # Errors
+    ///
+    /// Directory read failures. Losing a claim race is not an error.
+    pub fn claim(&self, worker: &str) -> io::Result<Option<Claim>> {
+        for (chunk, state) in self.scan()? {
+            if state != "todo" {
+                continue;
+            }
+            let claim = self.claim_path(chunk, worker);
+            match std::fs::rename(self.todo_path(chunk), &claim) {
+                Ok(()) => {
+                    // rename(2) preserves mtime; the heartbeat starts at
+                    // the moment of claiming, so stamp it.
+                    let _ = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(&claim)
+                        .and_then(|mut f| f.write_all(b"+"));
+                    return Ok(Some(Claim {
+                        chunk,
+                        range: self.chunk_range(chunk),
+                        path: claim,
+                        done: self.done_path(chunk),
+                        todo: self.todo_path(chunk),
+                    }));
+                }
+                // Someone else won the rename; try the next chunk.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Requeues every claim whose heartbeat (file mtime) is older than
+    /// `timeout` — the crash-recovery half of work stealing. Returns how
+    /// many chunks went back to `.todo`.
+    ///
+    /// # Errors
+    ///
+    /// Directory read failures. A claim vanishing mid-requeue (its owner
+    /// completed or another stealer got there first) is not an error.
+    pub fn requeue_stale(&self, timeout: Duration) -> io::Result<usize> {
+        let mut requeued = 0;
+        for (chunk, state) in self.scan()? {
+            if !state.starts_with("claim-") {
+                continue;
+            }
+            let path = self.dir.join(format!("c{chunk:05}.{state}"));
+            let stale = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+                .is_some_and(|age| age >= timeout);
+            if !stale {
+                continue;
+            }
+            match std::fs::rename(&path, self.todo_path(chunk)) {
+                Ok(()) => requeued += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(requeued)
+    }
+}
+
+/// A claimed chunk: the worker's exclusive (until stolen) license to
+/// execute one grid-index range.
+#[derive(Debug)]
+pub struct Claim {
+    chunk: usize,
+    range: std::ops::Range<usize>,
+    path: PathBuf,
+    done: PathBuf,
+    todo: PathBuf,
+}
+
+impl Claim {
+    /// The claimed chunk's id.
+    #[must_use]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The grid-index range this chunk owns.
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.range.clone()
+    }
+
+    /// Refreshes the claim's heartbeat (appends one byte, advancing the
+    /// file mtime). Returns `false` if the claim has been stolen — the
+    /// worker may finish the chunk anyway (harmless; see module docs) or
+    /// abandon it.
+    pub fn beat(&self) -> bool {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .and_then(|mut f| f.write_all(b"."))
+            .is_ok()
+    }
+
+    /// Marks the chunk done. Call **only after** the store holding its
+    /// records has been checkpointed — `.done` means durable. Returns
+    /// `false` if the claim was stolen while the worker ran (the chunk
+    /// is someone else's to finish; the caller's records merge fine).
+    ///
+    /// # Errors
+    ///
+    /// Rename failures other than the claim being gone.
+    pub fn complete(self) -> io::Result<bool> {
+        match std::fs::rename(&self.path, &self.done) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns the chunk to `.todo` unexecuted (a worker shutting down
+    /// gracefully mid-queue).
+    ///
+    /// # Errors
+    ///
+    /// Rename failures other than the claim being gone.
+    pub fn release(self) -> io::Result<()> {
+        match std::fs::rename(&self.path, &self.todo) {
+            Ok(()) | Err(_) => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The frontier worker body.
+// ---------------------------------------------------------------------------
+
+/// Configuration of one frontier worker (the subprocess side of every
+/// transport).
+#[derive(Debug, Clone)]
+pub struct FrontierWorkerConfig {
+    /// The frontier directory (must already be initialized).
+    pub frontier: PathBuf,
+    /// This worker's claim identity — unique per launch (the transports
+    /// use `w<slot>-a<attempt>`), sanitized to `[A-Za-z0-9_-]`.
+    pub worker: String,
+    /// The worker's private store (created if missing, hydrated if
+    /// present — a restarted worker resumes, paying only for points that
+    /// never checkpointed).
+    pub store: PathBuf,
+    /// On-disk store format (binary checkpoints are O(chunk) appends).
+    pub format: StoreFormat,
+    /// Claims older than this are considered orphaned and requeued when
+    /// this worker runs out of `.todo` chunks.
+    pub steal_timeout: Duration,
+    /// How long to sleep between frontier scans while waiting for
+    /// claimed-elsewhere chunks to resolve.
+    pub poll: Duration,
+    /// Fault injection: abort the process (as `kill -9` would) right
+    /// after checkpointing this many chunks, **before** marking the last
+    /// one done — the orphaned claim is what work stealing must recover.
+    pub crash_after_chunks: Option<usize>,
+}
+
+/// Cumulative progress of a frontier worker, reported after every chunk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontierProgress {
+    /// Chunks this worker completed (claim → checkpoint → done).
+    pub chunks: usize,
+    /// Chunks this worker executed but could not mark done (its claim
+    /// was stolen mid-run; the records still merge).
+    pub stolen: usize,
+    /// Orphaned claims this worker requeued for anyone to steal.
+    pub requeued: usize,
+    /// Grid points processed (hits and misses both count).
+    pub points: usize,
+    /// Cache hits (points served without simulating).
+    pub hits: u64,
+    /// Cache misses (points that ran a simulation).
+    pub misses: u64,
+    /// Records in the worker store after the last checkpoint.
+    pub records: usize,
+}
+
+/// Drains the frontier at `cfg.frontier`: claim a chunk, execute its
+/// grid points through the shared cached per-point body, checkpoint,
+/// mark done, repeat — until every chunk is `.done`. The worker protocol
+/// body shared by `sweep_drive --frontier-worker`, the conformance
+/// suite's workers, and any remote machine on a shared mount.
+///
+/// When `WL_SWEEP_SERVICE` is configured, each claimed chunk is first
+/// offered to the service as one batch claim (warm points arrive as
+/// records, cold ones simulate locally) and the simulated remainder is
+/// pushed back per chunk — so a service-backed fleet shares work at
+/// chunk granularity, not only per sweep.
+///
+/// `on_chunk` fires after every chunk resolution (done, stolen, or
+/// requeue pass); workers print one progress line from it.
+///
+/// # Errors
+///
+/// [`FrontierError::Missing`]/[`FrontierError::Mismatch`] if the
+/// directory does not hold this grid's frontier; I/O failures.
+pub fn run_worker_frontier<A: SweepAlgorithm>(
+    runner: &SweepRunner,
+    grid: Vec<ScenarioSpec>,
+    cfg: &FrontierWorkerConfig,
+    mut on_chunk: impl FnMut(&FrontierProgress),
+) -> Result<FrontierProgress, FrontierError> {
+    let frontier = Frontier::open(&cfg.frontier, FrontierSpec::for_grid::<A>(&grid, 1))?;
+    let mut store = SweepStore::open(&cfg.store)?;
+    store.set_format(cfg.format);
+    let cache = store.hydrate();
+    let service = crate::service::ServiceSweepCache::from_env();
+    let mut progress = FrontierProgress {
+        records: store.len(),
+        ..FrontierProgress::default()
+    };
+    let mut checkpointed = 0usize;
+    loop {
+        let Some(claim) = frontier.claim(&cfg.worker)? else {
+            if frontier.is_complete()? {
+                break;
+            }
+            // Everything is claimed elsewhere: requeue orphans, then
+            // give the living owners a beat to finish.
+            progress.requeued += frontier.requeue_stale(cfg.steal_timeout)?;
+            on_chunk(&progress);
+            std::thread::sleep(cfg.poll);
+            continue;
+        };
+        let points: Vec<(usize, ScenarioSpec)> =
+            claim.range().map(|i| (i, grid[i].clone())).collect();
+        if let Some(service) = &service {
+            let specs: Vec<ScenarioSpec> = points.iter().map(|(_, s)| s.clone()).collect();
+            service.prefetch::<A>(&specs, false, &cache);
+        }
+        let _ = runner.run(points, |_, (index, spec)| {
+            let outcome = run_point_cached::<A>(*index, spec, &cache);
+            claim.beat();
+            outcome
+        });
+        store.absorb(&cache);
+        // Records durable before the chunk can read as done.
+        store.checkpoint()?;
+        checkpointed += 1;
+        if let Some(service) = &service {
+            service.push_back::<A>(&cache);
+        }
+        if cfg.crash_after_chunks == Some(checkpointed) {
+            // Simulated crash: no unwinding, no destructors, the claim
+            // left orphaned — the closest safe stand-in for `kill -9`.
+            // Work stealing (or this worker's restart) must recover it.
+            std::process::abort();
+        }
+        let range_len = claim.range().len();
+        if claim.complete()? {
+            progress.chunks += 1;
+        } else {
+            progress.stolen += 1;
+        }
+        progress.points += range_len;
+        progress.hits = cache.hits();
+        progress.misses = cache.misses();
+        progress.records = store.len();
+        on_chunk(&progress);
+    }
+    if progress.points == 0 {
+        // A worker that never won a claim still writes a valid
+        // (header-only) store so transports that merge by enumeration
+        // find a file.
+        store.save()?;
+        on_chunk(&progress);
+    }
+    Ok(progress)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{derive_seed, SweepCache};
+    use crate::Maintenance;
+    use wl_core::Params;
+    use wl_time::RealTime;
+
+    fn grid(count: usize) -> Vec<ScenarioSpec> {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        (0..count)
+            .map(|i| {
+                ScenarioSpec::new(params.clone())
+                    .seed(derive_seed(0xF407_713E, i as u64))
+                    .t_end(RealTime::from_secs(1.5))
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wl-frontier-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spec_identity_is_grid_sensitive() {
+        let a = FrontierSpec::for_grid::<Maintenance>(&grid(4), 2);
+        let b = FrontierSpec::for_grid::<Maintenance>(&grid(4), 2);
+        assert_eq!(a, b);
+        let c = FrontierSpec::for_grid::<Maintenance>(&grid(5), 2);
+        assert_ne!(a.grid_hash, c.grid_hash);
+        assert_eq!(a.chunks(), 2);
+        assert_eq!(
+            FrontierSpec::for_grid::<Maintenance>(&grid(5), 2).chunks(),
+            3
+        );
+        // The manifest round-trips every field.
+        let parsed = FrontierSpec::parse_manifest(&a.manifest_text()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn claims_are_exactly_once_and_complete() {
+        let dir = tmp("claims");
+        let spec = FrontierSpec::for_grid::<Maintenance>(&grid(5), 2);
+        let frontier = Frontier::init(&dir, spec).unwrap();
+        assert_eq!(frontier.chunks(), 3);
+        assert_eq!(frontier.chunk_range(2), 4..5);
+
+        let a = frontier.claim("a").unwrap().unwrap();
+        let b = frontier.claim("b").unwrap().unwrap();
+        let c = frontier.claim("c").unwrap().unwrap();
+        assert_eq!((a.chunk(), b.chunk(), c.chunk()), (0, 1, 2));
+        assert!(frontier.claim("d").unwrap().is_none(), "no fourth chunk");
+        assert!(!frontier.is_complete().unwrap());
+
+        assert!(a.complete().unwrap());
+        c.release().unwrap();
+        let status = frontier.status().unwrap();
+        assert_eq!((status.todo, status.claimed, status.done), (1, 1, 1));
+        let c2 = frontier.claim("d").unwrap().unwrap();
+        assert_eq!(c2.chunk(), 2, "released chunk re-claimable");
+        assert!(b.complete().unwrap());
+        assert!(c2.complete().unwrap());
+        assert!(frontier.is_complete().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_claims_requeue_and_stolen_completion_is_reported() {
+        let dir = tmp("steal");
+        let spec = FrontierSpec::for_grid::<Maintenance>(&grid(2), 2);
+        let frontier = Frontier::init(&dir, spec).unwrap();
+        let claim = frontier.claim("slow").unwrap().unwrap();
+        assert!(claim.beat());
+        // Nothing is stale under a generous timeout…
+        assert_eq!(
+            frontier.requeue_stale(Duration::from_secs(3600)).unwrap(),
+            0
+        );
+        // …and everything is under a zero timeout.
+        assert_eq!(frontier.requeue_stale(Duration::ZERO).unwrap(), 1);
+        let stolen = frontier.claim("thief").unwrap().unwrap();
+        assert_eq!(stolen.chunk(), 0);
+        // The original owner's completion reports the theft…
+        assert!(!claim.complete().unwrap());
+        assert!(!frontier.is_complete().unwrap());
+        // …and its heartbeat fails, so a long-running owner can notice.
+        assert!(stolen.complete().unwrap());
+        assert!(frontier.is_complete().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_frontier_is_refused_with_the_offending_field() {
+        let dir = tmp("foreign");
+        let spec = FrontierSpec::for_grid::<Maintenance>(&grid(4), 2);
+        Frontier::init(&dir, spec.clone()).unwrap();
+
+        // Same dir, different grid: refused on grid_hash (same length).
+        let other = FrontierSpec::for_grid::<Maintenance>(
+            &{
+                let mut g = grid(4);
+                g[0] = g[0].clone().seed(0xBAD);
+                g
+            },
+            2,
+        );
+        match Frontier::init(&dir, other).unwrap_err() {
+            FrontierError::Mismatch { field, .. } => assert_eq!(field, "grid_hash"),
+            e => panic!("expected Mismatch, got {e}"),
+        }
+        // Different chunking: refused on chunk (init validates it; open
+        // adopts the manifest's).
+        match Frontier::init(&dir, FrontierSpec::for_grid::<Maintenance>(&grid(4), 3)) {
+            Err(FrontierError::Mismatch { field, .. }) => assert_eq!(field, "chunk"),
+            other => panic!("expected chunk mismatch, got {other:?}"),
+        }
+        // Different grid length: refused on grid_len (checked before the
+        // hash so the message names the simplest divergence).
+        match Frontier::init(&dir, FrontierSpec::for_grid::<Maintenance>(&grid(6), 2)) {
+            Err(FrontierError::Mismatch { field, .. }) => assert_eq!(field, "grid_len"),
+            other => panic!("expected grid_len mismatch, got {other:?}"),
+        }
+        // A stale ENGINE_VERSION in the manifest is refused too.
+        let manifest = dir.join(MANIFEST);
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(
+            &manifest,
+            text.replace(
+                &format!("engine {ENGINE_VERSION}"),
+                &format!("engine {}", ENGINE_VERSION + 1),
+            ),
+        )
+        .unwrap();
+        match Frontier::open(&dir, spec).unwrap_err() {
+            FrontierError::Mismatch { field, .. } => assert_eq!(field, "engine"),
+            e => panic!("expected Mismatch, got {e}"),
+        }
+        // A bare directory is Missing, not silently adopted.
+        std::fs::remove_file(&manifest).unwrap();
+        let spec = FrontierSpec::for_grid::<Maintenance>(&grid(4), 2);
+        assert!(matches!(
+            Frontier::open(&dir, spec).unwrap_err(),
+            FrontierError::Missing { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The 1-process reference store bytes for `grid(n)`.
+    fn reference_bytes(n: usize, format: StoreFormat) -> Vec<u8> {
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(n), &cache);
+        let mut store = SweepStore::new();
+        store.set_format(format);
+        store.absorb(&cache);
+        let path = std::env::temp_dir().join(format!(
+            "wl-frontier-ref-{}-{n}-{format}.wls",
+            std::process::id()
+        ));
+        store.save_to(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        bytes
+    }
+
+    fn worker_cfg(dir: &Path, name: &str, format: StoreFormat) -> FrontierWorkerConfig {
+        FrontierWorkerConfig {
+            frontier: dir.join("frontier"),
+            worker: name.to_string(),
+            store: dir.join(format!("{name}.wls")),
+            format,
+            steal_timeout: Duration::from_secs(3600),
+            poll: Duration::from_millis(5),
+            crash_after_chunks: None,
+        }
+    }
+
+    #[test]
+    fn single_frontier_worker_store_matches_reference() {
+        for format in [StoreFormat::Text, StoreFormat::Binary] {
+            let dir = tmp(&format!("solo-{format}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let spec = FrontierSpec::for_grid::<Maintenance>(&grid(5), 2);
+            Frontier::init(dir.join("frontier"), spec).unwrap();
+            let cfg = worker_cfg(&dir, "solo", format);
+            let progress =
+                run_worker_frontier::<Maintenance>(&SweepRunner::serial(), grid(5), &cfg, |_| {})
+                    .unwrap();
+            assert_eq!(progress.chunks, 3);
+            assert_eq!(progress.points, 5);
+            assert_eq!(progress.misses, 5);
+            // The worker's store is already canonical-equivalent: merge
+            // into a fresh store and compare against the reference.
+            let mut merged = SweepStore::new();
+            merged.set_format(format);
+            merged
+                .merge_from(&SweepStore::open(cfg.store.clone()).unwrap())
+                .unwrap();
+            let out = dir.join("merged.wls");
+            merged.save_to(&out).unwrap();
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                reference_bytes(5, format),
+                "{format} frontier store != 1-process reference"
+            );
+            // A re-run over the completed frontier is pure hits and
+            // touches nothing.
+            let progress =
+                run_worker_frontier::<Maintenance>(&SweepRunner::serial(), grid(5), &cfg, |_| {})
+                    .unwrap();
+            assert_eq!(progress.chunks, 0, "no chunks left to claim");
+            assert_eq!(progress.points, 0);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn two_threaded_workers_drain_the_frontier_to_reference_bytes() {
+        let dir = tmp("duo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = FrontierSpec::for_grid::<Maintenance>(&grid(6), 1);
+        Frontier::init(dir.join("frontier"), spec).unwrap();
+        let cfgs = [
+            worker_cfg(&dir, "left", StoreFormat::Text),
+            worker_cfg(&dir, "right", StoreFormat::Text),
+        ];
+        std::thread::scope(|scope| {
+            for cfg in &cfgs {
+                scope.spawn(move || {
+                    run_worker_frontier::<Maintenance>(
+                        &SweepRunner::serial(),
+                        grid(6),
+                        cfg,
+                        |_| {},
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        let mut merged = SweepStore::new();
+        for cfg in &cfgs {
+            merged
+                .merge_from(&SweepStore::open(cfg.store.clone()).unwrap())
+                .unwrap();
+        }
+        assert_eq!(merged.len(), 6, "the two workers covered the grid");
+        let out = dir.join("merged.wls");
+        merged.save_to(&out).unwrap();
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference_bytes(6, StoreFormat::Text)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -92,10 +92,12 @@ pub mod assemble;
 pub mod cache;
 pub mod driver;
 pub mod fleet;
+pub mod frontier;
 pub mod run;
 pub mod service;
 pub mod spec;
 pub mod sweep;
+pub mod transport;
 
 pub use algo::{AssemblyCtx, FleetRole, StartDiscipline, SyncAlgorithm};
 pub use assemble::{
@@ -111,6 +113,10 @@ pub use driver::{
     drive, run_worker, DriveError, DriveReport, DriverConfig, WorkerConfig, WorkerProgress,
 };
 pub use fleet::{CnvAlgoFleet, MsAlgoFleet, StAlgoFleet, WlAlgoFleet};
+pub use frontier::{
+    run_worker_frontier, Claim, Frontier, FrontierError, FrontierProgress, FrontierSpec,
+    FrontierStatus, FrontierWorkerConfig,
+};
 pub use service::{
     serve, service_from_env, ServeConfig, ServeReport, ServiceAddr, ServiceClient, ServiceStats,
     ServiceSweepCache,
@@ -119,6 +125,10 @@ pub use spec::{DelayKind, FaultKind, ScenarioSpec};
 pub use sweep::{
     derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,
     SweepRunner, SweepSeries, SweepSummary,
+};
+pub use transport::{
+    drive_frontier, DropBoxTransport, FrontierDriveError, FrontierDriveReport,
+    FrontierDriverConfig, ServiceTransport, SubprocessTransport, WorkerLaunch, WorkerTransport,
 };
 
 // The algorithms, re-exported so harness users need a single import.

@@ -448,6 +448,7 @@ const OP_PUT: u8 = 0x02;
 const OP_BATCH_GET: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_PUT_BATCH: u8 = 0x06;
 
 const RE_FOUND: u8 = 0x81;
 const RE_MISS: u8 = 0x82;
@@ -499,6 +500,14 @@ pub enum Request {
         /// The grid points, in client order.
         items: Vec<BatchItem>,
     },
+    /// Contribute many canonical records in one frame: one lock
+    /// acquisition and one checkpoint for the whole batch, where the
+    /// per-record [`Request::Put`] pays both per record. This is how
+    /// frontier workers return a whole chunk's simulated points.
+    PutBatch {
+        /// The records, exactly as a store would hold them.
+        records: Vec<EncodedRecord>,
+    },
     /// Ask for the server's counters.
     Stats,
     /// Ask the server to checkpoint, rewrite its store canonically, and
@@ -515,7 +524,7 @@ pub struct ServiceStats {
     pub warm_hits: u64,
     /// Grid points simulated on the server's pool.
     pub simulated: u64,
-    /// Records accepted via [`Request::Put`].
+    /// Records accepted via [`Request::Put`] / [`Request::PutBatch`].
     pub puts: u64,
     /// Requests handled (all opcodes).
     pub requests: u64,
@@ -592,6 +601,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 push_blob32(&mut out, &item.spec);
             }
         }
+        Request::PutBatch { records } => {
+            out.push(OP_PUT_BATCH);
+            let count = u32::try_from(records.len()).expect("batch < 4G records");
+            out.extend_from_slice(&count.to_le_bytes());
+            for record in records {
+                out.extend_from_slice(&record.encode());
+            }
+        }
         Request::Stats => out.push(OP_STATS),
         Request::Shutdown => out.push(OP_SHUTDOWN),
     }
@@ -638,6 +655,14 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
                 algo,
                 items,
             }
+        }
+        OP_PUT_BATCH => {
+            let count = t.u32()? as usize;
+            let mut records = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                records.push(t.record()?);
+            }
+            Request::PutBatch { records }
         }
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
@@ -899,6 +924,27 @@ impl ServiceClient {
         }
     }
 
+    /// Contributes many canonical records in one frame (one server-side
+    /// lock acquisition and one checkpoint for all of them).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`io::ErrorKind::InvalidData`] if the server
+    /// refuses any record (engine mismatch, corrupt payload, conflict) —
+    /// records ahead of the refused one are still accepted and durable.
+    pub fn put_batch(&mut self, records: &[EncodedRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        match self.request(&Request::PutBatch {
+            records: records.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(bad_data(&message)),
+            _ => Err(bad_data("unexpected response to put-batch")),
+        }
+    }
+
     /// Resolves a batch of `(content_hash, spec)` points under `algo`,
     /// returning one slot per point in order (`None` = unresolved;
     /// simulate locally).
@@ -1088,37 +1134,34 @@ impl ServiceSweepCache {
     }
 
     /// Offers the locally simulated results of every pending point back
-    /// to the service (best-effort put-record; stops on the first
-    /// transport failure).
+    /// to the service, as **one** [`Request::PutBatch`] frame (one
+    /// server-side lock acquisition and one checkpoint, however many
+    /// points the sweep — or the frontier chunk — simulated).
     pub fn push_back<A: SweepAlgorithm>(&self, cache: &SweepCache) {
         if self.degraded.load(Ordering::Relaxed) {
             return;
         }
         let pending = std::mem::take(&mut *self.pending.lock().expect("service pending poisoned"));
-        if pending.is_empty() {
+        let records: Vec<EncodedRecord> = pending
+            .into_iter()
+            .filter_map(|(hash, canon)| {
+                let outcome = cache.peek(hash, A::NAME, &canon, false)?;
+                Some(canonical_record(A::NAME, hash, &canon, &outcome))
+            })
+            .collect();
+        if records.is_empty() {
             return;
         }
         let mut client = self.client.lock().expect("service client poisoned");
-        for (hash, canon) in pending {
-            let Some(outcome) = cache.peek(hash, A::NAME, &canon, false) else {
-                continue;
-            };
-            let record = canonical_record(A::NAME, hash, &canon, &outcome);
-            match client.put(&record) {
-                Ok(()) => {
-                    self.pushed.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                    // The server understood and refused (e.g. an engine
-                    // mismatch) — trying the rest is pointless too.
-                    self.degrade(&e);
-                    return;
-                }
-                Err(e) => {
-                    self.degrade(&e);
-                    return;
-                }
+        match client.put_batch(&records) {
+            Ok(()) => {
+                self.pushed
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
             }
+            // An InvalidData refusal (engine mismatch, conflict) and a
+            // transport failure both mean the rest of this sweep should
+            // stop offering.
+            Err(e) => self.degrade(&e),
         }
     }
 
@@ -1530,6 +1573,43 @@ fn dispatch(
                 batch_get(&algo, need_series, &items, core, runner, cfg)?
             }
         }
+        Request::PutBatch { records } => {
+            if let Some(bad) = records.iter().find(|r| r.engine_version != ENGINE_VERSION) {
+                Response::Err {
+                    message: format!(
+                        "record engine v{} != server engine v{ENGINE_VERSION}",
+                        bad.engine_version
+                    ),
+                }
+            } else {
+                let mut c = lock_core(core);
+                let mut changed = 0u64;
+                let mut refused = None;
+                for record in &records {
+                    match c.store.insert_encoded(record) {
+                        Ok(true) => changed += 1,
+                        Ok(false) => {}
+                        Err(conflict) => {
+                            refused = Some(conflict);
+                            break;
+                        }
+                    }
+                }
+                // One checkpoint for the whole batch — and even a
+                // refused batch keeps the records accepted before the
+                // conflict durable.
+                if changed > 0 {
+                    c.puts += changed;
+                    c.store.checkpoint()?;
+                }
+                match refused {
+                    None => Response::Ok,
+                    Some(conflict) => Response::Err {
+                        message: format!("record refused: {conflict}"),
+                    },
+                }
+            }
+        }
         Request::Stats => Response::Stats {
             stats: lock_core(core).stats(),
         },
@@ -1831,6 +1911,10 @@ mod tests {
                     algo: record.algo.clone(),
                 },
                 Request::Put { record: record.clone() },
+                Request::PutBatch {
+                    records: vec![record.clone(), arb_record(&mut rng)],
+                },
+                Request::PutBatch { records: vec![] },
                 Request::BatchGet {
                     engine_version: ENGINE_VERSION,
                     need_series: rng.gen::<u64>() % 2 == 0,
@@ -2019,6 +2103,82 @@ mod tests {
         let store = SweepStore::open(&store_path).unwrap();
         assert_eq!(store.len(), 4);
         assert_eq!(store.skipped_lines(), 0);
+        let _ = std::fs::remove_file(&store_path);
+    }
+
+    /// Batched puts: one frame inserts many records under one lock and
+    /// one checkpoint; an engine mismatch refuses the whole batch; a
+    /// conflicting record keeps the records ahead of it durable.
+    #[test]
+    fn tcp_put_batch() {
+        let store_path = tmp_store("put-batch");
+        let _ = std::fs::remove_file(&store_path);
+        let cfg = ServeConfig {
+            addr: ServiceAddr::Tcp("127.0.0.1:0".into()),
+            store: store_path.clone(),
+            format: StoreFormat::Binary,
+            threads: 1,
+            crash_after_batches: None,
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server =
+            std::thread::spawn(move || serve(&cfg, move |addr| tx.send(addr.clone()).unwrap()));
+        let addr = rx.recv().expect("server ready");
+        let mut client = ServiceClient::new(addr);
+
+        // Simulate locally, then contribute the whole grid as one frame.
+        let specs = grid(3);
+        let cache = SweepCache::new();
+        let runner = crate::sweep::SweepRunner::serial();
+        let _ = runner.run(specs.clone(), |i, s| {
+            crate::sweep::run_point_cached::<Maintenance>(i, s, &cache)
+        });
+        let records: Vec<EncodedRecord> = specs
+            .iter()
+            .map(|spec| {
+                let canon = canon_string(&spec.canonical());
+                let outcome = cache
+                    .peek(spec.content_hash(), Maintenance::NAME, &canon, false)
+                    .unwrap();
+                canonical_record(Maintenance::NAME, spec.content_hash(), &canon, &outcome)
+            })
+            .collect();
+        client.put_batch(&records).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.puts, 3);
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.simulated, 0, "the server never simulated");
+        // Re-putting the same batch changes nothing.
+        client.put_batch(&records).unwrap();
+        assert_eq!(client.stats().unwrap().puts, 3);
+        // Every record is now a warm hit.
+        let warm = client
+            .get(specs[1].content_hash(), Maintenance::NAME, false)
+            .unwrap()
+            .expect("warm hit");
+        assert_eq!(warm, records[1]);
+
+        // A batch holding a stale-engine record is refused whole.
+        let mut stale = records[0].clone();
+        stale.engine_version = ENGINE_VERSION + 1;
+        assert!(client.put_batch(&[stale]).is_err());
+        // A batch with a conflict mid-way keeps the good prefix: the
+        // fresh record before the conflicting one lands durably.
+        let fresh = {
+            let spec = grid(5).pop().unwrap();
+            let canon = canon_string(&spec.canonical());
+            let outcome = crate::sweep::run_point::<Maintenance>(0, &spec);
+            canonical_record(Maintenance::NAME, spec.content_hash(), &canon, &outcome)
+        };
+        let mut conflicting = records[2].clone();
+        conflicting.outcome_canon = conflicting.outcome_canon.replace(':', ";");
+        assert!(client.put_batch(&[fresh.clone(), conflicting]).is_err());
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.puts, 4, "prefix of a refused batch still lands");
+        assert_eq!(stats.records, 4);
+        client.shutdown().unwrap();
+        let report = server.join().unwrap().unwrap();
+        assert_eq!(report.stats.records, 4);
         let _ = std::fs::remove_file(&store_path);
     }
 

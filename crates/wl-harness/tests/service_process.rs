@@ -16,7 +16,11 @@
 //! 3. two clients sweeping the same cold grid concurrently converge to
 //!    that same byte-identical store;
 //! 4. a client pointed at a dead address degrades to a plain local
-//!    sweep — same outcomes, no error.
+//!    sweep — same outcomes, no error;
+//! 5. a warm server under load — 8 concurrent clients, each through the
+//!    `WL_SWEEP_SERVICE` env knob with `WL_SWEEP_EXPECT_MISSES=0`
+//!    semantics held (zero local misses per client) — answers everything
+//!    from its in-RAM index: server stats report zero simulations.
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
@@ -58,7 +62,8 @@ fn main() {
     test_killed_server_store_is_recoverable_and_byte_identical();
     test_concurrent_clients_converge_to_reference_bytes();
     test_dead_service_degrades_to_local_sweep();
-    println!("service_process: all 4 tests passed");
+    test_warm_server_under_load_simulates_nothing();
+    println!("service_process: all 5 tests passed");
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +317,62 @@ fn test_concurrent_clients_converge_to_reference_bytes() {
     );
     let _ = std::fs::remove_dir_all(&dir);
     println!("ok: concurrent cold clients converge to the reference bytes");
+}
+
+fn test_warm_server_under_load_simulates_nothing() {
+    let dir = tmp_dir("load");
+    let store = dir.join("server.wls");
+    let server = Server::spawn(&dir, &store, None);
+
+    // Warm the store once (the server simulates the cold grid), then
+    // snapshot the stats the load phase must not move.
+    let (_, hits, misses) = served_sweep(&server.addr, grid());
+    assert_eq!((hits, misses), (GRID as u64, 0));
+    let warm = server.stats();
+    assert_eq!(warm.simulated, GRID as u64);
+    assert_eq!(warm.records, GRID as u64);
+
+    // 8 concurrent clients hammer the warm server through the same env
+    // knob the experiment binaries use. `WL_SWEEP_EXPECT_MISSES=0` is
+    // held for the duration, and its contract — zero local cache misses,
+    // i.e. zero local simulations — is asserted per client.
+    const CLIENTS: usize = 8;
+    std::env::set_var("WL_SWEEP_SERVICE", server.addr.to_string());
+    std::env::set_var("WL_SWEEP_EXPECT_MISSES", "0");
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let specs = grid();
+            scope.spawn(move || {
+                let cache = SweepCache::new();
+                let out = SweepRunner::serial().sweep_cached::<Maintenance>(specs, &cache);
+                assert_eq!(out.len(), GRID);
+                assert_eq!(
+                    (cache.hits(), cache.misses()),
+                    (GRID as u64, 0),
+                    "a loaded warm server must keep every client at zero misses"
+                );
+            });
+        }
+    });
+    std::env::remove_var("WL_SWEEP_EXPECT_MISSES");
+    std::env::remove_var("WL_SWEEP_SERVICE");
+
+    // The server answered all of it from its in-RAM index: not one
+    // simulation beyond the warm-up, one warm hit per point per client.
+    let loaded = server.stats();
+    assert_eq!(
+        loaded.simulated, warm.simulated,
+        "load against a warm store must add 0 simulated"
+    );
+    assert_eq!(loaded.records, GRID as u64);
+    assert_eq!(
+        loaded.warm_hits,
+        warm.warm_hits + (CLIENTS * GRID) as u64,
+        "every loaded point must be a warm hit"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok: 8 concurrent clients on a warm server simulate nothing anywhere");
 }
 
 fn test_dead_service_degrades_to_local_sweep() {

@@ -1,0 +1,461 @@
+//! The transport conformance suite: every contract the static-shard
+//! driver proved in `driver_process.rs`, re-proven **per transport**
+//! against the work-stealing frontier — with real subprocesses (this
+//! test binary re-enters itself as the worker, `argv[1] ==
+//! "--frontier-worker"`, and as the sweep service, `argv[1] ==
+//! "--serve"`; hence `harness = false` in the manifest).
+//!
+//! The suite is one set of scenario functions and one macro
+//! ([`conformance!`]) that stamps them out for every
+//! [`WorkerTransport`] backend — adding a fourth transport means adding
+//! one macro line, zero new assertions:
+//!
+//! 1. **bytes** — an N-worker drive merges byte-identical to the
+//!    1-process reference store, ragged last chunk included;
+//! 2. **crash** — a worker hard-aborted after checkpointing its first
+//!    chunk (claim left orphaned — the `kill -9` shape) is restarted,
+//!    the orphan is requeued and stolen, and the merge is still
+//!    byte-identical;
+//! 3. **stall** — a worker that wedges (alive, no progress, no peers to
+//!    steal around it) is `SIGKILL`ed on heartbeat timeout, restarted,
+//!    resumes from its checkpoints, and the merge is byte-identical;
+//! 4. **exhaust** — a worker that crashes on every launch retires its
+//!    slot; with no surviving slots the drive fails with
+//!    `WorkersExhausted`, never hangs.
+//!
+//! Chunk-interleaving determinism beyond these fixed schedules is pinned
+//! by `tests/frontier_determinism.rs` (proptest, no subprocesses).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+use wl_core::Params;
+use wl_harness::{
+    derive_seed, drive_frontier, run_worker_frontier, DelayKind, DropBoxTransport,
+    FrontierDriveError, FrontierDriveReport, FrontierDriverConfig, FrontierWorkerConfig,
+    Maintenance, ScenarioSpec, ServiceAddr, ServiceClient, ServiceTransport, StoreFormat,
+    SubprocessTransport, SweepCache, SweepRunner, SweepStore, WorkerLaunch,
+};
+use wl_time::RealTime;
+
+const GRID: usize = 8;
+
+/// The test grid — small horizons so the full matrix stays fast, three
+/// delay models so records are not all alike.
+fn grid() -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..GRID)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0x7C09_F04A, i as u64))
+                .delay(delays[i % 3])
+                .t_end(RealTime::from_secs(1.5))
+        })
+        .collect()
+}
+
+/// Stamps the four conformance scenarios out for each transport kind.
+macro_rules! conformance {
+    ($($kind:expr),+ $(,)?) => {
+        $(
+            scenario_bytes_match($kind);
+            scenario_crash_mid_sweep($kind);
+            scenario_stall_kill($kind);
+            scenario_retry_exhaustion($kind);
+        )+
+    };
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--frontier-worker") => {
+            worker_main(&args[2..]);
+            return;
+        }
+        Some("--serve") => {
+            serve_main(&args[2..]);
+            return;
+        }
+        _ => {}
+    }
+
+    // The whole suite, per transport. A fourth backend = one more line.
+    conformance!(Kind::Subprocess, Kind::DropBox, Kind::Service);
+    println!("transport_conformance: all scenarios passed on all transports");
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode.
+// ---------------------------------------------------------------------------
+
+/// `--frontier-worker --frontier DIR --worker-id ID --store FILE
+/// [--steal-ms T] [--crash-after-chunks M] [--hang-after-chunks M]`
+fn worker_main(args: &[String]) {
+    let mut it = args.iter();
+    let mut frontier = None;
+    let mut worker = None;
+    let mut store = None;
+    let mut steal_ms = 2000u64;
+    let mut crash_after_chunks = None;
+    let mut hang_after_chunks: Option<usize> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--frontier" => frontier = it.next().cloned(),
+            "--worker-id" => worker = it.next().cloned(),
+            "--store" => store = it.next().cloned(),
+            "--steal-ms" => steal_ms = it.next().unwrap().parse().unwrap(),
+            "--crash-after-chunks" => {
+                crash_after_chunks = Some(it.next().unwrap().parse().unwrap())
+            }
+            "--hang-after-chunks" => hang_after_chunks = Some(it.next().unwrap().parse().unwrap()),
+            other => panic!("unknown worker flag {other}"),
+        }
+    }
+    let worker = worker.expect("--worker-id");
+    let cfg = FrontierWorkerConfig {
+        frontier: PathBuf::from(frontier.expect("--frontier")),
+        worker: worker.clone(),
+        store: PathBuf::from(store.expect("--store")),
+        format: StoreFormat::Text,
+        steal_timeout: Duration::from_millis(steal_ms),
+        poll: Duration::from_millis(20),
+        crash_after_chunks,
+    };
+    let progress = run_worker_frontier::<Maintenance>(&SweepRunner::serial(), grid(), &cfg, |p| {
+        println!(
+            "progress worker={worker} chunks={} points={} hits={} misses={}",
+            p.chunks, p.points, p.hits, p.misses
+        );
+        if hang_after_chunks.is_some_and(|n| p.chunks >= n) {
+            // A wedged worker: alive but never progressing again. The
+            // driver's stall timeout is what gets us out of here.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+    })
+    .unwrap_or_else(|e| panic!("frontier worker {worker}: {e}"));
+    println!(
+        "worker {worker} complete: {} chunk(s), {} point(s) ({} hits, {} misses)",
+        progress.chunks, progress.points, progress.hits, progress.misses
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Server mode (for the service transport legs).
+// ---------------------------------------------------------------------------
+
+/// `--serve --socket PATH --store FILE`
+fn serve_main(args: &[String]) {
+    let mut it = args.iter();
+    let mut socket = None;
+    let mut store = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => socket = it.next().cloned(),
+            "--store" => store = it.next().cloned(),
+            other => panic!("unknown serve flag {other}"),
+        }
+    }
+    let cfg = wl_harness::ServeConfig {
+        addr: ServiceAddr::parse(&format!("unix:{}", socket.expect("--socket"))).unwrap(),
+        store: PathBuf::from(store.expect("--store")),
+        format: StoreFormat::Binary,
+        threads: 1,
+        crash_after_batches: None,
+    };
+    wl_harness::serve(&cfg, |addr| println!("ready on {addr}")).expect("serve");
+}
+
+// ---------------------------------------------------------------------------
+// The transport-parameterized fixture.
+// ---------------------------------------------------------------------------
+
+/// Which backend a scenario runs against.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Subprocess,
+    DropBox,
+    Service,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Subprocess => "subprocess",
+            Self::DropBox => "dropbox",
+            Self::Service => "service",
+        }
+    }
+}
+
+/// Per-slot fault injection for one drive.
+#[derive(Clone, Copy, Default)]
+struct Fault {
+    slot: u32,
+    /// `--crash-after-chunks 1` on this slot (first launch only unless
+    /// `every_launch`).
+    crash: bool,
+    /// Crash injection survives restarts (for budget-exhaustion runs).
+    every_launch: bool,
+    /// `--hang-after-chunks 1` on this slot's first launch.
+    hang: bool,
+}
+
+struct Server {
+    child: Child,
+    addr: ServiceAddr,
+}
+
+impl Server {
+    fn spawn(dir: &Path) -> Self {
+        let sock = dir.join("wl.sock");
+        let child = Command::new(std::env::current_exe().expect("own path"))
+            .arg("--serve")
+            .arg("--socket")
+            .arg(&sock)
+            .arg("--store")
+            .arg(dir.join("server.wls"))
+            .spawn()
+            .expect("spawn server");
+        // The server removes any stale socket before binding, so the
+        // file's (re)appearance is the ready signal.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !sock.exists() {
+            assert!(Instant::now() < deadline, "server socket never appeared");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let addr = ServiceAddr::parse(&format!("unix:{}", sock.display())).unwrap();
+        Self { child, addr }
+    }
+
+    fn shutdown(mut self) {
+        ServiceClient::new(self.addr.clone())
+            .shutdown()
+            .expect("shutdown");
+        let status = self.child.wait().expect("server exit");
+        assert!(status.success(), "server exited {status}");
+    }
+}
+
+/// One frontier drive over transport `kind` with fault `fault`. The
+/// service legs spawn (and shut down) a real server subprocess around
+/// the drive.
+fn run_drive(
+    kind: Kind,
+    cfg: &FrontierDriverConfig,
+    fault: Fault,
+) -> Result<FrontierDriveReport, FrontierDriveError> {
+    let command_for = move |launch: &WorkerLaunch| {
+        let mut cmd = Command::new(std::env::current_exe().expect("own path"));
+        cmd.arg("--frontier-worker")
+            .arg("--frontier")
+            .arg(&launch.frontier)
+            .arg("--worker-id")
+            .arg(&launch.worker)
+            .arg("--store")
+            .arg(&launch.store)
+            .arg("--steal-ms")
+            .arg("400");
+        if launch.slot == fault.slot && (launch.attempt == 0 || fault.every_launch) {
+            if fault.crash {
+                cmd.arg("--crash-after-chunks").arg("1");
+            }
+            if fault.hang {
+                cmd.arg("--hang-after-chunks").arg("1");
+            }
+        }
+        cmd
+    };
+    match kind {
+        Kind::Subprocess => {
+            drive_frontier::<Maintenance>(cfg, &grid(), &mut SubprocessTransport::new(command_for))
+        }
+        Kind::DropBox => {
+            drive_frontier::<Maintenance>(cfg, &grid(), &mut DropBoxTransport::new(command_for))
+        }
+        Kind::Service => {
+            let server = Server::spawn(&cfg.dir);
+            let result = drive_frontier::<Maintenance>(
+                cfg,
+                &grid(),
+                &mut ServiceTransport::new(server.addr.to_string(), command_for),
+            );
+            server.shutdown();
+            result
+        }
+    }
+}
+
+fn config(kind: Kind, name: &str, workers: u32, chunk: usize) -> FrontierDriverConfig {
+    let dir = std::env::temp_dir().join(format!(
+        "wl-conform-{}-{}-{name}",
+        std::process::id(),
+        kind.label()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("merged.wls");
+    let mut cfg = FrontierDriverConfig::new(workers, dir, out);
+    cfg.chunk = chunk;
+    cfg.poll = Duration::from_millis(10);
+    cfg.steal_timeout = Duration::from_millis(400);
+    cfg.format = StoreFormat::Text;
+    cfg
+}
+
+/// The 1-process reference bytes every scenario compares against,
+/// computed in-process once for the whole suite.
+fn reference_bytes() -> &'static [u8] {
+    static REFERENCE: OnceLock<Vec<u8>> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let cache = SweepCache::new();
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(grid(), &cache);
+        let path = std::env::temp_dir().join(format!("wl-conform-{}-ref.wls", std::process::id()));
+        let mut store = SweepStore::open(&path).unwrap();
+        store.set_format(StoreFormat::Text);
+        store.absorb(&cache);
+        store.save().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        bytes
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The scenarios — written once, run per transport by `conformance!`.
+// ---------------------------------------------------------------------------
+
+/// 3 workers stealing 3-point chunks (ragged 2-point last chunk) merge
+/// byte-identical to the 1-process reference.
+fn scenario_bytes_match(kind: Kind) {
+    let cfg = config(kind, "bytes", 3, 3);
+    let report = run_drive(kind, &cfg, Fault::default()).expect("clean drive");
+    assert_eq!(report.merged_records, GRID);
+    assert_eq!(report.restarts, 0);
+    // At least one deposited store must be harvested; a worker that
+    // never won a claim may be reaped before it writes its header-only
+    // store, so an exact count is transport timing, not contract.
+    assert!(
+        report.stores_merged >= 1,
+        "no worker store harvested on {}",
+        kind.label()
+    );
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference_bytes(),
+        "[{}] 3-worker merged store != 1-process reference",
+        kind.label()
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!(
+        "ok [{}]: N-worker drive byte-identical to 1-process run",
+        kind.label()
+    );
+}
+
+/// A worker hard-aborted after checkpointing its first chunk — claim
+/// left orphaned, the `kill -9` shape — is restarted; the orphan is
+/// requeued after the steal timeout and re-claimed (by the restart or a
+/// peer); the merge is byte-identical anyway.
+fn scenario_crash_mid_sweep(kind: Kind) {
+    let cfg = config(kind, "crash", 2, 2);
+    let fault = Fault {
+        slot: 0,
+        crash: true,
+        ..Fault::default()
+    };
+    let report = run_drive(kind, &cfg, fault).expect("crash drive");
+    assert!(
+        report.restarts >= 1,
+        "[{}] the injected crash must restart",
+        kind.label()
+    );
+    assert_eq!(report.merged_records, GRID);
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference_bytes(),
+        "[{}] post-crash merged store != 1-process reference",
+        kind.label()
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!(
+        "ok [{}]: kill-mid-sweep restart converges byte-identically",
+        kind.label()
+    );
+}
+
+/// A single wedged worker — alive, no progress, and *no peers* to steal
+/// around it — is `SIGKILL`ed on heartbeat timeout and restarted; the
+/// restart resumes from its checkpoints and the merge is byte-identical.
+/// (One worker on purpose: with peers, work stealing would mask the
+/// stall instead of exercising the kill path.)
+fn scenario_stall_kill(kind: Kind) {
+    let mut cfg = config(kind, "stall", 1, 3);
+    // Generous relative to a healthy worker's inter-chunk time (tens of
+    // ms even in debug builds) so only the deliberately hung worker can
+    // ever trip it.
+    cfg.stall_timeout = Some(Duration::from_millis(2000));
+    let fault = Fault {
+        slot: 0,
+        hang: true,
+        ..Fault::default()
+    };
+    let report = run_drive(kind, &cfg, fault).expect("stall drive");
+    assert_eq!(
+        report.stall_kills,
+        1,
+        "[{}] the hung worker was SIGKILLed",
+        kind.label()
+    );
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.merged_records, GRID);
+    assert_eq!(
+        std::fs::read(&cfg.out).unwrap(),
+        reference_bytes(),
+        "[{}] post-stall merged store != 1-process reference",
+        kind.label()
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!(
+        "ok [{}]: stalled worker killed, restarted; drive converged",
+        kind.label()
+    );
+}
+
+/// A worker that crashes on **every** launch exhausts its restart budget
+/// and retires its slot; with no slots left the drive fails with
+/// `WorkersExhausted` — a clear error, never a hang.
+fn scenario_retry_exhaustion(kind: Kind) {
+    let mut cfg = config(kind, "exhaust", 1, 2);
+    cfg.max_restarts = 1;
+    let fault = Fault {
+        slot: 0,
+        crash: true,
+        every_launch: true,
+        ..Fault::default()
+    };
+    let err = run_drive(kind, &cfg, fault).expect_err("budget must run out");
+    match err {
+        FrontierDriveError::WorkersExhausted { chunks_left, .. } => {
+            assert!(
+                chunks_left >= 1,
+                "[{}] chunks must remain unfinished",
+                kind.label()
+            );
+        }
+        other => panic!("[{}] expected WorkersExhausted, got {other}", kind.label()),
+    }
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    println!(
+        "ok [{}]: restart-budget exhaustion fails the drive cleanly",
+        kind.label()
+    );
+}
