@@ -12,7 +12,7 @@
 use bench::{default_params, enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::theory;
-use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRequest};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
@@ -71,7 +71,9 @@ fn main() {
     }
 
     let mut disk = DiskSweepCache::open_shared();
-    let outcomes = SweepRunner::new().sweep_cached::<Maintenance>(specs, disk.cache());
+    let outcomes = SweepRequest::new()
+        .cached(disk.cache())
+        .run::<Maintenance>(specs);
     enforce_expected_misses(&disk);
 
     for (&(name, n, f, bound, five_eps), o) in rows.iter().zip(&outcomes) {

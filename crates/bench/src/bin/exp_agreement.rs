@@ -17,7 +17,7 @@
 use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::{theory, Params};
-use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRequest};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
@@ -96,8 +96,9 @@ fn main() {
     }
 
     let mut disk = DiskSweepCache::open_shared();
-    let outcomes = SweepRunner::new()
-        .sweep_cached::<Maintenance>(cases.iter().map(|c| c.spec.clone()).collect(), disk.cache());
+    let outcomes = SweepRequest::new()
+        .cached(disk.cache())
+        .run::<Maintenance>(cases.iter().map(|c| c.spec.clone()).collect());
     enforce_expected_misses(&disk);
 
     for (case, o) in cases.iter().zip(&outcomes) {

@@ -16,7 +16,7 @@
 use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::{theory, Params};
-use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRequest};
 use wl_sim::ProcessId;
 use wl_time::RealTime;
 
@@ -77,7 +77,10 @@ fn main() {
     }
 
     let mut disk = DiskSweepCache::open_shared();
-    let outcomes = SweepRunner::new().sweep_cached_series::<Maintenance>(specs, disk.cache());
+    let outcomes = SweepRequest::new()
+        .cached(disk.cache())
+        .capture_series(true)
+        .run::<Maintenance>(specs);
     enforce_expected_misses(&disk);
 
     for (&(n, f, regime, gamma, from), o) in rows.iter().zip(&outcomes) {

@@ -17,7 +17,7 @@ use wl_analysis::plot::ascii_chart;
 use wl_analysis::report::Table;
 use wl_core::{Params, StartupParams};
 use wl_harness::{
-    DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, Startup, SweepRunner,
+    DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, Startup, SweepRequest,
 };
 use wl_sim::ProcessId;
 use wl_time::RealTime;
@@ -67,11 +67,16 @@ fn main() {
 
     let (free_spec, free_from, free_to) = maintenance_spec(false);
     let (byz_spec, byz_from, byz_to) = maintenance_spec(true);
-    let maintenance = SweepRunner::new()
-        .sweep_cached_series::<Maintenance>(vec![free_spec, byz_spec], disk.cache());
+    let maintenance = SweepRequest::new()
+        .cached(disk.cache())
+        .capture_series(true)
+        .run::<Maintenance>(vec![free_spec, byz_spec]);
 
     let (su_spec, su_from, su_to) = startup_spec();
-    let startup = SweepRunner::new().sweep_cached_series::<Startup>(vec![su_spec], disk.cache());
+    let startup = SweepRequest::new()
+        .cached(disk.cache())
+        .capture_series(true)
+        .run::<Startup>(vec![su_spec]);
     enforce_expected_misses(&disk);
 
     let window = |o: &wl_harness::SweepOutcome, from: f64, to: f64| {

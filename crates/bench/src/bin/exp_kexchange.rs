@@ -14,7 +14,7 @@
 use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::{theory, Params};
-use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRequest};
 use wl_time::RealTime;
 
 fn main() {
@@ -62,7 +62,9 @@ fn main() {
     // invocation (or a β/P tweak that leaves some k unchanged) only pays
     // for the grid points that actually changed.
     let mut disk = DiskSweepCache::open_shared();
-    let outcomes = SweepRunner::new().sweep_cached::<Maintenance>(specs, disk.cache());
+    let outcomes = SweepRequest::new()
+        .cached(disk.cache())
+        .run::<Maintenance>(specs);
     enforce_expected_misses(&disk);
     let skews: Vec<f64> = outcomes.iter().map(|o| o.steady_skew).collect();
 

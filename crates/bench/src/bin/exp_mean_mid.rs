@@ -15,7 +15,7 @@
 use bench::{enforce_expected_misses, fs};
 use wl_analysis::report::Table;
 use wl_core::{AveragingFn, Params};
-use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRunner};
+use wl_harness::{DelayKind, DiskSweepCache, FaultKind, Maintenance, ScenarioSpec, SweepRequest};
 use wl_time::RealTime;
 
 fn main() {
@@ -61,7 +61,10 @@ fn main() {
     }
 
     let mut disk = DiskSweepCache::open_shared();
-    let outcomes = SweepRunner::new().sweep_cached_series::<Maintenance>(specs, disk.cache());
+    let outcomes = SweepRequest::new()
+        .cached(disk.cache())
+        .capture_series(true)
+        .run::<Maintenance>(specs);
     enforce_expected_misses(&disk);
     // The cached series carries the same per-round skew series
     // (`round_series` at wave gap P/4) the legacy in-line analysis

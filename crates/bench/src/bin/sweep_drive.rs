@@ -33,27 +33,28 @@
 //! size, or engine version is refused with a clear error naming the
 //! mismatched field — never silently merged, never a hang.
 
-use bench::{demo_grid, DEMO_GRID};
+use bench::{cli, demo_grid, DEMO_GRID};
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
 use wl_harness::{
     drive, drive_frontier, run_worker, run_worker_frontier, DriverConfig, DropBoxTransport,
     FrontierDriveReport, FrontierDriverConfig, FrontierWorkerConfig, Maintenance, ServiceTransport,
-    Shard, StoreFormat, SubprocessTransport, SweepRunner, SweepStore, WorkerConfig, WorkerLaunch,
+    Shard, StoreFormat, SubprocessTransport, SweepRequest, SweepRunner, SweepStore, WorkerConfig,
+    WorkerLaunch,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sweep_drive --workers N [--grid SIZE] [--dir DIR] [--out FILE] \
          [--checkpoint C] [--retries R] [--stall-ms T] [--crash-worker K] \
-         [--format text|binary] [--compact] \
-         [--transport subprocess|dropbox|service] [--chunk C] [--steal-ms T]\n  \
+         [--steal-ms T] {common}\n  \
          sweep_drive --worker K/N --store FILE [--grid SIZE] [--checkpoint C] [--crash-after M] \
-         [--format text|binary]\n  \
+         {common}\n  \
          sweep_drive --frontier-worker --frontier DIR --worker-id ID --store FILE \
-         [--grid SIZE] [--format text|binary] [--steal-ms T] [--poll-ms T] \
-         [--crash-after-chunks M]"
+         [--grid SIZE] [--steal-ms T] [--poll-ms T] \
+         [--crash-after-chunks M] {common}",
+        common = cli::COMMON_USAGE
     );
     std::process::exit(2);
 }
@@ -81,23 +82,26 @@ fn frontier_worker_main(args: &[String]) {
     let mut worker: Option<String> = None;
     let mut store: Option<String> = None;
     let mut grid_size = DEMO_GRID;
-    let mut format = StoreFormat::Text;
+    let mut common = cli::CommonArgs::default();
     let mut steal_ms = 2000u64;
     let mut poll_ms = 100u64;
     let mut crash_after_chunks = None;
     while let Some(flag) = it.next() {
+        if common.take(flag, &mut it) {
+            continue;
+        }
         match flag.as_str() {
             "--frontier" => frontier = it.next().cloned(),
             "--worker-id" => worker = it.next().cloned(),
             "--store" => store = it.next().cloned(),
             "--grid" => grid_size = parse(it.next()),
-            "--format" => format = parse(it.next()),
             "--steal-ms" => steal_ms = parse(it.next()),
             "--poll-ms" => poll_ms = parse(it.next()),
             "--crash-after-chunks" => crash_after_chunks = Some(parse(it.next())),
             _ => usage(),
         }
     }
+    let format = common.format_or(StoreFormat::Text);
     let worker = worker.unwrap_or_else(|| usage());
     let cfg = FrontierWorkerConfig {
         frontier: PathBuf::from(frontier.unwrap_or_else(|| usage())),
@@ -136,17 +140,20 @@ fn worker_main(args: &[String]) {
     let mut grid_size = DEMO_GRID;
     let mut checkpoint = 4usize;
     let mut crash_after = None;
-    let mut format = StoreFormat::Text;
+    let mut common = cli::CommonArgs::default();
     while let Some(flag) = it.next() {
+        if common.take(flag, &mut it) {
+            continue;
+        }
         match flag.as_str() {
             "--store" => store = it.next().cloned(),
             "--grid" => grid_size = parse(it.next()),
             "--checkpoint" => checkpoint = parse(it.next()),
             "--crash-after" => crash_after = Some(parse(it.next())),
-            "--format" => format = parse(it.next()),
             _ => usage(),
         }
     }
+    let format = common.format_or(StoreFormat::Text);
     let cfg = WorkerConfig {
         shard,
         store: PathBuf::from(store.unwrap_or_else(|| usage())),
@@ -182,12 +189,12 @@ fn driver_main(args: &[String]) {
     let mut retries = 2u32;
     let mut stall_ms: Option<u64> = None;
     let mut crash_worker: Option<u32> = None;
-    let mut format = StoreFormat::Text;
-    let mut compact = false;
-    let mut transport: Option<String> = None;
-    let mut chunk = 4usize;
+    let mut common = cli::CommonArgs::default();
     let mut steal_ms = 2000u64;
     while let Some(flag) = it.next() {
+        if common.take(flag, &mut it) {
+            continue;
+        }
         match flag.as_str() {
             "--grid" => grid_size = parse(it.next()),
             "--dir" => dir = PathBuf::from(parse::<String>(it.next())),
@@ -196,14 +203,14 @@ fn driver_main(args: &[String]) {
             "--retries" => retries = parse(it.next()),
             "--stall-ms" => stall_ms = Some(parse(it.next())),
             "--crash-worker" => crash_worker = Some(parse(it.next())),
-            "--format" => format = parse(it.next()),
-            "--compact" => compact = true,
-            "--transport" => transport = it.next().cloned(),
-            "--chunk" => chunk = parse(it.next()),
             "--steal-ms" => steal_ms = parse(it.next()),
             _ => usage(),
         }
     }
+    let format = common.format_or(StoreFormat::Text);
+    let compact = common.compact;
+    let transport = common.transport.clone();
+    let chunk = common.chunk_or(4);
     if workers == 0 {
         usage();
     }
@@ -454,7 +461,9 @@ fn verify_merged(out: &PathBuf, grid_size: usize, merged_records: usize, dir: &s
         std::process::exit(1);
     });
     let cache = merged.hydrate();
-    let _ = SweepRunner::new().sweep_cached::<Maintenance>(demo_grid(grid_size), &cache);
+    let _ = SweepRequest::new()
+        .cached(&cache)
+        .run::<Maintenance>(demo_grid(grid_size));
     if cache.misses() != 0 {
         eprintln!(
             "merged store does not cover the grid: {} hit(s), {} miss(es)",

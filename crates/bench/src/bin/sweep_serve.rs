@@ -22,19 +22,21 @@
 //! clients observe the death and fall back to local simulation, and a
 //! restarted server serves the checkpointed prefix.
 
+use bench::cli;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use wl_harness::{
-    serve, Maintenance, ServeConfig, ServiceAddr, ServiceClient, StoreFormat, SweepRunner,
+    serve, Maintenance, ServeConfig, ServiceAddr, ServiceClient, StoreFormat, SweepRequest,
     SweepStore, SyncAlgorithm,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep_serve --socket <path> | --tcp <addr> --store <file> \
-         [--format text|binary] [--threads <n>] [--crash-after-batches <n>]\n\
+         [--threads <n>] [--crash-after-batches <n>] {common}\n\
        \x20      sweep_serve --stats <spec> | --shutdown <spec>   (spec: unix:<path> | tcp:<addr>)\n\
-       \x20      sweep_serve --bench [--clients <n>] [--requests <n>]"
+       \x20      sweep_serve --bench [--clients <n>] [--requests <n>]",
+        common = cli::COMMON_USAGE
     );
     std::process::exit(2);
 }
@@ -50,7 +52,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<ServiceAddr> = None;
     let mut store: Option<PathBuf> = None;
-    let mut format = StoreFormat::Binary;
+    let mut common = cli::CommonArgs::default();
     let mut threads = 0usize;
     let mut crash_after_batches = None;
     let mut stats_spec: Option<ServiceAddr> = None;
@@ -61,17 +63,14 @@ fn main() {
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if common.take(arg, &mut it) {
+            continue;
+        }
         let mut val = || it.next().cloned().unwrap_or_else(|| usage());
         match arg.as_str() {
             "--socket" => addr = Some(parse_spec(&format!("unix:{}", val()))),
             "--tcp" => addr = Some(ServiceAddr::Tcp(val())),
             "--store" => store = Some(PathBuf::from(val())),
-            "--format" => {
-                format = val().parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                })
-            }
             "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
             "--crash-after-batches" => {
                 crash_after_batches = Some(val().parse().unwrap_or_else(|_| usage()))
@@ -84,6 +83,7 @@ fn main() {
             _ => usage(),
         }
     }
+    let format = common.format_or(StoreFormat::Binary);
 
     if let Some(spec) = stats_spec {
         let stats = ServiceClient::new(spec)
@@ -227,13 +227,13 @@ fn run_bench(clients: usize, requests: usize) {
         std::env::remove_var("WL_SWEEP_SERVICE");
         let store = SweepStore::open(&store_path).unwrap_or_else(|e| fail(&format!("open: {e}")));
         let cache = store.hydrate();
-        let runner = SweepRunner::serial();
+        let request = SweepRequest::new().threads(1).cached(&cache);
         let mut local: Vec<Duration> = Vec::with_capacity(clients * requests);
         let t0 = Instant::now();
         for i in 0..clients * requests {
             let spec = specs[(i * 7) % specs.len()].clone();
             let t = Instant::now();
-            let out = runner.sweep_cached::<Maintenance>(vec![spec], &cache);
+            let out = request.run::<Maintenance>(vec![spec]);
             local.push(t.elapsed());
             assert_eq!(out.len(), 1);
         }

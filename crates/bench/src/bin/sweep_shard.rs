@@ -16,17 +16,18 @@
 //! cmp merged.wls full.wls
 //! ```
 
-use bench::{demo_grid, DEMO_GRID};
+use bench::{cli, demo_grid, DEMO_GRID};
 use wl_harness::{
-    Maintenance, Shard, StoreFormat, SweepCache, SweepRunner, SweepStore, SweepSummary,
+    Maintenance, Shard, StoreFormat, SweepCache, SweepRequest, SweepStore, SweepSummary,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE] [--expect-hits N] \
-         [--format text|binary] [--compact]\n  \
-         sweep_shard --merge OUT IN1 IN2 [IN3 ...] [--format text|binary]\n  \
-         sweep_shard --migrate SRC DST [--format text|binary] [--compact]"
+         {common}\n  \
+         sweep_shard --merge OUT IN1 IN2 [IN3 ...] {common}\n  \
+         sweep_shard --migrate SRC DST {common}",
+        common = cli::COMMON_USAGE
     );
     std::process::exit(2);
 }
@@ -54,9 +55,11 @@ fn run_shard(args: &[String]) {
     let mut store_path: Option<String> = None;
     let mut grid_size = DEMO_GRID;
     let mut expect_hits: Option<u64> = None;
-    let mut format: Option<StoreFormat> = None;
-    let mut compact = false;
+    let mut common = cli::CommonArgs::default();
     while let Some(flag) = it.next() {
+        if common.take(flag, &mut it) {
+            continue;
+        }
         match flag.as_str() {
             "--store" => store_path = it.next().cloned(),
             "--grid" => {
@@ -72,17 +75,11 @@ fn run_shard(args: &[String]) {
                         .unwrap_or_else(|| usage()),
                 );
             }
-            "--format" => {
-                format = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
-            "--compact" => compact = true,
             _ => usage(),
         }
     }
+    let format = common.format;
+    let compact = common.compact;
     let store_path = store_path.unwrap_or_else(|| usage());
 
     let mut store = SweepStore::open(&store_path).unwrap_or_else(|e| {
@@ -95,8 +92,10 @@ fn run_shard(args: &[String]) {
         store.set_format(format);
     }
     let cache: SweepCache = store.hydrate();
-    let outcomes =
-        SweepRunner::new().sweep_sharded_cached::<Maintenance>(demo_grid(grid_size), shard, &cache);
+    let outcomes = SweepRequest::new()
+        .shard(shard)
+        .cached(&cache)
+        .run::<Maintenance>(demo_grid(grid_size));
     let summary = SweepSummary::collect(&outcomes);
     let added = store.absorb(&cache);
     if compact {
@@ -144,18 +143,18 @@ fn run_shard(args: &[String]) {
 }
 
 fn run_merge(args: &[String]) {
-    // A trailing `--format F` selects the output format; everything
-    // before it is OUT IN1 IN2 [IN3 ...].
-    let mut args = args.to_vec();
-    let mut format = StoreFormat::Text;
-    if let Some(pos) = args.iter().position(|a| a == "--format") {
-        format = args
-            .get(pos + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| usage());
-        args.drain(pos..pos + 2);
+    // Flags (e.g. `--format F`) may appear anywhere; the positional
+    // remainder is OUT IN1 IN2 [IN3 ...].
+    let mut common = cli::CommonArgs::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !common.take(arg, &mut it) {
+            positional.push(arg.clone());
+        }
     }
-    let [out, inputs @ ..] = &args[..] else {
+    let format = common.format_or(StoreFormat::Text);
+    let [out, inputs @ ..] = &positional[..] else {
         usage()
     };
     if inputs.len() < 2 {
@@ -205,20 +204,14 @@ fn run_migrate(args: &[String]) {
     let mut it = args.iter();
     let src = it.next().unwrap_or_else(|| usage());
     let dst = it.next().unwrap_or_else(|| usage());
-    let mut format = StoreFormat::Binary;
-    let mut compact = false;
+    let mut common = cli::CommonArgs::default();
     while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--format" => {
-                format = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--compact" => compact = true,
-            _ => usage(),
+        if !common.take(flag, &mut it) {
+            usage();
         }
     }
+    let format = common.format_or(StoreFormat::Binary);
+    let compact = common.compact;
     let report = SweepStore::migrate(src, dst, format).unwrap_or_else(|e| {
         eprintln!("cannot migrate {src} -> {dst}: {e}");
         std::process::exit(1)

@@ -1,0 +1,139 @@
+//! Shared argument layer for the sweep CLIs.
+//!
+//! `sweep_drive`, `sweep_shard`, and `sweep_serve` each grew their own
+//! hand-rolled flag loops, and the flags they share — `--format`,
+//! `--compact`, `--transport`, `--chunk` — drifted in spelling, error
+//! text, and help strings. This module owns those four: every binary
+//! routes unknown flags through [`CommonArgs::take`] first, so the
+//! shared flags parse identically, reject bad values with identical
+//! messages, and advertise themselves with the same [`COMMON_USAGE`]
+//! snippet.
+
+use wl_harness::StoreFormat;
+
+/// The usage fragment for the shared flags — splice into each binary's
+/// usage string so help text cannot drift.
+pub const COMMON_USAGE: &str =
+    "[--format text|binary] [--compact] [--transport subprocess|dropbox|service] [--chunk C]";
+
+/// The transports a `--transport` drive can ride (see
+/// `wl_harness::transport`). Parsing is centralized here so every
+/// binary accepts the same names and prints the same rejection.
+pub const TRANSPORTS: [&str; 3] = ["subprocess", "dropbox", "service"];
+
+/// Shared flags in their parsed form. `None` means "not given" — each
+/// binary applies its own default (`sweep_serve` defaults `--format`
+/// to binary, the store CLIs to text).
+#[derive(Debug, Default, Clone)]
+pub struct CommonArgs {
+    /// `--format text|binary`: on-disk store format.
+    pub format: Option<StoreFormat>,
+    /// `--compact`: rewrite stores canonically after the run.
+    pub compact: bool,
+    /// `--transport subprocess|dropbox|service`: frontier transport.
+    pub transport: Option<String>,
+    /// `--chunk C`: frontier chunk size in grid points.
+    pub chunk: Option<usize>,
+}
+
+impl CommonArgs {
+    /// Tries to consume `flag` (and its value, if it takes one) from
+    /// the iterator. Returns `true` when the flag was one of the shared
+    /// four; the caller's match loop handles everything else. Bad
+    /// values exit 2 with a uniform message.
+    pub fn take(&mut self, flag: &str, it: &mut std::slice::Iter<'_, String>) -> bool {
+        match flag {
+            "--format" => self.format = Some(require("--format", it.next())),
+            "--compact" => self.compact = true,
+            "--transport" => {
+                let t: String = require("--transport", it.next());
+                if !TRANSPORTS.contains(&t.as_str()) {
+                    bad_value("--transport", &t, "subprocess, dropbox, or service");
+                }
+                self.transport = Some(t);
+            }
+            "--chunk" => self.chunk = Some(require("--chunk", it.next())),
+            _ => return false,
+        }
+        true
+    }
+
+    /// The chosen format, or the binary's default.
+    #[must_use]
+    pub fn format_or(&self, default: StoreFormat) -> StoreFormat {
+        self.format.unwrap_or(default)
+    }
+
+    /// The chosen chunk size, or the binary's default.
+    #[must_use]
+    pub fn chunk_or(&self, default: usize) -> usize {
+        self.chunk.unwrap_or(default)
+    }
+}
+
+/// Parses a required flag value, exiting 2 with a uniform message when
+/// it is missing or malformed — the error surface every sweep CLI
+/// shares.
+pub fn require<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    let Some(raw) = v else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {raw:?}");
+        std::process::exit(2);
+    })
+}
+
+fn bad_value(flag: &str, got: &str, want: &str) -> ! {
+    eprintln!("{flag}: unknown value {got:?}: use {want}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(args: &[&str]) -> (CommonArgs, Vec<String>) {
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+        let mut common = CommonArgs::default();
+        let mut rest = Vec::new();
+        let mut it = owned.iter();
+        while let Some(flag) = it.next() {
+            if !common.take(flag, &mut it) {
+                rest.push(flag.clone());
+            }
+        }
+        (common, rest)
+    }
+
+    #[test]
+    fn shared_flags_parse_and_pass_through_the_rest() {
+        let (common, rest) = scan(&[
+            "--grid",
+            "--format",
+            "binary",
+            "--compact",
+            "--transport",
+            "dropbox",
+            "--chunk",
+            "8",
+            "--store",
+        ]);
+        assert_eq!(common.format, Some(StoreFormat::Binary));
+        assert!(common.compact);
+        assert_eq!(common.transport.as_deref(), Some("dropbox"));
+        assert_eq!(common.chunk, Some(8));
+        assert_eq!(rest, ["--grid", "--store"]);
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_absent() {
+        let (common, rest) = scan(&[]);
+        assert_eq!(common.format_or(StoreFormat::Text), StoreFormat::Text);
+        assert_eq!(common.chunk_or(4), 4);
+        assert!(!common.compact);
+        assert!(common.transport.is_none());
+        assert!(rest.is_empty());
+    }
+}

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use wl_harness::run::{baseline_metrics, run_summary, skew_series, steady_skew, RunSummary};
 
 use wl_core::Params;

@@ -186,6 +186,31 @@ pub trait SyncAlgorithm {
         Self::fleet_automaton(spec, id, FleetRole::Rejoiner, ctx)
             .map(|a| Box::new(a) as Box<dyn Automaton<Msg = Self::Msg>>)
     }
+
+    /// The automaton of an adversary *member* process, boxed. Default:
+    /// the canonical realization
+    /// ([`crate::adversary::canonical_member`]) — legacy-equivalent
+    /// strategies map onto the same automata [`SyncAlgorithm::faulty`]
+    /// builds for the corresponding [`FaultKind`], churn wraps the
+    /// correct automaton, and delay-only strategies build the correct
+    /// automaton unchanged. Algorithms override this to give the new
+    /// strategies sharper realizations (see `Maintenance`'s
+    /// member-aware collusion mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm has no realization of the strategy.
+    fn adversary_member(
+        spec: &ScenarioSpec,
+        id: ProcessId,
+        adv: &crate::spec::AdversarySpec,
+        ctx: &AssemblyCtx<'_>,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>>
+    where
+        Self: Sized,
+    {
+        crate::adversary::canonical_member::<Self>(spec, id, adv, ctx)
+    }
 }
 
 /// The attacker's early-send threshold, chosen so the *honest* processes
@@ -284,6 +309,36 @@ impl SyncAlgorithm for Maintenance {
 
     fn correct_mono(spec: &ScenarioSpec, id: ProcessId, _ctx: &AssemblyCtx<'_>) -> Option<Self> {
         Some(Maintenance::new(id, spec.params.clone(), 0.0))
+    }
+
+    fn adversary_member(
+        spec: &ScenarioSpec,
+        id: ProcessId,
+        adv: &crate::spec::AdversarySpec,
+        ctx: &AssemblyCtx<'_>,
+    ) -> Box<dyn Automaton<Msg = WlMsg>> {
+        if let crate::spec::AdversaryStrategy::Collude { amplitude } = adv.strategy {
+            // A member-aware colluding mask: the early targets are the
+            // upper half of the *non-member* processes, wherever the
+            // members sit — every member pulls the same honest halves in
+            // the same directions, so the per-member pulls add. (The
+            // legacy threshold assumes attackers occupy the low indices;
+            // search moves them around.)
+            let n = spec.params.n;
+            let honest: Vec<usize> = (0..n)
+                .filter(|&q| !adv.controls(ProcessId(q)))
+                .collect();
+            let below = honest.len() / 2;
+            let mask: Vec<bool> = (0..n)
+                .map(|q| honest.iter().position(|&h| h == q).is_some_and(|pos| pos >= below))
+                .collect();
+            return Box::new(PullApart::with_early_mask(
+                spec.params.clone(),
+                amplitude,
+                mask,
+            ));
+        }
+        crate::adversary::canonical_member::<Self>(spec, id, adv, ctx)
     }
 }
 

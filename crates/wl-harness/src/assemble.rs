@@ -119,11 +119,17 @@ pub fn assemble_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
             .find(|&&(fid, _)| fid == id)
             .map(|&(_, k)| k);
         let is_rejoiner = spec.rejoiner.map(|(rid, _)| rid) == Some(id);
+        let adversary_member = spec
+            .adversary
+            .as_ref()
+            .filter(|adv| adv.controls(id) && !adv.strategy.is_delay_only());
         let auto: Box<dyn Automaton<Msg = A::Msg>> = if is_rejoiner {
             let (_, repair_at) = spec.rejoiner.expect("checked above");
             *start_slot = repair_at;
             A::rejoiner_automaton(spec, id, &ctx)
                 .unwrap_or_else(|| panic!("{} does not support rejoiners", A::NAME))
+        } else if let Some(adv) = adversary_member {
+            A::adversary_member(spec, id, adv, &ctx)
         } else if let Some(kind) = fault {
             A::faulty(spec, id, kind, &ctx)
         } else {
@@ -212,6 +218,14 @@ fn assembly_parts<A: SyncAlgorithm>(spec: &ScenarioSpec) -> AssemblyParts {
     if let Some((id, _)) = spec.rejoiner {
         faulty_ids.push(id);
     }
+    // Behaviour-adversary members are designated faulty (A2 bookkeeping);
+    // delay-only members stay correct — in-band delay scheduling is the
+    // environment's prerogative under A3, not a process fault.
+    if let Some(adv) = &spec.adversary {
+        if !adv.strategy.is_delay_only() {
+            faulty_ids.extend(adv.members.iter().copied());
+        }
+    }
     let plan = FaultPlan::with_faulty(n, &faulty_ids);
 
     AssemblyParts {
@@ -235,13 +249,18 @@ fn sim_config(spec: &ScenarioSpec, sim_seed: u64) -> SimConfig {
 
 fn delay_model(spec: &ScenarioSpec) -> Box<dyn DelayModel> {
     let p = &spec.params;
-    match spec.delay {
+    let base: Box<dyn DelayModel> = match spec.delay {
         DelayKind::Constant => Box::new(ConstantDelay::new(wl_time::RealDur::from_secs(p.delta))),
         DelayKind::Uniform => Box::new(UniformDelay::new(p.delay_bounds())),
         DelayKind::AdversarialSplit => {
             Box::new(AdversarialSplitDelay::new(p.delay_bounds(), p.n / 2))
         }
-    }
+    };
+    // A delay-only adversary pins its chosen links to the band edges and
+    // defers the rest to the base model (shared by all assembly paths, so
+    // the mono/enum/boxed parity guarantees carry over to adversarial
+    // delay scheduling).
+    crate::adversary::wrap_delay_model(spec, base)
 }
 
 /// The simulation type of the monomorphized fast path: algorithm `A`'s
@@ -351,6 +370,16 @@ where
     if !spec.faults.is_empty() || spec.rejoiner.is_some() || spec.trace_capacity != 0 {
         return None;
     }
+    // A behaviour adversary needs the boxed wrapper automata; a delay-only
+    // adversary leaves every process correct (the attack lives in the
+    // shared delay model), so the fast path stays available.
+    if spec
+        .adversary
+        .as_ref()
+        .is_some_and(|adv| !adv.strategy.is_delay_only())
+    {
+        return None;
+    }
     let parts = assembly_parts::<A>(spec);
     let ctx = AssemblyCtx {
         clocks: &parts.clocks,
@@ -436,6 +465,16 @@ pub fn assemble_enum_with_queue<A: SyncAlgorithm, Q: EventQueue<A::Msg>>(
     queue: Q,
 ) -> Option<EnumScenario<A, Q>> {
     if spec.trace_capacity != 0 {
+        return None;
+    }
+    // Behaviour-adversary members are wrapper automata outside the fleet
+    // enum; the boxed path hosts them. Delay-only adversaries qualify
+    // (all processes correct, attack in the shared delay model).
+    if spec
+        .adversary
+        .as_ref()
+        .is_some_and(|adv| !adv.strategy.is_delay_only())
+    {
         return None;
     }
     let parts = assembly_parts::<A>(spec);

@@ -80,8 +80,11 @@ use wl_sim::SimStats;
 ///
 /// History: 3 added the optional [`SweepSeries`] payload (`S`-tagged
 /// records) and the `series` field to the canonical [`SweepOutcome`]
-/// encoding.
-pub const ENGINE_VERSION: u32 = 3;
+/// encoding. 4 added the adversary block to [`crate::ScenarioSpec`]
+/// (an `adversary:` field in every spec canon) and the adversarial
+/// record tags `A`/`B`; v3 stores still load — their records are
+/// retained verbatim as stale, exactly like the v2→v3 migration.
+pub const ENGINE_VERSION: u32 = 4;
 
 /// First line of every **text** store file: format magic + *format*
 /// version (which is about the file layout; [`ENGINE_VERSION`] travels
@@ -989,6 +992,16 @@ impl SweepStore {
         self.records.is_empty()
     }
 
+    /// Number of valid current-engine records whose spec carries an
+    /// adversary block (the `A`/`B`-tagged dimension of the store).
+    #[must_use]
+    pub fn adversarial_len(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| spec_is_adversarial(&r.spec_canon))
+            .count()
+    }
+
     /// Lines the last [`open`](SweepStore::open) discarded as corrupt.
     #[must_use]
     pub fn skipped_lines(&self) -> usize {
@@ -1524,18 +1537,31 @@ pub struct MigrationReport {
     pub bytes_out: u64,
 }
 
+/// Whether a canonical spec string describes an adversarial scenario.
+///
+/// The canonical grammar is space-free and escapes every string, the
+/// spec has no free-form string fields, and `adversary` is a unique
+/// field name, so the `adversary:+` prefix of a populated
+/// `Option<AdversarySpec>` appears in a spec canon *iff* the spec
+/// carries an adversary block. This is the store's adversary dimension:
+/// it selects between the `R`/`S` and `A`/`B` record tags without
+/// parsing the spec.
+#[must_use]
+pub fn spec_is_adversarial(spec_canon: &str) -> bool {
+    spec_canon.contains("adversary:+")
+}
+
 /// The format-level view of one live record — what both the text and
-/// the binary writer serialize. The tag duplicates what the outcome
-/// encoding says (`R` scalar, `S` series-bearing) so a reader can
-/// filter record kinds without parsing payloads; both parsers
-/// cross-check the two.
+/// the binary writer serialize. The tag duplicates what the payloads
+/// say (`R`/`A` scalar, `S`/`B` series-bearing; `A`/`B` adversarial
+/// spec) so a reader can filter record kinds without parsing payloads;
+/// both parsers cross-check tag against payload on both dimensions.
 fn encoded_record((hash, algo): &StoreKey, record: &StoreRecord) -> EncodedRecord {
     EncodedRecord {
-        tag: if record.outcome.series.is_some() {
-            segment::TAG_SERIES
-        } else {
-            segment::TAG_SCALAR
-        },
+        tag: segment::record_tag(
+            record.outcome.series.is_some(),
+            spec_is_adversarial(&record.spec_canon),
+        ),
         content_hash: *hash,
         engine_version: ENGINE_VERSION,
         algo: algo.clone(),
@@ -1545,11 +1571,14 @@ fn encoded_record((hash, algo): &StoreKey, record: &StoreRecord) -> EncodedRecor
 }
 
 /// The inverse of [`encoded_record`]: validates a current-engine record
-/// semantically (outcome parses, tag agrees with the payload) and
+/// semantically (outcome parses, tag agrees with both payloads) and
 /// produces the store's in-memory form. `None` = corrupt, skip it.
 fn live_record(encoded: &EncodedRecord) -> Option<(StoreKey, StoreRecord)> {
     let outcome = parse_outcome(&encoded.outcome_canon)?;
-    if (encoded.tag == segment::TAG_SERIES) != outcome.series.is_some() {
+    if segment::tag_has_series(encoded.tag) != outcome.series.is_some() {
+        return None;
+    }
+    if segment::tag_is_adversarial(encoded.tag) != spec_is_adversarial(&encoded.spec_canon) {
         return None;
     }
     Some((
@@ -1604,7 +1633,7 @@ fn parse_line(line: &str) -> ParsedLine {
     let [tag, hash_tok, engine_tok, algo_tok, spec_tok, outcome_tok] = fields.as_slice() else {
         return ParsedLine::Corrupt;
     };
-    if *tag != "R" && *tag != "S" {
+    if !matches!(*tag, "R" | "S" | "A" | "B") {
         return ParsedLine::Corrupt;
     }
     let Ok(hash) = u64::from_str_radix(hash_tok, 16) else {
@@ -1636,7 +1665,11 @@ fn parse_line(line: &str) -> ParsedLine {
     let Some(outcome) = parse_outcome(outcome_tok) else {
         return ParsedLine::Corrupt;
     };
-    if (*tag == "S") != outcome.series.is_some() {
+    let tag_byte = tag.as_bytes()[0];
+    if segment::tag_has_series(tag_byte) != outcome.series.is_some() {
+        return ParsedLine::Corrupt;
+    }
+    if segment::tag_is_adversarial(tag_byte) != spec_is_adversarial(spec_tok) {
         return ParsedLine::Corrupt;
     }
     ParsedLine::Record {
@@ -1792,7 +1825,9 @@ impl DiskSweepCache {
     }
 
     /// One status line for experiment binaries to print: hit/miss
-    /// counts and where (whether) the store lives.
+    /// counts, where (whether) the store lives, and the full store-key
+    /// dimensions — engine version and the adversarial record count —
+    /// not just the service tier.
     #[must_use]
     pub fn status(&self) -> String {
         let target = match (self.enabled, self.store.path()) {
@@ -1804,10 +1839,12 @@ impl DiskSweepCache {
             None => String::new(),
         };
         format!(
-            "sweep cache: {} hits, {} misses, {} records loaded ({target}{service})",
+            "sweep cache: {} hits, {} misses, {} records loaded \
+             ({} adversarial, engine v{ENGINE_VERSION}, {target}{service})",
             self.cache.hits(),
             self.cache.misses(),
             self.store.len(),
+            self.store.adversarial_len(),
         )
     }
 }
@@ -2060,6 +2097,70 @@ mod tests {
                     format!("S {rest}")
                 } else {
                     format!("R {}", prefix.strip_prefix("S ").unwrap())
+                };
+                let crc = fnv64(flipped.as_bytes());
+                format!("{flipped} {crc:016x}")
+            }))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        std::fs::write(&path, forged).unwrap();
+        let reopened = SweepStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 0);
+        assert_eq!(reopened.skipped_lines(), 2, "both forged tags rejected");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adversarial_records_tagged_and_cross_checked() {
+        // An adversarial scalar writes `A`, an adversarial series record
+        // `B`; forging either tag back to its non-adversarial twin
+        // re-checksums fine but disagrees with the spec's `adversary:+`
+        // block, so the loader must skip it.
+        use crate::spec::{AdversarySpec, AdversaryStrategy};
+        use wl_sim::ProcessId;
+        let path = tmp_path("adv-tags");
+        let _ = std::fs::remove_file(&path);
+        let adv = |spec: ScenarioSpec| {
+            spec.adversary(AdversarySpec::new(
+                vec![ProcessId(0)],
+                AdversaryStrategy::Mute,
+            ))
+        };
+        let cache = SweepCache::new();
+        let g = grid(2);
+        let _ =
+            SweepRunner::serial().sweep_cached::<Maintenance>(vec![adv(g[0].clone())], &cache);
+        let _ = SweepRunner::serial()
+            .sweep_cached_series::<Maintenance>(vec![adv(g[1].clone())], &cache);
+        let mut store = SweepStore::open(&path).unwrap();
+        store.absorb(&cache);
+        store.save().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut tags: Vec<char> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().next().unwrap())
+            .collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec!['A', 'B'], "adversarial scalar + series tags");
+        assert_eq!(store.adversarial_len(), 2);
+
+        let reopened = SweepStore::open(&path).unwrap();
+        let hydrated = reopened.hydrate();
+        let warm = SweepRunner::serial()
+            .sweep_cached_series::<Maintenance>(vec![adv(g[1].clone())], &hydrated);
+        assert_eq!(hydrated.hits(), 1, "B record serves a series request");
+        assert!(warm[0].series.is_some());
+
+        let forged: String = std::iter::once(text.lines().next().unwrap().to_string())
+            .chain(text.lines().skip(1).map(|line| {
+                let (prefix, _) = line.rsplit_once(' ').unwrap();
+                let flipped = if let Some(rest) = prefix.strip_prefix("A ") {
+                    format!("R {rest}")
+                } else {
+                    format!("S {}", prefix.strip_prefix("B ").unwrap())
                 };
                 let crc = fnv64(flipped.as_bytes());
                 format!("{flipped} {crc:016x}")

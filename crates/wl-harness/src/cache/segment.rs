@@ -60,12 +60,44 @@ pub const SEGMENT_HEADER_LEN: usize = 24;
 /// byte-identical only when written at the same capacity.
 pub const DEFAULT_SEGMENT_CAPACITY: u32 = 256 * 1024;
 
-/// The `R` record tag: a scalar-summary record.
+/// The `R` record tag: a scalar-summary record of a non-adversarial
+/// spec.
 pub const TAG_SCALAR: u8 = b'R';
 
 /// The `S` record tag: an outcome whose encoding carries a series
-/// payload.
+/// payload (non-adversarial spec).
 pub const TAG_SERIES: u8 = b'S';
+
+/// The `A` record tag: a scalar-summary record of an *adversarial* spec
+/// (one whose canonical form carries an `adversary:+…` block).
+pub const TAG_ADV_SCALAR: u8 = b'A';
+
+/// The `B` record tag: a series-bearing record of an adversarial spec.
+pub const TAG_ADV_SERIES: u8 = b'B';
+
+/// Whether records under `tag` carry a series payload.
+#[must_use]
+pub fn tag_has_series(tag: u8) -> bool {
+    tag == TAG_SERIES || tag == TAG_ADV_SERIES
+}
+
+/// Whether records under `tag` describe an adversarial spec.
+#[must_use]
+pub fn tag_is_adversarial(tag: u8) -> bool {
+    tag == TAG_ADV_SCALAR || tag == TAG_ADV_SERIES
+}
+
+/// The record tag for a `(series-bearing, adversarial)` combination —
+/// the single choice point both store writers and the service share.
+#[must_use]
+pub fn record_tag(series: bool, adversarial: bool) -> u8 {
+    match (series, adversarial) {
+        (false, false) => TAG_SCALAR,
+        (true, false) => TAG_SERIES,
+        (false, true) => TAG_ADV_SCALAR,
+        (true, true) => TAG_ADV_SERIES,
+    }
+}
 
 fn fnv64(bytes: &[u8]) -> u64 {
     fnv64_seeded(FNV_OFFSET, bytes)
@@ -81,7 +113,8 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// outcome payloads ever being parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedRecord {
-    /// Record kind: [`TAG_SCALAR`] or [`TAG_SERIES`].
+    /// Record kind: [`TAG_SCALAR`], [`TAG_SERIES`], [`TAG_ADV_SCALAR`],
+    /// or [`TAG_ADV_SERIES`].
     pub tag: u8,
     /// The spec's content hash (the record key, with `algo`).
     pub content_hash: u64,
@@ -188,10 +221,10 @@ impl<'a> Take<'a> {
 }
 
 impl EncodedRecord {
-    /// Whether `tag` is one of the two known record tags.
+    /// Whether `tag` is one of the known record tags.
     #[must_use]
     pub fn known_tag(tag: u8) -> bool {
-        tag == TAG_SCALAR || tag == TAG_SERIES
+        tag == TAG_SCALAR || tag == TAG_SERIES || tag == TAG_ADV_SCALAR || tag == TAG_ADV_SERIES
     }
 
     /// Serializes this record: `u32` LE body length, then the

@@ -87,6 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod algo;
 pub mod assemble;
 pub mod cache;
@@ -94,11 +95,13 @@ pub mod driver;
 pub mod fleet;
 pub mod frontier;
 pub mod run;
+pub mod search;
 pub mod service;
 pub mod spec;
 pub mod sweep;
 pub mod transport;
 
+pub use adversary::{Adversary, AdversaryActor, AdversaryDelay, ChurnStrategy, LinkPlan, TargetedLinks};
 pub use algo::{AssemblyCtx, FleetRole, StartDiscipline, SyncAlgorithm};
 pub use assemble::{
     assemble, assemble_calendar, assemble_enum, assemble_enum_with_queue, assemble_mono,
@@ -117,14 +120,15 @@ pub use frontier::{
     run_worker_frontier, Claim, Frontier, FrontierError, FrontierProgress, FrontierSpec,
     FrontierStatus, FrontierWorkerConfig,
 };
+pub use search::{search_worst_case, SearchConfig, SearchReport};
 pub use service::{
     serve, service_from_env, ServeConfig, ServeReport, ServiceAddr, ServiceClient, ServiceStats,
     ServiceSweepCache,
 };
-pub use spec::{DelayKind, FaultKind, ScenarioSpec};
+pub use spec::{AdversarySpec, AdversaryStrategy, DelayKind, FaultKind, ScenarioSpec};
 pub use sweep::{
     derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,
-    SweepRunner, SweepSeries, SweepSummary,
+    SweepRequest, SweepRunner, SweepSeries, SweepSummary, TierPolicy,
 };
 pub use transport::{
     drive_frontier, DropBoxTransport, FrontierDriveError, FrontierDriveReport,

@@ -47,9 +47,9 @@
 //! [`run_worker`]: crate::driver::run_worker
 //! [`ScenarioSpec::content_hash`]: ScenarioSpec::content_hash
 
-use crate::cache::segment::{EncodedRecord, TAG_SCALAR, TAG_SERIES};
+use crate::cache::segment::{record_tag, tag_has_series, EncodedRecord};
 use crate::cache::{canon_string, parse_outcome, StoreFormat, SweepStore, ENGINE_VERSION};
-use crate::spec::{DelayKind, FaultKind, ScenarioSpec};
+use crate::spec::{AdversarySpec, AdversaryStrategy, DelayKind, FaultKind, ScenarioSpec};
 use crate::sweep::{run_point, run_point_series, SweepAlgorithm, SweepCache, SweepRunner};
 use std::collections::HashSet;
 use std::io::{self, Read, Write};
@@ -353,6 +353,49 @@ pub fn encode_spec(spec: &ScenarioSpec) -> Vec<u8> {
     u(&mut out, spec.trace_capacity as u64);
     u(&mut out, spec.max_events);
     f(&mut out, spec.initial_spread);
+    match &spec.adversary {
+        None => out.push(0),
+        Some(adv) => {
+            out.push(1);
+            let members = u32::try_from(adv.members.len()).expect("member set < 4G entries");
+            out.extend_from_slice(&members.to_le_bytes());
+            for m in &adv.members {
+                u(&mut out, m.index() as u64);
+            }
+            match adv.strategy {
+                AdversaryStrategy::Crash { at } => {
+                    out.push(0);
+                    f(&mut out, at);
+                }
+                AdversaryStrategy::Mute => out.push(1),
+                AdversaryStrategy::Spam => out.push(2),
+                AdversaryStrategy::PullApart { amplitude, high } => {
+                    out.push(3);
+                    f(&mut out, amplitude);
+                    out.push(u8::from(high));
+                }
+                AdversaryStrategy::TwoFacedValue { amplitude } => {
+                    out.push(4);
+                    f(&mut out, amplitude);
+                }
+                AdversaryStrategy::Collude { amplitude } => {
+                    out.push(5);
+                    f(&mut out, amplitude);
+                }
+                AdversaryStrategy::Churn { up, down } => {
+                    out.push(6);
+                    f(&mut out, up);
+                    f(&mut out, down);
+                }
+                AdversaryStrategy::TargetedDelay { victim } => {
+                    out.push(7);
+                    u(&mut out, victim as u64);
+                }
+                AdversaryStrategy::Partition => out.push(8),
+            }
+            u(&mut out, adv.seed);
+        }
+    }
     out
 }
 
@@ -423,6 +466,50 @@ pub fn decode_spec(bytes: &[u8]) -> Option<ScenarioSpec> {
         )),
         _ => return None,
     };
+    let trace_capacity = usize::try_from(t.u64()?).ok()?;
+    let max_events = t.u64()?;
+    let initial_spread = t.f64()?;
+    let adversary = match t.u8()? {
+        0 => None,
+        1 => {
+            let member_count = t.u32()? as usize;
+            let mut members = Vec::with_capacity(member_count.min(1024));
+            for _ in 0..member_count {
+                members.push(ProcessId(usize::try_from(t.u64()?).ok()?));
+            }
+            let strategy = match t.u8()? {
+                0 => AdversaryStrategy::Crash { at: t.f64()? },
+                1 => AdversaryStrategy::Mute,
+                2 => AdversaryStrategy::Spam,
+                3 => AdversaryStrategy::PullApart {
+                    amplitude: t.f64()?,
+                    high: match t.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return None,
+                    },
+                },
+                4 => AdversaryStrategy::TwoFacedValue { amplitude: t.f64()? },
+                5 => AdversaryStrategy::Collude { amplitude: t.f64()? },
+                6 => AdversaryStrategy::Churn {
+                    up: t.f64()?,
+                    down: t.f64()?,
+                },
+                7 => AdversaryStrategy::TargetedDelay {
+                    victim: usize::try_from(t.u64()?).ok()?,
+                },
+                8 => AdversaryStrategy::Partition,
+                _ => return None,
+            };
+            let seed = t.u64()?;
+            Some(AdversarySpec {
+                members,
+                strategy,
+                seed,
+            })
+        }
+        _ => return None,
+    };
     let spec = ScenarioSpec {
         params,
         drift,
@@ -432,9 +519,10 @@ pub fn decode_spec(bytes: &[u8]) -> Option<ScenarioSpec> {
         spread_frac,
         faults,
         rejoiner,
-        trace_capacity: usize::try_from(t.u64()?).ok()?,
-        max_events: t.u64()?,
-        initial_spread: t.f64()?,
+        adversary,
+        trace_capacity,
+        max_events,
+        initial_spread,
     };
     t.done().then_some(spec)
 }
@@ -1117,7 +1205,7 @@ impl ServiceSweepCache {
                         && r.algo == A::NAME
                         && r.content_hash == hash
                         && r.spec_canon == canon
-                        && (!need_series || r.tag == TAG_SERIES)
+                        && (!need_series || tag_has_series(r.tag))
                 })
                 .and_then(|r| parse_outcome(&r.outcome_canon))
                 .filter(|o| !need_series || o.series.is_some());
@@ -1190,11 +1278,10 @@ fn canonical_record(
     let mut normalized = outcome.clone();
     normalized.index = 0;
     EncodedRecord {
-        tag: if normalized.series.is_some() {
-            TAG_SERIES
-        } else {
-            TAG_SCALAR
-        },
+        tag: record_tag(
+            normalized.series.is_some(),
+            crate::cache::spec_is_adversarial(spec_canon),
+        ),
         content_hash,
         engine_version: ENGINE_VERSION,
         algo: algo.to_string(),
@@ -1524,7 +1611,7 @@ fn dispatch(
             match c
                 .store
                 .record_encoded(content_hash, &algo)
-                .filter(|r| !need_series || r.tag == TAG_SERIES)
+                .filter(|r| !need_series || tag_has_series(r.tag))
             {
                 Some(record) => {
                     c.warm_hits += 1;
@@ -1641,7 +1728,7 @@ fn batch_get(
             match c
                 .store
                 .record_encoded(item.content_hash, algo)
-                .filter(|r| !need_series || r.tag == TAG_SERIES)
+                .filter(|r| !need_series || tag_has_series(r.tag))
             {
                 Some(record) => {
                     c.warm_hits += 1;
@@ -1738,6 +1825,7 @@ fn simulate(
 mod tests {
     use super::*;
     use crate::algo::SyncAlgorithm as _;
+    use crate::cache::segment::{TAG_SCALAR, TAG_SERIES};
     use crate::sweep::derive_seed;
     use crate::Maintenance;
     use rand::{Rng, SeedableRng};
@@ -1844,6 +1932,36 @@ mod tests {
                     ProcessId((rng.gen::<u64>() % 256) as usize),
                     RealTime::from_secs(f(rng)),
                 ))
+            },
+            adversary: if rng.gen::<u64>() % 2 == 0 {
+                None
+            } else {
+                let strategy = match rng.gen::<u64>() % 9 {
+                    0 => AdversaryStrategy::Crash { at: f(rng) },
+                    1 => AdversaryStrategy::Mute,
+                    2 => AdversaryStrategy::Spam,
+                    3 => AdversaryStrategy::PullApart {
+                        amplitude: f(rng),
+                        high: rng.gen::<u64>() % 2 == 0,
+                    },
+                    4 => AdversaryStrategy::TwoFacedValue { amplitude: f(rng) },
+                    5 => AdversaryStrategy::Collude { amplitude: f(rng) },
+                    6 => AdversaryStrategy::Churn {
+                        up: f(rng),
+                        down: f(rng),
+                    },
+                    7 => AdversaryStrategy::TargetedDelay {
+                        victim: (rng.gen::<u64>() % 256) as usize,
+                    },
+                    _ => AdversaryStrategy::Partition,
+                };
+                Some(AdversarySpec {
+                    members: (0..rng.gen::<u64>() % 4)
+                        .map(|_| ProcessId((rng.gen::<u64>() % 256) as usize))
+                        .collect(),
+                    strategy,
+                    seed: rng.gen(),
+                })
             },
             trace_capacity: (rng.gen::<u64>() % (1 << 16)) as usize,
             max_events: rng.gen(),

@@ -62,6 +62,134 @@ pub enum FaultKind {
     TwoFaced(f64),
 }
 
+/// A pluggable adversary strategy: *how* the adversary's member processes
+/// misbehave, and how the adversary steers message delays within the A3
+/// band `[δ−ε, δ+ε]`.
+///
+/// The closed [`FaultKind`] enum assigns one behaviour per process; a
+/// strategy instead describes a coordinated, stateful plan for a *group*
+/// of members (see [`AdversarySpec`]). The first five variants are the
+/// canonical reimplementations of the legacy kinds; the rest are new
+/// attacks the enum could not express. Realization lives in
+/// [`crate::adversary`]; each algorithm realizes the strategies that make
+/// sense for its message alphabet and panics with a clear message
+/// otherwise, exactly like [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum AdversaryStrategy {
+    /// Correct until the given real time, then silent
+    /// (canonical [`FaultKind::CrashAt`]).
+    Crash {
+        /// Crash time (real seconds).
+        at: f64,
+    },
+    /// Never sends anything (canonical [`FaultKind::Silent`]).
+    Mute,
+    /// Sends random protocol-shaped `Round` noise
+    /// (canonical [`FaultKind::RoundSpam`]).
+    Spam,
+    /// The two-faced early/late timing attack (canonical
+    /// [`FaultKind::PullApart`] / [`FaultKind::PullApartHigh`]).
+    PullApart {
+        /// Attack amplitude (seconds).
+        amplitude: f64,
+        /// `true` targets the upper-index honest half with the early send
+        /// (the strongest split under even-spread drift).
+        high: bool,
+    },
+    /// Two-faced clock *values*: claims a clock `amplitude` ahead to one
+    /// half and `amplitude` behind to the other (canonical
+    /// [`FaultKind::TwoFaced`]).
+    TwoFacedValue {
+        /// Claimed-value offset (seconds).
+        amplitude: f64,
+    },
+    /// Collusion group: every member runs the two-faced timing attack in
+    /// phase with a shared amplitude and the *same* early-target mask, so
+    /// the per-member pulls add instead of cancelling.
+    Collude {
+        /// Shared attack amplitude (seconds).
+        amplitude: f64,
+    },
+    /// Crash-recovery churn: alive for `up` real seconds, dead for `down`,
+    /// repeating. While dead the member drops all output (like a crash);
+    /// on recovery it resumes its correct automaton's state.
+    Churn {
+        /// Seconds alive per cycle.
+        up: f64,
+        /// Seconds dead per cycle.
+        down: f64,
+    },
+    /// Members stay protocol-correct but the adversary schedules delays:
+    /// member→victim messages ride the top of the band (δ+ε) while
+    /// victim→member messages ride the bottom (δ−ε) — targeted asymmetric
+    /// delays against one process.
+    TargetedDelay {
+        /// Index of the targeted process.
+        victim: usize,
+    },
+    /// Partial connectivity: member↔member edges ride the top of the band
+    /// and member↔non-member edges the bottom, threaded through the
+    /// delay model's per-pair state. Members stay protocol-correct.
+    Partition,
+}
+
+impl AdversaryStrategy {
+    /// Whether the strategy misbehaves only through *delay scheduling*
+    /// (members run their correct automata).
+    #[must_use]
+    pub fn is_delay_only(&self) -> bool {
+        matches!(
+            self,
+            AdversaryStrategy::TargetedDelay { .. } | AdversaryStrategy::Partition
+        )
+    }
+}
+
+/// The adversary block of a [`ScenarioSpec`]: which processes the
+/// adversary controls, the [`AdversaryStrategy`] they execute, and the
+/// adversary's private RNG seed.
+///
+/// This is the canonically-serializable grammar the whole stack speaks:
+/// it hashes into [`ScenarioSpec::content_hash`], serializes through the
+/// cache's canonical text form and the service wire codec, and persists
+/// in the segment store under the adversarial record tags (`A`/`B` — see
+/// `docs/store-format.md`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct AdversarySpec {
+    /// The processes the adversary controls (its *members*).
+    pub members: Vec<ProcessId>,
+    /// The strategy all members execute.
+    pub strategy: AdversaryStrategy,
+    /// The adversary's private seed (independent of the spec seed, so
+    /// search can vary the adversary without disturbing the environment).
+    pub seed: u64,
+}
+
+impl AdversarySpec {
+    /// An adversary controlling `members` running `strategy`.
+    #[must_use]
+    pub fn new(members: Vec<ProcessId>, strategy: AdversaryStrategy) -> Self {
+        Self {
+            members,
+            strategy,
+            seed: 1,
+        }
+    }
+
+    /// Sets the adversary's private seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether `id` is one of the adversary's members.
+    #[must_use]
+    pub fn controls(&self, id: ProcessId) -> bool {
+        self.members.contains(&id)
+    }
+}
+
 /// A fully specified scenario, ready to assemble under any algorithm.
 ///
 /// Construct with [`ScenarioSpec::new`] (round-aligned, A4 start) or
@@ -88,6 +216,11 @@ pub struct ScenarioSpec {
     /// §9.1 rejoiner: the process and its repair time. It counts as
     /// faulty until it rejoins.
     pub rejoiner: Option<(ProcessId, RealTime)>,
+    /// Pluggable adversary: a coordinated strategy over a member group,
+    /// replacing (and strictly generalizing) static `faults` entries.
+    /// `None` means no adversary — the spec hashes and serializes exactly
+    /// as it did before the Adversary API existed.
+    pub adversary: Option<AdversarySpec>,
     /// Trace capacity (0 = tracing disabled).
     pub trace_capacity: usize,
     /// Safety valve on event count (0 = unlimited).
@@ -112,6 +245,7 @@ impl ScenarioSpec {
             spread_frac: 0.8,
             faults: Vec::new(),
             rejoiner: None,
+            adversary: None,
             trace_capacity: 0,
             max_events: 0,
             initial_spread: 0.0,
@@ -209,6 +343,13 @@ impl ScenarioSpec {
     #[must_use]
     pub fn rejoiner(mut self, p: ProcessId, repair_at: RealTime) -> Self {
         self.rejoiner = Some((p, repair_at));
+        self
+    }
+
+    /// Installs a pluggable adversary (see [`AdversarySpec`]).
+    #[must_use]
+    pub fn adversary(mut self, adv: AdversarySpec) -> Self {
+        self.adversary = Some(adv);
         self
     }
 
@@ -396,6 +537,48 @@ impl ScenarioSpec {
         mix(self.trace_capacity as u64);
         mix(self.max_events);
         mix(self.initial_spread.to_bits());
+        // The adversary block mixes *only when present*: every legacy
+        // (non-adversarial) spec keeps the hash it had before the field
+        // existed, and the ENGINE_VERSION gate handles the format epoch.
+        if let Some(adv) = &self.adversary {
+            mix(0xad5e_c0de);
+            mix(adv.members.len() as u64);
+            for &m in &adv.members {
+                mix(m.index() as u64);
+            }
+            match adv.strategy {
+                AdversaryStrategy::Crash { at } => {
+                    mix(0);
+                    mix(at.to_bits());
+                }
+                AdversaryStrategy::Mute => mix(1),
+                AdversaryStrategy::Spam => mix(2),
+                AdversaryStrategy::PullApart { amplitude, high } => {
+                    mix(3);
+                    mix(amplitude.to_bits());
+                    mix(u64::from(high));
+                }
+                AdversaryStrategy::TwoFacedValue { amplitude } => {
+                    mix(4);
+                    mix(amplitude.to_bits());
+                }
+                AdversaryStrategy::Collude { amplitude } => {
+                    mix(5);
+                    mix(amplitude.to_bits());
+                }
+                AdversaryStrategy::Churn { up, down } => {
+                    mix(6);
+                    mix(up.to_bits());
+                    mix(down.to_bits());
+                }
+                AdversaryStrategy::TargetedDelay { victim } => {
+                    mix(7);
+                    mix(victim as u64);
+                }
+                AdversaryStrategy::Partition => mix(8),
+            }
+            mix(adv.seed);
+        }
         h
     }
 }
@@ -434,6 +617,68 @@ mod tests {
         assert_eq!(
             spec.content_hash(),
             spec.clone().drift(spec.effective_drift()).content_hash()
+        );
+    }
+
+    #[test]
+    fn adversary_block_extends_the_hash_without_disturbing_legacy_specs() {
+        let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+        let spec = ScenarioSpec::new(params).seed(7);
+        let adv = AdversarySpec::new(
+            vec![ProcessId(0)],
+            AdversaryStrategy::PullApart {
+                amplitude: 0.002,
+                high: false,
+            },
+        );
+        let with = spec.clone().adversary(adv.clone());
+        // Installing an adversary changes the identity...
+        assert_ne!(spec.content_hash(), with.content_hash());
+        // ...and every adversary dimension is part of it.
+        assert_ne!(
+            with.content_hash(),
+            spec.clone()
+                .adversary(adv.clone().seed(2))
+                .content_hash(),
+            "adversary seed must be part of the identity"
+        );
+        assert_ne!(
+            with.content_hash(),
+            spec.clone()
+                .adversary(AdversarySpec::new(
+                    vec![ProcessId(1)],
+                    AdversaryStrategy::PullApart {
+                        amplitude: 0.002,
+                        high: false,
+                    },
+                ))
+                .content_hash(),
+            "member set must be part of the identity"
+        );
+        assert_ne!(
+            with.content_hash(),
+            spec.clone()
+                .adversary(AdversarySpec::new(
+                    vec![ProcessId(0)],
+                    AdversaryStrategy::PullApart {
+                        amplitude: 0.003,
+                        high: false,
+                    },
+                ))
+                .content_hash(),
+            "strategy parameters must be part of the identity"
+        );
+        assert_ne!(
+            with.content_hash(),
+            spec.clone()
+                .adversary(AdversarySpec::new(
+                    vec![ProcessId(0)],
+                    AdversaryStrategy::PullApart {
+                        amplitude: 0.002,
+                        high: true,
+                    },
+                ))
+                .content_hash()
         );
     }
 

@@ -380,7 +380,7 @@ impl SweepRunner {
     /// with [`run_summary`] into a [`SweepOutcome`].
     #[must_use]
     pub fn sweep<A: SweepAlgorithm>(&self, specs: Vec<ScenarioSpec>) -> Vec<SweepOutcome> {
-        self.run(specs, |index, spec| run_point::<A>(index, spec))
+        SweepRequest::new().runner(*self).run::<A>(specs)
     }
 
     /// [`sweep_cached`](SweepRunner::sweep_cached), but every returned
@@ -396,23 +396,20 @@ impl SweepRunner {
     /// a series-bearing outcome is bit-identical to what
     /// [`sweep_cached`](SweepRunner::sweep_cached) produces for the same
     /// spec, so scalar consumers hit series-bearing records freely.
+    ///
+    /// Shim over [`SweepRequest`] (`.cached(cache).capture_series(true)`)
+    /// — prefer the builder in new code.
     #[must_use]
     pub fn sweep_cached_series<A: SweepAlgorithm>(
         &self,
         specs: Vec<ScenarioSpec>,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
-        let service = ServiceSweepCache::from_env();
-        if let Some(service) = &service {
-            service.prefetch::<A>(&specs, true, cache);
-        }
-        let out = self.run(specs, |index, spec| {
-            run_point_cached_series::<A>(index, spec, cache)
-        });
-        if let Some(service) = &service {
-            service.push_back::<A>(cache);
-        }
-        out
+        SweepRequest::new()
+            .runner(*self)
+            .cached(cache)
+            .capture_series(true)
+            .run::<A>(specs)
     }
 
     /// [`sweep`](SweepRunner::sweep) with memoization: grid points whose
@@ -429,23 +426,16 @@ impl SweepRunner {
     /// order with grid-relative indices. Caches hydrated from a
     /// [`crate::cache::SweepStore`] extend this across processes and
     /// machines.
+    ///
+    /// Shim over [`SweepRequest`] (`.cached(cache)`) — prefer the
+    /// builder in new code.
     #[must_use]
     pub fn sweep_cached<A: SweepAlgorithm>(
         &self,
         specs: Vec<ScenarioSpec>,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
-        let service = ServiceSweepCache::from_env();
-        if let Some(service) = &service {
-            service.prefetch::<A>(&specs, false, cache);
-        }
-        let out = self.run(specs, |index, spec| {
-            run_point_cached::<A>(index, spec, cache)
-        });
-        if let Some(service) = &service {
-            service.push_back::<A>(cache);
-        }
-        out
+        SweepRequest::new().runner(*self).cached(cache).run::<A>(specs)
     }
 
     /// Runs only the grid points owned by `shard`, with **grid-global**
@@ -458,12 +448,15 @@ impl SweepRunner {
         specs: Vec<ScenarioSpec>,
         shard: Shard,
     ) -> Vec<SweepOutcome> {
-        let owned = shard_slice(specs, shard);
-        self.run(owned, |_, (index, spec)| run_point::<A>(*index, spec))
+        SweepRequest::new().runner(*self).shard(shard).run::<A>(specs)
     }
 
     /// [`sweep_sharded`](SweepRunner::sweep_sharded) through a cache —
     /// the per-shard half of a distributed incremental sweep.
+    ///
+    /// Shim over [`SweepRequest`] (`.shard(shard).cached(cache)`, which
+    /// defaults sharded runs to [`TierPolicy::LocalOnly`]) — prefer the
+    /// builder in new code.
     #[must_use]
     pub fn sweep_sharded_cached<A: SweepAlgorithm>(
         &self,
@@ -471,10 +464,11 @@ impl SweepRunner {
         shard: Shard,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
-        let owned = shard_slice(specs, shard);
-        self.run(owned, |_, (index, spec)| {
-            run_point_cached::<A>(*index, spec, cache)
-        })
+        SweepRequest::new()
+            .runner(*self)
+            .shard(shard)
+            .cached(cache)
+            .run::<A>(specs)
     }
 }
 
@@ -484,6 +478,170 @@ fn shard_slice(specs: Vec<ScenarioSpec>, shard: Shard) -> Vec<(usize, ScenarioSp
         .enumerate()
         .filter(|&(i, _)| shard.owns(i))
         .collect()
+}
+
+/// Which cache tiers a [`SweepRequest`] consults on a miss in the local
+/// [`SweepCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierPolicy {
+    /// Local cache, then the results service named by
+    /// `WL_SWEEP_SERVICE` (when configured), then simulate — the
+    /// resolution ladder unsharded cached sweeps always used.
+    #[default]
+    Full,
+    /// Local cache only, never the service — the historical behaviour
+    /// of sharded sweeps, whose workers own disjoint store files.
+    LocalOnly,
+}
+
+/// The one sweep entry point: a builder covering every combination the
+/// legacy `sweep`/`sweep_cached`/`sweep_cached_series`/`sweep_sharded*`
+/// methods hard-coded — series capture on/off, cache tiers, sharding,
+/// thread count, and the CI expect-misses assertion — behind a single
+/// per-point body, so the combinations cannot drift apart.
+///
+/// The legacy methods survive as thin shims over this builder; new code
+/// should come here directly:
+///
+/// ```
+/// use wl_core::Params;
+/// use wl_harness::{derive_seed, Maintenance, ScenarioSpec, SweepCache, SweepRequest};
+/// use wl_time::RealTime;
+///
+/// let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+/// let grid: Vec<ScenarioSpec> = (0..3)
+///     .map(|i| {
+///         ScenarioSpec::new(params.clone())
+///             .seed(derive_seed(9, i))
+///             .t_end(RealTime::from_secs(2.0))
+///     })
+///     .collect();
+///
+/// let cache = SweepCache::new();
+/// let cold = SweepRequest::new().cached(&cache).run::<Maintenance>(grid.clone());
+/// let warm = SweepRequest::new()
+///     .cached(&cache)
+///     .expect_misses(0) // CI-style assertion: this run simulates nothing
+///     .run::<Maintenance>(grid);
+/// assert!(cold.iter().zip(&warm).all(|(a, b)| a.bit_identical(b)));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepRequest<'a> {
+    runner: SweepRunner,
+    capture: bool,
+    shard: Option<Shard>,
+    cache: Option<&'a SweepCache>,
+    tier: TierPolicy,
+    expect_misses: Option<u64>,
+}
+
+impl<'a> SweepRequest<'a> {
+    /// A machine-sized, uncached, capture-off, unsharded request.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the underlying [`SweepRunner`] (thread policy).
+    #[must_use]
+    pub fn runner(mut self, runner: SweepRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// Shorthand for an explicit worker count (`0` = machine-sized).
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.runner(SweepRunner::with_threads(threads))
+    }
+
+    /// Capture a [`SweepSeries`] per outcome (`outcome.series` always
+    /// `Some`). With a cache, scalar-only records for the same spec are
+    /// treated as misses and upgraded in place, exactly as
+    /// [`SweepRunner::sweep_cached_series`] always did.
+    #[must_use]
+    pub fn capture_series(mut self, capture: bool) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// Run only the grid points `shard` owns, with grid-global indices
+    /// preserved in the outcomes. Sharded requests default to
+    /// [`TierPolicy::LocalOnly`] (the historical behaviour); an explicit
+    /// [`tier`](SweepRequest::tier) call after this one overrides that.
+    #[must_use]
+    pub fn shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self.tier = TierPolicy::LocalOnly;
+        self
+    }
+
+    /// Memoize through `cache` (and the service tier, per
+    /// [`TierPolicy`]).
+    #[must_use]
+    pub fn cached(mut self, cache: &'a SweepCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Overrides the cache-tier resolution ladder.
+    #[must_use]
+    pub fn tier(mut self, tier: TierPolicy) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// CI assertion: this run must miss the cache exactly `want` times
+    /// (`0` = "this sweep executes zero simulations"). Checked after
+    /// the run; a mismatch panics with the observed count. Requires
+    /// [`cached`](SweepRequest::cached).
+    #[must_use]
+    pub fn expect_misses(mut self, want: u64) -> Self {
+        self.expect_misses = Some(want);
+        self
+    }
+
+    /// Executes the request under algorithm `A`. Outcomes arrive in
+    /// grid order (the owned subsequence of it, when sharded) and are a
+    /// pure function of `(specs, A)` — every configuration knob only
+    /// changes *how* they are computed, never what they are.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an [`expect_misses`](SweepRequest::expect_misses)
+    /// assertion fails, or if a worker thread panics.
+    #[must_use]
+    pub fn run<A: SweepAlgorithm>(&self, specs: Vec<ScenarioSpec>) -> Vec<SweepOutcome> {
+        let misses_before = self.cache.map(|c| c.misses());
+        let service = match (self.cache, self.tier) {
+            (Some(_), TierPolicy::Full) => ServiceSweepCache::from_env(),
+            _ => None,
+        };
+        let owned = shard_slice(specs, self.shard.unwrap_or_else(Shard::full));
+        if let (Some(service), Some(cache)) = (&service, self.cache) {
+            let owned_specs: Vec<ScenarioSpec> = owned.iter().map(|(_, s)| s.clone()).collect();
+            service.prefetch::<A>(&owned_specs, self.capture, cache);
+        }
+        let out = self.runner.run(owned, |_, (index, spec)| {
+            match (self.cache, self.capture) {
+                (None, false) => run_point::<A>(*index, spec),
+                (None, true) => run_point_series::<A>(*index, spec),
+                (Some(cache), false) => run_point_cached::<A>(*index, spec, cache),
+                (Some(cache), true) => run_point_cached_series::<A>(*index, spec, cache),
+            }
+        });
+        if let (Some(service), Some(cache)) = (&service, self.cache) {
+            service.push_back::<A>(cache);
+        }
+        if let (Some(want), Some(before)) = (self.expect_misses, misses_before) {
+            let got = self.cache.map_or(0, SweepCache::misses) - before;
+            assert!(
+                got == want,
+                "sweep expected exactly {want} cache miss(es), observed {got}"
+            );
+        }
+        out
+    }
 }
 
 /// Executes one grid point — the single per-point body shared by every
@@ -1192,6 +1350,81 @@ mod tests {
         let _ = SweepRunner::serial().sweep_cached::<Maintenance>(shifted, &cache);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn request_builder_matches_every_legacy_entry_point() {
+        let cache = SweepCache::new();
+        let legacy_cache = SweepCache::new();
+        // Plain.
+        let a = SweepRequest::new().run::<Maintenance>(grid(4));
+        let b = SweepRunner::new().sweep::<Maintenance>(grid(4));
+        assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
+        // Cached.
+        let a = SweepRequest::new().cached(&cache).run::<Maintenance>(grid(4));
+        let b = SweepRunner::new().sweep_cached::<Maintenance>(grid(4), &legacy_cache);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
+        // Cached + series.
+        let a = SweepRequest::new()
+            .cached(&cache)
+            .capture_series(true)
+            .run::<Maintenance>(grid(4));
+        let b = SweepRunner::new().sweep_cached_series::<Maintenance>(grid(4), &legacy_cache);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
+        assert_eq!(cache.misses(), legacy_cache.misses());
+        // Sharded + cached, grid-global indices preserved.
+        let shard = Shard::new(1, 2);
+        let a = SweepRequest::new()
+            .shard(shard)
+            .cached(&cache)
+            .run::<Maintenance>(grid(5));
+        let b = SweepRunner::new().sweep_sharded_cached::<Maintenance>(grid(5), shard, &legacy_cache);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
+        assert!(a.iter().all(|o| shard.owns(o.index)));
+    }
+
+    #[test]
+    fn request_expect_misses_passes_and_fails() {
+        let cache = SweepCache::new();
+        let _ = SweepRequest::new()
+            .threads(1)
+            .cached(&cache)
+            .expect_misses(3)
+            .run::<Maintenance>(grid(3));
+        // Warm: zero misses is enforceable.
+        let _ = SweepRequest::new()
+            .cached(&cache)
+            .expect_misses(0)
+            .run::<Maintenance>(grid(3));
+        // And a wrong expectation panics.
+        let err = std::panic::catch_unwind(|| {
+            let _ = SweepRequest::new()
+                .cached(&cache)
+                .expect_misses(7)
+                .run::<Maintenance>(grid(3));
+        });
+        assert!(err.is_err(), "miss-count mismatch must fail the sweep");
+    }
+
+    #[test]
+    fn sharded_requests_default_to_local_tier() {
+        // `.shard()` flips the tier to LocalOnly; an explicit override
+        // restores the full ladder. (Pure policy check — no service is
+        // running, so we only verify the builder state transitions by
+        // exercising both paths successfully.)
+        let cache = SweepCache::new();
+        let shard = Shard::new(0, 2);
+        let local = SweepRequest::new()
+            .shard(shard)
+            .cached(&cache)
+            .run::<Maintenance>(grid(4));
+        let full = SweepRequest::new()
+            .shard(shard)
+            .tier(TierPolicy::Full)
+            .cached(&cache)
+            .run::<Maintenance>(grid(4));
+        assert!(local.iter().zip(&full).all(|(x, y)| x.bit_identical(y)));
     }
 
     #[test]
