@@ -33,26 +33,26 @@
 //! size, or engine version is refused with a clear error naming the
 //! mismatched field — never silently merged, never a hang.
 
-use bench::{cli, demo_grid, DEMO_GRID};
+use bench::{cli, demo_grid_t, DEMO_GRID};
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
 use wl_harness::{
-    drive, drive_frontier, run_worker, run_worker_frontier, DriverConfig, DropBoxTransport,
-    FrontierDriveReport, FrontierDriverConfig, FrontierWorkerConfig, Maintenance, ServiceTransport,
-    Shard, StoreFormat, SubprocessTransport, SweepRequest, SweepRunner, SweepStore, WorkerConfig,
-    WorkerLaunch,
+    drive, drive_frontier, run_worker, run_worker_frontier, Capture, DriverConfig,
+    DropBoxTransport, FrontierDriveReport, FrontierDriverConfig, FrontierWorkerConfig, Maintenance,
+    ServiceTransport, Shard, StoreFormat, SubprocessTransport, SweepRequest, SweepRunner,
+    SweepStore, WorkerConfig, WorkerLaunch,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sweep_drive --workers N [--grid SIZE] [--dir DIR] [--out FILE] \
+        "usage:\n  sweep_drive --workers N [--grid SIZE] [--t-end SECS] [--dir DIR] [--out FILE] \
          [--checkpoint C] [--retries R] [--stall-ms T] [--crash-worker K] \
          [--steal-ms T] {common}\n  \
-         sweep_drive --worker K/N --store FILE [--grid SIZE] [--checkpoint C] [--crash-after M] \
-         {common}\n  \
+         sweep_drive --worker K/N --store FILE [--grid SIZE] [--t-end SECS] [--checkpoint C] \
+         [--crash-after M] {common}\n  \
          sweep_drive --frontier-worker --frontier DIR --worker-id ID --store FILE \
-         [--grid SIZE] [--steal-ms T] [--poll-ms T] \
+         [--grid SIZE] [--t-end SECS] [--steal-ms T] [--poll-ms T] \
          [--crash-after-chunks M] {common}",
         common = cli::COMMON_USAGE
     );
@@ -82,6 +82,7 @@ fn frontier_worker_main(args: &[String]) {
     let mut worker: Option<String> = None;
     let mut store: Option<String> = None;
     let mut grid_size = DEMO_GRID;
+    let mut t_end = 2.0f64;
     let mut common = cli::CommonArgs::default();
     let mut steal_ms = 2000u64;
     let mut poll_ms = 100u64;
@@ -95,6 +96,7 @@ fn frontier_worker_main(args: &[String]) {
             "--worker-id" => worker = it.next().cloned(),
             "--store" => store = it.next().cloned(),
             "--grid" => grid_size = parse(it.next()),
+            "--t-end" => t_end = parse(it.next()),
             "--steal-ms" => steal_ms = parse(it.next()),
             "--poll-ms" => poll_ms = parse(it.next()),
             "--crash-after-chunks" => crash_after_chunks = Some(parse(it.next())),
@@ -111,19 +113,24 @@ fn frontier_worker_main(args: &[String]) {
         steal_timeout: Duration::from_millis(steal_ms),
         poll: Duration::from_millis(poll_ms),
         crash_after_chunks,
+        capture: common.capture(),
     };
-    let progress =
-        run_worker_frontier::<Maintenance>(&SweepRunner::new(), demo_grid(grid_size), &cfg, |p| {
+    let progress = run_worker_frontier::<Maintenance>(
+        &SweepRunner::new(),
+        demo_grid_t(grid_size, t_end),
+        &cfg,
+        |p| {
             println!(
                 "progress worker={worker} chunks={} stolen={} requeued={} points={} \
                  hits={} misses={} records={}",
                 p.chunks, p.stolen, p.requeued, p.points, p.hits, p.misses, p.records
             );
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("frontier worker {worker}: {e}");
-            std::process::exit(1);
-        });
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("frontier worker {worker}: {e}");
+        std::process::exit(1);
+    });
     println!(
         "frontier worker {worker} complete: {} chunk(s), {} point(s) ({} hits, {} misses)",
         progress.chunks, progress.points, progress.hits, progress.misses
@@ -138,6 +145,7 @@ fn worker_main(args: &[String]) {
     let shard: Shard = parse(it.next());
     let mut store: Option<String> = None;
     let mut grid_size = DEMO_GRID;
+    let mut t_end = 2.0f64;
     let mut checkpoint = 4usize;
     let mut crash_after = None;
     let mut common = cli::CommonArgs::default();
@@ -148,6 +156,7 @@ fn worker_main(args: &[String]) {
         match flag.as_str() {
             "--store" => store = it.next().cloned(),
             "--grid" => grid_size = parse(it.next()),
+            "--t-end" => t_end = parse(it.next()),
             "--checkpoint" => checkpoint = parse(it.next()),
             "--crash-after" => crash_after = Some(parse(it.next())),
             _ => usage(),
@@ -160,18 +169,23 @@ fn worker_main(args: &[String]) {
         checkpoint,
         crash_after,
         format,
+        capture: common.capture(),
     };
-    let progress =
-        run_worker::<Maintenance>(&SweepRunner::new(), demo_grid(grid_size), &cfg, |p| {
+    let progress = run_worker::<Maintenance>(
+        &SweepRunner::new(),
+        demo_grid_t(grid_size, t_end),
+        &cfg,
+        |p| {
             println!(
                 "progress shard={shard} done={}/{} hits={} misses={} records={}",
                 p.done, p.total, p.hits, p.misses, p.records
             );
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("worker {shard}: store I/O failed: {e}");
-            std::process::exit(1);
-        });
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("worker {shard}: store I/O failed: {e}");
+        std::process::exit(1);
+    });
     println!(
         "worker {shard} complete: {} points ({} hits, {} misses)",
         progress.total, progress.hits, progress.misses
@@ -183,6 +197,7 @@ fn driver_main(args: &[String]) {
     it.next(); // the "--workers" flag itself
     let workers: u32 = parse(it.next());
     let mut grid_size = DEMO_GRID;
+    let mut t_end = 2.0f64;
     let mut dir = PathBuf::from("target/sweep-drive");
     let mut out: Option<PathBuf> = None;
     let mut checkpoint = 4usize;
@@ -197,6 +212,7 @@ fn driver_main(args: &[String]) {
         }
         match flag.as_str() {
             "--grid" => grid_size = parse(it.next()),
+            "--t-end" => t_end = parse(it.next()),
             "--dir" => dir = PathBuf::from(parse::<String>(it.next())),
             "--out" => out = Some(PathBuf::from(parse::<String>(it.next()))),
             "--checkpoint" => checkpoint = parse(it.next()),
@@ -211,6 +227,7 @@ fn driver_main(args: &[String]) {
     let compact = common.compact;
     let transport = common.transport.clone();
     let chunk = common.chunk_or(4);
+    let capture = common.capture();
     if workers == 0 {
         usage();
     }
@@ -228,6 +245,7 @@ fn driver_main(args: &[String]) {
             transport,
             workers,
             grid_size,
+            t_end,
             dir,
             out,
             chunk,
@@ -236,6 +254,7 @@ fn driver_main(args: &[String]) {
             steal_ms,
             crash_worker,
             format,
+            capture,
             exe,
         });
         return;
@@ -254,10 +273,14 @@ fn driver_main(args: &[String]) {
             .arg(store)
             .arg("--grid")
             .arg(grid_size.to_string())
+            .arg("--t-end")
+            .arg(t_end.to_string())
             .arg("--checkpoint")
             .arg(checkpoint.to_string())
             .arg("--format")
-            .arg(format.to_string());
+            .arg(format.to_string())
+            .arg("--capture")
+            .arg(capture.to_string());
         // Fault injection only poisons the first launch: the restart the
         // driver issues must run clean and converge.
         if attempt == 0 && crash_worker == Some(shard.index()) {
@@ -322,7 +345,14 @@ fn driver_main(args: &[String]) {
         std::process::exit(1);
     }
 
-    verify_merged(&out, grid_size, report.merged_records, &cfg.dir);
+    verify_merged(
+        &out,
+        grid_size,
+        t_end,
+        report.merged_records,
+        &cfg.dir,
+        capture,
+    );
 }
 
 /// Everything a `--transport` frontier drive needs, parsed off the CLI.
@@ -330,6 +360,7 @@ struct FrontierDrive {
     transport: String,
     workers: u32,
     grid_size: usize,
+    t_end: f64,
     dir: PathBuf,
     out: PathBuf,
     chunk: usize,
@@ -338,6 +369,7 @@ struct FrontierDrive {
     steal_ms: u64,
     crash_worker: Option<u32>,
     format: StoreFormat,
+    capture: Capture,
     exe: PathBuf,
 }
 
@@ -353,9 +385,11 @@ fn frontier_drive(args: FrontierDrive) {
     cfg.format = args.format;
 
     let grid_size = args.grid_size;
+    let t_end = args.t_end;
     let steal_ms = args.steal_ms;
     let crash_worker = args.crash_worker;
     let format = args.format;
+    let capture = args.capture;
     let exe = args.exe.clone();
     let command_for = move |launch: &WorkerLaunch| {
         let mut cmd = Command::new(&exe);
@@ -368,8 +402,12 @@ fn frontier_drive(args: FrontierDrive) {
             .arg(&launch.store)
             .arg("--grid")
             .arg(grid_size.to_string())
+            .arg("--t-end")
+            .arg(t_end.to_string())
             .arg("--format")
             .arg(format.to_string())
+            .arg("--capture")
+            .arg(capture.to_string())
             .arg("--steal-ms")
             .arg(steal_ms.to_string());
         // Fault injection only poisons the first launch: the restart the
@@ -380,7 +418,7 @@ fn frontier_drive(args: FrontierDrive) {
         cmd
     };
 
-    let grid = demo_grid(args.grid_size);
+    let grid = demo_grid_t(args.grid_size, args.t_end);
     let result = match args.transport.as_str() {
         "subprocess" => {
             drive_frontier::<Maintenance>(&cfg, &grid, &mut SubprocessTransport::new(command_for))
@@ -439,14 +477,28 @@ fn frontier_drive(args: FrontierDrive) {
         std::process::exit(1);
     }
 
-    verify_merged(&args.out, args.grid_size, report.merged_records, &args.dir);
+    verify_merged(
+        &args.out,
+        args.grid_size,
+        args.t_end,
+        report.merged_records,
+        &args.dir,
+        args.capture,
+    );
 }
 
 /// The post-drive self-checks every drive must pass, frontier or static:
 /// exactly one record per grid point (a surplus means the work dir held
 /// stores from another grid), and the merged store serves the whole grid
-/// without a single simulation.
-fn verify_merged(out: &PathBuf, grid_size: usize, merged_records: usize, dir: &std::path::Path) {
+/// — at the drive's capture richness — without a single simulation.
+fn verify_merged(
+    out: &PathBuf,
+    grid_size: usize,
+    t_end: f64,
+    merged_records: usize,
+    dir: &std::path::Path,
+    capture: Capture,
+) {
     if merged_records != grid_size {
         eprintln!(
             "merged store holds {merged_records} record(s) for a {grid_size}-point grid; \
@@ -463,7 +515,8 @@ fn verify_merged(out: &PathBuf, grid_size: usize, merged_records: usize, dir: &s
     let cache = merged.hydrate();
     let _ = SweepRequest::new()
         .cached(&cache)
-        .run::<Maintenance>(demo_grid(grid_size));
+        .capture(capture)
+        .run::<Maintenance>(demo_grid_t(grid_size, t_end));
     if cache.misses() != 0 {
         eprintln!(
             "merged store does not cover the grid: {} hit(s), {} miss(es)",

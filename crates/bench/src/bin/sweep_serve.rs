@@ -26,8 +26,8 @@ use bench::cli;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use wl_harness::{
-    serve, Maintenance, ServeConfig, ServiceAddr, ServiceClient, StoreFormat, SweepRequest,
-    SweepStore, SyncAlgorithm,
+    serve, Capture, Maintenance, ServeConfig, ServiceAddr, ServiceClient, StoreFormat,
+    SweepRequest, SweepStore, SyncAlgorithm,
 };
 
 fn usage() -> ! {
@@ -167,7 +167,7 @@ fn run_bench(clients: usize, requests: usize) {
         let connect_deadline = Instant::now() + Duration::from_secs(10);
         let got = loop {
             let mut warmup = ServiceClient::new(addr.clone());
-            match warmup.batch_get(Maintenance::NAME, false, &refs) {
+            match warmup.batch_get(Maintenance::NAME, Capture::Scalar, &refs) {
                 Ok(got) => break got,
                 Err(_) if Instant::now() < connect_deadline => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -191,7 +191,7 @@ fn run_bench(clients: usize, requests: usize) {
                             let (hash, _) = &points[(c + i * 7) % points.len()];
                             let t = Instant::now();
                             let got = client
-                                .get(*hash, Maintenance::NAME, false)
+                                .get(*hash, Maintenance::NAME, Capture::Scalar)
                                 .unwrap_or_else(|e| fail(&format!("get failed: {e}")));
                             lats.push(t.elapsed());
                             assert!(got.is_some(), "warm get must hit");

@@ -16,15 +16,15 @@
 //! cmp merged.wls full.wls
 //! ```
 
-use bench::{cli, demo_grid, DEMO_GRID};
+use bench::{cli, demo_grid_t, enforce_expected_misses_on, DEMO_GRID};
 use wl_harness::{
     Maintenance, Shard, StoreFormat, SweepCache, SweepRequest, SweepStore, SweepSummary,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE] [--expect-hits N] \
-         {common}\n  \
+        "usage:\n  sweep_shard --shard K/N --store FILE [--grid SIZE] [--t-end SECS] \
+         [--expect-hits N] {common}\n  \
          sweep_shard --merge OUT IN1 IN2 [IN3 ...] {common}\n  \
          sweep_shard --migrate SRC DST {common}",
         common = cli::COMMON_USAGE
@@ -54,6 +54,7 @@ fn run_shard(args: &[String]) {
         });
     let mut store_path: Option<String> = None;
     let mut grid_size = DEMO_GRID;
+    let mut t_end = 2.0f64;
     let mut expect_hits: Option<u64> = None;
     let mut common = cli::CommonArgs::default();
     while let Some(flag) = it.next() {
@@ -64,6 +65,12 @@ fn run_shard(args: &[String]) {
             "--store" => store_path = it.next().cloned(),
             "--grid" => {
                 grid_size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--t-end" => {
+                t_end = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -95,8 +102,10 @@ fn run_shard(args: &[String]) {
     let outcomes = SweepRequest::new()
         .shard(shard)
         .cached(&cache)
-        .run::<Maintenance>(demo_grid(grid_size));
+        .capture(common.capture())
+        .run::<Maintenance>(demo_grid_t(grid_size, t_end));
     let summary = SweepSummary::collect(&outcomes);
+    enforce_expected_misses_on(&cache, &format!("shard {shard} over {store_path}"));
     let added = store.absorb(&cache);
     if compact {
         let stats = store.compact().unwrap_or_else(|e| {
@@ -176,8 +185,8 @@ fn run_merge(args: &[String]) {
         }
         match merged.merge_from(&shard_store) {
             Ok(stats) => println!(
-                "merged {input}: {} added, {} agreed",
-                stats.added, stats.agreed
+                "merged {input}: {} added, {} agreed, {} sketch-merged",
+                stats.added, stats.agreed, stats.merged
             ),
             Err(conflict) => {
                 eprintln!("merge conflict: {conflict}");

@@ -2,19 +2,19 @@
 //!
 //! `sweep_drive`, `sweep_shard`, and `sweep_serve` each grew their own
 //! hand-rolled flag loops, and the flags they share — `--format`,
-//! `--compact`, `--transport`, `--chunk` — drifted in spelling, error
-//! text, and help strings. This module owns those four: every binary
-//! routes unknown flags through [`CommonArgs::take`] first, so the
-//! shared flags parse identically, reject bad values with identical
-//! messages, and advertise themselves with the same [`COMMON_USAGE`]
-//! snippet.
+//! `--compact`, `--transport`, `--chunk`, `--capture` — drifted in
+//! spelling, error text, and help strings. This module owns those:
+//! every binary routes unknown flags through [`CommonArgs::take`]
+//! first, so the shared flags parse identically, reject bad values
+//! with identical messages, and advertise themselves with the same
+//! [`COMMON_USAGE`] snippet.
 
-use wl_harness::StoreFormat;
+use wl_harness::{Capture, StoreFormat};
 
 /// The usage fragment for the shared flags — splice into each binary's
 /// usage string so help text cannot drift.
-pub const COMMON_USAGE: &str =
-    "[--format text|binary] [--compact] [--transport subprocess|dropbox|service] [--chunk C]";
+pub const COMMON_USAGE: &str = "[--format text|binary] [--compact] \
+     [--transport subprocess|dropbox|service] [--chunk C] [--capture scalar|sketch|series]";
 
 /// The transports a `--transport` drive can ride (see
 /// `wl_harness::transport`). Parsing is centralized here so every
@@ -34,6 +34,8 @@ pub struct CommonArgs {
     pub transport: Option<String>,
     /// `--chunk C`: frontier chunk size in grid points.
     pub chunk: Option<usize>,
+    /// `--capture scalar|sketch|series`: what each grid point records.
+    pub capture: Option<Capture>,
 }
 
 impl CommonArgs {
@@ -53,6 +55,7 @@ impl CommonArgs {
                 self.transport = Some(t);
             }
             "--chunk" => self.chunk = Some(require("--chunk", it.next())),
+            "--capture" => self.capture = Some(require("--capture", it.next())),
             _ => return false,
         }
         true
@@ -68,6 +71,12 @@ impl CommonArgs {
     #[must_use]
     pub fn chunk_or(&self, default: usize) -> usize {
         self.chunk.unwrap_or(default)
+    }
+
+    /// The chosen capture mode, or [`Capture::Scalar`].
+    #[must_use]
+    pub fn capture(&self) -> Capture {
+        self.capture.unwrap_or(Capture::Scalar)
     }
 }
 
@@ -118,12 +127,15 @@ mod tests {
             "dropbox",
             "--chunk",
             "8",
+            "--capture",
+            "sketch",
             "--store",
         ]);
         assert_eq!(common.format, Some(StoreFormat::Binary));
         assert!(common.compact);
         assert_eq!(common.transport.as_deref(), Some("dropbox"));
         assert_eq!(common.chunk, Some(8));
+        assert_eq!(common.capture, Some(Capture::Sketch));
         assert_eq!(rest, ["--grid", "--store"]);
     }
 
@@ -132,6 +144,7 @@ mod tests {
         let (common, rest) = scan(&[]);
         assert_eq!(common.format_or(StoreFormat::Text), StoreFormat::Text);
         assert_eq!(common.chunk_or(4), 4);
+        assert_eq!(common.capture(), Capture::Scalar);
         assert!(!common.compact);
         assert!(common.transport.is_none());
         assert!(rest.is_empty());

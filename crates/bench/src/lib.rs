@@ -41,6 +41,18 @@ pub const DEMO_GRID: usize = 24;
 /// different sweeps.
 #[must_use]
 pub fn demo_grid(size: usize) -> Vec<ScenarioSpec> {
+    demo_grid_t(size, 2.0)
+}
+
+/// [`demo_grid`] with an explicit simulated horizon in seconds
+/// (`sweep_drive --t-end`). Every process of one drive must pass the
+/// same value — the horizon is part of the grid's identity, so shards
+/// built at different horizons would never merge into the reference
+/// store. Longer horizons multiply each point's skew-sample count,
+/// which is what the CI `stats-smoke` job uses to demonstrate the
+/// sketch-vs-series size asymptotics at a realistic sample volume.
+#[must_use]
+pub fn demo_grid_t(size: usize, t_end_secs: f64) -> Vec<ScenarioSpec> {
     let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).expect("feasible parameters");
     let delays = [
         DelayKind::Constant,
@@ -52,7 +64,7 @@ pub fn demo_grid(size: usize) -> Vec<ScenarioSpec> {
             ScenarioSpec::new(params.clone())
                 .seed(derive_seed(0x5AAD_BA5E, i as u64))
                 .delay(delays[i % 3])
-                .t_end(RealTime::from_secs(2.0))
+                .t_end(RealTime::from_secs(t_end_secs))
         })
         .collect()
 }
@@ -66,6 +78,15 @@ pub fn demo_grid(size: usize) -> Vec<ScenarioSpec> {
 /// grepping human-readable output. Call it right after the sweep, before
 /// persisting.
 pub fn enforce_expected_misses(disk: &DiskSweepCache) {
+    enforce_expected_misses_on(disk.cache(), &disk.status());
+}
+
+/// [`enforce_expected_misses`] against a bare in-memory cache — for
+/// binaries (like `sweep_shard`) that hydrate a
+/// [`SweepCache`](wl_harness::SweepCache) from a store file themselves
+/// instead of going through [`DiskSweepCache`].
+/// `context` is appended to the failure message.
+pub fn enforce_expected_misses_on(cache: &wl_harness::SweepCache, context: &str) {
     let Ok(raw) = std::env::var("WL_SWEEP_EXPECT_MISSES") else {
         return;
     };
@@ -73,12 +94,9 @@ pub fn enforce_expected_misses(disk: &DiskSweepCache) {
         eprintln!("WL_SWEEP_EXPECT_MISSES={raw} is not a number");
         std::process::exit(1);
     };
-    let got = disk.cache().misses();
+    let got = cache.misses();
     if got != want {
-        eprintln!(
-            "WL_SWEEP_EXPECT_MISSES={want} but this run missed {got} time(s) ({})",
-            disk.status()
-        );
+        eprintln!("WL_SWEEP_EXPECT_MISSES={want} but this run missed {got} time(s) ({context})");
         std::process::exit(1);
     }
 }

@@ -313,7 +313,12 @@ impl fmt::Debug for AdversaryDelay {
 impl AdversaryDelay {
     /// Builds the wrapper from a link planner.
     #[must_use]
-    pub fn new(n: usize, links: &TargetedLinks, bounds: DelayBounds, base: Box<dyn DelayModel>) -> Self {
+    pub fn new(
+        n: usize,
+        links: &TargetedLinks,
+        bounds: DelayBounds,
+        base: Box<dyn DelayModel>,
+    ) -> Self {
         let plans = (0..n * n)
             .map(|i| links.plan(ProcessId(i / n), ProcessId(i % n)))
             .collect();
@@ -483,17 +488,13 @@ mod tests {
     #[test]
     fn adversary_delay_stays_in_band_and_skips_base_rng_on_overrides() {
         use wl_sim::delay::UniformDelay;
-        let bounds = DelayBounds::new(
-            RealDur::from_millis(10.0),
-            RealDur::from_millis(1.0),
-        );
+        let bounds = DelayBounds::new(RealDur::from_millis(10.0), RealDur::from_millis(1.0));
         let adv = AdversarySpec::new(
             vec![ProcessId(0)],
             AdversaryStrategy::TargetedDelay { victim: 1 },
         );
         let links = TargetedLinks::from_spec(3, &adv).unwrap();
-        let mut model =
-            AdversaryDelay::new(3, &links, bounds, Box::new(UniformDelay::new(bounds)));
+        let mut model = AdversaryDelay::new(3, &links, bounds, Box::new(UniformDelay::new(bounds)));
         let mut rng = StdRng::seed_from_u64(3);
         let d = model.delay(ProcessId(0), ProcessId(1), RealTime::ZERO, &mut rng);
         assert_eq!(d, bounds.max_delay());

@@ -325,12 +325,15 @@ impl SyncAlgorithm for Maintenance {
             // legacy threshold assumes attackers occupy the low indices;
             // search moves them around.)
             let n = spec.params.n;
-            let honest: Vec<usize> = (0..n)
-                .filter(|&q| !adv.controls(ProcessId(q)))
-                .collect();
+            let honest: Vec<usize> = (0..n).filter(|&q| !adv.controls(ProcessId(q))).collect();
             let below = honest.len() / 2;
             let mask: Vec<bool> = (0..n)
-                .map(|q| honest.iter().position(|&h| h == q).is_some_and(|pos| pos >= below))
+                .map(|q| {
+                    honest
+                        .iter()
+                        .position(|&h| h == q)
+                        .is_some_and(|pos| pos >= below)
+                })
                 .collect();
             return Box::new(PullApart::with_early_mask(
                 spec.params.clone(),

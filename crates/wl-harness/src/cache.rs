@@ -54,6 +54,7 @@
 
 pub mod segment;
 
+use crate::sketch::SkewSketch;
 use crate::sweep::{SweepCache, SweepOutcome, SweepSeries};
 use segment::{EncodedRecord, SegmentReader, SegmentWriter, DEFAULT_SEGMENT_CAPACITY};
 use serde::ser::{
@@ -84,7 +85,11 @@ use wl_sim::SimStats;
 /// (an `adversary:` field in every spec canon) and the adversarial
 /// record tags `A`/`B`; v3 stores still load — their records are
 /// retained verbatim as stale, exactly like the v2→v3 migration.
-pub const ENGINE_VERSION: u32 = 4;
+/// 5 added the optional [`SkewSketch`] payload (`K`/`L`-tagged records)
+/// and the `sketch` field to the canonical [`SweepOutcome`] encoding;
+/// v4 stores load the same way — stale records retained verbatim,
+/// re-served byte-for-byte across saves and text↔binary migration.
+pub const ENGINE_VERSION: u32 = 5;
 
 /// First line of every **text** store file: format magic + *format*
 /// version (which is about the file layout; [`ENGINE_VERSION`] travels
@@ -630,6 +635,10 @@ impl<'a> Cursor<'a> {
     fn u32_seq(&mut self) -> Option<Vec<u32>> {
         self.seq(|c| u32::try_from(c.u64_dec()?).ok())
     }
+
+    fn u64_seq(&mut self) -> Option<Vec<u64>> {
+        self.seq(Self::u64_dec)
+    }
 }
 
 /// Parses the canonical encoding of a [`SweepSeries`] (the payload of
@@ -659,6 +668,45 @@ fn parse_series(c: &mut Cursor<'_>) -> Option<SweepSeries> {
         corr_times,
         corr_values,
     })
+}
+
+/// Parses the canonical encoding of a [`SkewSketch`] (the payload of
+/// `K`/`L`-tagged records), mirroring `canon_string(&sketch)`, and
+/// rejecting structurally invalid histograms
+/// ([`SkewSketch::well_formed`]) so a tampered record cannot reach the
+/// merge arithmetic.
+fn parse_sketch(c: &mut Cursor<'_>) -> Option<SkewSketch> {
+    c.eat("SkewSketch{count:")?;
+    let count = c.u64_dec()?;
+    c.eat(",low:")?;
+    let low = c.u64_dec()?;
+    c.eat(",sum_hi:")?;
+    let sum_hi = c.u64_dec()?;
+    c.eat(",sum_lo:")?;
+    let sum_lo = c.u64_dec()?;
+    c.eat(",max:")?;
+    let max = c.f64_bits()?;
+    c.eat(",bin_idx:")?;
+    // The canon stores bin indices differenced (first absolute, then
+    // gaps); undo the deltas here so `well_formed` checks the real
+    // histogram. Overflow means a tampered record: reject.
+    let mut bin_idx = c.u32_seq()?;
+    for i in 1..bin_idx.len() {
+        bin_idx[i] = bin_idx[i - 1].checked_add(bin_idx[i])?;
+    }
+    c.eat(",bin_count:")?;
+    let bin_count = c.u64_seq()?;
+    c.eat("}")?;
+    let sketch = SkewSketch {
+        count,
+        low,
+        sum_hi,
+        sum_lo,
+        max,
+        bin_idx,
+        bin_count,
+    };
+    sketch.well_formed().then_some(sketch)
 }
 
 /// Parses the canonical encoding of a [`SweepOutcome`] — the exact
@@ -692,7 +740,14 @@ pub(crate) fn parse_outcome(s: &str) -> Option<SweepOutcome> {
     let timers_set = c.u64_dec()?;
     c.eat(",timers_suppressed:")?;
     let timers_suppressed = c.u64_dec()?;
-    c.eat("},series:")?;
+    c.eat("},sketch:")?;
+    let sketch = if c.eat("~").is_some() {
+        None
+    } else {
+        c.eat("+")?;
+        Some(parse_sketch(&mut c)?)
+    };
+    c.eat(",series:")?;
     let series = if c.eat("~").is_some() {
         None
     } else {
@@ -718,6 +773,7 @@ pub(crate) fn parse_outcome(s: &str) -> Option<SweepOutcome> {
             timers_set,
             timers_suppressed,
         },
+        sketch,
         series,
     })
 }
@@ -761,6 +817,41 @@ impl PartialEq for StoreRecord {
     fn eq(&self, other: &Self) -> bool {
         self.spec_canon == other.spec_canon && self.outcome_canon == other.outcome_canon
     }
+}
+
+/// The payload richness level of an outcome — which rung of the
+/// scalar ⊑ sketch ⊑ series upgrade lattice it sits on (and which
+/// record tag family it persists under).
+fn payload_kind(outcome: &SweepOutcome) -> segment::PayloadKind {
+    if outcome.series.is_some() {
+        segment::PayloadKind::Series
+    } else if outcome.sketch.is_some() {
+        segment::PayloadKind::Sketch
+    } else {
+        segment::PayloadKind::Scalar
+    }
+}
+
+/// The outcome's canonical bytes with every optional payload nulled —
+/// the "scalar half" both sides of any lattice transition must agree
+/// on byte-for-byte.
+fn scalar_canon(outcome: &SweepOutcome) -> String {
+    let mut scalar = outcome.clone();
+    scalar.sketch = None;
+    scalar.series = None;
+    canon_string(&scalar)
+}
+
+/// Whether two same-key outcomes qualify for the [`SweepStore::merge_from`]
+/// sketch ⊔ sketch arm: both are sketch-kind records (sketch present,
+/// no series) whose scalar halves are byte-identical — only the
+/// mergeable histogram payloads differ.
+fn sketches_mergeable(a: &SweepOutcome, b: &SweepOutcome) -> bool {
+    a.sketch.is_some()
+        && b.sketch.is_some()
+        && a.series.is_none()
+        && b.series.is_none()
+        && scalar_canon(a) == scalar_canon(b)
 }
 
 /// Why two stores refused to merge.
@@ -812,6 +903,9 @@ pub struct MergeStats {
     pub added: usize,
     /// Records present in both and confirmed byte-identical.
     pub agreed: usize,
+    /// Sketch-kind records present in both with byte-identical scalar
+    /// halves, combined by histogram add (the sketch ⊔ sketch arm).
+    pub merged: usize,
 }
 
 /// A disk-persistent, content-addressed store of sweep records — the
@@ -1177,29 +1271,35 @@ impl SweepStore {
         if ours.outcome_canon == record.outcome_canon {
             return Ok(false);
         }
-        // The halves must agree scalar-for-scalar for either direction
-        // of the scalar/series lattice to apply.
-        let scalar_canon = |outcome: &SweepOutcome| {
-            let mut scalar = outcome.clone();
-            scalar.series = None;
-            canon_string(&scalar)
-        };
+        // The halves must agree scalar-for-scalar for any direction of
+        // the scalar ⊑ sketch ⊑ series lattice to apply.
         if scalar_canon(&ours.outcome) != scalar_canon(&record.outcome) {
             return Err(conflict(MergeConflictKind::OutcomeMismatch));
         }
-        match (
-            ours.outcome.series.is_some(),
-            record.outcome.series.is_some(),
-        ) {
-            // Scalar arriving against a held series record: agreed.
-            (true, false) => Ok(false),
-            // Series upgrading a scalar record.
-            (false, true) => {
+        // Across the sketch/series boundary the sketch must also be the
+        // derivation of the series — a sketch is not new information,
+        // so a disagreeing one is a contradiction, not an upgrade.
+        let derivation_consistent =
+            |richer: &SweepOutcome, poorer: &SweepOutcome| match (&poorer.sketch, &richer.series) {
+                (Some(sketch), Some(series)) => SkewSketch::of_series(series).bit_identical(sketch),
+                _ => true,
+            };
+        match payload_kind(&ours.outcome).cmp(&payload_kind(&record.outcome)) {
+            // A poorer record arriving against a richer held one:
+            // agreed, nothing to learn.
+            std::cmp::Ordering::Greater
+                if derivation_consistent(&ours.outcome, &record.outcome) =>
+            {
+                Ok(false)
+            }
+            // A richer record upgrading a poorer held one.
+            std::cmp::Ordering::Less if derivation_consistent(&record.outcome, &ours.outcome) => {
                 self.records.insert(key.clone(), record);
                 self.unsaved.insert(key);
                 Ok(true)
             }
-            // Same kind but different bytes: a genuine contradiction.
+            // Same kind but different bytes (or an inconsistent
+            // sketch/series pair): a genuine contradiction.
             _ => Err(conflict(MergeConflictKind::OutcomeMismatch)),
         }
     }
@@ -1223,7 +1323,9 @@ impl SweepStore {
                         kind: MergeConflictKind::SpecMismatch,
                     });
                 }
-                if ours.outcome_canon != theirs.outcome_canon {
+                if ours.outcome_canon != theirs.outcome_canon
+                    && !sketches_mergeable(&ours.outcome, &theirs.outcome)
+                {
                     return Err(MergeConflict {
                         content_hash: key.0,
                         algo: key.1.clone(),
@@ -1234,12 +1336,33 @@ impl SweepStore {
         }
         let mut stats = MergeStats::default();
         for (key, theirs) in &other.records {
-            if self.records.contains_key(key) {
-                stats.agreed += 1;
-            } else {
-                self.records.insert(key.clone(), theirs.clone());
-                self.unsaved.insert(key.clone());
-                stats.added += 1;
+            match self.records.get_mut(key) {
+                None => {
+                    self.records.insert(key.clone(), theirs.clone());
+                    self.unsaved.insert(key.clone());
+                    stats.added += 1;
+                }
+                Some(ours) if ours.outcome_canon == theirs.outcome_canon => stats.agreed += 1,
+                // The sketch ⊔ sketch arm (validated above): two partial
+                // folds of one point's sample population combine by
+                // histogram add — associative, commutative, and
+                // order-independent, so merge order across shard stores
+                // cannot change the result.
+                Some(ours) => {
+                    let theirs_sketch = theirs
+                        .outcome
+                        .sketch
+                        .as_ref()
+                        .expect("validated as mergeable sketches");
+                    ours.outcome
+                        .sketch
+                        .as_mut()
+                        .expect("validated as mergeable sketches")
+                        .merge(theirs_sketch);
+                    ours.outcome_canon = canon_string(&ours.outcome);
+                    self.unsaved.insert(key.clone());
+                    stats.merged += 1;
+                }
             }
         }
         Ok(stats)
@@ -1261,6 +1384,23 @@ impl SweepStore {
             }
         }
         adopted
+    }
+
+    /// Streams every live record as `(content_hash, algo, spec_canon,
+    /// outcome)` in canonical (sorted-key) order — the read path
+    /// [`crate::sketch::store_report`] aggregates over, deterministic so
+    /// the report it feeds is too.
+    pub(crate) fn iter_records(
+        &self,
+    ) -> impl Iterator<Item = (u64, &str, &str, &SweepOutcome)> + '_ {
+        self.records.iter().map(|((hash, algo), record)| {
+            (
+                *hash,
+                algo.as_str(),
+                record.spec_canon.as_str(),
+                &record.outcome,
+            )
+        })
     }
 
     /// Saves to the store's own path (see [`SweepStore::save_to`]) and
@@ -1369,7 +1509,7 @@ impl SweepStore {
         let mut writer = SegmentWriter::new(self.segment_capacity, self.next_ordinal);
         for key in &self.unsaved {
             if let Some(record) = self.records.get(key) {
-                writer.push(&encoded_record(key, record).encode());
+                writer.push(&encoded_record(key, record));
             }
         }
         let (bytes, next_ordinal) = writer.into_parts();
@@ -1553,13 +1693,14 @@ pub fn spec_is_adversarial(spec_canon: &str) -> bool {
 
 /// The format-level view of one live record — what both the text and
 /// the binary writer serialize. The tag duplicates what the payloads
-/// say (`R`/`A` scalar, `S`/`B` series-bearing; `A`/`B` adversarial
-/// spec) so a reader can filter record kinds without parsing payloads;
-/// both parsers cross-check tag against payload on both dimensions.
+/// say (`R`/`A` scalar, `K`/`L` sketch-bearing, `S`/`B` series-bearing;
+/// `A`/`B`/`L` adversarial spec) so a reader can filter record kinds
+/// without parsing payloads; both parsers cross-check tag against
+/// payload on both dimensions.
 fn encoded_record((hash, algo): &StoreKey, record: &StoreRecord) -> EncodedRecord {
     EncodedRecord {
         tag: segment::record_tag(
-            record.outcome.series.is_some(),
+            payload_kind(&record.outcome),
             spec_is_adversarial(&record.spec_canon),
         ),
         content_hash: *hash,
@@ -1575,7 +1716,7 @@ fn encoded_record((hash, algo): &StoreKey, record: &StoreRecord) -> EncodedRecor
 /// produces the store's in-memory form. `None` = corrupt, skip it.
 fn live_record(encoded: &EncodedRecord) -> Option<(StoreKey, StoreRecord)> {
     let outcome = parse_outcome(&encoded.outcome_canon)?;
-    if segment::tag_has_series(encoded.tag) != outcome.series.is_some() {
+    if segment::tag_payload_kind(encoded.tag) != payload_kind(&outcome) {
         return None;
     }
     if segment::tag_is_adversarial(encoded.tag) != spec_is_adversarial(&encoded.spec_canon) {
@@ -1633,7 +1774,7 @@ fn parse_line(line: &str) -> ParsedLine {
     let [tag, hash_tok, engine_tok, algo_tok, spec_tok, outcome_tok] = fields.as_slice() else {
         return ParsedLine::Corrupt;
     };
-    if !matches!(*tag, "R" | "S" | "A" | "B") {
+    if !matches!(*tag, "R" | "S" | "A" | "B" | "K" | "L") {
         return ParsedLine::Corrupt;
     }
     let Ok(hash) = u64::from_str_radix(hash_tok, 16) else {
@@ -1666,7 +1807,7 @@ fn parse_line(line: &str) -> ParsedLine {
         return ParsedLine::Corrupt;
     };
     let tag_byte = tag.as_bytes()[0];
-    if segment::tag_has_series(tag_byte) != outcome.series.is_some() {
+    if segment::tag_payload_kind(tag_byte) != payload_kind(&outcome) {
         return ParsedLine::Corrupt;
     }
     if segment::tag_is_adversarial(tag_byte) != spec_is_adversarial(spec_tok) {
@@ -1889,6 +2030,7 @@ mod tests {
                 timers_set: 3,
                 timers_suppressed: 4,
             },
+            sketch: None,
             series: None,
         }
     }
@@ -1912,11 +2054,7 @@ mod tests {
             let mut normalized = outcome.clone();
             normalized.index = 0;
             EncodedRecord {
-                tag: if normalized.series.is_some() {
-                    segment::TAG_SERIES
-                } else {
-                    segment::TAG_SCALAR
-                },
+                tag: segment::record_tag(payload_kind(&normalized), false),
                 content_hash: 42,
                 engine_version: ENGINE_VERSION,
                 algo: "A".into(),
@@ -1927,6 +2065,12 @@ mod tests {
         let scalar = outcome_fixture();
         let mut series = outcome_fixture();
         series.series = Some(series_fixture());
+        // The middle lattice rung: the sketch *derived from* the series
+        // fixture, so the sketch ⊑ series consistency check can pass.
+        let mut sketch = outcome_fixture();
+        sketch.sketch = Some(crate::sketch::SkewSketch::of_series(
+            series.series.as_ref().unwrap(),
+        ));
 
         // Vacant insert normalizes the grid index and round-trips.
         let rec_scalar = make(&scalar);
@@ -1948,16 +2092,45 @@ mod tests {
         };
         assert!(!store.insert_encoded(&rec_denorm).unwrap());
 
-        // Series upgrade over the matching scalar half: accepted.
+        // Sketch upgrade over the matching scalar half: accepted, and
+        // the held record now carries the K tag.
+        let rec_sketch = make(&sketch);
+        assert!(store.insert_encoded(&rec_sketch).unwrap());
+        assert_eq!(
+            store.record_encoded(42, "A").unwrap().tag,
+            segment::TAG_SKETCH
+        );
+        // Scalar re-arrival against the held sketch record: agreed no-op.
+        assert!(!store.insert_encoded(&rec_scalar).unwrap());
+        // A *different* sketch under the same scalar half is a same-kind
+        // contradiction here — insert_encoded is equality-confirmed per
+        // rung; only merge_from knows the sketch ⊔ sketch join.
+        let mut other_sketch = sketch.clone();
+        other_sketch.sketch.as_mut().unwrap().observe(1.25e-4);
+        assert_eq!(
+            store.insert_encoded(&make(&other_sketch)).unwrap_err().kind,
+            MergeConflictKind::OutcomeMismatch
+        );
+
+        // Series upgrade over the matching sketch: accepted *because*
+        // the held sketch is the derivation of the arriving series.
         let rec_series = make(&series);
         assert!(store.insert_encoded(&rec_series).unwrap());
         assert_eq!(
             store.record_encoded(42, "A").unwrap().tag,
             segment::TAG_SERIES
         );
-        // Scalar re-arrival against the held series record: agreed no-op.
+        // Scalar and derived-sketch re-arrivals against the held series
+        // record: agreed no-ops.
         assert!(!store.insert_encoded(&rec_scalar).unwrap());
+        assert!(!store.insert_encoded(&rec_sketch).unwrap());
         assert_eq!(store.record_encoded(42, "A").unwrap(), rec_series);
+        // A sketch that is NOT the derivation of the held series is a
+        // contradiction, not an agreed downgrade.
+        assert_eq!(
+            store.insert_encoded(&make(&other_sketch)).unwrap_err().kind,
+            MergeConflictKind::OutcomeMismatch
+        );
 
         // A contradicting scalar half is refused.
         let mut wrong = outcome_fixture();
@@ -2129,8 +2302,7 @@ mod tests {
         };
         let cache = SweepCache::new();
         let g = grid(2);
-        let _ =
-            SweepRunner::serial().sweep_cached::<Maintenance>(vec![adv(g[0].clone())], &cache);
+        let _ = SweepRunner::serial().sweep_cached::<Maintenance>(vec![adv(g[0].clone())], &cache);
         let _ = SweepRunner::serial()
             .sweep_cached_series::<Maintenance>(vec![adv(g[1].clone())], &cache);
         let mut store = SweepStore::open(&path).unwrap();
@@ -2312,7 +2484,8 @@ mod tests {
             stats,
             MergeStats {
                 added: 0,
-                agreed: 2
+                agreed: 2,
+                merged: 0
             }
         );
 
@@ -2323,6 +2496,141 @@ mod tests {
         let err = a.merge_from(&b).unwrap_err();
         assert_eq!(err.kind, MergeConflictKind::OutcomeMismatch);
         assert_eq!(a.len(), 3, "failed merge left the target untouched");
+    }
+
+    /// Builds a one-record store holding `outcome` under `(hash, "A")`,
+    /// for exercising the merge arms without running simulations.
+    fn store_with(hash: u64, outcome: &SweepOutcome) -> SweepStore {
+        let mut store = SweepStore::new();
+        store.records.insert(
+            (hash, "A".to_string()),
+            StoreRecord {
+                spec_canon: "Spec{n:4}".to_string(),
+                outcome_canon: canon_string(outcome),
+                outcome: outcome.clone(),
+            },
+        );
+        store.unsaved.insert((hash, "A".to_string()));
+        store
+    }
+
+    /// The full conflict matrix of [`SweepStore::merge_from`] across
+    /// payload kinds: the sketch ⊔ sketch arm is the *only* same-key
+    /// different-bytes combination that merges — every cross-kind or
+    /// same-kind disagreement refuses, and refusal is atomic.
+    #[test]
+    fn merge_from_conflict_matrix_across_payload_kinds() {
+        let scalar = outcome_fixture();
+        let mut series = outcome_fixture();
+        series.series = Some(series_fixture());
+        let mut other_series = series.clone();
+        other_series.series.as_mut().unwrap().round_skews[0] = 0.75;
+        let sketch_over = |samples: &[f64]| {
+            let mut out = outcome_fixture();
+            let mut sk = crate::sketch::SkewSketch::new();
+            for &v in samples {
+                sk.observe(v);
+            }
+            out.sketch = Some(sk);
+            out
+        };
+        let sk_a = sketch_over(&[1.0e-4, 3.0e-4, f64::NAN]);
+        let sk_b = sketch_over(&[2.0e-4, -0.0]);
+
+        // sketch ⊔ sketch over one scalar half: the single mergeable
+        // cell — histogram add, equal to folding both sample sets.
+        let mut target = store_with(1, &sk_a);
+        let stats = target.merge_from(&store_with(1, &sk_b)).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 0,
+                agreed: 0,
+                merged: 1
+            }
+        );
+        let joined = sketch_over(&[1.0e-4, 3.0e-4, f64::NAN, 2.0e-4, -0.0]);
+        let held = &target.records[&(1, "A".to_string())];
+        assert!(
+            held.outcome
+                .sketch
+                .as_ref()
+                .unwrap()
+                .bit_identical(joined.sketch.as_ref().unwrap()),
+            "merged sketch must equal the 1-process fold of both shards"
+        );
+        assert_eq!(
+            held.outcome_canon,
+            canon_string(&joined),
+            "the canonical bytes were re-derived after the join"
+        );
+
+        // Identical sketch records agree instead of double-counting.
+        let stats = target.merge_from(&store_with(1, &joined)).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 0,
+                agreed: 1,
+                merged: 0
+            }
+        );
+
+        // Every other same-key disagreement refuses: scalar × sketch,
+        // sketch × series (even derivation-consistent), series × series,
+        // and sketch × sketch with drifted scalar halves.
+        let mut consistent_sketch = outcome_fixture();
+        consistent_sketch.sketch = Some(crate::sketch::SkewSketch::of_series(
+            series.series.as_ref().unwrap(),
+        ));
+        let mut drifted = sk_b.clone();
+        drifted.seed ^= 1;
+        for (ours, theirs) in [
+            (&scalar, &sk_a),
+            (&sk_a, &scalar),
+            (&consistent_sketch, &series),
+            (&series, &consistent_sketch),
+            (&series, &other_series),
+            (&sk_a, &drifted),
+        ] {
+            let mut target = store_with(1, ours);
+            let before = target.records[&(1, "A".to_string())].outcome_canon.clone();
+            let err = target.merge_from(&store_with(1, theirs)).unwrap_err();
+            assert_eq!(err.kind, MergeConflictKind::OutcomeMismatch);
+            assert_eq!(
+                target.records[&(1, "A".to_string())].outcome_canon,
+                before,
+                "refused merge must not touch the target"
+            );
+        }
+
+        // Validation precedes mutation: a conflict on one key leaves a
+        // mergeable sibling key untouched too.
+        let mut target = store_with(1, &sk_a);
+        target.records.insert(
+            (2, "A".to_string()),
+            StoreRecord {
+                spec_canon: "Spec{n:4}".to_string(),
+                outcome_canon: canon_string(&scalar),
+                outcome: scalar.clone(),
+            },
+        );
+        let mut incoming = store_with(1, &sk_b);
+        incoming.records.insert(
+            (2, "A".to_string()),
+            StoreRecord {
+                spec_canon: "Spec{n:4}".to_string(),
+                outcome_canon: canon_string(&series),
+                outcome: series.clone(),
+            },
+        );
+        let before = target.records[&(1, "A".to_string())].outcome_canon.clone();
+        assert!(target.merge_from(&incoming).is_err());
+        assert_eq!(
+            target.records[&(1, "A".to_string())].outcome_canon,
+            before,
+            "the mergeable key must not merge when a sibling conflicts"
+        );
     }
 
     #[test]
@@ -2507,6 +2815,19 @@ mod tests {
                 } else {
                     None
                 };
+                // A sketch folded from arbitrary (often hostile) floats:
+                // NaNs and non-positives land in the `low` bucket, the
+                // rest in log bins — every branch of the sketch codec.
+                let sketch = if series.is_none() && rng.gen::<u64>() % 2 == 0 {
+                    let mut sk = crate::sketch::SkewSketch::new();
+                    let samples = (rng.gen::<u64>() % 30) as usize;
+                    for v in fv(&mut rng, samples) {
+                        sk.observe(v);
+                    }
+                    Some(sk)
+                } else {
+                    None
+                };
                 let outcome = SweepOutcome {
                     index: i,
                     seed: rng.gen(),
@@ -2522,6 +2843,7 @@ mod tests {
                         timers_set: rng.gen(),
                         timers_suppressed: rng.gen(),
                     },
+                    sketch,
                     series,
                 };
                 let nasty = ["algo a", "q\"uote", "tab\there", "wl-maintenance", "∆-sync"];
@@ -2695,11 +3017,17 @@ mod tests {
         let mut reader = segment::SegmentReader::new(&full).unwrap();
         reader.by_ref().for_each(drop);
         assert_eq!(reader.segments(), 3);
-        // Find the last segment's start: walk two segments' worth.
+        // Find the last segment's start: walk two segments' worth
+        // (either kind — both state their stored length at bytes 12..16).
         let mut offset = segment::FILE_HEADER_LEN;
         for _ in 0..2 {
+            let header_len = if full[offset..offset + 4] == segment::SEGMENT_MAGIC_PACKED {
+                segment::PACKED_SEGMENT_HEADER_LEN
+            } else {
+                segment::SEGMENT_HEADER_LEN
+            };
             let block_len = u32::from_le_bytes(full[offset + 12..offset + 16].try_into().unwrap());
-            offset += segment::SEGMENT_HEADER_LEN + block_len as usize;
+            offset += header_len + block_len as usize;
         }
         std::fs::write(&path, &full[..offset]).unwrap();
         let boundary = SweepStore::open(&path).unwrap();
@@ -2733,16 +3061,44 @@ mod tests {
             spec_canon: "AncientSpec{v:1}".into(),
             outcome_canon: "AncientOutcome{grammar:unknown,series:+[]}".into(),
         };
+        // Records the previous engine actually wrote: its outcome canon
+        // had no `sketch:` field (that rung arrived with version 5), so
+        // this build cannot parse them — every pre-bump tag must still
+        // ride along verbatim, ready for the old engine to read back.
+        let v4_canon = "SweepOutcome{index:0,seed:1,steady_skew:x3ff0000000000000,\
+                        max_skew:x3ff0000000000000,agreement_holds:+,\
+                        max_abs_adjustment:x0000000000000000,\
+                        mean_abs_adjustment:x0000000000000000,adjustment_holds:+,\
+                        stats:SimStats{events_delivered:1,messages_sent:1,timers_set:0,\
+                        timers_suppressed:0},series:~}";
+        let previous: Vec<EncodedRecord> = [
+            segment::TAG_SCALAR,
+            segment::TAG_ADV_SCALAR,
+            segment::TAG_ADV_SERIES,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &tag)| EncodedRecord {
+            tag,
+            content_hash: 0x3333 + i as u64,
+            engine_version: ENGINE_VERSION - 1,
+            algo: format!("v4-algo-{i}"),
+            spec_canon: "V4Spec{v:4}".into(),
+            outcome_canon: v4_canon.into(),
+        })
+        .collect();
+        let mut all = vec![&live, &stale];
+        all.extend(previous.iter());
         std::fs::write(
             &path,
-            segment::write_file([&live, &stale], segment::DEFAULT_SEGMENT_CAPACITY),
+            segment::write_file(all, segment::DEFAULT_SEGMENT_CAPACITY),
         )
         .unwrap();
 
         let store = SweepStore::open(&path).unwrap();
         assert_eq!(
             (store.len(), store.stale_records(), store.skipped_lines()),
-            (1, 1, 0)
+            (1, 4, 0)
         );
 
         let text = tmp_path("bin-stale-text");
@@ -2751,14 +3107,26 @@ mod tests {
         let as_text = SweepStore::open(&text).unwrap();
         assert_eq!(
             (as_text.len(), as_text.stale_records()),
-            (1, 1),
-            "stale record survives binary -> text"
+            (1, 4),
+            "stale records survive binary -> text"
         );
+        // Retention is *verbatim*: the old records' exact canon bytes,
+        // tags, and versions appear in the migrated text store.
+        let text_bytes = std::fs::read_to_string(&text).unwrap();
+        assert!(text_bytes.contains(v4_canon));
+        for (i, rec) in previous.iter().enumerate() {
+            let line = text_bytes
+                .lines()
+                .find(|l| l.contains(&format!("v4-algo-{i}")))
+                .expect("previous-engine record present");
+            assert!(line.starts_with(char::from(rec.tag)));
+            assert!(line.contains(&format!(" {} ", ENGINE_VERSION - 1)));
+        }
         SweepStore::migrate(&text, &binary2, StoreFormat::Binary).unwrap();
         let back = SweepStore::open(&binary2).unwrap();
         assert_eq!(
             (back.len(), back.stale_records()),
-            (1, 1),
+            (1, 4),
             "and text -> binary again"
         );
         for p in [&path, &text, &binary2] {

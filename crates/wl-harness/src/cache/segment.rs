@@ -11,7 +11,9 @@
 //!
 //! ```text
 //! file    := file-header segment*
-//! segment := segment-header record-block
+//! segment := plain-segment | packed-segment
+//! plain   := "WSEG" segment-header record-block
+//! packed  := "WSGZ" packed-header wlz(hex_pack(columnar-block))
 //! record  := body-len:u32 body          (body self-checksummed)
 //! ```
 //!
@@ -25,6 +27,20 @@
 //!   its own). Each segment header states its record count and block
 //!   length and checksums the whole block, so any segment is verifiable
 //!   — and skippable — without touching its neighbours.
+//! * **Packed segments** close the gap per-payload compression cannot
+//!   see: across a block of records the canonical spec strings are
+//!   near-identical, so the writer also encodes each sealed block
+//!   **columnar** — all tags, then all content hashes, then all spec
+//!   canons back to back, and so on (see [`encode_packed_block`]) —
+//!   with no per-record checksums or compression framing (the segment
+//!   checksum covers the whole block), compresses that block wholesale
+//!   ([`wlz::hex_pack`] then [`wlz::compress`]), and keeps whichever
+//!   framing is smaller — deterministically, ties to plain. Grouping
+//!   like fields puts each canon right after its near-twin from the
+//!   previous record, which is exactly the redundancy an LZ window
+//!   exploits; on sketch-record stores this is what turns ~1 KB/point
+//!   into ~100 B/point, while on series-heavy blocks the plain framing
+//!   usually stays smaller and nothing changes.
 //! * **Append-friendly**: the file header does not state a segment
 //!   count; readers scan segments to EOF. A checkpoint can therefore
 //!   extend a store by appending one segment instead of rewriting the
@@ -39,20 +55,38 @@ use crate::cache::{fnv64_seeded, FNV_OFFSET};
 pub const FILE_MAGIC: [u8; 4] = *b"WLSB";
 
 /// The binary *file-format* version (independent of the per-record
-/// engine version), fifth byte of the file header.
-pub const FILE_FORMAT_VERSION: u8 = 1;
+/// engine version), fifth byte of the file header. Version 2 added
+/// packed (block-compressed) segments; the reader accepts version-1
+/// files unchanged, since every version-1 byte sequence is also a
+/// valid version-2 one.
+pub const FILE_FORMAT_VERSION: u8 = 2;
+
+/// The previous file-format version, still accepted by the reader.
+pub const FILE_FORMAT_V1: u8 = 1;
 
 /// Byte length of the file header: magic (4), format version (1),
 /// reserved zeros (3), segment capacity (`u32` LE), reserved zeros (4).
 pub const FILE_HEADER_LEN: usize = 16;
 
-/// First four bytes of every segment header.
+/// First four bytes of every *plain* (uncompressed) segment header.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"WSEG";
 
-/// Byte length of a segment header: magic (4), ordinal (`u32` LE),
-/// record count (`u32` LE), record-block length (`u32` LE), FNV-1a of
-/// the record block (`u64` LE).
+/// Byte length of a plain segment header: magic (4), ordinal (`u32`
+/// LE), record count (`u32` LE), record-block length (`u32` LE),
+/// FNV-1a of the record block (`u64` LE).
 pub const SEGMENT_HEADER_LEN: usize = 24;
+
+/// First four bytes of every *packed* (block-compressed) segment
+/// header.
+pub const SEGMENT_MAGIC_PACKED: [u8; 4] = *b"WSGZ";
+
+/// Byte length of a packed segment header: magic (4), ordinal (`u32`
+/// LE), record count (`u32` LE), stored block length (`u32` LE),
+/// hex-packed intermediate length (`u32` LE), raw block length (`u32`
+/// LE), FNV-1a of the *stored* (compressed) block (`u64` LE) — so a
+/// packed segment verifies without decompressing, and each codec layer
+/// decodes against its exact expected length.
+pub const PACKED_SEGMENT_HEADER_LEN: usize = 32;
 
 /// Default capacity of one segment's record block, in bytes. Part of a
 /// file's canonical identity (it is written into the file header and
@@ -75,27 +109,71 @@ pub const TAG_ADV_SCALAR: u8 = b'A';
 /// The `B` record tag: a series-bearing record of an adversarial spec.
 pub const TAG_ADV_SERIES: u8 = b'B';
 
+/// The `K` record tag: a scalar-plus-sketch record of a non-adversarial
+/// spec (~100-byte streaming aggregate; see `wl_harness::sketch`).
+pub const TAG_SKETCH: u8 = b'K';
+
+/// The `L` record tag: a scalar-plus-sketch record of an adversarial
+/// spec.
+pub const TAG_ADV_SKETCH: u8 = b'L';
+
+/// What a record carries beyond its scalar summary — the three payload
+/// richness levels of the store's upgrade lattice
+/// (scalar ⊑ sketch ⊑ series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PayloadKind {
+    /// Scalar summary only (`R`/`A`).
+    Scalar,
+    /// Scalar plus a mergeable skew sketch (`K`/`L`).
+    Sketch,
+    /// Scalar plus the full per-run series (`S`/`B`); the series
+    /// subsumes the sketch, which is a pure derivation of it.
+    Series,
+}
+
 /// Whether records under `tag` carry a series payload.
 #[must_use]
 pub fn tag_has_series(tag: u8) -> bool {
     tag == TAG_SERIES || tag == TAG_ADV_SERIES
 }
 
+/// Whether records under `tag` carry a sketch payload (exactly the
+/// `K`/`L` tags — series tags answer `false` here even though a sketch
+/// is derivable from their payload).
+#[must_use]
+pub fn tag_has_sketch(tag: u8) -> bool {
+    tag == TAG_SKETCH || tag == TAG_ADV_SKETCH
+}
+
 /// Whether records under `tag` describe an adversarial spec.
 #[must_use]
 pub fn tag_is_adversarial(tag: u8) -> bool {
-    tag == TAG_ADV_SCALAR || tag == TAG_ADV_SERIES
+    tag == TAG_ADV_SCALAR || tag == TAG_ADV_SERIES || tag == TAG_ADV_SKETCH
 }
 
-/// The record tag for a `(series-bearing, adversarial)` combination —
+/// The payload richness level encoded by `tag`.
+#[must_use]
+pub fn tag_payload_kind(tag: u8) -> PayloadKind {
+    if tag_has_series(tag) {
+        PayloadKind::Series
+    } else if tag_has_sketch(tag) {
+        PayloadKind::Sketch
+    } else {
+        PayloadKind::Scalar
+    }
+}
+
+/// The record tag for a `(payload kind, adversarial)` combination —
 /// the single choice point both store writers and the service share.
 #[must_use]
-pub fn record_tag(series: bool, adversarial: bool) -> u8 {
-    match (series, adversarial) {
-        (false, false) => TAG_SCALAR,
-        (true, false) => TAG_SERIES,
-        (false, true) => TAG_ADV_SCALAR,
-        (true, true) => TAG_ADV_SERIES,
+pub fn record_tag(kind: PayloadKind, adversarial: bool) -> u8 {
+    match (kind, adversarial) {
+        (PayloadKind::Scalar, false) => TAG_SCALAR,
+        (PayloadKind::Series, false) => TAG_SERIES,
+        (PayloadKind::Sketch, false) => TAG_SKETCH,
+        (PayloadKind::Scalar, true) => TAG_ADV_SCALAR,
+        (PayloadKind::Series, true) => TAG_ADV_SERIES,
+        (PayloadKind::Sketch, true) => TAG_ADV_SKETCH,
     }
 }
 
@@ -114,7 +192,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedRecord {
     /// Record kind: [`TAG_SCALAR`], [`TAG_SERIES`], [`TAG_ADV_SCALAR`],
-    /// or [`TAG_ADV_SERIES`].
+    /// [`TAG_ADV_SERIES`], [`TAG_SKETCH`], or [`TAG_ADV_SKETCH`].
     pub tag: u8,
     /// The spec's content hash (the record key, with `algo`).
     pub content_hash: u64,
@@ -224,7 +302,12 @@ impl EncodedRecord {
     /// Whether `tag` is one of the known record tags.
     #[must_use]
     pub fn known_tag(tag: u8) -> bool {
-        tag == TAG_SCALAR || tag == TAG_SERIES || tag == TAG_ADV_SCALAR || tag == TAG_ADV_SERIES
+        tag == TAG_SCALAR
+            || tag == TAG_SERIES
+            || tag == TAG_ADV_SCALAR
+            || tag == TAG_ADV_SERIES
+            || tag == TAG_SKETCH
+            || tag == TAG_ADV_SKETCH
     }
 
     /// Serializes this record: `u32` LE body length, then the
@@ -302,6 +385,129 @@ impl EncodedRecord {
     }
 }
 
+/// Serializes a record sequence as the **columnar block** a packed
+/// segment compresses: all tags, then all content hashes (`u64` LE),
+/// all engine versions (`u32` LE), all algorithm lengths (`u16` LE),
+/// all algorithm names, all spec-canon lengths (`u32` LE), all spec
+/// canons, all outcome-canon lengths (`u32` LE), all outcome canons.
+///
+/// No per-record checksums and no compression framing — the packed
+/// segment header checksums (and compresses) the block wholesale, and
+/// interleaved integrity bytes would only be incompressible noise.
+/// Grouping like fields is what makes the block compress: each
+/// canonical string sits directly after its near-identical predecessor,
+/// well inside the LZ window.
+#[must_use]
+pub fn encode_packed_block(records: &[EncodedRecord]) -> Vec<u8> {
+    let len32 = |n: usize| u32::try_from(n).expect("payload < 4 GiB").to_le_bytes();
+    let mut out = Vec::new();
+    for r in records {
+        out.push(r.tag);
+    }
+    for r in records {
+        out.extend_from_slice(&r.content_hash.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.engine_version.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(
+            &u16::try_from(r.algo.len())
+                .expect("algorithm names are short")
+                .to_le_bytes(),
+        );
+    }
+    for r in records {
+        out.extend_from_slice(r.algo.as_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&len32(r.spec_canon.len()));
+    }
+    for r in records {
+        out.extend_from_slice(r.spec_canon.as_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&len32(r.outcome_canon.len()));
+    }
+    for r in records {
+        out.extend_from_slice(r.outcome_canon.as_bytes());
+    }
+    out
+}
+
+/// Parses a columnar block (see [`encode_packed_block`]) holding
+/// exactly `count` records. `None` on any malformation — an unknown
+/// tag, non-UTF-8 text, a length column overrunning the block, or
+/// trailing bytes. Only called on a block that already passed the
+/// packed segment's checksum and exact-length decompression, so a
+/// `None` here means a corrupted record count (or a writer bug); the
+/// caller discards the whole segment either way.
+#[must_use]
+pub fn decode_packed_block(data: &[u8], count: usize) -> Option<Vec<EncodedRecord>> {
+    let mut c = Take(data);
+    let tags = c.bytes(count)?.to_vec();
+    if !tags.iter().all(|&t| EncodedRecord::known_tag(t)) {
+        return None;
+    }
+    let hashes: Vec<u64> = (0..count).map(|_| c.u64()).collect::<Option<_>>()?;
+    let versions: Vec<u32> = (0..count).map(|_| c.u32()).collect::<Option<_>>()?;
+    let algo_lens: Vec<usize> = (0..count)
+        .map(|_| c.u16().map(usize::from))
+        .collect::<Option<_>>()?;
+    let take_strings = |c: &mut Take<'_>, lens: &[usize]| -> Option<Vec<String>> {
+        lens.iter()
+            .map(|&n| String::from_utf8(c.bytes(n)?.to_vec()).ok())
+            .collect()
+    };
+    let algos = take_strings(&mut c, &algo_lens)?;
+    let spec_lens: Vec<usize> = (0..count)
+        .map(|_| c.u32().map(|n| n as usize))
+        .collect::<Option<_>>()?;
+    let specs = take_strings(&mut c, &spec_lens)?;
+    let outcome_lens: Vec<usize> = (0..count)
+        .map(|_| c.u32().map(|n| n as usize))
+        .collect::<Option<_>>()?;
+    let outcomes = take_strings(&mut c, &outcome_lens)?;
+    if !c.0.is_empty() {
+        return None;
+    }
+    Some(
+        zip6(tags, hashes, versions, algos, specs, outcomes)
+            .map(
+                |(tag, content_hash, engine_version, algo, spec_canon, outcome_canon)| {
+                    EncodedRecord {
+                        tag,
+                        content_hash,
+                        engine_version,
+                        algo,
+                        spec_canon,
+                        outcome_canon,
+                    }
+                },
+            )
+            .collect(),
+    )
+}
+
+/// Six-way zip (the standard library stops at two).
+#[allow(clippy::type_complexity)]
+fn zip6(
+    tags: Vec<u8>,
+    hashes: Vec<u64>,
+    versions: Vec<u32>,
+    algos: Vec<String>,
+    specs: Vec<String>,
+    outcomes: Vec<String>,
+) -> impl Iterator<Item = (u8, u64, u32, String, String, String)> {
+    tags.into_iter()
+        .zip(hashes)
+        .zip(versions)
+        .zip(algos)
+        .zip(specs)
+        .zip(outcomes)
+        .map(|(((((t, h), v), a), s), o)| (t, h, v, a, s, o))
+}
+
 // ---------------------------------------------------------------------------
 // Writer.
 // ---------------------------------------------------------------------------
@@ -328,7 +534,7 @@ impl EncodedRecord {
 /// let mut file = wl_harness::cache::segment::write_file([&rec], 1024);
 /// // ...extended by one appended checkpoint segment:
 /// let mut w = SegmentWriter::new(1024, 1);
-/// w.push(&rec.encode());
+/// w.push(&rec);
 /// file.extend_from_slice(&w.finish());
 ///
 /// let mut reader = SegmentReader::new(&file).expect("valid header");
@@ -341,6 +547,7 @@ pub struct SegmentWriter {
     next_ordinal: u32,
     out: Vec<u8>,
     block: Vec<u8>,
+    pending: Vec<EncodedRecord>,
     block_records: u32,
 }
 
@@ -354,17 +561,23 @@ impl SegmentWriter {
             next_ordinal: first_ordinal,
             out: Vec::new(),
             block: Vec::new(),
+            pending: Vec::new(),
             block_records: 0,
         }
     }
 
-    /// Adds one encoded record (the bytes from [`EncodedRecord::encode`]),
-    /// sealing the current segment first if the record would overflow it.
-    pub fn push(&mut self, encoded: &[u8]) {
+    /// Adds one record, sealing the current segment first if the record
+    /// would overflow it. Capacity (and hence where segment boundaries
+    /// fall) is accounted in the *plain* encoding, whether or not the
+    /// sealed segment ends up packed — so boundary placement never
+    /// depends on compression ratios.
+    pub fn push(&mut self, record: &EncodedRecord) {
+        let encoded = record.encode();
         if !self.block.is_empty() && self.block.len() + encoded.len() > self.capacity as usize {
             self.seal();
         }
-        self.block.extend_from_slice(encoded);
+        self.block.extend_from_slice(&encoded);
+        self.pending.push(record.clone());
         self.block_records += 1;
     }
 
@@ -372,18 +585,41 @@ impl SegmentWriter {
         if self.block.is_empty() {
             return;
         }
-        self.out.extend_from_slice(&SEGMENT_MAGIC);
-        self.out.extend_from_slice(&self.next_ordinal.to_le_bytes());
-        self.out
-            .extend_from_slice(&self.block_records.to_le_bytes());
-        self.out.extend_from_slice(
-            &u32::try_from(self.block.len())
-                .expect("segment < 4 GiB")
-                .to_le_bytes(),
-        );
-        self.out
-            .extend_from_slice(&fnv64(&self.block).to_le_bytes());
-        self.out.append(&mut self.block);
+        // Candidate framings for the same records: plain (per-payload
+        // compression, 24-byte header) vs packed (columnar block, whole
+        // block hex-packed + LZ'd, 32-byte header). Keep the smaller;
+        // ties go to plain. Both sides are pure functions of the record
+        // sequence, so the choice — and the file — stays deterministic.
+        let raw_block = encode_packed_block(&self.pending);
+        let mid = wlz::hex_pack(&raw_block);
+        let stored = wlz::compress(&mid);
+        if PACKED_SEGMENT_HEADER_LEN + stored.len() < SEGMENT_HEADER_LEN + self.block.len() {
+            let len32 = |n: usize| u32::try_from(n).expect("segment < 4 GiB").to_le_bytes();
+            self.out.extend_from_slice(&SEGMENT_MAGIC_PACKED);
+            self.out.extend_from_slice(&self.next_ordinal.to_le_bytes());
+            self.out
+                .extend_from_slice(&self.block_records.to_le_bytes());
+            self.out.extend_from_slice(&len32(stored.len()));
+            self.out.extend_from_slice(&len32(mid.len()));
+            self.out.extend_from_slice(&len32(raw_block.len()));
+            self.out.extend_from_slice(&fnv64(&stored).to_le_bytes());
+            self.out.extend_from_slice(&stored);
+            self.block.clear();
+        } else {
+            self.out.extend_from_slice(&SEGMENT_MAGIC);
+            self.out.extend_from_slice(&self.next_ordinal.to_le_bytes());
+            self.out
+                .extend_from_slice(&self.block_records.to_le_bytes());
+            self.out.extend_from_slice(
+                &u32::try_from(self.block.len())
+                    .expect("segment < 4 GiB")
+                    .to_le_bytes(),
+            );
+            self.out
+                .extend_from_slice(&fnv64(&self.block).to_le_bytes());
+            self.out.append(&mut self.block);
+        }
+        self.pending.clear();
         self.block_records = 0;
         self.next_ordinal += 1;
     }
@@ -436,7 +672,7 @@ pub fn write_file_with_ordinal<'a>(
     out.extend_from_slice(&[0u8; 4]);
     let mut writer = SegmentWriter::new(capacity, 0);
     for record in records {
-        writer.push(&record.encode());
+        writer.push(record);
     }
     let (segments, next_ordinal) = writer.into_parts();
     out.extend_from_slice(&segments);
@@ -482,7 +718,9 @@ pub fn write_file_with_ordinal<'a>(
 pub struct SegmentReader<'a> {
     rest: &'a [u8],
     block: &'a [u8],
+    block_pos: usize,
     block_left: u32,
+    unpacked: std::collections::VecDeque<EncodedRecord>,
     capacity: u32,
     segments: usize,
     damaged: usize,
@@ -493,10 +731,14 @@ impl<'a> SegmentReader<'a> {
     /// Validates the file header and positions the reader at the first
     /// segment. `None` means "not a v3 binary store" (wrong magic,
     /// unknown format version, or a file shorter than the header) — the
-    /// caller should try the text format instead.
+    /// caller should try the text format instead. Both file-format
+    /// versions load: 1 (plain segments only) and 2 (packed segments
+    /// permitted).
     #[must_use]
     pub fn new(data: &'a [u8]) -> Option<Self> {
-        if data.len() < FILE_HEADER_LEN || data[..4] != FILE_MAGIC || data[4] != FILE_FORMAT_VERSION
+        if data.len() < FILE_HEADER_LEN
+            || data[..4] != FILE_MAGIC
+            || !(data[4] == FILE_FORMAT_VERSION || data[4] == FILE_FORMAT_V1)
         {
             return None;
         }
@@ -504,7 +746,9 @@ impl<'a> SegmentReader<'a> {
         Some(Self {
             rest: &data[FILE_HEADER_LEN..],
             block: &[],
+            block_pos: 0,
             block_left: 0,
+            unpacked: std::collections::VecDeque::new(),
             capacity,
             segments: 0,
             damaged: 0,
@@ -545,7 +789,13 @@ impl<'a> SegmentReader<'a> {
             if self.rest.is_empty() {
                 return false;
             }
-            if self.rest.len() < SEGMENT_HEADER_LEN || self.rest[..4] != SEGMENT_MAGIC {
+            let packed = self.rest.len() >= 4 && self.rest[..4] == SEGMENT_MAGIC_PACKED;
+            let header_len = if packed {
+                PACKED_SEGMENT_HEADER_LEN
+            } else {
+                SEGMENT_HEADER_LEN
+            };
+            if self.rest.len() < header_len || (!packed && self.rest[..4] != SEGMENT_MAGIC) {
                 // Damaged or torn segment header: drop it and resync on
                 // the next segment magic, if any.
                 self.damaged += 1;
@@ -559,25 +809,67 @@ impl<'a> SegmentReader<'a> {
                 }
                 continue;
             }
-            let header = &self.rest[..SEGMENT_HEADER_LEN];
+            let header = &self.rest[..header_len];
             let ordinal = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
             let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
             let block_len =
                 u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
             self.segments += 1;
             self.next_ordinal = self.next_ordinal.max(ordinal.saturating_add(1));
-            let body = &self.rest[SEGMENT_HEADER_LEN..];
+            let body = &self.rest[header_len..];
+            if packed {
+                let mid_len =
+                    u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
+                let raw_len =
+                    u32::from_le_bytes(header[20..24].try_into().expect("4 bytes")) as usize;
+                let crc = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+                if body.len() < block_len {
+                    // A torn packed tail is all-or-nothing: partial
+                    // compressed bytes cannot be salvaged record by
+                    // record, so the whole promised count is lost.
+                    self.damaged += count.max(1) as usize;
+                    self.rest = &[];
+                    continue;
+                }
+                let (stored, rest) = body.split_at(block_len);
+                self.rest = rest;
+                if crc != fnv64(stored) {
+                    self.damaged += count.max(1) as usize;
+                    continue;
+                }
+                // Checksum verified: decompress each codec layer against
+                // its exact expected length, then parse the columnar
+                // block into whole records. Any failure past this point
+                // means the header's lengths or count lied — all-or-
+                // nothing, like the torn case.
+                let records = wlz::decompress(stored, mid_len)
+                    .and_then(|mid| wlz::hex_unpack(&mid))
+                    .filter(|raw| raw.len() == raw_len)
+                    .and_then(|raw| decode_packed_block(&raw, count as usize));
+                match records {
+                    Some(records) => {
+                        self.unpacked = records.into();
+                        return true;
+                    }
+                    None => {
+                        self.damaged += count.max(1) as usize;
+                        continue;
+                    }
+                }
+            }
             if body.len() < block_len {
                 // Torn tail (crash mid-append): salvage the prefix
                 // record-by-record; the per-record checksums decide how
                 // far is trustworthy.
                 self.block = body;
+                self.block_pos = 0;
                 self.block_left = count;
                 self.rest = &[];
             } else {
                 let (block, rest) = body.split_at(block_len);
                 self.rest = rest;
                 self.block = block;
+                self.block_pos = 0;
                 self.block_left = count;
                 // The block checksum (header bytes 16..24) lets other
                 // implementations verify a segment wholesale; this
@@ -591,7 +883,7 @@ impl<'a> SegmentReader<'a> {
 
 fn find_magic(hay: &[u8]) -> Option<usize> {
     hay.windows(SEGMENT_MAGIC.len())
-        .position(|w| w == SEGMENT_MAGIC)
+        .position(|w| w == SEGMENT_MAGIC || w == SEGMENT_MAGIC_PACKED)
 }
 
 impl Iterator for SegmentReader<'_> {
@@ -599,15 +891,21 @@ impl Iterator for SegmentReader<'_> {
 
     fn next(&mut self) -> Option<EncodedRecord> {
         loop {
-            if self.block_left == 0 || self.block.is_empty() {
+            // A packed segment decodes wholesale into this queue.
+            if let Some(record) = self.unpacked.pop_front() {
+                return Some(record);
+            }
+            let remaining = self.block.len() - self.block_pos;
+            if self.block_left == 0 || remaining == 0 {
                 // Leftover bytes with no records promised — or promised
                 // records with no bytes left — are damage.
                 if self.block_left > 0 {
                     self.damaged += self.block_left as usize;
-                } else if !self.block.is_empty() {
+                } else if remaining > 0 {
                     self.damaged += 1;
                 }
                 self.block = &[];
+                self.block_pos = 0;
                 self.block_left = 0;
                 if !self.advance_segment() {
                     return None;
@@ -615,9 +913,9 @@ impl Iterator for SegmentReader<'_> {
                 continue;
             }
             self.block_left -= 1;
-            match EncodedRecord::decode(self.block) {
+            match EncodedRecord::decode(&self.block[self.block_pos..]) {
                 Some((record, used)) => {
-                    self.block = &self.block[used..];
+                    self.block_pos += used;
                     return Some(record);
                 }
                 None => {
@@ -627,6 +925,7 @@ impl Iterator for SegmentReader<'_> {
                     // whatever the header still promised.
                     self.damaged += 1 + self.block_left as usize;
                     self.block = &[];
+                    self.block_pos = 0;
                     self.block_left = 0;
                 }
             }
@@ -647,6 +946,33 @@ mod tests {
             spec_canon: format!("Spec{{n:{i},rho:x3ff0000000000000}}").repeat(3),
             outcome_canon: format!("Outcome{{v:x400921fb54442d18,k:{i}}}")
                 .repeat(1 + (i as usize % 4)),
+        }
+    }
+
+    /// Pseudo-random text the codecs cannot shrink (a 32-symbol
+    /// alphabet with no lowercase hex), so segments holding it stay
+    /// *plain* — what the byte-offset damage tests below rely on.
+    fn noise(seed: u64, len: usize) -> String {
+        const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ!#%-_+";
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ALPHABET[(x >> 58) as usize & 31] as char
+            })
+            .collect()
+    }
+
+    fn noisy_rec(i: u64, series: bool) -> EncodedRecord {
+        EncodedRecord {
+            tag: if series { TAG_SERIES } else { TAG_SCALAR },
+            content_hash: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            engine_version: 3,
+            algo: format!("algo-{}", i % 3),
+            spec_canon: noise(2 * i + 1, 260),
+            outcome_canon: noise(2 * i + 2, 200 + 30 * (i as usize % 4)),
         }
     }
 
@@ -734,7 +1060,7 @@ mod tests {
         };
         let mut w = SegmentWriter::new(512, first);
         for r in records.iter().skip(5) {
-            w.push(&r.encode());
+            w.push(r);
         }
         file.extend_from_slice(&w.finish());
         let (out, _, damaged) = read_all(&file);
@@ -744,9 +1070,15 @@ mod tests {
 
     #[test]
     fn torn_tail_costs_exactly_the_unreadable_records() {
-        let records: Vec<EncodedRecord> = (0..6).map(|i| rec(i, true)).collect();
+        let records: Vec<EncodedRecord> = (0..6).map(|i| noisy_rec(i, true)).collect();
         let file = write_file(&records, 128); // one record per segment
-                                              // Cut mid-way through the final record's bytes.
+        assert!(
+            !file
+                .windows(4)
+                .any(|w| w == SEGMENT_MAGIC_PACKED.as_slice()),
+            "noise records must produce plain segments"
+        );
+        // Cut mid-way through the final record's bytes.
         let cut = file.len() - 10;
         let (out, _, damaged) = read_all(&file[..cut]);
         assert_eq!(out, records[..5], "only the torn record is lost");
@@ -767,7 +1099,7 @@ mod tests {
 
     #[test]
     fn vandalized_segment_resyncs_on_next_magic() {
-        let records: Vec<EncodedRecord> = (0..4).map(|i| rec(i, false)).collect();
+        let records: Vec<EncodedRecord> = (0..4).map(|i| noisy_rec(i, false)).collect();
         let mut file = write_file(&records, 128); // one record per segment
                                                   // Vandalize segment 1's magic (segment 0 starts at FILE_HEADER_LEN).
         let seg_len = SEGMENT_HEADER_LEN + records[0].encode().len();
@@ -784,7 +1116,7 @@ mod tests {
 
     #[test]
     fn corrupt_record_inside_block_costs_the_block_tail() {
-        let records: Vec<EncodedRecord> = (0..4).map(|i| rec(i, false)).collect();
+        let records: Vec<EncodedRecord> = (0..4).map(|i| noisy_rec(i, false)).collect();
         let mut file = write_file(&records, DEFAULT_SEGMENT_CAPACITY); // one segment
                                                                        // Flip a byte in record 1's body (after record 0).
         let r0 = records[0].encode().len();
@@ -794,6 +1126,96 @@ mod tests {
         assert_eq!(segments, 1);
         assert_eq!(out, records[..1], "the prefix before the damage survives");
         assert_eq!(damaged, 3, "the bad record plus the unaddressable tail");
+    }
+
+    #[test]
+    fn packed_segments_shrink_redundant_blocks_and_roundtrip() {
+        // Records whose canonical strings are near-identical — the
+        // shape of a real sweep store, where only seeds and a few
+        // floats differ per point. The block-level compressor must
+        // collapse the cross-record repeats per-payload compression
+        // cannot reach.
+        let records: Vec<EncodedRecord> = (0..64)
+            .map(|i| {
+                let mut r = rec(0, false);
+                r.content_hash = i;
+                r.spec_canon = format!(
+                    "Spec{{n:4,f:1,rho:x3eb0c6f7a0b5ed8d,delta:x3f847ae147ae147b,\
+                     eps:x3f50624dd2f1a9fc,seed:{i},delay:DelayKind::Constant}}"
+                );
+                r.outcome_canon = format!(
+                    "Outcome{{index:{i},steady_skew:x3f50624dd2f1a9fc,\
+                     max_skew:x3f5062{i:02}d2f1aa01,agreement_holds:+}}"
+                );
+                r
+            })
+            .collect();
+        let file = write_file(&records, DEFAULT_SEGMENT_CAPACITY);
+        assert!(
+            file.windows(4)
+                .any(|w| w == SEGMENT_MAGIC_PACKED.as_slice()),
+            "a redundant block must come out packed"
+        );
+        let plain_total: usize = records.iter().map(|r| r.encode().len()).sum();
+        assert!(
+            file.len() * 4 < plain_total,
+            "expected ≥4× over per-record framing, got {plain_total} -> {}",
+            file.len()
+        );
+        let (out, segments, damaged) = read_all(&file);
+        assert_eq!(out, records);
+        assert_eq!((segments, damaged), (1, 0));
+        // Same records, same capacity, same bytes: packing is part of
+        // the canonical write, not a mood.
+        assert_eq!(file, write_file(&records, DEFAULT_SEGMENT_CAPACITY));
+    }
+
+    #[test]
+    fn torn_or_corrupt_packed_segment_is_all_or_nothing() {
+        let batch_a: Vec<EncodedRecord> = (0..8).map(|i| rec(i % 2, false)).collect();
+        let batch_b: Vec<EncodedRecord> = (10..18).map(|i| rec(i % 2, true)).collect();
+        // Two packed segments: batch_a fills one, batch_b appends one.
+        let mut file = write_file(&batch_a, DEFAULT_SEGMENT_CAPACITY);
+        let seg_a_len = file.len();
+        let mut w = SegmentWriter::new(DEFAULT_SEGMENT_CAPACITY, 1);
+        for r in &batch_b {
+            w.push(r);
+        }
+        file.extend_from_slice(&w.finish());
+        assert_eq!(&file[FILE_HEADER_LEN..FILE_HEADER_LEN + 4], b"WSGZ");
+        let (out, _, damaged) = read_all(&file);
+        assert_eq!(out.len(), 16);
+        assert_eq!(damaged, 0);
+
+        // A torn packed tail cannot be salvaged record-by-record: the
+        // whole promised count is damage, the prefix segment survives.
+        let (out, _, damaged) = read_all(&file[..file.len() - 5]);
+        assert_eq!(out, batch_a);
+        assert_eq!(damaged, batch_b.len());
+
+        // A flipped byte inside the stored block fails the segment
+        // checksum wholesale — and the reader still reaches the next
+        // segment afterwards.
+        let mut vandal = file.clone();
+        vandal[seg_a_len - 10] ^= 0xFF;
+        let (out, segments, damaged) = read_all(&vandal);
+        assert_eq!(out, batch_b, "the later segment survives");
+        assert_eq!((segments, damaged), (2, batch_a.len()));
+    }
+
+    #[test]
+    fn version1_headers_still_load() {
+        // A file written before packed segments existed: header version
+        // 1, plain segments only. The current reader must accept it —
+        // stores in the wild (CI caches, checked-in fixtures) predate
+        // the bump.
+        let records: Vec<EncodedRecord> = (0..4).map(|i| noisy_rec(i, false)).collect();
+        let mut file = write_file(&records, 512);
+        assert_eq!(file[4], FILE_FORMAT_VERSION);
+        file[4] = FILE_FORMAT_V1;
+        let (out, _, damaged) = read_all(&file);
+        assert_eq!(out, records);
+        assert_eq!(damaged, 0);
     }
 
     #[test]

@@ -30,7 +30,10 @@
 
 use crate::cache::{MergeConflict, StoreFormat, SweepStore};
 use crate::spec::ScenarioSpec;
-use crate::sweep::{run_point_cached, Shard, SweepAlgorithm, SweepRunner};
+use crate::sweep::{
+    run_point_cached, run_point_cached_series, run_point_cached_sketch, Capture, Shard,
+    SweepAlgorithm, SweepRunner,
+};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -61,6 +64,11 @@ pub struct WorkerConfig {
     /// O(points so far) — via [`SweepStore::checkpoint`]; an existing
     /// store in the other format is migrated on the first checkpoint.
     pub format: StoreFormat,
+    /// What each grid point records: scalar summaries only (the default),
+    /// a mergeable [`crate::SkewSketch`], or the full per-round series.
+    /// All shards of one drive must agree, or the merged store would mix
+    /// payload kinds across points.
+    pub capture: Capture,
 }
 
 /// One worker heartbeat: cumulative progress at a checkpoint.
@@ -121,7 +129,7 @@ pub fn run_worker<A: SweepAlgorithm>(
     let service = crate::service::ServiceSweepCache::from_env();
     if let Some(service) = &service {
         let owned_specs: Vec<ScenarioSpec> = owned.iter().map(|(_, s)| s.clone()).collect();
-        service.prefetch::<A>(&owned_specs, false, &cache);
+        service.prefetch::<A>(&owned_specs, cfg.capture, &cache);
     }
 
     let mut progress = WorkerProgress {
@@ -133,8 +141,10 @@ pub fn run_worker<A: SweepAlgorithm>(
     };
     let mut checkpoints = 0usize;
     for batch in owned.chunks(chunk) {
-        let _ = runner.run(batch.to_vec(), |_, (index, spec)| {
-            run_point_cached::<A>(*index, spec, &cache)
+        let _ = runner.run(batch.to_vec(), |_, (index, spec)| match cfg.capture {
+            Capture::Scalar => run_point_cached::<A>(*index, spec, &cache),
+            Capture::Sketch => run_point_cached_sketch::<A>(*index, spec, &cache),
+            Capture::Series => run_point_cached_series::<A>(*index, spec, &cache),
         });
         store.absorb(&cache);
         // Binary stores append one segment per checkpoint (torn tails
@@ -522,6 +532,7 @@ mod tests {
                 checkpoint: 2,
                 crash_after: None,
                 format,
+                capture: Capture::Scalar,
             };
             let mut beats = 0;
             let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(7), &cfg, |p| {
@@ -555,6 +566,7 @@ mod tests {
             checkpoint: 0,
             crash_after: None,
             format: StoreFormat::Text,
+            capture: Capture::Scalar,
         };
         let progress =
             run_worker::<Maintenance>(&SweepRunner::serial(), grid(2), &cfg, |_| {}).unwrap();

@@ -54,7 +54,10 @@ use crate::cache::{
     canon_string, fnv64_seeded, StoreFormat, SweepStore, ENGINE_VERSION, FNV_OFFSET,
 };
 use crate::spec::ScenarioSpec;
-use crate::sweep::{run_point_cached, SweepAlgorithm, SweepRunner};
+use crate::sweep::{
+    run_point_cached, run_point_cached_series, run_point_cached_sketch, Capture, SweepAlgorithm,
+    SweepRunner,
+};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
@@ -604,6 +607,11 @@ pub struct FrontierWorkerConfig {
     /// after checkpointing this many chunks, **before** marking the last
     /// one done — the orphaned claim is what work stealing must recover.
     pub crash_after_chunks: Option<usize>,
+    /// What each grid point records (scalar, sketch, or series). Every
+    /// worker draining one frontier must agree — payload kinds are
+    /// per-record, and a mixed fleet would leave the merged store's
+    /// richness dependent on which worker won each chunk.
+    pub capture: Capture,
 }
 
 /// Cumulative progress of a frontier worker, reported after every chunk.
@@ -677,10 +685,14 @@ pub fn run_worker_frontier<A: SweepAlgorithm>(
             claim.range().map(|i| (i, grid[i].clone())).collect();
         if let Some(service) = &service {
             let specs: Vec<ScenarioSpec> = points.iter().map(|(_, s)| s.clone()).collect();
-            service.prefetch::<A>(&specs, false, &cache);
+            service.prefetch::<A>(&specs, cfg.capture, &cache);
         }
         let _ = runner.run(points, |_, (index, spec)| {
-            let outcome = run_point_cached::<A>(*index, spec, &cache);
+            let outcome = match cfg.capture {
+                Capture::Scalar => run_point_cached::<A>(*index, spec, &cache),
+                Capture::Sketch => run_point_cached_sketch::<A>(*index, spec, &cache),
+                Capture::Series => run_point_cached_series::<A>(*index, spec, &cache),
+            };
             claim.beat();
             outcome
         });
@@ -895,6 +907,7 @@ mod tests {
             steal_timeout: Duration::from_secs(3600),
             poll: Duration::from_millis(5),
             crash_after_chunks: None,
+            capture: Capture::Scalar,
         }
     }
 

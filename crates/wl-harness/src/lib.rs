@@ -97,11 +97,14 @@ pub mod frontier;
 pub mod run;
 pub mod search;
 pub mod service;
+pub mod sketch;
 pub mod spec;
 pub mod sweep;
 pub mod transport;
 
-pub use adversary::{Adversary, AdversaryActor, AdversaryDelay, ChurnStrategy, LinkPlan, TargetedLinks};
+pub use adversary::{
+    Adversary, AdversaryActor, AdversaryDelay, ChurnStrategy, LinkPlan, TargetedLinks,
+};
 pub use algo::{AssemblyCtx, FleetRole, StartDiscipline, SyncAlgorithm};
 pub use assemble::{
     assemble, assemble_calendar, assemble_enum, assemble_enum_with_queue, assemble_mono,
@@ -125,10 +128,11 @@ pub use service::{
     serve, service_from_env, ServeConfig, ServeReport, ServiceAddr, ServiceClient, ServiceStats,
     ServiceSweepCache,
 };
+pub use sketch::{store_report, SketchObserver, SkewSketch};
 pub use spec::{AdversarySpec, AdversaryStrategy, DelayKind, FaultKind, ScenarioSpec};
 pub use sweep::{
-    derive_seed, merge_sharded, Shard, ShardMergeError, SweepAlgorithm, SweepCache, SweepOutcome,
-    SweepRequest, SweepRunner, SweepSeries, SweepSummary, TierPolicy,
+    derive_seed, merge_sharded, Capture, Shard, ShardMergeError, SweepAlgorithm, SweepCache,
+    SweepOutcome, SweepRequest, SweepRunner, SweepSeries, SweepSummary, TierPolicy,
 };
 pub use transport::{
     drive_frontier, DropBoxTransport, FrontierDriveError, FrontierDriveReport,

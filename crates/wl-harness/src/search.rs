@@ -266,10 +266,9 @@ fn continuous_params(s: &AdversaryStrategy, base: &ScenarioSpec) -> Vec<(f64, f6
 fn with_param(s: &AdversaryStrategy, i: usize, v: f64) -> AdversaryStrategy {
     match (*s, i) {
         (AdversaryStrategy::Crash { .. }, 0) => AdversaryStrategy::Crash { at: v },
-        (AdversaryStrategy::PullApart { high, .. }, 0) => AdversaryStrategy::PullApart {
-            amplitude: v,
-            high,
-        },
+        (AdversaryStrategy::PullApart { high, .. }, 0) => {
+            AdversaryStrategy::PullApart { amplitude: v, high }
+        }
         (AdversaryStrategy::TwoFacedValue { .. }, 0) => {
             AdversaryStrategy::TwoFacedValue { amplitude: v }
         }

@@ -47,10 +47,14 @@
 //! [`run_worker`]: crate::driver::run_worker
 //! [`ScenarioSpec::content_hash`]: ScenarioSpec::content_hash
 
-use crate::cache::segment::{record_tag, tag_has_series, EncodedRecord};
+use crate::cache::segment::{
+    record_tag, tag_has_series, tag_has_sketch, EncodedRecord, PayloadKind,
+};
 use crate::cache::{canon_string, parse_outcome, StoreFormat, SweepStore, ENGINE_VERSION};
 use crate::spec::{AdversarySpec, AdversaryStrategy, DelayKind, FaultKind, ScenarioSpec};
-use crate::sweep::{run_point, run_point_series, SweepAlgorithm, SweepCache, SweepRunner};
+use crate::sweep::{
+    run_point, run_point_series, run_point_sketch, Capture, SweepAlgorithm, SweepCache, SweepRunner,
+};
 use std::collections::HashSet;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -489,8 +493,12 @@ pub fn decode_spec(bytes: &[u8]) -> Option<ScenarioSpec> {
                         _ => return None,
                     },
                 },
-                4 => AdversaryStrategy::TwoFacedValue { amplitude: t.f64()? },
-                5 => AdversaryStrategy::Collude { amplitude: t.f64()? },
+                4 => AdversaryStrategy::TwoFacedValue {
+                    amplitude: t.f64()?,
+                },
+                5 => AdversaryStrategy::Collude {
+                    amplitude: t.f64()?,
+                },
                 6 => AdversaryStrategy::Churn {
                     up: t.f64()?,
                     down: t.f64()?,
@@ -565,8 +573,9 @@ pub enum Request {
         content_hash: u64,
         /// The client's [`ENGINE_VERSION`] — a mismatch is a miss.
         engine_version: u32,
-        /// Require a series-bearing record (a scalar one is a miss).
-        need_series: bool,
+        /// Required payload richness (a record below it is a miss; a
+        /// series record satisfies a sketch need).
+        need: Capture,
         /// The algorithm name ([`crate::SyncAlgorithm::NAME`]).
         algo: String,
     },
@@ -581,8 +590,8 @@ pub enum Request {
     BatchGet {
         /// The client's [`ENGINE_VERSION`]; a mismatch refuses the batch.
         engine_version: u32,
-        /// Whether every returned record must carry a series payload.
-        need_series: bool,
+        /// The payload richness every returned record must satisfy.
+        need: Capture,
         /// The algorithm name (must be one the server can assemble).
         algo: String,
         /// The grid points, in client order.
@@ -650,6 +659,38 @@ pub enum Response {
     },
 }
 
+/// The wire byte of a [`Capture`] need — `0`/`1` match what the v4
+/// protocol sent for its scalar/series boolean, so `2` (sketch) is a
+/// pure extension of the codec.
+fn capture_byte(need: Capture) -> u8 {
+    match need {
+        Capture::Scalar => 0,
+        Capture::Series => 1,
+        Capture::Sketch => 2,
+    }
+}
+
+/// The strict inverse of [`capture_byte`]. `None` = malformed.
+fn capture_from_byte(byte: u8) -> Option<Capture> {
+    match byte {
+        0 => Some(Capture::Scalar),
+        1 => Some(Capture::Series),
+        2 => Some(Capture::Sketch),
+        _ => None,
+    }
+}
+
+/// Whether a record under `tag` can satisfy `need` without parsing its
+/// payload — the tag-level prefilter; the outcome-level
+/// [`Capture::satisfied_by`] confirms after parsing.
+fn tag_satisfies(need: Capture, tag: u8) -> bool {
+    match need {
+        Capture::Scalar => true,
+        Capture::Sketch => tag_has_sketch(tag) || tag_has_series(tag),
+        Capture::Series => tag_has_series(tag),
+    }
+}
+
 /// Encodes a request into a frame body (opcode + payload, no checksum —
 /// the framing layer adds it).
 #[must_use]
@@ -659,13 +700,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Get {
             content_hash,
             engine_version,
-            need_series,
+            need,
             algo,
         } => {
             out.push(OP_GET);
             out.extend_from_slice(&content_hash.to_le_bytes());
             out.extend_from_slice(&engine_version.to_le_bytes());
-            out.push(u8::from(*need_series));
+            out.push(capture_byte(*need));
             push_str16(&mut out, algo);
         }
         Request::Put { record } => {
@@ -674,13 +715,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::BatchGet {
             engine_version,
-            need_series,
+            need,
             algo,
             items,
         } => {
             out.push(OP_BATCH_GET);
             out.extend_from_slice(&engine_version.to_le_bytes());
-            out.push(u8::from(*need_series));
+            out.push(capture_byte(*need));
             push_str16(&mut out, algo);
             let count = u32::try_from(items.len()).expect("batch < 4G items");
             out.extend_from_slice(&count.to_le_bytes());
@@ -711,11 +752,7 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
         OP_GET => Request::Get {
             content_hash: t.u64()?,
             engine_version: t.u32()?,
-            need_series: match t.u8()? {
-                0 => false,
-                1 => true,
-                _ => return None,
-            },
+            need: capture_from_byte(t.u8()?)?,
             algo: t.str16()?,
         },
         OP_PUT => Request::Put {
@@ -723,11 +760,7 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
         },
         OP_BATCH_GET => {
             let engine_version = t.u32()?;
-            let need_series = match t.u8()? {
-                0 => false,
-                1 => true,
-                _ => return None,
-            };
+            let need = capture_from_byte(t.u8()?)?;
             let algo = t.str16()?;
             let count = t.u32()? as usize;
             let mut items = Vec::with_capacity(count.min(4096));
@@ -739,7 +772,7 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
             }
             Request::BatchGet {
                 engine_version,
-                need_series,
+                need,
                 algo,
                 items,
             }
@@ -981,12 +1014,12 @@ impl ServiceClient {
         &mut self,
         content_hash: u64,
         algo: &str,
-        need_series: bool,
+        need: Capture,
     ) -> io::Result<Option<EncodedRecord>> {
         match self.request(&Request::Get {
             content_hash,
             engine_version: ENGINE_VERSION,
-            need_series,
+            need,
             algo: algo.to_string(),
         })? {
             Response::Found { record } => Ok(Some(record)),
@@ -1045,7 +1078,7 @@ impl ServiceClient {
     pub fn batch_get(
         &mut self,
         algo: &str,
-        need_series: bool,
+        need: Capture,
         points: &[(u64, &ScenarioSpec)],
     ) -> io::Result<Vec<Option<EncodedRecord>>> {
         let items = points
@@ -1057,7 +1090,7 @@ impl ServiceClient {
             .collect();
         match self.request(&Request::BatchGet {
             engine_version: ENGINE_VERSION,
-            need_series,
+            need,
             algo: algo.to_string(),
             items,
         })? {
@@ -1157,13 +1190,13 @@ impl ServiceSweepCache {
     }
 
     /// Batch-resolves every point of `specs` that `cache` cannot serve
-    /// (honoring `need_series`) and seeds the answers into `cache`, so
-    /// the sweep loop that follows sees them as plain hits. Returns how
-    /// many points the service supplied.
+    /// (honoring the `need` payload level) and seeds the answers into
+    /// `cache`, so the sweep loop that follows sees them as plain hits.
+    /// Returns how many points the service supplied.
     pub fn prefetch<A: SweepAlgorithm>(
         &self,
         specs: &[ScenarioSpec],
-        need_series: bool,
+        need: Capture,
         cache: &SweepCache,
     ) -> usize {
         if self.degraded.load(Ordering::Relaxed) {
@@ -1174,7 +1207,7 @@ impl ServiceSweepCache {
         for spec in specs {
             let canon = canon_string(&spec.canonical());
             let hash = spec.content_hash();
-            if cache.peek(hash, A::NAME, &canon, need_series).is_some() {
+            if cache.peek(hash, A::NAME, &canon, need).is_some() {
                 continue;
             }
             if seen.insert((hash, canon.clone())) {
@@ -1187,7 +1220,7 @@ impl ServiceSweepCache {
         let points: Vec<(u64, &ScenarioSpec)> = wanted.iter().map(|(h, _, s)| (*h, *s)).collect();
         let records = {
             let mut client = self.client.lock().expect("service client poisoned");
-            match client.batch_get(A::NAME, need_series, &points) {
+            match client.batch_get(A::NAME, need, &points) {
                 Ok(records) => records,
                 Err(e) => {
                     self.degrade(&e);
@@ -1205,10 +1238,10 @@ impl ServiceSweepCache {
                         && r.algo == A::NAME
                         && r.content_hash == hash
                         && r.spec_canon == canon
-                        && (!need_series || tag_has_series(r.tag))
+                        && tag_satisfies(need, r.tag)
                 })
                 .and_then(|r| parse_outcome(&r.outcome_canon))
-                .filter(|o| !need_series || o.series.is_some());
+                .filter(|o| need.satisfied_by(o));
             match outcome {
                 Some(outcome) => {
                     cache.seed(hash, A::NAME.to_string(), canon, outcome);
@@ -1233,7 +1266,7 @@ impl ServiceSweepCache {
         let records: Vec<EncodedRecord> = pending
             .into_iter()
             .filter_map(|(hash, canon)| {
-                let outcome = cache.peek(hash, A::NAME, &canon, false)?;
+                let outcome = cache.peek(hash, A::NAME, &canon, Capture::Scalar)?;
                 Some(canonical_record(A::NAME, hash, &canon, &outcome))
             })
             .collect();
@@ -1277,11 +1310,15 @@ fn canonical_record(
 ) -> EncodedRecord {
     let mut normalized = outcome.clone();
     normalized.index = 0;
+    let kind = if normalized.series.is_some() {
+        PayloadKind::Series
+    } else if normalized.sketch.is_some() {
+        PayloadKind::Sketch
+    } else {
+        PayloadKind::Scalar
+    };
     EncodedRecord {
-        tag: record_tag(
-            normalized.series.is_some(),
-            crate::cache::spec_is_adversarial(spec_canon),
-        ),
+        tag: record_tag(kind, crate::cache::spec_is_adversarial(spec_canon)),
         content_hash,
         engine_version: ENGINE_VERSION,
         algo: algo.to_string(),
@@ -1601,7 +1638,7 @@ fn dispatch(
         Request::Get {
             content_hash,
             engine_version,
-            need_series,
+            need,
             algo,
         } => {
             if engine_version != ENGINE_VERSION {
@@ -1611,7 +1648,7 @@ fn dispatch(
             match c
                 .store
                 .record_encoded(content_hash, &algo)
-                .filter(|r| !need_series || tag_has_series(r.tag))
+                .filter(|r| tag_satisfies(need, r.tag))
             {
                 Some(record) => {
                     c.warm_hits += 1;
@@ -1646,7 +1683,7 @@ fn dispatch(
         }
         Request::BatchGet {
             engine_version,
-            need_series,
+            need,
             algo,
             items,
         } => {
@@ -1657,7 +1694,7 @@ fn dispatch(
                     ),
                 }
             } else {
-                batch_get(&algo, need_series, &items, core, runner, cfg)?
+                batch_get(&algo, need, &items, core, runner, cfg)?
             }
         }
         Request::PutBatch { records } => {
@@ -1706,7 +1743,7 @@ fn dispatch(
 
 fn batch_get(
     algo: &str,
-    need_series: bool,
+    need: Capture,
     items: &[BatchItem],
     core: &Mutex<Core>,
     runner: &SweepRunner,
@@ -1728,7 +1765,7 @@ fn batch_get(
             match c
                 .store
                 .record_encoded(item.content_hash, algo)
-                .filter(|r| !need_series || tag_has_series(r.tag))
+                .filter(|r| tag_satisfies(need, r.tag))
             {
                 Some(record) => {
                     c.warm_hits += 1;
@@ -1741,7 +1778,7 @@ fn batch_get(
     if !cold.is_empty() {
         // Simulate outside the lock: warm lookups from other clients
         // keep flowing while this batch runs on the pool.
-        if let Some(outcomes) = simulate(algo, runner, &cold, need_series) {
+        if let Some(outcomes) = simulate(algo, runner, &cold, need) {
             let mut c = lock_core(core);
             for ((i, spec), outcome) in cold.iter().zip(outcomes) {
                 let canon = canon_string(&spec.canonical());
@@ -1788,34 +1825,32 @@ fn simulate(
     algo: &str,
     runner: &SweepRunner,
     points: &[(usize, ScenarioSpec)],
-    need_series: bool,
+    need: Capture,
 ) -> Option<Vec<crate::sweep::SweepOutcome>> {
     use crate::algo::SyncAlgorithm as _;
     fn run<A: SweepAlgorithm>(
         runner: &SweepRunner,
         points: &[(usize, ScenarioSpec)],
-        need_series: bool,
+        need: Capture,
     ) -> Vec<crate::sweep::SweepOutcome> {
-        runner.run(points.to_vec(), |_, (index, spec)| {
-            if need_series {
-                run_point_series::<A>(*index, spec)
-            } else {
-                run_point::<A>(*index, spec)
-            }
+        runner.run(points.to_vec(), |_, (index, spec)| match need {
+            Capture::Scalar => run_point::<A>(*index, spec),
+            Capture::Sketch => run_point_sketch::<A>(*index, spec),
+            Capture::Series => run_point_series::<A>(*index, spec),
         })
     }
     if algo == crate::Maintenance::NAME {
-        Some(run::<crate::Maintenance>(runner, points, need_series))
+        Some(run::<crate::Maintenance>(runner, points, need))
     } else if algo == crate::Startup::NAME {
-        Some(run::<crate::Startup>(runner, points, need_series))
+        Some(run::<crate::Startup>(runner, points, need))
     } else if algo == crate::Rejoiner::NAME {
-        Some(run::<crate::Rejoiner>(runner, points, need_series))
+        Some(run::<crate::Rejoiner>(runner, points, need))
     } else if algo == crate::LmCnv::NAME {
-        Some(run::<crate::LmCnv>(runner, points, need_series))
+        Some(run::<crate::LmCnv>(runner, points, need))
     } else if algo == crate::MahaneySchneider::NAME {
-        Some(run::<crate::MahaneySchneider>(runner, points, need_series))
+        Some(run::<crate::MahaneySchneider>(runner, points, need))
     } else if algo == crate::SrikanthToueg::NAME {
-        Some(run::<crate::SrikanthToueg>(runner, points, need_series))
+        Some(run::<crate::SrikanthToueg>(runner, points, need))
     } else {
         None
     }
@@ -1825,7 +1860,7 @@ fn simulate(
 mod tests {
     use super::*;
     use crate::algo::SyncAlgorithm as _;
-    use crate::cache::segment::{TAG_SCALAR, TAG_SERIES};
+    use crate::cache::segment::{TAG_SCALAR, TAG_SERIES, TAG_SKETCH};
     use crate::sweep::derive_seed;
     use crate::Maintenance;
     use rand::{Rng, SeedableRng};
@@ -1845,15 +1880,24 @@ mod tests {
         std::env::temp_dir().join(format!("wl-service-{}-{name}.wls", std::process::id()))
     }
 
+    /// A random capture need — all three wire values.
+    fn arb_need(rng: &mut rand::rngs::StdRng) -> Capture {
+        match rng.gen::<u64>() % 3 {
+            0 => Capture::Scalar,
+            1 => Capture::Sketch,
+            _ => Capture::Series,
+        }
+    }
+
     /// A random record through arbitrary bit patterns — the same
     /// "seeded arbitrary" style the segment and migration proptests use.
     fn arb_record(rng: &mut rand::rngs::StdRng) -> EncodedRecord {
         let nasty = ["algo a", "q\"uote", "tab\there", "wl-maintenance", "∆-sync"];
         EncodedRecord {
-            tag: if rng.gen::<u64>() % 2 == 0 {
-                TAG_SCALAR
-            } else {
-                TAG_SERIES
+            tag: match rng.gen::<u64>() % 3 {
+                0 => TAG_SCALAR,
+                1 => TAG_SERIES,
+                _ => TAG_SKETCH,
             },
             content_hash: rng.gen(),
             engine_version: ENGINE_VERSION,
@@ -2025,7 +2069,7 @@ mod tests {
                 Request::Get {
                     content_hash: rng.gen(),
                     engine_version: ENGINE_VERSION,
-                    need_series: rng.gen::<u64>() % 2 == 0,
+                    need: arb_need(&mut rng),
                     algo: record.algo.clone(),
                 },
                 Request::Put { record: record.clone() },
@@ -2035,7 +2079,7 @@ mod tests {
                 Request::PutBatch { records: vec![] },
                 Request::BatchGet {
                     engine_version: ENGINE_VERSION,
-                    need_series: rng.gen::<u64>() % 2 == 0,
+                    need: arb_need(&mut rng),
                     algo: record.algo.clone(),
                     items: vec![
                         BatchItem { content_hash: rng.gen(), spec: encode_spec(&spec) },
@@ -2152,7 +2196,9 @@ mod tests {
         let points: Vec<(u64, &ScenarioSpec)> =
             specs.iter().map(|s| (s.content_hash(), s)).collect();
         // Cold: the server simulates every point.
-        let got = client.batch_get(Maintenance::NAME, false, &points).unwrap();
+        let got = client
+            .batch_get(Maintenance::NAME, Capture::Scalar, &points)
+            .unwrap();
         assert!(got.iter().all(Option::is_some));
         for ((hash, spec), record) in points.iter().zip(&got) {
             let record = record.as_ref().unwrap();
@@ -2163,18 +2209,23 @@ mod tests {
         }
         // Warm: a single get hits the same record.
         let warm = client
-            .get(points[0].0, Maintenance::NAME, false)
+            .get(points[0].0, Maintenance::NAME, Capture::Scalar)
             .unwrap()
             .expect("warm hit");
         assert_eq!(&warm, got[0].as_ref().unwrap());
         // A series-requiring get over a scalar record is a miss.
         assert!(client
-            .get(points[0].0, Maintenance::NAME, true)
+            .get(points[0].0, Maintenance::NAME, Capture::Series)
+            .unwrap()
+            .is_none());
+        // A sketch-requiring get over a scalar record is also a miss.
+        assert!(client
+            .get(points[0].0, Maintenance::NAME, Capture::Sketch)
             .unwrap()
             .is_none());
         // Unknown algorithm: unresolved slots, not an error.
         let unknown = client
-            .batch_get("no-such-algo", false, &points[..1])
+            .batch_get("no-such-algo", Capture::Scalar, &points[..1])
             .unwrap();
         assert_eq!(unknown, vec![None]);
         // Put a foreign record and read it back.
@@ -2192,13 +2243,14 @@ mod tests {
                 mean_abs_adjustment: 0.25,
                 adjustment_holds: true,
                 stats: wl_sim::SimStats::default(),
+                sketch: None,
                 series: None,
             };
             canon_string(&outcome)
         };
         client.put(&foreign).unwrap();
         let back = client
-            .get(foreign.content_hash, &foreign.algo, false)
+            .get(foreign.content_hash, &foreign.algo, Capture::Scalar)
             .unwrap()
             .expect("put record readable");
         assert_eq!(back, foreign);
@@ -2256,7 +2308,12 @@ mod tests {
             .map(|spec| {
                 let canon = canon_string(&spec.canonical());
                 let outcome = cache
-                    .peek(spec.content_hash(), Maintenance::NAME, &canon, false)
+                    .peek(
+                        spec.content_hash(),
+                        Maintenance::NAME,
+                        &canon,
+                        Capture::Scalar,
+                    )
                     .unwrap();
                 canonical_record(Maintenance::NAME, spec.content_hash(), &canon, &outcome)
             })
@@ -2271,7 +2328,7 @@ mod tests {
         assert_eq!(client.stats().unwrap().puts, 3);
         // Every record is now a warm hit.
         let warm = client
-            .get(specs[1].content_hash(), Maintenance::NAME, false)
+            .get(specs[1].content_hash(), Maintenance::NAME, Capture::Scalar)
             .unwrap()
             .expect("warm hit");
         assert_eq!(warm, records[1]);
@@ -2325,7 +2382,10 @@ mod tests {
         let specs = grid(4);
         let tier = ServiceSweepCache::new(addr.clone());
         let cache = SweepCache::new();
-        assert_eq!(tier.prefetch::<Maintenance>(&specs, false, &cache), 4);
+        assert_eq!(
+            tier.prefetch::<Maintenance>(&specs, Capture::Scalar, &cache),
+            4
+        );
         assert_eq!(tier.served(), 4);
         // The sweep loop now sees pure hits — zero local simulations.
         let runner = crate::sweep::SweepRunner::serial();
@@ -2339,7 +2399,10 @@ mod tests {
         let direct = run_point::<Maintenance>(2, &specs[2]);
         assert_eq!(canon_string(&out[2]), canon_string(&direct));
         // A second prefetch has nothing left to ask for.
-        assert_eq!(tier.prefetch::<Maintenance>(&specs, false, &cache), 0);
+        assert_eq!(
+            tier.prefetch::<Maintenance>(&specs, Capture::Scalar, &cache),
+            0
+        );
         ServiceClient::new(addr).shutdown().unwrap();
         server.join().unwrap().unwrap();
 
@@ -2348,7 +2411,10 @@ mod tests {
             std::env::temp_dir().join("wl-service-no-such.sock"),
         ));
         let cold = SweepCache::new();
-        assert_eq!(dead.prefetch::<Maintenance>(&specs, false, &cold), 0);
+        assert_eq!(
+            dead.prefetch::<Maintenance>(&specs, Capture::Scalar, &cold),
+            0
+        );
         let out = runner.run(specs, |i, s| {
             crate::sweep::run_point_cached::<Maintenance>(i, s, &cold)
         });
@@ -2382,16 +2448,27 @@ mod tests {
         let specs = grid(2);
         let tier = ServiceSweepCache::new(addr.clone());
         let cache = SweepCache::new();
-        assert_eq!(tier.prefetch::<Maintenance>(&specs, true, &cache), 2);
+        assert_eq!(
+            tier.prefetch::<Maintenance>(&specs, Capture::Series, &cache),
+            2
+        );
         for spec in &specs {
             let canon = canon_string(&spec.canonical());
             let hit = cache
-                .peek(spec.content_hash(), Maintenance::NAME, &canon, true)
+                .peek(
+                    spec.content_hash(),
+                    Maintenance::NAME,
+                    &canon,
+                    Capture::Series,
+                )
                 .expect("series-bearing hit");
             assert!(hit.series.is_some());
         }
         // The scalar-side view of those records also hits.
-        assert_eq!(tier.prefetch::<Maintenance>(&specs, false, &cache), 0);
+        assert_eq!(
+            tier.prefetch::<Maintenance>(&specs, Capture::Scalar, &cache),
+            0
+        );
         ServiceClient::new(addr).shutdown().unwrap();
         server.join().unwrap().unwrap();
         let _ = std::fs::remove_file(&store_path);

@@ -637,9 +637,7 @@ mod tests {
         // ...and every adversary dimension is part of it.
         assert_ne!(
             with.content_hash(),
-            spec.clone()
-                .adversary(adv.clone().seed(2))
-                .content_hash(),
+            spec.clone().adversary(adv.clone().seed(2)).content_hash(),
             "adversary seed must be part of the identity"
         );
         assert_ne!(

@@ -26,6 +26,7 @@ use crate::run::{
     run_summary_mono, RunSummary,
 };
 use crate::service::ServiceSweepCache;
+use crate::sketch::SkewSketch;
 use crate::spec::ScenarioSpec;
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -435,7 +436,10 @@ impl SweepRunner {
         specs: Vec<ScenarioSpec>,
         cache: &SweepCache,
     ) -> Vec<SweepOutcome> {
-        SweepRequest::new().runner(*self).cached(cache).run::<A>(specs)
+        SweepRequest::new()
+            .runner(*self)
+            .cached(cache)
+            .run::<A>(specs)
     }
 
     /// Runs only the grid points owned by `shard`, with **grid-global**
@@ -448,7 +452,10 @@ impl SweepRunner {
         specs: Vec<ScenarioSpec>,
         shard: Shard,
     ) -> Vec<SweepOutcome> {
-        SweepRequest::new().runner(*self).shard(shard).run::<A>(specs)
+        SweepRequest::new()
+            .runner(*self)
+            .shard(shard)
+            .run::<A>(specs)
     }
 
     /// [`sweep_sharded`](SweepRunner::sweep_sharded) through a cache —
@@ -494,6 +501,73 @@ pub enum TierPolicy {
     LocalOnly,
 }
 
+/// What each grid point keeps beyond its scalar summary — the capture
+/// mode of a [`SweepRequest`] and the "how rich must a hit be" argument
+/// of every cache lookup.
+///
+/// The three modes are strictly ordered by information content
+/// (scalar ⊑ sketch ⊑ series): a series record satisfies any need (its
+/// sketch is derivable on the fly via [`SkewSketch::of_series`]), a
+/// sketch record satisfies scalar and sketch needs, and a scalar
+/// record only scalar needs. Parses from the conventional CLI form:
+///
+/// ```
+/// use wl_harness::Capture;
+///
+/// assert_eq!("sketch".parse::<Capture>().unwrap(), Capture::Sketch);
+/// assert_eq!(Capture::Series.to_string(), "series");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Capture {
+    /// Scalar summary only — the historical default.
+    #[default]
+    Scalar,
+    /// Scalar plus a mergeable [`SkewSketch`] (~100 bytes/point) —
+    /// the streaming-aggregation mode for million-scenario sweeps.
+    Sketch,
+    /// Scalar plus the full [`SweepSeries`] payload (100 KB–1 MB).
+    Series,
+}
+
+impl Capture {
+    /// Whether `outcome` carries enough payload to satisfy this need
+    /// without re-simulating (a series payload satisfies a sketch need
+    /// — the sketch is a pure derivation of it).
+    #[must_use]
+    pub fn satisfied_by(self, outcome: &SweepOutcome) -> bool {
+        match self {
+            Self::Scalar => true,
+            Self::Sketch => outcome.sketch.is_some() || outcome.series.is_some(),
+            Self::Series => outcome.series.is_some(),
+        }
+    }
+}
+
+impl std::fmt::Display for Capture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Scalar => "scalar",
+            Self::Sketch => "sketch",
+            Self::Series => "series",
+        })
+    }
+}
+
+impl FromStr for Capture {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Self::Scalar),
+            "sketch" => Ok(Self::Sketch),
+            "series" => Ok(Self::Series),
+            other => Err(format!(
+                "capture mode `{other}` is not scalar|sketch|series"
+            )),
+        }
+    }
+}
+
 /// The one sweep entry point: a builder covering every combination the
 /// legacy `sweep`/`sweep_cached`/`sweep_cached_series`/`sweep_sharded*`
 /// methods hard-coded — series capture on/off, cache tiers, sharding,
@@ -528,7 +602,7 @@ pub enum TierPolicy {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepRequest<'a> {
     runner: SweepRunner,
-    capture: bool,
+    capture: Capture,
     shard: Option<Shard>,
     cache: Option<&'a SweepCache>,
     tier: TierPolicy,
@@ -561,6 +635,32 @@ impl<'a> SweepRequest<'a> {
     /// [`SweepRunner::sweep_cached_series`] always did.
     #[must_use]
     pub fn capture_series(mut self, capture: bool) -> Self {
+        self.capture = if capture {
+            Capture::Series
+        } else {
+            Capture::Scalar
+        };
+        self
+    }
+
+    /// Capture a mergeable [`SkewSketch`] per outcome (`outcome.sketch`
+    /// always `Some`, `outcome.series` always `None`) — the streaming
+    /// aggregation mode: each grid point runs with series capture, the
+    /// exact skew sample stream folds through a
+    /// [`crate::sketch::SketchObserver`], and only the ~100-byte sketch
+    /// is kept. With a cache, series-bearing records satisfy the need
+    /// (their sketch is derived on the fly, the record untouched);
+    /// scalar-only records are misses and upgrade in place.
+    #[must_use]
+    pub fn capture_sketch(mut self) -> Self {
+        self.capture = Capture::Sketch;
+        self
+    }
+
+    /// Sets the capture mode directly — the enum-typed form CLI
+    /// plumbing prefers over the per-mode builder methods.
+    #[must_use]
+    pub fn capture(mut self, capture: Capture) -> Self {
         self.capture = capture;
         self
     }
@@ -622,14 +722,16 @@ impl<'a> SweepRequest<'a> {
             let owned_specs: Vec<ScenarioSpec> = owned.iter().map(|(_, s)| s.clone()).collect();
             service.prefetch::<A>(&owned_specs, self.capture, cache);
         }
-        let out = self.runner.run(owned, |_, (index, spec)| {
-            match (self.cache, self.capture) {
-                (None, false) => run_point::<A>(*index, spec),
-                (None, true) => run_point_series::<A>(*index, spec),
-                (Some(cache), false) => run_point_cached::<A>(*index, spec, cache),
-                (Some(cache), true) => run_point_cached_series::<A>(*index, spec, cache),
-            }
-        });
+        let out = self
+            .runner
+            .run(owned, |_, (index, spec)| match (self.cache, self.capture) {
+                (None, Capture::Scalar) => run_point::<A>(*index, spec),
+                (None, Capture::Sketch) => run_point_sketch::<A>(*index, spec),
+                (None, Capture::Series) => run_point_series::<A>(*index, spec),
+                (Some(cache), Capture::Scalar) => run_point_cached::<A>(*index, spec, cache),
+                (Some(cache), Capture::Sketch) => run_point_cached_sketch::<A>(*index, spec, cache),
+                (Some(cache), Capture::Series) => run_point_cached_series::<A>(*index, spec, cache),
+            });
         if let (Some(service), Some(cache)) = (&service, self.cache) {
             service.push_back::<A>(cache);
         }
@@ -686,6 +788,25 @@ pub(crate) fn run_point_series<A: SweepAlgorithm>(
     SweepOutcome::new(index, spec.seed, &summary).with_series(series)
 }
 
+/// [`run_point`] with sketch capture: the same series-capturing
+/// execution as [`run_point_series`], but the series is folded into a
+/// [`SkewSketch`] and dropped before the outcome is returned — so the
+/// scalar half is bit-identical to both other bodies, the sketch is by
+/// construction [`SkewSketch::of_series`] of the series the series
+/// body would have kept, and the grid point costs ~100 bytes.
+pub(crate) fn run_point_sketch<A: SweepAlgorithm>(
+    index: usize,
+    spec: &ScenarioSpec,
+) -> SweepOutcome {
+    let mut outcome = run_point_series::<A>(index, spec);
+    let series = outcome
+        .series
+        .take()
+        .expect("series capture always fills the series payload");
+    outcome.sketch = Some(SkewSketch::of_series(&series));
+    outcome
+}
+
 /// The cached per-point body: canonicalize, look up, fall back to
 /// [`run_point`], insert. `pub(crate)` so [`crate::driver`]'s
 /// checkpointed worker loop runs the exact same body.
@@ -698,7 +819,7 @@ pub(crate) fn run_point_cached<A: SweepAlgorithm>(
     // default are the same execution, and must hit each other.
     let spec_canon = canon_string(&spec.canonical());
     let hash = spec.content_hash();
-    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, false) {
+    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, Capture::Scalar) {
         hit.index = index;
         return hit;
     }
@@ -708,20 +829,48 @@ pub(crate) fn run_point_cached<A: SweepAlgorithm>(
 }
 
 /// The series-requiring cached body: a hit must carry a series, a miss
-/// (including a scalar-only near-hit) re-runs with capture and upgrades
-/// the cached record.
-fn run_point_cached_series<A: SweepAlgorithm>(
+/// (including a scalar-only or sketch-only near-hit) re-runs with
+/// capture and upgrades the cached record.
+pub(crate) fn run_point_cached_series<A: SweepAlgorithm>(
     index: usize,
     spec: &ScenarioSpec,
     cache: &SweepCache,
 ) -> SweepOutcome {
     let spec_canon = canon_string(&spec.canonical());
     let hash = spec.content_hash();
-    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, true) {
+    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, Capture::Series) {
         hit.index = index;
         return hit;
     }
     let outcome = run_point_series::<A>(index, spec);
+    cache.store(hash, A::NAME.to_string(), spec_canon, outcome.clone());
+    outcome
+}
+
+/// The sketch-requiring cached body: sketch-bearing hits return as-is;
+/// series-bearing hits satisfy the need by deriving the sketch on the
+/// fly (dropping the series from the *returned* outcome, never from
+/// the cache — the richer record stays); scalar-only near-hits re-run
+/// with sketch capture and upgrade the entry in place.
+pub(crate) fn run_point_cached_sketch<A: SweepAlgorithm>(
+    index: usize,
+    spec: &ScenarioSpec,
+    cache: &SweepCache,
+) -> SweepOutcome {
+    let spec_canon = canon_string(&spec.canonical());
+    let hash = spec.content_hash();
+    if let Some(mut hit) = cache.lookup(hash, A::NAME, &spec_canon, Capture::Sketch) {
+        hit.index = index;
+        if hit.sketch.is_none() {
+            let series = hit
+                .series
+                .take()
+                .expect("a sketch-satisfying hit without a sketch carries a series");
+            hit.sketch = Some(SkewSketch::of_series(&series));
+        }
+        return hit;
+    }
+    let outcome = run_point_sketch::<A>(index, spec);
     cache.store(hash, A::NAME.to_string(), spec_canon, outcome.clone());
     outcome
 }
@@ -787,16 +936,17 @@ impl SweepCache {
     }
 
     /// Looks up `(content_hash, algo)`, confirming the hit against the
-    /// canonical spec bytes. When `need_series` is set, a scalar-only
-    /// entry does not count — the caller needs the [`SweepSeries`]
-    /// payload, so the lookup degrades to a miss (and the re-run will
-    /// upgrade the entry). Counts a hit or a miss either way.
+    /// canonical spec bytes. An entry counts only when its payload
+    /// satisfies `need` ([`Capture::satisfied_by`]) — a scalar-only
+    /// entry does not satisfy a sketch or series need, so the lookup
+    /// degrades to a miss (and the re-run will upgrade the entry).
+    /// Counts a hit or a miss either way.
     pub(crate) fn lookup(
         &self,
         content_hash: u64,
         algo: &str,
         spec_canon: &str,
-        need_series: bool,
+        need: Capture,
     ) -> Option<SweepOutcome> {
         let found = self
             .map
@@ -804,7 +954,7 @@ impl SweepCache {
             .expect("sweep cache poisoned")
             .get(&entry_key(content_hash, algo))
             .filter(|e| e.algo == algo && e.spec_canon == spec_canon)
-            .filter(|e| !need_series || e.outcome.series.is_some())
+            .filter(|e| need.satisfied_by(&e.outcome))
             .map(|e| e.outcome.clone());
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -843,14 +993,14 @@ impl SweepCache {
         content_hash: u64,
         algo: &str,
         spec_canon: &str,
-        need_series: bool,
+        need: Capture,
     ) -> Option<SweepOutcome> {
         self.map
             .lock()
             .expect("sweep cache poisoned")
             .get(&entry_key(content_hash, algo))
             .filter(|e| e.algo == algo && e.spec_canon == spec_canon)
-            .filter(|e| !need_series || e.outcome.series.is_some())
+            .filter(|e| need.satisfied_by(&e.outcome))
             .map(|e| e.outcome.clone())
     }
 
@@ -935,11 +1085,19 @@ pub struct SweepOutcome {
     pub adjustment_holds: bool,
     /// Raw simulator counters.
     pub stats: SimStats,
+    /// Optional mergeable skew sketch (see [`SkewSketch`]) — present
+    /// only when the outcome was produced by a
+    /// [`Capture::Sketch`] request (or hydrated from a `K`/`L` store
+    /// record). Mutually exclusive with `series` in stored records:
+    /// the series subsumes the sketch, so a record carries one or the
+    /// other, never both.
+    pub sketch: Option<SkewSketch>,
     /// Optional per-run series payload (see [`SweepSeries`]) — present
     /// only when the outcome was produced by
     /// [`SweepRunner::sweep_cached_series`] (or hydrated from a
-    /// series-bearing store record). Keep it **last**: the canonical
-    /// record parser in `cache.rs` mirrors the field order.
+    /// series-bearing store record). Keep `sketch` and `series` **last,
+    /// in this order**: the canonical record parser in `cache.rs`
+    /// mirrors the field order.
     pub series: Option<SweepSeries>,
 }
 
@@ -960,6 +1118,7 @@ impl SweepOutcome {
             mean_abs_adjustment: summary.adjustments.mean_abs,
             adjustment_holds: summary.adjustments.holds,
             stats: summary.stats,
+            sketch: None,
             series: None,
         }
     }
@@ -981,7 +1140,13 @@ impl SweepOutcome {
             (Some(a), Some(b)) => a.bit_identical(b),
             _ => false,
         };
-        self.index == other.index
+        let sketch_match = match (&self.sketch, &other.sketch) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.bit_identical(b),
+            _ => false,
+        };
+        sketch_match
+            && self.index == other.index
             && self.seed == other.seed
             && self.steady_skew.to_bits() == other.steady_skew.to_bits()
             && self.max_skew.to_bits() == other.max_skew.to_bits()
@@ -1361,7 +1526,9 @@ mod tests {
         let b = SweepRunner::new().sweep::<Maintenance>(grid(4));
         assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
         // Cached.
-        let a = SweepRequest::new().cached(&cache).run::<Maintenance>(grid(4));
+        let a = SweepRequest::new()
+            .cached(&cache)
+            .run::<Maintenance>(grid(4));
         let b = SweepRunner::new().sweep_cached::<Maintenance>(grid(4), &legacy_cache);
         assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
         // Cached + series.
@@ -1378,7 +1545,8 @@ mod tests {
             .shard(shard)
             .cached(&cache)
             .run::<Maintenance>(grid(5));
-        let b = SweepRunner::new().sweep_sharded_cached::<Maintenance>(grid(5), shard, &legacy_cache);
+        let b =
+            SweepRunner::new().sweep_sharded_cached::<Maintenance>(grid(5), shard, &legacy_cache);
         assert_eq!(a.len(), 2);
         assert!(a.iter().zip(&b).all(|(x, y)| x.bit_identical(y)));
         assert!(a.iter().all(|o| shard.owns(o.index)));

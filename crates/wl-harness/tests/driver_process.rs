@@ -29,8 +29,8 @@ use std::process::Command;
 use std::time::Duration;
 use wl_core::Params;
 use wl_harness::{
-    derive_seed, drive, run_worker, DelayKind, DriveError, DriverConfig, Maintenance, ScenarioSpec,
-    Shard, StoreFormat, SweepRunner, SweepStore, WorkerConfig,
+    derive_seed, drive, run_worker, Capture, DelayKind, DriveError, DriverConfig, Maintenance,
+    ScenarioSpec, Shard, StoreFormat, SweepRunner, SweepStore, WorkerConfig,
 };
 use wl_time::RealTime;
 
@@ -98,6 +98,7 @@ fn worker_main(args: &[String]) {
         checkpoint: 2,
         crash_after,
         format,
+        capture: Capture::Scalar,
     };
     let mut checkpoints = 0;
     let progress = run_worker::<Maintenance>(&SweepRunner::serial(), grid(), &cfg, |p| {

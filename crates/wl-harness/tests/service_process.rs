@@ -27,8 +27,8 @@ use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 use wl_core::Params;
 use wl_harness::{
-    derive_seed, DelayKind, Maintenance, ScenarioSpec, ServiceAddr, ServiceClient, ServiceStats,
-    StoreFormat, SweepCache, SweepOutcome, SweepRunner, SweepStore,
+    derive_seed, Capture, DelayKind, Maintenance, ScenarioSpec, ServiceAddr, ServiceClient,
+    ServiceStats, StoreFormat, SweepCache, SweepOutcome, SweepRunner, SweepStore,
 };
 use wl_time::RealTime;
 
@@ -298,7 +298,7 @@ fn test_concurrent_clients_converge_to_reference_bytes() {
             scope.spawn(move || {
                 let tier = wl_harness::ServiceSweepCache::new(addr);
                 let cache = SweepCache::new();
-                let served = tier.prefetch::<Maintenance>(&specs, false, &cache);
+                let served = tier.prefetch::<Maintenance>(&specs, Capture::Scalar, &cache);
                 assert_eq!(served, GRID, "every point served, none simulated here");
             });
         }

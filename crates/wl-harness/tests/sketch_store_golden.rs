@@ -1,0 +1,146 @@
+//! Golden-fixture pinning of the v5 sketch store formats and the
+//! `sweep_stats` transcript.
+//!
+//! The fixtures under `tests/fixtures/` are a frozen sketch-capture
+//! store in both on-disk formats plus the exact `store_report` text
+//! they produce. Checked in, they pin three things at once:
+//!
+//! 1. **serialization** — a sketch sweep re-run today must save stores
+//!    byte-identical to the frozen files (any drift in the canon
+//!    grammar, tag bytes, segment framing, or sketch arithmetic shows
+//!    up as a diff here first);
+//! 2. **load compatibility** — the frozen files must keep loading as
+//!    live records under the current [`ENGINE_VERSION`], serving a warm
+//!    sweep with zero misses;
+//! 3. **reporting** — `store_report` over the frozen records must stay
+//!    character-identical, because CI `cmp`s its output across shard
+//!    counts and machines.
+//!
+//! Regenerate deliberately (after an intentional format change, with
+//! the engine version bumped) via:
+//!
+//! ```text
+//! WL_UPDATE_GOLDEN=1 cargo test -p wl-harness --test sketch_store_golden
+//! ```
+//!
+//! [`ENGINE_VERSION`]: wl_harness::ENGINE_VERSION
+
+use std::path::{Path, PathBuf};
+use wl_core::Params;
+use wl_harness::{
+    derive_seed, store_report, Capture, DelayKind, Maintenance, ScenarioSpec, SrikanthToueg,
+    StoreFormat, SweepCache, SweepRequest, SweepStore,
+};
+use wl_time::RealTime;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// The frozen grid: two algorithm families over three delay models, so
+/// the report exercises multi-family grouping and distinct γ bounds.
+fn fixture_grid() -> Vec<ScenarioSpec> {
+    let params = Params::auto(4, 1, 1e-6, 0.010, 0.001).unwrap();
+    let delays = [
+        DelayKind::Constant,
+        DelayKind::Uniform,
+        DelayKind::AdversarialSplit,
+    ];
+    (0..6)
+        .map(|i| {
+            ScenarioSpec::new(params.clone())
+                .seed(derive_seed(0x601D_F11E, i as u64))
+                .delay(delays[i % 3])
+                .t_end(RealTime::from_secs(1.5))
+        })
+        .collect()
+}
+
+/// Runs the fixture grid in sketch-capture mode under both families and
+/// returns the populated store (unsaved, format unset).
+fn built_store() -> SweepStore {
+    let cache = SweepCache::new();
+    let _ = SweepRequest::new()
+        .threads(1)
+        .cached(&cache)
+        .capture(Capture::Sketch)
+        .run::<Maintenance>(fixture_grid());
+    let _ = SweepRequest::new()
+        .threads(1)
+        .cached(&cache)
+        .capture(Capture::Sketch)
+        .run::<SrikanthToueg>(fixture_grid());
+    let mut store = SweepStore::new();
+    store.absorb(&cache);
+    store
+}
+
+fn save_bytes(format: StoreFormat) -> Vec<u8> {
+    let mut store = built_store();
+    store.set_format(format);
+    let path = std::env::temp_dir().join(format!("wl-golden-{}-{format}.wls", std::process::id()));
+    store.save_to(&path).expect("save fixture candidate");
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn sketch_store_and_stats_report_match_golden_fixtures() {
+    let dir = fixture_dir();
+    let text_path = dir.join("sketch-store.wls");
+    let binary_path = dir.join("sketch-store.wlsb");
+    let report_path = dir.join("sweep-stats.golden");
+
+    let text = save_bytes(StoreFormat::Text);
+    let binary = save_bytes(StoreFormat::Binary);
+    let report = store_report(&built_store());
+
+    if std::env::var("WL_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&text_path, &text).unwrap();
+        std::fs::write(&binary_path, &binary).unwrap();
+        std::fs::write(&report_path, &report).unwrap();
+        eprintln!("golden fixtures regenerated under {}", dir.display());
+    }
+
+    // 1. Serialization: today's engine reproduces the frozen bytes.
+    assert_eq!(
+        std::fs::read(&text_path).expect("checked-in text fixture"),
+        text,
+        "text sketch store drifted from the golden fixture \
+         (intentional? regenerate with WL_UPDATE_GOLDEN=1 and bump ENGINE_VERSION)"
+    );
+    assert_eq!(
+        std::fs::read(&binary_path).expect("checked-in binary fixture"),
+        binary,
+        "binary sketch store drifted from the golden fixture"
+    );
+
+    // 2. Load compatibility: the frozen files hold 12 live sketch
+    //    records and serve a warm sketch-need sweep without simulating.
+    for path in [&text_path, &binary_path] {
+        let frozen = SweepStore::open(path).unwrap();
+        assert_eq!(frozen.len(), 12);
+        assert_eq!(frozen.stale_records(), 0);
+        assert_eq!(frozen.skipped_lines(), 0);
+        let cache = frozen.hydrate();
+        let _ = SweepRequest::new()
+            .threads(1)
+            .cached(&cache)
+            .capture(Capture::Sketch)
+            .expect_misses(0)
+            .run::<Maintenance>(fixture_grid());
+        assert_eq!(cache.misses(), 0, "frozen store must serve the grid warm");
+
+        // 3. Reporting: character-identical from either format.
+        let golden = std::fs::read_to_string(&report_path).expect("checked-in golden report");
+        assert_eq!(
+            store_report(&frozen),
+            golden,
+            "sweep_stats transcript drifted from the golden fixture"
+        );
+    }
+}

@@ -32,7 +32,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use wl_core::Params;
 use wl_harness::{
-    derive_seed, drive_frontier, run_worker_frontier, DelayKind, DropBoxTransport,
+    derive_seed, drive_frontier, run_worker_frontier, Capture, DelayKind, DropBoxTransport,
     FrontierDriveError, FrontierDriveReport, FrontierDriverConfig, FrontierWorkerConfig,
     Maintenance, ScenarioSpec, ServiceAddr, ServiceClient, ServiceTransport, StoreFormat,
     SubprocessTransport, SweepCache, SweepRunner, SweepStore, WorkerLaunch,
@@ -127,6 +127,7 @@ fn worker_main(args: &[String]) {
         steal_timeout: Duration::from_millis(steal_ms),
         poll: Duration::from_millis(20),
         crash_after_chunks,
+        capture: Capture::Scalar,
     };
     let progress = run_worker_frontier::<Maintenance>(&SweepRunner::serial(), grid(), &cfg, |p| {
         println!(

@@ -17,7 +17,7 @@ use welch_lynch::core::Params;
 use welch_lynch::harness::service::{decode_spec, encode_spec};
 use welch_lynch::harness::{
     assemble_enum_with_queue, assemble_with_queue, derive_seed, run, AdversarySpec,
-    AdversaryStrategy, DelayKind, Maintenance, ScenarioSpec, ServeConfig, ServiceAddr,
+    AdversaryStrategy, Capture, DelayKind, Maintenance, ScenarioSpec, ServeConfig, ServiceAddr,
     ServiceClient, ServiceSweepCache, StoreFormat, SweepCache, SweepOutcome, SweepRequest,
     SweepStore, TierPolicy,
 };
@@ -222,7 +222,7 @@ fn gallery_byte_identical_through_service_transport_and_migration() {
     let addr = rx.recv().expect("server ready");
     let service = ServiceSweepCache::new(addr.clone());
     let service_cache = SweepCache::new();
-    let served = service.prefetch::<Maintenance>(&grid, false, &service_cache);
+    let served = service.prefetch::<Maintenance>(&grid, Capture::Scalar, &service_cache);
     assert_eq!(served, grid.len(), "server must resolve the whole gallery");
     let remote = SweepRequest::new()
         .threads(1)
